@@ -1,0 +1,55 @@
+//! Figure 13 (extension) — next-line prefetcher ablation: sequential
+//! scanners (dss, radix's local phase) should gain; lock/sharing-heavy
+//! kernels can lose to useless or harmful prefetches (they steal MSHRs and
+//! yank blocks from owners).
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_coherence::ProtocolConfig;
+use tenways_cpu::ConsistencyModel;
+use tenways_waste::Experiment;
+use tenways_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 13", "next-line prefetcher ablation (TSO)", &cfg);
+
+    let mut jobs = Vec::new();
+    for kind in WorkloadKind::all() {
+        for prefetch in [false, true] {
+            jobs.push((
+                format!("{}/{}", kind.name(), if prefetch { "pf" } else { "base" }),
+                Experiment::new(kind)
+                    .params(cfg.params())
+                    .model(ConsistencyModel::Tso)
+                    .protocol(ProtocolConfig {
+                        grant_exclusive: true,
+                        prefetch_next_line: prefetch,
+                    }),
+            ));
+        }
+    }
+    let results = run_parallel(jobs);
+
+    println!(
+        "{:<10}{:>12}{:>12}{:>10}{:>12}{:>12}{:>12}",
+        "workload", "base cyc", "pf cyc", "speedup", "prefetches", "useful", "useful %"
+    );
+    for (w, kind) in WorkloadKind::all().into_iter().enumerate() {
+        let base = &results[w * 2].1;
+        let pf = &results[w * 2 + 1].1;
+        let issued = pf.stats.get("l1.prefetches");
+        let useful = pf.stats.get("l1.prefetch_useful");
+        println!(
+            "{:<10}{:>12}{:>12}{:>10.3}{:>12}{:>12}{:>11.1}%",
+            kind.name(),
+            base.summary.cycles,
+            pf.summary.cycles,
+            base.summary.cycles as f64 / pf.summary.cycles.max(1) as f64,
+            issued,
+            useful,
+            100.0 * useful as f64 / issued.max(1) as f64,
+        );
+    }
+    println!("\n(sequential scanners gain; sharing-heavy kernels can lose — prefetches \
+              compete for MSHRs and can pull blocks away from active writers)");
+}

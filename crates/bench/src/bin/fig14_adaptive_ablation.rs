@@ -1,0 +1,102 @@
+//! Figure 14 (extension) — ablation of the forward-progress mechanisms the
+//! implementation added on top of the basic speculation scheme: the
+//! per-epoch op cap and the adaptive (rate-throttled) backoff. Without
+//! them, conflict-heavy workloads thrash; with them, speculation "does no
+//! harm".
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_waste::Experiment;
+use tenways_workloads::{ContendedParams, WorkloadKind};
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 14", "ablation: epoch cap + adaptive backoff (SC + on-demand)", &cfg);
+
+    let variants: Vec<(&str, SpecConfig)> = vec![
+        ("baseline", SpecConfig::disabled()),
+        ("naive", SpecConfig::on_demand().without_adaptive_backoff().with_max_epoch_ops(1 << 20)),
+        ("cap-only", SpecConfig::on_demand().without_adaptive_backoff()),
+        ("full", SpecConfig::on_demand()),
+    ];
+
+    // Part A: the hostile kernel (ocean's write-shared stencil).
+    println!("ocean (write-shared stencil, the hostile case):");
+    let jobs: Vec<_> = variants
+        .iter()
+        .map(|(name, spec)| {
+            (
+                name.to_string(),
+                Experiment::new(WorkloadKind::OceanLike)
+                    .params(cfg.params())
+                    .model(ConsistencyModel::Sc)
+                    .spec(*spec),
+            )
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    print_rows(&results);
+
+    // Part B: the friendly kernel (dss, no sharing): the mechanisms must
+    // not cost anything where speculation wins cleanly.
+    println!("\ndss (no sharing, the friendly case):");
+    let jobs: Vec<_> = variants
+        .iter()
+        .map(|(name, spec)| {
+            (
+                name.to_string(),
+                Experiment::new(WorkloadKind::DssLike)
+                    .params(cfg.params())
+                    .model(ConsistencyModel::Sc)
+                    .spec(*spec),
+            )
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    print_rows(&results);
+
+    // Part C: the contended sweep at a hostile p.
+    println!("\ncontended p=0.2 (TSO):");
+    let jobs: Vec<_> = variants
+        .iter()
+        .map(|(name, spec)| {
+            (
+                name.to_string(),
+                Experiment::contended(ContendedParams {
+                    threads: cfg.threads,
+                    ops_per_thread: 200 * cfg.scale,
+                    conflict_p: 0.2,
+                    hot_blocks: 4,
+                    fence_period: 8,
+                    seed: cfg.seed,
+                })
+                .model(ConsistencyModel::Tso)
+                .spec(*spec),
+            )
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    print_rows(&results);
+
+    println!("\n(naive = unbounded epochs, no adaptation: thrashes under conflict; \
+              full = shipping configuration)");
+}
+
+fn print_rows(results: &[(String, tenways_waste::RunRecord)]) {
+    println!(
+        "  {:<10}{:>12}{:>10}{:>12}{:>14}{:>16}",
+        "variant", "cycles", "epochs", "rollbacks", "wasted cyc", "vs baseline"
+    );
+    let base = results[0].1.summary.cycles as f64;
+    for (name, r) in results {
+        println!(
+            "  {:<10}{:>12}{:>10}{:>12}{:>14}{:>16.3}",
+            name,
+            r.summary.cycles,
+            r.stats.get("spec.epochs"),
+            r.stats.get("spec.rollbacks"),
+            r.stats.get("spec.wasted_cycles"),
+            r.summary.cycles as f64 / base,
+        );
+    }
+}

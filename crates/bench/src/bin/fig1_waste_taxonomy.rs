@@ -1,0 +1,22 @@
+//! Figure 1 — the ten-ways waste taxonomy: per-workload stacked cycle
+//! breakdown under the baseline TSO machine.
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_waste::{report, Experiment};
+use tenways_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 1", "waste taxonomy (cycle breakdown, baseline TSO)", &cfg);
+    let jobs = WorkloadKind::all()
+        .into_iter()
+        .map(|k| (k.name().to_string(), Experiment::new(k).params(cfg.params())))
+        .collect();
+    let results = run_parallel(jobs);
+    let records: Vec<_> = results.into_iter().map(|(_, r)| r).collect();
+    print!("{}", report::breakdown_table(&records));
+    println!();
+    let avg_useful: f64 =
+        records.iter().map(|r| r.breakdown.useful_fraction()).sum::<f64>() / records.len() as f64;
+    println!("mean useful fraction: {:.1}% — the rest is the ten ways.", 100.0 * avg_useful);
+}

@@ -1,0 +1,45 @@
+//! Figure 2 — baseline consistency models: SC / TSO / RMO runtime,
+//! normalized to RMO. Expected shape: SC slowest, TSO between, RMO = 1.0.
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_cpu::ConsistencyModel;
+use tenways_waste::{report, Experiment};
+use tenways_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 2", "baseline SC / TSO / RMO runtime (normalized to RMO)", &cfg);
+
+    let models = ConsistencyModel::all();
+    let mut jobs = Vec::new();
+    for kind in WorkloadKind::all() {
+        for model in models {
+            jobs.push((
+                format!("{}/{}", kind.name(), model.label()),
+                Experiment::new(kind).params(cfg.params()).model(model),
+            ));
+        }
+    }
+    let results = run_parallel(jobs);
+
+    let mut rows = Vec::new();
+    for (w, kind) in WorkloadKind::all().into_iter().enumerate() {
+        let cycles: Vec<u64> = (0..models.len())
+            .map(|m| results[w * models.len() + m].1.summary.cycles)
+            .collect();
+        rows.push((kind.name().to_string(), cycles));
+    }
+    print!(
+        "{}",
+        report::normalized_runtime_table(&["SC", "TSO", "RMO"], &rows)
+    );
+
+    let gmean = |idx: usize| {
+        let logs: f64 = rows
+            .iter()
+            .map(|(_, c)| (c[idx] as f64 / *c.last().unwrap() as f64).ln())
+            .sum();
+        (logs / rows.len() as f64).exp()
+    };
+    println!("\ngeometric mean vs RMO:  SC {:.2}x   TSO {:.2}x", gmean(0), gmean(1));
+}

@@ -1,0 +1,68 @@
+//! Figure 3 — the headline result: fence speculation makes strong models
+//! performance-transparent. For each model, baseline vs speculative
+//! runtime normalized to the RMO baseline; speculative SC should approach
+//! RMO.
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_waste::{report, Experiment};
+use tenways_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner(
+        "Figure 3",
+        "fence speculation vs baselines (runtime normalized to RMO baseline)",
+        &cfg,
+    );
+
+    // Series: SC, SC+IF, TSO, TSO+IF, RMO+IF, RMO (normalization base last).
+    let series: Vec<(&str, ConsistencyModel, SpecConfig)> = vec![
+        ("SC", ConsistencyModel::Sc, SpecConfig::disabled()),
+        ("SC+IF", ConsistencyModel::Sc, SpecConfig::on_demand()),
+        ("TSO", ConsistencyModel::Tso, SpecConfig::disabled()),
+        ("TSO+IF", ConsistencyModel::Tso, SpecConfig::on_demand()),
+        ("RMO+IF", ConsistencyModel::Rmo, SpecConfig::on_demand()),
+        ("RMO", ConsistencyModel::Rmo, SpecConfig::disabled()),
+    ];
+
+    let mut jobs = Vec::new();
+    for kind in WorkloadKind::all() {
+        for (name, model, spec) in &series {
+            jobs.push((
+                format!("{}/{}", kind.name(), name),
+                Experiment::new(kind).params(cfg.params()).model(*model).spec(*spec),
+            ));
+        }
+    }
+    let results = run_parallel(jobs);
+
+    let names: Vec<&str> = series.iter().map(|(n, _, _)| *n).collect();
+    let mut rows = Vec::new();
+    for (w, kind) in WorkloadKind::all().into_iter().enumerate() {
+        let cycles: Vec<u64> = (0..series.len())
+            .map(|sidx| results[w * series.len() + sidx].1.summary.cycles)
+            .collect();
+        rows.push((kind.name().to_string(), cycles));
+    }
+    print!("{}", report::normalized_runtime_table(&names, &rows));
+
+    let gmean = |idx: usize| {
+        let logs: f64 = rows
+            .iter()
+            .map(|(_, c)| (c[idx] as f64 / *c.last().unwrap() as f64).ln())
+            .sum();
+        (logs / rows.len() as f64).exp()
+    };
+    println!("\ngeometric means vs RMO baseline:");
+    for (i, name) in names.iter().enumerate() {
+        println!("  {name:<8} {:.3}x", gmean(i));
+    }
+    println!(
+        "\nheadline: SC+IF at {:.3}x vs SC baseline at {:.3}x — speculation closes \
+         {:.0}% of the SC-RMO gap.",
+        gmean(1),
+        gmean(0),
+        100.0 * (gmean(0) - gmean(1)) / (gmean(0) - 1.0).max(1e-9)
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 4 — on-demand vs continuous speculation: runtime, commit and
+//! rollback behaviour under TSO.
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_waste::Experiment;
+use tenways_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 4", "on-demand vs continuous speculation (TSO)", &cfg);
+
+    let series: Vec<(&str, SpecConfig)> = vec![
+        ("baseline", SpecConfig::disabled()),
+        ("on-demand", SpecConfig::on_demand()),
+        ("continuous", SpecConfig::continuous()),
+    ];
+    let mut jobs = Vec::new();
+    for kind in WorkloadKind::all() {
+        for (name, spec) in &series {
+            jobs.push((
+                format!("{}/{}", kind.name(), name),
+                Experiment::new(kind)
+                    .params(cfg.params())
+                    .model(ConsistencyModel::Tso)
+                    .spec(*spec),
+            ));
+        }
+    }
+    let results = run_parallel(jobs);
+
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}{:>10}{:>10}{:>12}{:>10}{:>10}{:>12}",
+        "workload", "base cyc", "od cyc", "cont cyc", "od commt", "od rlbk", "od waste",
+        "ct commt", "ct rlbk", "ct waste"
+    );
+    for (w, kind) in WorkloadKind::all().into_iter().enumerate() {
+        let base = &results[w * 3].1;
+        let od = &results[w * 3 + 1].1;
+        let ct = &results[w * 3 + 2].1;
+        println!(
+            "{:<10}{:>12}{:>12}{:>12}{:>10}{:>10}{:>12}{:>10}{:>10}{:>12}",
+            kind.name(),
+            base.summary.cycles,
+            od.summary.cycles,
+            ct.summary.cycles,
+            od.stats.get("spec.commits"),
+            od.stats.get("spec.rollbacks"),
+            od.stats.get("spec.wasted_cycles"),
+            ct.stats.get("spec.commits"),
+            ct.stats.get("spec.rollbacks"),
+            ct.stats.get("spec.wasted_cycles"),
+        );
+    }
+    println!("\n(continuous mode holds epochs open longer: fewer commits, more exposure)");
+}

@@ -1,0 +1,61 @@
+//! Figure 6 — dedicated speculation storage vs supported depth:
+//! block-granularity (fixed ~1 KB) against per-store CAM designs (linear),
+//! plus the measured performance effect of capping the per-store design.
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_core::storage;
+use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_waste::Experiment;
+use tenways_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 6", "speculation storage scaling + per-store cap ablation", &cfg);
+
+    println!("{:>8}{:>24}{:>20}", "depth", "block-granularity (B)", "per-store (B)");
+    for (depth, block_b, per_store_b) in storage::canonical_comparison(512) {
+        println!("{depth:>8}{block_b:>24}{per_store_b:>20}");
+    }
+
+    println!("\nperformance with capped per-store CAMs (SC, oltp + apache):");
+    let caps = [2u64, 4, 8, 16, 32];
+    let kinds = [WorkloadKind::OltpLike, WorkloadKind::ApacheLike];
+    let mut jobs = Vec::new();
+    for kind in kinds {
+        jobs.push((
+            format!("{}/unlimited", kind.name()),
+            Experiment::new(kind)
+                .params(cfg.params())
+                .model(ConsistencyModel::Sc)
+                .spec(SpecConfig::on_demand()),
+        ));
+        for cap in caps {
+            jobs.push((
+                format!("{}/cap{}", kind.name(), cap),
+                Experiment::new(kind)
+                    .params(cfg.params())
+                    .model(ConsistencyModel::Sc)
+                    .spec(SpecConfig::per_store(cap)),
+            ));
+        }
+    }
+    let results = run_parallel(jobs);
+    let per_kind = 1 + caps.len();
+    println!(
+        "{:<10}{:>12}{}",
+        "workload",
+        "unlimited",
+        caps.iter().map(|c| format!("{:>12}", format!("cap={c}"))).collect::<String>()
+    );
+    for (k, kind) in kinds.into_iter().enumerate() {
+        let base = results[k * per_kind].1.summary.cycles as f64;
+        print!("{:<10}{:>12.3}", kind.name(), 1.0);
+        for c in 0..caps.len() {
+            let cycles = results[k * per_kind + 1 + c].1.summary.cycles as f64;
+            print!("{:>12.3}", cycles / base);
+        }
+        println!();
+    }
+    println!("\n(runtime normalized to the unlimited block-granularity design; \
+              small CAMs forfeit speculation and approach the stalling baseline)");
+}

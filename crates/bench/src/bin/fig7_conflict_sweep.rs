@@ -1,0 +1,56 @@
+//! Figure 7 — violation sensitivity: rollback rate and runtime as the
+//! sharing-conflict probability sweeps from 0 to 0.5; shows where
+//! speculation stops paying.
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_waste::Experiment;
+use tenways_workloads::ContendedParams;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 7", "conflict-probability sweep (contended kernel, TSO)", &cfg);
+
+    let probs = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
+    let mk = |p: f64, spec: SpecConfig| {
+        Experiment::contended(ContendedParams {
+            threads: cfg.threads,
+            ops_per_thread: 200 * cfg.scale,
+            conflict_p: p,
+            hot_blocks: 4,
+            fence_period: 8,
+            seed: cfg.seed,
+        })
+        .model(ConsistencyModel::Tso)
+        .spec(spec)
+    };
+    let mut jobs = Vec::new();
+    for &p in &probs {
+        jobs.push((format!("base p={p}"), mk(p, SpecConfig::disabled())));
+        jobs.push((format!("spec p={p}"), mk(p, SpecConfig::on_demand())));
+    }
+    let results = run_parallel(jobs);
+
+    println!(
+        "{:>8}{:>12}{:>12}{:>10}{:>12}{:>12}{:>14}",
+        "p", "base cyc", "spec cyc", "speedup", "epochs", "rollbacks", "rollback %"
+    );
+    for (i, &p) in probs.iter().enumerate() {
+        let base = &results[i * 2].1;
+        let spec = &results[i * 2 + 1].1;
+        let epochs = spec.stats.get("spec.epochs").max(1);
+        let rollbacks = spec.stats.get("spec.rollbacks");
+        println!(
+            "{:>8.2}{:>12}{:>12}{:>10.3}{:>12}{:>12}{:>13.1}%",
+            p,
+            base.summary.cycles,
+            spec.summary.cycles,
+            base.summary.cycles as f64 / spec.summary.cycles.max(1) as f64,
+            epochs,
+            rollbacks,
+            100.0 * rollbacks as f64 / epochs as f64,
+        );
+    }
+    println!("\n(speedup should exceed 1 at low p and decay — possibly below 1 — as \
+              conflicts make epochs roll back)");
+}

@@ -1,0 +1,58 @@
+//! Figure 8 — core-count scaling (1–16): baseline SC vs speculative SC vs
+//! RMO on a scientific and a commercial workload.
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_waste::Experiment;
+use tenways_workloads::{WorkloadKind, WorkloadParams};
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 8", "core-count scaling: SC vs SC+IF vs RMO", &cfg);
+
+    let counts = [1usize, 2, 4, 8, 16];
+    let kinds = [WorkloadKind::OceanLike, WorkloadKind::ApacheLike];
+    let series: Vec<(&str, ConsistencyModel, SpecConfig)> = vec![
+        ("SC", ConsistencyModel::Sc, SpecConfig::disabled()),
+        ("SC+IF", ConsistencyModel::Sc, SpecConfig::on_demand()),
+        ("RMO", ConsistencyModel::Rmo, SpecConfig::disabled()),
+    ];
+
+    let mut jobs = Vec::new();
+    for kind in kinds {
+        for &n in &counts {
+            for (name, model, spec) in &series {
+                jobs.push((
+                    format!("{}/{}c/{}", kind.name(), n, name),
+                    Experiment::new(kind)
+                        .params(WorkloadParams { threads: n, scale: cfg.scale, seed: cfg.seed })
+                        .model(*model)
+                        .spec(*spec),
+                ));
+            }
+        }
+    }
+    let results = run_parallel(jobs);
+
+    let mut idx = 0;
+    for kind in kinds {
+        println!("\n{}:", kind.name());
+        println!("{:>8}{:>12}{:>12}{:>12}{:>14}{:>14}", "cores", "SC", "SC+IF", "RMO", "SC/RMO", "SC+IF/RMO");
+        for &n in &counts {
+            let sc = results[idx].1.summary.cycles;
+            let scif = results[idx + 1].1.summary.cycles;
+            let rmo = results[idx + 2].1.summary.cycles;
+            idx += 3;
+            println!(
+                "{:>8}{:>12}{:>12}{:>12}{:>14.3}{:>14.3}",
+                n,
+                sc,
+                scif,
+                rmo,
+                sc as f64 / rmo.max(1) as f64,
+                scif as f64 / rmo.max(1) as f64,
+            );
+        }
+    }
+    println!("\n(the SC/RMO gap persists or grows with cores; SC+IF should track RMO)");
+}

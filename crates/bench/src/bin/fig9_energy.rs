@@ -1,0 +1,50 @@
+//! Figure 9 — energy: per-component breakdown, work-per-Joule and EDP,
+//! baseline TSO vs speculative TSO (and the data-movement-dominates claim).
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_waste::{report, Experiment};
+use tenways_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Figure 9", "energy breakdown, ops/uJ and EDP (TSO vs TSO+IF)", &cfg);
+
+    let mut jobs = Vec::new();
+    for kind in WorkloadKind::all() {
+        jobs.push((
+            kind.name().to_string(),
+            Experiment::new(kind).params(cfg.params()).model(ConsistencyModel::Tso),
+        ));
+        jobs.push((
+            format!("{}+IF", kind.name()),
+            Experiment::new(kind)
+                .params(cfg.params())
+                .model(ConsistencyModel::Tso)
+                .spec(SpecConfig::on_demand()),
+        ));
+    }
+    let mut results = run_parallel(jobs);
+    for (label, r) in &mut results {
+        r.label = label.clone();
+    }
+    let records: Vec<_> = results.into_iter().map(|(_, r)| r).collect();
+    print!("{}", report::energy_table(&records));
+
+    let movement: f64 = records.iter().map(|r| r.energy.data_movement_nj()).sum();
+    let compute: f64 = records.iter().map(|r| r.energy.core_dynamic_nj).sum();
+    println!(
+        "\ndata movement vs core compute energy: {:.1}x — \"data movement, rather than \
+         computation, is the big consumer of energy\"",
+        movement / compute.max(1e-9)
+    );
+
+    let mut edp_gains = Vec::new();
+    for pair in records.chunks(2) {
+        if let [base, spec] = pair {
+            edp_gains.push(base.energy.edp() / spec.energy.edp().max(1e-9));
+        }
+    }
+    let gmean = (edp_gains.iter().map(|g| g.ln()).sum::<f64>() / edp_gains.len() as f64).exp();
+    println!("geometric-mean EDP improvement from speculation (TSO): {gmean:.3}x");
+}

@@ -1,0 +1,48 @@
+//! Table 2 — workload characterization: op mix, fence/atomic density, L1
+//! miss rate, sharing ratio.
+
+use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_waste::Experiment;
+use tenways_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner("Table 2", "workload characterization (baseline TSO)", &cfg);
+
+    let jobs = WorkloadKind::all()
+        .into_iter()
+        .map(|k| (k.name().to_string(), Experiment::new(k).params(cfg.params())))
+        .collect();
+    let results = run_parallel(jobs);
+
+    println!(
+        "{:<10}{:>12}{:>12}{:>14}{:>14}{:>12}{:>12}{:>14}",
+        "workload", "ops", "cycles", "fences/kop", "atomics/kop", "ld miss%", "st miss%", "coh fill%"
+    );
+    for (name, r) in results {
+        let s = &r.stats;
+        let ops = r.summary.retired_ops.max(1);
+        let reads = s.get("l1.read_reqs").max(1);
+        let writes = s.get("l1.write_reqs").max(1);
+        let misses = s.get("l1.misses") + s.get("l1.upgrades");
+        let coh = s.get("l1.fills_coherence");
+        let fills = (s.get("l1.fills_l2")
+            + s.get("l1.fills_cold")
+            + s.get("l1.fills_capacity")
+            + s.get("l1.fills_coherence"))
+        .max(1);
+        let fences_per_kop = 1_000.0 * s.get("ops.fence") as f64 / ops as f64;
+        let rmws_per_kop = 1_000.0 * s.get("ops.rmw") as f64 / ops as f64;
+        println!(
+            "{:<10}{:>12}{:>12}{:>14.2}{:>14.2}{:>11.2}%{:>11.2}%{:>13.1}%",
+            name,
+            ops,
+            r.summary.cycles,
+            fences_per_kop,
+            rmws_per_kop,
+            100.0 * misses.min(reads) as f64 / reads as f64,
+            100.0 * s.get("l1.upgrades") as f64 / writes as f64,
+            100.0 * coh as f64 / fills as f64,
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! One bank of the blocking, full-map directory: [`DirectoryBank`].
+//!
+//! Each bank is the *home* and ordering point for an address-interleaved
+//! slice of the block space. It keeps a precise full-map entry per cached
+//! block, fronts an L2 slice (a latency filter over DRAM) and a set of DRAM
+//! banks, and enforces the protocol's single-transaction-per-block rule by
+//! FIFO-deferring requests to busy blocks.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use tenways_mem::{CacheArray, CacheParams, DramBanks, DramParams, Replacement};
+use tenways_noc::Fabric;
+use tenways_sim::{BlockAddr, CoreId, Cycle, MachineConfig, NodeId, StatSet};
+
+use crate::l1::ProtocolConfig;
+use crate::msg::{FillClass, Msg};
+
+/// Stable directory state for one block (absent = uncached).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DirState {
+    /// Read-only copies at these cores.
+    Shared(BTreeSet<u16>),
+    /// Sole (possibly dirty) copy at this core.
+    Exclusive(u16),
+}
+
+/// The in-flight transaction on a block.
+#[derive(Debug, Clone)]
+struct Txn {
+    requester: CoreId,
+    want_m: bool,
+    /// InvAcks still outstanding.
+    pending_acks: usize,
+}
+
+/// A message whose transmission is scheduled for a future cycle.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    at: Cycle,
+    dst: NodeId,
+    msg: Msg,
+    /// Firing this send ends the transaction on `msg.block()`.
+    completes_txn: bool,
+}
+
+/// One directory bank (home node for `block % banks == index`).
+#[derive(Debug)]
+pub struct DirectoryBank {
+    node: NodeId,
+    latency: u64,
+    protocol: ProtocolConfig,
+    entries: BTreeMap<u64, DirState>,
+    busy: BTreeMap<u64, Txn>,
+    deferred: BTreeMap<u64, VecDeque<(CoreId, Msg)>>,
+    /// Messages awaiting their directory-latency processing slot.
+    pending: VecDeque<(Cycle, CoreId, Msg)>,
+    sends: Vec<Scheduled>,
+    l2: CacheArray<()>,
+    /// Blocks ever fetched from DRAM (cold/capacity classification).
+    seen: BTreeSet<u64>,
+    dram: DramBanks,
+    stats: StatSet,
+}
+
+/// Default L2 slice organization: 4096 sets × 8 ways = 2 MiB of 64 B blocks
+/// per bank.
+const L2_SETS: usize = 4096;
+const L2_WAYS: usize = 8;
+
+impl DirectoryBank {
+    /// Creates bank `index` of the machine `cfg` with default (MESI)
+    /// protocol options.
+    pub fn new(index: usize, cfg: &MachineConfig) -> Self {
+        Self::with_protocol(index, cfg, ProtocolConfig::default())
+    }
+
+    /// Creates bank `index` with explicit protocol options.
+    pub fn with_protocol(index: usize, cfg: &MachineConfig, protocol: ProtocolConfig) -> Self {
+        let node = cfg.node_ids().dir_node(index);
+        DirectoryBank {
+            node,
+            latency: cfg.dir_latency,
+            protocol,
+            entries: BTreeMap::new(),
+            busy: BTreeMap::new(),
+            deferred: BTreeMap::new(),
+            pending: VecDeque::new(),
+            sends: Vec::new(),
+            l2: CacheArray::with_seed(
+                CacheParams::new(L2_SETS, L2_WAYS, Replacement::Lru).expect("static geometry"),
+                0xd1e5 + index as u64,
+            ),
+            seen: BTreeSet::new(),
+            dram: DramBanks::new(
+                DramParams::new(cfg.dram_banks, cfg.dram_latency, cfg.dram_occupancy)
+                    .expect("MachineConfig validated DRAM geometry"),
+            ),
+            stats: StatSet::new(),
+        }
+    }
+
+    /// This bank's fabric node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Advances the bank one cycle: accept arrivals, process matured
+    /// messages, fire scheduled sends (possibly unblocking deferred work).
+    pub fn tick(&mut self, now: Cycle, fabric: &mut Fabric<Msg>) {
+        let arrivals: Vec<_> = fabric.take_inbox(self.node).collect();
+        for env in arrivals {
+            let core = CoreId(env.src.0);
+            self.pending.push_back((now.after(self.latency), core, env.payload));
+        }
+
+        // Process matured messages. The queue is FIFO by arrival and the
+        // latency is constant, so matured items form a prefix.
+        while let Some(&(at, _, _)) = self.pending.front() {
+            if at > now {
+                break;
+            }
+            let (_, core, msg) = self.pending.pop_front().expect("peeked");
+            self.dispatch(now, core, msg);
+        }
+
+        // Fire matured sends; a completing send unblocks its block's queue.
+        let mut fired_blocks: Vec<BlockAddr> = Vec::new();
+        let mut i = 0;
+        while i < self.sends.len() {
+            if self.sends[i].at <= now {
+                let s = self.sends.remove(i);
+                fabric.send(now, self.node, s.dst, s.msg);
+                if s.completes_txn {
+                    let block = s.msg.block();
+                    self.busy.remove(&block.as_u64());
+                    fired_blocks.push(block);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        for block in fired_blocks {
+            self.pump_deferred(now, block);
+        }
+    }
+
+    /// Processes queued requests for `block` until one makes it busy again
+    /// (or the queue empties).
+    fn pump_deferred(&mut self, now: Cycle, block: BlockAddr) {
+        while !self.busy.contains_key(&block.as_u64()) {
+            let Some(q) = self.deferred.get_mut(&block.as_u64()) else { return };
+            let Some((core, msg)) = q.pop_front() else {
+                self.deferred.remove(&block.as_u64());
+                return;
+            };
+            self.handle_request(now, core, msg);
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle, core: CoreId, msg: Msg) {
+        if msg.is_txn_reply() {
+            self.handle_reply(now, core, msg);
+            return;
+        }
+        let block = msg.block().as_u64();
+        if self.busy.contains_key(&block) {
+            self.stats.bump("dir.deferred");
+            self.deferred.entry(block).or_default().push_back((core, msg));
+            return;
+        }
+        self.handle_request(now, core, msg);
+    }
+
+    /// Looks up the L2 slice; on miss, schedules a DRAM access. Returns the
+    /// cycle data is available and the fill classification.
+    fn fetch_data(&mut self, now: Cycle, block: BlockAddr) -> (Cycle, FillClass) {
+        if self.l2.get(block).is_some() {
+            self.stats.bump("dir.l2_hits");
+            return (now, FillClass::L2Hit);
+        }
+        let class = if self.seen.insert(block.as_u64()) {
+            self.stats.bump("dir.fills_cold");
+            FillClass::DramCold
+        } else {
+            self.stats.bump("dir.fills_capacity");
+            FillClass::DramCapacity
+        };
+        let ready = self.dram.access(now, block);
+        self.l2.insert(block, ());
+        (ready, class)
+    }
+
+    fn core_node(core: CoreId) -> NodeId {
+        NodeId::from(core)
+    }
+
+    fn schedule(&mut self, at: Cycle, dst: NodeId, msg: Msg, completes_txn: bool) {
+        self.sends.push(Scheduled { at, dst, msg, completes_txn });
+    }
+
+    fn handle_request(&mut self, now: Cycle, core: CoreId, msg: Msg) {
+        self.stats.bump("dir.requests");
+        match msg {
+            Msg::GetS(block) => self.handle_get_s(now, core, block),
+            Msg::GetM(block) => self.handle_get_m(now, core, block),
+            Msg::PutS(block) => self.handle_put_s(now, core, block),
+            Msg::PutM { block, dirty } => self.handle_put_m(now, core, block, dirty),
+            Msg::CleanWb(block) => self.handle_clean_wb(core, block),
+            other => {
+                debug_assert!(false, "directory received unexpected message {other:?}");
+                self.stats.bump("dir.unexpected_msgs");
+            }
+        }
+    }
+
+    fn handle_get_s(&mut self, now: Cycle, core: CoreId, block: BlockAddr) {
+        let key = block.as_u64();
+        match self.entries.get_mut(&key) {
+            None => {
+                let (ready, class) = self.fetch_data(now, block);
+                // Sole cacher: grant E in MESI mode, plain S in MSI mode
+                // (the directory's view must match what the L1 will hold).
+                let exclusive = self.protocol.grant_exclusive;
+                if exclusive {
+                    self.entries.insert(key, DirState::Exclusive(core.0));
+                } else {
+                    let mut s = BTreeSet::new();
+                    s.insert(core.0);
+                    self.entries.insert(key, DirState::Shared(s));
+                }
+                self.busy.insert(
+                    key,
+                    Txn { requester: core, want_m: false, pending_acks: 0 },
+                );
+                self.schedule(ready, Self::core_node(core), Msg::DataS { block, exclusive, class }, true);
+            }
+            Some(DirState::Shared(sharers)) => {
+                sharers.insert(core.0);
+                let (ready, class) = self.fetch_data(now, block);
+                self.busy.insert(
+                    key,
+                    Txn { requester: core, want_m: false, pending_acks: 0 },
+                );
+                self.schedule(ready, Self::core_node(core), Msg::DataS { block, exclusive: false, class }, true);
+            }
+            Some(DirState::Exclusive(owner)) => {
+                let owner = *owner;
+                if owner == core.0 {
+                    // Stale refetch (owner lost the line to its own rollback
+                    // writeback that we have not yet processed; defensive).
+                    self.stats.bump("dir.gets_from_owner");
+                    let (ready, class) = self.fetch_data(now, block);
+                    self.busy.insert(
+                        key,
+                        Txn { requester: core, want_m: false, pending_acks: 0 },
+                    );
+                    self.schedule(ready, Self::core_node(core), Msg::DataS { block, exclusive: true, class }, true);
+                    return;
+                }
+                self.stats.bump("dir.downgrades_sent");
+                self.busy.insert(
+                    key,
+                    Txn { requester: core, want_m: false, pending_acks: 1 },
+                );
+                self.schedule(now, Self::core_node(CoreId(owner)), Msg::Downgrade(block), false);
+            }
+        }
+    }
+
+    fn handle_get_m(&mut self, now: Cycle, core: CoreId, block: BlockAddr) {
+        let key = block.as_u64();
+        match self.entries.get(&key).cloned() {
+            None => {
+                let (ready, class) = self.fetch_data(now, block);
+                self.entries.insert(key, DirState::Exclusive(core.0));
+                self.busy.insert(
+                    key,
+                    Txn { requester: core, want_m: true, pending_acks: 0 },
+                );
+                self.schedule(ready, Self::core_node(core), Msg::DataM { block, class }, true);
+            }
+            Some(DirState::Shared(sharers)) => {
+                let upgrade = sharers.contains(&core.0);
+                let invs: Vec<u16> = sharers.iter().copied().filter(|&s| s != core.0).collect();
+                if invs.is_empty() {
+                    // Requester is the only sharer (or set somehow empty):
+                    // grant immediately.
+                    self.entries.insert(key, DirState::Exclusive(core.0));
+                    let (ready, class) = if upgrade {
+                        (now, FillClass::L2Hit)
+                    } else {
+                        self.fetch_data(now, block)
+                    };
+                    self.busy.insert(
+                        key,
+                        Txn { requester: core, want_m: true, pending_acks: 0 },
+                    );
+                    self.schedule(ready, Self::core_node(core), Msg::DataM { block, class }, true);
+                } else {
+                    self.stats.bump_by("dir.invs_sent", invs.len() as u64);
+                    self.busy.insert(
+                        key,
+                        Txn { requester: core, want_m: true, pending_acks: invs.len() },
+                    );
+                    for s in invs {
+                        self.schedule(now, Self::core_node(CoreId(s)), Msg::Inv(block), false);
+                    }
+                }
+            }
+            Some(DirState::Exclusive(owner)) => {
+                if owner == core.0 {
+                    self.stats.bump("dir.getm_from_owner");
+                    self.busy.insert(
+                        key,
+                        Txn { requester: core, want_m: true, pending_acks: 0 },
+                    );
+                    self.schedule(now, Self::core_node(core), Msg::DataM { block, class: FillClass::L2Hit }, true);
+                    return;
+                }
+                self.stats.bump("dir.recalls_sent");
+                self.busy.insert(
+                    key,
+                    Txn { requester: core, want_m: true, pending_acks: 1 },
+                );
+                self.schedule(now, Self::core_node(CoreId(owner)), Msg::Recall(block), false);
+            }
+        }
+    }
+
+    fn handle_put_s(&mut self, now: Cycle, core: CoreId, block: BlockAddr) {
+        let key = block.as_u64();
+        match self.entries.get_mut(&key) {
+            Some(DirState::Shared(sharers)) => {
+                sharers.remove(&core.0);
+                if sharers.is_empty() {
+                    self.entries.remove(&key);
+                }
+            }
+            // Stale PutS from a core the protocol already moved past
+            // (e.g. it upgraded to M while the PutS was queued): ignore.
+            Some(DirState::Exclusive(_)) | None => {
+                self.stats.bump("dir.stale_puts");
+            }
+        }
+        // A Put is a mini-transaction: the PutAck must precede any
+        // subsequent response for the block on the same channel.
+        self.busy.insert(
+            key,
+            Txn { requester: core, want_m: false, pending_acks: 0 },
+        );
+        self.schedule(now, Self::core_node(core), Msg::PutAck(block), true);
+    }
+
+    fn handle_put_m(&mut self, now: Cycle, core: CoreId, block: BlockAddr, dirty: bool) {
+        let key = block.as_u64();
+        match self.entries.get_mut(&key) {
+            Some(DirState::Exclusive(owner)) if *owner == core.0 => {
+                if dirty {
+                    self.l2.insert(block, ());
+                    self.stats.bump("dir.writebacks");
+                }
+                self.entries.remove(&key);
+            }
+            Some(DirState::Shared(sharers)) if sharers.contains(&core.0) => {
+                // The owner was downgraded while its PutM was queued: the
+                // data already arrived with the DowngradeAck; treat as PutS.
+                sharers.remove(&core.0);
+                if sharers.is_empty() {
+                    self.entries.remove(&key);
+                }
+                self.stats.bump("dir.putm_as_puts");
+            }
+            _ => {
+                self.stats.bump("dir.stale_putm");
+            }
+        }
+        self.busy.insert(
+            key,
+            Txn { requester: core, want_m: false, pending_acks: 0 },
+        );
+        self.schedule(now, Self::core_node(core), Msg::PutAck(block), true);
+    }
+
+    fn handle_clean_wb(&mut self, core: CoreId, block: BlockAddr) {
+        let key = block.as_u64();
+        if matches!(self.entries.get(&key), Some(DirState::Exclusive(o)) if *o == core.0) {
+            self.l2.insert(block, ());
+            self.stats.bump("dir.clean_writebacks");
+        } else {
+            self.stats.bump("dir.stale_clean_wb");
+        }
+    }
+
+    fn handle_reply(&mut self, now: Cycle, _core: CoreId, msg: Msg) {
+        let block = msg.block();
+        let key = block.as_u64();
+        let Some(txn) = self.busy.get_mut(&key) else {
+            self.stats.bump("dir.stale_replies");
+            return;
+        };
+        match msg {
+            Msg::InvAck(_) => {
+                debug_assert!(txn.pending_acks > 0, "unexpected InvAck for {block}");
+                txn.pending_acks = txn.pending_acks.saturating_sub(1);
+            }
+            Msg::RecallAck { dirty, .. } => {
+                debug_assert!(txn.pending_acks == 1);
+                txn.pending_acks = 0;
+                if dirty {
+                    self.l2.insert(block, ());
+                    self.stats.bump("dir.writebacks");
+                }
+            }
+            Msg::DowngradeAck { dirty, .. } => {
+                debug_assert!(txn.pending_acks == 1);
+                txn.pending_acks = 0;
+                if dirty {
+                    self.l2.insert(block, ());
+                    self.stats.bump("dir.writebacks");
+                }
+                // The old owner stays on as a sharer.
+                if let Some(DirState::Exclusive(owner)) = self.entries.get(&key).cloned() {
+                    let mut sharers = BTreeSet::new();
+                    sharers.insert(owner);
+                    self.entries.insert(key, DirState::Shared(sharers));
+                }
+            }
+            _ => unreachable!("is_txn_reply() gated"),
+        }
+
+        let txn = self.busy.get(&key).expect("still busy");
+        if txn.pending_acks == 0 {
+            let requester = txn.requester;
+            let want_m = txn.want_m;
+            // Data came from the former owner/sharers: coherence fill, and
+            // it is available now (it travelled with the ack).
+            let class = FillClass::Coherence;
+            if want_m {
+                self.entries.insert(key, DirState::Exclusive(requester.0));
+                self.schedule(now, Self::core_node(requester), Msg::DataM { block, class }, true);
+            } else {
+                match self.entries.get_mut(&key) {
+                    Some(DirState::Shared(sharers)) => {
+                        sharers.insert(requester.0);
+                    }
+                    _ => {
+                        let mut s = BTreeSet::new();
+                        s.insert(requester.0);
+                        self.entries.insert(key, DirState::Shared(s));
+                    }
+                }
+                self.schedule(
+                    now,
+                    Self::core_node(requester),
+                    Msg::DataS { block, exclusive: false, class },
+                    true,
+                );
+            }
+        }
+    }
+
+    /// Whether this bank has no in-flight work.
+    pub fn is_quiescent(&self) -> bool {
+        self.busy.is_empty() && self.pending.is_empty() && self.sends.is_empty()
+            && self.deferred.values().all(VecDeque::is_empty)
+    }
+
+    /// Bank statistics.
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// DRAM statistics for this bank's channel.
+    pub fn dram_stats(&self) -> &StatSet {
+        self.dram.stats()
+    }
+
+    /// Number of blocks with directory entries (cached somewhere).
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Test/debug view: who shares `block`, if anyone.
+    pub fn sharers_of(&self, block: BlockAddr) -> Vec<CoreId> {
+        match self.entries.get(&block.as_u64()) {
+            None => Vec::new(),
+            Some(DirState::Shared(s)) => s.iter().map(|&c| CoreId(c)).collect(),
+            Some(DirState::Exclusive(o)) => vec![CoreId(*o)],
+        }
+    }
+
+    /// Test/debug view: whether the directory believes `core` owns `block`.
+    pub fn is_owner(&self, block: BlockAddr, core: CoreId) -> bool {
+        matches!(self.entries.get(&block.as_u64()), Some(DirState::Exclusive(o)) if *o == core.0)
+    }
+}

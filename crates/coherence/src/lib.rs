@@ -1,0 +1,73 @@
+//! Invalidation-based directory cache coherence for `tenways`.
+//!
+//! This crate implements the protocol substrate the fence-speculation
+//! mechanism rides on: private L1 caches kept coherent by a blocking,
+//! full-map directory, exchanging messages over the [`tenways_noc::Fabric`].
+//!
+//! # Protocol summary
+//!
+//! * **States:** MSI at the L1 (`I`, `S`, `M`), with an optional `E` state
+//!   granted on a read miss when no other cache holds the block (MESI mode,
+//!   [`ProtocolConfig::grant_exclusive`]). Stores to `E` upgrade silently.
+//! * **Directory:** one full-map entry per cached block (`Shared(sharers)` /
+//!   `Exclusive(owner)`), embedded in address-interleaved banks. Each bank
+//!   fronts an L2 slice (a latency filter) and a set of DRAM banks.
+//! * **Blocking:** at most one transaction per block is in flight; all other
+//!   requests for that block FIFO-queue at its home bank. Together with the
+//!   fabric's point-to-point ordering this eliminates most protocol races by
+//!   construction.
+//! * **Transactional evictions:** an L1 never silently drops a block. PutS /
+//!   PutM move the line into a writeback buffer until the directory's PutAck
+//!   arrives, and the buffer keeps answering invalidations and recalls in
+//!   the meantime.
+//! * **Data sourcing:** data always flows through the directory (owners are
+//!   recalled or downgraded, then the directory responds). This sacrifices
+//!   the latency of cache-to-cache forwarding for a drastically simpler
+//!   transient-state space; DESIGN.md records the substitution.
+//!
+//! # Speculation hooks
+//!
+//! The L1 carries two extra bits per line — *speculatively read* and
+//! *speculatively written* — maintained through [`L1Controller::mark_spec`].
+//! Whenever an external invalidation, a downgrade, or an eviction touches a
+//! marked line, the controller emits a [`SpecViolation`] that the
+//! fence-speculation engine (crate `tenways-core`) turns into a rollback.
+//! Commit is [`L1Controller::commit_spec`] (flash-clear); rollback is
+//! [`L1Controller::rollback_spec`] (invalidate speculatively-written lines,
+//! whose pre-speculation contents were written back at first mark).
+//!
+//! # Example
+//!
+//! Drive a two-core system through a read-share / write-invalidate cycle
+//! with the test sandbox:
+//!
+//! ```rust
+//! use tenways_coherence::{sandbox::ProtocolSandbox, AccessKind};
+//! use tenways_sim::{Addr, CoreId, MachineConfig};
+//!
+//! let cfg = MachineConfig::builder().cores(2).build().unwrap();
+//! let mut sb = ProtocolSandbox::new(&cfg);
+//! let a = Addr(0x1000);
+//! sb.access_and_wait(CoreId(0), AccessKind::Read, a);
+//! sb.access_and_wait(CoreId(1), AccessKind::Read, a);   // both sharers
+//! sb.access_and_wait(CoreId(0), AccessKind::Write, a);  // invalidates core 1
+//! assert!(sb.l1(CoreId(0)).holds_modified(sb.block(a)));
+//! assert!(!sb.l1(CoreId(1)).holds(sb.block(a)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dir;
+mod l1;
+mod line;
+mod msg;
+pub mod sandbox;
+
+pub use dir::DirectoryBank;
+pub use l1::{
+    AccessKind, Completion, L1Controller, ProtocolConfig, ReqId, RequestError, SpecViolation,
+    ViolationCause,
+};
+pub use line::{L1State, SpecMark};
+pub use msg::{FillClass, Msg};

@@ -1,0 +1,101 @@
+//! Per-line L1 state: [`L1State`] and the speculation mark bits
+//! ([`SpecMark`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Stable (non-transient) coherence state of an L1 line.
+///
+/// Transient states (fills in flight, evictions awaiting PutAck) are not
+/// encoded here; they live in the controller's MSHRs and writeback buffer
+/// respectively, which keeps the line payload a simple value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L1State {
+    /// Read-only copy; others may share.
+    Shared,
+    /// Read-only copy known to be the only cached copy (MESI `E`); may be
+    /// upgraded to [`L1State::Modified`] silently.
+    Exclusive,
+    /// Writable, possibly dirty, sole copy.
+    Modified,
+}
+
+impl L1State {
+    /// Whether a load may be satisfied from this state.
+    pub fn readable(self) -> bool {
+        true
+    }
+
+    /// Whether a store may be performed without a protocol transaction.
+    pub fn writable(self) -> bool {
+        matches!(self, L1State::Modified | L1State::Exclusive)
+    }
+
+    /// Whether the directory considers this cache the owner.
+    pub fn owned(self) -> bool {
+        matches!(self, L1State::Modified | L1State::Exclusive)
+    }
+}
+
+/// Which speculation bit(s) to set on a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecMark {
+    /// The speculative epoch read this block.
+    Read,
+    /// The speculative epoch wrote this block.
+    Write,
+}
+
+/// The payload stored per L1 line in the cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Line {
+    /// Coherence state.
+    pub state: L1State,
+    /// The line holds data newer than the L2/memory copy.
+    pub dirty: bool,
+    /// Speculatively read this epoch.
+    pub spec_read: bool,
+    /// Speculatively written this epoch.
+    pub spec_write: bool,
+    /// Filled by the prefetcher and not yet demanded (usefulness tracking).
+    pub prefetched: bool,
+}
+
+impl L1Line {
+    /// A freshly filled line in `state`, clean and unmarked.
+    pub fn fresh(state: L1State) -> Self {
+        L1Line { state, dirty: false, spec_read: false, spec_write: false, prefetched: false }
+    }
+
+    /// Whether either speculation bit is set.
+    pub fn is_spec(&self) -> bool {
+        self.spec_read || self.spec_write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions_by_state() {
+        assert!(L1State::Shared.readable());
+        assert!(!L1State::Shared.writable());
+        assert!(!L1State::Shared.owned());
+        assert!(L1State::Exclusive.writable());
+        assert!(L1State::Exclusive.owned());
+        assert!(L1State::Modified.writable());
+        assert!(L1State::Modified.owned());
+    }
+
+    #[test]
+    fn fresh_lines_are_clean_and_unmarked() {
+        let l = L1Line::fresh(L1State::Shared);
+        assert!(!l.dirty && !l.is_spec());
+        let mut l = L1Line::fresh(L1State::Modified);
+        l.spec_read = true;
+        assert!(l.is_spec());
+        l.spec_read = false;
+        l.spec_write = true;
+        assert!(l.is_spec());
+    }
+}

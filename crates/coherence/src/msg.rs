@@ -1,0 +1,225 @@
+//! Protocol message vocabulary: [`Msg`].
+
+use tenways_sim::BlockAddr;
+
+/// Where a fill's data came from — attached to data responses so the core
+/// can attribute the resulting stall cycles to the right waste category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FillClass {
+    /// Satisfied in the local L1 (never crosses the fabric).
+    L1Hit,
+    /// Directory's L2 slice had the data (capacity miss at L1 only).
+    L2Hit,
+    /// First-ever touch of the block: compulsory (cold) DRAM access.
+    DramCold,
+    /// Block was seen before but fell out of the L2: capacity DRAM access.
+    DramCapacity,
+    /// Data had to be pried out of another core (invalidation, recall or
+    /// downgrade) — a communication / coherence miss.
+    Coherence,
+}
+
+impl FillClass {
+    /// Stable label used in stats and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FillClass::L1Hit => "l1_hit",
+            FillClass::L2Hit => "l2_hit",
+            FillClass::DramCold => "dram_cold",
+            FillClass::DramCapacity => "dram_capacity",
+            FillClass::Coherence => "coherence",
+        }
+    }
+}
+
+/// A coherence protocol message (the fabric payload).
+///
+/// Directions are fixed by the variant: requests travel L1 → directory,
+/// probes directory → L1, and responses back the other way. `data` payloads
+/// are abstract — tenways keeps values in a functional layer, so messages
+/// carry only addresses and flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    // ----- L1 → directory requests -----
+    /// Read permission request (allocate in S, or E if granted).
+    GetS(BlockAddr),
+    /// Write permission request (allocate/upgrade to M).
+    GetM(BlockAddr),
+    /// Eviction notice for a clean shared block.
+    PutS(BlockAddr),
+    /// Eviction writeback of an owned block. `dirty == false` means the
+    /// memory copy is already current (used when speculation rolled back
+    /// after the pre-speculation contents were flushed).
+    PutM {
+        /// The evicted block.
+        block: BlockAddr,
+        /// Whether the message carries data the L2 must absorb.
+        dirty: bool,
+    },
+    /// Flush current data to the L2 while *keeping* M ownership. Issued
+    /// before the first speculative write to a dirty block so rollback can
+    /// simply drop the line.
+    CleanWb(BlockAddr),
+
+    // ----- directory → L1 probes -----
+    /// Invalidate your shared copy and ack.
+    Inv(BlockAddr),
+    /// Give up ownership entirely (remote write wants M).
+    Recall(BlockAddr),
+    /// Demote ownership to shared (remote read wants S).
+    Downgrade(BlockAddr),
+
+    // ----- L1 → directory probe responses -----
+    /// Shared copy invalidated.
+    InvAck(BlockAddr),
+    /// Ownership surrendered; `dirty` says whether data rode along.
+    RecallAck {
+        /// The recalled block.
+        block: BlockAddr,
+        /// Whether the responder still had (dirty) data to supply.
+        dirty: bool,
+    },
+    /// Ownership demoted to S; `dirty` as in [`Msg::RecallAck`].
+    DowngradeAck {
+        /// The downgraded block.
+        block: BlockAddr,
+        /// Whether the responder supplied data.
+        dirty: bool,
+    },
+
+    // ----- directory → L1 responses -----
+    /// Data with read permission; `exclusive` upgrades the grant to E.
+    DataS {
+        /// The filled block.
+        block: BlockAddr,
+        /// Whether the requester is the sole cacher (E grant).
+        exclusive: bool,
+        /// Where the data came from.
+        class: FillClass,
+    },
+    /// Data with write permission (M).
+    DataM {
+        /// The filled block.
+        block: BlockAddr,
+        /// Where the data came from.
+        class: FillClass,
+    },
+    /// Eviction acknowledged; the writeback-buffer entry may retire.
+    PutAck(BlockAddr),
+}
+
+impl Msg {
+    /// The block this message concerns.
+    pub fn block(&self) -> BlockAddr {
+        match *self {
+            Msg::GetS(b)
+            | Msg::GetM(b)
+            | Msg::PutS(b)
+            | Msg::CleanWb(b)
+            | Msg::Inv(b)
+            | Msg::Recall(b)
+            | Msg::Downgrade(b)
+            | Msg::InvAck(b)
+            | Msg::PutAck(b) => b,
+            Msg::PutM { block, .. }
+            | Msg::RecallAck { block, .. }
+            | Msg::DowngradeAck { block, .. }
+            | Msg::DataS { block, .. }
+            | Msg::DataM { block, .. } => block,
+        }
+    }
+
+    /// True for messages that resolve an in-flight directory transaction
+    /// (they bypass the per-block request queue).
+    pub fn is_txn_reply(&self) -> bool {
+        matches!(
+            self,
+            Msg::InvAck(_) | Msg::RecallAck { .. } | Msg::DowngradeAck { .. }
+        )
+    }
+
+    /// Short mnemonic for traces and stats.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Msg::GetS(_) => "GetS",
+            Msg::GetM(_) => "GetM",
+            Msg::PutS(_) => "PutS",
+            Msg::PutM { .. } => "PutM",
+            Msg::CleanWb(_) => "CleanWb",
+            Msg::Inv(_) => "Inv",
+            Msg::Recall(_) => "Recall",
+            Msg::Downgrade(_) => "Downgrade",
+            Msg::InvAck(_) => "InvAck",
+            Msg::RecallAck { .. } => "RecallAck",
+            Msg::DowngradeAck { .. } => "DowngradeAck",
+            Msg::DataS { .. } => "DataS",
+            Msg::DataM { .. } => "DataM",
+            Msg::PutAck(_) => "PutAck",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_extraction_covers_all_variants() {
+        let b = BlockAddr(42);
+        let msgs = [
+            Msg::GetS(b),
+            Msg::GetM(b),
+            Msg::PutS(b),
+            Msg::PutM { block: b, dirty: true },
+            Msg::CleanWb(b),
+            Msg::Inv(b),
+            Msg::Recall(b),
+            Msg::Downgrade(b),
+            Msg::InvAck(b),
+            Msg::RecallAck { block: b, dirty: false },
+            Msg::DowngradeAck { block: b, dirty: true },
+            Msg::DataS { block: b, exclusive: false, class: FillClass::L2Hit },
+            Msg::DataM { block: b, class: FillClass::DramCold },
+            Msg::PutAck(b),
+        ];
+        for m in msgs {
+            assert_eq!(m.block(), b, "{}", m.mnemonic());
+        }
+    }
+
+    #[test]
+    fn txn_reply_classification() {
+        let b = BlockAddr(1);
+        assert!(Msg::InvAck(b).is_txn_reply());
+        assert!(Msg::RecallAck { block: b, dirty: true }.is_txn_reply());
+        assert!(Msg::DowngradeAck { block: b, dirty: false }.is_txn_reply());
+        assert!(!Msg::GetS(b).is_txn_reply());
+        assert!(!Msg::PutM { block: b, dirty: true }.is_txn_reply());
+        assert!(!Msg::DataM { block: b, class: FillClass::L2Hit }.is_txn_reply());
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let b = BlockAddr(0);
+        let names = [
+            Msg::GetS(b).mnemonic(),
+            Msg::GetM(b).mnemonic(),
+            Msg::PutS(b).mnemonic(),
+            Msg::PutM { block: b, dirty: true }.mnemonic(),
+            Msg::CleanWb(b).mnemonic(),
+            Msg::Inv(b).mnemonic(),
+            Msg::Recall(b).mnemonic(),
+            Msg::Downgrade(b).mnemonic(),
+            Msg::InvAck(b).mnemonic(),
+            Msg::RecallAck { block: b, dirty: true }.mnemonic(),
+            Msg::DowngradeAck { block: b, dirty: true }.mnemonic(),
+            Msg::DataS { block: b, exclusive: true, class: FillClass::L2Hit }.mnemonic(),
+            Msg::DataM { block: b, class: FillClass::L2Hit }.mnemonic(),
+            Msg::PutAck(b).mnemonic(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based fuzzing of the coherence protocol: arbitrary access
+//! interleavings must terminate, settle, and leave every block coherent.
+
+use proptest::prelude::*;
+use tenways_coherence::{sandbox::ProtocolSandbox, AccessKind, ProtocolConfig, SpecMark};
+use tenways_sim::{Addr, CoreId, MachineConfig};
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    core: u16,
+    block: u64,
+    write: bool,
+    /// Step this many cycles before issuing (stretches interleavings).
+    delay: u8,
+}
+
+fn arb_access(cores: u16, blocks: u64) -> impl Strategy<Value = Access> {
+    (0..cores, 0..blocks, any::<bool>(), 0u8..12).prop_map(|(core, block, write, delay)| Access {
+        core,
+        block,
+        write,
+        delay,
+    })
+}
+
+fn machine(cores: usize) -> MachineConfig {
+    // Small L1s force evictions into the mix.
+    MachineConfig::builder().cores(cores).l1(4, 2).build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every interleaving settles and satisfies single-writer /
+    /// multiple-reader with a directory view that covers all cached copies.
+    #[test]
+    fn protocol_is_coherent_under_fuzz(
+        accesses in proptest::collection::vec(arb_access(4, 12), 1..80),
+        mesi in any::<bool>(),
+    ) {
+        let cfg = machine(4);
+        let mut sb = ProtocolSandbox::with_protocol(
+            &cfg,
+            ProtocolConfig { grant_exclusive: mesi, ..ProtocolConfig::default() },
+        );
+        let mut pending = Vec::new();
+        for a in &accesses {
+            for _ in 0..a.delay {
+                sb.step();
+            }
+            let kind = if a.write { AccessKind::Write } else { AccessKind::Read };
+            pending.push(sb.access(CoreId(a.core), kind, Addr(0x1000 + a.block * 64)));
+            // Bound outstanding requests per core below the MSHR count.
+            if pending.len() >= 8 {
+                for req in pending.drain(..) {
+                    sb.run_until_complete(req, 50_000);
+                }
+            }
+        }
+        for req in pending {
+            sb.run_until_complete(req, 50_000);
+        }
+        sb.settle(50_000);
+        for b in 0..12u64 {
+            sb.assert_coherent(sb.block(Addr(0x1000 + b * 64)));
+        }
+    }
+
+    /// Speculation marks never break the protocol: random marks +
+    /// commits/rollbacks interleaved with traffic still settle coherent.
+    #[test]
+    fn spec_marks_do_not_corrupt_protocol(
+        accesses in proptest::collection::vec(arb_access(3, 6), 1..50),
+        actions in proptest::collection::vec(0u8..4, 1..50),
+    ) {
+        let cfg = machine(3);
+        let mut sb = ProtocolSandbox::new(&cfg);
+        for (a, act) in accesses.iter().zip(&actions) {
+            let kind = if a.write { AccessKind::Write } else { AccessKind::Read };
+            let addr = Addr(0x1000 + a.block * 64);
+            sb.access_and_wait(CoreId(a.core), kind, addr);
+            match act {
+                0 => {
+                    let mark = if a.write { SpecMark::Write } else { SpecMark::Read };
+                    let _ = sb.mark_spec(CoreId(a.core), mark, addr);
+                }
+                1 => sb.commit_spec(CoreId(a.core)),
+                2 => {
+                    sb.rollback_spec(CoreId(a.core));
+                }
+                _ => {}
+            }
+        }
+        // Close out any open speculative state.
+        for c in 0..3u16 {
+            sb.rollback_spec(CoreId(c));
+        }
+        sb.settle(50_000);
+        for b in 0..6u64 {
+            sb.assert_coherent(sb.block(Addr(0x1000 + b * 64)));
+        }
+        let _ = sb.take_violations();
+    }
+}

@@ -1,0 +1,590 @@
+//! The fence-speculation policy state machine: [`SpecEngine`].
+
+use serde::{Deserialize, Serialize};
+use tenways_sim::{Cycle, Histogram, StatSet};
+
+/// How aggressively the core speculates past ordering stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpecMode {
+    /// Never speculate — the conventional stalling baseline.
+    Disabled,
+    /// Open an epoch only when an ordering stall would otherwise occur, and
+    /// commit as soon as the drain conditions clear.
+    OnDemand,
+    /// Like on-demand, but keep the epoch open after conditions clear until
+    /// `commit_interval` speculative operations have accumulated —
+    /// decoupling consistency enforcement from the core at the cost of a
+    /// longer violation-exposure window.
+    Continuous,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecConfig {
+    /// Operating mode.
+    pub mode: SpecMode,
+    /// Continuous mode: minimum speculative ops per epoch before an
+    /// eligible commit is taken.
+    pub commit_interval: u64,
+    /// Optional cap on speculative *stores* per epoch. `Some(n)` models a
+    /// per-store-granularity design (ASO-like) whose CAM holds `n` entries:
+    /// when the cap is hit the engine refuses to extend the epoch and the
+    /// core must stall until commit. `None` models block-granularity
+    /// tracking (InvisiFence), which has no such limit.
+    pub max_spec_stores: Option<u64>,
+    /// Maximum speculative ops per epoch. Once reached, further ordering
+    /// stalls are refused (the core stalls until the epoch commits), which
+    /// bounds both the commit horizon and the work lost to a rollback.
+    pub max_epoch_ops: u64,
+    /// Adaptive contention backoff: after each rollback, the next
+    /// `2^consecutive_rollbacks` ordering stalls (capped) execute
+    /// non-speculatively, so sustained conflicts degrade gracefully toward
+    /// the stalling baseline instead of thrashing.
+    pub adaptive_backoff: bool,
+}
+
+impl SpecConfig {
+    /// The conventional baseline (no speculation).
+    pub fn disabled() -> Self {
+        SpecConfig {
+            mode: SpecMode::Disabled,
+            commit_interval: 64,
+            max_spec_stores: None,
+            max_epoch_ops: 128,
+            adaptive_backoff: true,
+        }
+    }
+
+    /// InvisiFence on-demand mode.
+    pub fn on_demand() -> Self {
+        SpecConfig { mode: SpecMode::OnDemand, ..SpecConfig::disabled() }
+    }
+
+    /// InvisiFence continuous mode.
+    pub fn continuous() -> Self {
+        SpecConfig { mode: SpecMode::Continuous, ..SpecConfig::disabled() }
+    }
+
+    /// A per-store-granularity comparator with an `n`-entry store CAM.
+    pub fn per_store(n: u64) -> Self {
+        SpecConfig { max_spec_stores: Some(n), ..SpecConfig::on_demand() }
+    }
+
+    /// Disables the adaptive contention backoff (ablation).
+    pub fn without_adaptive_backoff(mut self) -> Self {
+        self.adaptive_backoff = false;
+        self
+    }
+
+    /// Sets the per-epoch op cap (ablation).
+    pub fn with_max_epoch_ops(mut self, n: u64) -> Self {
+        self.max_epoch_ops = n.max(1);
+        self
+    }
+}
+
+impl Default for SpecConfig {
+    fn default() -> Self {
+        SpecConfig::on_demand()
+    }
+}
+
+/// A condition that must hold before a speculative epoch may commit.
+///
+/// Sequence numbers are the integrating core's global operation sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainCond {
+    /// No store older than `seq` may remain in the store buffer.
+    NoStoresBefore(u64),
+    /// No load older than `seq` may still be outstanding.
+    NoLoadsBefore(u64),
+    /// Operation `seq` itself must have completed.
+    OpDone(u64),
+}
+
+/// How an epoch ended (for stats and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochEnd {
+    /// All conditions satisfied; marks flash-cleared.
+    Committed,
+    /// A conflict or overflow forced a rollback.
+    RolledBack,
+}
+
+/// Adds `cond` to the set, exploiting monotonicity: `NoStoresBefore(s2)`
+/// subsumes `NoStoresBefore(s1)` for `s1 <= s2` (likewise for loads), so at
+/// most one of each `*Before` variant is retained. Keeps long SC epochs at
+/// O(1) conditions instead of O(ops).
+fn push_merged(conditions: &mut Vec<DrainCond>, cond: DrainCond) {
+    match cond {
+        DrainCond::NoStoresBefore(s) => {
+            for c in conditions.iter_mut() {
+                if let DrainCond::NoStoresBefore(old) = c {
+                    *old = (*old).max(s);
+                    return;
+                }
+            }
+            conditions.push(cond);
+        }
+        DrainCond::NoLoadsBefore(s) => {
+            for c in conditions.iter_mut() {
+                if let DrainCond::NoLoadsBefore(old) = c {
+                    *old = (*old).max(s);
+                    return;
+                }
+            }
+            conditions.push(cond);
+        }
+        DrainCond::OpDone(_) => conditions.push(cond),
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Idle,
+    Active {
+        start_seq: u64,
+        started_at: Cycle,
+        conditions: Vec<DrainCond>,
+        spec_ops: u64,
+        spec_stores: u64,
+    },
+}
+
+/// The post-retirement speculation policy state machine.
+///
+/// The integrating core drives it with five calls:
+///
+/// 1. [`request_speculation`](Self::request_speculation) when an op would
+///    stall for ordering — `true` means "proceed speculatively".
+/// 2. [`note_spec_op`](Self::note_spec_op) /
+///    [`note_spec_store`](Self::note_spec_store) as speculative ops retire.
+/// 3. [`try_commit`](Self::try_commit) each cycle with a condition checker.
+/// 4. [`on_violation`](Self::on_violation) when the L1 reports a conflict —
+///    `true` means the core must roll back to the epoch's checkpoint.
+/// 5. [`backoff_cleared`](Self::backoff_cleared) after the re-executed
+///    ordering point completes non-speculatively.
+#[derive(Debug)]
+pub struct SpecEngine {
+    config: SpecConfig,
+    state: State,
+    /// After a rollback, refuse to speculate until the offending ordering
+    /// point has been executed non-speculatively (forward progress).
+    backoff: bool,
+    /// Consecutive rollbacks without an intervening commit.
+    consec_rollbacks: u32,
+    /// Remaining ordering stalls to serve non-speculatively (adaptive
+    /// contention backoff).
+    suppressed_stalls: u64,
+    /// Rollbacks and commits in the current sampling window.
+    window_rollbacks: u32,
+    window_commits: u32,
+    /// Escalation level of the rate throttle (suppression grows 4x per
+    /// consecutive hostile window, decays on clean windows).
+    throttle_level: u32,
+    stats: StatSet,
+    depth_hist: Histogram,
+    epoch_cycles_hist: Histogram,
+}
+
+impl SpecEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SpecConfig) -> Self {
+        SpecEngine {
+            config,
+            state: State::Idle,
+            backoff: false,
+            consec_rollbacks: 0,
+            suppressed_stalls: 0,
+            window_rollbacks: 0,
+            window_commits: 0,
+            throttle_level: 0,
+            stats: StatSet::new(),
+            depth_hist: Histogram::new(256, 1),
+            epoch_cycles_hist: Histogram::new(256, 8),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> SpecConfig {
+        self.config
+    }
+
+    /// Whether a speculative epoch is open.
+    pub fn speculating(&self) -> bool {
+        matches!(self.state, State::Active { .. })
+    }
+
+    /// First speculative sequence number of the open epoch, if any.
+    pub fn epoch_start(&self) -> Option<u64> {
+        match &self.state {
+            State::Idle => None,
+            State::Active { start_seq, .. } => Some(*start_seq),
+        }
+    }
+
+    /// Whether the engine is in post-rollback backoff (must not speculate).
+    pub fn in_backoff(&self) -> bool {
+        self.backoff
+    }
+
+    /// An op at `seq` would stall on `cond`. Returns `true` if the core
+    /// should bypass the stall speculatively. Opens an epoch (checkpoint!)
+    /// if none is active; extends the active epoch otherwise.
+    ///
+    /// Returns `false` when speculation is disabled, the engine is in
+    /// backoff, or a per-store cap has been exhausted.
+    pub fn request_speculation(&mut self, now: Cycle, seq: u64, cond: DrainCond) -> bool {
+        if self.config.mode == SpecMode::Disabled {
+            return false;
+        }
+        match &mut self.state {
+            State::Active { conditions, spec_stores, spec_ops, .. } => {
+                if let Some(cap) = self.config.max_spec_stores {
+                    if *spec_stores >= cap {
+                        self.stats.bump("spec.cap_refusals");
+                        return false;
+                    }
+                }
+                if *spec_ops >= self.config.max_epoch_ops {
+                    // Epoch at capacity: bound the commit horizon (and the
+                    // damage a rollback can do) by refusing the extension.
+                    self.stats.bump("spec.epoch_cap_refusals");
+                    return false;
+                }
+                push_merged(conditions, cond);
+                self.stats.bump("spec.epoch_extensions");
+                true
+            }
+            State::Idle => {
+                if self.backoff {
+                    self.stats.bump("spec.backoff_refusals");
+                    return false;
+                }
+                if self.suppressed_stalls > 0 {
+                    self.suppressed_stalls -= 1;
+                    self.stats.bump("spec.adaptive_refusals");
+                    return false;
+                }
+                self.state = State::Active {
+                    start_seq: seq,
+                    started_at: now,
+                    conditions: vec![cond],
+                    spec_ops: 0,
+                    spec_stores: 0,
+                };
+                self.stats.bump("spec.epochs");
+                true
+            }
+        }
+    }
+
+    /// Records a speculative operation retiring under the open epoch.
+    pub fn note_spec_op(&mut self) {
+        if let State::Active { spec_ops, .. } = &mut self.state {
+            *spec_ops += 1;
+        }
+    }
+
+    /// Records a speculative store. Returns `false` if this store exceeds a
+    /// per-store cap — the core must hold the store (stall) until commit.
+    pub fn note_spec_store(&mut self) -> bool {
+        if let State::Active { spec_stores, .. } = &mut self.state {
+            if let Some(cap) = self.config.max_spec_stores {
+                if *spec_stores >= cap {
+                    self.stats.bump("spec.store_cap_stalls");
+                    return false;
+                }
+            }
+            *spec_stores += 1;
+        }
+        true
+    }
+
+    /// Attempts to commit the open epoch: `check` must report whether each
+    /// drain condition currently holds. Returns `true` on commit (the core
+    /// must then flash-clear its L1 marks and drop the checkpoint).
+    ///
+    /// Continuous mode defers an eligible commit until the epoch has
+    /// accumulated `commit_interval` speculative ops.
+    pub fn try_commit(&mut self, now: Cycle, check: &mut dyn FnMut(&DrainCond) -> bool) -> bool {
+        let State::Active { conditions, spec_ops, started_at, .. } = &mut self.state else {
+            return false;
+        };
+        conditions.retain(|c| !check(c));
+        if !conditions.is_empty() {
+            return false;
+        }
+        if self.config.mode == SpecMode::Continuous && *spec_ops < self.config.commit_interval {
+            return false;
+        }
+        let depth = *spec_ops;
+        let lived = now - *started_at;
+        self.state = State::Idle;
+        self.consec_rollbacks = 0;
+        self.window_commits += 1;
+        self.update_rate_throttle();
+        self.stats.bump("spec.commits");
+        self.stats.bump_by("spec.committed_ops", depth);
+        self.depth_hist.record(depth);
+        self.epoch_cycles_hist.record(lived);
+        true
+    }
+
+    /// A conflict (or marked-line eviction) was reported. Returns `true` if
+    /// an epoch was active — the core must roll back to its checkpoint and
+    /// re-execute the ordering point non-speculatively (backoff engaged).
+    pub fn on_violation(&mut self, now: Cycle) -> bool {
+        let State::Active { spec_ops, started_at, .. } = &self.state else {
+            // Violation raced with a commit that already cleared the marks;
+            // nothing to roll back.
+            self.stats.bump("spec.stale_violations");
+            return false;
+        };
+        let wasted_ops = *spec_ops;
+        let wasted_cycles = now - *started_at;
+        self.state = State::Idle;
+        self.backoff = true;
+        if self.config.adaptive_backoff {
+            self.consec_rollbacks = (self.consec_rollbacks + 1).min(8);
+            self.suppressed_stalls = self.suppressed_stalls.max(1u64 << self.consec_rollbacks);
+            self.window_rollbacks += 1;
+            self.update_rate_throttle();
+        }
+        self.stats.bump("spec.rollbacks");
+        self.stats.bump_by("spec.wasted_ops", wasted_ops);
+        self.stats.bump_by("spec.wasted_cycles", wasted_cycles);
+        true
+    }
+
+    /// Windowed rollback-rate throttle: when more than a third of the last
+    /// 32 epochs rolled back, speculation is clearly losing — serve a long
+    /// stretch of stalls non-speculatively, then re-probe. This is what
+    /// makes pathologically conflicting phases degrade to the stalling
+    /// baseline instead of thrashing ("do no harm").
+    fn update_rate_throttle(&mut self) {
+        if !self.config.adaptive_backoff {
+            return;
+        }
+        let total = self.window_rollbacks + self.window_commits;
+        if total < 32 {
+            return;
+        }
+        if self.window_rollbacks * 3 >= total {
+            self.throttle_level = (self.throttle_level + 1).min(8);
+            self.suppressed_stalls = self
+                .suppressed_stalls
+                .max(1024u64 << (2 * self.throttle_level).min(16));
+            self.stats.bump("spec.rate_throttles");
+        } else {
+            self.throttle_level = self.throttle_level.saturating_sub(1);
+        }
+        self.window_rollbacks = 0;
+        self.window_commits = 0;
+    }
+
+    /// The re-executed ordering point completed non-speculatively; normal
+    /// speculation may resume.
+    pub fn backoff_cleared(&mut self) {
+        if self.backoff {
+            self.backoff = false;
+            self.stats.bump("spec.backoffs_cleared");
+        }
+    }
+
+    /// Aborts any open epoch at end of simulation (counted separately).
+    pub fn drain_at_end(&mut self) {
+        if self.speculating() {
+            self.state = State::Idle;
+            self.stats.bump("spec.epochs_open_at_end");
+        }
+    }
+
+    /// Engine statistics (epochs, commits, rollbacks, wasted work, ...).
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Distribution of committed-epoch depths (speculative ops per epoch).
+    pub fn depth_histogram(&self) -> &Histogram {
+        &self.depth_hist
+    }
+
+    /// Distribution of committed-epoch lifetimes in cycles.
+    pub fn epoch_cycles_histogram(&self) -> &Histogram {
+        &self.epoch_cycles_hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cy(c: u64) -> Cycle {
+        Cycle::new(c)
+    }
+
+    #[test]
+    fn disabled_never_speculates() {
+        let mut e = SpecEngine::new(SpecConfig::disabled());
+        assert!(!e.request_speculation(cy(0), 1, DrainCond::NoStoresBefore(1)));
+        assert!(!e.speculating());
+    }
+
+    #[test]
+    fn on_demand_epoch_lifecycle() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand());
+        assert!(e.request_speculation(cy(10), 5, DrainCond::NoStoresBefore(5)));
+        assert!(e.speculating());
+        assert_eq!(e.epoch_start(), Some(5));
+        e.note_spec_op();
+        e.note_spec_op();
+        // Condition not yet met: no commit.
+        assert!(!e.try_commit(cy(20), &mut |_| false));
+        assert!(e.speculating());
+        // Condition met: commit.
+        assert!(e.try_commit(cy(30), &mut |_| true));
+        assert!(!e.speculating());
+        assert_eq!(e.stats().get("spec.commits"), 1);
+        assert_eq!(e.stats().get("spec.committed_ops"), 2);
+        assert_eq!(e.depth_histogram().count(), 1);
+    }
+
+    #[test]
+    fn nested_stalls_extend_the_epoch() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand());
+        assert!(e.request_speculation(cy(0), 5, DrainCond::NoStoresBefore(5)));
+        assert!(e.request_speculation(cy(5), 9, DrainCond::OpDone(9)));
+        assert_eq!(e.epoch_start(), Some(5), "epoch start is the first stall");
+        // Only one condition satisfied: stay speculative.
+        let mut only_first = |c: &DrainCond| matches!(c, DrainCond::NoStoresBefore(_));
+        assert!(!e.try_commit(cy(10), &mut only_first));
+        // Satisfied conditions are retained as cleared: now clear the rest.
+        assert!(e.try_commit(cy(12), &mut |_| true));
+        assert_eq!(e.stats().get("spec.epoch_extensions"), 1);
+    }
+
+    #[test]
+    fn violation_rolls_back_and_engages_backoff() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand().without_adaptive_backoff());
+        assert!(e.request_speculation(cy(0), 1, DrainCond::NoLoadsBefore(1)));
+        e.note_spec_op();
+        assert!(e.on_violation(cy(50)));
+        assert!(!e.speculating());
+        assert!(e.in_backoff());
+        assert_eq!(e.stats().get("spec.rollbacks"), 1);
+        assert_eq!(e.stats().get("spec.wasted_ops"), 1);
+        assert_eq!(e.stats().get("spec.wasted_cycles"), 50);
+        // Backoff refuses new epochs until cleared.
+        assert!(!e.request_speculation(cy(60), 7, DrainCond::OpDone(7)));
+        e.backoff_cleared();
+        assert!(e.request_speculation(cy(70), 9, DrainCond::OpDone(9)));
+    }
+
+    #[test]
+    fn violation_without_epoch_is_stale() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand());
+        assert!(!e.on_violation(cy(5)));
+        assert_eq!(e.stats().get("spec.stale_violations"), 1);
+        assert!(!e.in_backoff());
+    }
+
+    #[test]
+    fn continuous_mode_defers_commit() {
+        let mut e = SpecEngine::new(SpecConfig {
+            mode: SpecMode::Continuous,
+            commit_interval: 4,
+            ..SpecConfig::continuous()
+        });
+        assert!(e.request_speculation(cy(0), 1, DrainCond::OpDone(1)));
+        e.note_spec_op();
+        // Conditions clear but interval not reached: stays open.
+        assert!(!e.try_commit(cy(10), &mut |_| true));
+        for _ in 0..3 {
+            e.note_spec_op();
+        }
+        assert!(e.try_commit(cy(20), &mut |_| true));
+    }
+
+    #[test]
+    fn per_store_cap_limits_epoch() {
+        let mut e = SpecEngine::new(SpecConfig::per_store(2));
+        assert!(e.request_speculation(cy(0), 1, DrainCond::OpDone(1)));
+        assert!(e.note_spec_store());
+        assert!(e.note_spec_store());
+        assert!(!e.note_spec_store(), "third store exceeds the CAM");
+        assert_eq!(e.stats().get("spec.store_cap_stalls"), 1);
+        // Extending the epoch via a new stall is also refused at the cap.
+        assert!(!e.request_speculation(cy(5), 9, DrainCond::OpDone(9)));
+        assert_eq!(e.stats().get("spec.cap_refusals"), 1);
+    }
+
+    #[test]
+    fn commit_checks_conditions_incrementally() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand());
+        assert!(e.request_speculation(cy(0), 1, DrainCond::NoStoresBefore(1)));
+        assert!(e.request_speculation(cy(1), 2, DrainCond::NoLoadsBefore(2)));
+        let mut calls = 0;
+        let mut check = |_: &DrainCond| {
+            calls += 1;
+            false
+        };
+        assert!(!e.try_commit(cy(2), &mut check));
+        assert_eq!(calls, 2, "both conditions polled");
+    }
+
+    #[test]
+    fn drain_at_end_closes_epoch() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand());
+        assert!(e.request_speculation(cy(0), 1, DrainCond::OpDone(1)));
+        e.drain_at_end();
+        assert!(!e.speculating());
+        assert_eq!(e.stats().get("spec.epochs_open_at_end"), 1);
+    }
+
+    #[test]
+    fn adaptive_backoff_suppresses_stalls_exponentially() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand());
+        // First rollback: suppress 2 stalls.
+        assert!(e.request_speculation(cy(0), 1, DrainCond::OpDone(1)));
+        assert!(e.on_violation(cy(1)));
+        e.backoff_cleared();
+        assert!(!e.request_speculation(cy(2), 5, DrainCond::OpDone(5)));
+        assert!(!e.request_speculation(cy(3), 6, DrainCond::OpDone(6)));
+        assert!(e.request_speculation(cy(4), 7, DrainCond::OpDone(7)));
+        // Second consecutive rollback: suppress 4.
+        assert!(e.on_violation(cy(5)));
+        e.backoff_cleared();
+        for seq in 10..14 {
+            assert!(!e.request_speculation(cy(6), seq, DrainCond::OpDone(seq)));
+        }
+        assert!(e.request_speculation(cy(7), 20, DrainCond::OpDone(20)));
+        // A commit resets the streak.
+        assert!(e.try_commit(cy(8), &mut |_| true));
+        assert!(!e.on_violation(cy(9)), "idle: stale");
+        assert_eq!(e.stats().get("spec.adaptive_refusals"), 6);
+    }
+
+    #[test]
+    fn epoch_op_cap_refuses_extensions() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand().with_max_epoch_ops(3));
+        assert!(e.request_speculation(cy(0), 1, DrainCond::OpDone(1)));
+        for _ in 0..3 {
+            e.note_spec_op();
+        }
+        assert!(!e.request_speculation(cy(1), 9, DrainCond::OpDone(9)));
+        assert_eq!(e.stats().get("spec.epoch_cap_refusals"), 1);
+        // Commit, then a fresh epoch is allowed again.
+        assert!(e.try_commit(cy(2), &mut |_| true));
+        assert!(e.request_speculation(cy(3), 10, DrainCond::OpDone(10)));
+    }
+
+    #[test]
+    fn epoch_cycle_histogram_records_lifetime() {
+        let mut e = SpecEngine::new(SpecConfig::on_demand());
+        assert!(e.request_speculation(cy(100), 1, DrainCond::OpDone(1)));
+        assert!(e.try_commit(cy(180), &mut |_| true));
+        assert_eq!(e.epoch_cycles_histogram().count(), 1);
+        assert_eq!(e.epoch_cycles_histogram().max(), 80);
+    }
+}

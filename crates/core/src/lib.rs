@@ -1,0 +1,61 @@
+//! The paper's primary contribution: **performance-transparent memory
+//! ordering via post-retirement fence speculation** ("InvisiFence-style").
+//!
+//! A conventional core enforces its memory consistency model by *stalling*:
+//! at a fence (or an atomic under TSO, or every memory operation under SC)
+//! the pipeline waits until older stores have drained and older loads have
+//! completed. This crate implements the alternative the calibration bands
+//! point at: instead of stalling, the core **checkpoints and speculates
+//! past the ordering point**, tracking its speculative footprint at *block
+//! granularity* in the L1 (two bits per line — storage independent of
+//! speculation depth), and
+//!
+//! * **commits** by flash-clearing the bits once the original drain
+//!   condition has been satisfied — no global arbitration, or
+//! * **rolls back** when the coherence protocol reports a conflicting
+//!   remote access (invalidation / downgrade) or a marked line is evicted,
+//!   after which the offending ordering point is re-executed
+//!   non-speculatively once (the forward-progress backoff).
+//!
+//! The crate is deliberately independent of any particular core
+//! microarchitecture: [`SpecEngine`] is a policy state machine driven by
+//! the integrating core (crate `tenways-cpu`) through a small vocabulary of
+//! [`DrainCond`] conditions. This keeps the mechanism testable in isolation
+//! and reusable over different pipeline models.
+//!
+//! Three operating points are provided (the evaluation's F4/F6 ablations):
+//!
+//! * [`SpecMode::Disabled`] — the conventional stalling baseline;
+//! * [`SpecMode::OnDemand`] — speculate only when a stall would occur;
+//! * [`SpecMode::Continuous`] — keep epochs open past the commit point to
+//!   decouple consistency from the core entirely (higher violation
+//!   exposure, fewer commits).
+//!
+//! [`storage`] models the hardware cost: the block-granularity design's
+//! fixed ~1 KB versus per-store CAM designs whose state grows linearly with
+//! speculation depth.
+//!
+//! # Example
+//!
+//! ```rust
+//! use tenways_core::{DrainCond, SpecConfig, SpecEngine, SpecMode};
+//! use tenways_sim::Cycle;
+//!
+//! let mut eng = SpecEngine::new(SpecConfig::on_demand());
+//! // A fence at op 17 would stall until stores before it drain:
+//! let go = eng.request_speculation(Cycle::new(100), 17, DrainCond::NoStoresBefore(17));
+//! assert!(go, "on-demand mode speculates past the stall");
+//! assert!(eng.speculating());
+//! // Later, the stores drained — every condition is satisfied:
+//! let committed = eng.try_commit(Cycle::new(140), &mut |_c| true);
+//! assert!(committed);
+//! assert!(!eng.speculating());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod storage;
+
+pub use engine::{DrainCond, EpochEnd, SpecConfig, SpecEngine, SpecMode};

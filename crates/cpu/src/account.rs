@@ -1,0 +1,125 @@
+//! Per-cycle stall attribution: the bucket vocabulary of the waste
+//! taxonomy.
+//!
+//! Every core cycle is charged to exactly one bucket (memory waits are
+//! charged retroactively when the blocking operation completes and its
+//! fill class is known). Bucket names are `&'static str` so they flow
+//! through [`tenways_sim::StatSet`] without allocation.
+
+use tenways_coherence::FillClass;
+
+use crate::op::MemTag;
+
+/// Bucket: the core retired at least one operation this cycle.
+pub const BUSY: &str = "cyc.busy";
+/// Bucket: pipeline stalled on pure compute latency at the ROB head.
+pub const COMPUTE: &str = "cyc.compute";
+/// Bucket: the thread finished; the core idles.
+pub const IDLE_DONE: &str = "cyc.idle_done";
+/// Bucket: ROB capacity exhausted.
+pub const ROB_FULL: &str = "cyc.stall.rob_full";
+/// Bucket: no free MSHR for a new miss.
+pub const MSHR_FULL: &str = "cyc.stall.mshr_full";
+/// Bucket: a speculative-store capacity cap blocked retirement (per-store
+/// comparator designs only).
+pub const SPEC_CAP: &str = "cyc.stall.spec_cap";
+/// Bucket: a load or atomic waiting on an older in-flight same-address
+/// operation from this core (a true data dependence, never speculated).
+pub const SAME_ADDR_DEP: &str = "cyc.stall.same_addr";
+/// Bucket: unclassified (should stay near zero; a sanity check).
+pub const OTHER: &str = "cyc.other";
+
+/// The reason an operation could not issue this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// SC's every-op serialization.
+    ScOrder,
+    /// An honored explicit fence.
+    Fence,
+    /// An atomic's implicit full-fence semantics (TSO).
+    Atomic,
+    /// Store buffer full at retirement.
+    SbFull,
+}
+
+/// Bucket for an ordering/capacity stall, refined by the op's tag.
+pub fn stall_bucket(kind: StallKind, tag: MemTag) -> &'static str {
+    match (kind, tag) {
+        (StallKind::ScOrder, MemTag::Data) => "cyc.stall.sc.data",
+        (StallKind::ScOrder, MemTag::Lock) => "cyc.stall.sc.lock",
+        (StallKind::ScOrder, MemTag::Barrier) => "cyc.stall.sc.barrier",
+        (StallKind::Fence, MemTag::Data) => "cyc.stall.fence.data",
+        (StallKind::Fence, MemTag::Lock) => "cyc.stall.fence.lock",
+        (StallKind::Fence, MemTag::Barrier) => "cyc.stall.fence.barrier",
+        (StallKind::Atomic, MemTag::Data) => "cyc.stall.atomic.data",
+        (StallKind::Atomic, MemTag::Lock) => "cyc.stall.atomic.lock",
+        (StallKind::Atomic, MemTag::Barrier) => "cyc.stall.atomic.barrier",
+        (StallKind::SbFull, MemTag::Data) => "cyc.stall.sb_full.data",
+        (StallKind::SbFull, MemTag::Lock) => "cyc.stall.sb_full.lock",
+        (StallKind::SbFull, MemTag::Barrier) => "cyc.stall.sb_full.barrier",
+    }
+}
+
+/// Bucket for cycles spent waiting on a memory operation, refined by tag
+/// and by where the data ultimately came from.
+pub fn mem_bucket(tag: MemTag, class: FillClass) -> &'static str {
+    match (tag, class) {
+        (MemTag::Data, FillClass::L1Hit) => "cyc.mem.data.l1",
+        (MemTag::Data, FillClass::L2Hit) => "cyc.mem.data.l2",
+        (MemTag::Data, FillClass::DramCold) => "cyc.mem.data.cold",
+        (MemTag::Data, FillClass::DramCapacity) => "cyc.mem.data.capacity",
+        (MemTag::Data, FillClass::Coherence) => "cyc.mem.data.coherence",
+        (MemTag::Lock, FillClass::L1Hit) => "cyc.mem.lock.l1",
+        (MemTag::Lock, FillClass::L2Hit) => "cyc.mem.lock.l2",
+        (MemTag::Lock, FillClass::DramCold) => "cyc.mem.lock.cold",
+        (MemTag::Lock, FillClass::DramCapacity) => "cyc.mem.lock.capacity",
+        (MemTag::Lock, FillClass::Coherence) => "cyc.mem.lock.coherence",
+        (MemTag::Barrier, FillClass::L1Hit) => "cyc.mem.barrier.l1",
+        (MemTag::Barrier, FillClass::L2Hit) => "cyc.mem.barrier.l2",
+        (MemTag::Barrier, FillClass::DramCold) => "cyc.mem.barrier.cold",
+        (MemTag::Barrier, FillClass::DramCapacity) => "cyc.mem.barrier.capacity",
+        (MemTag::Barrier, FillClass::Coherence) => "cyc.mem.barrier.coherence",
+    }
+}
+
+/// Bucket for memory waits whose completion never arrived before the run
+/// ended (should be tiny).
+pub const MEM_UNRESOLVED: &str = "cyc.mem.unresolved";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bucket_name_is_distinct() {
+        let mut names =
+            vec![BUSY, COMPUTE, IDLE_DONE, ROB_FULL, MSHR_FULL, SPEC_CAP, SAME_ADDR_DEP, OTHER, MEM_UNRESOLVED];
+        for kind in [StallKind::ScOrder, StallKind::Fence, StallKind::Atomic, StallKind::SbFull] {
+            for tag in [MemTag::Data, MemTag::Lock, MemTag::Barrier] {
+                names.push(stall_bucket(kind, tag));
+            }
+        }
+        for tag in [MemTag::Data, MemTag::Lock, MemTag::Barrier] {
+            for class in [
+                FillClass::L1Hit,
+                FillClass::L2Hit,
+                FillClass::DramCold,
+                FillClass::DramCapacity,
+                FillClass::Coherence,
+            ] {
+                names.push(mem_bucket(tag, class));
+            }
+        }
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate bucket names");
+    }
+
+    #[test]
+    fn buckets_share_the_cyc_prefix() {
+        assert!(stall_bucket(StallKind::Fence, MemTag::Lock).starts_with("cyc."));
+        assert!(mem_bucket(MemTag::Data, FillClass::DramCold).starts_with("cyc."));
+        assert!(BUSY.starts_with("cyc."));
+    }
+}

@@ -1,0 +1,140 @@
+//! The functional value layer: [`ArchMem`] and per-core speculative
+//! overlays ([`SpecOverlay`]).
+//!
+//! Timing and values are decoupled in tenways: the coherence protocol
+//! moves *addresses* with realistic timing, while program-visible values
+//! live in one flat architectural memory updated at operation completion
+//! times. Speculative epochs buffer their writes in a per-core overlay that
+//! is flushed on commit and discarded on rollback; coherence-conflict
+//! detection guarantees at most one speculative writer survives per block.
+
+use std::collections::BTreeMap;
+
+use tenways_sim::Addr;
+
+/// The shared, flat architectural memory (word-granular; unwritten
+/// locations read as zero).
+#[derive(Debug, Clone, Default)]
+pub struct ArchMem {
+    words: BTreeMap<u64, u64>,
+}
+
+impl ArchMem {
+    /// Creates zero-initialized memory.
+    pub fn new() -> Self {
+        ArchMem::default()
+    }
+
+    /// Reads the word at `addr` (0 if never written).
+    pub fn read(&self, addr: Addr) -> u64 {
+        self.words.get(&addr.0).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        self.words.insert(addr.0, value);
+    }
+
+    /// Number of distinct words ever written.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// A speculative epoch's private write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct SpecOverlay {
+    words: BTreeMap<u64, u64>,
+}
+
+impl SpecOverlay {
+    /// Creates an empty overlay.
+    pub fn new() -> Self {
+        SpecOverlay::default()
+    }
+
+    /// Reads a speculatively written word, if present.
+    pub fn read(&self, addr: Addr) -> Option<u64> {
+        self.words.get(&addr.0).copied()
+    }
+
+    /// Buffers a speculative write.
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        self.words.insert(addr.0, value);
+    }
+
+    /// Commit: apply every buffered write to `mem` and clear.
+    pub fn flush_into(&mut self, mem: &mut ArchMem) {
+        for (a, v) in std::mem::take(&mut self.words) {
+            mem.write(Addr(a), v);
+        }
+    }
+
+    /// Rollback: discard everything.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Whether any write is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of buffered words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archmem_zero_default() {
+        let m = ArchMem::new();
+        assert_eq!(m.read(Addr(0x100)), 0);
+    }
+
+    #[test]
+    fn archmem_read_write() {
+        let mut m = ArchMem::new();
+        m.write(Addr(8), 99);
+        assert_eq!(m.read(Addr(8)), 99);
+        assert_eq!(m.read(Addr(16)), 0);
+        assert_eq!(m.footprint_words(), 1);
+    }
+
+    #[test]
+    fn overlay_shadows_and_flushes() {
+        let mut m = ArchMem::new();
+        m.write(Addr(8), 1);
+        let mut o = SpecOverlay::new();
+        assert_eq!(o.read(Addr(8)), None);
+        o.write(Addr(8), 2);
+        assert_eq!(o.read(Addr(8)), Some(2));
+        assert_eq!(m.read(Addr(8)), 1, "arch mem untouched until commit");
+        o.flush_into(&mut m);
+        assert_eq!(m.read(Addr(8)), 2);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn overlay_clear_discards() {
+        let mut m = ArchMem::new();
+        let mut o = SpecOverlay::new();
+        o.write(Addr(0), 5);
+        o.clear();
+        o.flush_into(&mut m);
+        assert_eq!(m.read(Addr(0)), 0);
+    }
+
+    #[test]
+    fn overlay_len_tracks_distinct_addrs() {
+        let mut o = SpecOverlay::new();
+        o.write(Addr(0), 1);
+        o.write(Addr(0), 2);
+        o.write(Addr(8), 3);
+        assert_eq!(o.len(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Memory consistency models: [`ConsistencyModel`].
+//!
+//! The enforcement rules themselves live in the core's issue logic; this
+//! module defines the model vocabulary and the per-model semantic
+//! predicates the core consults.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::FenceKind;
+
+/// The consistency model a core enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConsistencyModel {
+    /// Sequential consistency: every memory operation waits for all older
+    /// memory operations to be globally performed.
+    Sc,
+    /// Total store order (x86-like): loads issue freely past buffered
+    /// stores, stores drain in order, atomics serialize (drain the store
+    /// buffer and block younger memory operations), and only explicit full
+    /// fences have an effect.
+    Tso,
+    /// Relaxed memory order (weakly ordered): loads and stores are freely
+    /// reordered; ordering comes only from explicit acquire / release /
+    /// full fences. Atomics carry no implicit ordering.
+    Rmo,
+}
+
+impl ConsistencyModel {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsistencyModel::Sc => "SC",
+            ConsistencyModel::Tso => "TSO",
+            ConsistencyModel::Rmo => "RMO",
+        }
+    }
+
+    /// All models, strongest first.
+    pub fn all() -> [ConsistencyModel; 3] {
+        [ConsistencyModel::Sc, ConsistencyModel::Tso, ConsistencyModel::Rmo]
+    }
+
+    /// Whether an explicit fence of `kind` imposes any ordering the model
+    /// does not already guarantee (a "no-op fence" completes immediately).
+    pub fn honors_fence(self, kind: FenceKind) -> bool {
+        match self {
+            // SC orders everything already.
+            ConsistencyModel::Sc => false,
+            // TSO already provides acquire/release; only StoreLoad (full)
+            // fences do anything.
+            ConsistencyModel::Tso => kind == FenceKind::Full,
+            ConsistencyModel::Rmo => true,
+        }
+    }
+
+    /// Whether every memory operation must wait for all older memory
+    /// operations (the SC rule).
+    pub fn serializes_memory(self) -> bool {
+        self == ConsistencyModel::Sc
+    }
+
+    /// Whether atomics act as full fences (drain the store buffer, block
+    /// younger memory operations until they complete).
+    pub fn atomics_fence(self) -> bool {
+        self == ConsistencyModel::Tso
+    }
+}
+
+impl std::fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ConsistencyModel::Sc.label(), "SC");
+        assert_eq!(ConsistencyModel::Tso.to_string(), "TSO");
+        assert_eq!(ConsistencyModel::Rmo.label(), "RMO");
+    }
+
+    #[test]
+    fn fence_semantics_by_model() {
+        use FenceKind::*;
+        assert!(!ConsistencyModel::Sc.honors_fence(Full));
+        assert!(ConsistencyModel::Tso.honors_fence(Full));
+        assert!(!ConsistencyModel::Tso.honors_fence(Acquire));
+        assert!(!ConsistencyModel::Tso.honors_fence(Release));
+        assert!(ConsistencyModel::Rmo.honors_fence(Acquire));
+        assert!(ConsistencyModel::Rmo.honors_fence(Release));
+        assert!(ConsistencyModel::Rmo.honors_fence(Full));
+    }
+
+    #[test]
+    fn strength_predicates() {
+        assert!(ConsistencyModel::Sc.serializes_memory());
+        assert!(!ConsistencyModel::Tso.serializes_memory());
+        assert!(ConsistencyModel::Tso.atomics_fence());
+        assert!(!ConsistencyModel::Rmo.atomics_fence());
+    }
+}

@@ -1,0 +1,54 @@
+//! The tenways core model: an in-order-issue / out-of-order-completion
+//! multicore with SC / TSO / RMO consistency enforcement, reactive
+//! thread programs, fence speculation, and per-cycle waste accounting.
+//!
+//! Layering:
+//!
+//! * [`op`] — the instruction vocabulary and the [`ThreadProgram`]
+//!   interface workloads implement.
+//! * [`archmem`] — the functional value layer (timing and values are
+//!   decoupled; see the module docs).
+//! * [`consistency`] — the three memory models and their semantic
+//!   predicates.
+//! * `core` (re-exported as [`Core`]) — the pipeline: ROB, store buffer, enforcement rules, and the
+//!   integration of [`tenways_core::SpecEngine`] (checkpoint, commit,
+//!   rollback, backoff).
+//! * [`account`] — the per-cycle stall-attribution buckets that feed the
+//!   waste taxonomy.
+//! * [`machine`] — the assembled simulator: cores + L1s + directory +
+//!   fabric + memory.
+//!
+//! # Example
+//!
+//! ```rust
+//! use tenways_cpu::{ConsistencyModel, Machine, MachineSpec, Op, ScriptProgram};
+//! use tenways_sim::{Addr, MachineConfig};
+//!
+//! let cfg = MachineConfig::builder().cores(2).build().unwrap();
+//! let spec = MachineSpec::baseline(ConsistencyModel::Tso).with_machine(cfg);
+//! let programs: Vec<Box<dyn tenways_cpu::ThreadProgram>> = vec![
+//!     Box::new(ScriptProgram::new(vec![Op::store(Addr(0x100), 7)])),
+//!     Box::new(ScriptProgram::new(vec![Op::load(Addr(0x100))])),
+//! ];
+//! let mut machine = Machine::new(&spec, programs);
+//! let summary = machine.run(100_000);
+//! assert!(summary.finished);
+//! assert_eq!(machine.mem().read(Addr(0x100)), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod archmem;
+pub mod consistency;
+mod core;
+pub mod machine;
+pub mod op;
+
+pub use crate::core::Core;
+pub use archmem::{ArchMem, SpecOverlay};
+pub use consistency::ConsistencyModel;
+pub use machine::{Machine, MachineSpec, RunSummary};
+pub use op::{FenceKind, MemTag, Op, RmwOp, ScriptProgram, ThreadProgram};
+pub use tenways_core::{DrainCond, SpecConfig, SpecEngine, SpecMode};

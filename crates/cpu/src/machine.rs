@@ -1,0 +1,237 @@
+//! Whole-machine assembly: [`Machine`] wires cores, L1s, directory banks,
+//! the fabric and the functional memory into one steppable simulator.
+
+use tenways_coherence::{DirectoryBank, L1Controller, ProtocolConfig};
+use tenways_core::SpecConfig;
+use tenways_noc::Fabric;
+use tenways_sim::{Clock, CoreId, Cycle, Histogram, MachineConfig, StatSet};
+
+use crate::archmem::ArchMem;
+use crate::consistency::ConsistencyModel;
+use crate::core::Core;
+use crate::op::ThreadProgram;
+
+type CoherenceMsg = tenways_coherence::Msg;
+
+/// Everything that defines a run besides the workload itself.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Hardware description.
+    pub machine: MachineConfig,
+    /// Consistency model all cores enforce.
+    pub model: ConsistencyModel,
+    /// Fence-speculation configuration.
+    pub spec: SpecConfig,
+    /// Coherence protocol options.
+    pub protocol: ProtocolConfig,
+}
+
+impl MachineSpec {
+    /// A spec with default hardware, the given model, and no speculation.
+    pub fn baseline(model: ConsistencyModel) -> Self {
+        MachineSpec {
+            machine: MachineConfig::default(),
+            model,
+            spec: SpecConfig::disabled(),
+            protocol: ProtocolConfig::default(),
+        }
+    }
+
+    /// Replaces the hardware description.
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Replaces the speculation configuration.
+    pub fn with_spec(mut self, spec: SpecConfig) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the protocol options.
+    pub fn with_protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+}
+
+/// Result of a [`Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Whether every thread finished before the limit.
+    pub finished: bool,
+    /// Per-core completion cycle (None if cut off).
+    pub core_done_at: Vec<Option<u64>>,
+    /// Total dynamic operations retired across cores.
+    pub retired_ops: u64,
+}
+
+impl RunSummary {
+    /// Retired operations per cycle across the whole machine.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_ops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The assembled multicore simulator.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    clock: Clock,
+    fabric: Fabric<CoherenceMsg>,
+    dirs: Vec<DirectoryBank>,
+    l1s: Vec<L1Controller>,
+    cores: Vec<Core>,
+    mem: ArchMem,
+}
+
+impl Machine {
+    /// Builds a machine running one program per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len()` differs from the configured core count.
+    pub fn new(spec: &MachineSpec, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        assert_eq!(
+            programs.len(),
+            spec.machine.cores,
+            "need exactly one program per core"
+        );
+        let cfg = spec.machine.clone();
+        let l1s = cfg
+            .core_ids()
+            .map(|c| L1Controller::new(c, &cfg, spec.protocol))
+            .collect();
+        let dirs = (0..cfg.dir_banks)
+            .map(|b| DirectoryBank::with_protocol(b, &cfg, spec.protocol))
+            .collect();
+        let cores = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Core::new(CoreId(i as u16), &cfg, spec.model, spec.spec, p))
+            .collect();
+        Machine {
+            fabric: Fabric::for_machine(&cfg),
+            cfg,
+            clock: Clock::new(),
+            dirs,
+            l1s,
+            cores,
+            mem: ArchMem::new(),
+        }
+    }
+
+    /// The machine description.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.clock.now()
+    }
+
+    /// The functional memory (inspect end-of-run values).
+    pub fn mem(&self) -> &ArchMem {
+        &self.mem
+    }
+
+    /// Seeds a functional memory value before the run (workload init).
+    pub fn poke(&mut self, addr: tenways_sim::Addr, value: u64) {
+        self.mem.write(addr, value);
+    }
+
+    /// One core (stats access).
+    pub fn core(&self, id: CoreId) -> &Core {
+        &self.cores[id.index()]
+    }
+
+    /// One L1 controller (stats access).
+    pub fn l1(&self, id: CoreId) -> &L1Controller {
+        &self.l1s[id.index()]
+    }
+
+    /// Whether every thread has finished and drained.
+    pub fn all_done(&self) -> bool {
+        self.cores.iter().all(Core::is_done)
+    }
+
+    /// Advances the whole machine one cycle.
+    pub fn step(&mut self) {
+        let now = self.clock.advance();
+        self.fabric.tick(now);
+        for dir in &mut self.dirs {
+            dir.tick(now, &mut self.fabric);
+        }
+        for i in 0..self.cores.len() {
+            self.l1s[i].tick(now, &mut self.fabric);
+            self.cores[i].tick(now, &mut self.l1s[i], &mut self.fabric, &mut self.mem);
+        }
+    }
+
+    /// Runs until every thread finishes or `limit` cycles elapse.
+    pub fn run(&mut self, limit: u64) -> RunSummary {
+        let start = self.clock.now();
+        while !self.all_done() && self.clock.now() - start < limit {
+            self.step();
+        }
+        for c in &mut self.cores {
+            c.flush_accounting();
+        }
+        RunSummary {
+            cycles: self.clock.now() - start,
+            finished: self.all_done(),
+            core_done_at: self
+                .cores
+                .iter()
+                .map(|c| c.done_at().map(Cycle::as_u64))
+                .collect(),
+            retired_ops: self.cores.iter().map(Core::retired_ops).sum(),
+        }
+    }
+
+    /// Merges every component's statistics into one set. Prefixes keep the
+    /// sources apart (`cyc.*` core accounting, `l1.*`, `dir.*`, `dram.*`,
+    /// `noc.*`, `spec.*`).
+    pub fn merged_stats(&self) -> StatSet {
+        let mut out = StatSet::new();
+        for c in &self.cores {
+            out.merge(c.accounting());
+            out.merge(c.engine().stats());
+        }
+        for l1 in &self.l1s {
+            out.merge(l1.stats());
+        }
+        for d in &self.dirs {
+            out.merge(d.stats());
+            out.merge(d.dram_stats());
+        }
+        out.merge(self.fabric.stats());
+        out
+    }
+
+    /// Merged store-buffer occupancy histogram across cores.
+    pub fn sb_occupancy(&self) -> Histogram {
+        let mut h = Histogram::new(65, 1);
+        for c in &self.cores {
+            h.merge(c.sb_occupancy());
+        }
+        h
+    }
+
+    /// Merged speculation-depth histogram across cores.
+    pub fn spec_depth(&self) -> Histogram {
+        let mut h = Histogram::new(256, 1);
+        for c in &self.cores {
+            h.merge(c.engine().depth_histogram());
+        }
+        h
+    }
+}

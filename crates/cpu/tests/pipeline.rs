@@ -1,0 +1,426 @@
+//! End-to-end pipeline tests: baselines, consistency-model ordering
+//! effects, speculation correctness, and accounting invariants.
+
+use tenways_core::SpecConfig;
+use tenways_cpu::{
+    ConsistencyModel, FenceKind, Machine, MachineSpec, MemTag, Op, RmwOp, ScriptProgram,
+    ThreadProgram,
+};
+use tenways_sim::{Addr, CoreId, MachineConfig};
+
+fn cfg(cores: usize) -> MachineConfig {
+    MachineConfig::builder().cores(cores).build().unwrap()
+}
+
+fn boxed(p: impl ThreadProgram + 'static) -> Box<dyn ThreadProgram> {
+    Box::new(p)
+}
+
+/// Runs one program per core under `model`/`spec`, returning the machine
+/// and summary.
+fn run(
+    model: ConsistencyModel,
+    spec: SpecConfig,
+    programs: Vec<Box<dyn ThreadProgram>>,
+) -> (Machine, tenways_cpu::RunSummary) {
+    let ms = MachineSpec::baseline(model)
+        .with_machine(cfg(programs.len()))
+        .with_spec(spec);
+    let mut m = Machine::new(&ms, programs);
+    let s = m.run(2_000_000);
+    assert!(s.finished, "run did not finish: {s:?}");
+    (m, s)
+}
+
+// ---------- custom reactive programs for the tests ----------
+
+/// Spins on `flag` (consume loads) until it reads `want`, then loads `data`
+/// and finishes.
+#[derive(Debug, Clone)]
+struct SpinReader {
+    flag: Addr,
+    data: Addr,
+    want: u64,
+    state: u8,
+}
+
+impl ThreadProgram for SpinReader {
+    fn next_op(&mut self, last: Option<u64>) -> Option<Op> {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Some(Op::Load { addr: self.flag, tag: MemTag::Lock, consume: true })
+            }
+            1 => {
+                if last == Some(self.want) {
+                    self.state = 2;
+                    Some(Op::Fence(FenceKind::Acquire))
+                } else {
+                    Some(Op::Load { addr: self.flag, tag: MemTag::Lock, consume: true })
+                }
+            }
+            2 => {
+                self.state = 3;
+                Some(Op::Load { addr: self.data, tag: MemTag::Data, consume: true })
+            }
+            _ => None,
+        }
+    }
+
+    fn snapshot(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        "spin-reader"
+    }
+}
+
+/// Computes a while, stores `data`, releases, then sets `flag`.
+fn writer_script(flag: Addr, data: Addr) -> ScriptProgram {
+    ScriptProgram::new(vec![
+        Op::Compute(300),
+        Op::store(data, 42),
+        Op::Fence(FenceKind::Release),
+        Op::Store { addr: flag, value: 1, tag: MemTag::Lock },
+    ])
+}
+
+/// Issues `n` atomic increments to `counter`.
+#[derive(Debug, Clone)]
+struct Incrementer {
+    counter: Addr,
+    left: u64,
+}
+
+impl ThreadProgram for Incrementer {
+    fn next_op(&mut self, _last: Option<u64>) -> Option<Op> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        Some(Op::Rmw { addr: self.counter, rmw: RmwOp::FetchAdd(1), tag: MemTag::Data, consume: false })
+    }
+
+    fn snapshot(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        "incrementer"
+    }
+}
+
+// ---------- single-core basics ----------
+
+#[test]
+fn single_core_script_completes_and_writes_memory() {
+    let p = ScriptProgram::new(vec![
+        Op::Compute(10),
+        Op::store(Addr(0x100), 7),
+        Op::load(Addr(0x100)),
+    ]);
+    let (m, s) = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(p)]);
+    assert_eq!(s.retired_ops, 3);
+    assert_eq!(m.mem().read(Addr(0x100)), 7);
+    assert!(s.cycles > 10, "compute latency must show");
+}
+
+#[test]
+fn store_buffer_forwarding_returns_own_store() {
+    let p = ScriptProgram::new(vec![
+        Op::store(Addr(0x40), 99),
+        Op::Load { addr: Addr(0x40), tag: MemTag::Data, consume: true },
+    ]);
+    let (m, _) = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(p)]);
+    // The consumed value is recorded in... we can't reach the ScriptProgram
+    // after the run (it is owned by the core). Verify via memory instead:
+    assert_eq!(m.mem().read(Addr(0x40)), 99);
+}
+
+#[test]
+fn compute_only_program_finishes_in_about_its_latency() {
+    let p = ScriptProgram::new(vec![Op::Compute(100)]);
+    let (_, s) = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(p)]);
+    assert!(s.cycles >= 100 && s.cycles < 140, "got {}", s.cycles);
+}
+
+#[test]
+fn rmw_returns_old_value_and_applies_new() {
+    let p = ScriptProgram::new(vec![
+        Op::store(Addr(0x8), 5),
+        Op::Fence(FenceKind::Full),
+        Op::Rmw { addr: Addr(0x8), rmw: RmwOp::FetchAdd(3), tag: MemTag::Data, consume: true },
+    ]);
+    let (m, _) = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(p)]);
+    assert_eq!(m.mem().read(Addr(0x8)), 8);
+}
+
+#[test]
+fn cas_only_swaps_on_match() {
+    let p = ScriptProgram::new(vec![
+        Op::Rmw {
+            addr: Addr(0x8),
+            rmw: RmwOp::Cas { expected: 0, desired: 11 },
+            tag: MemTag::Data,
+            consume: false,
+        },
+        Op::Rmw {
+            addr: Addr(0x8),
+            rmw: RmwOp::Cas { expected: 0, desired: 22 },
+            tag: MemTag::Data,
+            consume: false,
+        },
+    ]);
+    let (m, _) = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(p)]);
+    assert_eq!(m.mem().read(Addr(0x8)), 11, "second CAS must fail");
+}
+
+// ---------- consistency-model ordering effects ----------
+
+/// A pointer-chase-free, store+load mix that SC must serialize.
+fn mem_heavy_script(base: u64, n: u64) -> ScriptProgram {
+    let mut ops = Vec::new();
+    for i in 0..n {
+        ops.push(Op::store(Addr(base + 8 * i), i));
+        ops.push(Op::load(Addr(base + 8 * ((i * 7) % n))));
+    }
+    ScriptProgram::new(ops)
+}
+
+#[test]
+fn sc_is_slower_than_tso_is_not_faster_than_rmo() {
+    let cycles = |model| {
+        let (_, s) = run(model, SpecConfig::disabled(), vec![boxed(mem_heavy_script(0x1000, 64))]);
+        s.cycles
+    };
+    let sc = cycles(ConsistencyModel::Sc);
+    let tso = cycles(ConsistencyModel::Tso);
+    let rmo = cycles(ConsistencyModel::Rmo);
+    assert!(sc > tso, "SC {sc} must be slower than TSO {tso}");
+    assert!(tso >= rmo, "TSO {tso} must not beat RMO {rmo}");
+}
+
+#[test]
+fn full_fence_costs_cycles_under_rmo() {
+    let plain: Vec<Op> = vec![Op::store(Addr(0), 1), Op::load(Addr(0x2000))];
+    let mut fenced = plain.clone();
+    fenced.insert(1, Op::Fence(FenceKind::Full));
+    let c_plain = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(plain))]).1.cycles;
+    let c_fenced = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(fenced))]).1.cycles;
+    assert!(
+        c_fenced > c_plain,
+        "fence must cost cycles: fenced {c_fenced} vs plain {c_plain}"
+    );
+}
+
+#[test]
+fn fences_are_free_under_sc() {
+    let plain: Vec<Op> = vec![Op::store(Addr(0), 1), Op::load(Addr(0x2000))];
+    let mut fenced = plain.clone();
+    fenced.insert(1, Op::Fence(FenceKind::Full));
+    let c_plain = run(ConsistencyModel::Sc, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(plain))]).1.cycles;
+    let c_fenced = run(ConsistencyModel::Sc, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(fenced))]).1.cycles;
+    assert_eq!(c_plain, c_fenced, "SC already orders everything");
+}
+
+#[test]
+fn tso_atomic_drains_store_buffer() {
+    // Many stores followed by an atomic: TSO must wait for the drain, RMO
+    // must not.
+    let mut ops = Vec::new();
+    for i in 0..12 {
+        ops.push(Op::store(Addr(0x3000 + 64 * i), i));
+    }
+    ops.push(Op::Rmw { addr: Addr(0x9000), rmw: RmwOp::FetchAdd(1), tag: MemTag::Data, consume: true });
+    let tso = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(ops.clone()))]).1.cycles;
+    let rmo = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(ops))]).1.cycles;
+    assert!(tso > rmo, "TSO {tso} should pay for the atomic, RMO {rmo} not");
+}
+
+// ---------- multi-core communication ----------
+
+#[test]
+fn message_passing_flag_protocol_works() {
+    let flag = Addr(0x100);
+    let data = Addr(0x180);
+    for model in ConsistencyModel::all() {
+        let programs: Vec<Box<dyn ThreadProgram>> = vec![
+            boxed(writer_script(flag, data)),
+            boxed(SpinReader { flag, data, want: 1, state: 0 }),
+        ];
+        let (m, _) = run(model, SpecConfig::disabled(), programs);
+        assert_eq!(m.mem().read(data), 42, "under {model}");
+        assert_eq!(m.mem().read(flag), 1, "under {model}");
+    }
+}
+
+#[test]
+fn atomic_increments_are_atomic_across_cores() {
+    let counter = Addr(0x400);
+    for model in ConsistencyModel::all() {
+        let programs: Vec<Box<dyn ThreadProgram>> = (0..4)
+            .map(|_| boxed(Incrementer { counter, left: 50 }))
+            .collect();
+        let (m, _) = run(model, SpecConfig::disabled(), programs);
+        assert_eq!(m.mem().read(counter), 200, "lost updates under {model}");
+    }
+}
+
+#[test]
+fn atomic_increments_survive_speculation() {
+    let counter = Addr(0x400);
+    for spec in [SpecConfig::on_demand(), SpecConfig::continuous(), SpecConfig::per_store(8)] {
+        for model in ConsistencyModel::all() {
+            let programs: Vec<Box<dyn ThreadProgram>> = (0..4)
+                .map(|_| boxed(Incrementer { counter, left: 50 }))
+                .collect();
+            let (m, _) = run(model, spec, programs);
+            assert_eq!(
+                m.mem().read(counter),
+                200,
+                "lost updates under {model} with {spec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn message_passing_survives_speculation() {
+    let flag = Addr(0x100);
+    let data = Addr(0x180);
+    for spec in [SpecConfig::on_demand(), SpecConfig::continuous()] {
+        for model in ConsistencyModel::all() {
+            let programs: Vec<Box<dyn ThreadProgram>> = vec![
+                boxed(writer_script(flag, data)),
+                boxed(SpinReader { flag, data, want: 1, state: 0 }),
+            ];
+            let (m, _) = run(model, spec, programs);
+            assert_eq!(m.mem().read(data), 42, "under {model} with {spec:?}");
+        }
+    }
+}
+
+// ---------- speculation performance & mechanics ----------
+
+#[test]
+fn speculation_recovers_most_of_the_sc_gap() {
+    let prog = || boxed(mem_heavy_script(0x1000, 64));
+    let sc_base = run(ConsistencyModel::Sc, SpecConfig::disabled(), vec![prog()]).1.cycles;
+    let sc_spec = run(ConsistencyModel::Sc, SpecConfig::on_demand(), vec![prog()]).1.cycles;
+    let rmo = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![prog()]).1.cycles;
+    assert!(sc_spec < sc_base, "speculation must help SC: {sc_spec} vs {sc_base}");
+    // InvisiFence's headline: speculative SC approaches RMO.
+    let gap_base = sc_base as f64 / rmo as f64;
+    let gap_spec = sc_spec as f64 / rmo as f64;
+    assert!(
+        gap_spec < 1.3 && gap_base > gap_spec,
+        "spec-SC/RMO = {gap_spec:.2}, base-SC/RMO = {gap_base:.2}"
+    );
+}
+
+#[test]
+fn speculation_commits_are_recorded() {
+    let (m, _) = run(
+        ConsistencyModel::Sc,
+        SpecConfig::on_demand(),
+        vec![boxed(mem_heavy_script(0x1000, 32))],
+    );
+    let stats = m.merged_stats();
+    assert!(stats.get("spec.epochs") > 0);
+    assert!(stats.get("spec.commits") > 0);
+}
+
+#[test]
+fn contended_speculation_rolls_back_and_stays_correct() {
+    // Two cores hammer the same two blocks with stores; speculation will
+    // conflict and roll back, but final values must reflect some serial
+    // order (each addr holds one of the written values).
+    let mk = |v: u64| {
+        let mut ops = Vec::new();
+        for i in 0..30 {
+            ops.push(Op::store(Addr(0x500), v + i));
+            ops.push(Op::store(Addr(0x540), v + i));
+            ops.push(Op::Fence(FenceKind::Full));
+        }
+        boxed(ScriptProgram::new(ops))
+    };
+    let programs: Vec<Box<dyn ThreadProgram>> = vec![mk(1000), mk(2000)];
+    let (m, _) = run(ConsistencyModel::Rmo, SpecConfig::on_demand(), programs);
+    let a = m.mem().read(Addr(0x500));
+    let b = m.mem().read(Addr(0x540));
+    assert!(
+        (1000..1030).contains(&a) || (2000..2030).contains(&a),
+        "addr 0x500 holds garbage: {a}"
+    );
+    assert!(
+        (1000..1030).contains(&b) || (2000..2030).contains(&b),
+        "addr 0x540 holds garbage: {b}"
+    );
+}
+
+#[test]
+fn per_store_cap_stalls_more_than_block_granularity() {
+    // Store-heavy workload: the capped design must stall where
+    // block-granularity sails through speculatively.
+    let prog = || {
+        let mut ops = Vec::new();
+        for i in 0..64 {
+            ops.push(Op::store(Addr(0x7000 + 64 * i), i));
+        }
+        ops.push(Op::Fence(FenceKind::Full));
+        for i in 0..64 {
+            ops.push(Op::store(Addr(0x9000 + 64 * i), i));
+        }
+        boxed(ScriptProgram::new(ops))
+    };
+    let unlimited = run(ConsistencyModel::Rmo, SpecConfig::on_demand(), vec![prog()]).1.cycles;
+    let capped = run(ConsistencyModel::Rmo, SpecConfig::per_store(2), vec![prog()]).1.cycles;
+    assert!(capped >= unlimited, "cap must not be faster: {capped} vs {unlimited}");
+}
+
+// ---------- accounting invariants ----------
+
+#[test]
+fn cycle_buckets_sum_to_active_cycles() {
+    let programs: Vec<Box<dyn ThreadProgram>> = vec![
+        boxed(mem_heavy_script(0x1000, 32)),
+        boxed(mem_heavy_script(0x8000, 16)),
+    ];
+    let ms = MachineSpec::baseline(ConsistencyModel::Tso).with_machine(cfg(2));
+    let mut m = Machine::new(&ms, programs);
+    let s = m.run(2_000_000);
+    assert!(s.finished);
+    for core in [CoreId(0), CoreId(1)] {
+        let acct = m.core(core).accounting();
+        let total: u64 = acct
+            .iter()
+            .filter(|(k, _)| k.starts_with("cyc."))
+            .map(|(_, v)| v)
+            .sum();
+        let done = m.core(core).done_at().unwrap().as_u64();
+        assert_eq!(total, done, "core {core} buckets {total} != active cycles {done}");
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let go = || {
+        let programs: Vec<Box<dyn ThreadProgram>> = vec![
+            boxed(mem_heavy_script(0x1000, 48)),
+            boxed(mem_heavy_script(0x1000, 48)), // same addresses: contention
+        ];
+        run(ConsistencyModel::Tso, SpecConfig::on_demand(), programs).1
+    };
+    assert_eq!(go(), go());
+}
+
+#[test]
+fn summary_throughput_is_sane() {
+    let (_, s) = run(
+        ConsistencyModel::Rmo,
+        SpecConfig::disabled(),
+        vec![boxed(mem_heavy_script(0x1000, 32))],
+    );
+    assert!(s.throughput() > 0.0 && s.throughput() <= 2.0);
+}

@@ -1,0 +1,564 @@
+//! Set-associative cache arrays: [`CacheArray`], [`CacheParams`],
+//! [`Replacement`].
+
+use serde::{Deserialize, Serialize};
+use tenways_sim::{BlockAddr, DetRng};
+
+/// Replacement policy for a [`CacheArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Replacement {
+    /// True least-recently-used (per-way timestamps).
+    Lru,
+    /// Tree pseudo-LRU (one bit per internal node).
+    TreePlru,
+    /// Uniform random victim (deterministic, seeded).
+    Random,
+}
+
+/// Validated organization of a [`CacheArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    sets: usize,
+    ways: usize,
+    policy: Replacement,
+}
+
+impl CacheParams {
+    /// Creates parameters for a `sets` × `ways` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `sets` is zero or not a power of two, or if `ways`
+    /// is zero.
+    pub fn new(sets: usize, ways: usize, policy: Replacement) -> Option<Self> {
+        if sets == 0 || !sets.is_power_of_two() || ways == 0 {
+            return None;
+        }
+        Some(CacheParams { sets, ways, policy })
+    }
+
+    /// Number of sets.
+    pub const fn sets(self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub const fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Total block capacity.
+    pub const fn blocks(self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// The replacement policy.
+    pub const fn policy(self) -> Replacement {
+        self.policy
+    }
+}
+
+/// A block pushed out of the array by [`CacheArray::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<T> {
+    /// Which block was evicted.
+    pub block: BlockAddr,
+    /// Its payload (protocol state, dirtiness, speculation bits, ...).
+    pub payload: T,
+}
+
+#[derive(Debug, Clone)]
+struct Way<T> {
+    block: BlockAddr,
+    payload: T,
+    /// LRU timestamp (monotone per-array counter).
+    stamp: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Set<T> {
+    ways: Vec<Option<Way<T>>>,
+    /// Tree-PLRU direction bits (ways-1 internal nodes, index 0 = root).
+    plru: Vec<bool>,
+}
+
+/// A set-associative array mapping [`BlockAddr`]s to payloads `T`.
+///
+/// The array is purely structural: hits, insertions and evictions; it never
+/// interprets the payload. Timing, coherence state and writeback policy live
+/// in the protocol layer above.
+///
+/// Replacement prefers invalid ways; otherwise the victim is chosen by the
+/// configured [`Replacement`] policy. Random replacement is deterministic,
+/// seeded from the array's construction seed.
+#[derive(Debug, Clone)]
+pub struct CacheArray<T> {
+    params: CacheParams,
+    sets: Vec<Set<T>>,
+    tick: u64,
+    rng: DetRng,
+    occupied: usize,
+}
+
+impl<T> CacheArray<T> {
+    /// Creates an empty array.
+    pub fn new(params: CacheParams) -> Self {
+        CacheArray::with_seed(params, 0)
+    }
+
+    /// Creates an empty array whose random-replacement stream is seeded by
+    /// `seed` (distinct caches should get distinct seeds).
+    pub fn with_seed(params: CacheParams, seed: u64) -> Self {
+        let sets = (0..params.sets)
+            .map(|_| Set {
+                ways: (0..params.ways).map(|_| None).collect(),
+                plru: vec![false; params.ways.saturating_sub(1)],
+            })
+            .collect();
+        CacheArray { params, sets, tick: 0, rng: DetRng::seed(seed).split("cache-array"), occupied: 0 }
+    }
+
+    /// The array's organization.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether the array holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.as_u64() as usize) & (self.params.sets - 1)
+    }
+
+    /// Looks up a block without touching replacement state (a *probe*).
+    pub fn peek(&self, block: BlockAddr) -> Option<&T> {
+        let set = &self.sets[self.set_index(block)];
+        set.ways
+            .iter()
+            .flatten()
+            .find(|w| w.block == block)
+            .map(|w| &w.payload)
+    }
+
+    /// Looks up a block, promoting it in the replacement order on hit.
+    pub fn get(&mut self, block: BlockAddr) -> Option<&mut T> {
+        self.tick += 1;
+        let tick = self.tick;
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        let way_idx = set
+            .ways
+            .iter()
+            .position(|w| w.as_ref().is_some_and(|w| w.block == block))?;
+        if let Some(w) = set.ways[way_idx].as_mut() {
+            w.stamp = tick;
+        }
+        Self::touch_plru(&mut set.plru, way_idx, self.params.ways);
+        set.ways[way_idx].as_mut().map(|w| &mut w.payload)
+    }
+
+    /// Mutable access without promoting (for protocol-side state updates that
+    /// should not look like a use, e.g. handling a remote invalidation).
+    pub fn peek_mut(&mut self, block: BlockAddr) -> Option<&mut T> {
+        let si = self.set_index(block);
+        self.sets[si]
+            .ways
+            .iter_mut()
+            .flatten()
+            .find(|w| w.block == block)
+            .map(|w| &mut w.payload)
+    }
+
+    /// Inserts a block, returning the victim if a valid block had to be
+    /// evicted. If the block is already resident its payload is replaced
+    /// (and no eviction occurs).
+    pub fn insert(&mut self, block: BlockAddr, payload: T) -> Option<Evicted<T>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let si = self.set_index(block);
+        let ways = self.params.ways;
+        let policy = self.params.policy;
+
+        // Already resident: replace payload in place.
+        let set = &mut self.sets[si];
+        if let Some(idx) = set
+            .ways
+            .iter()
+            .position(|w| w.as_ref().is_some_and(|w| w.block == block))
+        {
+            set.ways[idx] = Some(Way { block, payload, stamp: tick });
+            Self::touch_plru(&mut set.plru, idx, ways);
+            return None;
+        }
+
+        // Free way available.
+        if let Some(idx) = set.ways.iter().position(Option::is_none) {
+            set.ways[idx] = Some(Way { block, payload, stamp: tick });
+            Self::touch_plru(&mut set.plru, idx, ways);
+            self.occupied += 1;
+            return None;
+        }
+
+        // Choose a victim.
+        let victim_idx = match policy {
+            Replacement::Lru => set
+                .ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.as_ref().map_or(0, |w| w.stamp))
+                .map(|(i, _)| i)
+                .expect("ways > 0"),
+            Replacement::TreePlru => Self::plru_victim(&set.plru, ways),
+            Replacement::Random => self.rng.below(ways as u64) as usize,
+        };
+        let set = &mut self.sets[si];
+        let victim = set.ways[victim_idx]
+            .replace(Way { block, payload, stamp: tick })
+            .expect("victim way was occupied");
+        Self::touch_plru(&mut set.plru, victim_idx, ways);
+        Some(Evicted { block: victim.block, payload: victim.payload })
+    }
+
+    /// Picks the victim that [`CacheArray::insert`] of a non-resident block
+    /// into a full set would evict, without modifying anything. Returns
+    /// `None` if the set still has a free way or the block is resident.
+    pub fn victim_preview(&self, block: BlockAddr) -> Option<BlockAddr> {
+        let set = &self.sets[self.set_index(block)];
+        if set.ways.iter().any(|w| w.as_ref().is_some_and(|w| w.block == block)) {
+            return None;
+        }
+        if set.ways.iter().any(Option::is_none) {
+            return None;
+        }
+        let idx = match self.params.policy {
+            Replacement::Lru => set
+                .ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.as_ref().map_or(0, |w| w.stamp))
+                .map(|(i, _)| i)?,
+            Replacement::TreePlru => Self::plru_victim(&set.plru, self.params.ways),
+            // Random preview is not representative; report the way the RNG
+            // would *not* necessarily pick — callers needing exact victims
+            // should use LRU/PLRU. We return way 0 deterministically.
+            Replacement::Random => 0,
+        };
+        set.ways[idx].as_ref().map(|w| w.block)
+    }
+
+    /// Removes a block, returning its payload.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<T> {
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        let idx = set
+            .ways
+            .iter()
+            .position(|w| w.as_ref().is_some_and(|w| w.block == block))?;
+        let way = set.ways[idx].take()?;
+        self.occupied -= 1;
+        Some(way.payload)
+    }
+
+    /// Iterates `(block, &payload)` over all resident blocks (set order).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &T)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.ways.iter().flatten())
+            .map(|w| (w.block, &w.payload))
+    }
+
+    /// Iterates `(block, &mut payload)` over all resident blocks.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (BlockAddr, &mut T)> + '_ {
+        self.sets
+            .iter_mut()
+            .flat_map(|s| s.ways.iter_mut().flatten())
+            .map(|w| (w.block, &mut w.payload))
+    }
+
+    /// Walks the PLRU tree away from `way` so it becomes "recently used".
+    fn touch_plru(plru: &mut [bool], way: usize, ways: usize) {
+        if plru.is_empty() {
+            return;
+        }
+        // Conceptual complete binary tree over the next power of two ≥ ways;
+        // node i has children 2i+1, 2i+2; leaves map to ways left-to-right.
+        let leaves = ways.next_power_of_two();
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let go_right = way >= mid;
+            if node < plru.len() {
+                // Point the bit AWAY from the touched way.
+                plru[node] = !go_right;
+            }
+            node = 2 * node + 1 + usize::from(go_right);
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    /// Follows the PLRU bits to the victim way.
+    fn plru_victim(plru: &[bool], ways: usize) -> usize {
+        if plru.is_empty() {
+            return 0;
+        }
+        let leaves = ways.next_power_of_two();
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let go_right = node < plru.len() && plru[node];
+            node = 2 * node + 1 + usize::from(go_right);
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo.min(ways - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(sets: usize, ways: usize, policy: Replacement) -> CacheParams {
+        CacheParams::new(sets, ways, policy).unwrap()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(CacheParams::new(0, 4, Replacement::Lru).is_none());
+        assert!(CacheParams::new(3, 4, Replacement::Lru).is_none());
+        assert!(CacheParams::new(4, 0, Replacement::Lru).is_none());
+        let p = params(8, 2, Replacement::Lru);
+        assert_eq!(p.blocks(), 16);
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(4, 2, Replacement::Lru));
+        assert!(c.insert(BlockAddr(5), 55).is_none());
+        assert_eq!(c.peek(BlockAddr(5)), Some(&55));
+        assert_eq!(c.get(BlockAddr(5)), Some(&mut 55));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_payload_without_eviction() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(1, 1, Replacement::Lru));
+        c.insert(BlockAddr(1), 10);
+        let ev = c.insert(BlockAddr(1), 20);
+        assert!(ev.is_none());
+        assert_eq!(c.peek(BlockAddr(1)), Some(&20));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One set, two ways: blocks 0, 4, 8 all map to set 0 (4 sets).
+        let mut c: CacheArray<u32> = CacheArray::new(params(4, 2, Replacement::Lru));
+        c.insert(BlockAddr(0), 0);
+        c.insert(BlockAddr(4), 4);
+        // Touch 0 so 4 is LRU.
+        c.get(BlockAddr(0));
+        let ev = c.insert(BlockAddr(8), 8).expect("set was full");
+        assert_eq!(ev.block, BlockAddr(4));
+        assert!(c.peek(BlockAddr(0)).is_some());
+        assert!(c.peek(BlockAddr(8)).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(4, 2, Replacement::Lru));
+        c.insert(BlockAddr(0), 0);
+        c.insert(BlockAddr(4), 4);
+        // peek at 0 — must NOT promote it; 0 stays LRU.
+        assert_eq!(c.peek(BlockAddr(0)), Some(&0));
+        let ev = c.insert(BlockAddr(8), 8).unwrap();
+        assert_eq!(ev.block, BlockAddr(0));
+    }
+
+    #[test]
+    fn remove_frees_way() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(4, 1, Replacement::Lru));
+        c.insert(BlockAddr(0), 1);
+        assert_eq!(c.remove(BlockAddr(0)), Some(1));
+        assert_eq!(c.remove(BlockAddr(0)), None);
+        assert!(c.is_empty());
+        assert!(c.insert(BlockAddr(4), 2).is_none(), "way is free again");
+    }
+
+    #[test]
+    fn victim_preview_matches_lru_insert() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(4, 2, Replacement::Lru));
+        c.insert(BlockAddr(0), 0);
+        c.insert(BlockAddr(4), 4);
+        c.get(BlockAddr(0));
+        assert_eq!(c.victim_preview(BlockAddr(8)), Some(BlockAddr(4)));
+        let ev = c.insert(BlockAddr(8), 8).unwrap();
+        assert_eq!(ev.block, BlockAddr(4));
+        // Resident block or free set previews None.
+        assert_eq!(c.victim_preview(BlockAddr(8)), None);
+        assert_eq!(c.victim_preview(BlockAddr(1)), None);
+    }
+
+    #[test]
+    fn plru_victimizes_an_untouched_way() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(1, 4, Replacement::TreePlru));
+        for i in 0..4 {
+            c.insert(BlockAddr(i), i as u32);
+        }
+        // Touch 0 and 1 heavily; victim should be 2 or 3.
+        for _ in 0..4 {
+            c.get(BlockAddr(0));
+            c.get(BlockAddr(1));
+        }
+        let ev = c.insert(BlockAddr(100), 100).unwrap();
+        assert!(
+            ev.block == BlockAddr(2) || ev.block == BlockAddr(3),
+            "PLRU evicted a hot way: {:?}",
+            ev.block
+        );
+    }
+
+    #[test]
+    fn plru_single_way_works() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(2, 1, Replacement::TreePlru));
+        c.insert(BlockAddr(0), 1);
+        let ev = c.insert(BlockAddr(2), 2).unwrap();
+        assert_eq!(ev.block, BlockAddr(0));
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let run = |seed| {
+            let mut c: CacheArray<u32> = CacheArray::with_seed(params(1, 4, Replacement::Random), seed);
+            for i in 0..4 {
+                c.insert(BlockAddr(i), 0);
+            }
+            let mut evictions = Vec::new();
+            for i in 4..20 {
+                if let Some(ev) = c.insert(BlockAddr(i), 0) {
+                    evictions.push(ev.block);
+                }
+            }
+            evictions
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds should diverge");
+    }
+
+    #[test]
+    fn iter_visits_all_blocks() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(4, 2, Replacement::Lru));
+        for i in 0..6 {
+            c.insert(BlockAddr(i), i as u32 * 10);
+        }
+        let mut got: Vec<_> = c.iter().map(|(b, &p)| (b.as_u64(), p)).collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), 6);
+        assert_eq!(got[0], (0, 0));
+        assert_eq!(got[5], (5, 50));
+    }
+
+    #[test]
+    fn iter_mut_allows_payload_updates() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(2, 2, Replacement::Lru));
+        c.insert(BlockAddr(0), 1);
+        c.insert(BlockAddr(1), 2);
+        for (_, p) in c.iter_mut() {
+            *p += 100;
+        }
+        assert_eq!(c.peek(BlockAddr(0)), Some(&101));
+        assert_eq!(c.peek(BlockAddr(1)), Some(&102));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(4, 1, Replacement::Lru));
+        for i in 0..4 {
+            assert!(c.insert(BlockAddr(i), 0).is_none(), "distinct sets");
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn lru_full_set_cycles_fifo_under_streaming() {
+        let mut c: CacheArray<u32> = CacheArray::new(params(1, 3, Replacement::Lru));
+        c.insert(BlockAddr(0), 0);
+        c.insert(BlockAddr(1), 0);
+        c.insert(BlockAddr(2), 0);
+        let e1 = c.insert(BlockAddr(3), 0).unwrap();
+        let e2 = c.insert(BlockAddr(4), 0).unwrap();
+        assert_eq!(e1.block, BlockAddr(0));
+        assert_eq!(e2.block, BlockAddr(1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Occupancy never exceeds capacity and len() tracks reality.
+        #[test]
+        fn occupancy_invariant(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+            let mut c: CacheArray<u64> = CacheArray::new(CacheParams::new(4, 2, Replacement::Lru).unwrap());
+            for (blk, insert) in ops {
+                if insert {
+                    c.insert(BlockAddr(blk), blk);
+                } else {
+                    c.remove(BlockAddr(blk));
+                }
+                prop_assert!(c.len() <= c.params().blocks());
+                prop_assert_eq!(c.len(), c.iter().count());
+            }
+        }
+
+        /// After an insert the block is always resident, and an eviction only
+        /// happens when the set was full of *other* blocks.
+        #[test]
+        fn insert_makes_resident(blocks in proptest::collection::vec(0u64..32, 1..100)) {
+            let mut c: CacheArray<u64> = CacheArray::new(CacheParams::new(2, 2, Replacement::TreePlru).unwrap());
+            for b in blocks {
+                let ev = c.insert(BlockAddr(b), b);
+                prop_assert!(c.peek(BlockAddr(b)).is_some());
+                if let Some(ev) = ev {
+                    prop_assert_ne!(ev.block, BlockAddr(b));
+                    // victim came from the same set
+                    prop_assert_eq!(ev.block.as_u64() & 1, b & 1);
+                }
+            }
+        }
+
+        /// A resident block's payload survives unrelated traffic.
+        #[test]
+        fn get_returns_inserted_payload(seed in 0u64..1000) {
+            let mut c: CacheArray<u64> = CacheArray::with_seed(
+                CacheParams::new(8, 4, Replacement::Random).unwrap(), seed);
+            c.insert(BlockAddr(3), 333);
+            // Traffic to other sets only.
+            for i in 0..100u64 {
+                let b = i * 8; // set 0
+                c.insert(BlockAddr(b), b);
+            }
+            prop_assert_eq!(c.peek(BlockAddr(3)), Some(&333));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Banked DRAM timing: [`DramBanks`].
+//!
+//! The model captures the two properties that matter at the level of this
+//! simulator: a long fixed access latency, and limited per-bank throughput
+//! (each access occupies its bank for `occupancy` cycles, so concurrent
+//! accesses to the same bank serialize while accesses to different banks
+//! overlap — the memory-level-parallelism effect).
+
+use serde::{Deserialize, Serialize};
+use tenways_sim::{BlockAddr, Cycle, StatSet};
+
+/// Validated DRAM organization and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramParams {
+    banks: usize,
+    latency: u64,
+    occupancy: u64,
+}
+
+impl DramParams {
+    /// Creates parameters: `banks` (power of two), access `latency`, per-
+    /// access bank `occupancy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `banks` is zero or not a power of two, or if
+    /// `occupancy` is zero.
+    pub fn new(banks: usize, latency: u64, occupancy: u64) -> Option<Self> {
+        if banks == 0 || !banks.is_power_of_two() || occupancy == 0 {
+            return None;
+        }
+        Some(DramParams { banks, latency, occupancy })
+    }
+
+    /// Number of banks.
+    pub const fn banks(self) -> usize {
+        self.banks
+    }
+
+    /// Access latency in cycles.
+    pub const fn latency(self) -> u64 {
+        self.latency
+    }
+
+    /// Per-access bank busy time in cycles.
+    pub const fn occupancy(self) -> u64 {
+        self.occupancy
+    }
+}
+
+/// Bank-interleaved DRAM with per-bank occupancy.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_mem::{DramBanks, DramParams};
+/// use tenways_sim::{BlockAddr, Cycle};
+///
+/// let mut dram = DramBanks::new(DramParams::new(2, 100, 20).unwrap());
+/// // Two accesses to the same bank serialize on occupancy:
+/// let t0 = dram.access(Cycle::ZERO, BlockAddr(0));
+/// let t1 = dram.access(Cycle::ZERO, BlockAddr(2)); // same bank (2 % 2 == 0)
+/// assert_eq!(t0, Cycle::new(100));
+/// assert_eq!(t1, Cycle::new(120));
+/// // A different bank proceeds in parallel:
+/// let t2 = dram.access(Cycle::ZERO, BlockAddr(1));
+/// assert_eq!(t2, Cycle::new(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramBanks {
+    params: DramParams,
+    /// Cycle at which each bank next becomes free.
+    free_at: Vec<Cycle>,
+    stats: StatSet,
+}
+
+impl DramBanks {
+    /// Creates an idle DRAM.
+    pub fn new(params: DramParams) -> Self {
+        DramBanks {
+            params,
+            free_at: vec![Cycle::ZERO; params.banks],
+            stats: StatSet::new(),
+        }
+    }
+
+    /// The configured organization.
+    pub fn params(&self) -> DramParams {
+        self.params
+    }
+
+    /// Which bank serves `block`.
+    pub fn bank_of(&self, block: BlockAddr) -> usize {
+        (block.as_u64() % self.params.banks as u64) as usize
+    }
+
+    /// Schedules an access to `block` issued at `now`; returns the cycle the
+    /// data is available. Bank conflicts push the start time back and are
+    /// accounted in the stats as `dram.bank_wait_cycles`.
+    pub fn access(&mut self, now: Cycle, block: BlockAddr) -> Cycle {
+        let bank = self.bank_of(block);
+        let start = self.free_at[bank].max(now);
+        let wait = start - now;
+        if wait > 0 {
+            self.stats.bump_by("dram.bank_wait_cycles", wait);
+            self.stats.bump("dram.bank_conflicts");
+        }
+        self.free_at[bank] = start.after(self.params.occupancy);
+        self.stats.bump("dram.accesses");
+        start.after(self.params.latency)
+    }
+
+    /// Access statistics (`dram.accesses`, `dram.bank_conflicts`,
+    /// `dram.bank_wait_cycles`).
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Earliest cycle at which every bank is idle.
+    pub fn quiescent_at(&self) -> Cycle {
+        self.free_at.iter().copied().max().unwrap_or(Cycle::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram(banks: usize, lat: u64, occ: u64) -> DramBanks {
+        DramBanks::new(DramParams::new(banks, lat, occ).unwrap())
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(DramParams::new(0, 100, 10).is_none());
+        assert!(DramParams::new(3, 100, 10).is_none());
+        assert!(DramParams::new(4, 100, 0).is_none());
+        assert!(DramParams::new(4, 0, 10).is_some(), "zero latency is legal");
+    }
+
+    #[test]
+    fn single_access_takes_latency() {
+        let mut d = dram(4, 120, 24);
+        assert_eq!(d.access(Cycle::new(10), BlockAddr(0)), Cycle::new(130));
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut d = dram(2, 100, 20);
+        let a = d.access(Cycle::ZERO, BlockAddr(0));
+        let b = d.access(Cycle::ZERO, BlockAddr(4));
+        let c = d.access(Cycle::ZERO, BlockAddr(8));
+        assert_eq!(a, Cycle::new(100));
+        assert_eq!(b, Cycle::new(120));
+        assert_eq!(c, Cycle::new(140));
+        assert_eq!(d.stats().get("dram.bank_conflicts"), 2);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut d = dram(4, 100, 20);
+        let times: Vec<Cycle> = (0..4).map(|b| d.access(Cycle::ZERO, BlockAddr(b))).collect();
+        assert!(times.iter().all(|&t| t == Cycle::new(100)));
+        assert_eq!(d.stats().get("dram.bank_conflicts"), 0);
+    }
+
+    #[test]
+    fn late_arrival_after_bank_free_has_no_wait() {
+        let mut d = dram(2, 100, 20);
+        d.access(Cycle::ZERO, BlockAddr(0));
+        // Bank free at 20; arriving at 50 must not queue.
+        let t = d.access(Cycle::new(50), BlockAddr(2));
+        assert_eq!(t, Cycle::new(150));
+        assert_eq!(d.stats().get("dram.bank_wait_cycles"), 0);
+    }
+
+    #[test]
+    fn quiescent_tracks_latest_bank() {
+        let mut d = dram(2, 100, 30);
+        assert_eq!(d.quiescent_at(), Cycle::ZERO);
+        d.access(Cycle::new(5), BlockAddr(1));
+        assert_eq!(d.quiescent_at(), Cycle::new(35));
+    }
+
+    #[test]
+    fn accesses_are_counted() {
+        let mut d = dram(2, 10, 5);
+        for i in 0..7 {
+            d.access(Cycle::new(i * 100), BlockAddr(i));
+        }
+        assert_eq!(d.stats().get("dram.accesses"), 7);
+    }
+}

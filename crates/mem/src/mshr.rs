@@ -1,0 +1,210 @@
+//! Miss-status holding registers: [`MshrFile`].
+//!
+//! An MSHR tracks one outstanding miss per block. Later requests to the same
+//! block *merge* into the existing entry's waiter list instead of issuing a
+//! duplicate request — the standard mechanism that makes non-blocking caches
+//! possible. Capacity is bounded; when the file is full the requester must
+//! stall (a structural hazard the core accounts separately).
+
+use std::collections::BTreeMap;
+
+use tenways_sim::BlockAddr;
+
+/// Why an MSHR allocation could not proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrError {
+    /// All entries are in use; the requester must retry later.
+    Full,
+}
+
+impl std::fmt::Display for MshrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MshrError::Full => write!(f, "all MSHR entries in use"),
+        }
+    }
+}
+
+impl std::error::Error for MshrError {}
+
+/// One in-flight miss and the requests waiting on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MshrEntry<W> {
+    /// The missing block.
+    pub block: BlockAddr,
+    /// Requests merged into this miss, in arrival order.
+    pub waiters: Vec<W>,
+}
+
+/// A bounded file of [`MshrEntry`]s, keyed by block.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_mem::MshrFile;
+/// use tenways_sim::BlockAddr;
+///
+/// let mut mshrs: MshrFile<&str> = MshrFile::new(2);
+/// assert!(mshrs.allocate(BlockAddr(1), "load A").unwrap()); // primary miss
+/// assert!(!mshrs.allocate(BlockAddr(1), "load B").unwrap()); // merged
+/// let entry = mshrs.complete(BlockAddr(1)).unwrap();
+/// assert_eq!(entry.waiters, vec!["load A", "load B"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    capacity: usize,
+    entries: BTreeMap<u64, MshrEntry<W>>,
+}
+
+impl<W> MshrFile<W> {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile { capacity, entries: BTreeMap::new() }
+    }
+
+    /// Registers a request for `block`.
+    ///
+    /// Returns `Ok(true)` if this is the *primary* miss (the caller must send
+    /// the memory request), `Ok(false)` if it merged into an existing entry.
+    ///
+    /// # Errors
+    ///
+    /// [`MshrError::Full`] if a new entry is needed but none is free.
+    pub fn allocate(&mut self, block: BlockAddr, waiter: W) -> Result<bool, MshrError> {
+        if let Some(entry) = self.entries.get_mut(&block.as_u64()) {
+            entry.waiters.push(waiter);
+            return Ok(false);
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(MshrError::Full);
+        }
+        self.entries
+            .insert(block.as_u64(), MshrEntry { block, waiters: vec![waiter] });
+        Ok(true)
+    }
+
+    /// Registers a *prefetch* for `block`: an entry with no waiters.
+    ///
+    /// Returns `Ok(true)` if a new entry was created (send the request),
+    /// `Ok(false)` if the block already had an entry.
+    ///
+    /// # Errors
+    ///
+    /// [`MshrError::Full`] if no entry is free.
+    pub fn allocate_prefetch(&mut self, block: BlockAddr) -> Result<bool, MshrError> {
+        if self.entries.contains_key(&block.as_u64()) {
+            return Ok(false);
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(MshrError::Full);
+        }
+        self.entries
+            .insert(block.as_u64(), MshrEntry { block, waiters: Vec::new() });
+        Ok(true)
+    }
+
+    /// Completes the miss for `block`, returning its entry (with all merged
+    /// waiters) or `None` if no miss was outstanding.
+    pub fn complete(&mut self, block: BlockAddr) -> Option<MshrEntry<W>> {
+        self.entries.remove(&block.as_u64())
+    }
+
+    /// Whether a miss to `block` is outstanding.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.contains_key(&block.as_u64())
+    }
+
+    /// Entries currently in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no miss is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a new primary miss would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Iterates outstanding entries in block order.
+    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry<W>> + '_ {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_and_secondary_misses() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        assert_eq!(m.allocate(BlockAddr(9), 1), Ok(true));
+        assert_eq!(m.allocate(BlockAddr(9), 2), Ok(false));
+        assert_eq!(m.allocate(BlockAddr(9), 3), Ok(false));
+        assert_eq!(m.len(), 1);
+        let e = m.complete(BlockAddr(9)).unwrap();
+        assert_eq!(e.waiters, vec![1, 2, 3]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_block_not_per_waiter() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        assert_eq!(m.allocate(BlockAddr(1), 0), Ok(true));
+        assert_eq!(m.allocate(BlockAddr(2), 0), Ok(true));
+        assert!(m.is_full());
+        assert_eq!(m.allocate(BlockAddr(3), 0), Err(MshrError::Full));
+        // Merging into an existing block still works when full.
+        assert_eq!(m.allocate(BlockAddr(1), 1), Ok(false));
+    }
+
+    #[test]
+    fn complete_unknown_block_is_none() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        assert!(m.complete(BlockAddr(5)).is_none());
+    }
+
+    #[test]
+    fn contains_tracks_lifecycle() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        assert!(!m.contains(BlockAddr(7)));
+        m.allocate(BlockAddr(7), 0).unwrap();
+        assert!(m.contains(BlockAddr(7)));
+        m.complete(BlockAddr(7));
+        assert!(!m.contains(BlockAddr(7)));
+    }
+
+    #[test]
+    fn freeing_makes_room() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        m.allocate(BlockAddr(1), 0).unwrap();
+        assert_eq!(m.allocate(BlockAddr(2), 0), Err(MshrError::Full));
+        m.complete(BlockAddr(1));
+        assert_eq!(m.allocate(BlockAddr(2), 0), Ok(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_panics() {
+        let _: MshrFile<u32> = MshrFile::new(0);
+    }
+
+    #[test]
+    fn iter_is_block_ordered() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        m.allocate(BlockAddr(30), 0).unwrap();
+        m.allocate(BlockAddr(10), 0).unwrap();
+        m.allocate(BlockAddr(20), 0).unwrap();
+        let blocks: Vec<u64> = m.iter().map(|e| e.block.as_u64()).collect();
+        assert_eq!(blocks, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,534 @@
+//! Interconnect substrate for `tenways`: a payload-generic crossbar
+//! [`Fabric`] connecting cores, directory banks and any future endpoints.
+//!
+//! The fabric models the three first-order properties of an on-chip network
+//! that the evaluation cares about:
+//!
+//! 1. **Latency** — every message takes a fixed one-way latency (a crossbar /
+//!    low-diameter NoC abstraction; per-hop topologies only shift constants).
+//! 2. **Bandwidth** — each endpoint may *inject* at most `inject_bw` and
+//!    *accept* at most `accept_bw` messages per cycle; excess messages queue
+//!    and their queueing delay is accounted (the "NoC contention" waste
+//!    category).
+//! 3. **Point-to-point ordering** — messages between the same (source,
+//!    destination) pair are delivered in injection order. The coherence
+//!    protocol relies on this invariant.
+//!
+//! The payload type is generic so this crate stays independent of the
+//! coherence protocol that rides on it.
+//!
+//! # Example
+//!
+//! ```rust
+//! use tenways_noc::Fabric;
+//! use tenways_sim::{Cycle, NodeId};
+//!
+//! let mut fabric: Fabric<&str> = Fabric::new(4, 6, 1, 1);
+//! fabric.send(Cycle::ZERO, NodeId(0), NodeId(3), "hello");
+//! for cy in 1..=7 {
+//!     fabric.tick(cy.into());
+//! }
+//! let delivered: Vec<_> = fabric.take_inbox(tenways_sim::NodeId(3)).collect();
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].payload, "hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use tenways_sim::{Cycle, NodeId, StatSet};
+
+/// Physical organization of the interconnect: determines per-message
+/// latency as a function of the (source, destination) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Single-stage crossbar: every pair is `latency` apart.
+    Crossbar {
+        /// One-way latency in cycles.
+        latency: u64,
+    },
+    /// 2-D mesh with XY routing: nodes are laid out row-major on a
+    /// `width`-wide grid; latency is `router_latency + hop_latency *
+    /// manhattan_distance(src, dst)`.
+    Mesh {
+        /// Grid width (nodes per row).
+        width: usize,
+        /// Per-hop link latency.
+        hop_latency: u64,
+        /// Fixed injection/ejection overhead.
+        router_latency: u64,
+    },
+}
+
+impl Topology {
+    /// One-way latency between two nodes.
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> u64 {
+        match *self {
+            Topology::Crossbar { latency } => latency,
+            Topology::Mesh { width, hop_latency, router_latency } => {
+                let w = width.max(1);
+                let (sx, sy) = (src.index() % w, src.index() / w);
+                let (dx, dy) = (dst.index() % w, dst.index() / w);
+                let hops = sx.abs_diff(dx) + sy.abs_diff(dy);
+                router_latency + hop_latency * hops as u64
+            }
+        }
+    }
+
+    /// Worst-case latency across `nodes` endpoints.
+    pub fn diameter_latency(&self, nodes: usize) -> u64 {
+        (0..nodes as u16)
+            .flat_map(|a| (0..nodes as u16).map(move |b| (a, b)))
+            .map(|(a, b)| self.latency(NodeId(a), NodeId(b)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A message travelling through the fabric, carrying its timing provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<P> {
+    /// Sending endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+    /// Cycle at which the sender handed the message to the fabric.
+    pub sent: Cycle,
+    /// Cycle at which the message was delivered into the inbox.
+    pub delivered: Cycle,
+    /// The protocol payload.
+    pub payload: P,
+}
+
+impl<P> Envelope<P> {
+    /// Total fabric delay experienced, including queueing.
+    pub fn delay(&self) -> u64 {
+        self.delivered - self.sent
+    }
+}
+
+#[derive(Debug)]
+struct InFlight<P> {
+    deliver_at: Cycle,
+    env: Envelope<P>,
+}
+
+/// A latency/bandwidth-modeled crossbar connecting `nodes` endpoints.
+///
+/// See the [crate docs](crate) for the modeled properties. All state is
+/// deterministic: injection scans sources in index order and each queue is
+/// FIFO, so a run is reproducible tick-for-tick.
+#[derive(Debug)]
+pub struct Fabric<P> {
+    topology: Topology,
+    inject_bw: usize,
+    accept_bw: usize,
+    /// Messages waiting at their source for an injection slot.
+    inject_q: Vec<VecDeque<(Cycle, NodeId, P)>>,
+    /// Messages in flight, per destination, ordered by deliver_at.
+    flight: Vec<VecDeque<InFlight<P>>>,
+    /// Delivered messages awaiting pickup by the destination component.
+    inbox: Vec<VecDeque<Envelope<P>>>,
+    last_tick: Cycle,
+    stats: StatSet,
+}
+
+impl<P> Fabric<P> {
+    /// Creates a fabric with `nodes` endpoints, one-way `latency`, and
+    /// per-endpoint `inject_bw` / `accept_bw` messages per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes`, `inject_bw` or `accept_bw` is zero.
+    pub fn new(nodes: usize, latency: u64, inject_bw: usize, accept_bw: usize) -> Self {
+        Fabric::with_topology(nodes, Topology::Crossbar { latency }, inject_bw, accept_bw)
+    }
+
+    /// Creates a fabric with an explicit [`Topology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes`, `inject_bw` or `accept_bw` is zero.
+    pub fn with_topology(
+        nodes: usize,
+        topology: Topology,
+        inject_bw: usize,
+        accept_bw: usize,
+    ) -> Self {
+        assert!(nodes > 0, "fabric needs at least one node");
+        assert!(inject_bw > 0 && accept_bw > 0, "bandwidths must be non-zero");
+        Fabric {
+            topology,
+            inject_bw,
+            accept_bw,
+            inject_q: (0..nodes).map(|_| VecDeque::new()).collect(),
+            flight: (0..nodes).map(|_| VecDeque::new()).collect(),
+            inbox: (0..nodes).map(|_| VecDeque::new()).collect(),
+            last_tick: Cycle::ZERO,
+            stats: StatSet::new(),
+        }
+    }
+
+    /// Builds a fabric sized for a [`tenways_sim::MachineConfig`]; honors
+    /// the config's mesh flag (grid width = ceil(sqrt(nodes)), per-hop
+    /// latency derived from the crossbar latency so diameters are
+    /// comparable).
+    pub fn for_machine(cfg: &tenways_sim::MachineConfig) -> Self {
+        let nodes = cfg.node_count();
+        let topology = if cfg.noc_mesh {
+            let width = (nodes as f64).sqrt().ceil() as usize;
+            Topology::Mesh {
+                width: width.max(1),
+                hop_latency: (cfg.noc_latency / 2).max(1),
+                router_latency: 2,
+            }
+        } else {
+            Topology::Crossbar { latency: cfg.noc_latency }
+        };
+        Fabric::with_topology(nodes, topology, cfg.noc_inject_bw, cfg.noc_accept_bw)
+    }
+
+    /// The configured topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Hands a message to the fabric at time `now`.
+    ///
+    /// The message leaves `src`'s injection queue subject to the injection
+    /// bandwidth (starting with the *next* [`tick`](Self::tick)) and is
+    /// delivered `latency` cycles after injection, subject to the acceptance
+    /// bandwidth at `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, payload: P) {
+        assert!(dst.index() < self.inbox.len(), "dst {dst} out of range");
+        self.stats.bump("noc.sent");
+        self.inject_q[src.index()].push_back((now, dst, payload));
+    }
+
+    /// Advances the fabric to `now`: injects up to `inject_bw` messages per
+    /// source, then delivers due messages (up to `accept_bw` per destination)
+    /// into inboxes.
+    ///
+    /// Must be called once per cycle with a nondecreasing `now`.
+    pub fn tick(&mut self, now: Cycle) {
+        debug_assert!(now >= self.last_tick, "fabric ticked backwards");
+        self.last_tick = now;
+
+        // Injection stage.
+        for src in 0..self.inject_q.len() {
+            for _ in 0..self.inject_bw {
+                let Some((sent, dst, payload)) = self.inject_q[src].pop_front() else { break };
+                let inject_wait = now - sent;
+                if inject_wait > 1 {
+                    // A message sent at cycle t naturally injects at t+1;
+                    // anything beyond that is contention.
+                    self.stats.bump_by("noc.inject_queue_cycles", inject_wait - 1);
+                }
+                let deliver_at = now.after(self.topology.latency(NodeId(src as u16), dst));
+                // Insert keeping the queue sorted by deliver time (stable:
+                // equal times keep injection order, which preserves the
+                // per-pair FIFO guarantee — same-pair messages have equal
+                // latency and monotone injection times).
+                let q = &mut self.flight[dst.index()];
+                let pos = q.partition_point(|f| f.deliver_at <= deliver_at);
+                q.insert(pos, InFlight {
+                    deliver_at,
+                    env: Envelope {
+                        src: NodeId(src as u16),
+                        dst,
+                        sent,
+                        delivered: Cycle::NEVER,
+                        payload,
+                    },
+                });
+            }
+        }
+
+        // Delivery stage.
+        for dst in 0..self.flight.len() {
+            let mut accepted = 0;
+            while accepted < self.accept_bw {
+                match self.flight[dst].front() {
+                    Some(head) if head.deliver_at <= now => {}
+                    _ => break,
+                }
+                let head = self.flight[dst].pop_front().expect("peeked above");
+                let accept_wait = now - head.deliver_at;
+                if accept_wait > 0 {
+                    self.stats.bump_by("noc.accept_queue_cycles", accept_wait);
+                }
+                let mut env = head.env;
+                env.delivered = now;
+                self.stats.bump("noc.delivered");
+                self.stats.bump_by("noc.total_delay_cycles", env.delay());
+                self.inbox[dst].push_back(env);
+                accepted += 1;
+            }
+        }
+    }
+
+    /// Drains all delivered messages waiting at `node`, in delivery order.
+    pub fn take_inbox(&mut self, node: NodeId) -> impl Iterator<Item = Envelope<P>> + '_ {
+        self.inbox[node.index()].drain(..)
+    }
+
+    /// Number of delivered-but-unprocessed messages at `node`.
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.inbox[node.index()].len()
+    }
+
+    /// True if no message is queued, in flight, or awaiting pickup anywhere.
+    pub fn is_quiescent(&self) -> bool {
+        self.inject_q.iter().all(VecDeque::is_empty)
+            && self.flight.iter().all(VecDeque::is_empty)
+            && self.inbox.iter().all(VecDeque::is_empty)
+    }
+
+    /// Fabric-wide statistics (sent/delivered counts, queueing delays).
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// One-way latency between a node pair under the configured topology.
+    pub fn latency_between(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.topology.latency(src, dst)
+    }
+
+    /// One-way latency parameter (crossbar) or router latency (mesh).
+    pub fn latency(&self) -> u64 {
+        match self.topology {
+            Topology::Crossbar { latency } => latency,
+            Topology::Mesh { router_latency, .. } => router_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(latency: u64, inj: usize, acc: usize) -> Fabric<u32> {
+        Fabric::new(4, latency, inj, acc)
+    }
+
+    /// Runs the fabric until quiescent, returning (cycle, envelope) deliveries.
+    fn drain_all(f: &mut Fabric<u32>, start: u64, horizon: u64) -> Vec<(u64, Envelope<u32>)> {
+        let mut out = Vec::new();
+        for cy in start..start + horizon {
+            let now = Cycle::new(cy);
+            f.tick(now);
+            for n in 0..f.nodes() {
+                for env in f.take_inbox(NodeId(n as u16)) {
+                    out.push((cy, env));
+                }
+            }
+            if f.is_quiescent() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut f = fabric(6, 1, 1);
+        f.send(Cycle::ZERO, NodeId(0), NodeId(1), 7);
+        let got = drain_all(&mut f, 1, 100);
+        assert_eq!(got.len(), 1);
+        // Injected at tick 1 (first tick after send), delivered 6 later.
+        assert_eq!(got[0].0, 7);
+        assert_eq!(got[0].1.payload, 7);
+        assert_eq!(got[0].1.src, NodeId(0));
+    }
+
+    #[test]
+    fn point_to_point_order_preserved() {
+        let mut f = fabric(3, 2, 2);
+        for i in 0..10 {
+            f.send(Cycle::ZERO, NodeId(0), NodeId(2), i);
+        }
+        let got = drain_all(&mut f, 1, 100);
+        let payloads: Vec<u32> = got.iter().map(|(_, e)| e.payload).collect();
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inject_bandwidth_throttles() {
+        let mut f = fabric(1, 1, 4);
+        for i in 0..4 {
+            f.send(Cycle::ZERO, NodeId(0), NodeId(1), i);
+        }
+        let got = drain_all(&mut f, 1, 100);
+        // One injection per cycle => deliveries at consecutive cycles.
+        let cycles: Vec<u64> = got.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cycles, vec![2, 3, 4, 5]);
+        assert!(f.stats().get("noc.inject_queue_cycles") > 0);
+    }
+
+    #[test]
+    fn accept_bandwidth_throttles() {
+        let mut f = fabric(1, 4, 1);
+        // Four different sources converge on node 3 in the same cycle.
+        for s in 0..4u16 {
+            f.send(Cycle::ZERO, NodeId(s), NodeId(3), u32::from(s));
+        }
+        let got = drain_all(&mut f, 1, 100);
+        let cycles: Vec<u64> = got.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cycles, vec![2, 3, 4, 5]);
+        assert!(f.stats().get("noc.accept_queue_cycles") > 0);
+    }
+
+    #[test]
+    fn delay_accounts_queueing() {
+        let mut f = fabric(2, 1, 1);
+        f.send(Cycle::ZERO, NodeId(0), NodeId(1), 1);
+        f.send(Cycle::ZERO, NodeId(0), NodeId(1), 2);
+        let got = drain_all(&mut f, 1, 100);
+        assert!(got[1].1.delay() > got[0].1.delay());
+    }
+
+    #[test]
+    fn quiescence_detection() {
+        let mut f = fabric(4, 1, 1);
+        assert!(f.is_quiescent());
+        f.send(Cycle::ZERO, NodeId(1), NodeId(0), 9);
+        assert!(!f.is_quiescent());
+        drain_all(&mut f, 1, 100);
+        assert!(f.is_quiescent());
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let mut f = fabric(1, 2, 2);
+        for i in 0..5u64 {
+            f.send(Cycle::new(i), NodeId(0), NodeId(1), i as u32);
+            f.tick(Cycle::new(i));
+        }
+        drain_all(&mut f, 5, 50);
+        assert_eq!(f.stats().get("noc.sent"), 5);
+        assert_eq!(f.stats().get("noc.delivered"), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_panics() {
+        let mut f = fabric(1, 1, 1);
+        f.send(Cycle::ZERO, NodeId(0), NodeId(99), 0);
+    }
+
+    #[test]
+    fn zero_latency_fabric_delivers_next_tick() {
+        let mut f = fabric(0, 1, 1);
+        f.send(Cycle::ZERO, NodeId(0), NodeId(1), 5);
+        f.tick(Cycle::new(1));
+        assert_eq!(f.inbox_len(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn cross_pair_interleave_is_deterministic() {
+        let run = || {
+            let mut f = fabric(2, 1, 1);
+            f.send(Cycle::ZERO, NodeId(0), NodeId(3), 100);
+            f.send(Cycle::ZERO, NodeId(1), NodeId(3), 200);
+            f.send(Cycle::ZERO, NodeId(2), NodeId(3), 300);
+            drain_all(&mut f, 1, 50)
+                .into_iter()
+                .map(|(c, e)| (c, e.payload))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn for_machine_matches_config() {
+        let cfg = tenways_sim::MachineConfig::default();
+        let f: Fabric<u8> = Fabric::for_machine(&cfg);
+        assert_eq!(f.nodes(), cfg.node_count());
+        assert_eq!(f.latency(), cfg.noc_latency);
+    }
+}
+
+#[cfg(test)]
+mod mesh_tests {
+    use super::*;
+
+    #[test]
+    fn mesh_latency_is_manhattan() {
+        let t = Topology::Mesh { width: 3, hop_latency: 2, router_latency: 1 };
+        // Node layout: 0 1 2 / 3 4 5 / 6 7 8
+        assert_eq!(t.latency(NodeId(0), NodeId(0)), 1);
+        assert_eq!(t.latency(NodeId(0), NodeId(1)), 3);
+        assert_eq!(t.latency(NodeId(0), NodeId(4)), 5);
+        assert_eq!(t.latency(NodeId(0), NodeId(8)), 9);
+        assert_eq!(t.latency(NodeId(8), NodeId(0)), 9, "symmetric");
+    }
+
+    #[test]
+    fn crossbar_latency_is_uniform() {
+        let t = Topology::Crossbar { latency: 6 };
+        assert_eq!(t.latency(NodeId(0), NodeId(1)), 6);
+        assert_eq!(t.latency(NodeId(3), NodeId(0)), 6);
+        assert_eq!(t.diameter_latency(4), 6);
+    }
+
+    #[test]
+    fn mesh_diameter_grows_with_size() {
+        let t = Topology::Mesh { width: 4, hop_latency: 1, router_latency: 0 };
+        assert_eq!(t.diameter_latency(16), 6, "corner to corner of 4x4");
+        assert!(t.diameter_latency(16) > t.diameter_latency(4));
+    }
+
+    #[test]
+    fn mesh_fabric_delivers_far_later_than_near() {
+        let mut f: Fabric<u8> =
+            Fabric::with_topology(9, Topology::Mesh { width: 3, hop_latency: 2, router_latency: 1 }, 2, 2);
+        f.send(Cycle::ZERO, NodeId(1), NodeId(0), 1); // 1 hop: latency 3
+        f.send(Cycle::ZERO, NodeId(8), NodeId(0), 8); // 4 hops: latency 9
+        let mut got = Vec::new();
+        for cy in 1..=15 {
+            f.tick(Cycle::new(cy));
+            for env in f.take_inbox(NodeId(0)) {
+                got.push((cy, env.payload));
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, 1, "near message arrives first");
+        assert!(got[1].0 > got[0].0);
+    }
+
+    #[test]
+    fn mesh_preserves_same_pair_fifo() {
+        let mut f: Fabric<u32> =
+            Fabric::with_topology(9, Topology::Mesh { width: 3, hop_latency: 2, router_latency: 1 }, 1, 4);
+        for i in 0..6 {
+            f.send(Cycle::ZERO, NodeId(8), NodeId(0), i);
+        }
+        let mut got = Vec::new();
+        for cy in 1..=40 {
+            f.tick(Cycle::new(cy));
+            got.extend(f.take_inbox(NodeId(0)).map(|e| e.payload));
+        }
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_machine_honors_mesh_flag() {
+        let cfg = tenways_sim::MachineConfig::builder().mesh(true).build().unwrap();
+        let f: Fabric<u8> = Fabric::for_machine(&cfg);
+        assert!(matches!(f.topology(), Topology::Mesh { .. }));
+        let cfg = tenways_sim::MachineConfig::builder().mesh(false).build().unwrap();
+        let f: Fabric<u8> = Fabric::for_machine(&cfg);
+        assert!(matches!(f.topology(), Topology::Crossbar { .. }));
+    }
+}

@@ -1,0 +1,416 @@
+//! The machine description shared by every subsystem: [`MachineConfig`].
+//!
+//! A `MachineConfig` is validated at construction (via [`MachineConfigBuilder`])
+//! so downstream components can rely on its invariants — non-zero core counts,
+//! power-of-two cache organizations, and a consistent interconnect topology.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{BlockGeometry, CoreId, NodeId};
+
+/// Errors produced when building an invalid [`MachineConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field that must be non-zero was zero.
+    Zero(&'static str),
+    /// A field that must be a power of two was not.
+    NotPowerOfTwo(&'static str),
+    /// Core count exceeds what a `u16` node id can address.
+    TooManyCores(usize),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Zero(field) => write!(f, "{field} must be non-zero"),
+            ConfigError::NotPowerOfTwo(field) => write!(f, "{field} must be a power of two"),
+            ConfigError::TooManyCores(n) => write!(f, "core count {n} exceeds addressable limit"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Complete description of the simulated machine.
+///
+/// Construct via [`MachineConfig::builder`]; the defaults describe a
+/// contemporary small CMP (8 cores, 32 KB 4-way L1s, 4 directory banks, 4
+/// DRAM banks) and are the configuration printed as Table 1 of the
+/// evaluation.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_sim::MachineConfig;
+///
+/// let cfg = MachineConfig::builder()
+///     .cores(4)
+///     .l1_kib(16)
+///     .build()?;
+/// assert_eq!(cfg.l1_sets * cfg.l1_ways * cfg.block_geometry().block_bytes() as usize, 16 * 1024);
+/// # Ok::<(), tenways_sim::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of cores (each with a private L1).
+    pub cores: usize,
+    /// Cache block size in bytes (power of two).
+    pub block_bytes: u32,
+    /// L1 sets (power of two).
+    pub l1_sets: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency: u64,
+    /// Number of address-interleaved directory banks (power of two).
+    pub dir_banks: usize,
+    /// Directory/L2 tag access latency in cycles.
+    pub dir_latency: u64,
+    /// Number of DRAM banks behind each directory bank (power of two).
+    pub dram_banks: usize,
+    /// DRAM access latency in cycles (row activation + transfer, flattened).
+    pub dram_latency: u64,
+    /// DRAM bank busy time per access (limits bank throughput).
+    pub dram_occupancy: u64,
+    /// Interconnect one-way latency in cycles.
+    pub noc_latency: u64,
+    /// Messages one endpoint may inject per cycle.
+    pub noc_inject_bw: usize,
+    /// Messages one endpoint may accept per cycle.
+    pub noc_accept_bw: usize,
+    /// Use a 2-D mesh topology instead of the default crossbar.
+    pub noc_mesh: bool,
+    /// Reorder-buffer capacity per core.
+    pub rob_entries: usize,
+    /// Store-buffer capacity per core.
+    pub sb_entries: usize,
+    /// Instructions fetched / retired per cycle.
+    pub width: usize,
+    /// Maximum outstanding L1 misses per core (MSHRs).
+    pub mshrs: usize,
+}
+
+impl MachineConfig {
+    /// Starts a builder initialized with the default machine.
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder { cfg: MachineConfig::default() }
+    }
+
+    /// The block geometry implied by [`Self::block_bytes`].
+    pub fn block_geometry(&self) -> BlockGeometry {
+        BlockGeometry::new(self.block_bytes).expect("validated at build time")
+    }
+
+    /// L1 capacity in bytes.
+    pub fn l1_bytes(&self) -> usize {
+        self.l1_sets * self.l1_ways * self.block_bytes as usize
+    }
+
+    /// The interconnect topology implied by this machine.
+    pub fn node_ids(&self) -> NodeLayout {
+        NodeLayout { cores: self.cores, dir_banks: self.dir_banks }
+    }
+
+    /// Total interconnect endpoints (cores + directory banks).
+    pub fn node_count(&self) -> usize {
+        self.cores + self.dir_banks
+    }
+
+    /// Iterator over all core ids.
+    pub fn core_ids(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..self.cores as u16).map(CoreId)
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cores: 8,
+            block_bytes: 64,
+            l1_sets: 128,
+            l1_ways: 4,
+            l1_hit_latency: 2,
+            dir_banks: 4,
+            dir_latency: 12,
+            dram_banks: 4,
+            dram_latency: 120,
+            dram_occupancy: 24,
+            noc_latency: 6,
+            noc_inject_bw: 2,
+            noc_accept_bw: 2,
+            noc_mesh: false,
+            rob_entries: 64,
+            sb_entries: 16,
+            width: 2,
+            mshrs: 8,
+        }
+    }
+}
+
+/// Mapping from logical components to interconnect [`NodeId`]s.
+///
+/// Cores occupy nodes `0..cores`; directory banks follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLayout {
+    cores: usize,
+    dir_banks: usize,
+}
+
+impl NodeLayout {
+    /// Node id of a core's L1 controller.
+    pub fn core_node(&self, core: CoreId) -> NodeId {
+        debug_assert!(core.index() < self.cores);
+        NodeId(core.0)
+    }
+
+    /// Node id of directory bank `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank >= dir_banks`.
+    pub fn dir_node(&self, bank: usize) -> NodeId {
+        assert!(bank < self.dir_banks, "directory bank {bank} out of range");
+        NodeId((self.cores + bank) as u16)
+    }
+
+    /// The directory bank owning a block (address-interleaved).
+    pub fn bank_of(&self, block: crate::ids::BlockAddr) -> usize {
+        (block.as_u64() % self.dir_banks as u64) as usize
+    }
+
+    /// Inverse of [`Self::core_node`] / [`Self::dir_node`].
+    pub fn classify(&self, node: NodeId) -> NodeKind {
+        let idx = node.index();
+        if idx < self.cores {
+            NodeKind::Core(CoreId(node.0))
+        } else if idx < self.cores + self.dir_banks {
+            NodeKind::Directory(idx - self.cores)
+        } else {
+            NodeKind::Unknown
+        }
+    }
+}
+
+/// What kind of component lives at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A core / private-L1 controller.
+    Core(CoreId),
+    /// A directory bank (index within the directory).
+    Directory(usize),
+    /// Past the end of the topology.
+    Unknown,
+}
+
+/// Builder for [`MachineConfig`]; see [`MachineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// Sets the core count.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cfg.cores = cores;
+        self
+    }
+
+    /// Sets the cache block size in bytes.
+    pub fn block_bytes(mut self, bytes: u32) -> Self {
+        self.cfg.block_bytes = bytes;
+        self
+    }
+
+    /// Sets the L1 organization directly.
+    pub fn l1(mut self, sets: usize, ways: usize) -> Self {
+        self.cfg.l1_sets = sets;
+        self.cfg.l1_ways = ways;
+        self
+    }
+
+    /// Sets the L1 capacity in KiB, keeping the current associativity.
+    pub fn l1_kib(mut self, kib: usize) -> Self {
+        let blocks = kib * 1024 / self.cfg.block_bytes as usize;
+        self.cfg.l1_sets = (blocks / self.cfg.l1_ways).max(1);
+        self
+    }
+
+    /// Sets the L1 hit latency.
+    pub fn l1_hit_latency(mut self, cycles: u64) -> Self {
+        self.cfg.l1_hit_latency = cycles;
+        self
+    }
+
+    /// Sets directory bank count and access latency.
+    pub fn directory(mut self, banks: usize, latency: u64) -> Self {
+        self.cfg.dir_banks = banks;
+        self.cfg.dir_latency = latency;
+        self
+    }
+
+    /// Sets DRAM bank count, latency and per-access occupancy.
+    pub fn dram(mut self, banks: usize, latency: u64, occupancy: u64) -> Self {
+        self.cfg.dram_banks = banks;
+        self.cfg.dram_latency = latency;
+        self.cfg.dram_occupancy = occupancy;
+        self
+    }
+
+    /// Sets interconnect latency and per-endpoint bandwidths.
+    pub fn noc(mut self, latency: u64, inject_bw: usize, accept_bw: usize) -> Self {
+        self.cfg.noc_latency = latency;
+        self.cfg.noc_inject_bw = inject_bw;
+        self.cfg.noc_accept_bw = accept_bw;
+        self
+    }
+
+    /// Selects a 2-D mesh interconnect instead of the crossbar.
+    pub fn mesh(mut self, mesh: bool) -> Self {
+        self.cfg.noc_mesh = mesh;
+        self
+    }
+
+    /// Sets the ROB capacity.
+    pub fn rob_entries(mut self, entries: usize) -> Self {
+        self.cfg.rob_entries = entries;
+        self
+    }
+
+    /// Sets the store buffer capacity.
+    pub fn sb_entries(mut self, entries: usize) -> Self {
+        self.cfg.sb_entries = entries;
+        self
+    }
+
+    /// Sets fetch/retire width.
+    pub fn width(mut self, width: usize) -> Self {
+        self.cfg.width = width;
+        self
+    }
+
+    /// Sets the per-core MSHR count.
+    pub fn mshrs(mut self, mshrs: usize) -> Self {
+        self.cfg.mshrs = mshrs;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field if any
+    /// count is zero, any power-of-two field isn't, or the machine is too
+    /// large to address.
+    pub fn build(self) -> Result<MachineConfig, ConfigError> {
+        let c = self.cfg;
+        for (v, name) in [
+            (c.cores, "cores"),
+            (c.l1_sets, "l1_sets"),
+            (c.l1_ways, "l1_ways"),
+            (c.dir_banks, "dir_banks"),
+            (c.dram_banks, "dram_banks"),
+            (c.rob_entries, "rob_entries"),
+            (c.sb_entries, "sb_entries"),
+            (c.width, "width"),
+            (c.mshrs, "mshrs"),
+            (c.noc_inject_bw, "noc_inject_bw"),
+            (c.noc_accept_bw, "noc_accept_bw"),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::Zero(name));
+            }
+        }
+        if c.block_bytes == 0 || !c.block_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("block_bytes"));
+        }
+        if !c.l1_sets.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("l1_sets"));
+        }
+        if !c.dir_banks.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("dir_banks"));
+        }
+        if !c.dram_banks.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("dram_banks"));
+        }
+        if c.cores + c.dir_banks > u16::MAX as usize {
+            return Err(ConfigError::TooManyCores(c.cores));
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::BlockAddr;
+
+    #[test]
+    fn default_config_is_valid() {
+        let cfg = MachineConfig::builder().build().unwrap();
+        assert_eq!(cfg, MachineConfig::default());
+        assert_eq!(cfg.l1_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn zero_fields_are_rejected() {
+        assert_eq!(
+            MachineConfig::builder().cores(0).build(),
+            Err(ConfigError::Zero("cores"))
+        );
+        assert_eq!(
+            MachineConfig::builder().width(0).build(),
+            Err(ConfigError::Zero("width"))
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        assert_eq!(
+            MachineConfig::builder().l1(100, 4).build(),
+            Err(ConfigError::NotPowerOfTwo("l1_sets"))
+        );
+        assert_eq!(
+            MachineConfig::builder().block_bytes(48).build(),
+            Err(ConfigError::NotPowerOfTwo("block_bytes"))
+        );
+    }
+
+    #[test]
+    fn l1_kib_recomputes_sets() {
+        let cfg = MachineConfig::builder().l1_kib(8).build().unwrap();
+        assert_eq!(cfg.l1_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    fn node_layout_roundtrips() {
+        let cfg = MachineConfig::builder().cores(4).directory(2, 10).build().unwrap();
+        let layout = cfg.node_ids();
+        assert_eq!(layout.core_node(CoreId(3)), NodeId(3));
+        assert_eq!(layout.dir_node(0), NodeId(4));
+        assert_eq!(layout.dir_node(1), NodeId(5));
+        assert_eq!(layout.classify(NodeId(2)), NodeKind::Core(CoreId(2)));
+        assert_eq!(layout.classify(NodeId(5)), NodeKind::Directory(1));
+        assert_eq!(layout.classify(NodeId(6)), NodeKind::Unknown);
+    }
+
+    #[test]
+    fn banks_interleave_blocks() {
+        let cfg = MachineConfig::builder().directory(4, 10).build().unwrap();
+        let layout = cfg.node_ids();
+        let banks: Vec<usize> = (0..8).map(|b| layout.bank_of(BlockAddr(b))).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dir_node_bounds_checked() {
+        let cfg = MachineConfig::default();
+        cfg.node_ids().dir_node(99);
+    }
+
+    #[test]
+    fn config_clone_eq() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.clone(), cfg);
+    }
+}

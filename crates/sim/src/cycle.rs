@@ -1,0 +1,197 @@
+//! Simulation time: the [`Cycle`] timestamp and the global [`Clock`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in clock cycles since reset.
+///
+/// `Cycle` is a newtype over `u64` so that timestamps cannot be confused with
+/// other integer quantities (counts, addresses, latencies expressed as bare
+/// numbers). Latencies are plain `u64`s; adding a latency to a `Cycle` yields
+/// a `Cycle`, and subtracting two `Cycle`s yields a `u64` duration.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_sim::Cycle;
+///
+/// let start = Cycle::new(100);
+/// let end = start + 25;
+/// assert_eq!(end, Cycle::new(125));
+/// assert_eq!(end - start, 25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero timestamp (simulation reset).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The maximum representable timestamp; used as an "never" sentinel for
+    /// events that are not currently scheduled.
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Creates a timestamp at an absolute cycle number.
+    pub const fn new(cycle: u64) -> Self {
+        Cycle(cycle)
+    }
+
+    /// Returns the raw cycle number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the timestamp `latency` cycles later, saturating at
+    /// [`Cycle::NEVER`] on overflow.
+    #[must_use]
+    pub const fn after(self, latency: u64) -> Self {
+        Cycle(self.0.saturating_add(latency))
+    }
+
+    /// Cycles elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    #[must_use]
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cy{}", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, latency: u64) -> Cycle {
+        self.after(latency)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, latency: u64) {
+        *self = self.after(latency);
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    fn sub(self, earlier: Cycle) -> u64 {
+        self.since(earlier)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(cycle: u64) -> Self {
+        Cycle(cycle)
+    }
+}
+
+/// The monotonically advancing global time source.
+///
+/// A simulation owns exactly one `Clock`; each top-level tick advances it by
+/// one cycle. Components receive the current [`Cycle`] by value when ticked,
+/// so only the simulator itself can move time forward.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_sim::{Clock, Cycle};
+///
+/// let mut clock = Clock::new();
+/// for _ in 0..10 {
+///     clock.advance();
+/// }
+/// assert_eq!(clock.now(), Cycle::new(10));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Cycle,
+}
+
+impl Clock {
+    /// Creates a clock at [`Cycle::ZERO`].
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances time by one cycle and returns the new timestamp.
+    pub fn advance(&mut self) -> Cycle {
+        self.now += 1;
+        self.now
+    }
+
+    /// Advances time by `cycles` at once (used by fast-forward paths that
+    /// know no component has pending work).
+    pub fn advance_by(&mut self, cycles: u64) -> Cycle {
+        self.now += cycles;
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_roundtrips() {
+        let a = Cycle::new(7);
+        assert_eq!(a + 3, Cycle::new(10));
+        assert_eq!((a + 3) - a, 3);
+        assert_eq!(a.since(Cycle::new(100)), 0, "saturates instead of panicking");
+    }
+
+    #[test]
+    fn cycle_after_saturates_at_never() {
+        assert_eq!(Cycle::new(u64::MAX - 1).after(5), Cycle::NEVER);
+        assert_eq!(Cycle::NEVER.after(1), Cycle::NEVER);
+    }
+
+    #[test]
+    fn cycle_ordering_matches_raw() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert!(Cycle::ZERO < Cycle::NEVER);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        let mut last = c.now();
+        for _ in 0..100 {
+            let now = c.advance();
+            assert!(now > last);
+            last = now;
+        }
+        assert_eq!(last, Cycle::new(100));
+    }
+
+    #[test]
+    fn clock_advance_by_jumps() {
+        let mut c = Clock::new();
+        c.advance_by(1_000);
+        assert_eq!(c.now(), Cycle::new(1_000));
+    }
+
+    #[test]
+    fn cycle_display_is_compact() {
+        assert_eq!(Cycle::new(42).to_string(), "cy42");
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut c = Cycle::ZERO;
+        c += 5;
+        c += 5;
+        assert_eq!(c, Cycle::new(10));
+    }
+}

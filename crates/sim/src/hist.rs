@@ -1,0 +1,266 @@
+//! Distributions: the [`Histogram`] used for latency, occupancy and
+//! speculation-depth measurements.
+//!
+//! The histogram is linear-bucketed up to a configurable cap with an overflow
+//! bucket, which is sufficient for the bounded quantities we measure (store
+//! buffer occupancy ≤ capacity, speculation depth ≤ ROB, latencies ≤ a few
+//! hundred cycles when bucketed at the right width). Percentiles are computed
+//! by inverse-CDF walk.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear histogram with `buckets` buckets of width `bucket_width` and an
+/// overflow bucket.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_sim::Histogram;
+///
+/// let mut h = Histogram::new(16, 1);
+/// for v in [1, 1, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.percentile(50.0), 2);
+/// assert!(h.mean() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` linear buckets of width
+    /// `bucket_width` (values `>= buckets * bucket_width` land in overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` or `bucket_width` is zero.
+    pub fn new(buckets: usize, bucket_width: u64) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(bucket_width > 0, "bucket width must be non-zero");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of all samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at percentile `p` (0–100), computed as the lower edge of the
+    /// bucket containing the p-th sample; overflow reports the observed max.
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return i as u64 * self.bucket_width;
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples that exceeded the linear range.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates `(bucket_lower_edge, count)` over non-empty linear buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bucket counts or widths differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Cumulative distribution: `(value, fraction <= value)` per non-empty
+    /// bucket edge, ending with the overflow mass at the observed max.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            out.push(((i as u64 + 1) * self.bucket_width - 1, seen as f64 / self.total as f64));
+        }
+        if self.overflow > 0 {
+            out.push((self.max, 1.0));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    /// 64 buckets of width 1 — suitable for small occupancies.
+    fn default() -> Self {
+        Histogram::new(64, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new(8, 1);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn records_land_in_right_buckets() {
+        let mut h = Histogram::new(4, 10);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(39);
+        h.record(40); // overflow
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(0, 2), (10, 1), (30, 1)]);
+        assert_eq!(h.overflow_fraction(), 0.2);
+        assert_eq!(h.max(), 40);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new(128, 1);
+        for v in 0..100 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert_eq!(p50, 49);
+        assert_eq!(h.percentile(100.0), 99);
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn percentile_of_overflow_reports_max() {
+        let mut h = Histogram::new(2, 1);
+        h.record(1000);
+        assert_eq!(h.percentile(50.0), 1000);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new(8, 1);
+        for v in [2, 4, 6] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new(8, 1);
+        let mut b = Histogram::new(8, 1);
+        a.record(1);
+        b.record(3);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100);
+        assert!((a.mean() - (104.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(8, 1);
+        let b = Histogram::new(8, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn cdf_ends_at_one() {
+        let mut h = Histogram::new(4, 1);
+        for v in [0, 1, 2, 99] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        let (_, last) = *cdf.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be nondecreasing");
+        }
+    }
+}

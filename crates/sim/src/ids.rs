@@ -1,0 +1,212 @@
+//! Identity newtypes: components ([`CoreId`], [`NodeId`]) and the address
+//! space ([`Addr`], [`BlockAddr`], [`BlockGeometry`]).
+//!
+//! All tenways crates agree on these types so that, e.g., a byte address can
+//! never be accidentally used where a cache-block address is required — the
+//! classic off-by-`log2(block)` family of simulator bugs becomes a type error.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one simulated core (and its private L1, which shares the id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// Returns the id as a `usize` index (for `Vec`-indexed component tables).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifies any endpoint on the interconnect.
+///
+/// Cores/L1s occupy node ids `0..cores`; directory banks, DRAM channels and
+/// any future endpoints are assigned ids above that by the machine topology
+/// (see [`crate::config::MachineConfig::node_ids`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<CoreId> for NodeId {
+    /// A core's L1 controller sits at the node with the same index.
+    fn from(core: CoreId) -> NodeId {
+        NodeId(core.0)
+    }
+}
+
+/// A byte address in the simulated physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Byte offset addition (e.g. walking an array).
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-block-aligned address: the byte address divided by the block size.
+///
+/// Produced only via [`BlockGeometry::block_of`], so a `BlockAddr` always
+/// agrees with the machine's block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Returns the block number as a raw `u64` (used for bank hashing).
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{:#x}", self.0)
+    }
+}
+
+/// The machine-wide mapping between byte addresses and cache blocks.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_sim::{Addr, BlockGeometry};
+///
+/// let geom = BlockGeometry::new(64).unwrap();
+/// let a = Addr(0x1000 + 63);
+/// let b = Addr(0x1000);
+/// assert_eq!(geom.block_of(a), geom.block_of(b));
+/// assert_ne!(geom.block_of(Addr(0x1040)), geom.block_of(b));
+/// assert_eq!(geom.base_of(geom.block_of(a)), Addr(0x1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockGeometry {
+    block_bytes: u32,
+    shift: u32,
+}
+
+impl BlockGeometry {
+    /// Creates a geometry for `block_bytes`-sized blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `block_bytes` is zero or not a power of two.
+    pub fn new(block_bytes: u32) -> Option<Self> {
+        if block_bytes == 0 || !block_bytes.is_power_of_two() {
+            return None;
+        }
+        Some(BlockGeometry { block_bytes, shift: block_bytes.trailing_zeros() })
+    }
+
+    /// The block size in bytes.
+    pub const fn block_bytes(self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Maps a byte address to its containing block.
+    pub const fn block_of(self, addr: Addr) -> BlockAddr {
+        BlockAddr(addr.0 >> self.shift)
+    }
+
+    /// The first byte address of a block.
+    pub const fn base_of(self, block: BlockAddr) -> Addr {
+        Addr(block.0 << self.shift)
+    }
+
+    /// Whether two byte addresses fall in the same block (false sharing test).
+    pub const fn same_block(self, a: Addr, b: Addr) -> bool {
+        (a.0 >> self.shift) == (b.0 >> self.shift)
+    }
+}
+
+impl Default for BlockGeometry {
+    /// 64-byte blocks, the conventional size.
+    fn default() -> Self {
+        BlockGeometry::new(64).expect("64 is a power of two")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_rejects_bad_sizes() {
+        assert!(BlockGeometry::new(0).is_none());
+        assert!(BlockGeometry::new(48).is_none());
+        assert!(BlockGeometry::new(64).is_some());
+        assert!(BlockGeometry::new(1).is_some());
+    }
+
+    #[test]
+    fn block_mapping_is_consistent() {
+        let g = BlockGeometry::new(64).unwrap();
+        for base in [0u64, 64, 0x1000, 0x00de_adc0] {
+            let aligned = Addr(base & !63);
+            for off in 0..64 {
+                assert_eq!(g.block_of(aligned.offset(off)), g.block_of(aligned));
+            }
+            assert_eq!(g.base_of(g.block_of(aligned)), aligned);
+        }
+    }
+
+    #[test]
+    fn same_block_detects_false_sharing() {
+        let g = BlockGeometry::default();
+        assert!(g.same_block(Addr(0x100), Addr(0x13f)));
+        assert!(!g.same_block(Addr(0x100), Addr(0x140)));
+    }
+
+    #[test]
+    fn core_to_node_identity() {
+        assert_eq!(NodeId::from(CoreId(3)), NodeId(3));
+        assert_eq!(CoreId(5).index(), 5);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(CoreId(2).to_string(), "core2");
+        assert_eq!(NodeId(9).to_string(), "node9");
+        assert_eq!(Addr(0xff).to_string(), "0xff");
+        assert_eq!(BlockAddr(0x10).to_string(), "blk0x10");
+    }
+
+    #[test]
+    fn addr_offset_wraps_rather_than_panics() {
+        let a = Addr(u64::MAX);
+        assert_eq!(a.offset(1), Addr(0));
+    }
+}

@@ -1,0 +1,50 @@
+//! Deterministic cycle-level simulation kernel for the `tenways` workspace.
+//!
+//! This crate is the substrate every other `tenways` crate is built on. It
+//! deliberately contains no knowledge of caches, cores, or coherence; it only
+//! provides the vocabulary a cycle-accurate simulator needs:
+//!
+//! * [`Cycle`] — a strongly-typed simulation timestamp, and [`Clock`], the
+//!   monotonically advancing global time source.
+//! * [`ids`] — newtypes for component identities ([`CoreId`], [`NodeId`]) and
+//!   for the address space ([`Addr`], [`BlockAddr`], [`BlockGeometry`]).
+//! * [`config`] — the machine description ([`MachineConfig`]) shared by all
+//!   subsystems, with validated construction.
+//! * [`stats`] — cheap named counters ([`Counter`], [`StatSet`]) that
+//!   components bump on every event of interest.
+//! * [`hist`] — fixed-bucket and log₂ histograms for latency / occupancy
+//!   distributions with percentile queries.
+//! * [`rng`] — a small, seedable, splittable PRNG ([`DetRng`]) so every run of
+//!   a simulation is bit-for-bit reproducible from a single seed.
+//!
+//! # Example
+//!
+//! ```rust
+//! use tenways_sim::{Clock, Cycle, config::MachineConfig};
+//!
+//! let mut clock = Clock::new();
+//! assert_eq!(clock.now(), Cycle::ZERO);
+//! clock.advance();
+//! assert_eq!(clock.now(), Cycle::new(1));
+//!
+//! let cfg = MachineConfig::builder().cores(8).build().expect("valid config");
+//! assert_eq!(cfg.cores, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hist;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+mod cycle;
+
+pub use config::MachineConfig;
+pub use cycle::{Clock, Cycle};
+pub use hist::Histogram;
+pub use ids::{Addr, BlockAddr, BlockGeometry, CoreId, NodeId};
+pub use rng::DetRng;
+pub use stats::{Counter, StatSet};

@@ -1,0 +1,234 @@
+//! Cheap named event counters: [`Counter`] and [`StatSet`].
+//!
+//! Components bump counters on every event of interest (hits, misses,
+//! invalidations, rollbacks, ...). A [`StatSet`] is an ordered bag of named
+//! counters that can be merged across components and rendered as a report
+//! row. Counters are plain `u64`s — no atomics; the simulator is
+//! single-threaded per run and sweeps parallelize across *runs*.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::Serialize;
+
+/// A single monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_sim::Counter;
+///
+/// let mut hits = Counter::default();
+/// hits.incr();
+/// hits.add(3);
+/// assert_eq!(hits.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(v: u64) -> Self {
+        Counter(v)
+    }
+}
+
+/// An ordered collection of named counters.
+///
+/// Keys are `&'static str` event names; ordering is lexicographic so report
+/// rows are stable across runs.
+///
+/// # Example
+///
+/// ```rust
+/// use tenways_sim::StatSet;
+///
+/// let mut a = StatSet::new();
+/// a.bump("l1.hit");
+/// a.bump_by("l1.miss", 2);
+///
+/// let mut b = StatSet::new();
+/// b.bump("l1.hit");
+/// a.merge(&b);
+/// assert_eq!(a.get("l1.hit"), 2);
+/// assert_eq!(a.get("l1.miss"), 2);
+/// assert_eq!(a.get("unknown"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct StatSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl StatSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        StatSet::default()
+    }
+
+    /// Adds one to `name`, creating it at zero first if absent.
+    pub fn bump(&mut self, name: &'static str) {
+        *self.counters.entry(name).or_insert(0) += 1;
+    }
+
+    /// Adds `n` to `name`.
+    pub fn bump_by(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Sets `name` to an absolute value (for gauges sampled at end of run).
+    pub fn set(&mut self, name: &'static str, v: u64) {
+        self.counters.insert(name, v);
+    }
+
+    /// Reads a counter; absent counters read as zero.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &StatSet) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates `(name, value)` in stable (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Ratio of two counters, or `None` if the denominator is zero.
+    pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let d = self.get(den);
+        (d != 0).then(|| self.get(num) as f64 / d as f64)
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() {
+            return write!(f, "(no stats)");
+        }
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k:<40} {v:>16}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<(&'static str, u64)> for StatSet {
+    fn extend<T: IntoIterator<Item = (&'static str, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.bump_by(k, v);
+        }
+    }
+}
+
+impl FromIterator<(&'static str, u64)> for StatSet {
+    fn from_iter<T: IntoIterator<Item = (&'static str, u64)>>(iter: T) -> Self {
+        let mut s = StatSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(Counter::from(5).get(), 5);
+    }
+
+    #[test]
+    fn statset_bump_get_merge() {
+        let mut s = StatSet::new();
+        s.bump("a");
+        s.bump_by("a", 4);
+        s.bump("b");
+        let mut t = StatSet::new();
+        t.bump_by("a", 10);
+        t.bump("c");
+        s.merge(&t);
+        assert_eq!(s.get("a"), 15);
+        assert_eq!(s.get("b"), 1);
+        assert_eq!(s.get("c"), 1);
+        assert_eq!(s.get("nope"), 0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn statset_iteration_is_sorted() {
+        let s: StatSet = [("z", 1), ("a", 2), ("m", 3)].into_iter().collect();
+        let keys: Vec<_> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn statset_ratio() {
+        let s: StatSet = [("hit", 3), ("access", 4)].into_iter().collect();
+        assert_eq!(s.ratio("hit", "access"), Some(0.75));
+        assert_eq!(s.ratio("hit", "absent"), None);
+    }
+
+    #[test]
+    fn statset_set_overwrites() {
+        let mut s = StatSet::new();
+        s.bump_by("g", 7);
+        s.set("g", 2);
+        assert_eq!(s.get("g"), 2);
+    }
+
+    #[test]
+    fn statset_display_nonempty() {
+        let s = StatSet::new();
+        assert_eq!(s.to_string(), "(no stats)");
+        let s: StatSet = [("x", 1)].into_iter().collect();
+        assert!(s.to_string().contains('x'));
+    }
+}

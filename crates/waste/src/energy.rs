@@ -1,0 +1,187 @@
+//! Event-count energy accounting: [`EnergyModel`] and [`EnergyReport`].
+//!
+//! The keynote's thesis is that *data movement, not computation, is the big
+//! consumer of energy*. The model here is deliberately simple — a nanojoule
+//! constant per event class plus per-cycle static power — because the claim
+//! it supports is relative (where the Joules go, and how work-per-Joule
+//! changes across designs), not absolute. Default constants are in the
+//! ballpark of published 45 nm-class figures: an L1 access costs ~10× a
+//! register op, DRAM ~100× an L1 access, and moving a message across the
+//! die sits in between.
+
+use serde::{Deserialize, Serialize};
+use tenways_sim::StatSet;
+
+/// Per-event energy constants, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One L1 access (hit or miss probe).
+    pub l1_access_nj: f64,
+    /// One directory/L2 slice access.
+    pub l2_access_nj: f64,
+    /// One DRAM access (activation + transfer, flattened).
+    pub dram_access_nj: f64,
+    /// One message crossing the interconnect.
+    pub noc_msg_nj: f64,
+    /// Dynamic energy of one busy core cycle.
+    pub core_busy_cycle_nj: f64,
+    /// Static/leakage energy per core per cycle (busy or not).
+    pub core_static_cycle_nj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            l1_access_nj: 0.05,
+            l2_access_nj: 0.5,
+            dram_access_nj: 20.0,
+            noc_msg_nj: 0.25,
+            core_busy_cycle_nj: 0.1,
+            core_static_cycle_nj: 0.03,
+        }
+    }
+}
+
+/// Where the Joules went in one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EnergyReport {
+    /// L1 dynamic energy (nJ).
+    pub l1_nj: f64,
+    /// Directory/L2 dynamic energy (nJ).
+    pub l2_nj: f64,
+    /// DRAM dynamic energy (nJ).
+    pub dram_nj: f64,
+    /// Interconnect dynamic energy (nJ).
+    pub noc_nj: f64,
+    /// Core dynamic energy (busy cycles, nJ).
+    pub core_dynamic_nj: f64,
+    /// Static/leakage energy (nJ).
+    pub static_nj: f64,
+    /// Dynamic operations retired.
+    pub retired_ops: u64,
+    /// Run length in cycles.
+    pub cycles: u64,
+}
+
+impl EnergyReport {
+    /// Computes the report from a merged stat set, the run length and the
+    /// core count.
+    pub fn from_stats(
+        model: &EnergyModel,
+        stats: &StatSet,
+        cycles: u64,
+        cores: usize,
+        retired_ops: u64,
+    ) -> Self {
+        let l1_accesses = stats.get("l1.read_reqs") + stats.get("l1.write_reqs");
+        let l2_accesses = stats.get("dir.requests");
+        let dram_accesses = stats.get("dram.accesses");
+        let noc_msgs = stats.get("noc.sent");
+        let busy = stats.get("cyc.busy") + stats.get("cyc.compute");
+        EnergyReport {
+            l1_nj: l1_accesses as f64 * model.l1_access_nj,
+            l2_nj: l2_accesses as f64 * model.l2_access_nj,
+            dram_nj: dram_accesses as f64 * model.dram_access_nj,
+            noc_nj: noc_msgs as f64 * model.noc_msg_nj,
+            core_dynamic_nj: busy as f64 * model.core_busy_cycle_nj,
+            static_nj: (cycles * cores as u64) as f64 * model.core_static_cycle_nj,
+            retired_ops,
+            cycles,
+        }
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.l1_nj + self.l2_nj + self.dram_nj + self.noc_nj + self.core_dynamic_nj + self.static_nj
+    }
+
+    /// Energy spent moving data (everything except core dynamic).
+    pub fn data_movement_nj(&self) -> f64 {
+        self.l1_nj + self.l2_nj + self.dram_nj + self.noc_nj
+    }
+
+    /// Retired operations per microjoule — the keynote's "how much science
+    /// per Joule" metric, at simulator scale.
+    pub fn ops_per_uj(&self) -> f64 {
+        let uj = self.total_nj() / 1_000.0;
+        if uj == 0.0 {
+            0.0
+        } else {
+            self.retired_ops as f64 / uj
+        }
+    }
+
+    /// Energy-delay product (nJ · cycles), the classic combined metric.
+    pub fn edp(&self) -> f64 {
+        self.total_nj() * self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pairs: &[(&'static str, u64)]) -> StatSet {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn energy_sums_components() {
+        let m = EnergyModel {
+            l1_access_nj: 1.0,
+            l2_access_nj: 2.0,
+            dram_access_nj: 4.0,
+            noc_msg_nj: 8.0,
+            core_busy_cycle_nj: 16.0,
+            core_static_cycle_nj: 1.0,
+        };
+        let s = stats(&[
+            ("l1.read_reqs", 3),
+            ("l1.write_reqs", 2),
+            ("dir.requests", 2),
+            ("dram.accesses", 1),
+            ("noc.sent", 1),
+            ("cyc.busy", 2),
+        ]);
+        let r = EnergyReport::from_stats(&m, &s, 10, 2, 100);
+        assert_eq!(r.l1_nj, 5.0);
+        assert_eq!(r.l2_nj, 4.0);
+        assert_eq!(r.dram_nj, 4.0);
+        assert_eq!(r.noc_nj, 8.0);
+        assert_eq!(r.core_dynamic_nj, 32.0);
+        assert_eq!(r.static_nj, 20.0);
+        assert_eq!(r.total_nj(), 73.0);
+        assert_eq!(r.data_movement_nj(), 21.0);
+    }
+
+    #[test]
+    fn ops_per_uj_scales_with_work() {
+        let m = EnergyModel::default();
+        let s = stats(&[("cyc.busy", 1000)]);
+        let small = EnergyReport::from_stats(&m, &s, 1000, 1, 100);
+        let large = EnergyReport::from_stats(&m, &s, 1000, 1, 1000);
+        assert!(large.ops_per_uj() > small.ops_per_uj());
+    }
+
+    #[test]
+    fn default_model_makes_dram_dominant_per_event() {
+        let m = EnergyModel::default();
+        assert!(m.dram_access_nj > 10.0 * m.l2_access_nj);
+        assert!(m.l2_access_nj > m.l1_access_nj);
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        let m = EnergyModel::default();
+        let s = stats(&[("cyc.busy", 10)]);
+        let r = EnergyReport::from_stats(&m, &s, 100, 1, 10);
+        assert!((r.edp() - r.total_nj() * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_has_zero_dynamic_energy() {
+        let r = EnergyReport::from_stats(&EnergyModel::default(), &StatSet::new(), 0, 1, 0);
+        assert_eq!(r.total_nj(), 0.0);
+        assert_eq!(r.ops_per_uj(), 0.0);
+    }
+}

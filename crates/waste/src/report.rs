@@ -1,0 +1,170 @@
+//! Plain-text report rendering for the benchmark harness.
+//!
+//! Every figure/table binary in `tenways-bench` prints through these
+//! helpers so output stays uniform and diff-able across runs.
+
+use crate::runner::RunRecord;
+use crate::taxonomy::WasteCategory;
+
+/// Renders a stacked waste-breakdown table (one row per record), columns
+/// being the taxonomy categories as percentages of total cycles.
+pub fn breakdown_table(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<22}", "workload"));
+    for cat in WasteCategory::all() {
+        out.push_str(&format!("{:>15}", cat.label()));
+    }
+    out.push_str(&format!("{:>15}\n", "rollback%"));
+    for r in records {
+        out.push_str(&format!("{:<22}", r.label));
+        for cat in WasteCategory::all() {
+            out.push_str(&format!("{:>14.1}%", 100.0 * r.breakdown.fraction(cat)));
+        }
+        let rb = if r.breakdown.total() == 0 {
+            0.0
+        } else {
+            100.0 * r.breakdown.rollback_overlay as f64 / r.breakdown.total() as f64
+        };
+        out.push_str(&format!("{:>14.1}%\n", rb));
+    }
+    out
+}
+
+/// Renders a runtime comparison: rows are labels, columns are the given
+/// series, values are runtimes normalized to the **last** column.
+pub fn normalized_runtime_table(
+    series_names: &[&str],
+    rows: &[(String, Vec<u64>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", "workload"));
+    for name in series_names {
+        out.push_str(&format!("{name:>16}"));
+    }
+    out.push('\n');
+    for (label, cycles) in rows {
+        out.push_str(&format!("{label:<14}"));
+        let base = *cycles.last().unwrap_or(&1) as f64;
+        for &c in cycles {
+            out.push_str(&format!("{:>16.3}", c as f64 / base.max(1.0)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an energy table: per-component nJ, total, ops/µJ, EDP.
+pub fn energy_table(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}{:>14}{:>12}{:>14}\n",
+        "workload", "l1 nJ", "l2 nJ", "dram nJ", "noc nJ", "core nJ", "static nJ", "total nJ", "ops/uJ", "EDP"
+    ));
+    for r in records {
+        let e = &r.energy;
+        out.push_str(&format!(
+            "{:<22}{:>12.0}{:>12.0}{:>12.0}{:>12.0}{:>12.0}{:>12.0}{:>14.0}{:>12.1}{:>14.2e}\n",
+            r.label,
+            e.l1_nj,
+            e.l2_nj,
+            e.dram_nj,
+            e.noc_nj,
+            e.core_dynamic_nj,
+            e.static_nj,
+            e.total_nj(),
+            e.ops_per_uj(),
+            e.edp(),
+        ));
+    }
+    out
+}
+
+/// Renders a histogram as a CDF listing.
+pub fn cdf_listing(title: &str, hist: &tenways_sim::Histogram) -> String {
+    let mut out = format!(
+        "{title}: n={} mean={:.2} p50={} p90={} p99={} max={}\n",
+        hist.count(),
+        hist.mean(),
+        hist.percentile(50.0),
+        hist.percentile(90.0),
+        hist.percentile(99.0),
+        hist.max()
+    );
+    for (v, f) in hist.cdf() {
+        out.push_str(&format!("  <= {v:>6}: {:>6.2}%\n", f * 100.0));
+    }
+    out
+}
+
+/// Renders a generic aligned two-column-plus table.
+pub fn simple_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for h in headers {
+        out.push_str(&format!("{h:>16}"));
+    }
+    out.push('\n');
+    for row in rows {
+        for cell in row {
+            out.push_str(&format!("{cell:>16}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenways_cpu::ConsistencyModel;
+    use tenways_workloads::{WorkloadKind, WorkloadParams};
+
+    fn record() -> RunRecord {
+        crate::Experiment::new(WorkloadKind::LuLike)
+            .params(WorkloadParams { threads: 2, scale: 1, seed: 0 })
+            .model(ConsistencyModel::Tso)
+            .run()
+    }
+
+    #[test]
+    fn breakdown_table_has_all_columns() {
+        let t = breakdown_table(&[record()]);
+        for cat in WasteCategory::all() {
+            assert!(t.contains(cat.label()), "missing {}", cat.label());
+        }
+        assert!(t.contains("lu"));
+    }
+
+    #[test]
+    fn normalized_table_normalizes_to_last_column() {
+        let t = normalized_runtime_table(
+            &["SC", "RMO"],
+            &[("x".into(), vec![200, 100])],
+        );
+        assert!(t.contains("2.000"), "{t}");
+        assert!(t.contains("1.000"), "{t}");
+    }
+
+    #[test]
+    fn energy_table_renders() {
+        let t = energy_table(&[record()]);
+        assert!(t.contains("total nJ"));
+        assert!(t.contains("lu"));
+    }
+
+    #[test]
+    fn cdf_listing_is_monotone_in_output() {
+        let mut h = tenways_sim::Histogram::new(8, 1);
+        for v in [1, 2, 2, 3] {
+            h.record(v);
+        }
+        let t = cdf_listing("sb", &h);
+        assert!(t.contains("p50"));
+        assert!(t.contains("100.00%"));
+    }
+
+    #[test]
+    fn simple_table_alignment() {
+        let t = simple_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.lines().count() == 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! The experiment runner: [`Experiment`] configures one simulation and
+//! [`RunRecord`] carries everything the report layer needs.
+
+use tenways_coherence::ProtocolConfig;
+use tenways_cpu::{ConsistencyModel, Machine, MachineSpec, RunSummary, SpecConfig};
+use tenways_sim::{Histogram, MachineConfig, StatSet};
+use tenways_workloads::{contended_programs, ContendedParams, WorkloadKind, WorkloadParams};
+
+use crate::energy::{EnergyModel, EnergyReport};
+use crate::taxonomy::WasteBreakdown;
+
+/// What to simulate.
+#[derive(Debug, Clone)]
+enum Input {
+    Kind(WorkloadKind),
+    Contended(ContendedParams),
+}
+
+/// A configured experiment (builder).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    input: Input,
+    params: WorkloadParams,
+    machine: MachineConfig,
+    model: ConsistencyModel,
+    spec: SpecConfig,
+    protocol: ProtocolConfig,
+    energy: EnergyModel,
+    cycle_limit: u64,
+}
+
+impl Experiment {
+    /// An experiment on one of the suite kernels with default settings
+    /// (8 threads, TSO baseline, default machine).
+    pub fn new(kind: WorkloadKind) -> Self {
+        Experiment {
+            input: Input::Kind(kind),
+            params: WorkloadParams::default(),
+            machine: MachineConfig::default(),
+            model: ConsistencyModel::Tso,
+            spec: SpecConfig::disabled(),
+            protocol: ProtocolConfig::default(),
+            energy: EnergyModel::default(),
+            cycle_limit: 50_000_000,
+        }
+    }
+
+    /// An experiment on the contended microbenchmark.
+    pub fn contended(params: ContendedParams) -> Self {
+        let threads = params.threads;
+        let mut e = Experiment::new(WorkloadKind::BarnesLike);
+        e.input = Input::Contended(params);
+        e.params.threads = threads;
+        e
+    }
+
+    /// Sets workload sizing (threads/scale/seed). Thread count must match
+    /// the machine's core count at [`run`](Self::run) time; the runner
+    /// resizes the machine automatically.
+    pub fn params(mut self, params: WorkloadParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the machine description (core count is overridden to match the
+    /// workload's thread count).
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets the consistency model.
+    pub fn model(mut self, model: ConsistencyModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the speculation configuration.
+    pub fn spec(mut self, spec: SpecConfig) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets coherence protocol options (MSI/MESI).
+    pub fn protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the energy constants.
+    pub fn energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Sets the cycle limit (runs are cut off, not failed, at the limit).
+    pub fn cycle_limit(mut self, limit: u64) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Runs the experiment.
+    pub fn run(&self) -> RunRecord {
+        let threads = match &self.input {
+            Input::Kind(_) => self.params.threads,
+            Input::Contended(p) => p.threads,
+        };
+        let mut machine_cfg = self.machine.clone();
+        machine_cfg.cores = threads;
+        let programs = match &self.input {
+            Input::Kind(kind) => {
+                let mut p = self.params;
+                p.threads = threads;
+                kind.build(&p)
+            }
+            Input::Contended(p) => contended_programs(p),
+        };
+        let ms = MachineSpec {
+            machine: machine_cfg,
+            model: self.model,
+            spec: self.spec,
+            protocol: self.protocol,
+        };
+        let mut machine = Machine::new(&ms, programs);
+        let summary = machine.run(self.cycle_limit);
+        let stats = machine.merged_stats();
+        let breakdown = WasteBreakdown::from_stats(&stats);
+        let energy = EnergyReport::from_stats(
+            &self.energy,
+            &stats,
+            summary.cycles,
+            threads,
+            summary.retired_ops,
+        );
+        RunRecord {
+            label: match &self.input {
+                Input::Kind(k) => k.name().to_string(),
+                Input::Contended(p) => format!("contended(p={})", p.conflict_p),
+            },
+            model: self.model,
+            spec: self.spec,
+            summary,
+            stats,
+            breakdown,
+            energy,
+            sb_occupancy: machine.sb_occupancy(),
+            spec_depth: machine.spec_depth(),
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Workload label.
+    pub label: String,
+    /// Consistency model used.
+    pub model: ConsistencyModel,
+    /// Speculation configuration used.
+    pub spec: SpecConfig,
+    /// Timing summary.
+    pub summary: RunSummary,
+    /// Merged raw statistics.
+    pub stats: StatSet,
+    /// The ten-ways cycle breakdown.
+    pub breakdown: WasteBreakdown,
+    /// The energy report.
+    pub energy: EnergyReport,
+    /// Store-buffer occupancy distribution.
+    pub sb_occupancy: Histogram,
+    /// Speculation epoch depth distribution.
+    pub spec_depth: Histogram,
+}
+
+impl RunRecord {
+    /// Runtime normalized to `baseline` (1.0 = same speed; >1 = slower).
+    pub fn runtime_vs(&self, baseline: &RunRecord) -> f64 {
+        if baseline.summary.cycles == 0 {
+            return 0.0;
+        }
+        self.summary.cycles as f64 / baseline.summary.cycles as f64
+    }
+
+    /// Speedup over `baseline` (>1 = faster).
+    pub fn speedup_vs(&self, baseline: &RunRecord) -> f64 {
+        if self.summary.cycles == 0 {
+            return 0.0;
+        }
+        baseline.summary.cycles as f64 / self.summary.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_runs_and_reports() {
+        let r = Experiment::new(WorkloadKind::LuLike)
+            .params(WorkloadParams { threads: 2, scale: 2, seed: 3 })
+            .run();
+        assert!(r.summary.finished);
+        assert!(r.breakdown.total() > 0);
+        assert!(r.energy.total_nj() > 0.0);
+        assert_eq!(r.label, "lu");
+    }
+
+    #[test]
+    fn contended_experiment_runs() {
+        let r = Experiment::contended(ContendedParams {
+            threads: 2,
+            ops_per_thread: 100,
+            ..ContendedParams::default()
+        })
+        .run();
+        assert!(r.summary.finished);
+        assert!(r.label.starts_with("contended"));
+    }
+
+    #[test]
+    fn speedup_math() {
+        let fast = Experiment::new(WorkloadKind::LuLike)
+            .params(WorkloadParams { threads: 2, scale: 2, seed: 3 })
+            .model(ConsistencyModel::Rmo)
+            .run();
+        let slow = Experiment::new(WorkloadKind::LuLike)
+            .params(WorkloadParams { threads: 2, scale: 2, seed: 3 })
+            .model(ConsistencyModel::Sc)
+            .run();
+        assert!(slow.runtime_vs(&fast) >= 1.0);
+        assert!(fast.speedup_vs(&slow) >= 1.0);
+    }
+
+    #[test]
+    fn machine_cores_follow_thread_count() {
+        let r = Experiment::new(WorkloadKind::DssLike)
+            .params(WorkloadParams { threads: 3, scale: 1, seed: 0 })
+            .run();
+        assert_eq!(r.summary.core_done_at.len(), 3);
+    }
+}

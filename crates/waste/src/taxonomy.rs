@@ -1,0 +1,269 @@
+//! Mapping raw cycle buckets onto the ten waste categories:
+//! [`WasteBreakdown`].
+
+use tenways_sim::StatSet;
+
+/// The taxonomy: useful work plus the ten ways to waste.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WasteCategory {
+    /// Retired work and inherent compute latency.
+    Useful,
+    /// Naive SC serialization of memory operations.
+    ScOrdering,
+    /// Explicit fence drains.
+    FenceStall,
+    /// Atomics acting as implicit fences.
+    AtomicStall,
+    /// Retirement blocked on a full store buffer.
+    StoreBuffer,
+    /// Compulsory (first-touch) misses.
+    ColdMiss,
+    /// Capacity/conflict refetches (L1 or L2 evictions).
+    CapacityMiss,
+    /// Communication: data pried from other cores.
+    CoherenceMiss,
+    /// Cycles burnt accessing lock words (spins and their misses).
+    LockSpin,
+    /// Cycles burnt on barrier arrival and generation spinning.
+    BarrierWait,
+    /// ROB/MSHR/speculation-capacity hazards, idle tails, unresolved waits.
+    Structural,
+}
+
+impl WasteCategory {
+    /// All categories, report order (useful first).
+    pub fn all() -> [WasteCategory; 11] {
+        [
+            WasteCategory::Useful,
+            WasteCategory::ScOrdering,
+            WasteCategory::FenceStall,
+            WasteCategory::AtomicStall,
+            WasteCategory::StoreBuffer,
+            WasteCategory::ColdMiss,
+            WasteCategory::CapacityMiss,
+            WasteCategory::CoherenceMiss,
+            WasteCategory::LockSpin,
+            WasteCategory::BarrierWait,
+            WasteCategory::Structural,
+        ]
+    }
+
+    /// Stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WasteCategory::Useful => "useful",
+            WasteCategory::ScOrdering => "sc_ordering",
+            WasteCategory::FenceStall => "fence_stall",
+            WasteCategory::AtomicStall => "atomic_stall",
+            WasteCategory::StoreBuffer => "store_buffer",
+            WasteCategory::ColdMiss => "cold_miss",
+            WasteCategory::CapacityMiss => "capacity_miss",
+            WasteCategory::CoherenceMiss => "coherence_miss",
+            WasteCategory::LockSpin => "lock_spin",
+            WasteCategory::BarrierWait => "barrier_wait",
+            WasteCategory::Structural => "structural",
+        }
+    }
+}
+
+/// Classifies one raw `cyc.*` bucket. Tag precedence first: anything the
+/// workload marked as lock/barrier belongs to that category regardless of
+/// the stall mechanism — the keynote's view is "time lost to
+/// synchronization", not "which pipeline structure blocked".
+fn classify(bucket: &str) -> Option<WasteCategory> {
+    let b = bucket.strip_prefix("cyc.")?;
+    if b.ends_with(".lock") || b.contains(".lock.") {
+        return Some(WasteCategory::LockSpin);
+    }
+    if b.ends_with(".barrier") || b.contains(".barrier.") {
+        return Some(WasteCategory::BarrierWait);
+    }
+    Some(match b {
+        "busy" | "compute" => WasteCategory::Useful,
+        "idle_done" | "other" | "stall.rob_full" | "stall.mshr_full" | "stall.spec_cap"
+        | "stall.same_addr" | "mem.unresolved" => WasteCategory::Structural,
+        _ if b.starts_with("stall.sc.") => WasteCategory::ScOrdering,
+        _ if b.starts_with("stall.fence.") => WasteCategory::FenceStall,
+        _ if b.starts_with("stall.atomic.") => WasteCategory::AtomicStall,
+        _ if b.starts_with("stall.sb_full.") => WasteCategory::StoreBuffer,
+        _ if b.ends_with(".cold") => WasteCategory::ColdMiss,
+        _ if b.ends_with(".capacity") || b.ends_with(".l2") || b.ends_with(".l1") => {
+            WasteCategory::CapacityMiss
+        }
+        _ if b.ends_with(".coherence") => WasteCategory::CoherenceMiss,
+        _ => WasteCategory::Structural,
+    })
+}
+
+/// Cycle totals per waste category, plus the rollback-waste overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WasteBreakdown {
+    cycles: [u64; 11],
+    /// Cycles spent in epochs that rolled back (overlaps the categories).
+    pub rollback_overlay: u64,
+    /// Message-cycles spent queueing in the interconnect (machine-level;
+    /// overlaps the per-core memory-wait categories).
+    pub noc_queue_overlay: u64,
+    total: u64,
+}
+
+impl WasteBreakdown {
+    /// Builds the breakdown from a merged stat set (see
+    /// `tenways_cpu::Machine::merged_stats`).
+    pub fn from_stats(stats: &StatSet) -> Self {
+        let mut cycles = [0u64; 11];
+        for (key, v) in stats.iter() {
+            if let Some(cat) = classify(key) {
+                let idx = WasteCategory::all().iter().position(|c| *c == cat).expect("in table");
+                cycles[idx] += v;
+            }
+        }
+        let total = cycles.iter().sum();
+        WasteBreakdown {
+            cycles,
+            rollback_overlay: stats.get("spec.wasted_cycles"),
+            noc_queue_overlay: stats.get("noc.inject_queue_cycles")
+                + stats.get("noc.accept_queue_cycles"),
+            total,
+        }
+    }
+
+    /// Cycles attributed to `cat`.
+    pub fn get(&self, cat: WasteCategory) -> u64 {
+        let idx = WasteCategory::all().iter().position(|c| *c == cat).expect("in table");
+        self.cycles[idx]
+    }
+
+    /// Total attributed cycles (sum over categories).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of cycles in `cat` (0 if no cycles recorded).
+    pub fn fraction(&self, cat: WasteCategory) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.get(cat) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of cycles doing useful work.
+    pub fn useful_fraction(&self) -> f64 {
+        self.fraction(WasteCategory::Useful)
+    }
+
+    /// Total wasted cycles (everything but useful).
+    pub fn wasted(&self) -> u64 {
+        self.total - self.get(WasteCategory::Useful)
+    }
+
+    /// Iterates `(category, cycles)` in report order.
+    pub fn iter(&self) -> impl Iterator<Item = (WasteCategory, u64)> + '_ {
+        WasteCategory::all().into_iter().map(|c| (c, self.get(c)))
+    }
+
+    /// Cycles lost to consistency enforcement specifically (the quantity
+    /// fence speculation attacks): SC ordering + fences + atomics.
+    pub fn consistency_cycles(&self) -> u64 {
+        self.get(WasteCategory::ScOrdering)
+            + self.get(WasteCategory::FenceStall)
+            + self.get(WasteCategory::AtomicStall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pairs: &[(&'static str, u64)]) -> StatSet {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn classification_covers_the_bucket_vocabulary() {
+        let cases = [
+            ("cyc.busy", WasteCategory::Useful),
+            ("cyc.compute", WasteCategory::Useful),
+            ("cyc.stall.sc.data", WasteCategory::ScOrdering),
+            ("cyc.stall.fence.data", WasteCategory::FenceStall),
+            ("cyc.stall.atomic.data", WasteCategory::AtomicStall),
+            ("cyc.stall.sb_full.data", WasteCategory::StoreBuffer),
+            ("cyc.mem.data.cold", WasteCategory::ColdMiss),
+            ("cyc.mem.data.capacity", WasteCategory::CapacityMiss),
+            ("cyc.mem.data.l2", WasteCategory::CapacityMiss),
+            ("cyc.mem.data.l1", WasteCategory::CapacityMiss),
+            ("cyc.mem.data.coherence", WasteCategory::CoherenceMiss),
+            ("cyc.mem.lock.coherence", WasteCategory::LockSpin),
+            ("cyc.stall.atomic.lock", WasteCategory::LockSpin),
+            ("cyc.mem.barrier.l2", WasteCategory::BarrierWait),
+            ("cyc.stall.fence.barrier", WasteCategory::BarrierWait),
+            ("cyc.stall.rob_full", WasteCategory::Structural),
+            ("cyc.mem.unresolved", WasteCategory::Structural),
+            ("cyc.idle_done", WasteCategory::Structural),
+        ];
+        for (bucket, want) in cases {
+            assert_eq!(classify(bucket), Some(want), "{bucket}");
+        }
+    }
+
+    #[test]
+    fn non_cycle_stats_are_ignored() {
+        assert_eq!(classify("l1.hits"), None);
+        assert_eq!(classify("spec.commits"), None);
+        let b = WasteBreakdown::from_stats(&stats(&[("l1.hits", 100), ("cyc.busy", 10)]));
+        assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = WasteBreakdown::from_stats(&stats(&[
+            ("cyc.busy", 60),
+            ("cyc.stall.fence.data", 25),
+            ("cyc.mem.data.coherence", 15),
+        ]));
+        assert_eq!(b.total(), 100);
+        assert_eq!(b.useful_fraction(), 0.6);
+        assert_eq!(b.wasted(), 40);
+        assert_eq!(b.get(WasteCategory::FenceStall), 25);
+        assert_eq!(b.consistency_cycles(), 25);
+    }
+
+    #[test]
+    fn rollback_overlay_is_kept_out_of_total() {
+        let b = WasteBreakdown::from_stats(&stats(&[
+            ("cyc.busy", 50),
+            ("spec.wasted_cycles", 30),
+        ]));
+        assert_eq!(b.total(), 50);
+        assert_eq!(b.rollback_overlay, 30);
+    }
+
+    #[test]
+    fn noc_queue_overlay_sums_both_queues() {
+        let b = WasteBreakdown::from_stats(&stats(&[
+            ("cyc.busy", 10),
+            ("noc.inject_queue_cycles", 7),
+            ("noc.accept_queue_cycles", 5),
+        ]));
+        assert_eq!(b.noc_queue_overlay, 12);
+        assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn iter_visits_all_categories_in_order() {
+        let b = WasteBreakdown::from_stats(&stats(&[("cyc.busy", 1)]));
+        let cats: Vec<_> = b.iter().map(|(c, _)| c).collect();
+        assert_eq!(cats.len(), 11);
+        assert_eq!(cats[0], WasteCategory::Useful);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = WasteCategory::all().iter().map(|c| c.label()).collect();
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+}

@@ -1,0 +1,193 @@
+//! The conflict-probability microbenchmark behind the violation-rate sweep
+//! (F7): [`contended_programs`].
+//!
+//! Each thread interleaves private work with, at probability `conflict_p`,
+//! a store to one of a handful of *hot* shared blocks, and executes a full
+//! fence every `fence_period` operations. Sweeping `conflict_p` moves the
+//! workload from speculation-friendly (conflicts never happen, fences are
+//! free) to speculation-hostile (hot-block ping-pong violates epochs
+//! constantly), exposing the crossover where speculation stops paying.
+
+use tenways_cpu::{FenceKind, MemTag, Op, ThreadProgram};
+use tenways_sim::{Addr, DetRng};
+
+use crate::kernels::{impl_kernel_logic, KernelProgram, KernelStep};
+use crate::layout::AddressSpace;
+
+/// Parameters of the contended kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContendedParams {
+    /// Number of threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: u64,
+    /// Probability an op targets a hot shared block.
+    pub conflict_p: f64,
+    /// Number of hot shared blocks.
+    pub hot_blocks: usize,
+    /// A full fence is inserted every this many ops.
+    pub fence_period: u64,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Default for ContendedParams {
+    fn default() -> Self {
+        ContendedParams {
+            threads: 8,
+            ops_per_thread: 500,
+            conflict_p: 0.05,
+            hot_blocks: 4,
+            fence_period: 8,
+            seed: 0xc0
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Contended {
+    rng: DetRng,
+    hot: Vec<Addr>,
+    private: tenways_sim::Addr,
+    private_words: u64,
+    ops_left: u64,
+    fence_period: u64,
+    since_fence: u64,
+    conflict_p: f64,
+}
+
+impl Contended {
+    fn step(&mut self, _last: Option<u64>) -> KernelStep {
+        if self.ops_left == 0 {
+            return KernelStep::Done;
+        }
+        self.ops_left -= 1;
+        self.since_fence += 1;
+        if self.since_fence >= self.fence_period {
+            self.since_fence = 0;
+            return KernelStep::Op(Op::Fence(FenceKind::Full));
+        }
+        if self.rng.chance(self.conflict_p) {
+            let hot = self.hot[self.rng.below(self.hot.len() as u64) as usize];
+            return KernelStep::Op(Op::Store { addr: hot, value: self.ops_left, tag: MemTag::Data });
+        }
+        let w = self.rng.below(self.private_words);
+        if self.rng.chance(0.5) {
+            KernelStep::Op(Op::load(Addr(self.private.0 + w * 8)))
+        } else {
+            KernelStep::Op(Op::store(Addr(self.private.0 + w * 8), w))
+        }
+    }
+}
+
+impl_kernel_logic!(Contended, "contended");
+
+/// Builds one contended program per thread.
+pub fn contended_programs(params: &ContendedParams) -> Vec<Box<dyn ThreadProgram>> {
+    let mut space = AddressSpace::new();
+    let hot: Vec<Addr> = (0..params.hot_blocks.max(1)).map(|_| space.alloc_line()).collect();
+    let root = DetRng::seed(params.seed).split("contended");
+    (0..params.threads)
+        .map(|t| {
+            let private = space.alloc_words(512);
+            KernelProgram::boxed(Box::new(Contended {
+                rng: root.split_index(t as u64),
+                hot: hot.clone(),
+                private: private.base(),
+                private_words: private.words(),
+                ops_left: params.ops_per_thread,
+                fence_period: params.fence_period.max(2),
+                since_fence: 0,
+                conflict_p: params.conflict_p,
+            }))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_thread_count() {
+        let p = ContendedParams { threads: 3, ..ContendedParams::default() };
+        assert_eq!(contended_programs(&p).len(), 3);
+    }
+
+    #[test]
+    fn zero_conflict_program_never_touches_hot_blocks() {
+        let p = ContendedParams {
+            threads: 1,
+            ops_per_thread: 200,
+            conflict_p: 0.0,
+            ..ContendedParams::default()
+        };
+        let mut prog = contended_programs(&p).pop().unwrap();
+        let mut hot_touches = 0;
+        while let Some(op) = prog.next_op(None) {
+            if let Some(a) = op.addr() {
+                // Hot lines are the first allocations (low addresses).
+                if a.0 < 0x1_0000 + 64 * 4 {
+                    hot_touches += 1;
+                }
+            }
+        }
+        assert_eq!(hot_touches, 0);
+    }
+
+    #[test]
+    fn full_conflict_program_mostly_stores_hot() {
+        let p = ContendedParams {
+            threads: 1,
+            ops_per_thread: 200,
+            conflict_p: 1.0,
+            fence_period: 1_000,
+            ..ContendedParams::default()
+        };
+        let mut prog = contended_programs(&p).pop().unwrap();
+        let mut hot = 0;
+        let mut total = 0;
+        while let Some(op) = prog.next_op(None) {
+            total += 1;
+            if let Some(a) = op.addr() {
+                if a.0 < 0x1_0000 + 64 * 4 {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(hot > total / 2, "{hot}/{total}");
+    }
+
+    #[test]
+    fn fences_appear_at_the_configured_period() {
+        let p = ContendedParams {
+            threads: 1,
+            ops_per_thread: 50,
+            conflict_p: 0.0,
+            fence_period: 5,
+            ..ContendedParams::default()
+        };
+        let mut prog = contended_programs(&p).pop().unwrap();
+        let mut ops = Vec::new();
+        while let Some(op) = prog.next_op(None) {
+            ops.push(op);
+        }
+        let fences = ops.iter().filter(|o| matches!(o, Op::Fence(_))).count();
+        assert_eq!(fences, 10, "50 ops / period 5");
+    }
+
+    #[test]
+    fn deterministic_op_stream() {
+        let p = ContendedParams::default();
+        let stream = |seed| {
+            let mut prog = contended_programs(&ContendedParams { seed, threads: 1, ..p }).pop().unwrap();
+            let mut v = Vec::new();
+            while let Some(op) = prog.next_op(None) {
+                v.push(format!("{op:?}"));
+            }
+            v
+        };
+        assert_eq!(stream(1), stream(1));
+        assert_ne!(stream(1), stream(2));
+    }
+}

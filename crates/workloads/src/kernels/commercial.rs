@@ -1,0 +1,322 @@
+//! The commercial half of the suite: server (apache/zeus-like), OLTP-like
+//! and DSS-like kernels.
+
+use tenways_cpu::{MemTag, Op, RmwOp, ThreadProgram};
+use tenways_sim::{Addr, DetRng};
+
+use crate::kernels::{impl_kernel_logic, KernelProgram, KernelStep, WorkloadParams};
+use crate::layout::{AddressSpace, Region};
+use crate::sync::SyncFrag;
+
+/// Which server personality to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ServerMix {
+    /// Balanced read/write, moderate compute.
+    Apache,
+    /// Read-heavier, more compute per task.
+    Zeus,
+}
+
+/// Web-server-like task loop: grab a task id from a shared queue counter,
+/// lock the hashed cache bucket, touch entries, unlock, think.
+#[derive(Debug, Clone)]
+struct Server {
+    rng: DetRng,
+    queue: Addr,
+    cache: Region,
+    locks: Vec<Addr>,
+    task_limit: u64,
+    task: u64,
+    entry: u64,
+    reads_left: u64,
+    writes_left: u64,
+    reads: u64,
+    writes: u64,
+    think: u64,
+    /// 0 = fetch task, 1 = await task id, 2 = cs reads, 3 = cs writes,
+    /// 4 = release, 5 = think.
+    phase: u8,
+}
+
+impl Server {
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                KernelStep::Op(Op::Rmw {
+                    addr: self.queue,
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            1 => {
+                self.task = last.expect("task id consumed");
+                if self.task >= self.task_limit {
+                    return KernelStep::Done;
+                }
+                // Hash the task onto a cache bucket.
+                self.entry = (self.task.wrapping_mul(0x9e37_79b9) + self.rng.below(64))
+                    % self.cache.words();
+                self.reads_left = self.reads;
+                self.writes_left = self.writes;
+                self.phase = 2;
+                let lock = self.locks[(self.entry as usize) % self.locks.len()];
+                KernelStep::Sync(SyncFrag::acquire(lock))
+            }
+            2 => {
+                if self.reads_left > 0 {
+                    self.reads_left -= 1;
+                    let w = (self.entry + self.reads_left * 8) % self.cache.words();
+                    return KernelStep::Op(Op::load(self.cache.word(w)));
+                }
+                self.phase = 3;
+                self.step(None)
+            }
+            3 => {
+                if self.writes_left > 0 {
+                    self.writes_left -= 1;
+                    let w = (self.entry + self.writes_left * 8) % self.cache.words();
+                    return KernelStep::Op(Op::store(self.cache.word(w), self.task));
+                }
+                self.phase = 4;
+                self.step(None)
+            }
+            4 => {
+                self.phase = 5;
+                let lock = self.locks[(self.entry as usize) % self.locks.len()];
+                KernelStep::Sync(SyncFrag::release(lock))
+            }
+            _ => {
+                self.phase = 0;
+                KernelStep::Op(Op::Compute(self.think))
+            }
+        }
+    }
+}
+
+impl_kernel_logic!(Server, "server");
+
+/// Builds the apache-/zeus-like workload.
+pub(crate) fn server(params: &WorkloadParams, mix: ServerMix) -> Vec<Box<dyn ThreadProgram>> {
+    let mut space = AddressSpace::new();
+    let queue = space.alloc_line();
+    // Working set larger than a 32 KB L1 (16 K words = 128 KB).
+    let cache = space.alloc_words(16 * 1024);
+    let locks: Vec<Addr> = (0..64).map(|_| space.alloc_line()).collect();
+    let (reads, writes, think) = match mix {
+        ServerMix::Apache => (4, 2, 20),
+        ServerMix::Zeus => (6, 1, 40),
+    };
+    let label = match mix {
+        ServerMix::Apache => "apache",
+        ServerMix::Zeus => "zeus",
+    };
+    let root = DetRng::seed(params.seed).split(label);
+    let task_limit = params.scale * params.threads as u64;
+    (0..params.threads)
+        .map(|t| {
+            KernelProgram::boxed(Box::new(Server {
+                rng: root.split_index(t as u64),
+                queue,
+                cache,
+                locks: locks.clone(),
+                task_limit,
+                task: 0,
+                entry: 0,
+                reads_left: 0,
+                writes_left: 0,
+                reads,
+                writes,
+                think,
+                phase: 0,
+            }))
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------ oltp
+
+/// Short transactions over a partitioned record table: take two
+/// deadlock-ordered locks, read-modify records under both, bump a global
+/// commit counter.
+#[derive(Debug, Clone)]
+struct Oltp {
+    rng: DetRng,
+    records: Region,
+    locks: Vec<Addr>,
+    commit_counter: Addr,
+    txns_left: u64,
+    lock_a: usize,
+    lock_b: usize,
+    touch_left: u64,
+    /// 0 = begin, 1 = acquire B, 2 = touch loads, 3 = touch stores,
+    /// 4 = commit counter, 5 = release B, 6 = release A.
+    phase: u8,
+}
+
+const OLTP_TOUCHES: u64 = 4;
+
+impl Oltp {
+    fn partition_word(&mut self, lock_idx: usize) -> Addr {
+        let part_words = self.records.words() / self.locks.len() as u64;
+        let off = self.rng.below(part_words);
+        self.records.word(lock_idx as u64 * part_words + off)
+    }
+
+    fn step(&mut self, _last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.txns_left == 0 {
+                    return KernelStep::Done;
+                }
+                self.txns_left -= 1;
+                let a = self.rng.below(self.locks.len() as u64) as usize;
+                let b = self.rng.below(self.locks.len() as u64) as usize;
+                // Deadlock avoidance: always lock in index order.
+                self.lock_a = a.min(b);
+                self.lock_b = a.max(b).max(self.lock_a + 1).min(self.locks.len() - 1);
+                if self.lock_b == self.lock_a {
+                    self.lock_b = (self.lock_a + 1) % self.locks.len();
+                }
+                self.touch_left = OLTP_TOUCHES;
+                self.phase = 1;
+                KernelStep::Sync(SyncFrag::acquire(self.locks[self.lock_a]))
+            }
+            1 => {
+                self.phase = 2;
+                KernelStep::Sync(SyncFrag::acquire(self.locks[self.lock_b]))
+            }
+            2 => {
+                if self.touch_left > 0 {
+                    self.touch_left -= 1;
+                    let lock = if self.touch_left.is_multiple_of(2) { self.lock_a } else { self.lock_b };
+                    let w = self.partition_word(lock);
+                    return KernelStep::Op(Op::load(w));
+                }
+                self.touch_left = OLTP_TOUCHES;
+                self.phase = 3;
+                self.step(None)
+            }
+            3 => {
+                if self.touch_left > 0 {
+                    self.touch_left -= 1;
+                    let lock = if self.touch_left.is_multiple_of(2) { self.lock_a } else { self.lock_b };
+                    let w = self.partition_word(lock);
+                    return KernelStep::Op(Op::store(w, self.txns_left));
+                }
+                self.phase = 4;
+                self.step(None)
+            }
+            4 => {
+                self.phase = 5;
+                KernelStep::Op(Op::Rmw {
+                    addr: self.commit_counter,
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Data,
+                    consume: false,
+                })
+            }
+            5 => {
+                self.phase = 6;
+                KernelStep::Sync(SyncFrag::release(self.locks[self.lock_b]))
+            }
+            _ => {
+                self.phase = 0;
+                KernelStep::Sync(SyncFrag::release(self.locks[self.lock_a]))
+            }
+        }
+    }
+}
+
+impl_kernel_logic!(Oltp, "oltp");
+
+/// Builds the OLTP-like workload.
+pub(crate) fn oltp(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    let mut space = AddressSpace::new();
+    let records = space.alloc_words(8 * 1024);
+    let locks: Vec<Addr> = (0..16).map(|_| space.alloc_line()).collect();
+    let commit_counter = space.alloc_line();
+    let root = DetRng::seed(params.seed).split("oltp");
+    (0..params.threads)
+        .map(|t| {
+            KernelProgram::boxed(Box::new(Oltp {
+                rng: root.split_index(t as u64),
+                records,
+                locks: locks.clone(),
+                commit_counter,
+                txns_left: params.scale,
+                lock_a: 0,
+                lock_b: 1,
+                touch_left: 0,
+                phase: 0,
+            }))
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------- dss
+
+/// Scan-heavy, low-sharing decision support: stream over a large private
+/// table with occasional shared-dictionary lookups.
+#[derive(Debug, Clone)]
+struct Dss {
+    rng: DetRng,
+    table: Region,
+    dictionary: Region,
+    rows_left: u64,
+    cursor: u64,
+    /// 0 = scan row, 1 = dictionary lookup, 2 = aggregate compute.
+    phase: u8,
+}
+
+impl Dss {
+    fn step(&mut self, _last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.rows_left == 0 {
+                    return KernelStep::Done;
+                }
+                self.rows_left -= 1;
+                self.cursor = (self.cursor + 8) % self.table.words();
+                self.phase = if self.rng.chance(0.15) { 1 } else { 2 };
+                KernelStep::Op(Op::load(self.table.word(self.cursor)))
+            }
+            1 => {
+                self.phase = 2;
+                let d = self.rng.below(self.dictionary.words());
+                KernelStep::Op(Op::load(self.dictionary.word(d)))
+            }
+            _ => {
+                self.phase = 0;
+                KernelStep::Op(Op::Compute(2))
+            }
+        }
+    }
+}
+
+impl_kernel_logic!(Dss, "dss");
+
+/// Builds the DSS-like workload.
+pub(crate) fn dss(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    let mut space = AddressSpace::new();
+    let dictionary = space.alloc_words(1024);
+    let root = DetRng::seed(params.seed).split("dss");
+    (0..params.threads)
+        .map(|t| {
+            // Each thread repeatedly scans its own 64 KB table (8 K words,
+            // one block per row; twice the L1) — the re-scans turn
+            // first-touch cold misses into the capacity misses DSS is
+            // known for.
+            let table = space.alloc_words(8 * 1024);
+            KernelProgram::boxed(Box::new(Dss {
+                rng: root.split_index(t as u64),
+                table,
+                dictionary,
+                rows_left: params.scale * 256,
+                cursor: t as u64,
+                phase: 0,
+            }))
+        })
+        .collect()
+}

@@ -1,0 +1,229 @@
+//! The workload registry ([`WorkloadKind`]) and the kernel driver
+//! machinery shared by all kernels.
+
+mod commercial;
+mod scientific;
+
+use tenways_cpu::{Op, ThreadProgram};
+
+use crate::sync::{FragStep, SyncFrag};
+
+/// Sizing and seeding parameters common to every workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Number of threads (one per core).
+    pub threads: usize,
+    /// Work units per thread (kernel-specific meaning: sweeps,
+    /// transactions, rounds, ...).
+    pub scale: u64,
+    /// Run seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams { threads: 8, scale: 16, seed: 0x7ea5 }
+    }
+}
+
+/// The eight synthetic kernels of the evaluation suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Tree walks with per-node locks (barnes-like).
+    BarnesLike,
+    /// Stencil with neighbour sharing and per-sweep barriers (ocean-like).
+    OceanLike,
+    /// All-to-all scatter bursts between barriers (radix-like).
+    RadixLike,
+    /// Pivot broadcast with producer-consumer sharing (lu-like).
+    LuLike,
+    /// Task queue + shared cache, high lock rate (apache-like).
+    ApacheLike,
+    /// Read-heavier apache variant (zeus-like).
+    ZeusLike,
+    /// Short two-lock transactions, dense atomics (OLTP-like).
+    OltpLike,
+    /// Large low-sharing scans (DSS-like).
+    DssLike,
+}
+
+impl WorkloadKind {
+    /// Every kernel, in canonical report order.
+    pub fn all() -> [WorkloadKind; 8] {
+        [
+            WorkloadKind::BarnesLike,
+            WorkloadKind::OceanLike,
+            WorkloadKind::RadixLike,
+            WorkloadKind::LuLike,
+            WorkloadKind::ApacheLike,
+            WorkloadKind::ZeusLike,
+            WorkloadKind::OltpLike,
+            WorkloadKind::DssLike,
+        ]
+    }
+
+    /// The scientific (barrier/stencil) half of the suite.
+    pub fn scientific() -> [WorkloadKind; 4] {
+        [
+            WorkloadKind::BarnesLike,
+            WorkloadKind::OceanLike,
+            WorkloadKind::RadixLike,
+            WorkloadKind::LuLike,
+        ]
+    }
+
+    /// The commercial (server) half of the suite.
+    pub fn commercial() -> [WorkloadKind; 4] {
+        [
+            WorkloadKind::ApacheLike,
+            WorkloadKind::ZeusLike,
+            WorkloadKind::OltpLike,
+            WorkloadKind::DssLike,
+        ]
+    }
+
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::BarnesLike => "barnes",
+            WorkloadKind::OceanLike => "ocean",
+            WorkloadKind::RadixLike => "radix",
+            WorkloadKind::LuLike => "lu",
+            WorkloadKind::ApacheLike => "apache",
+            WorkloadKind::ZeusLike => "zeus",
+            WorkloadKind::OltpLike => "oltp",
+            WorkloadKind::DssLike => "dss",
+        }
+    }
+
+    /// Builds one program per thread.
+    pub fn build(self, params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+        match self {
+            WorkloadKind::BarnesLike => scientific::barnes(params),
+            WorkloadKind::OceanLike => scientific::ocean(params),
+            WorkloadKind::RadixLike => scientific::radix(params),
+            WorkloadKind::LuLike => scientific::lu(params),
+            WorkloadKind::ApacheLike => commercial::server(params, commercial::ServerMix::Apache),
+            WorkloadKind::ZeusLike => commercial::server(params, commercial::ServerMix::Zeus),
+            WorkloadKind::OltpLike => commercial::oltp(params),
+            WorkloadKind::DssLike => commercial::dss(params),
+        }
+    }
+}
+
+/// What a kernel's main state machine produced.
+#[derive(Debug)]
+pub(crate) enum KernelStep {
+    /// A primitive operation.
+    Op(Op),
+    /// Delegate to a synchronization fragment.
+    Sync(SyncFrag),
+    /// The thread is finished.
+    Done,
+}
+
+/// Kernel logic: the workload-specific state machine.
+pub(crate) trait KernelLogic: std::fmt::Debug {
+    fn step(&mut self, last: Option<u64>) -> KernelStep;
+    fn clone_box(&self) -> Box<dyn KernelLogic>;
+    fn label(&self) -> &'static str;
+}
+
+/// Adapts a [`KernelLogic`] plus an in-progress [`SyncFrag`] into a
+/// [`ThreadProgram`].
+#[derive(Debug)]
+pub(crate) struct KernelProgram {
+    kernel: Box<dyn KernelLogic>,
+    sub: Option<SyncFrag>,
+}
+
+impl KernelProgram {
+    pub(crate) fn new(kernel: Box<dyn KernelLogic>) -> Self {
+        KernelProgram { kernel, sub: None }
+    }
+
+    pub(crate) fn boxed(kernel: Box<dyn KernelLogic>) -> Box<dyn ThreadProgram> {
+        Box::new(KernelProgram::new(kernel))
+    }
+}
+
+impl ThreadProgram for KernelProgram {
+    fn next_op(&mut self, mut last: Option<u64>) -> Option<Op> {
+        loop {
+            if let Some(frag) = &mut self.sub {
+                match frag.next(last.take()) {
+                    FragStep::Emit(op) => return Some(op),
+                    FragStep::Done => self.sub = None,
+                }
+            }
+            match self.kernel.step(last.take()) {
+                KernelStep::Op(op) => return Some(op),
+                KernelStep::Sync(frag) => self.sub = Some(frag),
+                KernelStep::Done => return None,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Box<dyn ThreadProgram> {
+        Box::new(KernelProgram { kernel: self.kernel.clone_box(), sub: self.sub.clone() })
+    }
+
+    fn name(&self) -> &str {
+        self.kernel.label()
+    }
+}
+
+/// Implements [`KernelLogic`]'s boilerplate for a `Clone` kernel type.
+macro_rules! impl_kernel_logic {
+    ($ty:ty, $label:literal) => {
+        impl crate::kernels::KernelLogic for $ty {
+            fn step(&mut self, last: Option<u64>) -> crate::kernels::KernelStep {
+                <$ty>::step(self, last)
+            }
+
+            fn clone_box(&self) -> Box<dyn crate::kernels::KernelLogic> {
+                Box::new(self.clone())
+            }
+
+            fn label(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
+pub(crate) use impl_kernel_logic;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_distinct() {
+        let mut names: Vec<_> = WorkloadKind::all().iter().map(|w| w.name()).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn halves_partition_the_suite() {
+        let mut both: Vec<_> = WorkloadKind::scientific()
+            .into_iter()
+            .chain(WorkloadKind::commercial())
+            .collect();
+        both.sort_by_key(|w| w.name());
+        let mut all: Vec<_> = WorkloadKind::all().into();
+        all.sort_by_key(|w| w.name());
+        assert_eq!(both, all);
+    }
+
+    #[test]
+    fn build_returns_one_program_per_thread() {
+        let params = WorkloadParams { threads: 3, scale: 1, seed: 7 };
+        for kind in WorkloadKind::all() {
+            let programs = kind.build(&params);
+            assert_eq!(programs.len(), 3, "{}", kind.name());
+        }
+    }
+}

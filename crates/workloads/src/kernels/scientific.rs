@@ -1,0 +1,385 @@
+//! The scientific half of the suite: barnes-, ocean-, radix- and lu-like
+//! kernels (SPLASH-2-class sharing patterns).
+
+use tenways_cpu::{Op, ThreadProgram};
+use tenways_sim::{Addr, DetRng};
+
+use crate::kernels::{impl_kernel_logic, KernelProgram, KernelStep, WorkloadParams};
+use crate::layout::{AddressSpace, Region};
+use crate::sync::SyncFrag;
+
+/// Shared barrier addresses (counter + generation words, each on its own
+/// cache block).
+#[derive(Debug, Clone, Copy)]
+struct BarrierAddrs {
+    counter: Addr,
+    generation: Addr,
+}
+
+impl BarrierAddrs {
+    fn alloc(space: &mut AddressSpace) -> Self {
+        BarrierAddrs { counter: space.alloc_line(), generation: space.alloc_line() }
+    }
+
+    fn wait(self, parties: u64) -> SyncFrag {
+        SyncFrag::barrier(self.counter, self.generation, parties)
+    }
+}
+
+// ---------------------------------------------------------------- barnes
+
+/// Tree walks over a shared node array with occasional per-node locking.
+#[derive(Debug, Clone)]
+struct Barnes {
+    rng: DetRng,
+    tree: Region,
+    locks: Vec<Addr>,
+    walks_left: u64,
+    depth_left: u64,
+    node: u64,
+    /// 0 = walking, 1 = in critical section (update node), 2 = cs store.
+    phase: u8,
+}
+
+impl Barnes {
+    fn step(&mut self, _last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.depth_left == 0 {
+                    if self.walks_left == 0 {
+                        return KernelStep::Done;
+                    }
+                    self.walks_left -= 1;
+                    self.depth_left = 8;
+                    self.node = self.rng.below(self.tree.words());
+                }
+                self.depth_left -= 1;
+                // Descend: child index derived from current node.
+                self.node = (self.node * 2 + 1 + self.rng.below(2)) % self.tree.words();
+                if self.depth_left == 0 && self.rng.chance(0.4) {
+                    // Update this node under its lock.
+                    self.phase = 1;
+                    let lock = self.locks[(self.node as usize) % self.locks.len()];
+                    return KernelStep::Sync(SyncFrag::acquire(lock));
+                }
+                KernelStep::Op(Op::load(self.tree.word(self.node)))
+            }
+            1 => {
+                self.phase = 2;
+                KernelStep::Op(Op::load(self.tree.word(self.node)))
+            }
+            2 => {
+                self.phase = 3;
+                KernelStep::Op(Op::store(self.tree.word(self.node), self.node))
+            }
+            _ => {
+                self.phase = 0;
+                let lock = self.locks[(self.node as usize) % self.locks.len()];
+                KernelStep::Sync(SyncFrag::release(lock))
+            }
+        }
+    }
+}
+
+impl_kernel_logic!(Barnes, "barnes");
+
+/// Builds the barnes-like workload.
+pub(crate) fn barnes(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    let mut space = AddressSpace::new();
+    let tree = space.alloc_words(2048);
+    let locks: Vec<Addr> = (0..32).map(|_| space.alloc_line()).collect();
+    let root = DetRng::seed(params.seed).split("barnes");
+    (0..params.threads)
+        .map(|t| {
+            KernelProgram::boxed(Box::new(Barnes {
+                rng: root.split_index(t as u64),
+                tree,
+                locks: locks.clone(),
+                walks_left: params.scale * 8,
+                depth_left: 0,
+                node: 0,
+                phase: 0,
+            }))
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- ocean
+
+/// Row-partitioned stencil: each sweep reads neighbour rows (owned by
+/// adjacent threads) and ends at a barrier.
+#[derive(Debug, Clone)]
+struct Ocean {
+    grid: Region,
+    row_words: u64,
+    me: u64,
+    threads: u64,
+    sweeps_left: u64,
+    col: u64,
+    /// 0 = load up-neighbour, 1 = load down-neighbour, 2 = store own.
+    phase: u8,
+    barrier: BarrierAddrs,
+    at_barrier: bool,
+    pending_barrier: bool,
+}
+
+impl Ocean {
+    fn word(&self, row: u64, col: u64) -> Addr {
+        self.grid.word(row * self.row_words + col)
+    }
+
+    fn step(&mut self, _last: Option<u64>) -> KernelStep {
+        let up = (self.me + self.threads - 1) % self.threads;
+        let down = (self.me + 1) % self.threads;
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                KernelStep::Op(Op::load(self.word(up, self.col)))
+            }
+            1 => {
+                self.phase = 2;
+                KernelStep::Op(Op::load(self.word(down, self.col)))
+            }
+            _ => {
+                let op = Op::store(self.word(self.me, self.col), self.col);
+                self.col += 1;
+                self.phase = 0;
+                if self.col == self.row_words {
+                    self.at_barrier = true;
+                    // Emit the store first; the barrier starts on the next
+                    // step call.
+                    return KernelStep::Op(op);
+                }
+                KernelStep::Op(op)
+            }
+        }
+    }
+}
+
+impl Ocean {
+    fn step_with_barrier(&mut self, last: Option<u64>) -> KernelStep {
+        if self.at_barrier {
+            self.at_barrier = false;
+            self.pending_barrier = true;
+            return KernelStep::Sync(self.barrier.wait(self.threads));
+        }
+        if self.pending_barrier {
+            self.pending_barrier = false;
+            if self.sweeps_left == 0 {
+                return KernelStep::Done;
+            }
+            self.sweeps_left -= 1;
+            self.col = 0;
+            self.phase = 0;
+        }
+        self.step(last)
+    }
+}
+
+/// Builds the ocean-like workload.
+pub(crate) fn ocean(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    let mut space = AddressSpace::new();
+    let row_words = 64;
+    let grid = space.alloc_words(params.threads as u64 * row_words);
+    let barrier = BarrierAddrs::alloc(&mut space);
+    (0..params.threads)
+        .map(|t| {
+            KernelProgram::boxed(Box::new(OceanDriver(Ocean {
+                grid,
+                row_words,
+                me: t as u64,
+                threads: params.threads as u64,
+                sweeps_left: params.scale,
+                col: 0,
+                phase: 0,
+                barrier,
+                at_barrier: false,
+                pending_barrier: true,
+            })))
+        })
+        .collect()
+}
+
+/// Newtype driving [`Ocean::step_with_barrier`].
+#[derive(Debug, Clone)]
+struct OceanDriver(Ocean);
+
+impl OceanDriver {
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        self.0.step_with_barrier(last)
+    }
+}
+
+impl_kernel_logic!(OceanDriver, "ocean");
+
+// ----------------------------------------------------------------- radix
+
+/// Local phase then all-to-all scatter, barrier-separated rounds.
+#[derive(Debug, Clone)]
+struct Radix {
+    rng: DetRng,
+    private: Region,
+    target: Region,
+    threads: u64,
+    rounds_left: u64,
+    local_left: u64,
+    scatter_left: u64,
+    idx: u64,
+    barrier: BarrierAddrs,
+    /// 0 = start round (barrier), 1 = local, 2 = scatter.
+    phase: u8,
+}
+
+const RADIX_LOCAL: u64 = 48;
+const RADIX_SCATTER: u64 = 24;
+
+impl Radix {
+    fn step(&mut self, _last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.rounds_left == 0 {
+                    return KernelStep::Done;
+                }
+                self.rounds_left -= 1;
+                self.local_left = RADIX_LOCAL;
+                self.scatter_left = RADIX_SCATTER;
+                self.phase = 1;
+                KernelStep::Sync(self.barrier.wait(self.threads))
+            }
+            1 => {
+                if self.local_left == 0 {
+                    self.phase = 2;
+                    return self.step(None);
+                }
+                self.local_left -= 1;
+                self.idx = (self.idx + 1) % self.private.words();
+                KernelStep::Op(Op::load(self.private.word(self.idx)))
+            }
+            _ => {
+                if self.scatter_left == 0 {
+                    self.phase = 0;
+                    return self.step(None);
+                }
+                self.scatter_left -= 1;
+                let dst = self.rng.below(self.target.words());
+                KernelStep::Op(Op::store(self.target.word(dst), dst))
+            }
+        }
+    }
+}
+
+impl_kernel_logic!(Radix, "radix");
+
+/// Builds the radix-like workload.
+pub(crate) fn radix(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    let mut space = AddressSpace::new();
+    let target = space.alloc_words(params.threads as u64 * 128);
+    let barrier = BarrierAddrs::alloc(&mut space);
+    let root = DetRng::seed(params.seed).split("radix");
+    (0..params.threads)
+        .map(|t| {
+            let private = space.alloc_words(256);
+            KernelProgram::boxed(Box::new(Radix {
+                rng: root.split_index(t as u64),
+                private,
+                target,
+                threads: params.threads as u64,
+                rounds_left: params.scale,
+                local_left: 0,
+                scatter_left: 0,
+                idx: 0,
+                barrier,
+                phase: 0,
+            }))
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------------- lu
+
+/// Round-robin pivot production: the owner stores the pivot block, a
+/// barrier publishes it, everyone consumes it (broadcast sharing).
+#[derive(Debug, Clone)]
+struct Lu {
+    pivot: Region,
+    own: Region,
+    me: u64,
+    threads: u64,
+    round: u64,
+    rounds: u64,
+    i: u64,
+    /// 0 = produce-or-skip, 1 = publish barrier, 2 = consume, 3 = update,
+    /// 4 = end-of-round barrier.
+    phase: u8,
+    barrier: BarrierAddrs,
+}
+
+impl Lu {
+    fn step(&mut self, _last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.round == self.rounds {
+                    return KernelStep::Done;
+                }
+                if self.round % self.threads == self.me && self.i < self.pivot.words() {
+                    let op = Op::store(self.pivot.word(self.i), self.round);
+                    self.i += 1;
+                    return KernelStep::Op(op);
+                }
+                self.i = 0;
+                self.phase = 2;
+                KernelStep::Sync(self.barrier.wait(self.threads))
+            }
+            2 => {
+                if self.i < self.pivot.words() {
+                    let op = Op::load(self.pivot.word(self.i));
+                    self.i += 1;
+                    return KernelStep::Op(op);
+                }
+                self.i = 0;
+                self.phase = 3;
+                self.step(None)
+            }
+            3 => {
+                if self.i < self.own.words() {
+                    let op = Op::store(self.own.word(self.i), self.round);
+                    self.i += 1;
+                    return KernelStep::Op(op);
+                }
+                self.i = 0;
+                self.phase = 4;
+                KernelStep::Sync(self.barrier.wait(self.threads))
+            }
+            _ => {
+                self.round += 1;
+                self.phase = 0;
+                self.step(None)
+            }
+        }
+    }
+}
+
+impl_kernel_logic!(Lu, "lu");
+
+/// Builds the lu-like workload.
+pub(crate) fn lu(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    let mut space = AddressSpace::new();
+    let pivot = space.alloc_words(32);
+    let barrier = BarrierAddrs::alloc(&mut space);
+    (0..params.threads)
+        .map(|t| {
+            let own = space.alloc_words(32);
+            KernelProgram::boxed(Box::new(Lu {
+                pivot,
+                own,
+                me: t as u64,
+                threads: params.threads as u64,
+                round: 0,
+                rounds: params.scale,
+                i: 0,
+                phase: 0,
+                barrier,
+            }))
+        })
+        .collect()
+}

@@ -1,0 +1,56 @@
+//! The tenways workload suite: reactive, deterministic stand-ins for the
+//! scientific (SPLASH-2-class) and commercial (web / OLTP / DSS) programs
+//! the evaluation models.
+//!
+//! Every workload is a [`tenways_cpu::ThreadProgram`] state machine built
+//! from loads, stores, atomics and fences — synchronization (test-and-test-
+//! and-set locks, sense-reversing barriers) is implemented *in the workload
+//! layer from those primitives*, so lock spinning and barrier waits emerge
+//! from the simulated memory system rather than being modeled by fiat.
+//!
+//! Determinism: each thread derives its random stream from the run seed
+//! via [`tenways_sim::DetRng::split`], so a run is a pure function of
+//! `(workload, threads, scale, seed)`.
+//!
+//! | Kernel | Stands in for | Behaviour exercised |
+//! |--------|---------------|---------------------|
+//! | [`WorkloadKind::BarnesLike`] | SPLASH-2 barnes | tree walks, per-node locks, irregular sharing |
+//! | [`WorkloadKind::OceanLike`] | SPLASH-2 ocean | stencil, neighbour sharing, barrier per sweep |
+//! | [`WorkloadKind::RadixLike`] | SPLASH-2 radix | all-to-all scatter bursts between barriers |
+//! | [`WorkloadKind::LuLike`] | SPLASH-2 lu | pivot broadcast, producer-consumer sharing |
+//! | [`WorkloadKind::ApacheLike`] | SPECweb/apache | task queue, shared cache, high lock rate |
+//! | [`WorkloadKind::ZeusLike`] | zeus | read-heavier apache variant |
+//! | [`WorkloadKind::OltpLike`] | TPC-C-class OLTP | short transactions, 2 locks, dense atomics/fences |
+//! | [`WorkloadKind::DssLike`] | TPC-H-class DSS | large scans, low sharing, capacity misses |
+//!
+//! The extra [`contended`] kernel is the conflict-probability microbench
+//! behind the violation-sensitivity sweep (F7).
+//!
+//! # Example
+//!
+//! ```rust
+//! use tenways_workloads::{WorkloadKind, WorkloadParams};
+//! use tenways_cpu::{ConsistencyModel, Machine, MachineSpec};
+//! use tenways_sim::MachineConfig;
+//!
+//! let params = WorkloadParams { threads: 2, scale: 4, seed: 1 };
+//! let programs = WorkloadKind::OceanLike.build(&params);
+//! let spec = MachineSpec::baseline(ConsistencyModel::Tso)
+//!     .with_machine(MachineConfig::builder().cores(2).build().unwrap());
+//! let mut m = Machine::new(&spec, programs);
+//! let summary = m.run(5_000_000);
+//! assert!(summary.finished);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contended;
+mod kernels;
+pub mod layout;
+pub mod lockbench;
+pub mod sync;
+
+pub use contended::{contended_programs, ContendedParams};
+pub use kernels::{WorkloadKind, WorkloadParams};
+pub use lockbench::{lock_bench_programs, LockBenchParams, LockKind};

@@ -1,0 +1,200 @@
+//! Lock-design microbenchmark: threads fight over one lock and a shared
+//! counter, using a selectable lock implementation — the input to the lock
+//! ablation (Figure 12).
+
+use tenways_cpu::{Op, ThreadProgram};
+use tenways_sim::Addr;
+
+use crate::kernels::{impl_kernel_logic, KernelProgram, KernelStep};
+use crate::layout::AddressSpace;
+use crate::sync::SyncFrag;
+
+/// Which lock algorithm the benchmark uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// Test-and-test-and-set with CAS.
+    Ttas,
+    /// FIFO ticket lock.
+    Ticket,
+}
+
+impl LockKind {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockKind::Ttas => "ttas",
+            LockKind::Ticket => "ticket",
+        }
+    }
+}
+
+/// Parameters of the lock benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockBenchParams {
+    /// Number of threads contending.
+    pub threads: usize,
+    /// Critical sections per thread.
+    pub rounds: u64,
+    /// Compute cycles inside each critical section.
+    pub cs_compute: u64,
+    /// Compute cycles between critical sections (contention knob: 0 =
+    /// maximal contention).
+    pub think_compute: u64,
+    /// Lock algorithm.
+    pub kind: LockKind,
+}
+
+impl Default for LockBenchParams {
+    fn default() -> Self {
+        LockBenchParams {
+            threads: 8,
+            rounds: 50,
+            cs_compute: 10,
+            think_compute: 20,
+            kind: LockKind::Ttas,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LockAddrs {
+    /// TTAS word / ticket `next_ticket`.
+    a: Addr,
+    /// Ticket `now_serving` (unused by TTAS).
+    b: Addr,
+}
+
+#[derive(Debug, Clone)]
+struct LockFighter {
+    kind: LockKind,
+    lock: LockAddrs,
+    counter: Addr,
+    rounds_left: u64,
+    cs_compute: u64,
+    think_compute: u64,
+    counter_val: u64,
+    /// 0 = acquire, 1 = cs load, 2 = cs store, 3 = cs compute,
+    /// 4 = release, 5 = think.
+    phase: u8,
+}
+
+impl LockFighter {
+    fn acquire(&self) -> SyncFrag {
+        match self.kind {
+            LockKind::Ttas => SyncFrag::acquire(self.lock.a),
+            LockKind::Ticket => SyncFrag::ticket_acquire(self.lock.a, self.lock.b),
+        }
+    }
+
+    fn release(&self) -> SyncFrag {
+        match self.kind {
+            LockKind::Ttas => SyncFrag::release(self.lock.a),
+            LockKind::Ticket => SyncFrag::ticket_release(self.lock.b),
+        }
+    }
+
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.rounds_left == 0 {
+                    return KernelStep::Done;
+                }
+                self.rounds_left -= 1;
+                self.phase = 1;
+                KernelStep::Sync(self.acquire())
+            }
+            1 => {
+                self.phase = 2;
+                KernelStep::Op(Op::Load {
+                    addr: self.counter,
+                    tag: tenways_cpu::MemTag::Data,
+                    consume: true,
+                })
+            }
+            2 => {
+                self.counter_val = last.expect("counter value");
+                self.phase = 3;
+                KernelStep::Op(Op::store(self.counter, self.counter_val + 1))
+            }
+            3 => {
+                self.phase = 4;
+                KernelStep::Op(Op::Compute(self.cs_compute.max(1)))
+            }
+            4 => {
+                self.phase = 5;
+                KernelStep::Sync(self.release())
+            }
+            _ => {
+                self.phase = 0;
+                KernelStep::Op(Op::Compute(self.think_compute.max(1)))
+            }
+        }
+    }
+}
+
+impl_kernel_logic!(LockFighter, "lockbench");
+
+/// The shared addresses a lock benchmark run uses (for result inspection).
+#[derive(Debug, Clone, Copy)]
+pub struct LockBenchLayout {
+    /// The protected counter; must equal `threads * rounds` after the run.
+    pub counter: Addr,
+}
+
+/// Builds the lock benchmark programs and returns the layout for checking.
+pub fn lock_bench_programs(
+    params: &LockBenchParams,
+) -> (Vec<Box<dyn ThreadProgram>>, LockBenchLayout) {
+    let mut space = AddressSpace::new();
+    let lock = LockAddrs { a: space.alloc_line(), b: space.alloc_line() };
+    let counter = space.alloc_line();
+    let programs = (0..params.threads)
+        .map(|_| {
+            KernelProgram::boxed(Box::new(LockFighter {
+                kind: params.kind,
+                lock,
+                counter,
+                rounds_left: params.rounds,
+                cs_compute: params.cs_compute,
+                think_compute: params.think_compute,
+                counter_val: 0,
+                phase: 0,
+            }))
+        })
+        .collect();
+    (programs, LockBenchLayout { counter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenways_cpu::{ConsistencyModel, Machine, MachineSpec};
+    use tenways_sim::MachineConfig;
+
+    fn run(kind: LockKind, model: ConsistencyModel) -> (u64, u64) {
+        let params = LockBenchParams { threads: 4, rounds: 10, kind, ..Default::default() };
+        let (programs, layout) = lock_bench_programs(&params);
+        let cfg = MachineConfig::builder().cores(4).build().unwrap();
+        let spec = MachineSpec::baseline(model).with_machine(cfg);
+        let mut m = Machine::new(&spec, programs);
+        let s = m.run(10_000_000);
+        assert!(s.finished, "{kind:?} under {model} hung");
+        (m.mem().read(layout.counter), s.cycles)
+    }
+
+    #[test]
+    fn ttas_counter_is_exact_under_all_models() {
+        for model in ConsistencyModel::all() {
+            let (counter, _) = run(LockKind::Ttas, model);
+            assert_eq!(counter, 40, "lost increments under {model}");
+        }
+    }
+
+    #[test]
+    fn ticket_counter_is_exact_under_all_models() {
+        for model in ConsistencyModel::all() {
+            let (counter, _) = run(LockKind::Ticket, model);
+            assert_eq!(counter, 40, "lost increments under {model}");
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! Synchronization primitives built from atomics: [`SyncFrag`].
+//!
+//! Locks and barriers here are *program fragments* — miniature state
+//! machines a workload delegates its `next_op` to while a synchronization
+//! operation is in progress. They are built exclusively from the core's
+//! primitive operations, so their cost (spinning, coherence ping-pong,
+//! fence stalls) is simulated, not assumed:
+//!
+//! * **TTAS lock** — test-and-test-and-set: spin on a plain load until the
+//!   lock reads free, CAS to claim, acquire fence on success.
+//! * **Release** — release fence then a plain store of 0.
+//! * **Sense-reversing barrier** — read the generation, fetch-add the
+//!   arrival counter; the last arriver resets the counter and bumps the
+//!   generation, everyone else spins on the generation word.
+
+use tenways_cpu::{FenceKind, MemTag, Op, RmwOp};
+use tenways_sim::Addr;
+
+/// What a fragment produced this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragStep {
+    /// Feed this op to the core.
+    Emit(Op),
+    /// The fragment has finished.
+    Done,
+}
+
+/// A synchronization fragment in progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncFrag {
+    /// Acquiring a TTAS lock.
+    Acquire(AcquireState),
+    /// Releasing a lock.
+    Release(ReleaseState),
+    /// Waiting at a barrier.
+    Barrier(BarrierState),
+    /// Acquiring a ticket lock.
+    TicketAcquire(TicketAcquireState),
+    /// Releasing a ticket lock.
+    TicketRelease(TicketReleaseState),
+}
+
+impl SyncFrag {
+    /// Starts acquiring `lock`.
+    pub fn acquire(lock: Addr) -> Self {
+        SyncFrag::Acquire(AcquireState { lock, phase: AcquirePhase::TestRead })
+    }
+
+    /// Starts releasing `lock`.
+    pub fn release(lock: Addr) -> Self {
+        SyncFrag::Release(ReleaseState { lock, fenced: false })
+    }
+
+    /// Starts waiting at the barrier described by (`counter`, `generation`)
+    /// with `parties` participants.
+    pub fn barrier(counter: Addr, generation: Addr, parties: u64) -> Self {
+        SyncFrag::Barrier(BarrierState {
+            counter,
+            generation,
+            parties,
+            my_gen: 0,
+            phase: BarrierPhase::ReadGen,
+        })
+    }
+
+    /// Starts acquiring a ticket lock described by its `next_ticket` and
+    /// `now_serving` words.
+    pub fn ticket_acquire(next_ticket: Addr, now_serving: Addr) -> Self {
+        SyncFrag::TicketAcquire(TicketAcquireState {
+            next_ticket,
+            now_serving,
+            my_ticket: 0,
+            phase: TicketPhase::Draw,
+        })
+    }
+
+    /// Starts releasing a ticket lock (bumps `now_serving`).
+    pub fn ticket_release(now_serving: Addr) -> Self {
+        SyncFrag::TicketRelease(TicketReleaseState { now_serving, fenced: false, bumped: false })
+    }
+
+    /// Advances the fragment. `last` must be the consumed value if the
+    /// previously emitted op was consume-marked, else `None`.
+    pub fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self {
+            SyncFrag::Acquire(s) => s.next(last),
+            SyncFrag::Release(s) => s.next(),
+            SyncFrag::Barrier(s) => s.next(last),
+            SyncFrag::TicketAcquire(s) => s.next(last),
+            SyncFrag::TicketRelease(s) => s.next(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TicketPhase {
+    /// Fetch-add the ticket counter.
+    Draw,
+    /// Awaiting my ticket number, then spin on now_serving.
+    Spin,
+    /// Acquired: acquire fence, then done.
+    Fence,
+}
+
+/// Ticket-lock acquisition: FIFO-fair, one atomic per acquisition, spins
+/// on a read-shared word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TicketAcquireState {
+    next_ticket: Addr,
+    now_serving: Addr,
+    my_ticket: u64,
+    phase: TicketPhase,
+}
+
+impl TicketAcquireState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            TicketPhase::Draw => {
+                self.phase = TicketPhase::Spin;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.next_ticket,
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            TicketPhase::Spin => {
+                match last {
+                    Some(v) if self.my_ticket == 0 && v != u64::MAX => {
+                        // First spin entry: `v` is my drawn ticket. Encode
+                        // "drawn" by offsetting tickets by 1 internally.
+                        self.my_ticket = v + 1;
+                        FragStep::Emit(Op::Load {
+                            addr: self.now_serving,
+                            tag: MemTag::Lock,
+                            consume: true,
+                        })
+                    }
+                    Some(serving) if serving + 1 == self.my_ticket => {
+                        self.phase = TicketPhase::Fence;
+                        FragStep::Emit(Op::Fence(FenceKind::Acquire))
+                    }
+                    _ => FragStep::Emit(Op::Load {
+                        addr: self.now_serving,
+                        tag: MemTag::Lock,
+                        consume: true,
+                    }),
+                }
+            }
+            TicketPhase::Fence => FragStep::Done,
+        }
+    }
+}
+
+/// Ticket-lock release: release fence, then bump `now_serving`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TicketReleaseState {
+    now_serving: Addr,
+    fenced: bool,
+    bumped: bool,
+}
+
+impl TicketReleaseState {
+    fn next(&mut self) -> FragStep {
+        if !self.fenced {
+            self.fenced = true;
+            FragStep::Emit(Op::Fence(FenceKind::Release))
+        } else if !self.bumped {
+            self.bumped = true;
+            FragStep::Emit(Op::Rmw {
+                addr: self.now_serving,
+                rmw: RmwOp::FetchAdd(1),
+                tag: MemTag::Lock,
+                consume: false,
+            })
+        } else {
+            FragStep::Done
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AcquirePhase {
+    /// Spin-reading the lock word.
+    TestRead,
+    /// Saw it free; CAS issued, awaiting the old value.
+    CasIssued,
+    /// CAS won; emit the acquire fence and finish.
+    Fence,
+}
+
+/// TTAS lock acquisition state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcquireState {
+    lock: Addr,
+    phase: AcquirePhase,
+}
+
+impl AcquireState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            AcquirePhase::TestRead => match last {
+                // First step, or the lock read busy: (re)read it.
+                None | Some(1..) => FragStep::Emit(Op::Load {
+                    addr: self.lock,
+                    tag: MemTag::Lock,
+                    consume: true,
+                }),
+                Some(0) => {
+                    self.phase = AcquirePhase::CasIssued;
+                    FragStep::Emit(Op::Rmw {
+                        addr: self.lock,
+                        rmw: RmwOp::Cas { expected: 0, desired: 1 },
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            },
+            AcquirePhase::CasIssued => {
+                if last == Some(0) {
+                    self.phase = AcquirePhase::Fence;
+                    FragStep::Emit(Op::Fence(FenceKind::Acquire))
+                } else {
+                    // Lost the race: back to spinning.
+                    self.phase = AcquirePhase::TestRead;
+                    FragStep::Emit(Op::Load { addr: self.lock, tag: MemTag::Lock, consume: true })
+                }
+            }
+            AcquirePhase::Fence => FragStep::Done,
+        }
+    }
+}
+
+/// Lock release state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseState {
+    lock: Addr,
+    fenced: bool,
+}
+
+impl ReleaseState {
+    fn next(&mut self) -> FragStep {
+        if !self.fenced {
+            self.fenced = true;
+            FragStep::Emit(Op::Fence(FenceKind::Release))
+        } else if self.lock.0 != u64::MAX {
+            let lock = self.lock;
+            self.lock = Addr(u64::MAX); // consumed
+            FragStep::Emit(Op::Store { addr: lock, value: 0, tag: MemTag::Lock })
+        } else {
+            FragStep::Done
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BarrierPhase {
+    ReadGen,
+    Arrive,
+    LastResetCounter,
+    LastFence,
+    LastBumpGen,
+    Spin,
+    Finished,
+}
+
+/// Sense-reversing barrier state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierState {
+    counter: Addr,
+    generation: Addr,
+    parties: u64,
+    my_gen: u64,
+    phase: BarrierPhase,
+}
+
+impl BarrierState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            BarrierPhase::ReadGen => {
+                self.phase = BarrierPhase::Arrive;
+                FragStep::Emit(Op::Load { addr: self.generation, tag: MemTag::Barrier, consume: true })
+            }
+            BarrierPhase::Arrive => {
+                self.my_gen = last.expect("generation value consumed");
+                self.phase = BarrierPhase::LastResetCounter;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.counter,
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Barrier,
+                    consume: true,
+                })
+            }
+            BarrierPhase::LastResetCounter => {
+                let arrivals_before_me = last.expect("counter value consumed");
+                if arrivals_before_me + 1 == self.parties {
+                    // Last arriver: reset the counter, then bump the
+                    // generation to wake everyone.
+                    self.phase = BarrierPhase::LastFence;
+                    FragStep::Emit(Op::Store { addr: self.counter, value: 0, tag: MemTag::Barrier })
+                } else {
+                    self.phase = BarrierPhase::Spin;
+                    FragStep::Emit(Op::Load {
+                        addr: self.generation,
+                        tag: MemTag::Barrier,
+                        consume: true,
+                    })
+                }
+            }
+            BarrierPhase::LastFence => {
+                // The counter reset must be globally visible before the
+                // generation bump releases the spinners — under RMO the
+                // store would otherwise still be in the store buffer when
+                // re-arrivals read the counter (a real weak-ordering bug
+                // this simulator reproduces).
+                self.phase = BarrierPhase::LastBumpGen;
+                FragStep::Emit(Op::Fence(FenceKind::Full))
+            }
+            BarrierPhase::LastBumpGen => {
+                self.phase = BarrierPhase::Finished;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.generation,
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Barrier,
+                    consume: false,
+                })
+            }
+            BarrierPhase::Spin => {
+                if last.expect("generation value consumed") != self.my_gen {
+                    self.phase = BarrierPhase::Finished;
+                    FragStep::Emit(Op::Fence(FenceKind::Acquire))
+                } else {
+                    FragStep::Emit(Op::Load {
+                        addr: self.generation,
+                        tag: MemTag::Barrier,
+                        consume: true,
+                    })
+                }
+            }
+            BarrierPhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Steps a fragment against a fake functional memory, emulating what
+    /// the core+memory would do, and returns the ops emitted.
+    fn run_frag(frag: &mut SyncFrag, mem: &mut std::collections::BTreeMap<u64, u64>) -> Vec<Op> {
+        let mut ops = Vec::new();
+        let mut last = None;
+        for _ in 0..100 {
+            match frag.next(last) {
+                FragStep::Done => return ops,
+                FragStep::Emit(op) => {
+                    last = match op {
+                        Op::Load { addr, consume, .. } => {
+                            consume.then(|| mem.get(&addr.0).copied().unwrap_or(0))
+                        }
+                        Op::Rmw { addr, rmw, consume, .. } => {
+                            let old = mem.get(&addr.0).copied().unwrap_or(0);
+                            mem.insert(addr.0, rmw.apply(old));
+                            consume.then_some(old)
+                        }
+                        Op::Store { addr, value, .. } => {
+                            mem.insert(addr.0, value);
+                            None
+                        }
+                        _ => None,
+                    };
+                    ops.push(op);
+                }
+            }
+        }
+        panic!("fragment did not finish: {frag:?}");
+    }
+
+    #[test]
+    fn acquire_free_lock_is_three_ops() {
+        let mut mem = std::collections::BTreeMap::new();
+        let mut f = SyncFrag::acquire(Addr(0x40));
+        let ops = run_frag(&mut f, &mut mem);
+        assert_eq!(ops.len(), 3, "load, cas, fence: {ops:?}");
+        assert!(matches!(ops[0], Op::Load { .. }));
+        assert!(matches!(ops[1], Op::Rmw { .. }));
+        assert_eq!(ops[2], Op::Fence(FenceKind::Acquire));
+        assert_eq!(mem.get(&0x40), Some(&1), "lock taken");
+    }
+
+    #[test]
+    fn acquire_busy_lock_spins() {
+        let mut mem = std::collections::BTreeMap::new();
+        mem.insert(0x40, 1);
+        let mut f = SyncFrag::acquire(Addr(0x40));
+        // Drive 10 steps: all should be spin loads.
+        let mut last = None;
+        for _ in 0..10 {
+            let FragStep::Emit(op) = f.next(last) else { panic!("finished on busy lock") };
+            assert!(matches!(op, Op::Load { tag: MemTag::Lock, consume: true, .. }), "{op:?}");
+            last = Some(1);
+        }
+        // Lock freed: next read sees 0 and the CAS follows.
+        let FragStep::Emit(op) = f.next(Some(0)) else { panic!() };
+        assert!(matches!(op, Op::Rmw { .. }));
+    }
+
+    #[test]
+    fn lost_cas_race_returns_to_spinning() {
+        let mut f = SyncFrag::acquire(Addr(0x40));
+        let _ = f.next(None); // load
+        let _ = f.next(Some(0)); // cas issued
+        // CAS returned old value 1: someone else won.
+        let FragStep::Emit(op) = f.next(Some(1)) else { panic!() };
+        assert!(matches!(op, Op::Load { .. }), "back to spinning: {op:?}");
+    }
+
+    #[test]
+    fn release_is_fence_then_store() {
+        let mut mem = std::collections::BTreeMap::new();
+        mem.insert(0x40, 1);
+        let mut f = SyncFrag::release(Addr(0x40));
+        let ops = run_frag(&mut f, &mut mem);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0], Op::Fence(FenceKind::Release));
+        assert!(matches!(ops[1], Op::Store { value: 0, .. }));
+        assert_eq!(mem.get(&0x40), Some(&0));
+    }
+
+    #[test]
+    fn barrier_last_arriver_bumps_generation() {
+        let mut mem = std::collections::BTreeMap::new();
+        mem.insert(0x80, 1); // counter: one of two already arrived
+        let mut f = SyncFrag::barrier(Addr(0x80), Addr(0xc0), 2);
+        let ops = run_frag(&mut f, &mut mem);
+        // read gen, fetch-add counter, reset counter, full fence, bump gen.
+        assert_eq!(ops.len(), 5, "{ops:?}");
+        assert_eq!(ops[3], Op::Fence(FenceKind::Full));
+        assert_eq!(mem.get(&0x80), Some(&0), "counter reset");
+        assert_eq!(mem.get(&0xc0), Some(&1), "generation bumped");
+    }
+
+    #[test]
+    fn barrier_early_arriver_spins_until_generation_changes() {
+        let mut f = SyncFrag::barrier(Addr(0x80), Addr(0xc0), 2);
+        let FragStep::Emit(_) = f.next(None) else { panic!() }; // read gen
+        let FragStep::Emit(_) = f.next(Some(0)) else { panic!() }; // arrive (gen 0)
+        // We are arrival 0 of 2: spin on generation.
+        let FragStep::Emit(op) = f.next(Some(0)) else { panic!() };
+        assert!(matches!(op, Op::Load { tag: MemTag::Barrier, consume: true, .. }));
+        // Generation still 0: keep spinning.
+        let FragStep::Emit(_) = f.next(Some(0)) else { panic!() };
+        // Generation advanced: acquire fence, then done.
+        let FragStep::Emit(op) = f.next(Some(1)) else { panic!() };
+        assert_eq!(op, Op::Fence(FenceKind::Acquire));
+        assert_eq!(f.next(None), FragStep::Done);
+    }
+
+    #[test]
+    fn two_party_barrier_full_protocol() {
+        // Interleave two barrier fragments against one memory to check the
+        // protocol end to end.
+        let mut mem = std::collections::BTreeMap::new();
+        let mut a = SyncFrag::barrier(Addr(0x80), Addr(0xc0), 2);
+        // A arrives first and spins.
+        let mut last_a = None;
+        for _ in 0..3 {
+            if let FragStep::Emit(op) = a.next(last_a) {
+                last_a = apply(&mut mem, op);
+            }
+        }
+        // B arrives and releases.
+        let mut b = SyncFrag::barrier(Addr(0x80), Addr(0xc0), 2);
+        let mut last_b = None;
+        loop {
+            match b.next(last_b) {
+                FragStep::Done => break,
+                FragStep::Emit(op) => last_b = apply(&mut mem, op),
+            }
+        }
+        // A now observes the new generation and finishes.
+        let mut done = false;
+        for _ in 0..5 {
+            match a.next(last_a) {
+                FragStep::Done => {
+                    done = true;
+                    break;
+                }
+                FragStep::Emit(op) => last_a = apply(&mut mem, op),
+            }
+        }
+        assert!(done, "first arriver must be released");
+    }
+
+    fn apply(mem: &mut std::collections::BTreeMap<u64, u64>, op: Op) -> Option<u64> {
+        match op {
+            Op::Load { addr, consume, .. } => consume.then(|| mem.get(&addr.0).copied().unwrap_or(0)),
+            Op::Rmw { addr, rmw, consume, .. } => {
+                let old = mem.get(&addr.0).copied().unwrap_or(0);
+                mem.insert(addr.0, rmw.apply(old));
+                consume.then_some(old)
+            }
+            Op::Store { addr, value, .. } => {
+                mem.insert(addr.0, value);
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod ticket_tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn apply(mem: &mut BTreeMap<u64, u64>, op: Op) -> Option<u64> {
+        match op {
+            Op::Load { addr, consume, .. } => consume.then(|| mem.get(&addr.0).copied().unwrap_or(0)),
+            Op::Rmw { addr, rmw, consume, .. } => {
+                let old = mem.get(&addr.0).copied().unwrap_or(0);
+                mem.insert(addr.0, rmw.apply(old));
+                consume.then_some(old)
+            }
+            Op::Store { addr, value, .. } => {
+                mem.insert(addr.0, value);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn ticket_uncontended_acquire_release() {
+        let mut mem = BTreeMap::new();
+        let (next, serving) = (Addr(0x40), Addr(0x80));
+        let mut f = SyncFrag::ticket_acquire(next, serving);
+        let mut last = None;
+        let mut steps = 0;
+        loop {
+            match f.next(last) {
+                FragStep::Done => break,
+                FragStep::Emit(op) => last = apply(&mut mem, op),
+            }
+            steps += 1;
+            assert!(steps < 20, "uncontended acquire must be quick");
+        }
+        assert_eq!(mem.get(&0x40), Some(&1), "ticket drawn");
+        let mut r = SyncFrag::ticket_release(serving);
+        let mut last = None;
+        loop {
+            match r.next(last) {
+                FragStep::Done => break,
+                FragStep::Emit(op) => last = apply(&mut mem, op),
+            }
+        }
+        assert_eq!(mem.get(&0x80), Some(&1), "now_serving bumped");
+    }
+
+    #[test]
+    fn ticket_queues_fairly() {
+        let mut mem = BTreeMap::new();
+        let (next, serving) = (Addr(0x40), Addr(0x80));
+        // A draws ticket 0, B draws ticket 1.
+        let mut a = SyncFrag::ticket_acquire(next, serving);
+        let mut b = SyncFrag::ticket_acquire(next, serving);
+        let mut la = None;
+        let mut lb = None;
+        // A: draw + first spin -> acquires (serving == 0).
+        for _ in 0..4 {
+            if let FragStep::Emit(op) = a.next(la) {
+                la = apply(&mut mem, op);
+            }
+        }
+        // B: draw + spins (serving == 0, ticket 1): must NOT acquire.
+        let mut b_done = false;
+        for _ in 0..6 {
+            match b.next(lb) {
+                FragStep::Done => b_done = true,
+                FragStep::Emit(op) => lb = apply(&mut mem, op),
+            }
+        }
+        assert!(!b_done, "B must wait for A's release");
+        // A releases.
+        let mut r = SyncFrag::ticket_release(serving);
+        let mut lr = None;
+        loop {
+            match r.next(lr) {
+                FragStep::Done => break,
+                FragStep::Emit(op) => lr = apply(&mut mem, op),
+            }
+        }
+        // B now gets in.
+        for _ in 0..4 {
+            match b.next(lb) {
+                FragStep::Done => {
+                    b_done = true;
+                    break;
+                }
+                FragStep::Emit(op) => lb = apply(&mut mem, op),
+            }
+        }
+        assert!(b_done, "B must acquire after release");
+    }
+}

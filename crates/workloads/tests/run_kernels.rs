@@ -1,0 +1,175 @@
+//! Every kernel must run to completion on the full simulator, under every
+//! consistency model, with and without speculation — the workload-level
+//! deadlock/livelock check.
+
+use tenways_cpu::SpecConfig;
+use tenways_cpu::{ConsistencyModel, Machine, MachineSpec};
+use tenways_sim::MachineConfig;
+use tenways_workloads::{contended_programs, ContendedParams, WorkloadKind, WorkloadParams};
+
+fn machine(threads: usize) -> MachineConfig {
+    MachineConfig::builder().cores(threads).build().unwrap()
+}
+
+fn run_kind(
+    kind: WorkloadKind,
+    model: ConsistencyModel,
+    spec: SpecConfig,
+    threads: usize,
+    scale: u64,
+) -> (Machine, tenways_cpu::RunSummary) {
+    let params = WorkloadParams { threads, scale, seed: 42 };
+    let ms = MachineSpec::baseline(model)
+        .with_machine(machine(threads))
+        .with_spec(spec);
+    let mut m = Machine::new(&ms, kind.build(&params));
+    let s = m.run(20_000_000);
+    (m, s)
+}
+
+#[test]
+fn all_kernels_finish_under_all_baselines() {
+    for kind in WorkloadKind::all() {
+        for model in ConsistencyModel::all() {
+            let (_, s) = run_kind(kind, model, SpecConfig::disabled(), 4, 3);
+            assert!(
+                s.finished,
+                "{} deadlocked under {model}: {s:?}",
+                kind.name()
+            );
+            assert!(s.retired_ops > 0);
+        }
+    }
+}
+
+#[test]
+fn all_kernels_finish_with_on_demand_speculation() {
+    for kind in WorkloadKind::all() {
+        for model in ConsistencyModel::all() {
+            let (_, s) = run_kind(kind, model, SpecConfig::on_demand(), 4, 3);
+            assert!(
+                s.finished,
+                "{} hung under {model}+spec: {s:?}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_kernels_finish_with_continuous_speculation() {
+    for kind in WorkloadKind::all() {
+        let (_, s) = run_kind(kind, ConsistencyModel::Tso, SpecConfig::continuous(), 4, 3);
+        assert!(s.finished, "{} hung (continuous): {s:?}", kind.name());
+    }
+}
+
+#[test]
+fn kernels_are_deterministic() {
+    for kind in [WorkloadKind::BarnesLike, WorkloadKind::OltpLike] {
+        let a = run_kind(kind, ConsistencyModel::Tso, SpecConfig::on_demand(), 4, 3).1;
+        let b = run_kind(kind, ConsistencyModel::Tso, SpecConfig::on_demand(), 4, 3).1;
+        assert_eq!(a, b, "{}", kind.name());
+    }
+}
+
+#[test]
+fn server_kernels_process_every_task_exactly_once() {
+    // The queue counter ends at >= threads*scale (each task id claimed once;
+    // over-claims happen when threads grab ids past the limit and stop).
+    let threads = 4;
+    let scale = 5;
+    let (m, s) = run_kind(WorkloadKind::ApacheLike, ConsistencyModel::Tso, SpecConfig::disabled(), threads, scale);
+    assert!(s.finished);
+    // Queue is the first line allocated by the builder (0x1_0000).
+    let claimed = m.mem().read(tenways_sim::Addr(0x1_0000));
+    let limit = threads as u64 * scale;
+    assert!(claimed >= limit, "queue counter {claimed} < task limit {limit}");
+    assert!(claimed <= limit + threads as u64, "over-claimed: {claimed}");
+}
+
+#[test]
+fn oltp_commit_counter_equals_total_transactions() {
+    let threads = 4;
+    let scale = 6;
+    for spec in [SpecConfig::disabled(), SpecConfig::on_demand()] {
+        let params = WorkloadParams { threads, scale, seed: 9 };
+        let ms = MachineSpec::baseline(ConsistencyModel::Rmo)
+            .with_machine(machine(threads))
+            .with_spec(spec);
+        let mut m = Machine::new(&ms, WorkloadKind::OltpLike.build(&params));
+        let s = m.run(20_000_000);
+        assert!(s.finished);
+        // Commit counter address: records (8K words -> 64KiB) + 16 lock
+        // lines after the 0x1_0000 base.
+        let commit_addr = tenways_sim::Addr(0x1_0000 + 8 * 1024 * 8 + 16 * 64);
+        assert_eq!(
+            m.mem().read(commit_addr),
+            threads as u64 * scale,
+            "lost transactions with {spec:?}"
+        );
+    }
+}
+
+#[test]
+fn lock_and_barrier_waste_is_visible_in_accounting() {
+    let (m, s) = run_kind(WorkloadKind::OceanLike, ConsistencyModel::Tso, SpecConfig::disabled(), 4, 4);
+    assert!(s.finished);
+    let stats = m.merged_stats();
+    let barrier_cycles: u64 = stats
+        .iter()
+        .filter(|(k, _)| k.contains(".barrier"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(barrier_cycles > 0, "ocean must spend cycles at barriers");
+
+    let (m, s) = run_kind(WorkloadKind::OltpLike, ConsistencyModel::Tso, SpecConfig::disabled(), 4, 6);
+    assert!(s.finished);
+    let stats = m.merged_stats();
+    let lock_cycles: u64 = stats
+        .iter()
+        .filter(|(k, _)| k.contains(".lock"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(lock_cycles > 0, "oltp must spend cycles on locks");
+}
+
+#[test]
+fn dss_is_capacity_dominated() {
+    let (m, s) = run_kind(WorkloadKind::DssLike, ConsistencyModel::Tso, SpecConfig::disabled(), 2, 8);
+    assert!(s.finished);
+    let stats = m.merged_stats();
+    let capacity = stats.get("cyc.mem.data.capacity") + stats.get("cyc.mem.data.cold")
+        + stats.get("cyc.mem.data.l2");
+    let coherence = stats.get("cyc.mem.data.coherence");
+    assert!(
+        capacity > coherence,
+        "dss should be capacity-bound: capacity {capacity} vs coherence {coherence}"
+    );
+}
+
+#[test]
+fn contended_sweep_changes_violation_rate() {
+    let run_p = |p: f64| {
+        let params = ContendedParams {
+            threads: 4,
+            ops_per_thread: 300,
+            conflict_p: p,
+            fence_period: 6,
+            ..ContendedParams::default()
+        };
+        let ms = MachineSpec::baseline(ConsistencyModel::Tso)
+            .with_machine(machine(4))
+            .with_spec(SpecConfig::on_demand());
+        let mut m = Machine::new(&ms, contended_programs(&params));
+        let s = m.run(20_000_000);
+        assert!(s.finished, "contended p={p} hung");
+        m.merged_stats().get("spec.rollbacks")
+    };
+    let low = run_p(0.0);
+    let high = run_p(0.6);
+    assert!(
+        high > low,
+        "rollbacks must rise with conflict probability: {low} -> {high}"
+    );
+}

@@ -1,0 +1,67 @@
+//! Speculation modes side by side: disabled vs on-demand vs continuous vs
+//! a capped per-store design, across a conflict sweep — shows both the win
+//! and the crossover where speculation loses.
+//!
+//! ```text
+//! cargo run --release --example spec_modes
+//! ```
+
+use tenways::prelude::*;
+
+fn main() {
+    let modes: [(&str, SpecConfig); 4] = [
+        ("disabled", SpecConfig::disabled()),
+        ("on-demand", SpecConfig::on_demand()),
+        ("continuous", SpecConfig::continuous()),
+        ("per-store(8)", SpecConfig::per_store(8)),
+    ];
+
+    println!("contended kernel, 4 threads, TSO; runtime in cycles per mode\n");
+    println!(
+        "{:>10}{}",
+        "conflict p",
+        modes.iter().map(|(n, _)| format!("{n:>14}")).collect::<String>()
+    );
+
+    for p in [0.0, 0.05, 0.2, 0.5] {
+        print!("{p:>10.2}");
+        for (_, spec) in &modes {
+            let r = Experiment::contended(ContendedParams {
+                threads: 4,
+                ops_per_thread: 400,
+                conflict_p: p,
+                hot_blocks: 4,
+                fence_period: 6,
+                seed: 11,
+            })
+            .model(ConsistencyModel::Tso)
+            .spec(*spec)
+            .run();
+            assert!(r.summary.finished);
+            print!("{:>14}", r.summary.cycles);
+        }
+        println!();
+    }
+
+    println!("\nrollback behaviour at p=0.2 (on-demand vs continuous):");
+    for (name, spec) in [("on-demand", SpecConfig::on_demand()), ("continuous", SpecConfig::continuous())] {
+        let r = Experiment::contended(ContendedParams {
+            threads: 4,
+            ops_per_thread: 400,
+            conflict_p: 0.2,
+            hot_blocks: 4,
+            fence_period: 6,
+            seed: 11,
+        })
+        .model(ConsistencyModel::Tso)
+        .spec(spec)
+        .run();
+        println!(
+            "  {name:<11} epochs={:<6} commits={:<6} rollbacks={:<6} wasted cycles={}",
+            r.stats.get("spec.epochs"),
+            r.stats.get("spec.commits"),
+            r.stats.get("spec.rollbacks"),
+            r.stats.get("spec.wasted_cycles"),
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Waste audit: run the whole workload suite and print the full ten-ways
+//! breakdown plus the energy story — the keynote's argument in one table.
+//!
+//! ```text
+//! cargo run --release --example waste_audit
+//! ```
+
+use tenways::prelude::*;
+use tenways::waste::report;
+
+fn main() {
+    let params = WorkloadParams { threads: 4, scale: 4, seed: 7 };
+
+    let mut records = Vec::new();
+    for kind in WorkloadKind::all() {
+        let r = Experiment::new(kind)
+            .params(params)
+            .model(ConsistencyModel::Tso)
+            .run();
+        assert!(r.summary.finished, "{} was cut off", kind.name());
+        records.push(r);
+    }
+
+    println!("=== where the cycles go (baseline TSO, {} threads) ===\n", params.threads);
+    print!("{}", report::breakdown_table(&records));
+
+    println!("\n=== where the Joules go ===\n");
+    print!("{}", report::energy_table(&records));
+
+    let movement: f64 = records.iter().map(|r| r.energy.data_movement_nj()).sum();
+    let compute: f64 = records.iter().map(|r| r.energy.core_dynamic_nj).sum();
+    println!(
+        "\nacross the suite, data movement consumes {:.1}x the energy of computation.",
+        movement / compute.max(1e-9)
+    );
+
+    // Rank the workloads by how much a fence-speculation retrofit would buy.
+    println!("\n=== consistency-enforcement waste (what speculation attacks) ===\n");
+    let mut ranked: Vec<_> = records
+        .iter()
+        .map(|r| {
+            let frac = r.breakdown.consistency_cycles() as f64 / r.breakdown.total().max(1) as f64;
+            (r.label.clone(), frac)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, frac) in ranked {
+        println!("{name:<10} {:>5.1}% of cycles", 100.0 * frac);
+    }
+}

@@ -1,0 +1,202 @@
+//! The `tenways` command-line driver: run one experiment from the shell.
+//!
+//! ```text
+//! tenways --workload oltp --model sc --spec on-demand --threads 8 --scale 8
+//! tenways --list
+//! ```
+
+use tenways::prelude::*;
+use tenways::waste::report;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tenways [options]
+  --workload <name>   one of: {} | contended (default oltp)
+  --model <m>         sc | tso | rmo (default tso)
+  --spec <s>          off | on-demand | continuous | per-store:<N> (default off)
+  --threads <n>       simulated cores (default 8)
+  --scale <n>         per-thread work units (default 8)
+  --seed <n>          run seed (default 7)
+  --conflict <p>      contended workload conflict probability (default 0.05)
+  --mesh              use a 2-D mesh interconnect instead of the crossbar
+  --msi               use MSI instead of MESI coherence
+  --prefetch          enable the next-line L1 prefetcher
+  --breakdown         print the ten-ways cycle breakdown
+  --energy            print the energy report
+  --stats             dump all raw counters
+  --list              list workloads and exit",
+        WorkloadKind::all().map(|k| k.name()).join(" | ")
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    workload: String,
+    model: ConsistencyModel,
+    spec: SpecConfig,
+    threads: usize,
+    scale: u64,
+    seed: u64,
+    conflict: f64,
+    mesh: bool,
+    msi: bool,
+    prefetch: bool,
+    breakdown: bool,
+    energy: bool,
+    stats: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "oltp".into(),
+        model: ConsistencyModel::Tso,
+        spec: SpecConfig::disabled(),
+        threads: 8,
+        scale: 8,
+        seed: 7,
+        conflict: 0.05,
+        mesh: false,
+        msi: false,
+        prefetch: false,
+        breakdown: false,
+        energy: false,
+        stats: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workload" | "-w" => args.workload = value(&mut i),
+            "--model" | "-m" => {
+                args.model = match value(&mut i).to_lowercase().as_str() {
+                    "sc" => ConsistencyModel::Sc,
+                    "tso" => ConsistencyModel::Tso,
+                    "rmo" => ConsistencyModel::Rmo,
+                    other => {
+                        eprintln!("unknown model: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--spec" | "-s" => {
+                let v = value(&mut i).to_lowercase();
+                args.spec = match v.as_str() {
+                    "off" | "disabled" => SpecConfig::disabled(),
+                    "on-demand" | "ondemand" => SpecConfig::on_demand(),
+                    "continuous" => SpecConfig::continuous(),
+                    other => match other.strip_prefix("per-store:").and_then(|n| n.parse().ok()) {
+                        Some(n) => SpecConfig::per_store(n),
+                        None => {
+                            eprintln!("unknown spec mode: {other}");
+                            usage()
+                        }
+                    },
+                }
+            }
+            "--threads" | "-t" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--scale" => args.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--conflict" => args.conflict = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--mesh" => args.mesh = true,
+            "--msi" => args.msi = true,
+            "--prefetch" => args.prefetch = true,
+            "--breakdown" => args.breakdown = true,
+            "--energy" => args.energy = true,
+            "--stats" => args.stats = true,
+            "--list" => {
+                for k in WorkloadKind::all() {
+                    println!("{}", k.name());
+                }
+                println!("contended");
+                std::process::exit(0);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let machine = MachineConfig::builder()
+        .cores(args.threads)
+        .mesh(args.mesh)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("invalid machine: {e}");
+            std::process::exit(2);
+        });
+    let protocol = ProtocolConfig { grant_exclusive: !args.msi, prefetch_next_line: args.prefetch };
+    let params = WorkloadParams { threads: args.threads, scale: args.scale, seed: args.seed };
+
+    let experiment = if args.workload == "contended" {
+        Experiment::contended(ContendedParams {
+            threads: args.threads,
+            ops_per_thread: 200 * args.scale,
+            conflict_p: args.conflict,
+            hot_blocks: 4,
+            fence_period: 8,
+            seed: args.seed,
+        })
+    } else {
+        match WorkloadKind::all().into_iter().find(|k| k.name() == args.workload) {
+            Some(kind) => Experiment::new(kind).params(params),
+            None => {
+                eprintln!("unknown workload: {}", args.workload);
+                usage()
+            }
+        }
+    };
+
+    let record = experiment
+        .machine(machine)
+        .model(args.model)
+        .spec(args.spec)
+        .protocol(protocol)
+        .run();
+
+    let s = &record.summary;
+    println!(
+        "{} | {} | spec {:?}",
+        record.label,
+        record.model.label(),
+        record.spec.mode
+    );
+    println!(
+        "cycles {}  finished {}  retired {}  throughput {:.3} ops/cycle",
+        s.cycles,
+        s.finished,
+        s.retired_ops,
+        s.throughput()
+    );
+    println!(
+        "useful {:.1}%  consistency-waste {} cy  rollbacks {}  ops/uJ {:.1}",
+        100.0 * record.breakdown.useful_fraction(),
+        record.breakdown.consistency_cycles(),
+        record.stats.get("spec.rollbacks"),
+        record.energy.ops_per_uj()
+    );
+    if args.breakdown {
+        println!();
+        print!("{}", report::breakdown_table(std::slice::from_ref(&record)));
+    }
+    if args.energy {
+        println!();
+        print!("{}", report::energy_table(std::slice::from_ref(&record)));
+    }
+    if args.stats {
+        println!("\n{}", record.stats);
+    }
+    if !s.finished {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Memory-model litmus tests, run end to end on the simulator.
+//!
+//! These are the classic two-thread shapes used to characterize
+//! consistency models. Outcomes are *observed values*, recorded by the
+//! programs through consume loads, across a spread of timing variations
+//! (compute skews) — a forbidden outcome must never appear, an allowed
+//! outcome should appear for at least one timing.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tenways::prelude::*;
+
+/// Store X=1 then load Y, recording the loaded value.
+#[derive(Debug, Clone)]
+struct StoreThenLoad {
+    skew: u64,
+    store_addr: Addr,
+    load_addr: Addr,
+    out: Rc<Cell<u64>>,
+    phase: u8,
+}
+
+impl ThreadProgram for StoreThenLoad {
+    fn next_op(&mut self, last: Option<u64>) -> Option<Op> {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Some(Op::Compute(self.skew.max(1)))
+            }
+            1 => {
+                self.phase = 2;
+                Some(Op::store(self.store_addr, 1))
+            }
+            2 => {
+                self.phase = 3;
+                Some(Op::Load { addr: self.load_addr, tag: MemTag::Data, consume: true })
+            }
+            3 => {
+                self.out.set(last.expect("loaded value"));
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn snapshot(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+}
+
+/// Runs the store-buffering (Dekker) litmus once; returns (r0, r1).
+fn run_sb(model: ConsistencyModel, spec: SpecConfig, skew0: u64, skew1: u64) -> (u64, u64) {
+    let x = Addr(0x1_0000);
+    let y = Addr(0x1_0040);
+    let r0 = Rc::new(Cell::new(u64::MAX));
+    let r1 = Rc::new(Cell::new(u64::MAX));
+    let programs: Vec<Box<dyn ThreadProgram>> = vec![
+        Box::new(StoreThenLoad { skew: skew0, store_addr: x, load_addr: y, out: r0.clone(), phase: 0 }),
+        Box::new(StoreThenLoad { skew: skew1, store_addr: y, load_addr: x, out: r1.clone(), phase: 0 }),
+    ];
+    let cfg = MachineConfig::builder().cores(2).build().unwrap();
+    let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+    let mut m = Machine::new(&ms, programs);
+    let s = m.run(1_000_000);
+    assert!(s.finished, "litmus hung under {model}");
+    (r0.get(), r1.get())
+}
+
+/// Timing variations to expose races.
+fn skews() -> Vec<(u64, u64)> {
+    let mut v = Vec::new();
+    for a in [1u64, 3, 10, 25, 60, 140] {
+        for b in [1u64, 3, 10, 25, 60, 140] {
+            v.push((a, b));
+        }
+    }
+    v
+}
+
+#[test]
+fn store_buffering_is_forbidden_under_sc() {
+    // SC forbids r0 == 0 && r1 == 0: each load follows its own store in the
+    // global order, so at least one thread must observe the other's store.
+    for (a, b) in skews() {
+        let (r0, r1) = run_sb(ConsistencyModel::Sc, SpecConfig::disabled(), a, b);
+        assert!(
+            !(r0 == 0 && r1 == 0),
+            "SC produced the forbidden SB outcome at skews ({a},{b})"
+        );
+    }
+}
+
+#[test]
+fn store_buffering_is_observable_under_tso() {
+    // TSO allows r0 == r1 == 0 (loads bypass the store buffer). With
+    // symmetric timing the relaxed outcome should actually appear.
+    let seen_relaxed = skews()
+        .into_iter()
+        .any(|(a, b)| run_sb(ConsistencyModel::Tso, SpecConfig::disabled(), a, b) == (0, 0));
+    assert!(seen_relaxed, "TSO never exhibited store-buffer reordering");
+}
+
+#[test]
+fn store_buffering_is_observable_under_rmo() {
+    let seen_relaxed = skews()
+        .into_iter()
+        .any(|(a, b)| run_sb(ConsistencyModel::Rmo, SpecConfig::disabled(), a, b) == (0, 0));
+    assert!(seen_relaxed, "RMO never exhibited store-buffer reordering");
+}
+
+#[test]
+fn speculative_sc_still_forbids_store_buffering() {
+    // THE correctness claim of fence speculation: the relaxed outcome must
+    // stay invisible even though SC's enforcement is being bypassed
+    // speculatively — conflicts roll the speculation back first.
+    for spec in [SpecConfig::on_demand(), SpecConfig::continuous()] {
+        for (a, b) in skews() {
+            let (r0, r1) = run_sb(ConsistencyModel::Sc, spec, a, b);
+            assert!(
+                !(r0 == 0 && r1 == 0),
+                "speculative SC leaked the forbidden SB outcome at skews ({a},{b}) with {spec:?}"
+            );
+        }
+    }
+}
+
+/// Store X=1, full fence, then load Y.
+#[derive(Debug, Clone)]
+struct StoreFenceLoad {
+    inner: StoreThenLoad,
+    fenced: bool,
+}
+
+impl ThreadProgram for StoreFenceLoad {
+    fn next_op(&mut self, last: Option<u64>) -> Option<Op> {
+        if self.inner.phase == 2 && !self.fenced {
+            self.fenced = true;
+            return Some(Op::Fence(FenceKind::Full));
+        }
+        self.inner.next_op(last)
+    }
+
+    fn snapshot(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+}
+
+#[test]
+fn full_fences_restore_sc_for_store_buffering() {
+    // Dekker with fences must be safe under every model, with and without
+    // speculation.
+    let run = |model, spec: SpecConfig, a: u64, b: u64| {
+        let x = Addr(0x1_0000);
+        let y = Addr(0x1_0040);
+        let r0 = Rc::new(Cell::new(u64::MAX));
+        let r1 = Rc::new(Cell::new(u64::MAX));
+        let mk = |store, load, out: &Rc<Cell<u64>>, skew| -> Box<dyn ThreadProgram> {
+            Box::new(StoreFenceLoad {
+                inner: StoreThenLoad { skew, store_addr: store, load_addr: load, out: out.clone(), phase: 0 },
+                fenced: false,
+            })
+        };
+        let programs = vec![mk(x, y, &r0, a), mk(y, x, &r1, b)];
+        let cfg = MachineConfig::builder().cores(2).build().unwrap();
+        let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+        let mut m = Machine::new(&ms, programs);
+        assert!(m.run(1_000_000).finished);
+        (r0.get(), r1.get())
+    };
+    for model in ConsistencyModel::all() {
+        for spec in [SpecConfig::disabled(), SpecConfig::on_demand()] {
+            for (a, b) in [(1, 1), (10, 10), (60, 3), (3, 60)] {
+                let (r0, r1) = run(model, spec, a, b);
+                assert!(
+                    !(r0 == 0 && r1 == 0),
+                    "fenced Dekker leaked (0,0) under {model} {spec:?} at ({a},{b})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coherence_per_location_total_order() {
+    // Two writers to the same word; every model must leave one of the two
+    // written values — and a reader that saw the final value stays final.
+    for model in ConsistencyModel::all() {
+        let a = Addr(0x2_0000);
+        let w = |v: u64, skew: u64| -> Box<dyn ThreadProgram> {
+            Box::new(ScriptProgram::new(vec![Op::Compute(skew), Op::store(a, v)]))
+        };
+        let cfg = MachineConfig::builder().cores(2).build().unwrap();
+        let ms = MachineSpec::baseline(model).with_machine(cfg);
+        let mut m = Machine::new(&ms, vec![w(7, 5), w(8, 5)]);
+        assert!(m.run(1_000_000).finished);
+        let v = m.mem().read(a);
+        assert!(v == 7 || v == 8, "{model}: final value {v} was never written");
+    }
+}
+
+#[test]
+fn message_passing_with_release_acquire_is_safe_everywhere() {
+    // Writer: data=42; release; flag=1.  Reader: spin flag; acquire; read
+    // data. Must read 42 under every model/spec combination and timing.
+    #[derive(Debug, Clone)]
+    struct Reader {
+        flag: Addr,
+        data: Addr,
+        out: Rc<Cell<u64>>,
+        phase: u8,
+    }
+    impl ThreadProgram for Reader {
+        fn next_op(&mut self, last: Option<u64>) -> Option<Op> {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Some(Op::Load { addr: self.flag, tag: MemTag::Lock, consume: true })
+                }
+                1 => {
+                    if last == Some(1) {
+                        self.phase = 2;
+                        Some(Op::Fence(FenceKind::Acquire))
+                    } else {
+                        Some(Op::Load { addr: self.flag, tag: MemTag::Lock, consume: true })
+                    }
+                }
+                2 => {
+                    self.phase = 3;
+                    Some(Op::Load { addr: self.data, tag: MemTag::Data, consume: true })
+                }
+                3 => {
+                    self.out.set(last.expect("data"));
+                    None
+                }
+                _ => None,
+            }
+        }
+        fn snapshot(&self) -> Box<dyn ThreadProgram> {
+            Box::new(self.clone())
+        }
+    }
+    for model in ConsistencyModel::all() {
+        for spec in [SpecConfig::disabled(), SpecConfig::on_demand()] {
+            for skew in [1u64, 20, 100] {
+                let flag = Addr(0x3_0000);
+                let data = Addr(0x3_0040);
+                let out = Rc::new(Cell::new(u64::MAX));
+                let writer: Box<dyn ThreadProgram> = Box::new(ScriptProgram::new(vec![
+                    Op::Compute(skew),
+                    Op::store(data, 42),
+                    Op::Fence(FenceKind::Release),
+                    Op::Store { addr: flag, value: 1, tag: MemTag::Lock },
+                ]));
+                let reader: Box<dyn ThreadProgram> =
+                    Box::new(Reader { flag, data, out: out.clone(), phase: 0 });
+                let cfg = MachineConfig::builder().cores(2).build().unwrap();
+                let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+                let mut m = Machine::new(&ms, vec![writer, reader]);
+                assert!(m.run(1_000_000).finished, "hung under {model} {spec:?}");
+                assert_eq!(out.get(), 42, "stale data under {model} {spec:?} skew {skew}");
+            }
+        }
+    }
+}

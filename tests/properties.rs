@@ -1,0 +1,169 @@
+//! Property-based tests over the whole stack: arbitrary programs and
+//! machine shapes must preserve the architectural invariants.
+
+use proptest::prelude::*;
+use tenways::prelude::*;
+
+/// A generated memory op for random programs.
+fn arb_op(addr_blocks: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..20).prop_map(Op::Compute),
+        (0..addr_blocks).prop_map(move |b| Op::load(Addr(0x2000 + b * 64))),
+        (0..addr_blocks, any::<u64>())
+            .prop_map(move |(b, v)| Op::store(Addr(0x2000 + b * 64), v)),
+        Just(Op::Fence(FenceKind::Full)),
+        Just(Op::Fence(FenceKind::Acquire)),
+        Just(Op::Fence(FenceKind::Release)),
+        (0..addr_blocks).prop_map(move |b| Op::Rmw {
+            addr: Addr(0x2000 + b * 64),
+            rmw: RmwOp::FetchAdd(1),
+            tag: MemTag::Data,
+            consume: false,
+        }),
+    ]
+}
+
+fn arb_model() -> impl Strategy<Value = ConsistencyModel> {
+    prop_oneof![
+        Just(ConsistencyModel::Sc),
+        Just(ConsistencyModel::Tso),
+        Just(ConsistencyModel::Rmo),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = SpecConfig> {
+    prop_oneof![
+        Just(SpecConfig::disabled()),
+        Just(SpecConfig::on_demand()),
+        Just(SpecConfig::continuous()),
+        (1u64..16).prop_map(SpecConfig::per_store),
+    ]
+}
+
+fn run_programs(
+    model: ConsistencyModel,
+    spec: SpecConfig,
+    programs: Vec<Box<dyn ThreadProgram>>,
+) -> (tenways::cpu::Machine, tenways::cpu::RunSummary) {
+    let cfg = MachineConfig::builder().cores(programs.len()).build().unwrap();
+    let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+    let mut m = tenways::cpu::Machine::new(&ms, programs);
+    let s = m.run(5_000_000);
+    (m, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any straight-line program mix terminates under any model and any
+    /// speculation mode — no deadlock, no livelock, no panic.
+    #[test]
+    fn random_scripts_always_terminate(
+        ops_a in proptest::collection::vec(arb_op(8), 0..60),
+        ops_b in proptest::collection::vec(arb_op(8), 0..60),
+        model in arb_model(),
+        spec in arb_spec(),
+    ) {
+        let programs: Vec<Box<dyn ThreadProgram>> = vec![
+            Box::new(ScriptProgram::new(ops_a)),
+            Box::new(ScriptProgram::new(ops_b)),
+        ];
+        let (_, s) = run_programs(model, spec, programs);
+        prop_assert!(s.finished, "machine hung: {s:?}");
+    }
+
+    /// Atomic increments never lose updates, regardless of model, mode,
+    /// core count or contention shape.
+    #[test]
+    fn fetch_add_is_exact(
+        per_core in 1u64..40,
+        cores in 2usize..5,
+        model in arb_model(),
+        spec in arb_spec(),
+    ) {
+        let counter = Addr(0x9000);
+        let programs: Vec<Box<dyn ThreadProgram>> = (0..cores)
+            .map(|_| {
+                let ops: Vec<Op> = (0..per_core)
+                    .map(|_| Op::Rmw {
+                        addr: counter,
+                        rmw: RmwOp::FetchAdd(1),
+                        tag: MemTag::Data,
+                        consume: false,
+                    })
+                    .collect();
+                Box::new(ScriptProgram::new(ops)) as Box<dyn ThreadProgram>
+            })
+            .collect();
+        let (m, s) = run_programs(model, spec, programs);
+        prop_assert!(s.finished);
+        prop_assert_eq!(m.mem().read(counter), per_core * cores as u64);
+    }
+
+    /// The last write to every address is one of the values some core
+    /// actually wrote (no value fabrication through speculation).
+    #[test]
+    fn no_fabricated_values(
+        writes_a in proptest::collection::vec((0u64..4, 1u64..1000), 1..30),
+        writes_b in proptest::collection::vec((0u64..4, 1001u64..2000), 1..30),
+        model in arb_model(),
+        spec in arb_spec(),
+    ) {
+        let addr = |b: u64| Addr(0x4000 + b * 64);
+        let mk = |writes: &[(u64, u64)]| {
+            let ops: Vec<Op> = writes
+                .iter()
+                .flat_map(|&(b, v)| [Op::store(addr(b), v), Op::Fence(FenceKind::Full)])
+                .collect();
+            Box::new(ScriptProgram::new(ops)) as Box<dyn ThreadProgram>
+        };
+        let all: Vec<u64> = writes_a.iter().chain(&writes_b).map(|&(_, v)| v).collect();
+        let (m, s) = run_programs(model, spec, vec![mk(&writes_a), mk(&writes_b)]);
+        prop_assert!(s.finished);
+        for b in 0..4u64 {
+            let v = m.mem().read(addr(b));
+            prop_assert!(
+                v == 0 || all.contains(&v),
+                "address block {b} holds fabricated value {v}"
+            );
+        }
+    }
+
+    /// Per-core cycle accounting always sums to the core's active cycles.
+    #[test]
+    fn accounting_is_exhaustive(
+        ops in proptest::collection::vec(arb_op(6), 1..50),
+        model in arb_model(),
+        spec in arb_spec(),
+    ) {
+        let programs: Vec<Box<dyn ThreadProgram>> =
+            vec![Box::new(ScriptProgram::new(ops))];
+        let (m, s) = run_programs(model, spec, programs);
+        prop_assert!(s.finished);
+        let core = m.core(CoreId(0));
+        let total: u64 = core
+            .accounting()
+            .iter()
+            .filter(|(k, _)| k.starts_with("cyc."))
+            .map(|(_, v)| v)
+            .sum();
+        prop_assert_eq!(total, core.done_at().unwrap().as_u64());
+    }
+
+    /// Identical configurations replay identically (full determinism).
+    #[test]
+    fn deterministic_replay(
+        ops in proptest::collection::vec(arb_op(6), 1..40),
+        model in arb_model(),
+        spec in arb_spec(),
+    ) {
+        let go = || {
+            let programs: Vec<Box<dyn ThreadProgram>> = vec![
+                Box::new(ScriptProgram::new(ops.clone())),
+                Box::new(ScriptProgram::new(ops.clone())),
+            ];
+            run_programs(model, spec, programs).1
+        };
+        prop_assert_eq!(go(), go());
+    }
+}
