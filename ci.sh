@@ -1,0 +1,11 @@
+#!/bin/sh
+# Local CI: everything a change must pass before it ships.
+# TENWAYS_FAST=1 keeps the workload-driving tests at smoke scale.
+set -eux
+
+export TENWAYS_FAST=1
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -2,15 +2,20 @@
 //! speculatively-marked lines more often, raising violation rates; larger
 //! caches reduce both misses and eviction-induced rollbacks.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_sim::json::Json;
 use tenways_sim::MachineConfig;
 use tenways_waste::Experiment;
 use tenways_workloads::WorkloadKind;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 10", "L1 capacity sweep (SC + on-demand; apache & dss, 1-32 KiB)", &cfg);
+    banner(
+        "Figure 10",
+        "L1 capacity sweep (SC + on-demand; apache & dss, 1-32 KiB)",
+        &cfg,
+    );
 
     let sizes_kib = [1usize, 2, 4, 8, 32];
     let kinds = [WorkloadKind::ApacheLike, WorkloadKind::DssLike];
@@ -29,6 +34,26 @@ fn main() {
         }
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| {
+            let mut row = record_row(label, r);
+            if let Json::Obj(pairs) = &mut row {
+                pairs.push((
+                    "eviction_violations".to_string(),
+                    Json::U64(r.stats.get("l1.violation_eviction")),
+                ));
+                pairs.push(("l1_misses".to_string(), Json::U64(r.stats.get("l1.misses"))));
+            }
+            row
+        })
+        .collect();
+    write_results_json(
+        "fig10_l1_sweep",
+        "L1 capacity sweep (SC + on-demand)",
+        &cfg,
+        json_rows,
+    );
 
     let mut idx = 0;
     for kind in kinds {

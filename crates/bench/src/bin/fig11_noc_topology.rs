@@ -3,7 +3,7 @@
 //! slows baselines and widens the violation-exposure window of speculative
 //! epochs.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
 use tenways_sim::MachineConfig;
 use tenways_waste::Experiment;
@@ -11,7 +11,11 @@ use tenways_workloads::WorkloadKind;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 11", "interconnect ablation: crossbar vs 2-D mesh (TSO)", &cfg);
+    banner(
+        "Figure 11",
+        "interconnect ablation: crossbar vs 2-D mesh (TSO)",
+        &cfg,
+    );
 
     let mut jobs = Vec::new();
     for kind in WorkloadKind::all() {
@@ -19,8 +23,16 @@ fn main() {
             for spec in [SpecConfig::disabled(), SpecConfig::on_demand()] {
                 let machine = MachineConfig::builder().mesh(mesh).build().expect("valid");
                 jobs.push((
-                    format!("{}/{}/{}", kind.name(), if mesh { "mesh" } else { "xbar" },
-                            if spec.mode == tenways_cpu::SpecMode::Disabled { "base" } else { "spec" }),
+                    format!(
+                        "{}/{}/{}",
+                        kind.name(),
+                        if mesh { "mesh" } else { "xbar" },
+                        if spec.mode == tenways_cpu::SpecMode::Disabled {
+                            "base"
+                        } else {
+                            "spec"
+                        }
+                    ),
                     Experiment::new(kind)
                         .params(cfg.params())
                         .machine(machine)
@@ -31,6 +43,16 @@ fn main() {
         }
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| record_row(label, r))
+        .collect();
+    write_results_json(
+        "fig11_noc_topology",
+        "interconnect ablation: crossbar vs 2-D mesh (TSO)",
+        &cfg,
+        json_rows,
+    );
 
     println!(
         "{:<10}{:>12}{:>12}{:>12}{:>12}{:>14}{:>14}",
@@ -52,6 +74,8 @@ fn main() {
             m_base as f64 / m_spec.max(1) as f64,
         );
     }
-    println!("\n(mesh distance stretches coherence round trips; speculation's value \
-              should hold or grow when ordering stalls get longer)");
+    println!(
+        "\n(mesh distance stretches coherence round trips; speculation's value \
+              should hold or grow when ordering stalls get longer)"
+    );
 }

@@ -7,18 +7,31 @@
 //! section — in exchange for starvation freedom. The fairness column
 //! (spread of per-core finish times) quantifies what the ticket buys.
 
-use tenways_bench::{banner, SuiteConfig};
+use tenways_bench::{banner, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, Machine, MachineSpec};
+use tenways_sim::json::Json;
 use tenways_sim::MachineConfig;
 use tenways_workloads::{lock_bench_programs, LockBenchParams, LockKind};
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 12", "lock ablation: TTAS vs ticket (throughput & traffic)", &cfg);
+    banner(
+        "Figure 12",
+        "lock ablation: TTAS vs ticket (throughput & traffic)",
+        &cfg,
+    );
+    let mut json_rows = Vec::new();
 
     println!(
         "{:>8}{:>8}{:>12}{:>12}{:>12}{:>12}{:>13}{:>13}",
-        "model", "threads", "ttas cyc", "ticket cyc", "ttas inv", "ticket inv", "ttas fair", "ticket fair"
+        "model",
+        "threads",
+        "ttas cyc",
+        "ticket cyc",
+        "ttas inv",
+        "ticket inv",
+        "ttas fair",
+        "ticket fair"
     );
     for model in ConsistencyModel::all() {
         for threads in [2usize, 4, 8] {
@@ -28,19 +41,26 @@ fn main() {
             for (i, kind) in [LockKind::Ttas, LockKind::Ticket].into_iter().enumerate() {
                 let params = LockBenchParams {
                     threads,
-                    rounds: 20 * cfg.scale,
+                    rounds: 20 * cfg.scale(),
                     cs_compute: 8,
                     think_compute: 4,
                     kind,
                 };
                 let (programs, layout) = lock_bench_programs(&params);
-                let machine_cfg = MachineConfig::builder().cores(threads).build().expect("valid");
+                let machine_cfg = MachineConfig::builder()
+                    .cores(threads)
+                    .build()
+                    .expect("valid");
                 let spec = MachineSpec::baseline(model).with_machine(machine_cfg);
                 let mut m = Machine::new(&spec, programs);
                 let s = m.run(100_000_000);
                 assert!(s.finished, "{kind:?} hung");
                 let expect = threads as u64 * params.rounds;
-                assert_eq!(m.mem().read(layout.counter), expect, "mutual exclusion broken");
+                assert_eq!(
+                    m.mem().read(layout.counter),
+                    expect,
+                    "mutual exclusion broken"
+                );
                 let stats = m.merged_stats();
                 cycles[i] = s.cycles;
                 invs[i] = stats.get("l1.invalidations") + stats.get("l1.recalls");
@@ -50,6 +70,23 @@ fn main() {
                 let min = *done.iter().min().unwrap_or(&0) as f64;
                 let max = *done.iter().max().unwrap_or(&1) as f64;
                 fairness[i] = if max == 0.0 { 1.0 } else { min / max };
+                json_rows.push(Json::obj([
+                    (
+                        "label",
+                        Json::from(format!(
+                            "{}/{}t/{}",
+                            model.label(),
+                            threads,
+                            format!("{kind:?}").to_lowercase()
+                        )),
+                    ),
+                    ("cycles", Json::U64(s.cycles)),
+                    ("finished", Json::Bool(s.finished)),
+                    ("retired_ops", Json::U64(s.retired_ops)),
+                    ("throughput", Json::F64(s.throughput())),
+                    ("invalidations", Json::U64(invs[i])),
+                    ("fairness", Json::F64(fairness[i])),
+                ]));
             }
             println!(
                 "{:>8}{:>8}{:>12}{:>12}{:>12}{:>12}{:>13.3}{:>13.3}",
@@ -64,7 +101,15 @@ fn main() {
             );
         }
     }
-    println!("\n(TTAS wins throughput via lock capture — the releaser re-acquires its \
+    write_results_json(
+        "fig12_lock_ablation",
+        "lock ablation: TTAS vs ticket (throughput & traffic)",
+        &cfg,
+        json_rows,
+    );
+    println!(
+        "\n(TTAS wins throughput via lock capture — the releaser re-acquires its \
               own M-state line; ticket pays a cross-core handoff per CS but keeps \
-              every thread progressing: watch the fairness column)");
+              every thread progressing: watch the fairness column)"
+    );
 }

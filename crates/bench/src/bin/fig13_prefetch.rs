@@ -3,9 +3,10 @@
 //! kernels can lose to useless or harmful prefetches (they steal MSHRs and
 //! yank blocks from owners).
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_coherence::ProtocolConfig;
 use tenways_cpu::ConsistencyModel;
+use tenways_sim::json::Json;
 use tenways_waste::Experiment;
 use tenways_workloads::WorkloadKind;
 
@@ -29,6 +30,29 @@ fn main() {
         }
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| {
+            let mut row = record_row(label, r);
+            if let Json::Obj(pairs) = &mut row {
+                pairs.push((
+                    "prefetches".to_string(),
+                    Json::U64(r.stats.get("l1.prefetches")),
+                ));
+                pairs.push((
+                    "prefetch_useful".to_string(),
+                    Json::U64(r.stats.get("l1.prefetch_useful")),
+                ));
+            }
+            row
+        })
+        .collect();
+    write_results_json(
+        "fig13_prefetch",
+        "next-line prefetcher ablation (TSO)",
+        &cfg,
+        json_rows,
+    );
 
     println!(
         "{:<10}{:>12}{:>12}{:>10}{:>12}{:>12}{:>12}",
@@ -50,6 +74,8 @@ fn main() {
             100.0 * useful as f64 / issued.max(1) as f64,
         );
     }
-    println!("\n(sequential scanners gain; sharing-heavy kernels can lose — prefetches \
-              compete for MSHRs and can pull blocks away from active writers)");
+    println!(
+        "\n(sequential scanners gain; sharing-heavy kernels can lose — prefetches \
+              compete for MSHRs and can pull blocks away from active writers)"
+    );
 }

@@ -4,19 +4,33 @@
 //! them, conflict-heavy workloads thrash; with them, speculation "does no
 //! harm".
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_sim::json::Json;
 use tenways_waste::Experiment;
 use tenways_workloads::{ContendedParams, WorkloadKind};
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 14", "ablation: epoch cap + adaptive backoff (SC + on-demand)", &cfg);
+    banner(
+        "Figure 14",
+        "ablation: epoch cap + adaptive backoff (SC + on-demand)",
+        &cfg,
+    );
+    let mut json_rows: Vec<Json> = Vec::new();
 
     let variants: Vec<(&str, SpecConfig)> = vec![
         ("baseline", SpecConfig::disabled()),
-        ("naive", SpecConfig::on_demand().without_adaptive_backoff().with_max_epoch_ops(1 << 20)),
-        ("cap-only", SpecConfig::on_demand().without_adaptive_backoff()),
+        (
+            "naive",
+            SpecConfig::on_demand()
+                .without_adaptive_backoff()
+                .with_max_epoch_ops(1 << 20),
+        ),
+        (
+            "cap-only",
+            SpecConfig::on_demand().without_adaptive_backoff(),
+        ),
         ("full", SpecConfig::on_demand()),
     ];
 
@@ -35,6 +49,11 @@ fn main() {
         })
         .collect();
     let results = run_parallel(jobs);
+    json_rows.extend(
+        results
+            .iter()
+            .map(|(l, r)| record_row(&format!("ocean/{l}"), r)),
+    );
     print_rows(&results);
 
     // Part B: the friendly kernel (dss, no sharing): the mechanisms must
@@ -53,6 +72,11 @@ fn main() {
         })
         .collect();
     let results = run_parallel(jobs);
+    json_rows.extend(
+        results
+            .iter()
+            .map(|(l, r)| record_row(&format!("dss/{l}"), r)),
+    );
     print_rows(&results);
 
     // Part C: the contended sweep at a hostile p.
@@ -63,12 +87,12 @@ fn main() {
             (
                 name.to_string(),
                 Experiment::contended(ContendedParams {
-                    threads: cfg.threads,
-                    ops_per_thread: 200 * cfg.scale,
+                    threads: cfg.threads(),
+                    ops_per_thread: 200 * cfg.scale(),
                     conflict_p: 0.2,
                     hot_blocks: 4,
                     fence_period: 8,
-                    seed: cfg.seed,
+                    seed: cfg.seed(),
                 })
                 .model(ConsistencyModel::Tso)
                 .spec(*spec),
@@ -76,10 +100,23 @@ fn main() {
         })
         .collect();
     let results = run_parallel(jobs);
+    json_rows.extend(
+        results
+            .iter()
+            .map(|(l, r)| record_row(&format!("contended/{l}"), r)),
+    );
     print_rows(&results);
 
-    println!("\n(naive = unbounded epochs, no adaptation: thrashes under conflict; \
-              full = shipping configuration)");
+    write_results_json(
+        "fig14_adaptive_ablation",
+        "ablation: epoch cap + adaptive backoff (SC + on-demand)",
+        &cfg,
+        json_rows,
+    );
+    println!(
+        "\n(naive = unbounded epochs, no adaptation: thrashes under conflict; \
+              full = shipping configuration)"
+    );
 }
 
 fn print_rows(results: &[(String, tenways_waste::RunRecord)]) {

@@ -1,22 +1,54 @@
 //! Figure 1 — the ten-ways waste taxonomy: per-workload stacked cycle
 //! breakdown under the baseline TSO machine.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
+use tenways_sim::json::{Json, ToJson};
 use tenways_waste::{report, Experiment};
 use tenways_workloads::WorkloadKind;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 1", "waste taxonomy (cycle breakdown, baseline TSO)", &cfg);
+    banner(
+        "Figure 1",
+        "waste taxonomy (cycle breakdown, baseline TSO)",
+        &cfg,
+    );
     let jobs = WorkloadKind::all()
         .into_iter()
-        .map(|k| (k.name().to_string(), Experiment::new(k).params(cfg.params())))
+        .map(|k| {
+            (
+                k.name().to_string(),
+                Experiment::new(k).params(cfg.params()),
+            )
+        })
         .collect();
     let results = run_parallel(jobs);
+    let rows = results
+        .iter()
+        .map(|(label, r)| {
+            let mut row = record_row(label, r);
+            if let Json::Obj(pairs) = &mut row {
+                pairs.push(("breakdown".to_string(), r.breakdown.to_json()));
+            }
+            row
+        })
+        .collect();
+    write_results_json(
+        "fig1_waste_taxonomy",
+        "waste taxonomy (baseline TSO)",
+        &cfg,
+        rows,
+    );
     let records: Vec<_> = results.into_iter().map(|(_, r)| r).collect();
     print!("{}", report::breakdown_table(&records));
     println!();
-    let avg_useful: f64 =
-        records.iter().map(|r| r.breakdown.useful_fraction()).sum::<f64>() / records.len() as f64;
-    println!("mean useful fraction: {:.1}% — the rest is the ten ways.", 100.0 * avg_useful);
+    let avg_useful: f64 = records
+        .iter()
+        .map(|r| r.breakdown.useful_fraction())
+        .sum::<f64>()
+        / records.len() as f64;
+    println!(
+        "mean useful fraction: {:.1}% — the rest is the ten ways.",
+        100.0 * avg_useful
+    );
 }

@@ -1,14 +1,18 @@
 //! Figure 2 — baseline consistency models: SC / TSO / RMO runtime,
 //! normalized to RMO. Expected shape: SC slowest, TSO between, RMO = 1.0.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::ConsistencyModel;
 use tenways_waste::{report, Experiment};
 use tenways_workloads::WorkloadKind;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 2", "baseline SC / TSO / RMO runtime (normalized to RMO)", &cfg);
+    banner(
+        "Figure 2",
+        "baseline SC / TSO / RMO runtime (normalized to RMO)",
+        &cfg,
+    );
 
     let models = ConsistencyModel::all();
     let mut jobs = Vec::new();
@@ -21,6 +25,16 @@ fn main() {
         }
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| record_row(label, r))
+        .collect();
+    write_results_json(
+        "fig2_consistency_baselines",
+        "baseline SC / TSO / RMO runtime",
+        &cfg,
+        json_rows,
+    );
 
     let mut rows = Vec::new();
     for (w, kind) in WorkloadKind::all().into_iter().enumerate() {
@@ -41,5 +55,9 @@ fn main() {
             .sum();
         (logs / rows.len() as f64).exp()
     };
-    println!("\ngeometric mean vs RMO:  SC {:.2}x   TSO {:.2}x", gmean(0), gmean(1));
+    println!(
+        "\ngeometric mean vs RMO:  SC {:.2}x   TSO {:.2}x",
+        gmean(0),
+        gmean(1)
+    );
 }

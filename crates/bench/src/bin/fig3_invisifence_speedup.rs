@@ -3,7 +3,7 @@
 //! runtime normalized to the RMO baseline; speculative SC should approach
 //! RMO.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
 use tenways_waste::{report, Experiment};
 use tenways_workloads::WorkloadKind;
@@ -31,11 +31,24 @@ fn main() {
         for (name, model, spec) in &series {
             jobs.push((
                 format!("{}/{}", kind.name(), name),
-                Experiment::new(kind).params(cfg.params()).model(*model).spec(*spec),
+                Experiment::new(kind)
+                    .params(cfg.params())
+                    .model(*model)
+                    .spec(*spec),
             ));
         }
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| record_row(label, r))
+        .collect();
+    write_results_json(
+        "fig3_invisifence_speedup",
+        "fence speculation vs baselines",
+        &cfg,
+        json_rows,
+    );
 
     let names: Vec<&str> = series.iter().map(|(n, _, _)| *n).collect();
     let mut rows = Vec::new();

@@ -1,14 +1,19 @@
 //! Figure 4 — on-demand vs continuous speculation: runtime, commit and
 //! rollback behaviour under TSO.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_sim::json::Json;
 use tenways_waste::Experiment;
 use tenways_workloads::WorkloadKind;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 4", "on-demand vs continuous speculation (TSO)", &cfg);
+    banner(
+        "Figure 4",
+        "on-demand vs continuous speculation (TSO)",
+        &cfg,
+    );
 
     let series: Vec<(&str, SpecConfig)> = vec![
         ("baseline", SpecConfig::disabled()),
@@ -28,11 +33,42 @@ fn main() {
         }
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| {
+            let mut row = record_row(label, r);
+            if let Json::Obj(pairs) = &mut row {
+                pairs.push((
+                    "commits".to_string(),
+                    Json::U64(r.stats.get("spec.commits")),
+                ));
+                pairs.push((
+                    "wasted_cycles".to_string(),
+                    Json::U64(r.stats.get("spec.wasted_cycles")),
+                ));
+            }
+            row
+        })
+        .collect();
+    write_results_json(
+        "fig4_modes",
+        "on-demand vs continuous speculation (TSO)",
+        &cfg,
+        json_rows,
+    );
 
     println!(
         "{:<10}{:>12}{:>12}{:>12}{:>10}{:>10}{:>12}{:>10}{:>10}{:>12}",
-        "workload", "base cyc", "od cyc", "cont cyc", "od commt", "od rlbk", "od waste",
-        "ct commt", "ct rlbk", "ct waste"
+        "workload",
+        "base cyc",
+        "od cyc",
+        "cont cyc",
+        "od commt",
+        "od rlbk",
+        "od waste",
+        "ct commt",
+        "ct rlbk",
+        "ct waste"
     );
     for (w, kind) in WorkloadKind::all().into_iter().enumerate() {
         let base = &results[w * 3].1;

@@ -1,14 +1,19 @@
 //! Figure 5 — speculation-depth and store-buffer-occupancy distributions:
 //! why per-store state cannot stay small while block-granularity state can.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_sim::json::{Json, ToJson};
 use tenways_waste::{report, Experiment};
 use tenways_workloads::WorkloadKind;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 5", "speculation depth & SB occupancy (SC + on-demand)", &cfg);
+    banner(
+        "Figure 5",
+        "speculation depth & SB occupancy (SC + on-demand)",
+        &cfg,
+    );
 
     let jobs = WorkloadKind::all()
         .into_iter()
@@ -23,6 +28,23 @@ fn main() {
         })
         .collect();
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| {
+            let mut row = record_row(label, r);
+            if let Json::Obj(pairs) = &mut row {
+                pairs.push(("spec_depth".to_string(), r.spec_depth.to_json()));
+                pairs.push(("sb_occupancy".to_string(), r.sb_occupancy.to_json()));
+            }
+            row
+        })
+        .collect();
+    write_results_json(
+        "fig5_spec_depth",
+        "speculation depth & SB occupancy (SC + on-demand)",
+        &cfg,
+        json_rows,
+    );
 
     println!(
         "{:<10}{:>10}{:>10}{:>10}{:>10}{:>12}{:>12}",
@@ -44,7 +66,10 @@ fn main() {
     // Full CDF for one representative workload.
     if let Some((name, r)) = results.iter().find(|(n, _)| n == "oltp") {
         println!();
-        print!("{}", report::cdf_listing(&format!("{name} epoch-depth CDF"), &r.spec_depth));
+        print!(
+            "{}",
+            report::cdf_listing(&format!("{name} epoch-depth CDF"), &r.spec_depth)
+        );
     }
     println!(
         "\n(depths beyond a handful of stores overflow a per-store CAM; \

@@ -2,7 +2,7 @@
 //! block-granularity (fixed ~1 KB) against per-store CAM designs (linear),
 //! plus the measured performance effect of capping the per-store design.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_core::storage;
 use tenways_cpu::{ConsistencyModel, SpecConfig};
 use tenways_waste::Experiment;
@@ -10,9 +10,16 @@ use tenways_workloads::WorkloadKind;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 6", "speculation storage scaling + per-store cap ablation", &cfg);
+    banner(
+        "Figure 6",
+        "speculation storage scaling + per-store cap ablation",
+        &cfg,
+    );
 
-    println!("{:>8}{:>24}{:>20}", "depth", "block-granularity (B)", "per-store (B)");
+    println!(
+        "{:>8}{:>24}{:>20}",
+        "depth", "block-granularity (B)", "per-store (B)"
+    );
     for (depth, block_b, per_store_b) in storage::canonical_comparison(512) {
         println!("{depth:>8}{block_b:>24}{per_store_b:>20}");
     }
@@ -40,12 +47,24 @@ fn main() {
         }
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| record_row(label, r))
+        .collect();
+    write_results_json(
+        "fig6_storage",
+        "speculation storage scaling + per-store cap ablation",
+        &cfg,
+        json_rows,
+    );
     let per_kind = 1 + caps.len();
     println!(
         "{:<10}{:>12}{}",
         "workload",
         "unlimited",
-        caps.iter().map(|c| format!("{:>12}", format!("cap={c}"))).collect::<String>()
+        caps.iter()
+            .map(|c| format!("{:>12}", format!("cap={c}")))
+            .collect::<String>()
     );
     for (k, kind) in kinds.into_iter().enumerate() {
         let base = results[k * per_kind].1.summary.cycles as f64;
@@ -56,6 +75,8 @@ fn main() {
         }
         println!();
     }
-    println!("\n(runtime normalized to the unlimited block-granularity design; \
-              small CAMs forfeit speculation and approach the stalling baseline)");
+    println!(
+        "\n(runtime normalized to the unlimited block-granularity design; \
+              small CAMs forfeit speculation and approach the stalling baseline)"
+    );
 }

@@ -2,24 +2,28 @@
 //! sharing-conflict probability sweeps from 0 to 0.5; shows where
 //! speculation stops paying.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
 use tenways_waste::Experiment;
 use tenways_workloads::ContendedParams;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 7", "conflict-probability sweep (contended kernel, TSO)", &cfg);
+    banner(
+        "Figure 7",
+        "conflict-probability sweep (contended kernel, TSO)",
+        &cfg,
+    );
 
     let probs = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
     let mk = |p: f64, spec: SpecConfig| {
         Experiment::contended(ContendedParams {
-            threads: cfg.threads,
-            ops_per_thread: 200 * cfg.scale,
+            threads: cfg.threads(),
+            ops_per_thread: 200 * cfg.scale(),
             conflict_p: p,
             hot_blocks: 4,
             fence_period: 8,
-            seed: cfg.seed,
+            seed: cfg.seed(),
         })
         .model(ConsistencyModel::Tso)
         .spec(spec)
@@ -30,6 +34,16 @@ fn main() {
         jobs.push((format!("spec p={p}"), mk(p, SpecConfig::on_demand())));
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| record_row(label, r))
+        .collect();
+    write_results_json(
+        "fig7_conflict_sweep",
+        "conflict-probability sweep (contended kernel, TSO)",
+        &cfg,
+        json_rows,
+    );
 
     println!(
         "{:>8}{:>12}{:>12}{:>10}{:>12}{:>12}{:>14}",
@@ -51,6 +65,8 @@ fn main() {
             100.0 * rollbacks as f64 / epochs as f64,
         );
     }
-    println!("\n(speedup should exceed 1 at low p and decay — possibly below 1 — as \
-              conflicts make epochs roll back)");
+    println!(
+        "\n(speedup should exceed 1 at low p and decay — possibly below 1 — as \
+              conflicts make epochs roll back)"
+    );
 }

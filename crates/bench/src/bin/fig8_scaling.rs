@@ -1,7 +1,7 @@
 //! Figure 8 — core-count scaling (1–16): baseline SC vs speculative SC vs
 //! RMO on a scientific and a commercial workload.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
 use tenways_waste::Experiment;
 use tenways_workloads::{WorkloadKind, WorkloadParams};
@@ -25,7 +25,11 @@ fn main() {
                 jobs.push((
                     format!("{}/{}c/{}", kind.name(), n, name),
                     Experiment::new(kind)
-                        .params(WorkloadParams { threads: n, scale: cfg.scale, seed: cfg.seed })
+                        .params(WorkloadParams {
+                            threads: n,
+                            scale: cfg.scale(),
+                            seed: cfg.seed(),
+                        })
                         .model(*model)
                         .spec(*spec),
                 ));
@@ -33,11 +37,24 @@ fn main() {
         }
     }
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| record_row(label, r))
+        .collect();
+    write_results_json(
+        "fig8_scaling",
+        "core-count scaling: SC vs SC+IF vs RMO",
+        &cfg,
+        json_rows,
+    );
 
     let mut idx = 0;
     for kind in kinds {
         println!("\n{}:", kind.name());
-        println!("{:>8}{:>12}{:>12}{:>12}{:>14}{:>14}", "cores", "SC", "SC+IF", "RMO", "SC/RMO", "SC+IF/RMO");
+        println!(
+            "{:>8}{:>12}{:>12}{:>12}{:>14}{:>14}",
+            "cores", "SC", "SC+IF", "RMO", "SC/RMO", "SC+IF/RMO"
+        );
         for &n in &counts {
             let sc = results[idx].1.summary.cycles;
             let scif = results[idx + 1].1.summary.cycles;

@@ -1,20 +1,27 @@
 //! Figure 9 — energy: per-component breakdown, work-per-Joule and EDP,
 //! baseline TSO vs speculative TSO (and the data-movement-dominates claim).
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_sim::json::Json;
 use tenways_waste::{report, Experiment};
 use tenways_workloads::WorkloadKind;
 
 fn main() {
     let cfg = SuiteConfig::from_env();
-    banner("Figure 9", "energy breakdown, ops/uJ and EDP (TSO vs TSO+IF)", &cfg);
+    banner(
+        "Figure 9",
+        "energy breakdown, ops/uJ and EDP (TSO vs TSO+IF)",
+        &cfg,
+    );
 
     let mut jobs = Vec::new();
     for kind in WorkloadKind::all() {
         jobs.push((
             kind.name().to_string(),
-            Experiment::new(kind).params(cfg.params()).model(ConsistencyModel::Tso),
+            Experiment::new(kind)
+                .params(cfg.params())
+                .model(ConsistencyModel::Tso),
         ));
         jobs.push((
             format!("{}+IF", kind.name()),
@@ -28,6 +35,26 @@ fn main() {
     for (label, r) in &mut results {
         r.label = label.clone();
     }
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| {
+            let mut row = record_row(label, r);
+            if let Json::Obj(pairs) = &mut row {
+                pairs.push((
+                    "data_movement_nj".to_string(),
+                    Json::F64(r.energy.data_movement_nj()),
+                ));
+                pairs.push(("edp".to_string(), Json::F64(r.energy.edp())));
+            }
+            row
+        })
+        .collect();
+    write_results_json(
+        "fig9_energy",
+        "energy breakdown, ops/uJ and EDP",
+        &cfg,
+        json_rows,
+    );
     let records: Vec<_> = results.into_iter().map(|(_, r)| r).collect();
     print!("{}", report::energy_table(&records));
 

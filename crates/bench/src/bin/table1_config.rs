@@ -1,11 +1,15 @@
 //! Table 1 — the simulated system configuration.
 
-use tenways_bench::SuiteConfig;
+use tenways_bench::{write_results_json, SuiteConfig};
+use tenways_sim::json::Json;
 use tenways_sim::MachineConfig;
 
 fn main() {
     let suite = SuiteConfig::from_env();
-    let cfg = MachineConfig { cores: suite.threads, ..MachineConfig::default() };
+    let cfg = MachineConfig {
+        cores: suite.threads(),
+        ..MachineConfig::default()
+    };
     println!("Table 1: simulated system configuration");
     println!("----------------------------------------");
     let rows: Vec<(&str, String)> = vec![
@@ -45,13 +49,26 @@ fn main() {
                 cfg.noc_latency, cfg.noc_inject_bw, cfg.noc_accept_bw
             ),
         ),
-        ("coherence", "blocking full-map directory MESI (MSI mode available)".to_string()),
+        (
+            "coherence",
+            "blocking full-map directory MESI (MSI mode available)".to_string(),
+        ),
         (
             "speculation state",
             "2 bits/L1 line + 1 register checkpoint (~1 KB per core)".to_string(),
         ),
     ];
-    for (k, v) in rows {
+    for (k, v) in &rows {
         println!("{k:<22} {v}");
     }
+    let json_rows = rows
+        .iter()
+        .map(|(k, v)| Json::obj([("label", Json::from(*k)), ("value", Json::from(v.as_str()))]))
+        .collect();
+    write_results_json(
+        "table1_config",
+        "simulated system configuration",
+        &suite,
+        json_rows,
+    );
 }

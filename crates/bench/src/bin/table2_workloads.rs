@@ -1,7 +1,7 @@
 //! Table 2 — workload characterization: op mix, fence/atomic density, L1
 //! miss rate, sharing ratio.
 
-use tenways_bench::{banner, run_parallel, SuiteConfig};
+use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_waste::Experiment;
 use tenways_workloads::WorkloadKind;
 
@@ -11,13 +11,35 @@ fn main() {
 
     let jobs = WorkloadKind::all()
         .into_iter()
-        .map(|k| (k.name().to_string(), Experiment::new(k).params(cfg.params())))
+        .map(|k| {
+            (
+                k.name().to_string(),
+                Experiment::new(k).params(cfg.params()),
+            )
+        })
         .collect();
     let results = run_parallel(jobs);
+    let json_rows = results
+        .iter()
+        .map(|(label, r)| record_row(label, r))
+        .collect();
+    write_results_json(
+        "table2_workloads",
+        "workload characterization (baseline TSO)",
+        &cfg,
+        json_rows,
+    );
 
     println!(
         "{:<10}{:>12}{:>12}{:>14}{:>14}{:>12}{:>12}{:>14}",
-        "workload", "ops", "cycles", "fences/kop", "atomics/kop", "ld miss%", "st miss%", "coh fill%"
+        "workload",
+        "ops",
+        "cycles",
+        "fences/kop",
+        "atomics/kop",
+        "ld miss%",
+        "st miss%",
+        "coh fill%"
     );
     for (name, r) in results {
         let s = &r.stats;

@@ -1,0 +1,68 @@
+//! Contract tests for the machine-readable results: the JSON a benchmark
+//! binary writes must validate against `results/schema/bench_rows.v1.json`,
+//! and a serialized run record must validate against
+//! `results/schema/run_record.v1.json`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use tenways_sim::json::{Json, ToJson};
+use tenways_sim::validate_schema;
+use tenways_waste::{Experiment, SimConfig};
+
+fn repo_schema(name: &str) -> Json {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/schema")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()))
+}
+
+#[test]
+fn run_record_matches_published_schema() {
+    let cfg = SimConfig {
+        threads: 2,
+        scale: 1,
+        ..SimConfig::default()
+    };
+    let record = Experiment::from_config(&cfg).unwrap().run().unwrap();
+    let schema = repo_schema("run_record.v1.json");
+    validate_schema(&record.to_json(), &schema).unwrap();
+}
+
+#[test]
+fn fig_binary_emits_schema_conforming_json() {
+    let out_dir: PathBuf =
+        std::env::temp_dir().join(format!("tenways-schema-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    let status = Command::new(env!("CARGO_BIN_EXE_fig1_waste_taxonomy"))
+        .env("TENWAYS_FAST", "1")
+        .env("TENWAYS_THREADS", "2")
+        .env("TENWAYS_SCALE", "1")
+        .env("TENWAYS_RESULTS_DIR", &out_dir)
+        .env_remove("TENWAYS_CONFIG")
+        .status()
+        .expect("fig1 binary runs");
+    assert!(status.success(), "fig1 exited with {status}");
+
+    let path = out_dir.join("fig1_waste_taxonomy.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fig1 wrote no results at {}: {e}", path.display()));
+    let doc = Json::parse(&text).expect("results file is valid JSON");
+    let schema = repo_schema("bench_rows.v1.json");
+    validate_schema(&doc, &schema).unwrap();
+
+    // The run config embedded in the file reflects the environment the
+    // binary actually ran under.
+    let threads = doc
+        .get("config")
+        .and_then(|c| c.get("threads"))
+        .and_then(Json::as_u64);
+    assert_eq!(threads, Some(2));
+    let rows = doc.get("rows").and_then(Json::as_array).unwrap();
+    assert!(!rows.is_empty(), "fig1 emitted no rows");
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use tenways_mem::{CacheArray, CacheParams, DramBanks, DramParams, Replacement};
 use tenways_noc::Fabric;
+use tenways_sim::trace::{TraceCategory, Tracer, DIR_TID_BASE};
 use tenways_sim::{BlockAddr, CoreId, Cycle, MachineConfig, NodeId, StatSet};
 
 use crate::l1::ProtocolConfig;
@@ -60,6 +61,9 @@ pub struct DirectoryBank {
     seen: BTreeSet<u64>,
     dram: DramBanks,
     stats: StatSet,
+    tracer: Tracer,
+    /// Trace timeline row for this bank.
+    tid: u32,
 }
 
 /// Default L2 slice organization: 4096 sets × 8 ways = 2 MiB of 64 B blocks
@@ -96,6 +100,8 @@ impl DirectoryBank {
                     .expect("MachineConfig validated DRAM geometry"),
             ),
             stats: StatSet::new(),
+            tracer: Tracer::disabled(),
+            tid: DIR_TID_BASE + index as u32,
         }
     }
 
@@ -104,13 +110,20 @@ impl DirectoryBank {
         self.node
     }
 
+    /// Attaches an event tracer; protocol transitions are recorded as
+    /// instants on this bank's timeline row.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Advances the bank one cycle: accept arrivals, process matured
     /// messages, fire scheduled sends (possibly unblocking deferred work).
     pub fn tick(&mut self, now: Cycle, fabric: &mut Fabric<Msg>) {
         let arrivals: Vec<_> = fabric.take_inbox(self.node).collect();
         for env in arrivals {
             let core = CoreId(env.src.0);
-            self.pending.push_back((now.after(self.latency), core, env.payload));
+            self.pending
+                .push_back((now.after(self.latency), core, env.payload));
         }
 
         // Process matured messages. The queue is FIFO by arrival and the
@@ -148,7 +161,9 @@ impl DirectoryBank {
     /// (or the queue empties).
     fn pump_deferred(&mut self, now: Cycle, block: BlockAddr) {
         while !self.busy.contains_key(&block.as_u64()) {
-            let Some(q) = self.deferred.get_mut(&block.as_u64()) else { return };
+            let Some(q) = self.deferred.get_mut(&block.as_u64()) else {
+                return;
+            };
             let Some((core, msg)) = q.pop_front() else {
                 self.deferred.remove(&block.as_u64());
                 return;
@@ -165,7 +180,10 @@ impl DirectoryBank {
         let block = msg.block().as_u64();
         if self.busy.contains_key(&block) {
             self.stats.bump("dir.deferred");
-            self.deferred.entry(block).or_default().push_back((core, msg));
+            self.deferred
+                .entry(block)
+                .or_default()
+                .push_back((core, msg));
             return;
         }
         self.handle_request(now, core, msg);
@@ -195,11 +213,32 @@ impl DirectoryBank {
     }
 
     fn schedule(&mut self, at: Cycle, dst: NodeId, msg: Msg, completes_txn: bool) {
-        self.sends.push(Scheduled { at, dst, msg, completes_txn });
+        self.sends.push(Scheduled {
+            at,
+            dst,
+            msg,
+            completes_txn,
+        });
     }
 
     fn handle_request(&mut self, now: Cycle, core: CoreId, msg: Msg) {
         self.stats.bump("dir.requests");
+        if self.tracer.is_enabled() {
+            let name = match msg {
+                Msg::GetS(_) => Some("dir.get_s"),
+                Msg::GetM(_) => Some("dir.get_m"),
+                _ => None,
+            };
+            if let Some(name) = name {
+                self.tracer.instant(
+                    now,
+                    self.tid,
+                    TraceCategory::Coherence,
+                    name,
+                    msg.block().as_u64(),
+                );
+            }
+        }
         match msg {
             Msg::GetS(block) => self.handle_get_s(now, core, block),
             Msg::GetM(block) => self.handle_get_m(now, core, block),
@@ -230,18 +269,44 @@ impl DirectoryBank {
                 }
                 self.busy.insert(
                     key,
-                    Txn { requester: core, want_m: false, pending_acks: 0 },
+                    Txn {
+                        requester: core,
+                        want_m: false,
+                        pending_acks: 0,
+                    },
                 );
-                self.schedule(ready, Self::core_node(core), Msg::DataS { block, exclusive, class }, true);
+                self.schedule(
+                    ready,
+                    Self::core_node(core),
+                    Msg::DataS {
+                        block,
+                        exclusive,
+                        class,
+                    },
+                    true,
+                );
             }
             Some(DirState::Shared(sharers)) => {
                 sharers.insert(core.0);
                 let (ready, class) = self.fetch_data(now, block);
                 self.busy.insert(
                     key,
-                    Txn { requester: core, want_m: false, pending_acks: 0 },
+                    Txn {
+                        requester: core,
+                        want_m: false,
+                        pending_acks: 0,
+                    },
                 );
-                self.schedule(ready, Self::core_node(core), Msg::DataS { block, exclusive: false, class }, true);
+                self.schedule(
+                    ready,
+                    Self::core_node(core),
+                    Msg::DataS {
+                        block,
+                        exclusive: false,
+                        class,
+                    },
+                    true,
+                );
             }
             Some(DirState::Exclusive(owner)) => {
                 let owner = *owner;
@@ -252,17 +317,46 @@ impl DirectoryBank {
                     let (ready, class) = self.fetch_data(now, block);
                     self.busy.insert(
                         key,
-                        Txn { requester: core, want_m: false, pending_acks: 0 },
+                        Txn {
+                            requester: core,
+                            want_m: false,
+                            pending_acks: 0,
+                        },
                     );
-                    self.schedule(ready, Self::core_node(core), Msg::DataS { block, exclusive: true, class }, true);
+                    self.schedule(
+                        ready,
+                        Self::core_node(core),
+                        Msg::DataS {
+                            block,
+                            exclusive: true,
+                            class,
+                        },
+                        true,
+                    );
                     return;
                 }
                 self.stats.bump("dir.downgrades_sent");
+                self.tracer.instant(
+                    now,
+                    self.tid,
+                    TraceCategory::Coherence,
+                    "dir.downgrade",
+                    block.as_u64(),
+                );
                 self.busy.insert(
                     key,
-                    Txn { requester: core, want_m: false, pending_acks: 1 },
+                    Txn {
+                        requester: core,
+                        want_m: false,
+                        pending_acks: 1,
+                    },
                 );
-                self.schedule(now, Self::core_node(CoreId(owner)), Msg::Downgrade(block), false);
+                self.schedule(
+                    now,
+                    Self::core_node(CoreId(owner)),
+                    Msg::Downgrade(block),
+                    false,
+                );
             }
         }
     }
@@ -275,9 +369,18 @@ impl DirectoryBank {
                 self.entries.insert(key, DirState::Exclusive(core.0));
                 self.busy.insert(
                     key,
-                    Txn { requester: core, want_m: true, pending_acks: 0 },
+                    Txn {
+                        requester: core,
+                        want_m: true,
+                        pending_acks: 0,
+                    },
                 );
-                self.schedule(ready, Self::core_node(core), Msg::DataM { block, class }, true);
+                self.schedule(
+                    ready,
+                    Self::core_node(core),
+                    Msg::DataM { block, class },
+                    true,
+                );
             }
             Some(DirState::Shared(sharers)) => {
                 let upgrade = sharers.contains(&core.0);
@@ -293,14 +396,34 @@ impl DirectoryBank {
                     };
                     self.busy.insert(
                         key,
-                        Txn { requester: core, want_m: true, pending_acks: 0 },
+                        Txn {
+                            requester: core,
+                            want_m: true,
+                            pending_acks: 0,
+                        },
                     );
-                    self.schedule(ready, Self::core_node(core), Msg::DataM { block, class }, true);
+                    self.schedule(
+                        ready,
+                        Self::core_node(core),
+                        Msg::DataM { block, class },
+                        true,
+                    );
                 } else {
                     self.stats.bump_by("dir.invs_sent", invs.len() as u64);
+                    self.tracer.instant(
+                        now,
+                        self.tid,
+                        TraceCategory::Coherence,
+                        "dir.inv",
+                        invs.len() as u64,
+                    );
                     self.busy.insert(
                         key,
-                        Txn { requester: core, want_m: true, pending_acks: invs.len() },
+                        Txn {
+                            requester: core,
+                            want_m: true,
+                            pending_acks: invs.len(),
+                        },
                     );
                     for s in invs {
                         self.schedule(now, Self::core_node(CoreId(s)), Msg::Inv(block), false);
@@ -312,17 +435,45 @@ impl DirectoryBank {
                     self.stats.bump("dir.getm_from_owner");
                     self.busy.insert(
                         key,
-                        Txn { requester: core, want_m: true, pending_acks: 0 },
+                        Txn {
+                            requester: core,
+                            want_m: true,
+                            pending_acks: 0,
+                        },
                     );
-                    self.schedule(now, Self::core_node(core), Msg::DataM { block, class: FillClass::L2Hit }, true);
+                    self.schedule(
+                        now,
+                        Self::core_node(core),
+                        Msg::DataM {
+                            block,
+                            class: FillClass::L2Hit,
+                        },
+                        true,
+                    );
                     return;
                 }
                 self.stats.bump("dir.recalls_sent");
+                self.tracer.instant(
+                    now,
+                    self.tid,
+                    TraceCategory::Coherence,
+                    "dir.recall",
+                    block.as_u64(),
+                );
                 self.busy.insert(
                     key,
-                    Txn { requester: core, want_m: true, pending_acks: 1 },
+                    Txn {
+                        requester: core,
+                        want_m: true,
+                        pending_acks: 1,
+                    },
                 );
-                self.schedule(now, Self::core_node(CoreId(owner)), Msg::Recall(block), false);
+                self.schedule(
+                    now,
+                    Self::core_node(CoreId(owner)),
+                    Msg::Recall(block),
+                    false,
+                );
             }
         }
     }
@@ -346,7 +497,11 @@ impl DirectoryBank {
         // subsequent response for the block on the same channel.
         self.busy.insert(
             key,
-            Txn { requester: core, want_m: false, pending_acks: 0 },
+            Txn {
+                requester: core,
+                want_m: false,
+                pending_acks: 0,
+            },
         );
         self.schedule(now, Self::core_node(core), Msg::PutAck(block), true);
     }
@@ -376,7 +531,11 @@ impl DirectoryBank {
         }
         self.busy.insert(
             key,
-            Txn { requester: core, want_m: false, pending_acks: 0 },
+            Txn {
+                requester: core,
+                want_m: false,
+                pending_acks: 0,
+            },
         );
         self.schedule(now, Self::core_node(core), Msg::PutAck(block), true);
     }
@@ -437,7 +596,12 @@ impl DirectoryBank {
             let class = FillClass::Coherence;
             if want_m {
                 self.entries.insert(key, DirState::Exclusive(requester.0));
-                self.schedule(now, Self::core_node(requester), Msg::DataM { block, class }, true);
+                self.schedule(
+                    now,
+                    Self::core_node(requester),
+                    Msg::DataM { block, class },
+                    true,
+                );
             } else {
                 match self.entries.get_mut(&key) {
                     Some(DirState::Shared(sharers)) => {
@@ -452,7 +616,11 @@ impl DirectoryBank {
                 self.schedule(
                     now,
                     Self::core_node(requester),
-                    Msg::DataS { block, exclusive: false, class },
+                    Msg::DataS {
+                        block,
+                        exclusive: false,
+                        class,
+                    },
                     true,
                 );
             }
@@ -461,7 +629,9 @@ impl DirectoryBank {
 
     /// Whether this bank has no in-flight work.
     pub fn is_quiescent(&self) -> bool {
-        self.busy.is_empty() && self.pending.is_empty() && self.sends.is_empty()
+        self.busy.is_empty()
+            && self.pending.is_empty()
+            && self.sends.is_empty()
             && self.deferred.values().all(VecDeque::is_empty)
     }
 

@@ -8,7 +8,6 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
 use tenways_mem::{CacheArray, CacheParams, MshrFile, Replacement};
 use tenways_noc::Fabric;
 use tenways_sim::{BlockAddr, CoreId, Cycle, MachineConfig, NodeId, StatSet};
@@ -92,7 +91,7 @@ pub struct SpecViolation {
 }
 
 /// Protocol options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProtocolConfig {
     /// Grant E on a read miss when no other cache holds the block (MESI);
     /// `false` gives plain MSI.
@@ -102,9 +101,48 @@ pub struct ProtocolConfig {
     pub prefetch_next_line: bool,
 }
 
+impl tenways_sim::json::ToJson for ProtocolConfig {
+    fn to_json(&self) -> tenways_sim::json::Json {
+        use tenways_sim::json::Json;
+        Json::obj([
+            ("grant_exclusive", Json::Bool(self.grant_exclusive)),
+            ("prefetch_next_line", Json::Bool(self.prefetch_next_line)),
+        ])
+    }
+}
+
+impl ProtocolConfig {
+    /// Overlays fields from a JSON object onto `self`. Absent keys keep
+    /// their current value.
+    pub fn apply_json(&mut self, doc: &tenways_sim::json::Json) -> Result<(), String> {
+        let pairs = doc.as_object().ok_or_else(|| {
+            format!(
+                "protocol section must be an object, got {}",
+                doc.type_name()
+            )
+        })?;
+        for (key, value) in pairs {
+            let flag = || {
+                value
+                    .as_bool()
+                    .ok_or(format!("protocol.{key} must be a bool"))
+            };
+            match key.as_str() {
+                "grant_exclusive" => self.grant_exclusive = flag()?,
+                "prefetch_next_line" => self.prefetch_next_line = flag()?,
+                other => return Err(format!("unknown protocol field `{other}`")),
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Default for ProtocolConfig {
     fn default() -> Self {
-        ProtocolConfig { grant_exclusive: true, prefetch_next_line: false }
+        ProtocolConfig {
+            grant_exclusive: true,
+            prefetch_next_line: false,
+        }
     }
 }
 
@@ -248,9 +286,15 @@ impl L1Controller {
         if primary {
             let want_m = kind == AccessKind::Write;
             self.want_m.insert(block.as_u64(), want_m);
-            let msg = if want_m { Msg::GetM(block) } else { Msg::GetS(block) };
+            let msg = if want_m {
+                Msg::GetM(block)
+            } else {
+                Msg::GetS(block)
+            };
             fabric.send(now, self.node, self.home_node(block), msg);
-        } else if kind == AccessKind::Write && !self.want_m.get(&block.as_u64()).copied().unwrap_or(false) {
+        } else if kind == AccessKind::Write
+            && !self.want_m.get(&block.as_u64()).copied().unwrap_or(false)
+        {
             // A write merged into an outstanding GetS: the S fill will not
             // satisfy it; it is re-requested (as an upgrade) at fill time.
             self.stats.bump("l1.write_under_gets");
@@ -324,11 +368,22 @@ impl L1Controller {
     pub fn rollback_spec(&mut self, now: Cycle, fabric: &mut Fabric<Msg>) -> usize {
         let mut dropped = 0;
         for block in std::mem::take(&mut self.spec_marked) {
-            let Some(line) = self.cache.peek_mut(block) else { continue };
+            let Some(line) = self.cache.peek_mut(block) else {
+                continue;
+            };
             if line.spec_write {
                 self.cache.remove(block);
-                fabric.send(now, self.node, self.home_node(block), Msg::PutM { block, dirty: false });
-                self.wb.insert(block.as_u64(), WbState::EvictOwned { dirty: false });
+                fabric.send(
+                    now,
+                    self.node,
+                    self.home_node(block),
+                    Msg::PutM {
+                        block,
+                        dirty: false,
+                    },
+                );
+                self.wb
+                    .insert(block.as_u64(), WbState::EvictOwned { dirty: false });
                 dropped += 1;
             } else {
                 line.spec_read = false;
@@ -336,7 +391,8 @@ impl L1Controller {
             }
         }
         self.stats.bump("l1.spec_rollbacks");
-        self.stats.bump_by("l1.spec_rollback_dropped", dropped as u64);
+        self.stats
+            .bump_by("l1.spec_rollback_dropped", dropped as u64);
         dropped
     }
 
@@ -353,11 +409,17 @@ impl L1Controller {
                 break;
             }
             self.hit_q.pop_front();
-            self.completions.push(Completion { req, at, class: FillClass::L1Hit });
+            self.completions.push(Completion {
+                req,
+                at,
+                class: FillClass::L1Hit,
+            });
         }
 
         for _ in 0..self.retry_q.len() {
-            let Some((req, kind, block)) = self.retry_q.pop_front() else { break };
+            let Some((req, kind, block)) = self.retry_q.pop_front() else {
+                break;
+            };
             if self.request(now, req, kind, block, fabric).is_err() {
                 self.retry_q.push_back((req, kind, block));
             }
@@ -371,7 +433,11 @@ impl L1Controller {
 
     fn handle_msg(&mut self, now: Cycle, msg: Msg, fabric: &mut Fabric<Msg>) {
         match msg {
-            Msg::DataS { block, exclusive, class } => {
+            Msg::DataS {
+                block,
+                exclusive,
+                class,
+            } => {
                 let state = if exclusive && self.config.grant_exclusive {
                     L1State::Exclusive
                 } else {
@@ -414,7 +480,10 @@ impl L1Controller {
             line.state = state;
         } else if let Some(evicted) = self.cache.insert(
             block,
-            L1Line { prefetched: !demand, ..L1Line::fresh(state) },
+            L1Line {
+                prefetched: !demand,
+                ..L1Line::fresh(state)
+            },
         ) {
             self.evict(now, evicted.block, evicted.payload, fabric);
         }
@@ -435,15 +504,24 @@ impl L1Controller {
         for waiter in entry.waiters {
             match waiter.kind {
                 AccessKind::Read => {
-                    self.completions.push(Completion { req: waiter.req, at: now, class });
+                    self.completions.push(Completion {
+                        req: waiter.req,
+                        at: now,
+                        class,
+                    });
                 }
                 AccessKind::Write if grants_write => {
                     wrote = true;
-                    self.completions.push(Completion { req: waiter.req, at: now, class });
+                    self.completions.push(Completion {
+                        req: waiter.req,
+                        at: now,
+                        class,
+                    });
                 }
                 AccessKind::Write => {
                     // S fill cannot satisfy a write: re-request as upgrade.
-                    self.retry_q.push_back((waiter.req, AccessKind::Write, block));
+                    self.retry_q
+                        .push_back((waiter.req, AccessKind::Write, block));
                 }
             }
         }
@@ -475,11 +553,7 @@ impl L1Controller {
         {
             return;
         }
-        if self
-            .mshrs
-            .allocate_prefetch(block)
-            .unwrap_or(false)
-        {
+        if self.mshrs.allocate_prefetch(block).unwrap_or(false) {
             self.want_m.insert(block.as_u64(), false);
             fabric.send(now, self.node, self.home_node(block), Msg::GetS(block));
             self.stats.bump("l1.prefetches");
@@ -489,13 +563,20 @@ impl L1Controller {
     /// Starts an eviction transaction for a victim line.
     fn evict(&mut self, now: Cycle, block: BlockAddr, line: L1Line, fabric: &mut Fabric<Msg>) {
         if line.is_spec() {
-            self.violations.push(SpecViolation { block, cause: ViolationCause::Eviction, at: now });
+            self.violations.push(SpecViolation {
+                block,
+                cause: ViolationCause::Eviction,
+                at: now,
+            });
             self.stats.bump("l1.violation_eviction");
         }
         self.stats.bump("l1.evictions");
         let (msg, wb) = if line.state.owned() {
             (
-                Msg::PutM { block, dirty: line.dirty },
+                Msg::PutM {
+                    block,
+                    dirty: line.dirty,
+                },
                 WbState::EvictOwned { dirty: line.dirty },
             )
         } else {
@@ -507,7 +588,11 @@ impl L1Controller {
     }
 
     fn note_violation(&mut self, now: Cycle, block: BlockAddr, cause: ViolationCause) {
-        self.violations.push(SpecViolation { block, cause, at: now });
+        self.violations.push(SpecViolation {
+            block,
+            cause,
+            at: now,
+        });
         self.stats.bump(match cause {
             ViolationCause::RemoteInvalidation => "l1.violation_remote_inv",
             ViolationCause::RemoteDowngrade => "l1.violation_remote_downgrade",
@@ -550,7 +635,12 @@ impl L1Controller {
             dirty = false;
             self.stats.bump("l1.stale_recall");
         }
-        fabric.send(now, self.node, self.home_node(block), Msg::RecallAck { block, dirty });
+        fabric.send(
+            now,
+            self.node,
+            self.home_node(block),
+            Msg::RecallAck { block, dirty },
+        );
     }
 
     fn handle_downgrade(&mut self, now: Cycle, block: BlockAddr, fabric: &mut Fabric<Msg>) {
@@ -574,7 +664,12 @@ impl L1Controller {
             dirty = false;
             self.stats.bump("l1.stale_downgrade");
         }
-        fabric.send(now, self.node, self.home_node(block), Msg::DowngradeAck { block, dirty });
+        fabric.send(
+            now,
+            self.node,
+            self.home_node(block),
+            Msg::DowngradeAck { block, dirty },
+        );
     }
 
     /// Drains finished requests (sorted by completion time).
@@ -591,7 +686,10 @@ impl L1Controller {
 
     /// Whether any miss, eviction or retry is still in flight.
     pub fn is_quiescent(&self) -> bool {
-        self.mshrs.is_empty() && self.wb.is_empty() && self.hit_q.is_empty() && self.retry_q.is_empty()
+        self.mshrs.is_empty()
+            && self.wb.is_empty()
+            && self.hit_q.is_empty()
+            && self.retry_q.is_empty()
     }
 
     /// Whether `block` is resident in any valid state.

@@ -1,14 +1,12 @@
 //! Per-line L1 state: [`L1State`] and the speculation mark bits
 //! ([`SpecMark`]).
 
-use serde::{Deserialize, Serialize};
-
 /// Stable (non-transient) coherence state of an L1 line.
 ///
 /// Transient states (fills in flight, evictions awaiting PutAck) are not
 /// encoded here; they live in the controller's MSHRs and writeback buffer
 /// respectively, which keeps the line payload a simple value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L1State {
     /// Read-only copy; others may share.
     Shared,
@@ -63,7 +61,13 @@ pub struct L1Line {
 impl L1Line {
     /// A freshly filled line in `state`, clean and unmarked.
     pub fn fresh(state: L1State) -> Self {
-        L1Line { state, dirty: false, spec_read: false, spec_write: false, prefetched: false }
+        L1Line {
+            state,
+            dirty: false,
+            spec_read: false,
+            spec_write: false,
+            prefetched: false,
+        }
     }
 
     /// Whether either speculation bit is set.

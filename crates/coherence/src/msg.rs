@@ -170,16 +170,32 @@ mod tests {
             Msg::GetS(b),
             Msg::GetM(b),
             Msg::PutS(b),
-            Msg::PutM { block: b, dirty: true },
+            Msg::PutM {
+                block: b,
+                dirty: true,
+            },
             Msg::CleanWb(b),
             Msg::Inv(b),
             Msg::Recall(b),
             Msg::Downgrade(b),
             Msg::InvAck(b),
-            Msg::RecallAck { block: b, dirty: false },
-            Msg::DowngradeAck { block: b, dirty: true },
-            Msg::DataS { block: b, exclusive: false, class: FillClass::L2Hit },
-            Msg::DataM { block: b, class: FillClass::DramCold },
+            Msg::RecallAck {
+                block: b,
+                dirty: false,
+            },
+            Msg::DowngradeAck {
+                block: b,
+                dirty: true,
+            },
+            Msg::DataS {
+                block: b,
+                exclusive: false,
+                class: FillClass::L2Hit,
+            },
+            Msg::DataM {
+                block: b,
+                class: FillClass::DramCold,
+            },
             Msg::PutAck(b),
         ];
         for m in msgs {
@@ -191,11 +207,27 @@ mod tests {
     fn txn_reply_classification() {
         let b = BlockAddr(1);
         assert!(Msg::InvAck(b).is_txn_reply());
-        assert!(Msg::RecallAck { block: b, dirty: true }.is_txn_reply());
-        assert!(Msg::DowngradeAck { block: b, dirty: false }.is_txn_reply());
+        assert!(Msg::RecallAck {
+            block: b,
+            dirty: true
+        }
+        .is_txn_reply());
+        assert!(Msg::DowngradeAck {
+            block: b,
+            dirty: false
+        }
+        .is_txn_reply());
         assert!(!Msg::GetS(b).is_txn_reply());
-        assert!(!Msg::PutM { block: b, dirty: true }.is_txn_reply());
-        assert!(!Msg::DataM { block: b, class: FillClass::L2Hit }.is_txn_reply());
+        assert!(!Msg::PutM {
+            block: b,
+            dirty: true
+        }
+        .is_txn_reply());
+        assert!(!Msg::DataM {
+            block: b,
+            class: FillClass::L2Hit
+        }
+        .is_txn_reply());
     }
 
     #[test]
@@ -205,16 +237,37 @@ mod tests {
             Msg::GetS(b).mnemonic(),
             Msg::GetM(b).mnemonic(),
             Msg::PutS(b).mnemonic(),
-            Msg::PutM { block: b, dirty: true }.mnemonic(),
+            Msg::PutM {
+                block: b,
+                dirty: true,
+            }
+            .mnemonic(),
             Msg::CleanWb(b).mnemonic(),
             Msg::Inv(b).mnemonic(),
             Msg::Recall(b).mnemonic(),
             Msg::Downgrade(b).mnemonic(),
             Msg::InvAck(b).mnemonic(),
-            Msg::RecallAck { block: b, dirty: true }.mnemonic(),
-            Msg::DowngradeAck { block: b, dirty: true }.mnemonic(),
-            Msg::DataS { block: b, exclusive: true, class: FillClass::L2Hit }.mnemonic(),
-            Msg::DataM { block: b, class: FillClass::L2Hit }.mnemonic(),
+            Msg::RecallAck {
+                block: b,
+                dirty: true,
+            }
+            .mnemonic(),
+            Msg::DowngradeAck {
+                block: b,
+                dirty: true,
+            }
+            .mnemonic(),
+            Msg::DataS {
+                block: b,
+                exclusive: true,
+                class: FillClass::L2Hit,
+            }
+            .mnemonic(),
+            Msg::DataM {
+                block: b,
+                class: FillClass::L2Hit,
+            }
+            .mnemonic(),
             Msg::PutAck(b).mnemonic(),
         ];
         let mut dedup = names.to_vec();

@@ -39,8 +39,13 @@ impl ProtocolSandbox {
         ProtocolSandbox {
             clock: Clock::new(),
             geometry: cfg.block_geometry(),
-            l1s: cfg.core_ids().map(|c| L1Controller::new(c, cfg, protocol)).collect(),
-            dirs: (0..cfg.dir_banks).map(|b| DirectoryBank::with_protocol(b, cfg, protocol)).collect(),
+            l1s: cfg
+                .core_ids()
+                .map(|c| L1Controller::new(c, cfg, protocol))
+                .collect(),
+            dirs: (0..cfg.dir_banks)
+                .map(|b| DirectoryBank::with_protocol(b, cfg, protocol))
+                .collect(),
             fabric: Fabric::for_machine(cfg),
             next_req: 0,
             completions: Vec::new(),
@@ -167,7 +172,10 @@ impl ProtocolSandbox {
             }
             self.step();
         }
-        assert!(self.is_quiescent(), "machine did not settle within {limit} cycles");
+        assert!(
+            self.is_quiescent(),
+            "machine did not settle within {limit} cycles"
+        );
     }
 
     /// Whether all L1s, banks and the fabric are idle.
@@ -202,10 +210,7 @@ impl ProtocolSandbox {
                 None => {}
             }
         }
-        assert!(
-            owners.len() <= 1,
-            "{block}: multiple owners {owners:?}"
-        );
+        assert!(owners.len() <= 1, "{block}: multiple owners {owners:?}");
         assert!(
             owners.is_empty() || sharers.is_empty(),
             "{block}: owner {owners:?} coexists with sharers {sharers:?}"

@@ -1,9 +1,12 @@
-//! Property-based fuzzing of the coherence protocol: arbitrary access
+//! Randomized fuzzing of the coherence protocol: arbitrary access
 //! interleavings must terminate, settle, and leave every block coherent.
+//!
+//! Interleavings are generated with the simulator's own deterministic RNG
+//! ([`DetRng`]) so every CI run fuzzes the exact same case set — a failure
+//! names the case index, which reproduces it directly.
 
-use proptest::prelude::*;
 use tenways_coherence::{sandbox::ProtocolSandbox, AccessKind, ProtocolConfig, SpecMark};
-use tenways_sim::{Addr, CoreId, MachineConfig};
+use tenways_sim::{Addr, CoreId, DetRng, MachineConfig};
 
 #[derive(Debug, Clone, Copy)]
 struct Access {
@@ -14,41 +17,54 @@ struct Access {
     delay: u8,
 }
 
-fn arb_access(cores: u16, blocks: u64) -> impl Strategy<Value = Access> {
-    (0..cores, 0..blocks, any::<bool>(), 0u8..12).prop_map(|(core, block, write, delay)| Access {
-        core,
-        block,
-        write,
-        delay,
-    })
+fn gen_access(rng: &mut DetRng, cores: u16, blocks: u64) -> Access {
+    Access {
+        core: rng.below(cores as u64) as u16,
+        block: rng.below(blocks),
+        write: rng.chance(0.5),
+        delay: rng.below(12) as u8,
+    }
 }
 
 fn machine(cores: usize) -> MachineConfig {
     // Small L1s force evictions into the mix.
-    MachineConfig::builder().cores(cores).l1(4, 2).build().unwrap()
+    MachineConfig::builder()
+        .cores(cores)
+        .l1(4, 2)
+        .build()
+        .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+const CASES: u64 = 48;
 
-    /// Every interleaving settles and satisfies single-writer /
-    /// multiple-reader with a directory view that covers all cached copies.
-    #[test]
-    fn protocol_is_coherent_under_fuzz(
-        accesses in proptest::collection::vec(arb_access(4, 12), 1..80),
-        mesi in any::<bool>(),
-    ) {
+/// Every interleaving settles and satisfies single-writer /
+/// multiple-reader with a directory view that covers all cached copies.
+#[test]
+fn protocol_is_coherent_under_fuzz() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed(0xC0FFEE).split("coherent").split_index(case);
+        let n = rng.range(1, 80);
+        let accesses: Vec<Access> = (0..n).map(|_| gen_access(&mut rng, 4, 12)).collect();
+        let mesi = rng.chance(0.5);
+
         let cfg = machine(4);
         let mut sb = ProtocolSandbox::with_protocol(
             &cfg,
-            ProtocolConfig { grant_exclusive: mesi, ..ProtocolConfig::default() },
+            ProtocolConfig {
+                grant_exclusive: mesi,
+                ..ProtocolConfig::default()
+            },
         );
         let mut pending = Vec::new();
         for a in &accesses {
             for _ in 0..a.delay {
                 sb.step();
             }
-            let kind = if a.write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if a.write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             pending.push(sb.access(CoreId(a.core), kind, Addr(0x1000 + a.block * 64)));
             // Bound outstanding requests per core below the MSHR count.
             if pending.len() >= 8 {
@@ -65,23 +81,35 @@ proptest! {
             sb.assert_coherent(sb.block(Addr(0x1000 + b * 64)));
         }
     }
+}
 
-    /// Speculation marks never break the protocol: random marks +
-    /// commits/rollbacks interleaved with traffic still settle coherent.
-    #[test]
-    fn spec_marks_do_not_corrupt_protocol(
-        accesses in proptest::collection::vec(arb_access(3, 6), 1..50),
-        actions in proptest::collection::vec(0u8..4, 1..50),
-    ) {
+/// Speculation marks never break the protocol: random marks +
+/// commits/rollbacks interleaved with traffic still settle coherent.
+#[test]
+fn spec_marks_do_not_corrupt_protocol() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed(0xC0FFEE).split("spec_marks").split_index(case);
+        let n = rng.range(1, 50);
+        let accesses: Vec<Access> = (0..n).map(|_| gen_access(&mut rng, 3, 6)).collect();
+        let actions: Vec<u8> = (0..n).map(|_| rng.below(4) as u8).collect();
+
         let cfg = machine(3);
         let mut sb = ProtocolSandbox::new(&cfg);
         for (a, act) in accesses.iter().zip(&actions) {
-            let kind = if a.write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if a.write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let addr = Addr(0x1000 + a.block * 64);
             sb.access_and_wait(CoreId(a.core), kind, addr);
             match act {
                 0 => {
-                    let mark = if a.write { SpecMark::Write } else { SpecMark::Read };
+                    let mark = if a.write {
+                        SpecMark::Write
+                    } else {
+                        SpecMark::Read
+                    };
                     let _ = sb.mark_spec(CoreId(a.core), mark, addr);
                 }
                 1 => sb.commit_spec(CoreId(a.core)),

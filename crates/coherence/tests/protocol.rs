@@ -11,7 +11,13 @@ fn machine(cores: usize) -> MachineConfig {
 }
 
 fn msi_sandbox(cores: usize) -> ProtocolSandbox {
-    ProtocolSandbox::with_protocol(&machine(cores), ProtocolConfig { grant_exclusive: false, ..ProtocolConfig::default() })
+    ProtocolSandbox::with_protocol(
+        &machine(cores),
+        ProtocolConfig {
+            grant_exclusive: false,
+            ..ProtocolConfig::default()
+        },
+    )
 }
 
 fn mesi_sandbox(cores: usize) -> ProtocolSandbox {
@@ -26,11 +32,17 @@ fn cold_read_fills_shared_or_exclusive() {
     let mut sb = msi_sandbox(2);
     let c = sb.access_and_wait(CoreId(0), AccessKind::Read, A);
     assert_eq!(c.class, FillClass::DramCold);
-    assert_eq!(sb.l1(CoreId(0)).state_of(sb.block(A)), Some(L1State::Shared));
+    assert_eq!(
+        sb.l1(CoreId(0)).state_of(sb.block(A)),
+        Some(L1State::Shared)
+    );
 
     let mut sb = mesi_sandbox(2);
     sb.access_and_wait(CoreId(0), AccessKind::Read, A);
-    assert_eq!(sb.l1(CoreId(0)).state_of(sb.block(A)), Some(L1State::Exclusive));
+    assert_eq!(
+        sb.l1(CoreId(0)).state_of(sb.block(A)),
+        Some(L1State::Exclusive)
+    );
 }
 
 #[test]
@@ -50,12 +62,21 @@ fn second_reader_joins_sharers() {
 fn mesi_second_reader_downgrades_exclusive_owner() {
     let mut sb = mesi_sandbox(2);
     sb.access_and_wait(CoreId(0), AccessKind::Read, A);
-    assert_eq!(sb.l1(CoreId(0)).state_of(sb.block(A)), Some(L1State::Exclusive));
+    assert_eq!(
+        sb.l1(CoreId(0)).state_of(sb.block(A)),
+        Some(L1State::Exclusive)
+    );
     let c = sb.access_and_wait(CoreId(1), AccessKind::Read, A);
     assert_eq!(c.class, FillClass::Coherence, "data pried from E owner");
     sb.settle(1000);
-    assert_eq!(sb.l1(CoreId(0)).state_of(sb.block(A)), Some(L1State::Shared));
-    assert_eq!(sb.l1(CoreId(1)).state_of(sb.block(A)), Some(L1State::Shared));
+    assert_eq!(
+        sb.l1(CoreId(0)).state_of(sb.block(A)),
+        Some(L1State::Shared)
+    );
+    assert_eq!(
+        sb.l1(CoreId(1)).state_of(sb.block(A)),
+        Some(L1State::Shared)
+    );
     sb.assert_coherent(sb.block(A));
 }
 
@@ -70,7 +91,10 @@ fn write_invalidates_sharers() {
     sb.settle(1000);
     assert!(sb.l1(CoreId(0)).holds_modified(sb.block(A)));
     for c in 1..4u16 {
-        assert!(!sb.l1(CoreId(c)).holds(sb.block(A)), "core{c} not invalidated");
+        assert!(
+            !sb.l1(CoreId(c)).holds(sb.block(A)),
+            "core{c} not invalidated"
+        );
     }
     sb.assert_coherent(sb.block(A));
 }
@@ -95,8 +119,14 @@ fn read_downgrades_modified_owner_and_preserves_data_path() {
     let c = sb.access_and_wait(CoreId(1), AccessKind::Read, A);
     assert_eq!(c.class, FillClass::Coherence);
     sb.settle(1000);
-    assert_eq!(sb.l1(CoreId(0)).state_of(sb.block(A)), Some(L1State::Shared));
-    assert_eq!(sb.l1(CoreId(1)).state_of(sb.block(A)), Some(L1State::Shared));
+    assert_eq!(
+        sb.l1(CoreId(0)).state_of(sb.block(A)),
+        Some(L1State::Shared)
+    );
+    assert_eq!(
+        sb.l1(CoreId(1)).state_of(sb.block(A)),
+        Some(L1State::Shared)
+    );
     // Writeback must have landed at the directory.
     assert!(sb.home_of(sb.block(A)).stats().get("dir.writebacks") >= 1);
     sb.assert_coherent(sb.block(A));
@@ -133,7 +163,11 @@ fn mesi_store_to_exclusive_is_silent() {
     let before = sb.fabric().stats().get("noc.sent");
     let c = sb.access_and_wait(CoreId(0), AccessKind::Write, A);
     assert_eq!(c.class, FillClass::L1Hit, "E→M upgrade is a hit");
-    assert_eq!(sb.fabric().stats().get("noc.sent"), before, "no messages for E→M");
+    assert_eq!(
+        sb.fabric().stats().get("noc.sent"),
+        before,
+        "no messages for E→M"
+    );
     assert!(sb.l1(CoreId(0)).holds_modified(sb.block(A)));
 }
 
@@ -149,7 +183,13 @@ fn write_after_write_same_core_hits() {
 fn capacity_eviction_writes_back_dirty_data() {
     // Tiny L1: 2 sets x 1 way. Blocks 0 and 2 (same set) conflict.
     let cfg = MachineConfig::builder().cores(1).l1(2, 1).build().unwrap();
-    let mut sb = ProtocolSandbox::with_protocol(&cfg, ProtocolConfig { grant_exclusive: false, ..ProtocolConfig::default() });
+    let mut sb = ProtocolSandbox::with_protocol(
+        &cfg,
+        ProtocolConfig {
+            grant_exclusive: false,
+            ..ProtocolConfig::default()
+        },
+    );
     let a = Addr(0); // block 0, set 0
     let b = Addr(128); // block 2, set 0
     sb.access_and_wait(CoreId(0), AccessKind::Write, a);
@@ -215,7 +255,11 @@ fn reader_writer_storm_stays_coherent() {
     let mut reqs = Vec::new();
     for round in 0..6 {
         for c in 0..4u16 {
-            let kind = if (round + c as usize).is_multiple_of(3) { AccessKind::Write } else { AccessKind::Read };
+            let kind = if (round + c as usize).is_multiple_of(3) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             reqs.push(sb.access(CoreId(c), kind, A));
         }
         for r in reqs.drain(..) {
@@ -236,7 +280,10 @@ fn false_sharing_same_block_conflicts() {
     sb.access_and_wait(CoreId(0), AccessKind::Write, a0);
     sb.access_and_wait(CoreId(1), AccessKind::Write, a1);
     sb.settle(1000);
-    assert!(!sb.l1(CoreId(0)).holds(sb.block(a0)), "false sharing invalidated core 0");
+    assert!(
+        !sb.l1(CoreId(0)).holds(sb.block(a0)),
+        "false sharing invalidated core 0"
+    );
 }
 
 // ---------------- speculation hook tests ----------------
@@ -302,7 +349,13 @@ fn commit_clears_marks() {
 #[test]
 fn rollback_drops_spec_written_lines() {
     let cfg = machine(2);
-    let mut sb = ProtocolSandbox::with_protocol(&cfg, ProtocolConfig { grant_exclusive: false, ..ProtocolConfig::default() });
+    let mut sb = ProtocolSandbox::with_protocol(
+        &cfg,
+        ProtocolConfig {
+            grant_exclusive: false,
+            ..ProtocolConfig::default()
+        },
+    );
     sb.access_and_wait(CoreId(0), AccessKind::Write, A);
     sb.mark_spec(CoreId(0), SpecMark::Write, A);
     // Roll back: the line must be gone and ownership surrendered.
@@ -357,7 +410,11 @@ fn deterministic_replay() {
         let mut log = Vec::new();
         for i in 0..8u64 {
             let core = CoreId((i % 4) as u16);
-            let kind = if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
+            let kind = if i % 2 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
             let addr = Addr(0x1000 + (i % 3) * 64);
             let c = sb.access_and_wait(core, kind, addr);
             log.push((c.at.as_u64(), c.class));
@@ -383,7 +440,11 @@ fn many_blocks_many_cores_fuzz_stays_coherent() {
         let r = step();
         let core = CoreId((r % 4) as u16);
         let addr = Addr(0x4000 + (r >> 3) % 16 * 64);
-        let kind = if r & 4 == 0 { AccessKind::Read } else { AccessKind::Write };
+        let kind = if r & 4 == 0 {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        };
         let req = sb.access(core, kind, addr);
         sb.run_until_complete(req, 30_000);
     }
@@ -398,7 +459,10 @@ fn many_blocks_many_cores_fuzz_stays_coherent() {
 fn prefetch_sandbox(cores: usize) -> ProtocolSandbox {
     ProtocolSandbox::with_protocol(
         &machine(cores),
-        ProtocolConfig { grant_exclusive: true, prefetch_next_line: true },
+        ProtocolConfig {
+            grant_exclusive: true,
+            prefetch_next_line: true,
+        },
     )
 }
 
@@ -409,7 +473,10 @@ fn next_line_prefetch_fills_the_neighbour() {
     let next = Addr(0x1040); // block X+1
     sb.access_and_wait(CoreId(0), AccessKind::Read, a);
     sb.settle(5_000);
-    assert!(sb.l1(CoreId(0)).holds(sb.block(next)), "next line must be prefetched");
+    assert!(
+        sb.l1(CoreId(0)).holds(sb.block(next)),
+        "next line must be prefetched"
+    );
     // The prefetched line serves the demand as a hit.
     let c = sb.access_and_wait(CoreId(0), AccessKind::Read, next);
     assert_eq!(c.class, FillClass::L1Hit);
@@ -451,5 +518,8 @@ fn prefetch_streams_ahead_on_sequential_scans() {
         }
         sb.settle(5_000);
     }
-    assert!(useful >= 8, "sequential scan should mostly hit prefetched lines: {useful}");
+    assert!(
+        useful >= 8,
+        "sequential scan should mostly hit prefetched lines: {useful}"
+    );
 }

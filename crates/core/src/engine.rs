@@ -1,10 +1,10 @@
 //! The fence-speculation policy state machine: [`SpecEngine`].
 
-use serde::{Deserialize, Serialize};
+use tenways_sim::json::{Json, ToJson};
 use tenways_sim::{Cycle, Histogram, StatSet};
 
 /// How aggressively the core speculates past ordering stalls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpecMode {
     /// Never speculate — the conventional stalling baseline.
     Disabled,
@@ -19,7 +19,7 @@ pub enum SpecMode {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpecConfig {
     /// Operating mode.
     pub mode: SpecMode,
@@ -57,17 +57,26 @@ impl SpecConfig {
 
     /// InvisiFence on-demand mode.
     pub fn on_demand() -> Self {
-        SpecConfig { mode: SpecMode::OnDemand, ..SpecConfig::disabled() }
+        SpecConfig {
+            mode: SpecMode::OnDemand,
+            ..SpecConfig::disabled()
+        }
     }
 
     /// InvisiFence continuous mode.
     pub fn continuous() -> Self {
-        SpecConfig { mode: SpecMode::Continuous, ..SpecConfig::disabled() }
+        SpecConfig {
+            mode: SpecMode::Continuous,
+            ..SpecConfig::disabled()
+        }
     }
 
     /// A per-store-granularity comparator with an `n`-entry store CAM.
     pub fn per_store(n: u64) -> Self {
-        SpecConfig { max_spec_stores: Some(n), ..SpecConfig::on_demand() }
+        SpecConfig {
+            max_spec_stores: Some(n),
+            ..SpecConfig::on_demand()
+        }
     }
 
     /// Disables the adaptive contention backoff (ablation).
@@ -239,7 +248,12 @@ impl SpecEngine {
             return false;
         }
         match &mut self.state {
-            State::Active { conditions, spec_stores, spec_ops, .. } => {
+            State::Active {
+                conditions,
+                spec_stores,
+                spec_ops,
+                ..
+            } => {
                 if let Some(cap) = self.config.max_spec_stores {
                     if *spec_stores >= cap {
                         self.stats.bump("spec.cap_refusals");
@@ -308,7 +322,13 @@ impl SpecEngine {
     /// Continuous mode defers an eligible commit until the epoch has
     /// accumulated `commit_interval` speculative ops.
     pub fn try_commit(&mut self, now: Cycle, check: &mut dyn FnMut(&DrainCond) -> bool) -> bool {
-        let State::Active { conditions, spec_ops, started_at, .. } = &mut self.state else {
+        let State::Active {
+            conditions,
+            spec_ops,
+            started_at,
+            ..
+        } = &mut self.state
+        else {
             return false;
         };
         conditions.retain(|c| !check(c));
@@ -335,7 +355,12 @@ impl SpecEngine {
     /// an epoch was active — the core must roll back to its checkpoint and
     /// re-execute the ordering point non-speculatively (backoff engaged).
     pub fn on_violation(&mut self, now: Cycle) -> bool {
-        let State::Active { spec_ops, started_at, .. } = &self.state else {
+        let State::Active {
+            spec_ops,
+            started_at,
+            ..
+        } = &self.state
+        else {
             // Violation raced with a commit that already cleared the marks;
             // nothing to roll back.
             self.stats.bump("spec.stale_violations");
@@ -413,6 +438,119 @@ impl SpecEngine {
     /// Distribution of committed-epoch lifetimes in cycles.
     pub fn epoch_cycles_histogram(&self) -> &Histogram {
         &self.epoch_cycles_hist
+    }
+}
+
+impl SpecMode {
+    /// The label used in serialized configs ("disabled" / "on-demand" /
+    /// "continuous").
+    pub fn label(self) -> &'static str {
+        match self {
+            SpecMode::Disabled => "disabled",
+            SpecMode::OnDemand => "on-demand",
+            SpecMode::Continuous => "continuous",
+        }
+    }
+
+    /// Inverse of [`Self::label`]; also accepts common CLI spellings.
+    pub fn from_label(label: &str) -> Option<SpecMode> {
+        match label.to_ascii_lowercase().as_str() {
+            "disabled" | "off" => Some(SpecMode::Disabled),
+            "on-demand" | "ondemand" => Some(SpecMode::OnDemand),
+            "continuous" => Some(SpecMode::Continuous),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for SpecMode {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
+impl ToJson for SpecConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", self.mode.to_json()),
+            ("commit_interval", Json::U64(self.commit_interval)),
+            (
+                "max_spec_stores",
+                match self.max_spec_stores {
+                    Some(n) => Json::U64(n),
+                    None => Json::Null,
+                },
+            ),
+            ("max_epoch_ops", Json::U64(self.max_epoch_ops)),
+            ("adaptive_backoff", Json::Bool(self.adaptive_backoff)),
+        ])
+    }
+}
+
+impl SpecConfig {
+    /// Parses the CLI shorthand `off | on-demand | continuous |
+    /// per-store:<N>` into a full configuration.
+    pub fn from_flag(flag: &str) -> Result<SpecConfig, String> {
+        let flag = flag.to_ascii_lowercase();
+        if let Some(n) = flag.strip_prefix("per-store:") {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("bad per-store count `{n}`"))?;
+            return Ok(SpecConfig::per_store(n));
+        }
+        match SpecMode::from_label(&flag) {
+            Some(SpecMode::Disabled) => Ok(SpecConfig::disabled()),
+            Some(SpecMode::OnDemand) => Ok(SpecConfig::on_demand()),
+            Some(SpecMode::Continuous) => Ok(SpecConfig::continuous()),
+            None => Err(format!("unknown spec mode `{flag}`")),
+        }
+    }
+
+    /// Overlays fields from a JSON object (or a CLI-shorthand string) onto
+    /// `self`. Absent keys keep their current value.
+    pub fn apply_json(&mut self, doc: &Json) -> Result<(), String> {
+        if let Some(flag) = doc.as_str() {
+            *self = SpecConfig::from_flag(flag)?;
+            return Ok(());
+        }
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| format!("spec section must be an object, got {}", doc.type_name()))?;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "mode" => {
+                    let label = value.as_str().ok_or("spec.mode must be a string")?;
+                    self.mode = SpecMode::from_label(label)
+                        .ok_or_else(|| format!("unknown spec mode `{label}`"))?;
+                }
+                "commit_interval" => {
+                    self.commit_interval = value
+                        .as_u64()
+                        .ok_or("spec.commit_interval must be an integer")?
+                }
+                "max_spec_stores" => {
+                    self.max_spec_stores = match value {
+                        Json::Null => None,
+                        v => Some(
+                            v.as_u64()
+                                .ok_or("spec.max_spec_stores must be an integer or null")?,
+                        ),
+                    }
+                }
+                "max_epoch_ops" => {
+                    self.max_epoch_ops = value
+                        .as_u64()
+                        .ok_or("spec.max_epoch_ops must be an integer")?
+                }
+                "adaptive_backoff" => {
+                    self.adaptive_backoff = value
+                        .as_bool()
+                        .ok_or("spec.adaptive_backoff must be a bool")?
+                }
+                other => return Err(format!("unknown spec field `{other}`")),
+            }
+        }
+        Ok(())
     }
 }
 

@@ -8,10 +8,8 @@
 //! functions here compute both curves so the storage figure can be
 //! regenerated (and unit-tested) exactly.
 
-use serde::{Deserialize, Serialize};
-
 /// Storage accounting for one design point, in bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageBits {
     /// State that exists regardless of speculation depth.
     pub fixed_bits: u64,
@@ -39,7 +37,10 @@ pub const CHECKPOINT_BITS: u64 = (32 + 32) * 64 + 64;
 /// `l1_blocks` lines: two mark bits per line plus one checkpoint. Depth
 /// contributes nothing.
 pub fn block_granularity(l1_blocks: u64) -> StorageBits {
-    StorageBits { fixed_bits: 2 * l1_blocks + CHECKPOINT_BITS, per_depth_bits: 0 }
+    StorageBits {
+        fixed_bits: 2 * l1_blocks + CHECKPOINT_BITS,
+        per_depth_bits: 0,
+    }
 }
 
 /// Per-store-granularity (ASO/store-queue-extension style) state: each
@@ -47,7 +48,10 @@ pub fn block_granularity(l1_blocks: u64) -> StorageBits {
 /// block-merge buffer is not needed, but data (64-bit), and ~8 bits of
 /// metadata; plus the same checkpoint.
 pub fn per_store_granularity(addr_bits: u64) -> StorageBits {
-    StorageBits { fixed_bits: CHECKPOINT_BITS, per_depth_bits: addr_bits + 64 + 8 }
+    StorageBits {
+        fixed_bits: CHECKPOINT_BITS,
+        per_depth_bits: addr_bits + 64 + 8,
+    }
 }
 
 /// Convenience: the canonical comparison rows for depths `1..=max_depth`
@@ -75,7 +79,11 @@ mod tests {
         let s = block_granularity(512);
         assert_eq!(s.total_at_depth(1), s.total_at_depth(512));
         // 512 lines * 2 bits + checkpoint ≈ 1 KB claim:
-        assert!(s.bytes_at_depth(0) < 1024, "got {} bytes", s.bytes_at_depth(0));
+        assert!(
+            s.bytes_at_depth(0) < 1024,
+            "got {} bytes",
+            s.bytes_at_depth(0)
+        );
         assert!(s.bytes_at_depth(0) > 512);
     }
 
@@ -112,7 +120,10 @@ mod tests {
 
     #[test]
     fn bytes_round_up() {
-        let s = StorageBits { fixed_bits: 9, per_depth_bits: 0 };
+        let s = StorageBits {
+            fixed_bits: 9,
+            per_depth_bits: 0,
+        };
         assert_eq!(s.bytes_at_depth(0), 2);
     }
 }

@@ -92,9 +92,23 @@ mod tests {
 
     #[test]
     fn every_bucket_name_is_distinct() {
-        let mut names =
-            vec![BUSY, COMPUTE, IDLE_DONE, ROB_FULL, MSHR_FULL, SPEC_CAP, SAME_ADDR_DEP, OTHER, MEM_UNRESOLVED];
-        for kind in [StallKind::ScOrder, StallKind::Fence, StallKind::Atomic, StallKind::SbFull] {
+        let mut names = vec![
+            BUSY,
+            COMPUTE,
+            IDLE_DONE,
+            ROB_FULL,
+            MSHR_FULL,
+            SPEC_CAP,
+            SAME_ADDR_DEP,
+            OTHER,
+            MEM_UNRESOLVED,
+        ];
+        for kind in [
+            StallKind::ScOrder,
+            StallKind::Fence,
+            StallKind::Atomic,
+            StallKind::SbFull,
+        ] {
             for tag in [MemTag::Data, MemTag::Lock, MemTag::Barrier] {
                 names.push(stall_bucket(kind, tag));
             }

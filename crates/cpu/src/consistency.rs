@@ -4,12 +4,10 @@
 //! module defines the model vocabulary and the per-model semantic
 //! predicates the core consults.
 
-use serde::{Deserialize, Serialize};
-
 use crate::op::FenceKind;
 
 /// The consistency model a core enforces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConsistencyModel {
     /// Sequential consistency: every memory operation waits for all older
     /// memory operations to be globally performed.
@@ -37,7 +35,11 @@ impl ConsistencyModel {
 
     /// All models, strongest first.
     pub fn all() -> [ConsistencyModel; 3] {
-        [ConsistencyModel::Sc, ConsistencyModel::Tso, ConsistencyModel::Rmo]
+        [
+            ConsistencyModel::Sc,
+            ConsistencyModel::Tso,
+            ConsistencyModel::Rmo,
+        ]
     }
 
     /// Whether an explicit fence of `kind` imposes any ordering the model
@@ -69,6 +71,24 @@ impl ConsistencyModel {
 impl std::fmt::Display for ConsistencyModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl ConsistencyModel {
+    /// Inverse of [`Self::label`], case-insensitive.
+    pub fn from_label(label: &str) -> Option<ConsistencyModel> {
+        match label.to_ascii_lowercase().as_str() {
+            "sc" => Some(ConsistencyModel::Sc),
+            "tso" => Some(ConsistencyModel::Tso),
+            "rmo" => Some(ConsistencyModel::Rmo),
+            _ => None,
+        }
+    }
+}
+
+impl tenways_sim::json::ToJson for ConsistencyModel {
+    fn to_json(&self) -> tenways_sim::json::Json {
+        tenways_sim::json::Json::Str(self.label().to_lowercase())
     }
 }
 

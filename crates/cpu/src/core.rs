@@ -26,6 +26,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tenways_coherence::{AccessKind, FillClass, L1Controller, ReqId, RequestError, SpecMark};
 use tenways_core::{DrainCond, SpecConfig, SpecEngine};
 use tenways_noc::Fabric;
+use tenways_sim::trace::{TraceCategory, Tracer};
 use tenways_sim::{Addr, BlockGeometry, CoreId, Cycle, Histogram, MachineConfig, StatSet};
 
 use crate::account::{self, StallKind};
@@ -142,6 +143,10 @@ pub struct Core {
     sb_occ_hist: Histogram,
     retired_ops: u64,
     done_at: Option<Cycle>,
+
+    tracer: Tracer,
+    /// Open consistency-stall span: (kind, consecutive cycles so far).
+    stall_run: Option<(StallKind, u64)>,
 }
 
 impl Core {
@@ -185,7 +190,15 @@ impl Core {
             sb_occ_hist: Histogram::new(65, 1),
             retired_ops: 0,
             done_at: None,
+            tracer: Tracer::disabled(),
+            stall_run: None,
         }
+    }
+
+    /// Attaches an event tracer; consistency stalls become spans and
+    /// rollbacks become instants on this core's timeline row.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This core's id.
@@ -354,7 +367,9 @@ impl Core {
                 continue;
             }
             if let Some(seq) = self.inflight_rob.remove(&rid) {
-                let Some(idx) = self.rob.iter().position(|s| s.seq == seq) else { continue };
+                let Some(idx) = self.rob.iter().position(|s| s.seq == seq) else {
+                    continue;
+                };
                 let (op, spec) = (self.rob[idx].op, self.rob[idx].spec);
                 let value = match op {
                     Op::Load { addr, .. } => self.resolve_value(addr, mem),
@@ -375,7 +390,11 @@ impl Core {
                 slot.value = Some(value);
                 slot.class = Some(c.class);
                 if spec {
-                    let mark = if matches!(op, Op::Rmw { .. }) { SpecMark::Write } else { SpecMark::Read };
+                    let mark = if matches!(op, Op::Rmw { .. }) {
+                        SpecMark::Write
+                    } else {
+                        SpecMark::Read
+                    };
                     let block = self.geometry.block_of(op.addr().expect("mem op"));
                     if !l1.mark_spec(now, mark, block, fabric) {
                         // Line vanished between fill and mark: conservative
@@ -389,7 +408,9 @@ impl Core {
                 }
             } else if let Some(seq) = self.inflight_sb.remove(&rid) {
                 // Store drain completed: it must be the SB head.
-                let Some(pos) = self.sb.iter().position(|e| e.seq == seq) else { continue };
+                let Some(pos) = self.sb.iter().position(|e| e.seq == seq) else {
+                    continue;
+                };
                 debug_assert_eq!(pos, 0, "stores drain in order");
                 let entry = self.sb.remove(pos).expect("position found");
                 if entry.spec {
@@ -483,7 +504,9 @@ impl Core {
                 }
                 let head = self.rob.pop_front().expect("peeked");
                 self.attribute_wait(&head);
-                let Op::Store { addr, value, tag } = head.op else { unreachable!() };
+                let Op::Store { addr, value, tag } = head.op else {
+                    unreachable!()
+                };
                 self.sb.push_back(SbEntry {
                     seq: head.seq,
                     addr,
@@ -621,7 +644,8 @@ impl Core {
                         ],
                         ConsistencyModel::Tso => {
                             vec![DrainCond::OpDone(
-                                self.older_incomplete_rmw(now, seq).expect("rule failed on rmw"),
+                                self.older_incomplete_rmw(now, seq)
+                                    .expect("rule failed on rmw"),
                             )]
                         }
                         ConsistencyModel::Rmo => unreachable!("RMO loads never stall on ordering"),
@@ -655,7 +679,13 @@ impl Core {
                     SameAddrHazard::Clear => {}
                 }
                 // Store-buffer forwarding (same word).
-                if let Some(v) = self.sb.iter().rev().find(|e| e.addr == addr).map(|e| e.value) {
+                if let Some(v) = self
+                    .sb
+                    .iter()
+                    .rev()
+                    .find(|e| e.addr == addr)
+                    .map(|e| e.value)
+                {
                     let done = Some(now.after(self.hit_latency));
                     let idx = self.push_slot(seq, op, done, spec, None);
                     self.rob[idx].value = Some(v);
@@ -663,7 +693,13 @@ impl Core {
                     return true;
                 }
                 let req = self.fresh_req();
-                match l1.request(now, req, AccessKind::Read, self.geometry.block_of(addr), fabric) {
+                match l1.request(
+                    now,
+                    req,
+                    AccessKind::Read,
+                    self.geometry.block_of(addr),
+                    fabric,
+                ) {
                     Ok(()) => {
                         self.inflight_rob.insert(req.0, seq);
                         self.push_slot(seq, op, None, spec, None);
@@ -684,8 +720,10 @@ impl Core {
                 };
                 let mut spec = speculating;
                 if !ordering_ok {
-                    let conds =
-                        vec![DrainCond::NoLoadsBefore(seq), DrainCond::NoStoresBefore(seq)];
+                    let conds = vec![
+                        DrainCond::NoLoadsBefore(seq),
+                        DrainCond::NoStoresBefore(seq),
+                    ];
                     if !self.request_spec(now, seq, op, &conds) {
                         let kind = if self.model == ConsistencyModel::Sc {
                             StallKind::ScOrder
@@ -702,7 +740,13 @@ impl Core {
                     return false;
                 }
                 let req = self.fresh_req();
-                match l1.request(now, req, AccessKind::Write, self.geometry.block_of(addr), fabric) {
+                match l1.request(
+                    now,
+                    req,
+                    AccessKind::Write,
+                    self.geometry.block_of(addr),
+                    fabric,
+                ) {
                     Ok(()) => {
                         self.inflight_rob.insert(req.0, seq);
                         self.push_slot(seq, op, None, spec, None);
@@ -720,7 +764,10 @@ impl Core {
     fn fence_conditions(&self, kind: FenceKind, seq: u64) -> Vec<DrainCond> {
         match kind {
             FenceKind::Full => {
-                vec![DrainCond::NoLoadsBefore(seq), DrainCond::NoStoresBefore(seq)]
+                vec![
+                    DrainCond::NoLoadsBefore(seq),
+                    DrainCond::NoStoresBefore(seq),
+                ]
             }
             // Acquire and (simplified) Release both wait on older loads;
             // stores are already ordered by the in-order store buffer.
@@ -732,7 +779,9 @@ impl Core {
     /// this starts a new epoch.
     fn request_spec(&mut self, now: Cycle, seq: u64, op: Op, conds: &[DrainCond]) -> bool {
         let was_speculating = self.engine.speculating();
-        let Some((&first, rest)) = conds.split_first() else { return false };
+        let Some((&first, rest)) = conds.split_first() else {
+            return false;
+        };
         if !self.engine.request_speculation(now, seq, first) {
             return false;
         }
@@ -762,7 +811,15 @@ impl Core {
         spec: bool,
         value: Option<u64>,
     ) -> usize {
-        self.rob.push_back(Slot { seq, op, done, spec, value, waited: 0, class: None });
+        self.rob.push_back(Slot {
+            seq,
+            op,
+            done,
+            spec,
+            value,
+            waited: 0,
+            class: None,
+        });
         self.staged = None;
         if op.consumes() {
             self.awaiting = Some(seq);
@@ -774,7 +831,9 @@ impl Core {
     }
 
     fn drain_sb(&mut self, now: Cycle, l1: &mut L1Controller, fabric: &mut Fabric<CoherenceMsg>) {
-        let Some(head) = self.sb.front_mut() else { return };
+        let Some(head) = self.sb.front_mut() else {
+            return;
+        };
         if head.req.is_some() {
             return; // drain in flight
         }
@@ -842,6 +901,13 @@ impl Core {
         self.staged = Some((seq, cp.replay_op));
         self.clear_backoff_on = Some(seq);
         self.acct.bump("core.rollbacks");
+        self.tracer.instant(
+            now,
+            u32::from(self.id.0),
+            TraceCategory::Spec,
+            "spec.rollback",
+            start,
+        );
     }
 
     fn finish_check(&mut self, now: Cycle, l1: &mut L1Controller, mem: &mut ArchMem) {
@@ -895,7 +961,45 @@ impl Core {
         }
     }
 
-    fn account(&mut self, _now: Cycle, retired: usize) {
+    /// Extends or closes the current consistency-stall trace span. A stall
+    /// span covers consecutive cycles blocked on the same [`StallKind`];
+    /// it is emitted when the run ends (or the kind changes).
+    fn trace_stall(&mut self, now: Cycle, current: Option<StallKind>) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        match (self.stall_run, current) {
+            (Some((kind, run)), Some(cur)) if kind == cur => {
+                self.stall_run = Some((kind, run + 1));
+            }
+            (open, cur) => {
+                if let Some((kind, run)) = open {
+                    let name = match kind {
+                        StallKind::Fence => "stall.fence",
+                        StallKind::ScOrder => "stall.sc_order",
+                        StallKind::Atomic => "stall.atomic",
+                        StallKind::SbFull => "stall.sb_full",
+                    };
+                    self.tracer.span(
+                        now,
+                        run,
+                        u32::from(self.id.0),
+                        TraceCategory::Fence,
+                        name,
+                        0,
+                    );
+                }
+                self.stall_run = cur.map(|kind| (kind, 1));
+            }
+        }
+    }
+
+    fn account(&mut self, now: Cycle, retired: usize) {
+        let stall = match self.block {
+            TickBlock::Stall(kind, _) if retired == 0 => Some(kind),
+            _ => None,
+        };
+        self.trace_stall(now, stall);
         if retired > 0 {
             self.acct.bump(account::BUSY);
             return;

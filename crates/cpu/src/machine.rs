@@ -4,6 +4,7 @@
 use tenways_coherence::{DirectoryBank, L1Controller, ProtocolConfig};
 use tenways_core::SpecConfig;
 use tenways_noc::Fabric;
+use tenways_sim::trace::Tracer;
 use tenways_sim::{Clock, CoreId, Cycle, Histogram, MachineConfig, StatSet};
 
 use crate::archmem::ArchMem;
@@ -69,6 +70,27 @@ pub struct RunSummary {
     pub retired_ops: u64,
 }
 
+impl tenways_sim::json::ToJson for RunSummary {
+    fn to_json(&self) -> tenways_sim::json::Json {
+        use tenways_sim::json::Json;
+        Json::obj([
+            ("cycles", Json::U64(self.cycles)),
+            ("finished", Json::Bool(self.finished)),
+            (
+                "core_done_at",
+                Json::Arr(
+                    self.core_done_at
+                        .iter()
+                        .map(|d| d.map_or(Json::Null, Json::U64))
+                        .collect(),
+                ),
+            ),
+            ("retired_ops", Json::U64(self.retired_ops)),
+            ("throughput", Json::F64(self.throughput())),
+        ])
+    }
+}
+
 impl RunSummary {
     /// Retired operations per cycle across the whole machine.
     pub fn throughput(&self) -> f64 {
@@ -131,6 +153,18 @@ impl Machine {
     /// The machine description.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Attaches an event tracer to every instrumented component (cores,
+    /// directory banks, fabric). Clones of the handle share one buffer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for core in &mut self.cores {
+            core.set_tracer(tracer.clone());
+        }
+        for dir in &mut self.dirs {
+            dir.set_tracer(tracer.clone());
+        }
+        self.fabric.set_tracer(tracer);
     }
 
     /// Current simulated time.

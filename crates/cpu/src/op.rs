@@ -138,7 +138,10 @@ impl Op {
 
     /// Whether the program asked to consume this op's result.
     pub fn consumes(&self) -> bool {
-        matches!(self, Op::Load { consume: true, .. } | Op::Rmw { consume: true, .. })
+        matches!(
+            self,
+            Op::Load { consume: true, .. } | Op::Rmw { consume: true, .. }
+        )
     }
 
     /// The attribution tag (Data for non-memory ops).
@@ -151,12 +154,20 @@ impl Op {
 
     /// Convenience: an untagged, unconsumed data load.
     pub fn load(addr: Addr) -> Op {
-        Op::Load { addr, tag: MemTag::Data, consume: false }
+        Op::Load {
+            addr,
+            tag: MemTag::Data,
+            consume: false,
+        }
     }
 
     /// Convenience: an untagged data store.
     pub fn store(addr: Addr, value: u64) -> Op {
-        Op::Store { addr, value, tag: MemTag::Data }
+        Op::Store {
+            addr,
+            value,
+            tag: MemTag::Data,
+        }
     }
 }
 
@@ -197,7 +208,11 @@ pub struct ScriptProgram {
 impl ScriptProgram {
     /// Creates a program that emits `ops` in order, then finishes.
     pub fn new(ops: impl Into<Vec<Op>>) -> Self {
-        ScriptProgram { ops: ops.into().into(), pos: 0, consumed: Vec::new() }
+        ScriptProgram {
+            ops: ops.into().into(),
+            pos: 0,
+            consumed: Vec::new(),
+        }
     }
 }
 
@@ -230,8 +245,22 @@ mod tests {
     fn rmw_semantics() {
         assert_eq!(RmwOp::FetchAdd(3).apply(4), 7);
         assert_eq!(RmwOp::Swap(9).apply(4), 9);
-        assert_eq!(RmwOp::Cas { expected: 4, desired: 1 }.apply(4), 1);
-        assert_eq!(RmwOp::Cas { expected: 5, desired: 1 }.apply(4), 4);
+        assert_eq!(
+            RmwOp::Cas {
+                expected: 4,
+                desired: 1
+            }
+            .apply(4),
+            1
+        );
+        assert_eq!(
+            RmwOp::Cas {
+                expected: 5,
+                desired: 1
+            }
+            .apply(4),
+            4
+        );
         assert_eq!(RmwOp::FetchAdd(1).apply(u64::MAX), 0, "wrapping");
     }
 
@@ -244,7 +273,12 @@ mod tests {
         assert_eq!(l.tag(), MemTag::Data);
         assert!(!Op::Compute(3).is_mem());
         assert_eq!(Op::Fence(FenceKind::Full).addr(), None);
-        let c = Op::Rmw { addr: Addr(0), rmw: RmwOp::Swap(1), tag: MemTag::Lock, consume: true };
+        let c = Op::Rmw {
+            addr: Addr(0),
+            rmw: RmwOp::Swap(1),
+            tag: MemTag::Lock,
+            consume: true,
+        };
         assert!(c.consumes());
         assert_eq!(c.tag(), MemTag::Lock);
     }

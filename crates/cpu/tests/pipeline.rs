@@ -49,19 +49,31 @@ impl ThreadProgram for SpinReader {
         match self.state {
             0 => {
                 self.state = 1;
-                Some(Op::Load { addr: self.flag, tag: MemTag::Lock, consume: true })
+                Some(Op::Load {
+                    addr: self.flag,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
             }
             1 => {
                 if last == Some(self.want) {
                     self.state = 2;
                     Some(Op::Fence(FenceKind::Acquire))
                 } else {
-                    Some(Op::Load { addr: self.flag, tag: MemTag::Lock, consume: true })
+                    Some(Op::Load {
+                        addr: self.flag,
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
                 }
             }
             2 => {
                 self.state = 3;
-                Some(Op::Load { addr: self.data, tag: MemTag::Data, consume: true })
+                Some(Op::Load {
+                    addr: self.data,
+                    tag: MemTag::Data,
+                    consume: true,
+                })
             }
             _ => None,
         }
@@ -82,7 +94,11 @@ fn writer_script(flag: Addr, data: Addr) -> ScriptProgram {
         Op::Compute(300),
         Op::store(data, 42),
         Op::Fence(FenceKind::Release),
-        Op::Store { addr: flag, value: 1, tag: MemTag::Lock },
+        Op::Store {
+            addr: flag,
+            value: 1,
+            tag: MemTag::Lock,
+        },
     ])
 }
 
@@ -99,7 +115,12 @@ impl ThreadProgram for Incrementer {
             return None;
         }
         self.left -= 1;
-        Some(Op::Rmw { addr: self.counter, rmw: RmwOp::FetchAdd(1), tag: MemTag::Data, consume: false })
+        Some(Op::Rmw {
+            addr: self.counter,
+            rmw: RmwOp::FetchAdd(1),
+            tag: MemTag::Data,
+            consume: false,
+        })
     }
 
     fn snapshot(&self) -> Box<dyn ThreadProgram> {
@@ -120,7 +141,11 @@ fn single_core_script_completes_and_writes_memory() {
         Op::store(Addr(0x100), 7),
         Op::load(Addr(0x100)),
     ]);
-    let (m, s) = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(p)]);
+    let (m, s) = run(
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        vec![boxed(p)],
+    );
     assert_eq!(s.retired_ops, 3);
     assert_eq!(m.mem().read(Addr(0x100)), 7);
     assert!(s.cycles > 10, "compute latency must show");
@@ -130,9 +155,17 @@ fn single_core_script_completes_and_writes_memory() {
 fn store_buffer_forwarding_returns_own_store() {
     let p = ScriptProgram::new(vec![
         Op::store(Addr(0x40), 99),
-        Op::Load { addr: Addr(0x40), tag: MemTag::Data, consume: true },
+        Op::Load {
+            addr: Addr(0x40),
+            tag: MemTag::Data,
+            consume: true,
+        },
     ]);
-    let (m, _) = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(p)]);
+    let (m, _) = run(
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        vec![boxed(p)],
+    );
     // The consumed value is recorded in... we can't reach the ScriptProgram
     // after the run (it is owned by the core). Verify via memory instead:
     assert_eq!(m.mem().read(Addr(0x40)), 99);
@@ -141,7 +174,11 @@ fn store_buffer_forwarding_returns_own_store() {
 #[test]
 fn compute_only_program_finishes_in_about_its_latency() {
     let p = ScriptProgram::new(vec![Op::Compute(100)]);
-    let (_, s) = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(p)]);
+    let (_, s) = run(
+        ConsistencyModel::Rmo,
+        SpecConfig::disabled(),
+        vec![boxed(p)],
+    );
     assert!(s.cycles >= 100 && s.cycles < 140, "got {}", s.cycles);
 }
 
@@ -150,9 +187,18 @@ fn rmw_returns_old_value_and_applies_new() {
     let p = ScriptProgram::new(vec![
         Op::store(Addr(0x8), 5),
         Op::Fence(FenceKind::Full),
-        Op::Rmw { addr: Addr(0x8), rmw: RmwOp::FetchAdd(3), tag: MemTag::Data, consume: true },
+        Op::Rmw {
+            addr: Addr(0x8),
+            rmw: RmwOp::FetchAdd(3),
+            tag: MemTag::Data,
+            consume: true,
+        },
     ]);
-    let (m, _) = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(p)]);
+    let (m, _) = run(
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        vec![boxed(p)],
+    );
     assert_eq!(m.mem().read(Addr(0x8)), 8);
 }
 
@@ -161,18 +207,28 @@ fn cas_only_swaps_on_match() {
     let p = ScriptProgram::new(vec![
         Op::Rmw {
             addr: Addr(0x8),
-            rmw: RmwOp::Cas { expected: 0, desired: 11 },
+            rmw: RmwOp::Cas {
+                expected: 0,
+                desired: 11,
+            },
             tag: MemTag::Data,
             consume: false,
         },
         Op::Rmw {
             addr: Addr(0x8),
-            rmw: RmwOp::Cas { expected: 0, desired: 22 },
+            rmw: RmwOp::Cas {
+                expected: 0,
+                desired: 22,
+            },
             tag: MemTag::Data,
             consume: false,
         },
     ]);
-    let (m, _) = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(p)]);
+    let (m, _) = run(
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        vec![boxed(p)],
+    );
     assert_eq!(m.mem().read(Addr(0x8)), 11, "second CAS must fail");
 }
 
@@ -191,7 +247,11 @@ fn mem_heavy_script(base: u64, n: u64) -> ScriptProgram {
 #[test]
 fn sc_is_slower_than_tso_is_not_faster_than_rmo() {
     let cycles = |model| {
-        let (_, s) = run(model, SpecConfig::disabled(), vec![boxed(mem_heavy_script(0x1000, 64))]);
+        let (_, s) = run(
+            model,
+            SpecConfig::disabled(),
+            vec![boxed(mem_heavy_script(0x1000, 64))],
+        );
         s.cycles
     };
     let sc = cycles(ConsistencyModel::Sc);
@@ -206,8 +266,20 @@ fn full_fence_costs_cycles_under_rmo() {
     let plain: Vec<Op> = vec![Op::store(Addr(0), 1), Op::load(Addr(0x2000))];
     let mut fenced = plain.clone();
     fenced.insert(1, Op::Fence(FenceKind::Full));
-    let c_plain = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(plain))]).1.cycles;
-    let c_fenced = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(fenced))]).1.cycles;
+    let c_plain = run(
+        ConsistencyModel::Rmo,
+        SpecConfig::disabled(),
+        vec![boxed(ScriptProgram::new(plain))],
+    )
+    .1
+    .cycles;
+    let c_fenced = run(
+        ConsistencyModel::Rmo,
+        SpecConfig::disabled(),
+        vec![boxed(ScriptProgram::new(fenced))],
+    )
+    .1
+    .cycles;
     assert!(
         c_fenced > c_plain,
         "fence must cost cycles: fenced {c_fenced} vs plain {c_plain}"
@@ -219,8 +291,20 @@ fn fences_are_free_under_sc() {
     let plain: Vec<Op> = vec![Op::store(Addr(0), 1), Op::load(Addr(0x2000))];
     let mut fenced = plain.clone();
     fenced.insert(1, Op::Fence(FenceKind::Full));
-    let c_plain = run(ConsistencyModel::Sc, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(plain))]).1.cycles;
-    let c_fenced = run(ConsistencyModel::Sc, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(fenced))]).1.cycles;
+    let c_plain = run(
+        ConsistencyModel::Sc,
+        SpecConfig::disabled(),
+        vec![boxed(ScriptProgram::new(plain))],
+    )
+    .1
+    .cycles;
+    let c_fenced = run(
+        ConsistencyModel::Sc,
+        SpecConfig::disabled(),
+        vec![boxed(ScriptProgram::new(fenced))],
+    )
+    .1
+    .cycles;
     assert_eq!(c_plain, c_fenced, "SC already orders everything");
 }
 
@@ -232,10 +316,30 @@ fn tso_atomic_drains_store_buffer() {
     for i in 0..12 {
         ops.push(Op::store(Addr(0x3000 + 64 * i), i));
     }
-    ops.push(Op::Rmw { addr: Addr(0x9000), rmw: RmwOp::FetchAdd(1), tag: MemTag::Data, consume: true });
-    let tso = run(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(ops.clone()))]).1.cycles;
-    let rmo = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(ops))]).1.cycles;
-    assert!(tso > rmo, "TSO {tso} should pay for the atomic, RMO {rmo} not");
+    ops.push(Op::Rmw {
+        addr: Addr(0x9000),
+        rmw: RmwOp::FetchAdd(1),
+        tag: MemTag::Data,
+        consume: true,
+    });
+    let tso = run(
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        vec![boxed(ScriptProgram::new(ops.clone()))],
+    )
+    .1
+    .cycles;
+    let rmo = run(
+        ConsistencyModel::Rmo,
+        SpecConfig::disabled(),
+        vec![boxed(ScriptProgram::new(ops))],
+    )
+    .1
+    .cycles;
+    assert!(
+        tso > rmo,
+        "TSO {tso} should pay for the atomic, RMO {rmo} not"
+    );
 }
 
 // ---------- multi-core communication ----------
@@ -247,7 +351,12 @@ fn message_passing_flag_protocol_works() {
     for model in ConsistencyModel::all() {
         let programs: Vec<Box<dyn ThreadProgram>> = vec![
             boxed(writer_script(flag, data)),
-            boxed(SpinReader { flag, data, want: 1, state: 0 }),
+            boxed(SpinReader {
+                flag,
+                data,
+                want: 1,
+                state: 0,
+            }),
         ];
         let (m, _) = run(model, SpecConfig::disabled(), programs);
         assert_eq!(m.mem().read(data), 42, "under {model}");
@@ -270,7 +379,11 @@ fn atomic_increments_are_atomic_across_cores() {
 #[test]
 fn atomic_increments_survive_speculation() {
     let counter = Addr(0x400);
-    for spec in [SpecConfig::on_demand(), SpecConfig::continuous(), SpecConfig::per_store(8)] {
+    for spec in [
+        SpecConfig::on_demand(),
+        SpecConfig::continuous(),
+        SpecConfig::per_store(8),
+    ] {
         for model in ConsistencyModel::all() {
             let programs: Vec<Box<dyn ThreadProgram>> = (0..4)
                 .map(|_| boxed(Incrementer { counter, left: 50 }))
@@ -293,7 +406,12 @@ fn message_passing_survives_speculation() {
         for model in ConsistencyModel::all() {
             let programs: Vec<Box<dyn ThreadProgram>> = vec![
                 boxed(writer_script(flag, data)),
-                boxed(SpinReader { flag, data, want: 1, state: 0 }),
+                boxed(SpinReader {
+                    flag,
+                    data,
+                    want: 1,
+                    state: 0,
+                }),
             ];
             let (m, _) = run(model, spec, programs);
             assert_eq!(m.mem().read(data), 42, "under {model} with {spec:?}");
@@ -306,10 +424,19 @@ fn message_passing_survives_speculation() {
 #[test]
 fn speculation_recovers_most_of_the_sc_gap() {
     let prog = || boxed(mem_heavy_script(0x1000, 64));
-    let sc_base = run(ConsistencyModel::Sc, SpecConfig::disabled(), vec![prog()]).1.cycles;
-    let sc_spec = run(ConsistencyModel::Sc, SpecConfig::on_demand(), vec![prog()]).1.cycles;
-    let rmo = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![prog()]).1.cycles;
-    assert!(sc_spec < sc_base, "speculation must help SC: {sc_spec} vs {sc_base}");
+    let sc_base = run(ConsistencyModel::Sc, SpecConfig::disabled(), vec![prog()])
+        .1
+        .cycles;
+    let sc_spec = run(ConsistencyModel::Sc, SpecConfig::on_demand(), vec![prog()])
+        .1
+        .cycles;
+    let rmo = run(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![prog()])
+        .1
+        .cycles;
+    assert!(
+        sc_spec < sc_base,
+        "speculation must help SC: {sc_spec} vs {sc_base}"
+    );
     // InvisiFence's headline: speculative SC approaches RMO.
     let gap_base = sc_base as f64 / rmo as f64;
     let gap_spec = sc_spec as f64 / rmo as f64;
@@ -374,9 +501,20 @@ fn per_store_cap_stalls_more_than_block_granularity() {
         }
         boxed(ScriptProgram::new(ops))
     };
-    let unlimited = run(ConsistencyModel::Rmo, SpecConfig::on_demand(), vec![prog()]).1.cycles;
-    let capped = run(ConsistencyModel::Rmo, SpecConfig::per_store(2), vec![prog()]).1.cycles;
-    assert!(capped >= unlimited, "cap must not be faster: {capped} vs {unlimited}");
+    let unlimited = run(ConsistencyModel::Rmo, SpecConfig::on_demand(), vec![prog()])
+        .1
+        .cycles;
+    let capped = run(
+        ConsistencyModel::Rmo,
+        SpecConfig::per_store(2),
+        vec![prog()],
+    )
+    .1
+    .cycles;
+    assert!(
+        capped >= unlimited,
+        "cap must not be faster: {capped} vs {unlimited}"
+    );
 }
 
 // ---------- accounting invariants ----------
@@ -399,7 +537,10 @@ fn cycle_buckets_sum_to_active_cycles() {
             .map(|(_, v)| v)
             .sum();
         let done = m.core(core).done_at().unwrap().as_u64();
-        assert_eq!(total, done, "core {core} buckets {total} != active cycles {done}");
+        assert_eq!(
+            total, done,
+            "core {core} buckets {total} != active cycles {done}"
+        );
     }
 }
 

@@ -12,9 +12,18 @@ fn boxed(p: impl ThreadProgram + 'static) -> Box<dyn ThreadProgram> {
     Box::new(p)
 }
 
-fn machine(model: ConsistencyModel, spec: SpecConfig, programs: Vec<Box<dyn ThreadProgram>>) -> Machine {
-    let cfg = MachineConfig::builder().cores(programs.len()).build().unwrap();
-    let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+fn machine(
+    model: ConsistencyModel,
+    spec: SpecConfig,
+    programs: Vec<Box<dyn ThreadProgram>>,
+) -> Machine {
+    let cfg = MachineConfig::builder()
+        .cores(programs.len())
+        .build()
+        .unwrap();
+    let ms = MachineSpec::baseline(model)
+        .with_machine(cfg)
+        .with_spec(spec);
     Machine::new(&ms, programs)
 }
 
@@ -51,14 +60,22 @@ fn rollback_reexecutes_ops_from_the_checkpoint() {
     for i in 0..10 {
         ops.push(Op::load(shared.offset(i * 8))); // same block: conflict bait
     }
-    let victim = CountingProgram { ops: ops.clone(), pos: 0, emitted: emitted.clone() };
+    let victim = CountingProgram {
+        ops: ops.clone(),
+        pos: 0,
+        emitted: emitted.clone(),
+    };
     let attacker = ScriptProgram::new(vec![
         Op::Compute(40),
         Op::store(shared, 99),
         Op::Compute(40),
         Op::store(shared, 100),
     ]);
-    let mut m = machine(ConsistencyModel::Rmo, SpecConfig::on_demand(), vec![boxed(victim), boxed(attacker)]);
+    let mut m = machine(
+        ConsistencyModel::Rmo,
+        SpecConfig::on_demand(),
+        vec![boxed(victim), boxed(attacker)],
+    );
     let s = m.run(1_000_000);
     assert!(s.finished);
     let stats = m.merged_stats();
@@ -89,11 +106,23 @@ fn backoff_reexecution_is_non_speculative() {
     };
     let attacker = ScriptProgram::new(vec![
         Op::Compute(30),
-        Op::Load { addr: shared, tag: MemTag::Data, consume: false },
+        Op::Load {
+            addr: shared,
+            tag: MemTag::Data,
+            consume: false,
+        },
         Op::Compute(30),
-        Op::Load { addr: shared, tag: MemTag::Data, consume: false },
+        Op::Load {
+            addr: shared,
+            tag: MemTag::Data,
+            consume: false,
+        },
     ]);
-    let mut m = machine(ConsistencyModel::Rmo, SpecConfig::on_demand(), vec![mk_victim(), boxed(attacker)]);
+    let mut m = machine(
+        ConsistencyModel::Rmo,
+        SpecConfig::on_demand(),
+        vec![mk_victim(), boxed(attacker)],
+    );
     let s = m.run(1_000_000);
     assert!(s.finished);
     let stats = m.merged_stats();
@@ -136,11 +165,19 @@ fn load_forwards_from_older_rob_store() {
     let a = Addr(0x2000);
     let p = ScriptProgram::new(vec![
         Op::store(a, 77),
-        Op::Load { addr: a, tag: MemTag::Data, consume: true },
+        Op::Load {
+            addr: a,
+            tag: MemTag::Data,
+            consume: true,
+        },
         // The consumed value steers nothing here, but consume forces the
         // core to resolve it.
     ]);
-    let mut m = machine(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(p)]);
+    let mut m = machine(
+        ConsistencyModel::Rmo,
+        SpecConfig::disabled(),
+        vec![boxed(p)],
+    );
     let s = m.run(100_000);
     assert!(s.finished);
     assert_eq!(m.mem().read(a), 77);
@@ -161,11 +198,20 @@ fn load_waits_for_older_same_address_rmw() {
             match self.phase {
                 0 => {
                     self.phase = 1;
-                    Some(Op::Rmw { addr: self.addr, rmw: RmwOp::FetchAdd(5), tag: MemTag::Data, consume: false })
+                    Some(Op::Rmw {
+                        addr: self.addr,
+                        rmw: RmwOp::FetchAdd(5),
+                        tag: MemTag::Data,
+                        consume: false,
+                    })
                 }
                 1 => {
                     self.phase = 2;
-                    Some(Op::Load { addr: self.addr, tag: MemTag::Data, consume: true })
+                    Some(Op::Load {
+                        addr: self.addr,
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
                 }
                 2 => {
                     self.observed.set(last.expect("consumed value"));
@@ -181,7 +227,11 @@ fn load_waits_for_older_same_address_rmw() {
     for model in ConsistencyModel::all() {
         for spec in [SpecConfig::disabled(), SpecConfig::on_demand()] {
             let observed = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
-            let p = RmwThenRead { addr: Addr(0x2040), phase: 0, observed: observed.clone() };
+            let p = RmwThenRead {
+                addr: Addr(0x2040),
+                phase: 0,
+                observed: observed.clone(),
+            };
             let mut m = machine(model, spec, vec![boxed(p)]);
             let s = m.run(100_000);
             assert!(s.finished);
@@ -205,7 +255,9 @@ fn epoch_cap_bounds_wasted_work() {
     };
     let mut m = machine(
         ConsistencyModel::Rmo,
-        SpecConfig::on_demand().with_max_epoch_ops(8).without_adaptive_backoff(),
+        SpecConfig::on_demand()
+            .with_max_epoch_ops(8)
+            .without_adaptive_backoff(),
         vec![mk(0x4000), mk(0x8000)],
     );
     let s = m.run(2_000_000);
@@ -214,7 +266,10 @@ fn epoch_cap_bounds_wasted_work() {
     let rollbacks = stats.get("spec.rollbacks");
     if rollbacks > 0 {
         let mean_waste = stats.get("spec.wasted_ops") as f64 / rollbacks as f64;
-        assert!(mean_waste <= 9.0, "mean wasted ops {mean_waste} exceeds cap+1");
+        assert!(
+            mean_waste <= 9.0,
+            "mean wasted ops {mean_waste} exceeds cap+1"
+        );
     }
 }
 
@@ -225,7 +280,11 @@ fn disabled_speculation_never_opens_epochs() {
         Op::Fence(FenceKind::Full),
         Op::load(Addr(0x100)),
     ]);
-    let mut m = machine(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(p)]);
+    let mut m = machine(
+        ConsistencyModel::Rmo,
+        SpecConfig::disabled(),
+        vec![boxed(p)],
+    );
     m.run(100_000);
     assert_eq!(m.merged_stats().get("spec.epochs"), 0);
 }
@@ -237,7 +296,11 @@ fn spec_depth_histogram_populates_under_sc() {
         ops.push(Op::load(Addr(0x1000 + (i % 8) * 64)));
         ops.push(Op::store(Addr(0x2000 + (i % 8) * 64), i));
     }
-    let mut m = machine(ConsistencyModel::Sc, SpecConfig::on_demand(), vec![boxed(ScriptProgram::new(ops))]);
+    let mut m = machine(
+        ConsistencyModel::Sc,
+        SpecConfig::on_demand(),
+        vec![boxed(ScriptProgram::new(ops))],
+    );
     let s = m.run(1_000_000);
     assert!(s.finished);
     let depth = m.spec_depth();
@@ -251,11 +314,19 @@ fn sb_occupancy_histogram_tracks_pressure() {
     for i in 0..64 {
         ops.push(Op::store(Addr(0x1000 + i * 64), i));
     }
-    let mut m = machine(ConsistencyModel::Tso, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(ops))]);
+    let mut m = machine(
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        vec![boxed(ScriptProgram::new(ops))],
+    );
     let s = m.run(1_000_000);
     assert!(s.finished);
     let occ = m.sb_occupancy();
-    assert!(occ.max() >= 2, "a store burst must fill the SB: max {}", occ.max());
+    assert!(
+        occ.max() >= 2,
+        "a store burst must fill the SB: max {}",
+        occ.max()
+    );
     assert!(occ.max() <= 16, "SB occupancy cannot exceed capacity");
 }
 
@@ -271,7 +342,11 @@ fn fence_kinds_have_ordered_costs_under_rmo() {
             }
             ops.push(Op::load(Addr(0x9000 + i * 64)));
         }
-        let mut m = machine(ConsistencyModel::Rmo, SpecConfig::disabled(), vec![boxed(ScriptProgram::new(ops))]);
+        let mut m = machine(
+            ConsistencyModel::Rmo,
+            SpecConfig::disabled(),
+            vec![boxed(ScriptProgram::new(ops))],
+        );
         let s = m.run(1_000_000);
         assert!(s.finished);
         s.cycles
@@ -282,7 +357,10 @@ fn fence_kinds_have_ordered_costs_under_rmo() {
     let full = cycles(Some(FenceKind::Full));
     assert!(full >= release, "full {full} < release {release}");
     assert!(full >= acquire, "full {full} < acquire {acquire}");
-    assert!(full > none, "full fence must cost something: {full} vs {none}");
+    assert!(
+        full > none,
+        "full fence must cost something: {full} vs {none}"
+    );
 }
 
 #[test]
@@ -295,7 +373,11 @@ fn continuous_mode_still_commits_at_program_end() {
         Op::Fence(FenceKind::Full), // opens an epoch under RMO
         Op::store(a, 42),
     ]);
-    let mut m = machine(ConsistencyModel::Rmo, SpecConfig::continuous(), vec![boxed(p)]);
+    let mut m = machine(
+        ConsistencyModel::Rmo,
+        SpecConfig::continuous(),
+        vec![boxed(p)],
+    );
     let s = m.run(100_000);
     assert!(s.finished);
     assert_eq!(m.mem().read(a), 42, "final commit must publish the store");
@@ -311,7 +393,11 @@ fn violations_on_committed_epochs_are_stale() {
         Op::Compute(500), // idle long enough for the commit to land
     ]);
     let writer = ScriptProgram::new(vec![Op::Compute(200), Op::store(a, 9)]);
-    let mut m = machine(ConsistencyModel::Rmo, SpecConfig::on_demand(), vec![boxed(reader), boxed(writer)]);
+    let mut m = machine(
+        ConsistencyModel::Rmo,
+        SpecConfig::on_demand(),
+        vec![boxed(reader), boxed(writer)],
+    );
     let s = m.run(1_000_000);
     assert!(s.finished);
     assert_eq!(m.mem().read(a), 9);

@@ -1,11 +1,10 @@
 //! Set-associative cache arrays: [`CacheArray`], [`CacheParams`],
 //! [`Replacement`].
 
-use serde::{Deserialize, Serialize};
 use tenways_sim::{BlockAddr, DetRng};
 
 /// Replacement policy for a [`CacheArray`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Replacement {
     /// True least-recently-used (per-way timestamps).
     Lru,
@@ -16,7 +15,7 @@ pub enum Replacement {
 }
 
 /// Validated organization of a [`CacheArray`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheParams {
     sets: usize,
     ways: usize,
@@ -115,7 +114,13 @@ impl<T> CacheArray<T> {
                 plru: vec![false; params.ways.saturating_sub(1)],
             })
             .collect();
-        CacheArray { params, sets, tick: 0, rng: DetRng::seed(seed).split("cache-array"), occupied: 0 }
+        CacheArray {
+            params,
+            sets,
+            tick: 0,
+            rng: DetRng::seed(seed).split("cache-array"),
+            occupied: 0,
+        }
     }
 
     /// The array's organization.
@@ -193,14 +198,22 @@ impl<T> CacheArray<T> {
             .iter()
             .position(|w| w.as_ref().is_some_and(|w| w.block == block))
         {
-            set.ways[idx] = Some(Way { block, payload, stamp: tick });
+            set.ways[idx] = Some(Way {
+                block,
+                payload,
+                stamp: tick,
+            });
             Self::touch_plru(&mut set.plru, idx, ways);
             return None;
         }
 
         // Free way available.
         if let Some(idx) = set.ways.iter().position(Option::is_none) {
-            set.ways[idx] = Some(Way { block, payload, stamp: tick });
+            set.ways[idx] = Some(Way {
+                block,
+                payload,
+                stamp: tick,
+            });
             Self::touch_plru(&mut set.plru, idx, ways);
             self.occupied += 1;
             return None;
@@ -220,10 +233,17 @@ impl<T> CacheArray<T> {
         };
         let set = &mut self.sets[si];
         let victim = set.ways[victim_idx]
-            .replace(Way { block, payload, stamp: tick })
+            .replace(Way {
+                block,
+                payload,
+                stamp: tick,
+            })
             .expect("victim way was occupied");
         Self::touch_plru(&mut set.plru, victim_idx, ways);
-        Some(Evicted { block: victim.block, payload: victim.payload })
+        Some(Evicted {
+            block: victim.block,
+            payload: victim.payload,
+        })
     }
 
     /// Picks the victim that [`CacheArray::insert`] of a non-resident block
@@ -231,7 +251,11 @@ impl<T> CacheArray<T> {
     /// `None` if the set still has a free way or the block is resident.
     pub fn victim_preview(&self, block: BlockAddr) -> Option<BlockAddr> {
         let set = &self.sets[self.set_index(block)];
-        if set.ways.iter().any(|w| w.as_ref().is_some_and(|w| w.block == block)) {
+        if set
+            .ways
+            .iter()
+            .any(|w| w.as_ref().is_some_and(|w| w.block == block))
+        {
             return None;
         }
         if set.ways.iter().any(Option::is_none) {
@@ -447,7 +471,8 @@ mod tests {
     #[test]
     fn random_replacement_is_deterministic() {
         let run = |seed| {
-            let mut c: CacheArray<u32> = CacheArray::with_seed(params(1, 4, Replacement::Random), seed);
+            let mut c: CacheArray<u32> =
+                CacheArray::with_seed(params(1, 4, Replacement::Random), seed);
             for i in 0..4 {
                 c.insert(BlockAddr(i), 0);
             }
@@ -511,54 +536,70 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use tenways_sim::DetRng;
 
-    proptest! {
-        /// Occupancy never exceeds capacity and len() tracks reality.
-        #[test]
-        fn occupancy_invariant(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
-            let mut c: CacheArray<u64> = CacheArray::new(CacheParams::new(4, 2, Replacement::Lru).unwrap());
-            for (blk, insert) in ops {
-                if insert {
+    /// Occupancy never exceeds capacity and len() tracks reality.
+    #[test]
+    fn occupancy_invariant() {
+        for case in 0..32u64 {
+            let mut rng = DetRng::seed(0xCAC4E).split("occupancy").split_index(case);
+            let n = rng.range(1, 200);
+            let mut c: CacheArray<u64> =
+                CacheArray::new(CacheParams::new(4, 2, Replacement::Lru).unwrap());
+            for _ in 0..n {
+                let blk = rng.below(64);
+                if rng.chance(0.5) {
                     c.insert(BlockAddr(blk), blk);
                 } else {
                     c.remove(BlockAddr(blk));
                 }
-                prop_assert!(c.len() <= c.params().blocks());
-                prop_assert_eq!(c.len(), c.iter().count());
+                assert!(c.len() <= c.params().blocks(), "case {case}: over capacity");
+                assert_eq!(c.len(), c.iter().count(), "case {case}: len out of sync");
             }
         }
+    }
 
-        /// After an insert the block is always resident, and an eviction only
-        /// happens when the set was full of *other* blocks.
-        #[test]
-        fn insert_makes_resident(blocks in proptest::collection::vec(0u64..32, 1..100)) {
-            let mut c: CacheArray<u64> = CacheArray::new(CacheParams::new(2, 2, Replacement::TreePlru).unwrap());
-            for b in blocks {
+    /// After an insert the block is always resident, and an eviction only
+    /// happens when the set was full of *other* blocks.
+    #[test]
+    fn insert_makes_resident() {
+        for case in 0..32u64 {
+            let mut rng = DetRng::seed(0xCAC4E).split("resident").split_index(case);
+            let n = rng.range(1, 100);
+            let mut c: CacheArray<u64> =
+                CacheArray::new(CacheParams::new(2, 2, Replacement::TreePlru).unwrap());
+            for _ in 0..n {
+                let b = rng.below(32);
                 let ev = c.insert(BlockAddr(b), b);
-                prop_assert!(c.peek(BlockAddr(b)).is_some());
+                assert!(c.peek(BlockAddr(b)).is_some(), "case {case}: not resident");
                 if let Some(ev) = ev {
-                    prop_assert_ne!(ev.block, BlockAddr(b));
+                    assert_ne!(ev.block, BlockAddr(b), "case {case}: evicted itself");
                     // victim came from the same set
-                    prop_assert_eq!(ev.block.as_u64() & 1, b & 1);
+                    assert_eq!(
+                        ev.block.as_u64() & 1,
+                        b & 1,
+                        "case {case}: cross-set victim"
+                    );
                 }
             }
         }
+    }
 
-        /// A resident block's payload survives unrelated traffic.
-        #[test]
-        fn get_returns_inserted_payload(seed in 0u64..1000) {
-            let mut c: CacheArray<u64> = CacheArray::with_seed(
-                CacheParams::new(8, 4, Replacement::Random).unwrap(), seed);
+    /// A resident block's payload survives unrelated traffic.
+    #[test]
+    fn get_returns_inserted_payload() {
+        for seed in 0..100u64 {
+            let mut c: CacheArray<u64> =
+                CacheArray::with_seed(CacheParams::new(8, 4, Replacement::Random).unwrap(), seed);
             c.insert(BlockAddr(3), 333);
             // Traffic to other sets only.
             for i in 0..100u64 {
                 let b = i * 8; // set 0
                 c.insert(BlockAddr(b), b);
             }
-            prop_assert_eq!(c.peek(BlockAddr(3)), Some(&333));
+            assert_eq!(c.peek(BlockAddr(3)), Some(&333), "seed {seed}");
         }
     }
 }

@@ -6,11 +6,10 @@
 //! accesses to the same bank serialize while accesses to different banks
 //! overlap — the memory-level-parallelism effect).
 
-use serde::{Deserialize, Serialize};
 use tenways_sim::{BlockAddr, Cycle, StatSet};
 
 /// Validated DRAM organization and timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramParams {
     banks: usize,
     latency: u64,
@@ -29,7 +28,11 @@ impl DramParams {
         if banks == 0 || !banks.is_power_of_two() || occupancy == 0 {
             return None;
         }
-        Some(DramParams { banks, latency, occupancy })
+        Some(DramParams {
+            banks,
+            latency,
+            occupancy,
+        })
     }
 
     /// Number of banks.
@@ -159,7 +162,9 @@ mod tests {
     #[test]
     fn different_banks_overlap() {
         let mut d = dram(4, 100, 20);
-        let times: Vec<Cycle> = (0..4).map(|b| d.access(Cycle::ZERO, BlockAddr(b))).collect();
+        let times: Vec<Cycle> = (0..4)
+            .map(|b| d.access(Cycle::ZERO, BlockAddr(b)))
+            .collect();
         assert!(times.iter().all(|&t| t == Cycle::new(100)));
         assert_eq!(d.stats().get("dram.bank_conflicts"), 0);
     }

@@ -64,7 +64,10 @@ impl<W> MshrFile<W> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        MshrFile { capacity, entries: BTreeMap::new() }
+        MshrFile {
+            capacity,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Registers a request for `block`.
@@ -83,8 +86,13 @@ impl<W> MshrFile<W> {
         if self.entries.len() >= self.capacity {
             return Err(MshrError::Full);
         }
-        self.entries
-            .insert(block.as_u64(), MshrEntry { block, waiters: vec![waiter] });
+        self.entries.insert(
+            block.as_u64(),
+            MshrEntry {
+                block,
+                waiters: vec![waiter],
+            },
+        );
         Ok(true)
     }
 
@@ -103,8 +111,13 @@ impl<W> MshrFile<W> {
         if self.entries.len() >= self.capacity {
             return Err(MshrError::Full);
         }
-        self.entries
-            .insert(block.as_u64(), MshrEntry { block, waiters: Vec::new() });
+        self.entries.insert(
+            block.as_u64(),
+            MshrEntry {
+                block,
+                waiters: Vec::new(),
+            },
+        );
         Ok(true)
     }
 

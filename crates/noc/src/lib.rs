@@ -38,6 +38,7 @@
 
 use std::collections::VecDeque;
 
+use tenways_sim::trace::{TraceCategory, Tracer, NOC_TID};
 use tenways_sim::{Cycle, NodeId, StatSet};
 
 /// Physical organization of the interconnect: determines per-message
@@ -67,7 +68,11 @@ impl Topology {
     pub fn latency(&self, src: NodeId, dst: NodeId) -> u64 {
         match *self {
             Topology::Crossbar { latency } => latency,
-            Topology::Mesh { width, hop_latency, router_latency } => {
+            Topology::Mesh {
+                width,
+                hop_latency,
+                router_latency,
+            } => {
                 let w = width.max(1);
                 let (sx, sy) = (src.index() % w, src.index() / w);
                 let (dx, dy) = (dst.index() % w, dst.index() / w);
@@ -133,6 +138,7 @@ pub struct Fabric<P> {
     inbox: Vec<VecDeque<Envelope<P>>>,
     last_tick: Cycle,
     stats: StatSet,
+    tracer: Tracer,
 }
 
 impl<P> Fabric<P> {
@@ -158,7 +164,10 @@ impl<P> Fabric<P> {
         accept_bw: usize,
     ) -> Self {
         assert!(nodes > 0, "fabric needs at least one node");
-        assert!(inject_bw > 0 && accept_bw > 0, "bandwidths must be non-zero");
+        assert!(
+            inject_bw > 0 && accept_bw > 0,
+            "bandwidths must be non-zero"
+        );
         Fabric {
             topology,
             inject_bw,
@@ -168,7 +177,14 @@ impl<P> Fabric<P> {
             inbox: (0..nodes).map(|_| VecDeque::new()).collect(),
             last_tick: Cycle::ZERO,
             stats: StatSet::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an event tracer; queueing delays are recorded as spans on
+    /// the fabric's timeline row.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Builds a fabric sized for a [`tenways_sim::MachineConfig`]; honors
@@ -185,7 +201,9 @@ impl<P> Fabric<P> {
                 router_latency: 2,
             }
         } else {
-            Topology::Crossbar { latency: cfg.noc_latency }
+            Topology::Crossbar {
+                latency: cfg.noc_latency,
+            }
         };
         Fabric::with_topology(nodes, topology, cfg.noc_inject_bw, cfg.noc_accept_bw)
     }
@@ -228,12 +246,23 @@ impl<P> Fabric<P> {
         // Injection stage.
         for src in 0..self.inject_q.len() {
             for _ in 0..self.inject_bw {
-                let Some((sent, dst, payload)) = self.inject_q[src].pop_front() else { break };
+                let Some((sent, dst, payload)) = self.inject_q[src].pop_front() else {
+                    break;
+                };
                 let inject_wait = now - sent;
                 if inject_wait > 1 {
                     // A message sent at cycle t naturally injects at t+1;
                     // anything beyond that is contention.
-                    self.stats.bump_by("noc.inject_queue_cycles", inject_wait - 1);
+                    self.stats
+                        .bump_by("noc.inject_queue_cycles", inject_wait - 1);
+                    self.tracer.span(
+                        now,
+                        inject_wait - 1,
+                        NOC_TID,
+                        TraceCategory::Noc,
+                        "noc.inject_queue",
+                        src as u64,
+                    );
                 }
                 let deliver_at = now.after(self.topology.latency(NodeId(src as u16), dst));
                 // Insert keeping the queue sorted by deliver time (stable:
@@ -242,16 +271,19 @@ impl<P> Fabric<P> {
                 // latency and monotone injection times).
                 let q = &mut self.flight[dst.index()];
                 let pos = q.partition_point(|f| f.deliver_at <= deliver_at);
-                q.insert(pos, InFlight {
-                    deliver_at,
-                    env: Envelope {
-                        src: NodeId(src as u16),
-                        dst,
-                        sent,
-                        delivered: Cycle::NEVER,
-                        payload,
+                q.insert(
+                    pos,
+                    InFlight {
+                        deliver_at,
+                        env: Envelope {
+                            src: NodeId(src as u16),
+                            dst,
+                            sent,
+                            delivered: Cycle::NEVER,
+                            payload,
+                        },
                     },
-                });
+                );
             }
         }
 
@@ -267,6 +299,14 @@ impl<P> Fabric<P> {
                 let accept_wait = now - head.deliver_at;
                 if accept_wait > 0 {
                     self.stats.bump_by("noc.accept_queue_cycles", accept_wait);
+                    self.tracer.span(
+                        now,
+                        accept_wait,
+                        NOC_TID,
+                        TraceCategory::Noc,
+                        "noc.accept_queue",
+                        dst as u64,
+                    );
                 }
                 let mut env = head.env;
                 env.delivered = now;
@@ -465,7 +505,11 @@ mod mesh_tests {
 
     #[test]
     fn mesh_latency_is_manhattan() {
-        let t = Topology::Mesh { width: 3, hop_latency: 2, router_latency: 1 };
+        let t = Topology::Mesh {
+            width: 3,
+            hop_latency: 2,
+            router_latency: 1,
+        };
         // Node layout: 0 1 2 / 3 4 5 / 6 7 8
         assert_eq!(t.latency(NodeId(0), NodeId(0)), 1);
         assert_eq!(t.latency(NodeId(0), NodeId(1)), 3);
@@ -484,15 +528,27 @@ mod mesh_tests {
 
     #[test]
     fn mesh_diameter_grows_with_size() {
-        let t = Topology::Mesh { width: 4, hop_latency: 1, router_latency: 0 };
+        let t = Topology::Mesh {
+            width: 4,
+            hop_latency: 1,
+            router_latency: 0,
+        };
         assert_eq!(t.diameter_latency(16), 6, "corner to corner of 4x4");
         assert!(t.diameter_latency(16) > t.diameter_latency(4));
     }
 
     #[test]
     fn mesh_fabric_delivers_far_later_than_near() {
-        let mut f: Fabric<u8> =
-            Fabric::with_topology(9, Topology::Mesh { width: 3, hop_latency: 2, router_latency: 1 }, 2, 2);
+        let mut f: Fabric<u8> = Fabric::with_topology(
+            9,
+            Topology::Mesh {
+                width: 3,
+                hop_latency: 2,
+                router_latency: 1,
+            },
+            2,
+            2,
+        );
         f.send(Cycle::ZERO, NodeId(1), NodeId(0), 1); // 1 hop: latency 3
         f.send(Cycle::ZERO, NodeId(8), NodeId(0), 8); // 4 hops: latency 9
         let mut got = Vec::new();
@@ -509,8 +565,16 @@ mod mesh_tests {
 
     #[test]
     fn mesh_preserves_same_pair_fifo() {
-        let mut f: Fabric<u32> =
-            Fabric::with_topology(9, Topology::Mesh { width: 3, hop_latency: 2, router_latency: 1 }, 1, 4);
+        let mut f: Fabric<u32> = Fabric::with_topology(
+            9,
+            Topology::Mesh {
+                width: 3,
+                hop_latency: 2,
+                router_latency: 1,
+            },
+            1,
+            4,
+        );
         for i in 0..6 {
             f.send(Cycle::ZERO, NodeId(8), NodeId(0), i);
         }
@@ -524,10 +588,16 @@ mod mesh_tests {
 
     #[test]
     fn for_machine_honors_mesh_flag() {
-        let cfg = tenways_sim::MachineConfig::builder().mesh(true).build().unwrap();
+        let cfg = tenways_sim::MachineConfig::builder()
+            .mesh(true)
+            .build()
+            .unwrap();
         let f: Fabric<u8> = Fabric::for_machine(&cfg);
         assert!(matches!(f.topology(), Topology::Mesh { .. }));
-        let cfg = tenways_sim::MachineConfig::builder().mesh(false).build().unwrap();
+        let cfg = tenways_sim::MachineConfig::builder()
+            .mesh(false)
+            .build()
+            .unwrap();
         let f: Fabric<u8> = Fabric::for_machine(&cfg);
         assert!(matches!(f.topology(), Topology::Crossbar { .. }));
     }

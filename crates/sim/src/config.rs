@@ -4,9 +4,8 @@
 //! so downstream components can rely on its invariants — non-zero core counts,
 //! power-of-two cache organizations, and a consistent interconnect topology.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{BlockGeometry, CoreId, NodeId};
+use crate::json::{Json, ToJson};
 
 /// Errors produced when building an invalid [`MachineConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +49,7 @@ impl std::error::Error for ConfigError {}
 /// assert_eq!(cfg.l1_sets * cfg.l1_ways * cfg.block_geometry().block_bytes() as usize, 16 * 1024);
 /// # Ok::<(), tenways_sim::config::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Number of cores (each with a private L1).
     pub cores: usize,
@@ -93,7 +92,9 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// Starts a builder initialized with the default machine.
     pub fn builder() -> MachineConfigBuilder {
-        MachineConfigBuilder { cfg: MachineConfig::default() }
+        MachineConfigBuilder {
+            cfg: MachineConfig::default(),
+        }
     }
 
     /// The block geometry implied by [`Self::block_bytes`].
@@ -108,7 +109,10 @@ impl MachineConfig {
 
     /// The interconnect topology implied by this machine.
     pub fn node_ids(&self) -> NodeLayout {
-        NodeLayout { cores: self.cores, dir_banks: self.dir_banks }
+        NodeLayout {
+            cores: self.cores,
+            dir_banks: self.dir_banks,
+        }
     }
 
     /// Total interconnect endpoints (cores + directory banks).
@@ -119,6 +123,122 @@ impl MachineConfig {
     /// Iterator over all core ids.
     pub fn core_ids(&self) -> impl Iterator<Item = CoreId> + '_ {
         (0..self.cores as u16).map(CoreId)
+    }
+
+    /// Checks the configuration invariants (also enforced by
+    /// [`MachineConfigBuilder::build`]). Useful after mutating a validated
+    /// config, e.g. when a runner overrides the core count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field if any
+    /// count is zero, any power-of-two field isn't, or the machine is too
+    /// large to address.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let c = self;
+        for (v, name) in [
+            (c.cores, "cores"),
+            (c.l1_sets, "l1_sets"),
+            (c.l1_ways, "l1_ways"),
+            (c.dir_banks, "dir_banks"),
+            (c.dram_banks, "dram_banks"),
+            (c.rob_entries, "rob_entries"),
+            (c.sb_entries, "sb_entries"),
+            (c.width, "width"),
+            (c.mshrs, "mshrs"),
+            (c.noc_inject_bw, "noc_inject_bw"),
+            (c.noc_accept_bw, "noc_accept_bw"),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::Zero(name));
+            }
+        }
+        if c.block_bytes == 0 || !c.block_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("block_bytes"));
+        }
+        if !c.l1_sets.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("l1_sets"));
+        }
+        if !c.dir_banks.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("dir_banks"));
+        }
+        if !c.dram_banks.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("dram_banks"));
+        }
+        if c.cores + c.dir_banks > u16::MAX as usize {
+            return Err(ConfigError::TooManyCores(c.cores));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for MachineConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cores", Json::from(self.cores)),
+            ("block_bytes", Json::from(self.block_bytes)),
+            ("l1_sets", Json::from(self.l1_sets)),
+            ("l1_ways", Json::from(self.l1_ways)),
+            ("l1_hit_latency", Json::from(self.l1_hit_latency)),
+            ("dir_banks", Json::from(self.dir_banks)),
+            ("dir_latency", Json::from(self.dir_latency)),
+            ("dram_banks", Json::from(self.dram_banks)),
+            ("dram_latency", Json::from(self.dram_latency)),
+            ("dram_occupancy", Json::from(self.dram_occupancy)),
+            ("noc_latency", Json::from(self.noc_latency)),
+            ("noc_inject_bw", Json::from(self.noc_inject_bw)),
+            ("noc_accept_bw", Json::from(self.noc_accept_bw)),
+            ("noc_mesh", Json::from(self.noc_mesh)),
+            ("rob_entries", Json::from(self.rob_entries)),
+            ("sb_entries", Json::from(self.sb_entries)),
+            ("width", Json::from(self.width)),
+            ("mshrs", Json::from(self.mshrs)),
+        ])
+    }
+}
+
+impl MachineConfig {
+    /// Overlays fields from a JSON object onto `self`. Unknown keys and
+    /// mistyped values are errors; absent keys keep their current value.
+    /// Invariants are *not* re-checked here — call [`Self::validate`] after
+    /// the last overlay.
+    pub fn apply_json(&mut self, doc: &Json) -> Result<(), String> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| format!("machine section must be an object, got {}", doc.type_name()))?;
+        for (key, value) in pairs {
+            let uint = || {
+                value
+                    .as_u64()
+                    .ok_or_else(|| format!("machine.{key} must be an integer"))
+            };
+            match key.as_str() {
+                "cores" => self.cores = uint()? as usize,
+                "block_bytes" => self.block_bytes = uint()? as u32,
+                "l1_sets" => self.l1_sets = uint()? as usize,
+                "l1_ways" => self.l1_ways = uint()? as usize,
+                "l1_hit_latency" => self.l1_hit_latency = uint()?,
+                "dir_banks" => self.dir_banks = uint()? as usize,
+                "dir_latency" => self.dir_latency = uint()?,
+                "dram_banks" => self.dram_banks = uint()? as usize,
+                "dram_latency" => self.dram_latency = uint()?,
+                "dram_occupancy" => self.dram_occupancy = uint()?,
+                "noc_latency" => self.noc_latency = uint()?,
+                "noc_inject_bw" => self.noc_inject_bw = uint()? as usize,
+                "noc_accept_bw" => self.noc_accept_bw = uint()? as usize,
+                "noc_mesh" => {
+                    self.noc_mesh = value
+                        .as_bool()
+                        .ok_or_else(|| "machine.noc_mesh must be a bool".to_string())?
+                }
+                "rob_entries" => self.rob_entries = uint()? as usize,
+                "sb_entries" => self.sb_entries = uint()? as usize,
+                "width" => self.width = uint()? as usize,
+                "mshrs" => self.mshrs = uint()? as usize,
+                other => return Err(format!("unknown machine field `{other}`")),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -302,40 +422,8 @@ impl MachineConfigBuilder {
     /// count is zero, any power-of-two field isn't, or the machine is too
     /// large to address.
     pub fn build(self) -> Result<MachineConfig, ConfigError> {
-        let c = self.cfg;
-        for (v, name) in [
-            (c.cores, "cores"),
-            (c.l1_sets, "l1_sets"),
-            (c.l1_ways, "l1_ways"),
-            (c.dir_banks, "dir_banks"),
-            (c.dram_banks, "dram_banks"),
-            (c.rob_entries, "rob_entries"),
-            (c.sb_entries, "sb_entries"),
-            (c.width, "width"),
-            (c.mshrs, "mshrs"),
-            (c.noc_inject_bw, "noc_inject_bw"),
-            (c.noc_accept_bw, "noc_accept_bw"),
-        ] {
-            if v == 0 {
-                return Err(ConfigError::Zero(name));
-            }
-        }
-        if c.block_bytes == 0 || !c.block_bytes.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo("block_bytes"));
-        }
-        if !c.l1_sets.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo("l1_sets"));
-        }
-        if !c.dir_banks.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo("dir_banks"));
-        }
-        if !c.dram_banks.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo("dram_banks"));
-        }
-        if c.cores + c.dir_banks > u16::MAX as usize {
-            return Err(ConfigError::TooManyCores(c.cores));
-        }
-        Ok(c)
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -383,7 +471,11 @@ mod tests {
 
     #[test]
     fn node_layout_roundtrips() {
-        let cfg = MachineConfig::builder().cores(4).directory(2, 10).build().unwrap();
+        let cfg = MachineConfig::builder()
+            .cores(4)
+            .directory(2, 10)
+            .build()
+            .unwrap();
         let layout = cfg.node_ids();
         assert_eq!(layout.core_node(CoreId(3)), NodeId(3));
         assert_eq!(layout.dir_node(0), NodeId(4));
@@ -412,5 +504,29 @@ mod tests {
     fn config_clone_eq() {
         let cfg = MachineConfig::default();
         assert_eq!(cfg.clone(), cfg);
+    }
+
+    #[test]
+    fn validate_matches_builder() {
+        let mut cfg = MachineConfig::builder().cores(4).build().unwrap();
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.cores = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::Zero("cores")));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = MachineConfig::builder()
+            .cores(16)
+            .mesh(true)
+            .build()
+            .unwrap();
+        let doc = cfg.to_json();
+        let mut decoded = MachineConfig::default();
+        decoded.apply_json(&doc).unwrap();
+        assert_eq!(decoded, cfg);
+        assert!(decoded
+            .apply_json(&crate::json::Json::obj([("bogus", 1u64.into())]))
+            .is_err());
     }
 }

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, measured in clock cycles since reset.
 ///
 /// `Cycle` is a newtype over `u64` so that timestamps cannot be confused with
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(end, Cycle::new(125));
 /// assert_eq!(end - start, 25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(u64);
 
 impl Cycle {
@@ -148,7 +146,11 @@ mod tests {
         let a = Cycle::new(7);
         assert_eq!(a + 3, Cycle::new(10));
         assert_eq!((a + 3) - a, 3);
-        assert_eq!(a.since(Cycle::new(100)), 0, "saturates instead of panicking");
+        assert_eq!(
+            a.since(Cycle::new(100)),
+            0,
+            "saturates instead of panicking"
+        );
     }
 
     #[test]

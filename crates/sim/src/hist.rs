@@ -7,8 +7,6 @@
 //! hundred cycles when bucketed at the right width). Percentiles are computed
 //! by inverse-CDF walk.
 
-use serde::{Deserialize, Serialize};
-
 /// A linear histogram with `buckets` buckets of width `bucket_width` and an
 /// overflow bucket.
 ///
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.percentile(50.0), 2);
 /// assert!(h.mean() > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bucket_width: u64,
     counts: Vec<u64>,
@@ -131,8 +129,15 @@ impl Histogram {
     ///
     /// Panics if bucket counts or widths differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -155,7 +160,10 @@ impl Histogram {
                 continue;
             }
             seen += c;
-            out.push(((i as u64 + 1) * self.bucket_width - 1, seen as f64 / self.total as f64));
+            out.push((
+                (i as u64 + 1) * self.bucket_width - 1,
+                seen as f64 / self.total as f64,
+            ));
         }
         if self.overflow > 0 {
             out.push((self.max, 1.0));
@@ -168,6 +176,30 @@ impl Default for Histogram {
     /// 64 buckets of width 1 — suitable for small occupancies.
     fn default() -> Self {
         Histogram::new(64, 1)
+    }
+}
+
+impl crate::json::ToJson for Histogram {
+    /// Summary form: count/mean/max, key percentiles, and the non-empty
+    /// buckets as `[edge, count]` pairs.
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("count", Json::U64(self.count())),
+            ("mean", Json::F64(self.mean())),
+            ("max", Json::U64(self.max())),
+            ("p50", Json::U64(self.percentile(50.0))),
+            ("p90", Json::U64(self.percentile(90.0))),
+            ("p99", Json::U64(self.percentile(99.0))),
+            (
+                "buckets",
+                Json::Arr(
+                    self.iter()
+                        .map(|(edge, c)| Json::arr([Json::U64(edge), Json::U64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -7,10 +7,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one simulated core (and its private L1, which shares the id).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoreId(pub u16);
 
 impl CoreId {
@@ -31,7 +29,7 @@ impl fmt::Display for CoreId {
 /// Cores/L1s occupy node ids `0..cores`; directory banks, DRAM channels and
 /// any future endpoints are assigned ids above that by the machine topology
 /// (see [`crate::config::MachineConfig::node_ids`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -55,7 +53,7 @@ impl From<CoreId> for NodeId {
 }
 
 /// A byte address in the simulated physical address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -82,7 +80,7 @@ impl fmt::LowerHex for Addr {
 ///
 /// Produced only via [`BlockGeometry::block_of`], so a `BlockAddr` always
 /// agrees with the machine's block size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockAddr(pub u64);
 
 impl BlockAddr {
@@ -112,7 +110,7 @@ impl fmt::Display for BlockAddr {
 /// assert_ne!(geom.block_of(Addr(0x1040)), geom.block_of(b));
 /// assert_eq!(geom.base_of(geom.block_of(a)), Addr(0x1000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockGeometry {
     block_bytes: u32,
     shift: u32,
@@ -128,7 +126,10 @@ impl BlockGeometry {
         if block_bytes == 0 || !block_bytes.is_power_of_two() {
             return None;
         }
-        Some(BlockGeometry { block_bytes, shift: block_bytes.trailing_zeros() })
+        Some(BlockGeometry {
+            block_bytes,
+            shift: block_bytes.trailing_zeros(),
+        })
     }
 
     /// The block size in bytes.

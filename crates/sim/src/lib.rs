@@ -37,8 +37,11 @@
 pub mod config;
 pub mod hist;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod toml;
+pub mod trace;
 
 mod cycle;
 
@@ -46,5 +49,7 @@ pub use config::MachineConfig;
 pub use cycle::{Clock, Cycle};
 pub use hist::Histogram;
 pub use ids::{Addr, BlockAddr, BlockGeometry, CoreId, NodeId};
+pub use json::{validate_schema, Json, ToJson};
 pub use rng::DetRng;
 pub use stats::{Counter, StatSet};
+pub use trace::{TraceCategory, TraceEvent, Tracer};

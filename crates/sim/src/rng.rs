@@ -11,8 +11,6 @@
 //! stream from a label, so adding a new consumer never perturbs existing
 //! streams (unlike handing out consecutive draws from one global RNG).
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic 64-bit PRNG (SplitMix64) with labeled splitting.
 ///
 /// # Example
@@ -28,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(DetRng::seed(42).split("thread-0").next_u64(),
 ///            DetRng::seed(42).split("thread-0").next_u64());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetRng {
     state: u64,
 }
@@ -44,7 +42,9 @@ fn mix(mut z: u64) -> u64 {
 impl DetRng {
     /// Creates a generator from a seed.
     pub fn seed(seed: u64) -> Self {
-        DetRng { state: mix(seed ^ GOLDEN_GAMMA) }
+        DetRng {
+            state: mix(seed ^ GOLDEN_GAMMA),
+        }
     }
 
     /// Derives an independent child stream identified by `label`.
@@ -62,7 +62,9 @@ impl DetRng {
 
     /// Derives an independent child stream identified by an index.
     pub fn split_index(&self, index: u64) -> DetRng {
-        DetRng { state: mix(self.state ^ mix(index.wrapping_add(GOLDEN_GAMMA))) }
+        DetRng {
+            state: mix(self.state ^ mix(index.wrapping_add(GOLDEN_GAMMA))),
+        }
     }
 
     /// Next raw 64-bit value.

@@ -9,8 +9,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::Serialize;
-
 /// A single monotonically increasing event counter.
 ///
 /// # Example
@@ -23,7 +21,7 @@ use serde::Serialize;
 /// hits.add(3);
 /// assert_eq!(hits.get(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -81,7 +79,7 @@ impl From<u64> for Counter {
 /// assert_eq!(a.get("l1.miss"), 2);
 /// assert_eq!(a.get("unknown"), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatSet {
     counters: BTreeMap<&'static str, u64>,
 }
@@ -169,6 +167,13 @@ impl FromIterator<(&'static str, u64)> for StatSet {
         let mut s = StatSet::new();
         s.extend(iter);
         s
+    }
+}
+
+impl crate::json::ToJson for StatSet {
+    /// Counters as an object in stable (lexicographic) key order.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::obj(self.iter().map(|(k, v)| (k, crate::json::Json::U64(v))))
     }
 }
 

@@ -1,0 +1,299 @@
+//! One unified, serializable simulation configuration: [`SimConfig`].
+//!
+//! `SimConfig` gathers everything that defines a run — workload selection
+//! and sizing, consistency model, speculation, machine description,
+//! protocol options, energy constants, and the cycle limit — into a single
+//! struct that can be:
+//!
+//! * defaulted ([`SimConfig::default`]),
+//! * loaded from a TOML or JSON file ([`SimConfig::load`] /
+//!   [`SimConfig::from_toml_str`] / [`SimConfig::from_json_str`]),
+//! * overlaid field-by-field from a JSON tree ([`SimConfig::apply_json`] —
+//!   partial documents are fine, absent keys keep their values),
+//! * serialized back out ([`ToJson`]) for embedding in run records, and
+//! * turned into a runnable [`Experiment`](crate::Experiment) via
+//!   [`Experiment::from_config`](crate::Experiment::from_config).
+//!
+//! The CLI and the bench harness both build on this struct, so a config
+//! file, a `TENWAYS_*` environment override, and a command-line flag all
+//! funnel through the same decode path.
+//!
+//! ```rust
+//! use tenways_waste::SimConfig;
+//!
+//! let cfg = SimConfig::from_toml_str(r#"
+//! workload = "oltp"
+//! threads = 4
+//!
+//! [spec]
+//! mode = "on-demand"
+//! "#).unwrap();
+//! assert_eq!(cfg.threads, 4);
+//! let exp = tenways_waste::Experiment::from_config(&cfg).unwrap();
+//! let record = exp.run().unwrap();
+//! assert_eq!(record.label, "oltp");
+//! ```
+
+use tenways_coherence::ProtocolConfig;
+use tenways_core::SpecConfig;
+use tenways_cpu::ConsistencyModel;
+use tenways_sim::json::{Json, JsonError, ToJson};
+use tenways_sim::toml::parse_toml;
+use tenways_sim::MachineConfig;
+use tenways_workloads::WorkloadParams;
+
+use crate::energy::EnergyModel;
+
+/// Complete, serializable description of one simulation run.
+///
+/// See the [module docs](self) for the loading pipeline. Field semantics
+/// match the long-standing CLI flags: `workload` is a kernel name (or
+/// `"contended"`), `threads` sets both the workload's thread count and the
+/// machine's core count, and `conflict` only affects the contended
+/// microbenchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Workload name: one of the suite kernels or `"contended"`.
+    pub workload: String,
+    /// Simulated cores (= workload threads).
+    pub threads: usize,
+    /// Per-thread work units.
+    pub scale: u64,
+    /// Run seed.
+    pub seed: u64,
+    /// Conflict probability for the contended microbenchmark.
+    pub conflict: f64,
+    /// Consistency model all cores enforce.
+    pub model: ConsistencyModel,
+    /// Fence-speculation configuration.
+    pub spec: SpecConfig,
+    /// Hardware description (its core count is overridden by `threads` at
+    /// run time).
+    pub machine: MachineConfig,
+    /// Coherence protocol options.
+    pub protocol: ProtocolConfig,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Runs are cut off (not failed) at this many cycles.
+    pub cycle_limit: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            workload: "oltp".to_string(),
+            threads: 8,
+            scale: 8,
+            seed: 7,
+            conflict: 0.05,
+            model: ConsistencyModel::Tso,
+            spec: SpecConfig::disabled(),
+            machine: MachineConfig::default(),
+            protocol: ProtocolConfig::default(),
+            energy: EnergyModel::default(),
+            cycle_limit: 50_000_000,
+        }
+    }
+}
+
+/// An error loading or decoding a [`SimConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigLoadError {
+    /// The file could not be read.
+    Io(String),
+    /// The document did not parse as TOML or JSON.
+    Parse(String),
+    /// The document parsed but a field was unknown or mistyped.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ConfigLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigLoadError::Io(e) => write!(f, "cannot read config: {e}"),
+            ConfigLoadError::Parse(e) => write!(f, "cannot parse config: {e}"),
+            ConfigLoadError::Invalid(e) => write!(f, "invalid config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigLoadError {}
+
+impl From<JsonError> for ConfigLoadError {
+    fn from(e: JsonError) -> Self {
+        ConfigLoadError::Parse(e.to_string())
+    }
+}
+
+impl SimConfig {
+    /// Decodes a full JSON document, overlaying it onto the defaults.
+    pub fn from_json_str(text: &str) -> Result<SimConfig, ConfigLoadError> {
+        let doc = Json::parse(text)?;
+        let mut cfg = SimConfig::default();
+        cfg.apply_json(&doc).map_err(ConfigLoadError::Invalid)?;
+        Ok(cfg)
+    }
+
+    /// Decodes a TOML document, overlaying it onto the defaults.
+    pub fn from_toml_str(text: &str) -> Result<SimConfig, ConfigLoadError> {
+        let doc = parse_toml(text).map_err(|e| ConfigLoadError::Parse(e.to_string()))?;
+        let mut cfg = SimConfig::default();
+        cfg.apply_json(&doc).map_err(ConfigLoadError::Invalid)?;
+        Ok(cfg)
+    }
+
+    /// Loads a config file, choosing the format by extension (`.json` is
+    /// JSON, everything else is treated as TOML).
+    pub fn load(path: &std::path::Path) -> Result<SimConfig, ConfigLoadError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigLoadError::Io(format!("{}: {e}", path.display())))?;
+        if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+        {
+            SimConfig::from_json_str(&text)
+        } else {
+            SimConfig::from_toml_str(&text)
+        }
+    }
+
+    /// Overlays fields from a (possibly partial) JSON object onto `self`.
+    /// Unknown keys and mistyped values are errors; absent keys keep their
+    /// current value. Section values (`machine`, `spec`, `protocol`,
+    /// `energy`) are themselves overlaid field-by-field.
+    pub fn apply_json(&mut self, doc: &Json) -> Result<(), String> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| format!("config must be an object, got {}", doc.type_name()))?;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "workload" => {
+                    self.workload = value
+                        .as_str()
+                        .ok_or("workload must be a string")?
+                        .to_string()
+                }
+                "threads" => {
+                    self.threads = value.as_u64().ok_or("threads must be an integer")? as usize
+                }
+                "scale" => self.scale = value.as_u64().ok_or("scale must be an integer")?,
+                "seed" => self.seed = value.as_u64().ok_or("seed must be an integer")?,
+                "conflict" => self.conflict = value.as_f64().ok_or("conflict must be a number")?,
+                "model" => {
+                    let label = value.as_str().ok_or("model must be a string")?;
+                    self.model = ConsistencyModel::from_label(label)
+                        .ok_or_else(|| format!("unknown model `{label}`"))?;
+                }
+                "spec" => self.spec.apply_json(value)?,
+                "machine" => self.machine.apply_json(value)?,
+                "protocol" => self.protocol.apply_json(value)?,
+                "energy" => self.energy.apply_json(value)?,
+                "cycle_limit" => {
+                    self.cycle_limit = value.as_u64().ok_or("cycle_limit must be an integer")?
+                }
+                other => return Err(format!("unknown config field `{other}`")),
+            }
+        }
+        Ok(())
+    }
+
+    /// The workload sizing parameters these settings imply.
+    pub fn params(&self) -> WorkloadParams {
+        WorkloadParams {
+            threads: self.threads,
+            scale: self.scale,
+            seed: self.seed,
+        }
+    }
+}
+
+impl ToJson for SimConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(self.workload.clone())),
+            ("threads", Json::from(self.threads)),
+            ("scale", Json::from(self.scale)),
+            ("seed", Json::from(self.seed)),
+            ("conflict", Json::from(self.conflict)),
+            ("model", self.model.to_json()),
+            ("spec", self.spec.to_json()),
+            ("machine", self.machine.to_json()),
+            ("protocol", self.protocol.to_json()),
+            ("energy", self.energy.to_json()),
+            ("cycle_limit", Json::from(self.cycle_limit)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenways_core::SpecMode;
+
+    #[test]
+    fn default_round_trips_through_json() {
+        let cfg = SimConfig::default();
+        let text = cfg.to_json().to_string();
+        let back = SimConfig::from_json_str(&text).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn non_default_round_trips_through_json() {
+        let mut cfg = SimConfig {
+            workload: "contended".to_string(),
+            threads: 16,
+            conflict: 0.25,
+            model: ConsistencyModel::Sc,
+            spec: SpecConfig::per_store(12),
+            ..SimConfig::default()
+        };
+        cfg.machine.noc_mesh = true;
+        cfg.machine.dram_latency = 200;
+        cfg.protocol.grant_exclusive = false;
+        cfg.energy.dram_access_nj = 25.5;
+        cfg.cycle_limit = 1_000;
+        let back = SimConfig::from_json_str(&cfg.to_json().to_string()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn partial_toml_overlays_defaults() {
+        let cfg = SimConfig::from_toml_str(
+            "workload = \"radix\"\nseed = 0x7ea5\n\n[spec]\nmode = \"continuous\"\n\n[machine]\ncores = 4\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.workload, "radix");
+        assert_eq!(cfg.seed, 0x7ea5);
+        assert_eq!(cfg.spec.mode, SpecMode::Continuous);
+        assert_eq!(cfg.machine.cores, 4);
+        // Untouched fields keep their defaults.
+        assert_eq!(cfg.threads, SimConfig::default().threads);
+        assert_eq!(
+            cfg.machine.dram_latency,
+            SimConfig::default().machine.dram_latency
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        assert!(matches!(
+            SimConfig::from_json_str(r#"{"wrkload":"oltp"}"#),
+            Err(ConfigLoadError::Invalid(_))
+        ));
+        assert!(matches!(
+            SimConfig::from_json_str(r#"{"threads":"many"}"#),
+            Err(ConfigLoadError::Invalid(_))
+        ));
+        assert!(matches!(
+            SimConfig::from_json_str("not json"),
+            Err(ConfigLoadError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn spec_accepts_cli_shorthand_string() {
+        let cfg = SimConfig::from_json_str(r#"{"spec":"per-store:9"}"#).unwrap();
+        assert_eq!(cfg.spec, SpecConfig::per_store(9));
+    }
+}

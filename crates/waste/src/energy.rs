@@ -9,11 +9,10 @@
 //! register op, DRAM ~100× an L1 access, and moving a message across the
 //! die sits in between.
 
-use serde::{Deserialize, Serialize};
 use tenways_sim::StatSet;
 
 /// Per-event energy constants, in nanojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// One L1 access (hit or miss probe).
     pub l1_access_nj: f64,
@@ -43,7 +42,7 @@ impl Default for EnergyModel {
 }
 
 /// Where the Joules went in one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// L1 dynamic energy (nJ).
     pub l1_nj: f64,
@@ -114,6 +113,65 @@ impl EnergyReport {
     /// Energy-delay product (nJ · cycles), the classic combined metric.
     pub fn edp(&self) -> f64 {
         self.total_nj() * self.cycles as f64
+    }
+}
+
+impl tenways_sim::json::ToJson for EnergyModel {
+    fn to_json(&self) -> tenways_sim::json::Json {
+        use tenways_sim::json::Json;
+        Json::obj([
+            ("l1_access_nj", Json::F64(self.l1_access_nj)),
+            ("l2_access_nj", Json::F64(self.l2_access_nj)),
+            ("dram_access_nj", Json::F64(self.dram_access_nj)),
+            ("noc_msg_nj", Json::F64(self.noc_msg_nj)),
+            ("core_busy_cycle_nj", Json::F64(self.core_busy_cycle_nj)),
+            ("core_static_cycle_nj", Json::F64(self.core_static_cycle_nj)),
+        ])
+    }
+}
+
+impl EnergyModel {
+    /// Overlays fields from a JSON object onto `self`. Absent keys keep
+    /// their current value.
+    pub fn apply_json(&mut self, doc: &tenways_sim::json::Json) -> Result<(), String> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| format!("energy section must be an object, got {}", doc.type_name()))?;
+        for (key, value) in pairs {
+            let nj = || {
+                value
+                    .as_f64()
+                    .ok_or(format!("energy.{key} must be a number"))
+            };
+            match key.as_str() {
+                "l1_access_nj" => self.l1_access_nj = nj()?,
+                "l2_access_nj" => self.l2_access_nj = nj()?,
+                "dram_access_nj" => self.dram_access_nj = nj()?,
+                "noc_msg_nj" => self.noc_msg_nj = nj()?,
+                "core_busy_cycle_nj" => self.core_busy_cycle_nj = nj()?,
+                "core_static_cycle_nj" => self.core_static_cycle_nj = nj()?,
+                other => return Err(format!("unknown energy field `{other}`")),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl tenways_sim::json::ToJson for EnergyReport {
+    fn to_json(&self) -> tenways_sim::json::Json {
+        use tenways_sim::json::Json;
+        Json::obj([
+            ("l1_nj", Json::F64(self.l1_nj)),
+            ("l2_nj", Json::F64(self.l2_nj)),
+            ("dram_nj", Json::F64(self.dram_nj)),
+            ("noc_nj", Json::F64(self.noc_nj)),
+            ("core_dynamic_nj", Json::F64(self.core_dynamic_nj)),
+            ("static_nj", Json::F64(self.static_nj)),
+            ("retired_ops", Json::U64(self.retired_ops)),
+            ("cycles", Json::U64(self.cycles)),
+            ("total_nj", Json::F64(self.total_nj())),
+            ("ops_per_uj", Json::F64(self.ops_per_uj())),
+        ])
     }
 }
 

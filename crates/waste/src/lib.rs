@@ -34,7 +34,8 @@
 //! let record = Experiment::new(WorkloadKind::OceanLike)
 //!     .params(WorkloadParams { threads: 2, scale: 2, seed: 1 })
 //!     .model(ConsistencyModel::Tso)
-//!     .run();
+//!     .run()
+//!     .unwrap();
 //! assert!(record.summary.finished);
 //! let useful = record.breakdown.useful_fraction();
 //! assert!(useful > 0.0 && useful <= 1.0);
@@ -43,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
 pub mod energy;
 pub mod report;
 mod runner;
 mod taxonomy;
 
+pub use config::{ConfigLoadError, SimConfig};
 pub use energy::{EnergyModel, EnergyReport};
-pub use runner::{Experiment, RunRecord};
+pub use runner::{Experiment, ExperimentError, RunRecord, RUN_RECORD_SCHEMA_VERSION};
 pub use taxonomy::{WasteBreakdown, WasteCategory};

@@ -32,10 +32,7 @@ pub fn breakdown_table(records: &[RunRecord]) -> String {
 
 /// Renders a runtime comparison: rows are labels, columns are the given
 /// series, values are runtimes normalized to the **last** column.
-pub fn normalized_runtime_table(
-    series_names: &[&str],
-    rows: &[(String, Vec<u64>)],
-) -> String {
+pub fn normalized_runtime_table(series_names: &[&str], rows: &[(String, Vec<u64>)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{:<14}", "workload"));
     for name in series_names {
@@ -58,7 +55,16 @@ pub fn energy_table(records: &[RunRecord]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<22}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}{:>14}{:>12}{:>14}\n",
-        "workload", "l1 nJ", "l2 nJ", "dram nJ", "noc nJ", "core nJ", "static nJ", "total nJ", "ops/uJ", "EDP"
+        "workload",
+        "l1 nJ",
+        "l2 nJ",
+        "dram nJ",
+        "noc nJ",
+        "core nJ",
+        "static nJ",
+        "total nJ",
+        "ops/uJ",
+        "EDP"
     ));
     for r in records {
         let e = &r.energy;
@@ -120,9 +126,14 @@ mod tests {
 
     fn record() -> RunRecord {
         crate::Experiment::new(WorkloadKind::LuLike)
-            .params(WorkloadParams { threads: 2, scale: 1, seed: 0 })
+            .params(WorkloadParams {
+                threads: 2,
+                scale: 1,
+                seed: 0,
+            })
             .model(ConsistencyModel::Tso)
             .run()
+            .unwrap()
     }
 
     #[test]
@@ -136,10 +147,7 @@ mod tests {
 
     #[test]
     fn normalized_table_normalizes_to_last_column() {
-        let t = normalized_runtime_table(
-            &["SC", "RMO"],
-            &[("x".into(), vec![200, 100])],
-        );
+        let t = normalized_runtime_table(&["SC", "RMO"], &[("x".into(), vec![200, 100])]);
         assert!(t.contains("2.000"), "{t}");
         assert!(t.contains("1.000"), "{t}");
     }

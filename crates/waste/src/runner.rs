@@ -3,11 +3,44 @@
 
 use tenways_coherence::ProtocolConfig;
 use tenways_cpu::{ConsistencyModel, Machine, MachineSpec, RunSummary, SpecConfig};
+use tenways_sim::config::ConfigError;
+use tenways_sim::json::{Json, ToJson};
+use tenways_sim::trace::{TraceEvent, Tracer};
 use tenways_sim::{Histogram, MachineConfig, StatSet};
 use tenways_workloads::{contended_programs, ContendedParams, WorkloadKind, WorkloadParams};
 
+use crate::config::SimConfig;
 use crate::energy::{EnergyModel, EnergyReport};
 use crate::taxonomy::WasteBreakdown;
+
+/// Version of the serialized [`RunRecord`] JSON layout; bumped on any
+/// breaking change. Mirrored in `results/schema/run_record.v1.json`.
+pub const RUN_RECORD_SCHEMA_VERSION: u64 = 1;
+
+/// Why an [`Experiment`] could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The configured workload name matches no kernel (and isn't
+    /// `"contended"`).
+    UnknownWorkload(String),
+    /// The machine description is invalid (after the runner overrode its
+    /// core count with the thread count).
+    InvalidMachine(ConfigError),
+    /// Any other configuration problem.
+    Config(String),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            ExperimentError::InvalidMachine(e) => write!(f, "invalid machine: {e}"),
+            ExperimentError::Config(e) => write!(f, "invalid experiment: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
 
 /// What to simulate.
 #[derive(Debug, Clone)]
@@ -52,6 +85,42 @@ impl Experiment {
         e.input = Input::Contended(params);
         e.params.threads = threads;
         e
+    }
+
+    /// Builds an experiment from a unified [`SimConfig`].
+    ///
+    /// The config's `workload` selects a suite kernel by name, or the
+    /// contended microbenchmark when it is `"contended"` (sized
+    /// `ops_per_thread = 200 * scale`, matching the CLI's long-standing
+    /// mapping).
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::UnknownWorkload`] if the name matches nothing.
+    pub fn from_config(cfg: &SimConfig) -> Result<Experiment, ExperimentError> {
+        let base = if cfg.workload == "contended" {
+            Experiment::contended(ContendedParams {
+                threads: cfg.threads,
+                ops_per_thread: 200 * cfg.scale,
+                conflict_p: cfg.conflict,
+                hot_blocks: 4,
+                fence_period: 8,
+                seed: cfg.seed,
+            })
+        } else {
+            let kind = WorkloadKind::all()
+                .into_iter()
+                .find(|k| k.name() == cfg.workload)
+                .ok_or_else(|| ExperimentError::UnknownWorkload(cfg.workload.clone()))?;
+            Experiment::new(kind).params(cfg.params())
+        };
+        Ok(base
+            .machine(cfg.machine.clone())
+            .model(cfg.model)
+            .spec(cfg.spec)
+            .protocol(cfg.protocol)
+            .energy(cfg.energy)
+            .cycle_limit(cfg.cycle_limit))
     }
 
     /// Sets workload sizing (threads/scale/seed). Thread count must match
@@ -100,13 +169,42 @@ impl Experiment {
     }
 
     /// Runs the experiment.
-    pub fn run(&self) -> RunRecord {
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::InvalidMachine`] if the machine description is
+    /// invalid once its core count is overridden by the thread count (e.g.
+    /// zero threads), [`ExperimentError::Config`] for other bad sizings.
+    pub fn run(&self) -> Result<RunRecord, ExperimentError> {
+        self.run_with_tracer(Tracer::disabled())
+    }
+
+    /// Runs the experiment with event tracing enabled, returning the run
+    /// record together with the recorded events (oldest first, bounded by
+    /// `capacity` — the newest events win when the ring overflows).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::run`].
+    pub fn run_traced(
+        &self,
+        capacity: usize,
+    ) -> Result<(RunRecord, Vec<TraceEvent>), ExperimentError> {
+        let tracer = Tracer::enabled(capacity);
+        let record = self.run_with_tracer(tracer.clone())?;
+        Ok((record, tracer.drain()))
+    }
+
+    fn run_with_tracer(&self, tracer: Tracer) -> Result<RunRecord, ExperimentError> {
         let threads = match &self.input {
             Input::Kind(_) => self.params.threads,
             Input::Contended(p) => p.threads,
         };
         let mut machine_cfg = self.machine.clone();
         machine_cfg.cores = threads;
+        machine_cfg
+            .validate()
+            .map_err(ExperimentError::InvalidMachine)?;
         let programs = match &self.input {
             Input::Kind(kind) => {
                 let mut p = self.params;
@@ -115,6 +213,13 @@ impl Experiment {
             }
             Input::Contended(p) => contended_programs(p),
         };
+        if programs.len() != threads {
+            return Err(ExperimentError::Config(format!(
+                "workload built {} programs for {} threads",
+                programs.len(),
+                threads
+            )));
+        }
         let ms = MachineSpec {
             machine: machine_cfg,
             model: self.model,
@@ -122,6 +227,7 @@ impl Experiment {
             protocol: self.protocol,
         };
         let mut machine = Machine::new(&ms, programs);
+        machine.set_tracer(tracer);
         let summary = machine.run(self.cycle_limit);
         let stats = machine.merged_stats();
         let breakdown = WasteBreakdown::from_stats(&stats);
@@ -132,7 +238,7 @@ impl Experiment {
             threads,
             summary.retired_ops,
         );
-        RunRecord {
+        Ok(RunRecord {
             label: match &self.input {
                 Input::Kind(k) => k.name().to_string(),
                 Input::Contended(p) => format!("contended(p={})", p.conflict_p),
@@ -145,7 +251,7 @@ impl Experiment {
             energy,
             sb_occupancy: machine.sb_occupancy(),
             spec_depth: machine.spec_depth(),
-        }
+        })
     }
 }
 
@@ -170,6 +276,25 @@ pub struct RunRecord {
     pub sb_occupancy: Histogram,
     /// Speculation epoch depth distribution.
     pub spec_depth: Histogram,
+}
+
+impl ToJson for RunRecord {
+    /// The versioned results-schema layout (`schema_version` is
+    /// [`RUN_RECORD_SCHEMA_VERSION`]).
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::U64(RUN_RECORD_SCHEMA_VERSION)),
+            ("label", Json::from(self.label.clone())),
+            ("model", self.model.to_json()),
+            ("spec", self.spec.to_json()),
+            ("summary", self.summary.to_json()),
+            ("breakdown", self.breakdown.to_json()),
+            ("energy", self.energy.to_json()),
+            ("sb_occupancy", self.sb_occupancy.to_json()),
+            ("spec_depth", self.spec_depth.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
 }
 
 impl RunRecord {
@@ -197,8 +322,13 @@ mod tests {
     #[test]
     fn experiment_runs_and_reports() {
         let r = Experiment::new(WorkloadKind::LuLike)
-            .params(WorkloadParams { threads: 2, scale: 2, seed: 3 })
-            .run();
+            .params(WorkloadParams {
+                threads: 2,
+                scale: 2,
+                seed: 3,
+            })
+            .run()
+            .unwrap();
         assert!(r.summary.finished);
         assert!(r.breakdown.total() > 0);
         assert!(r.energy.total_nj() > 0.0);
@@ -212,7 +342,8 @@ mod tests {
             ops_per_thread: 100,
             ..ContendedParams::default()
         })
-        .run();
+        .run()
+        .unwrap();
         assert!(r.summary.finished);
         assert!(r.label.starts_with("contended"));
     }
@@ -220,13 +351,23 @@ mod tests {
     #[test]
     fn speedup_math() {
         let fast = Experiment::new(WorkloadKind::LuLike)
-            .params(WorkloadParams { threads: 2, scale: 2, seed: 3 })
+            .params(WorkloadParams {
+                threads: 2,
+                scale: 2,
+                seed: 3,
+            })
             .model(ConsistencyModel::Rmo)
-            .run();
+            .run()
+            .unwrap();
         let slow = Experiment::new(WorkloadKind::LuLike)
-            .params(WorkloadParams { threads: 2, scale: 2, seed: 3 })
+            .params(WorkloadParams {
+                threads: 2,
+                scale: 2,
+                seed: 3,
+            })
             .model(ConsistencyModel::Sc)
-            .run();
+            .run()
+            .unwrap();
         assert!(slow.runtime_vs(&fast) >= 1.0);
         assert!(fast.speedup_vs(&slow) >= 1.0);
     }
@@ -234,8 +375,136 @@ mod tests {
     #[test]
     fn machine_cores_follow_thread_count() {
         let r = Experiment::new(WorkloadKind::DssLike)
-            .params(WorkloadParams { threads: 3, scale: 1, seed: 0 })
-            .run();
+            .params(WorkloadParams {
+                threads: 3,
+                scale: 1,
+                seed: 0,
+            })
+            .run()
+            .unwrap();
         assert_eq!(r.summary.core_done_at.len(), 3);
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_error() {
+        let err = Experiment::new(WorkloadKind::LuLike)
+            .params(WorkloadParams {
+                threads: 0,
+                scale: 1,
+                seed: 0,
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::InvalidMachine(_)), "{err:?}");
+    }
+
+    #[test]
+    fn from_config_rejects_unknown_workload() {
+        let cfg = SimConfig {
+            workload: "quake".to_string(),
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            Experiment::from_config(&cfg).unwrap_err(),
+            ExperimentError::UnknownWorkload("quake".to_string())
+        );
+    }
+
+    #[test]
+    fn from_config_matches_builder_run() {
+        let cfg = SimConfig {
+            workload: "lu".to_string(),
+            threads: 2,
+            scale: 2,
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let via_config = Experiment::from_config(&cfg).unwrap().run().unwrap();
+        let via_builder = Experiment::new(WorkloadKind::LuLike)
+            .params(WorkloadParams {
+                threads: 2,
+                scale: 2,
+                seed: 3,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(via_config.summary, via_builder.summary);
+        assert_eq!(
+            via_config.to_json().to_string(),
+            via_builder.to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn run_record_json_round_trips_and_is_versioned() {
+        let r = Experiment::new(WorkloadKind::RadixLike)
+            .params(WorkloadParams {
+                threads: 2,
+                scale: 2,
+                seed: 1,
+            })
+            .run()
+            .unwrap();
+        let doc = r.to_json();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(RUN_RECORD_SCHEMA_VERSION)
+        );
+        // Value-level round trip: parse(render(doc)) == doc. (RunRecord
+        // holds `&'static str` stat keys, so the typed direction is not
+        // reconstructible — the JSON tree is the canonical serialized form.)
+        let reparsed = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(reparsed, doc);
+        assert_eq!(
+            doc.get("summary")
+                .and_then(|s| s.get("cycles"))
+                .and_then(Json::as_u64),
+            Some(r.summary.cycles)
+        );
+    }
+
+    #[test]
+    fn identical_configs_produce_identical_json() {
+        let cfg = SimConfig {
+            workload: "ocean".to_string(),
+            threads: 2,
+            scale: 2,
+            ..SimConfig::default()
+        };
+        let a = Experiment::from_config(&cfg).unwrap().run().unwrap();
+        let b = Experiment::from_config(&cfg).unwrap().run().unwrap();
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    #[test]
+    fn traced_run_yields_events_and_same_record() {
+        let exp = Experiment::new(WorkloadKind::OltpLike)
+            .params(WorkloadParams {
+                threads: 2,
+                scale: 2,
+                seed: 1,
+            })
+            .model(ConsistencyModel::Sc);
+        let (traced, events) = exp.run_traced(1 << 16).unwrap();
+        let untraced = exp.run().unwrap();
+        assert_eq!(
+            traced.summary, untraced.summary,
+            "tracing must not perturb timing"
+        );
+        assert_eq!(
+            traced.to_json().to_string(),
+            untraced.to_json().to_string(),
+            "tracing must not perturb the record"
+        );
+        assert!(
+            !events.is_empty(),
+            "an SC oltp run must produce stall events"
+        );
+        assert!(
+            events
+                .windows(2)
+                .all(|w| w[0].cycle <= w[1].cycle + w[1].dur + 1_000_000),
+            "events are roughly time-ordered"
+        );
     }
 }

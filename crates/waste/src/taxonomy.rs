@@ -114,7 +114,10 @@ impl WasteBreakdown {
         let mut cycles = [0u64; 11];
         for (key, v) in stats.iter() {
             if let Some(cat) = classify(key) {
-                let idx = WasteCategory::all().iter().position(|c| *c == cat).expect("in table");
+                let idx = WasteCategory::all()
+                    .iter()
+                    .position(|c| *c == cat)
+                    .expect("in table");
                 cycles[idx] += v;
             }
         }
@@ -130,7 +133,10 @@ impl WasteBreakdown {
 
     /// Cycles attributed to `cat`.
     pub fn get(&self, cat: WasteCategory) -> u64 {
-        let idx = WasteCategory::all().iter().position(|c| *c == cat).expect("in table");
+        let idx = WasteCategory::all()
+            .iter()
+            .position(|c| *c == cat)
+            .expect("in table");
         self.cycles[idx]
     }
 
@@ -169,6 +175,32 @@ impl WasteBreakdown {
         self.get(WasteCategory::ScOrdering)
             + self.get(WasteCategory::FenceStall)
             + self.get(WasteCategory::AtomicStall)
+    }
+}
+
+impl tenways_sim::json::ToJson for WasteBreakdown {
+    /// Categories keyed by their report labels, plus the overlays and
+    /// derived fractions.
+    fn to_json(&self) -> tenways_sim::json::Json {
+        use tenways_sim::json::Json;
+        let mut fields: Vec<(String, Json)> = self
+            .iter()
+            .map(|(cat, cycles)| (cat.label().to_string(), Json::U64(cycles)))
+            .collect();
+        fields.push((
+            "rollback_overlay".to_string(),
+            Json::U64(self.rollback_overlay),
+        ));
+        fields.push((
+            "noc_queue_overlay".to_string(),
+            Json::U64(self.noc_queue_overlay),
+        ));
+        fields.push(("total".to_string(), Json::U64(self.total())));
+        fields.push((
+            "useful_fraction".to_string(),
+            Json::F64(self.useful_fraction()),
+        ));
+        Json::Obj(fields)
     }
 }
 
@@ -231,10 +263,7 @@ mod tests {
 
     #[test]
     fn rollback_overlay_is_kept_out_of_total() {
-        let b = WasteBreakdown::from_stats(&stats(&[
-            ("cyc.busy", 50),
-            ("spec.wasted_cycles", 30),
-        ]));
+        let b = WasteBreakdown::from_stats(&stats(&[("cyc.busy", 50), ("spec.wasted_cycles", 30)]));
         assert_eq!(b.total(), 50);
         assert_eq!(b.rollback_overlay, 30);
     }

@@ -39,7 +39,7 @@ impl Default for ContendedParams {
             conflict_p: 0.05,
             hot_blocks: 4,
             fence_period: 8,
-            seed: 0xc0
+            seed: 0xc0,
         }
     }
 }
@@ -69,7 +69,11 @@ impl Contended {
         }
         if self.rng.chance(self.conflict_p) {
             let hot = self.hot[self.rng.below(self.hot.len() as u64) as usize];
-            return KernelStep::Op(Op::Store { addr: hot, value: self.ops_left, tag: MemTag::Data });
+            return KernelStep::Op(Op::Store {
+                addr: hot,
+                value: self.ops_left,
+                tag: MemTag::Data,
+            });
         }
         let w = self.rng.below(self.private_words);
         if self.rng.chance(0.5) {
@@ -85,7 +89,9 @@ impl_kernel_logic!(Contended, "contended");
 /// Builds one contended program per thread.
 pub fn contended_programs(params: &ContendedParams) -> Vec<Box<dyn ThreadProgram>> {
     let mut space = AddressSpace::new();
-    let hot: Vec<Addr> = (0..params.hot_blocks.max(1)).map(|_| space.alloc_line()).collect();
+    let hot: Vec<Addr> = (0..params.hot_blocks.max(1))
+        .map(|_| space.alloc_line())
+        .collect();
     let root = DetRng::seed(params.seed).split("contended");
     (0..params.threads)
         .map(|t| {
@@ -110,7 +116,10 @@ mod tests {
 
     #[test]
     fn builds_requested_thread_count() {
-        let p = ContendedParams { threads: 3, ..ContendedParams::default() };
+        let p = ContendedParams {
+            threads: 3,
+            ..ContendedParams::default()
+        };
         assert_eq!(contended_programs(&p).len(), 3);
     }
 
@@ -180,7 +189,13 @@ mod tests {
     fn deterministic_op_stream() {
         let p = ContendedParams::default();
         let stream = |seed| {
-            let mut prog = contended_programs(&ContendedParams { seed, threads: 1, ..p }).pop().unwrap();
+            let mut prog = contended_programs(&ContendedParams {
+                seed,
+                threads: 1,
+                ..p
+            })
+            .pop()
+            .unwrap();
             let mut v = Vec::new();
             while let Some(op) = prog.next_op(None) {
                 v.push(format!("{op:?}"));

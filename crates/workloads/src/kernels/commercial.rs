@@ -56,8 +56,8 @@ impl Server {
                     return KernelStep::Done;
                 }
                 // Hash the task onto a cache bucket.
-                self.entry = (self.task.wrapping_mul(0x9e37_79b9) + self.rng.below(64))
-                    % self.cache.words();
+                self.entry =
+                    (self.task.wrapping_mul(0x9e37_79b9) + self.rng.below(64)) % self.cache.words();
                 self.reads_left = self.reads;
                 self.writes_left = self.writes;
                 self.phase = 2;
@@ -190,7 +190,11 @@ impl Oltp {
             2 => {
                 if self.touch_left > 0 {
                     self.touch_left -= 1;
-                    let lock = if self.touch_left.is_multiple_of(2) { self.lock_a } else { self.lock_b };
+                    let lock = if self.touch_left.is_multiple_of(2) {
+                        self.lock_a
+                    } else {
+                        self.lock_b
+                    };
                     let w = self.partition_word(lock);
                     return KernelStep::Op(Op::load(w));
                 }
@@ -201,7 +205,11 @@ impl Oltp {
             3 => {
                 if self.touch_left > 0 {
                     self.touch_left -= 1;
-                    let lock = if self.touch_left.is_multiple_of(2) { self.lock_a } else { self.lock_b };
+                    let lock = if self.touch_left.is_multiple_of(2) {
+                        self.lock_a
+                    } else {
+                        self.lock_b
+                    };
                     let w = self.partition_word(lock);
                     return KernelStep::Op(Op::store(w, self.txns_left));
                 }

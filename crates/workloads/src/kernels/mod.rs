@@ -22,7 +22,11 @@ pub struct WorkloadParams {
 
 impl Default for WorkloadParams {
     fn default() -> Self {
-        WorkloadParams { threads: 8, scale: 16, seed: 0x7ea5 }
+        WorkloadParams {
+            threads: 8,
+            scale: 16,
+            seed: 0x7ea5,
+        }
     }
 }
 
@@ -165,7 +169,10 @@ impl ThreadProgram for KernelProgram {
     }
 
     fn snapshot(&self) -> Box<dyn ThreadProgram> {
-        Box::new(KernelProgram { kernel: self.kernel.clone_box(), sub: self.sub.clone() })
+        Box::new(KernelProgram {
+            kernel: self.kernel.clone_box(),
+            sub: self.sub.clone(),
+        })
     }
 
     fn name(&self) -> &str {
@@ -220,7 +227,11 @@ mod tests {
 
     #[test]
     fn build_returns_one_program_per_thread() {
-        let params = WorkloadParams { threads: 3, scale: 1, seed: 7 };
+        let params = WorkloadParams {
+            threads: 3,
+            scale: 1,
+            seed: 7,
+        };
         for kind in WorkloadKind::all() {
             let programs = kind.build(&params);
             assert_eq!(programs.len(), 3, "{}", kind.name());

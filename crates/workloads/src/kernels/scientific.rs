@@ -18,7 +18,10 @@ struct BarrierAddrs {
 
 impl BarrierAddrs {
     fn alloc(space: &mut AddressSpace) -> Self {
-        BarrierAddrs { counter: space.alloc_line(), generation: space.alloc_line() }
+        BarrierAddrs {
+            counter: space.alloc_line(),
+            generation: space.alloc_line(),
+        }
     }
 
     fn wait(self, parties: u64) -> SyncFrag {

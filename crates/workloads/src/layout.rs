@@ -40,7 +40,11 @@ impl Region {
     ///
     /// Panics if `i` is out of range.
     pub fn word(&self, i: u64) -> Addr {
-        assert!(i < self.words(), "word {i} out of range ({} words)", self.words());
+        assert!(
+            i < self.words(),
+            "word {i} out of range ({} words)",
+            self.words()
+        );
         self.base.offset(i * WORD)
     }
 }
@@ -68,7 +72,10 @@ impl AddressSpace {
     /// Creates an allocator starting above the zero page, with 64-byte
     /// block alignment.
     pub fn new() -> Self {
-        AddressSpace { next: 0x1_0000, block: 64 }
+        AddressSpace {
+            next: 0x1_0000,
+            block: 64,
+        }
     }
 
     /// Allocates a region of `words` 8-byte words, aligned up to a block

@@ -146,7 +146,10 @@ pub fn lock_bench_programs(
     params: &LockBenchParams,
 ) -> (Vec<Box<dyn ThreadProgram>>, LockBenchLayout) {
     let mut space = AddressSpace::new();
-    let lock = LockAddrs { a: space.alloc_line(), b: space.alloc_line() };
+    let lock = LockAddrs {
+        a: space.alloc_line(),
+        b: space.alloc_line(),
+    };
     let counter = space.alloc_line();
     let programs = (0..params.threads)
         .map(|_| {
@@ -172,7 +175,12 @@ mod tests {
     use tenways_sim::MachineConfig;
 
     fn run(kind: LockKind, model: ConsistencyModel) -> (u64, u64) {
-        let params = LockBenchParams { threads: 4, rounds: 10, kind, ..Default::default() };
+        let params = LockBenchParams {
+            threads: 4,
+            rounds: 10,
+            kind,
+            ..Default::default()
+        };
         let (programs, layout) = lock_bench_programs(&params);
         let cfg = MachineConfig::builder().cores(4).build().unwrap();
         let spec = MachineSpec::baseline(model).with_machine(cfg);

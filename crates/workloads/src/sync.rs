@@ -43,12 +43,18 @@ pub enum SyncFrag {
 impl SyncFrag {
     /// Starts acquiring `lock`.
     pub fn acquire(lock: Addr) -> Self {
-        SyncFrag::Acquire(AcquireState { lock, phase: AcquirePhase::TestRead })
+        SyncFrag::Acquire(AcquireState {
+            lock,
+            phase: AcquirePhase::TestRead,
+        })
     }
 
     /// Starts releasing `lock`.
     pub fn release(lock: Addr) -> Self {
-        SyncFrag::Release(ReleaseState { lock, fenced: false })
+        SyncFrag::Release(ReleaseState {
+            lock,
+            fenced: false,
+        })
     }
 
     /// Starts waiting at the barrier described by (`counter`, `generation`)
@@ -76,7 +82,11 @@ impl SyncFrag {
 
     /// Starts releasing a ticket lock (bumps `now_serving`).
     pub fn ticket_release(now_serving: Addr) -> Self {
-        SyncFrag::TicketRelease(TicketReleaseState { now_serving, fenced: false, bumped: false })
+        SyncFrag::TicketRelease(TicketReleaseState {
+            now_serving,
+            fenced: false,
+            bumped: false,
+        })
     }
 
     /// Advances the fragment. `last` must be the consumed value if the
@@ -210,7 +220,10 @@ impl AcquireState {
                     self.phase = AcquirePhase::CasIssued;
                     FragStep::Emit(Op::Rmw {
                         addr: self.lock,
-                        rmw: RmwOp::Cas { expected: 0, desired: 1 },
+                        rmw: RmwOp::Cas {
+                            expected: 0,
+                            desired: 1,
+                        },
                         tag: MemTag::Lock,
                         consume: true,
                     })
@@ -223,7 +236,11 @@ impl AcquireState {
                 } else {
                     // Lost the race: back to spinning.
                     self.phase = AcquirePhase::TestRead;
-                    FragStep::Emit(Op::Load { addr: self.lock, tag: MemTag::Lock, consume: true })
+                    FragStep::Emit(Op::Load {
+                        addr: self.lock,
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
                 }
             }
             AcquirePhase::Fence => FragStep::Done,
@@ -246,7 +263,11 @@ impl ReleaseState {
         } else if self.lock.0 != u64::MAX {
             let lock = self.lock;
             self.lock = Addr(u64::MAX); // consumed
-            FragStep::Emit(Op::Store { addr: lock, value: 0, tag: MemTag::Lock })
+            FragStep::Emit(Op::Store {
+                addr: lock,
+                value: 0,
+                tag: MemTag::Lock,
+            })
         } else {
             FragStep::Done
         }
@@ -279,7 +300,11 @@ impl BarrierState {
         match self.phase {
             BarrierPhase::ReadGen => {
                 self.phase = BarrierPhase::Arrive;
-                FragStep::Emit(Op::Load { addr: self.generation, tag: MemTag::Barrier, consume: true })
+                FragStep::Emit(Op::Load {
+                    addr: self.generation,
+                    tag: MemTag::Barrier,
+                    consume: true,
+                })
             }
             BarrierPhase::Arrive => {
                 self.my_gen = last.expect("generation value consumed");
@@ -297,7 +322,11 @@ impl BarrierState {
                     // Last arriver: reset the counter, then bump the
                     // generation to wake everyone.
                     self.phase = BarrierPhase::LastFence;
-                    FragStep::Emit(Op::Store { addr: self.counter, value: 0, tag: MemTag::Barrier })
+                    FragStep::Emit(Op::Store {
+                        addr: self.counter,
+                        value: 0,
+                        tag: MemTag::Barrier,
+                    })
                 } else {
                     self.phase = BarrierPhase::Spin;
                     FragStep::Emit(Op::Load {
@@ -359,7 +388,9 @@ mod tests {
                         Op::Load { addr, consume, .. } => {
                             consume.then(|| mem.get(&addr.0).copied().unwrap_or(0))
                         }
-                        Op::Rmw { addr, rmw, consume, .. } => {
+                        Op::Rmw {
+                            addr, rmw, consume, ..
+                        } => {
                             let old = mem.get(&addr.0).copied().unwrap_or(0);
                             mem.insert(addr.0, rmw.apply(old));
                             consume.then_some(old)
@@ -397,12 +428,26 @@ mod tests {
         // Drive 10 steps: all should be spin loads.
         let mut last = None;
         for _ in 0..10 {
-            let FragStep::Emit(op) = f.next(last) else { panic!("finished on busy lock") };
-            assert!(matches!(op, Op::Load { tag: MemTag::Lock, consume: true, .. }), "{op:?}");
+            let FragStep::Emit(op) = f.next(last) else {
+                panic!("finished on busy lock")
+            };
+            assert!(
+                matches!(
+                    op,
+                    Op::Load {
+                        tag: MemTag::Lock,
+                        consume: true,
+                        ..
+                    }
+                ),
+                "{op:?}"
+            );
             last = Some(1);
         }
         // Lock freed: next read sees 0 and the CAS follows.
-        let FragStep::Emit(op) = f.next(Some(0)) else { panic!() };
+        let FragStep::Emit(op) = f.next(Some(0)) else {
+            panic!()
+        };
         assert!(matches!(op, Op::Rmw { .. }));
     }
 
@@ -411,8 +456,10 @@ mod tests {
         let mut f = SyncFrag::acquire(Addr(0x40));
         let _ = f.next(None); // load
         let _ = f.next(Some(0)); // cas issued
-        // CAS returned old value 1: someone else won.
-        let FragStep::Emit(op) = f.next(Some(1)) else { panic!() };
+                                 // CAS returned old value 1: someone else won.
+        let FragStep::Emit(op) = f.next(Some(1)) else {
+            panic!()
+        };
         assert!(matches!(op, Op::Load { .. }), "back to spinning: {op:?}");
     }
 
@@ -444,15 +491,32 @@ mod tests {
     #[test]
     fn barrier_early_arriver_spins_until_generation_changes() {
         let mut f = SyncFrag::barrier(Addr(0x80), Addr(0xc0), 2);
-        let FragStep::Emit(_) = f.next(None) else { panic!() }; // read gen
-        let FragStep::Emit(_) = f.next(Some(0)) else { panic!() }; // arrive (gen 0)
-        // We are arrival 0 of 2: spin on generation.
-        let FragStep::Emit(op) = f.next(Some(0)) else { panic!() };
-        assert!(matches!(op, Op::Load { tag: MemTag::Barrier, consume: true, .. }));
+        let FragStep::Emit(_) = f.next(None) else {
+            panic!()
+        }; // read gen
+        let FragStep::Emit(_) = f.next(Some(0)) else {
+            panic!()
+        }; // arrive (gen 0)
+           // We are arrival 0 of 2: spin on generation.
+        let FragStep::Emit(op) = f.next(Some(0)) else {
+            panic!()
+        };
+        assert!(matches!(
+            op,
+            Op::Load {
+                tag: MemTag::Barrier,
+                consume: true,
+                ..
+            }
+        ));
         // Generation still 0: keep spinning.
-        let FragStep::Emit(_) = f.next(Some(0)) else { panic!() };
+        let FragStep::Emit(_) = f.next(Some(0)) else {
+            panic!()
+        };
         // Generation advanced: acquire fence, then done.
-        let FragStep::Emit(op) = f.next(Some(1)) else { panic!() };
+        let FragStep::Emit(op) = f.next(Some(1)) else {
+            panic!()
+        };
         assert_eq!(op, Op::Fence(FenceKind::Acquire));
         assert_eq!(f.next(None), FragStep::Done);
     }
@@ -495,8 +559,12 @@ mod tests {
 
     fn apply(mem: &mut std::collections::BTreeMap<u64, u64>, op: Op) -> Option<u64> {
         match op {
-            Op::Load { addr, consume, .. } => consume.then(|| mem.get(&addr.0).copied().unwrap_or(0)),
-            Op::Rmw { addr, rmw, consume, .. } => {
+            Op::Load { addr, consume, .. } => {
+                consume.then(|| mem.get(&addr.0).copied().unwrap_or(0))
+            }
+            Op::Rmw {
+                addr, rmw, consume, ..
+            } => {
                 let old = mem.get(&addr.0).copied().unwrap_or(0);
                 mem.insert(addr.0, rmw.apply(old));
                 consume.then_some(old)
@@ -517,8 +585,12 @@ mod ticket_tests {
 
     fn apply(mem: &mut BTreeMap<u64, u64>, op: Op) -> Option<u64> {
         match op {
-            Op::Load { addr, consume, .. } => consume.then(|| mem.get(&addr.0).copied().unwrap_or(0)),
-            Op::Rmw { addr, rmw, consume, .. } => {
+            Op::Load { addr, consume, .. } => {
+                consume.then(|| mem.get(&addr.0).copied().unwrap_or(0))
+            }
+            Op::Rmw {
+                addr, rmw, consume, ..
+            } => {
                 let old = mem.get(&addr.0).copied().unwrap_or(0);
                 mem.insert(addr.0, rmw.apply(old));
                 consume.then_some(old)

@@ -18,7 +18,11 @@ fn run_kind(
     threads: usize,
     scale: u64,
 ) -> (Machine, tenways_cpu::RunSummary) {
-    let params = WorkloadParams { threads, scale, seed: 42 };
+    let params = WorkloadParams {
+        threads,
+        scale,
+        seed: 42,
+    };
     let ms = MachineSpec::baseline(model)
         .with_machine(machine(threads))
         .with_spec(spec);
@@ -47,11 +51,7 @@ fn all_kernels_finish_with_on_demand_speculation() {
     for kind in WorkloadKind::all() {
         for model in ConsistencyModel::all() {
             let (_, s) = run_kind(kind, model, SpecConfig::on_demand(), 4, 3);
-            assert!(
-                s.finished,
-                "{} hung under {model}+spec: {s:?}",
-                kind.name()
-            );
+            assert!(s.finished, "{} hung under {model}+spec: {s:?}", kind.name());
         }
     }
 }
@@ -79,12 +79,21 @@ fn server_kernels_process_every_task_exactly_once() {
     // over-claims happen when threads grab ids past the limit and stop).
     let threads = 4;
     let scale = 5;
-    let (m, s) = run_kind(WorkloadKind::ApacheLike, ConsistencyModel::Tso, SpecConfig::disabled(), threads, scale);
+    let (m, s) = run_kind(
+        WorkloadKind::ApacheLike,
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        threads,
+        scale,
+    );
     assert!(s.finished);
     // Queue is the first line allocated by the builder (0x1_0000).
     let claimed = m.mem().read(tenways_sim::Addr(0x1_0000));
     let limit = threads as u64 * scale;
-    assert!(claimed >= limit, "queue counter {claimed} < task limit {limit}");
+    assert!(
+        claimed >= limit,
+        "queue counter {claimed} < task limit {limit}"
+    );
     assert!(claimed <= limit + threads as u64, "over-claimed: {claimed}");
 }
 
@@ -93,7 +102,11 @@ fn oltp_commit_counter_equals_total_transactions() {
     let threads = 4;
     let scale = 6;
     for spec in [SpecConfig::disabled(), SpecConfig::on_demand()] {
-        let params = WorkloadParams { threads, scale, seed: 9 };
+        let params = WorkloadParams {
+            threads,
+            scale,
+            seed: 9,
+        };
         let ms = MachineSpec::baseline(ConsistencyModel::Rmo)
             .with_machine(machine(threads))
             .with_spec(spec);
@@ -113,7 +126,13 @@ fn oltp_commit_counter_equals_total_transactions() {
 
 #[test]
 fn lock_and_barrier_waste_is_visible_in_accounting() {
-    let (m, s) = run_kind(WorkloadKind::OceanLike, ConsistencyModel::Tso, SpecConfig::disabled(), 4, 4);
+    let (m, s) = run_kind(
+        WorkloadKind::OceanLike,
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        4,
+        4,
+    );
     assert!(s.finished);
     let stats = m.merged_stats();
     let barrier_cycles: u64 = stats
@@ -123,7 +142,13 @@ fn lock_and_barrier_waste_is_visible_in_accounting() {
         .sum();
     assert!(barrier_cycles > 0, "ocean must spend cycles at barriers");
 
-    let (m, s) = run_kind(WorkloadKind::OltpLike, ConsistencyModel::Tso, SpecConfig::disabled(), 4, 6);
+    let (m, s) = run_kind(
+        WorkloadKind::OltpLike,
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        4,
+        6,
+    );
     assert!(s.finished);
     let stats = m.merged_stats();
     let lock_cycles: u64 = stats
@@ -136,10 +161,17 @@ fn lock_and_barrier_waste_is_visible_in_accounting() {
 
 #[test]
 fn dss_is_capacity_dominated() {
-    let (m, s) = run_kind(WorkloadKind::DssLike, ConsistencyModel::Tso, SpecConfig::disabled(), 2, 8);
+    let (m, s) = run_kind(
+        WorkloadKind::DssLike,
+        ConsistencyModel::Tso,
+        SpecConfig::disabled(),
+        2,
+        8,
+    );
     assert!(s.finished);
     let stats = m.merged_stats();
-    let capacity = stats.get("cyc.mem.data.capacity") + stats.get("cyc.mem.data.cold")
+    let capacity = stats.get("cyc.mem.data.capacity")
+        + stats.get("cyc.mem.data.cold")
         + stats.get("cyc.mem.data.l2");
     let coherence = stats.get("cyc.mem.data.coherence");
     assert!(

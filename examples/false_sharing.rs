@@ -27,7 +27,11 @@ impl ThreadProgram for CounterLoop {
                 }
                 self.rounds -= 1;
                 self.phase = 1;
-                Some(Op::Load { addr: self.counter, tag: MemTag::Data, consume: true })
+                Some(Op::Load {
+                    addr: self.counter,
+                    tag: MemTag::Data,
+                    consume: true,
+                })
             }
             1 => {
                 self.value = last.expect("counter value");
@@ -51,11 +55,24 @@ impl ThreadProgram for CounterLoop {
 }
 
 fn run(label: &str, a: Addr, b: Addr, rounds: u64) -> (u64, u64) {
-    let cfg = MachineConfig::builder().cores(2).build().expect("valid machine");
+    let cfg = MachineConfig::builder()
+        .cores(2)
+        .build()
+        .expect("valid machine");
     let spec = MachineSpec::baseline(ConsistencyModel::Tso).with_machine(cfg);
     let programs: Vec<Box<dyn ThreadProgram>> = vec![
-        Box::new(CounterLoop { counter: a, rounds, value: 0, phase: 0 }),
-        Box::new(CounterLoop { counter: b, rounds, value: 0, phase: 0 }),
+        Box::new(CounterLoop {
+            counter: a,
+            rounds,
+            value: 0,
+            phase: 0,
+        }),
+        Box::new(CounterLoop {
+            counter: b,
+            rounds,
+            value: 0,
+            phase: 0,
+        }),
     ];
     let mut m = Machine::new(&spec, programs);
     let s = m.run(10_000_000);
@@ -63,7 +80,8 @@ fn run(label: &str, a: Addr, b: Addr, rounds: u64) -> (u64, u64) {
     assert_eq!(m.mem().read(a), rounds, "{label}: thread 0 lost updates");
     assert_eq!(m.mem().read(b), rounds, "{label}: thread 1 lost updates");
     let stats = m.merged_stats();
-    let coherence = stats.get("l1.invalidations") + stats.get("l1.recalls") + stats.get("l1.downgrades");
+    let coherence =
+        stats.get("l1.invalidations") + stats.get("l1.recalls") + stats.get("l1.downgrades");
     (s.cycles, coherence)
 }
 
@@ -76,8 +94,14 @@ fn main() {
 
     println!("two threads, two private counters, {rounds} increments each:\n");
     println!("{:<16}{:>12}{:>24}", "layout", "cycles", "coherence events");
-    println!("{:<16}{:>12}{:>24}", "same block", shared_cycles, shared_coh);
-    println!("{:<16}{:>12}{:>24}", "padded apart", split_cycles, split_coh);
+    println!(
+        "{:<16}{:>12}{:>24}",
+        "same block", shared_cycles, shared_coh
+    );
+    println!(
+        "{:<16}{:>12}{:>24}",
+        "padded apart", split_cycles, split_coh
+    );
     println!(
         "\nfalse sharing cost: {:.1}x slower, {:.0}x the coherence traffic — \
          for two counters no thread ever shares.",

@@ -28,32 +28,51 @@ impl ThreadProgram for LockFighter {
                     return None;
                 }
                 self.phase = 1;
-                Some(Op::Load { addr: self.lock, tag: MemTag::Lock, consume: true })
+                Some(Op::Load {
+                    addr: self.lock,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
             }
             1 => match last {
                 Some(0) => {
                     self.phase = 2;
                     Some(Op::Rmw {
                         addr: self.lock,
-                        rmw: RmwOp::Cas { expected: 0, desired: 1 },
+                        rmw: RmwOp::Cas {
+                            expected: 0,
+                            desired: 1,
+                        },
                         tag: MemTag::Lock,
                         consume: true,
                     })
                 }
-                _ => Some(Op::Load { addr: self.lock, tag: MemTag::Lock, consume: true }),
+                _ => Some(Op::Load {
+                    addr: self.lock,
+                    tag: MemTag::Lock,
+                    consume: true,
+                }),
             },
             2 => {
                 if last != Some(0) {
                     // Lost the CAS race: back to spinning.
                     self.phase = 1;
-                    return Some(Op::Load { addr: self.lock, tag: MemTag::Lock, consume: true });
+                    return Some(Op::Load {
+                        addr: self.lock,
+                        tag: MemTag::Lock,
+                        consume: true,
+                    });
                 }
                 self.phase = 3;
                 Some(Op::Fence(FenceKind::Acquire))
             }
             3 => {
                 self.phase = 4;
-                Some(Op::Load { addr: self.counter, tag: MemTag::Data, consume: true })
+                Some(Op::Load {
+                    addr: self.counter,
+                    tag: MemTag::Data,
+                    consume: true,
+                })
             }
             4 => {
                 self.counter_val = last.expect("counter value");
@@ -71,7 +90,11 @@ impl ThreadProgram for LockFighter {
             _ => {
                 self.phase = 0;
                 self.rounds -= 1;
-                Some(Op::Store { addr: self.lock, value: 0, tag: MemTag::Lock })
+                Some(Op::Store {
+                    addr: self.lock,
+                    value: 0,
+                    tag: MemTag::Lock,
+                })
             }
         }
     }
@@ -91,12 +114,20 @@ fn main() {
     let rounds = 200;
 
     for model in ConsistencyModel::all() {
-        let cfg = MachineConfig::builder().cores(2).build().expect("valid machine");
+        let cfg = MachineConfig::builder()
+            .cores(2)
+            .build()
+            .expect("valid machine");
         let spec = MachineSpec::baseline(model).with_machine(cfg);
         let programs: Vec<Box<dyn ThreadProgram>> = (0..2)
             .map(|_| {
-                Box::new(LockFighter { lock, counter, rounds, phase: 0, counter_val: 0 })
-                    as Box<dyn ThreadProgram>
+                Box::new(LockFighter {
+                    lock,
+                    counter,
+                    rounds,
+                    phase: 0,
+                    counter_val: 0,
+                }) as Box<dyn ThreadProgram>
             })
             .collect();
         let mut machine = Machine::new(&spec, programs);
@@ -104,7 +135,11 @@ fn main() {
         assert!(summary.finished, "deadlock under {model}");
 
         let total = machine.mem().read(counter);
-        assert_eq!(total, 2 * rounds, "critical section was not mutually exclusive!");
+        assert_eq!(
+            total,
+            2 * rounds,
+            "critical section was not mutually exclusive!"
+        );
 
         let stats = machine.merged_stats();
         println!(

@@ -8,10 +8,19 @@
 use tenways::prelude::*;
 
 fn main() {
-    let params = WorkloadParams { threads: 4, scale: 4, seed: 7 };
+    let params = WorkloadParams {
+        threads: 4,
+        scale: 4,
+        seed: 7,
+    };
     let kind = WorkloadKind::OltpLike;
 
-    println!("workload: {} ({} threads, scale {})\n", kind.name(), params.threads, params.scale);
+    println!(
+        "workload: {} ({} threads, scale {})\n",
+        kind.name(),
+        params.threads,
+        params.scale
+    );
     println!(
         "{:<8}{:<12}{:>12}{:>10}{:>12}{:>12}{:>12}",
         "model", "speculation", "cycles", "useful%", "consist.cyc", "rollbacks", "ops/uJ"
@@ -19,8 +28,16 @@ fn main() {
 
     let mut rmo_baseline_cycles = None;
     for model in ConsistencyModel::all() {
-        for (name, spec) in [("off", SpecConfig::disabled()), ("on-demand", SpecConfig::on_demand())] {
-            let r = Experiment::new(kind).params(params).model(model).spec(spec).run();
+        for (name, spec) in [
+            ("off", SpecConfig::disabled()),
+            ("on-demand", SpecConfig::on_demand()),
+        ] {
+            let r = Experiment::new(kind)
+                .params(params)
+                .model(model)
+                .spec(spec)
+                .run()
+                .unwrap();
             assert!(r.summary.finished, "run was cut off");
             if model == ConsistencyModel::Rmo && name == "off" {
                 rmo_baseline_cycles = Some(r.summary.cycles);
@@ -43,7 +60,8 @@ fn main() {
             .params(params)
             .model(ConsistencyModel::Sc)
             .spec(SpecConfig::on_demand())
-            .run();
+            .run()
+            .unwrap();
         println!(
             "\nspeculative SC runs at {:.2}x RMO — memory ordering made (nearly) \
              performance-transparent.",

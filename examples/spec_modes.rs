@@ -20,7 +20,10 @@ fn main() {
     println!(
         "{:>10}{}",
         "conflict p",
-        modes.iter().map(|(n, _)| format!("{n:>14}")).collect::<String>()
+        modes
+            .iter()
+            .map(|(n, _)| format!("{n:>14}"))
+            .collect::<String>()
     );
 
     for p in [0.0, 0.05, 0.2, 0.5] {
@@ -36,7 +39,8 @@ fn main() {
             })
             .model(ConsistencyModel::Tso)
             .spec(*spec)
-            .run();
+            .run()
+            .unwrap();
             assert!(r.summary.finished);
             print!("{:>14}", r.summary.cycles);
         }
@@ -44,7 +48,10 @@ fn main() {
     }
 
     println!("\nrollback behaviour at p=0.2 (on-demand vs continuous):");
-    for (name, spec) in [("on-demand", SpecConfig::on_demand()), ("continuous", SpecConfig::continuous())] {
+    for (name, spec) in [
+        ("on-demand", SpecConfig::on_demand()),
+        ("continuous", SpecConfig::continuous()),
+    ] {
         let r = Experiment::contended(ContendedParams {
             threads: 4,
             ops_per_thread: 400,
@@ -55,7 +62,8 @@ fn main() {
         })
         .model(ConsistencyModel::Tso)
         .spec(spec)
-        .run();
+        .run()
+        .unwrap();
         println!(
             "  {name:<11} epochs={:<6} commits={:<6} rollbacks={:<6} wasted cycles={}",
             r.stats.get("spec.epochs"),

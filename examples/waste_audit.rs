@@ -9,19 +9,27 @@ use tenways::prelude::*;
 use tenways::waste::report;
 
 fn main() {
-    let params = WorkloadParams { threads: 4, scale: 4, seed: 7 };
+    let params = WorkloadParams {
+        threads: 4,
+        scale: 4,
+        seed: 7,
+    };
 
     let mut records = Vec::new();
     for kind in WorkloadKind::all() {
         let r = Experiment::new(kind)
             .params(params)
             .model(ConsistencyModel::Tso)
-            .run();
+            .run()
+            .unwrap();
         assert!(r.summary.finished, "{} was cut off", kind.name());
         records.push(r);
     }
 
-    println!("=== where the cycles go (baseline TSO, {} threads) ===\n", params.threads);
+    println!(
+        "=== where the cycles go (baseline TSO, {} threads) ===\n",
+        params.threads
+    );
     print!("{}", report::breakdown_table(&records));
 
     println!("\n=== where the Joules go ===\n");

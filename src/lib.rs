@@ -35,12 +35,14 @@
 //! let base = Experiment::new(WorkloadKind::OltpLike)
 //!     .params(params)
 //!     .model(ConsistencyModel::Sc)
-//!     .run();
+//!     .run()
+//!     .unwrap();
 //! let spec = Experiment::new(WorkloadKind::OltpLike)
 //!     .params(params)
 //!     .model(ConsistencyModel::Sc)
 //!     .spec(SpecConfig::on_demand())
-//!     .run();
+//!     .run()
+//!     .unwrap();
 //! assert!(base.summary.finished && spec.summary.finished);
 //! assert!(spec.summary.cycles <= base.summary.cycles);
 //! ```
@@ -66,6 +68,9 @@ pub mod prelude {
         ThreadProgram,
     };
     pub use tenways_sim::{Addr, CoreId, Cycle, MachineConfig};
-    pub use tenways_waste::{EnergyModel, Experiment, RunRecord, WasteBreakdown, WasteCategory};
+    pub use tenways_waste::{
+        ConfigLoadError, EnergyModel, Experiment, ExperimentError, RunRecord, SimConfig,
+        WasteBreakdown, WasteCategory, RUN_RECORD_SCHEMA_VERSION,
+    };
     pub use tenways_workloads::{ContendedParams, WorkloadKind, WorkloadParams};
 }

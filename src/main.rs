@@ -2,15 +2,25 @@
 //!
 //! ```text
 //! tenways --workload oltp --model sc --spec on-demand --threads 8 --scale 8
+//! tenways --config sweep.toml --json results/run.json --trace trace.json
 //! tenways --list
 //! ```
+//!
+//! Settings layer lowest-to-highest: built-in defaults, the `--config`
+//! file (TOML or JSON [`SimConfig`]), then individual flags.
+
+use std::io::Write as _;
+use std::path::PathBuf;
 
 use tenways::prelude::*;
+use tenways::sim::json::ToJson;
+use tenways::sim::trace::chrome_trace;
 use tenways::waste::report;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tenways [options]
+  --config <path>     load a SimConfig file first (.json is JSON, else TOML)
   --workload <name>   one of: {} | contended (default oltp)
   --model <m>         sc | tso | rmo (default tso)
   --spec <s>          off | on-demand | continuous | per-store:<N> (default off)
@@ -21,6 +31,8 @@ fn usage() -> ! {
   --mesh              use a 2-D mesh interconnect instead of the crossbar
   --msi               use MSI instead of MESI coherence
   --prefetch          enable the next-line L1 prefetcher
+  --json <path|->     write the run record as JSON (- for stdout)
+  --trace <path>      record an event trace (Chrome trace_event JSON)
   --breakdown         print the ten-ways cycle breakdown
   --energy            print the energy report
   --stats             dump all raw counters
@@ -30,39 +42,47 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("{msg}");
+    usage()
+}
+
 struct Args {
-    workload: String,
-    model: ConsistencyModel,
-    spec: SpecConfig,
-    threads: usize,
-    scale: u64,
-    seed: u64,
-    conflict: f64,
-    mesh: bool,
-    msi: bool,
-    prefetch: bool,
+    cfg: SimConfig,
+    json: Option<String>,
+    trace: Option<PathBuf>,
     breakdown: bool,
     energy: bool,
     stats: bool,
 }
 
+/// Capacity of the trace ring buffer (events); the newest events win when
+/// a run overflows it.
+const TRACE_CAPACITY: usize = 1 << 20;
+
 fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+
+    // Pass 1: the config file establishes the base layer.
+    let mut cfg = SimConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--config" || argv[i] == "-c" {
+            let path = argv.get(i + 1).unwrap_or_else(|| usage());
+            cfg = SimConfig::load(std::path::Path::new(path)).unwrap_or_else(|e| fail(e));
+        }
+        i += 1;
+    }
+
+    // Pass 2: flags override the loaded config field-by-field.
     let mut args = Args {
-        workload: "oltp".into(),
-        model: ConsistencyModel::Tso,
-        spec: SpecConfig::disabled(),
-        threads: 8,
-        scale: 8,
-        seed: 7,
-        conflict: 0.05,
-        mesh: false,
-        msi: false,
-        prefetch: false,
+        cfg,
+        json: None,
+        trace: None,
         breakdown: false,
         energy: false,
         stats: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |i: &mut usize| -> String {
         *i += 1;
@@ -70,40 +90,29 @@ fn parse_args() -> Args {
     };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--workload" | "-w" => args.workload = value(&mut i),
+            "--config" | "-c" => {
+                i += 1; // consumed in pass 1
+            }
+            "--workload" | "-w" => args.cfg.workload = value(&mut i),
             "--model" | "-m" => {
-                args.model = match value(&mut i).to_lowercase().as_str() {
-                    "sc" => ConsistencyModel::Sc,
-                    "tso" => ConsistencyModel::Tso,
-                    "rmo" => ConsistencyModel::Rmo,
-                    other => {
-                        eprintln!("unknown model: {other}");
-                        usage()
-                    }
-                }
+                let v = value(&mut i);
+                args.cfg.model = ConsistencyModel::from_label(&v)
+                    .unwrap_or_else(|| fail(format!("unknown model: {v}")));
             }
             "--spec" | "-s" => {
-                let v = value(&mut i).to_lowercase();
-                args.spec = match v.as_str() {
-                    "off" | "disabled" => SpecConfig::disabled(),
-                    "on-demand" | "ondemand" => SpecConfig::on_demand(),
-                    "continuous" => SpecConfig::continuous(),
-                    other => match other.strip_prefix("per-store:").and_then(|n| n.parse().ok()) {
-                        Some(n) => SpecConfig::per_store(n),
-                        None => {
-                            eprintln!("unknown spec mode: {other}");
-                            usage()
-                        }
-                    },
-                }
+                args.cfg.spec = SpecConfig::from_flag(&value(&mut i)).unwrap_or_else(|e| fail(e));
             }
-            "--threads" | "-t" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--scale" => args.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--conflict" => args.conflict = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--mesh" => args.mesh = true,
-            "--msi" => args.msi = true,
-            "--prefetch" => args.prefetch = true,
+            "--threads" | "-t" => {
+                args.cfg.threads = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--scale" => args.cfg.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--conflict" => args.cfg.conflict = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--mesh" => args.cfg.machine.noc_mesh = true,
+            "--msi" => args.cfg.protocol.grant_exclusive = false,
+            "--prefetch" => args.cfg.protocol.prefetch_next_line = true,
+            "--json" | "-j" => args.json = Some(value(&mut i)),
+            "--trace" => args.trace = Some(PathBuf::from(value(&mut i))),
             "--breakdown" => args.breakdown = true,
             "--energy" => args.energy = true,
             "--stats" => args.stats = true,
@@ -115,10 +124,7 @@ fn parse_args() -> Args {
                 std::process::exit(0);
             }
             "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown argument: {other}");
-                usage()
-            }
+            other => fail(format!("unknown argument: {other}")),
         }
         i += 1;
     }
@@ -127,44 +133,57 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let machine = MachineConfig::builder()
-        .cores(args.threads)
-        .mesh(args.mesh)
-        .build()
-        .unwrap_or_else(|e| {
-            eprintln!("invalid machine: {e}");
+    let experiment = Experiment::from_config(&args.cfg).unwrap_or_else(|e| fail(e));
+
+    let (record, events) = if args.trace.is_some() {
+        let (record, events) = experiment.run_traced(TRACE_CAPACITY).unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
         });
-    let protocol = ProtocolConfig { grant_exclusive: !args.msi, prefetch_next_line: args.prefetch };
-    let params = WorkloadParams { threads: args.threads, scale: args.scale, seed: args.seed };
-
-    let experiment = if args.workload == "contended" {
-        Experiment::contended(ContendedParams {
-            threads: args.threads,
-            ops_per_thread: 200 * args.scale,
-            conflict_p: args.conflict,
-            hot_blocks: 4,
-            fence_period: 8,
-            seed: args.seed,
-        })
+        (record, Some(events))
     } else {
-        match WorkloadKind::all().into_iter().find(|k| k.name() == args.workload) {
-            Some(kind) => Experiment::new(kind).params(params),
-            None => {
-                eprintln!("unknown workload: {}", args.workload);
-                usage()
-            }
-        }
+        let record = experiment.run().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        (record, None)
     };
 
-    let record = experiment
-        .machine(machine)
-        .model(args.model)
-        .spec(args.spec)
-        .protocol(protocol)
-        .run();
+    if let (Some(path), Some(events)) = (&args.trace, &events) {
+        let mut text = chrome_trace(events).to_string();
+        text.push('\n');
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        eprintln!("[trace] wrote {} ({} events)", path.display(), events.len());
+    }
+
+    if let Some(dest) = &args.json {
+        let mut text = record.to_json().pretty();
+        text.push('\n');
+        if dest == "-" {
+            std::io::stdout()
+                .write_all(text.as_bytes())
+                .expect("stdout");
+        } else {
+            std::fs::write(dest, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {dest}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("[json] wrote {dest}");
+        }
+    }
 
     let s = &record.summary;
+    // With `--json -`, stdout is the machine channel: emit only the JSON
+    // document so the output pipes straight into jq & co.
+    if args.json.as_deref() == Some("-") {
+        if !s.finished {
+            std::process::exit(1);
+        }
+        return;
+    }
     println!(
         "{} | {} | spec {:?}",
         record.label,

@@ -3,7 +3,11 @@
 use tenways::prelude::*;
 
 fn small(threads: usize, scale: u64) -> WorkloadParams {
-    WorkloadParams { threads, scale, seed: 13 }
+    WorkloadParams {
+        threads,
+        scale,
+        seed: 13,
+    }
 }
 
 #[test]
@@ -12,7 +16,8 @@ fn facade_reexports_compose() {
     let r = Experiment::new(WorkloadKind::RadixLike)
         .params(small(2, 2))
         .model(ConsistencyModel::Tso)
-        .run();
+        .run()
+        .unwrap();
     assert!(r.summary.finished);
     assert!(r.breakdown.total() > 0);
 }
@@ -21,13 +26,22 @@ fn facade_reexports_compose() {
 fn headline_shape_sc_speculation_approaches_rmo() {
     // The reproduction's central claim, checked end to end on two kernels.
     for kind in [WorkloadKind::OltpLike, WorkloadKind::ApacheLike] {
-        let sc = Experiment::new(kind).params(small(4, 4)).model(ConsistencyModel::Sc).run();
+        let sc = Experiment::new(kind)
+            .params(small(4, 4))
+            .model(ConsistencyModel::Sc)
+            .run()
+            .unwrap();
         let sc_if = Experiment::new(kind)
             .params(small(4, 4))
             .model(ConsistencyModel::Sc)
             .spec(SpecConfig::on_demand())
-            .run();
-        let rmo = Experiment::new(kind).params(small(4, 4)).model(ConsistencyModel::Rmo).run();
+            .run()
+            .unwrap();
+        let rmo = Experiment::new(kind)
+            .params(small(4, 4))
+            .model(ConsistencyModel::Rmo)
+            .run()
+            .unwrap();
         assert!(
             sc_if.summary.cycles < sc.summary.cycles,
             "{}: speculation must beat the SC baseline ({} vs {})",
@@ -51,12 +65,14 @@ fn speculation_reduces_consistency_waste_category() {
     let base = Experiment::new(WorkloadKind::OltpLike)
         .params(small(4, 4))
         .model(ConsistencyModel::Tso)
-        .run();
+        .run()
+        .unwrap();
     let spec = Experiment::new(WorkloadKind::OltpLike)
         .params(small(4, 4))
         .model(ConsistencyModel::Tso)
         .spec(SpecConfig::on_demand())
-        .run();
+        .run()
+        .unwrap();
     assert!(
         spec.breakdown.consistency_cycles() < base.breakdown.consistency_cycles(),
         "consistency waste must shrink: {} -> {}",
@@ -71,12 +87,20 @@ fn mesi_beats_msi_on_private_write_heavy_work() {
     // E-grants the load-then-store pattern upgrades silently.
     let msi = Experiment::new(WorkloadKind::BarnesLike)
         .params(small(2, 3))
-        .protocol(ProtocolConfig { grant_exclusive: false, ..ProtocolConfig::default() })
-        .run();
+        .protocol(ProtocolConfig {
+            grant_exclusive: false,
+            ..ProtocolConfig::default()
+        })
+        .run()
+        .unwrap();
     let mesi = Experiment::new(WorkloadKind::BarnesLike)
         .params(small(2, 3))
-        .protocol(ProtocolConfig { grant_exclusive: true, ..ProtocolConfig::default() })
-        .run();
+        .protocol(ProtocolConfig {
+            grant_exclusive: true,
+            ..ProtocolConfig::default()
+        })
+        .run()
+        .unwrap();
     assert!(
         mesi.stats.get("l1.silent_e_to_m") > 0,
         "MESI must exercise silent E->M upgrades"
@@ -89,14 +113,23 @@ fn mesi_beats_msi_on_private_write_heavy_work() {
 
 #[test]
 fn waste_fractions_sum_to_one() {
-    let r = Experiment::new(WorkloadKind::BarnesLike).params(small(2, 2)).run();
-    let sum: f64 = WasteCategory::all().iter().map(|&c| r.breakdown.fraction(c)).sum();
+    let r = Experiment::new(WorkloadKind::BarnesLike)
+        .params(small(2, 2))
+        .run()
+        .unwrap();
+    let sum: f64 = WasteCategory::all()
+        .iter()
+        .map(|&c| r.breakdown.fraction(c))
+        .sum();
     assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
 }
 
 #[test]
 fn energy_totals_are_consistent() {
-    let r = Experiment::new(WorkloadKind::DssLike).params(small(2, 3)).run();
+    let r = Experiment::new(WorkloadKind::DssLike)
+        .params(small(2, 3))
+        .run()
+        .unwrap();
     let e = &r.energy;
     let parts = e.l1_nj + e.l2_nj + e.dram_nj + e.noc_nj + e.core_dynamic_nj + e.static_nj;
     assert!((parts - e.total_nj()).abs() < 1e-6);
@@ -110,8 +143,13 @@ fn experiments_are_deterministic_across_invocations() {
         let r = Experiment::new(WorkloadKind::ApacheLike)
             .params(small(4, 3))
             .spec(SpecConfig::on_demand())
-            .run();
-        (r.summary.cycles, r.summary.retired_ops, r.stats.get("spec.rollbacks"))
+            .run()
+            .unwrap();
+        (
+            r.summary.cycles,
+            r.summary.retired_ops,
+            r.stats.get("spec.rollbacks"),
+        )
     };
     assert_eq!(go(), go());
 }
@@ -120,14 +158,22 @@ fn experiments_are_deterministic_across_invocations() {
 fn different_seeds_change_timing_but_not_correctness() {
     let cycles = |seed| {
         let r = Experiment::new(WorkloadKind::BarnesLike)
-            .params(WorkloadParams { threads: 4, scale: 3, seed })
-            .run();
+            .params(WorkloadParams {
+                threads: 4,
+                scale: 3,
+                seed,
+            })
+            .run()
+            .unwrap();
         assert!(r.summary.finished);
         r.summary.cycles
     };
     // Not all seeds need differ, but across several at least one must.
     let base = cycles(1);
-    assert!((2..6).any(|s| cycles(s) != base), "timing insensitive to seed");
+    assert!(
+        (2..6).any(|s| cycles(s) != base),
+        "timing insensitive to seed"
+    );
 }
 
 #[test]
@@ -137,7 +183,10 @@ fn storage_model_backs_the_one_kilobyte_claim() {
     let blocks = (cfg.l1_bytes() / cfg.block_bytes as usize) as u64;
     let bits = storage::block_granularity(blocks);
     let bytes = bits.bytes_at_depth(u64::MAX >> 1);
-    assert!(bytes <= 1024, "block-granularity state is {bytes} B (> 1 KiB)");
+    assert!(
+        bytes <= 1024,
+        "block-granularity state is {bytes} B (> 1 KiB)"
+    );
 }
 
 #[test]
@@ -148,6 +197,7 @@ fn continuous_mode_commits_less_often_than_on_demand() {
             .model(ConsistencyModel::Sc)
             .spec(spec)
             .run()
+            .unwrap()
     };
     let od = run(SpecConfig::on_demand());
     let ct = run(SpecConfig::continuous());
@@ -165,7 +215,8 @@ fn cut_off_runs_report_unfinished_rather_than_lying() {
     let r = Experiment::new(WorkloadKind::DssLike)
         .params(small(2, 50))
         .cycle_limit(500)
-        .run();
+        .run()
+        .unwrap();
     assert!(!r.summary.finished);
     assert_eq!(r.summary.cycles, 500);
 }
@@ -174,8 +225,10 @@ fn cut_off_runs_report_unfinished_rather_than_lying() {
 fn raw_machine_api_exposes_memory_and_stats() {
     let cfg = MachineConfig::builder().cores(1).build().unwrap();
     let spec = MachineSpec::baseline(ConsistencyModel::Tso).with_machine(cfg);
-    let programs: Vec<Box<dyn ThreadProgram>> =
-        vec![Box::new(ScriptProgram::new(vec![Op::store(Addr(0x100), 5), Op::load(Addr(0x100))]))];
+    let programs: Vec<Box<dyn ThreadProgram>> = vec![Box::new(ScriptProgram::new(vec![
+        Op::store(Addr(0x100), 5),
+        Op::load(Addr(0x100)),
+    ]))];
     let mut m = Machine::new(&spec, programs);
     m.poke(Addr(0x200), 99);
     let s = m.run(100_000);
@@ -187,24 +240,37 @@ fn raw_machine_api_exposes_memory_and_stats() {
 
 #[test]
 fn mesh_interconnect_runs_every_kernel() {
-    let machine = MachineConfig::builder().cores(4).mesh(true).build().unwrap();
-    for kind in [WorkloadKind::OceanLike, WorkloadKind::OltpLike, WorkloadKind::DssLike] {
+    let machine = MachineConfig::builder()
+        .cores(4)
+        .mesh(true)
+        .build()
+        .unwrap();
+    for kind in [
+        WorkloadKind::OceanLike,
+        WorkloadKind::OltpLike,
+        WorkloadKind::DssLike,
+    ] {
         let r = Experiment::new(kind)
             .params(small(4, 2))
             .machine(machine.clone())
             .spec(SpecConfig::on_demand())
-            .run();
+            .run()
+            .unwrap();
         assert!(r.summary.finished, "{} hung on the mesh", kind.name());
     }
 }
 
 #[test]
 fn mesh_is_slower_than_crossbar_on_coherence_heavy_work() {
-    let xbar = Experiment::new(WorkloadKind::OltpLike).params(small(8, 4)).run();
+    let xbar = Experiment::new(WorkloadKind::OltpLike)
+        .params(small(8, 4))
+        .run()
+        .unwrap();
     let mesh = Experiment::new(WorkloadKind::OltpLike)
         .params(small(8, 4))
         .machine(MachineConfig::builder().mesh(true).build().unwrap())
-        .run();
+        .run()
+        .unwrap();
     assert!(
         mesh.summary.cycles >= xbar.summary.cycles,
         "mesh {} should not beat the crossbar {}",
@@ -217,8 +283,12 @@ fn mesh_is_slower_than_crossbar_on_coherence_heavy_work() {
 fn prefetcher_helps_scans_at_machine_level() {
     let pf = Experiment::new(WorkloadKind::DssLike)
         .params(small(2, 4))
-        .protocol(ProtocolConfig { grant_exclusive: true, prefetch_next_line: true })
-        .run();
+        .protocol(ProtocolConfig {
+            grant_exclusive: true,
+            prefetch_next_line: true,
+        })
+        .run()
+        .unwrap();
     assert!(pf.stats.get("l1.prefetches") > 0, "prefetcher never fired");
     // Next-line prefetch on a one-word-per-block scan is not guaranteed to
     // win cycles (timing races), but it must never break the run and must
@@ -229,7 +299,10 @@ fn prefetcher_helps_scans_at_machine_level() {
 
 #[test]
 fn noc_queue_overlay_is_populated_under_load() {
-    let r = Experiment::new(WorkloadKind::RadixLike).params(small(8, 4)).run();
+    let r = Experiment::new(WorkloadKind::RadixLike)
+        .params(small(8, 4))
+        .run()
+        .unwrap();
     // All-to-all scatter bursts should queue at endpoints at least sometimes.
     assert!(
         r.breakdown.noc_queue_overlay > 0,
@@ -241,7 +314,12 @@ fn noc_queue_overlay_is_populated_under_load() {
 fn lockbench_layout_counter_is_protected() {
     use tenways::workloads::{lock_bench_programs, LockBenchParams, LockKind};
     for kind in [LockKind::Ttas, LockKind::Ticket] {
-        let params = LockBenchParams { threads: 3, rounds: 15, kind, ..Default::default() };
+        let params = LockBenchParams {
+            threads: 3,
+            rounds: 15,
+            kind,
+            ..Default::default()
+        };
         let (programs, layout) = lock_bench_programs(&params);
         let cfg = MachineConfig::builder().cores(3).build().unwrap();
         let ms = MachineSpec::baseline(ConsistencyModel::Rmo)
@@ -250,6 +328,10 @@ fn lockbench_layout_counter_is_protected() {
         let mut m = Machine::new(&ms, programs);
         let s = m.run(10_000_000);
         assert!(s.finished);
-        assert_eq!(m.mem().read(layout.counter), 45, "{kind:?} lost updates under speculation");
+        assert_eq!(
+            m.mem().read(layout.counter),
+            45,
+            "{kind:?} lost updates under speculation"
+        );
     }
 }

@@ -34,7 +34,11 @@ impl ThreadProgram for StoreThenLoad {
             }
             2 => {
                 self.phase = 3;
-                Some(Op::Load { addr: self.load_addr, tag: MemTag::Data, consume: true })
+                Some(Op::Load {
+                    addr: self.load_addr,
+                    tag: MemTag::Data,
+                    consume: true,
+                })
             }
             3 => {
                 self.out.set(last.expect("loaded value"));
@@ -56,11 +60,25 @@ fn run_sb(model: ConsistencyModel, spec: SpecConfig, skew0: u64, skew1: u64) -> 
     let r0 = Rc::new(Cell::new(u64::MAX));
     let r1 = Rc::new(Cell::new(u64::MAX));
     let programs: Vec<Box<dyn ThreadProgram>> = vec![
-        Box::new(StoreThenLoad { skew: skew0, store_addr: x, load_addr: y, out: r0.clone(), phase: 0 }),
-        Box::new(StoreThenLoad { skew: skew1, store_addr: y, load_addr: x, out: r1.clone(), phase: 0 }),
+        Box::new(StoreThenLoad {
+            skew: skew0,
+            store_addr: x,
+            load_addr: y,
+            out: r0.clone(),
+            phase: 0,
+        }),
+        Box::new(StoreThenLoad {
+            skew: skew1,
+            store_addr: y,
+            load_addr: x,
+            out: r1.clone(),
+            phase: 0,
+        }),
     ];
     let cfg = MachineConfig::builder().cores(2).build().unwrap();
-    let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+    let ms = MachineSpec::baseline(model)
+        .with_machine(cfg)
+        .with_spec(spec);
     let mut m = Machine::new(&ms, programs);
     let s = m.run(1_000_000);
     assert!(s.finished, "litmus hung under {model}");
@@ -157,13 +175,21 @@ fn full_fences_restore_sc_for_store_buffering() {
         let r1 = Rc::new(Cell::new(u64::MAX));
         let mk = |store, load, out: &Rc<Cell<u64>>, skew| -> Box<dyn ThreadProgram> {
             Box::new(StoreFenceLoad {
-                inner: StoreThenLoad { skew, store_addr: store, load_addr: load, out: out.clone(), phase: 0 },
+                inner: StoreThenLoad {
+                    skew,
+                    store_addr: store,
+                    load_addr: load,
+                    out: out.clone(),
+                    phase: 0,
+                },
                 fenced: false,
             })
         };
         let programs = vec![mk(x, y, &r0, a), mk(y, x, &r1, b)];
         let cfg = MachineConfig::builder().cores(2).build().unwrap();
-        let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+        let ms = MachineSpec::baseline(model)
+            .with_machine(cfg)
+            .with_spec(spec);
         let mut m = Machine::new(&ms, programs);
         assert!(m.run(1_000_000).finished);
         (r0.get(), r1.get())
@@ -195,7 +221,10 @@ fn coherence_per_location_total_order() {
         let mut m = Machine::new(&ms, vec![w(7, 5), w(8, 5)]);
         assert!(m.run(1_000_000).finished);
         let v = m.mem().read(a);
-        assert!(v == 7 || v == 8, "{model}: final value {v} was never written");
+        assert!(
+            v == 7 || v == 8,
+            "{model}: final value {v} was never written"
+        );
     }
 }
 
@@ -215,19 +244,31 @@ fn message_passing_with_release_acquire_is_safe_everywhere() {
             match self.phase {
                 0 => {
                     self.phase = 1;
-                    Some(Op::Load { addr: self.flag, tag: MemTag::Lock, consume: true })
+                    Some(Op::Load {
+                        addr: self.flag,
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
                 }
                 1 => {
                     if last == Some(1) {
                         self.phase = 2;
                         Some(Op::Fence(FenceKind::Acquire))
                     } else {
-                        Some(Op::Load { addr: self.flag, tag: MemTag::Lock, consume: true })
+                        Some(Op::Load {
+                            addr: self.flag,
+                            tag: MemTag::Lock,
+                            consume: true,
+                        })
                     }
                 }
                 2 => {
                     self.phase = 3;
-                    Some(Op::Load { addr: self.data, tag: MemTag::Data, consume: true })
+                    Some(Op::Load {
+                        addr: self.data,
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
                 }
                 3 => {
                     self.out.set(last.expect("data"));
@@ -250,15 +291,29 @@ fn message_passing_with_release_acquire_is_safe_everywhere() {
                     Op::Compute(skew),
                     Op::store(data, 42),
                     Op::Fence(FenceKind::Release),
-                    Op::Store { addr: flag, value: 1, tag: MemTag::Lock },
+                    Op::Store {
+                        addr: flag,
+                        value: 1,
+                        tag: MemTag::Lock,
+                    },
                 ]));
-                let reader: Box<dyn ThreadProgram> =
-                    Box::new(Reader { flag, data, out: out.clone(), phase: 0 });
+                let reader: Box<dyn ThreadProgram> = Box::new(Reader {
+                    flag,
+                    data,
+                    out: out.clone(),
+                    phase: 0,
+                });
                 let cfg = MachineConfig::builder().cores(2).build().unwrap();
-                let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+                let ms = MachineSpec::baseline(model)
+                    .with_machine(cfg)
+                    .with_spec(spec);
                 let mut m = Machine::new(&ms, vec![writer, reader]);
                 assert!(m.run(1_000_000).finished, "hung under {model} {spec:?}");
-                assert_eq!(out.get(), 42, "stale data under {model} {spec:?} skew {skew}");
+                assert_eq!(
+                    out.get(),
+                    42,
+                    "stale data under {model} {spec:?} skew {skew}"
+                );
             }
         }
     }

@@ -1,43 +1,53 @@
-//! Property-based tests over the whole stack: arbitrary programs and
+//! Randomized property tests over the whole stack: arbitrary programs and
 //! machine shapes must preserve the architectural invariants.
+//!
+//! Cases are generated with the simulator's own deterministic RNG
+//! ([`DetRng`]) rather than an external property-testing framework, so
+//! every CI run exercises the exact same case set — a failure names the
+//! case index, which reproduces it directly.
 
-use proptest::prelude::*;
 use tenways::prelude::*;
+use tenways::sim::DetRng;
 
-/// A generated memory op for random programs.
-fn arb_op(addr_blocks: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..20).prop_map(Op::Compute),
-        (0..addr_blocks).prop_map(move |b| Op::load(Addr(0x2000 + b * 64))),
-        (0..addr_blocks, any::<u64>())
-            .prop_map(move |(b, v)| Op::store(Addr(0x2000 + b * 64), v)),
-        Just(Op::Fence(FenceKind::Full)),
-        Just(Op::Fence(FenceKind::Acquire)),
-        Just(Op::Fence(FenceKind::Release)),
-        (0..addr_blocks).prop_map(move |b| Op::Rmw {
-            addr: Addr(0x2000 + b * 64),
+/// One generated memory op for random programs.
+fn gen_op(rng: &mut DetRng, addr_blocks: u64) -> Op {
+    let addr = |b: u64| Addr(0x2000 + b * 64);
+    match rng.below(7) {
+        0 => Op::Compute(rng.range(1, 20)),
+        1 => Op::load(addr(rng.below(addr_blocks))),
+        2 => Op::store(addr(rng.below(addr_blocks)), rng.next_u64()),
+        3 => Op::Fence(FenceKind::Full),
+        4 => Op::Fence(FenceKind::Acquire),
+        5 => Op::Fence(FenceKind::Release),
+        _ => Op::Rmw {
+            addr: addr(rng.below(addr_blocks)),
             rmw: RmwOp::FetchAdd(1),
             tag: MemTag::Data,
             consume: false,
-        }),
-    ]
+        },
+    }
 }
 
-fn arb_model() -> impl Strategy<Value = ConsistencyModel> {
-    prop_oneof![
-        Just(ConsistencyModel::Sc),
-        Just(ConsistencyModel::Tso),
-        Just(ConsistencyModel::Rmo),
-    ]
+fn gen_ops(rng: &mut DetRng, addr_blocks: u64, max_len: u64) -> Vec<Op> {
+    let len = rng.below(max_len);
+    (0..len).map(|_| gen_op(rng, addr_blocks)).collect()
 }
 
-fn arb_spec() -> impl Strategy<Value = SpecConfig> {
-    prop_oneof![
-        Just(SpecConfig::disabled()),
-        Just(SpecConfig::on_demand()),
-        Just(SpecConfig::continuous()),
-        (1u64..16).prop_map(SpecConfig::per_store),
-    ]
+fn gen_model(rng: &mut DetRng) -> ConsistencyModel {
+    match rng.below(3) {
+        0 => ConsistencyModel::Sc,
+        1 => ConsistencyModel::Tso,
+        _ => ConsistencyModel::Rmo,
+    }
+}
+
+fn gen_spec(rng: &mut DetRng) -> SpecConfig {
+    match rng.below(4) {
+        0 => SpecConfig::disabled(),
+        1 => SpecConfig::on_demand(),
+        2 => SpecConfig::continuous(),
+        _ => SpecConfig::per_store(rng.range(1, 16)),
+    }
 }
 
 fn run_programs(
@@ -45,42 +55,49 @@ fn run_programs(
     spec: SpecConfig,
     programs: Vec<Box<dyn ThreadProgram>>,
 ) -> (tenways::cpu::Machine, tenways::cpu::RunSummary) {
-    let cfg = MachineConfig::builder().cores(programs.len()).build().unwrap();
-    let ms = MachineSpec::baseline(model).with_machine(cfg).with_spec(spec);
+    let cfg = MachineConfig::builder()
+        .cores(programs.len())
+        .build()
+        .unwrap();
+    let ms = MachineSpec::baseline(model)
+        .with_machine(cfg)
+        .with_spec(spec);
     let mut m = tenways::cpu::Machine::new(&ms, programs);
     let s = m.run(5_000_000);
     (m, s)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+const CASES: u64 = 24;
 
-    /// Any straight-line program mix terminates under any model and any
-    /// speculation mode — no deadlock, no livelock, no panic.
-    #[test]
-    fn random_scripts_always_terminate(
-        ops_a in proptest::collection::vec(arb_op(8), 0..60),
-        ops_b in proptest::collection::vec(arb_op(8), 0..60),
-        model in arb_model(),
-        spec in arb_spec(),
-    ) {
+/// Any straight-line program mix terminates under any model and any
+/// speculation mode — no deadlock, no livelock, no panic.
+#[test]
+fn random_scripts_always_terminate() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed(0xA11CE).split("terminate").split_index(case);
+        let ops_a = gen_ops(&mut rng, 8, 60);
+        let ops_b = gen_ops(&mut rng, 8, 60);
+        let model = gen_model(&mut rng);
+        let spec = gen_spec(&mut rng);
         let programs: Vec<Box<dyn ThreadProgram>> = vec![
             Box::new(ScriptProgram::new(ops_a)),
             Box::new(ScriptProgram::new(ops_b)),
         ];
         let (_, s) = run_programs(model, spec, programs);
-        prop_assert!(s.finished, "machine hung: {s:?}");
+        assert!(s.finished, "case {case}: machine hung: {s:?}");
     }
+}
 
-    /// Atomic increments never lose updates, regardless of model, mode,
-    /// core count or contention shape.
-    #[test]
-    fn fetch_add_is_exact(
-        per_core in 1u64..40,
-        cores in 2usize..5,
-        model in arb_model(),
-        spec in arb_spec(),
-    ) {
+/// Atomic increments never lose updates, regardless of model, mode, core
+/// count or contention shape.
+#[test]
+fn fetch_add_is_exact() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed(0xA11CE).split("fetch_add").split_index(case);
+        let per_core = rng.range(1, 40);
+        let cores = rng.range(2, 5) as usize;
+        let model = gen_model(&mut rng);
+        let spec = gen_spec(&mut rng);
         let counter = Addr(0x9000);
         let programs: Vec<Box<dyn ThreadProgram>> = (0..cores)
             .map(|_| {
@@ -96,19 +113,29 @@ proptest! {
             })
             .collect();
         let (m, s) = run_programs(model, spec, programs);
-        prop_assert!(s.finished);
-        prop_assert_eq!(m.mem().read(counter), per_core * cores as u64);
+        assert!(s.finished, "case {case}: hung");
+        assert_eq!(
+            m.mem().read(counter),
+            per_core * cores as u64,
+            "case {case}: lost updates"
+        );
     }
+}
 
-    /// The last write to every address is one of the values some core
-    /// actually wrote (no value fabrication through speculation).
-    #[test]
-    fn no_fabricated_values(
-        writes_a in proptest::collection::vec((0u64..4, 1u64..1000), 1..30),
-        writes_b in proptest::collection::vec((0u64..4, 1001u64..2000), 1..30),
-        model in arb_model(),
-        spec in arb_spec(),
-    ) {
+/// The last write to every address is one of the values some core actually
+/// wrote (no value fabrication through speculation).
+#[test]
+fn no_fabricated_values() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed(0xA11CE).split("fabrication").split_index(case);
+        let gen_writes = |rng: &mut DetRng, lo: u64, hi: u64| -> Vec<(u64, u64)> {
+            let n = rng.range(1, 30);
+            (0..n).map(|_| (rng.below(4), rng.range(lo, hi))).collect()
+        };
+        let writes_a = gen_writes(&mut rng, 1, 1000);
+        let writes_b = gen_writes(&mut rng, 1001, 2000);
+        let model = gen_model(&mut rng);
+        let spec = gen_spec(&mut rng);
         let addr = |b: u64| Addr(0x4000 + b * 64);
         let mk = |writes: &[(u64, u64)]| {
             let ops: Vec<Op> = writes
@@ -119,27 +146,31 @@ proptest! {
         };
         let all: Vec<u64> = writes_a.iter().chain(&writes_b).map(|&(_, v)| v).collect();
         let (m, s) = run_programs(model, spec, vec![mk(&writes_a), mk(&writes_b)]);
-        prop_assert!(s.finished);
+        assert!(s.finished, "case {case}: hung");
         for b in 0..4u64 {
             let v = m.mem().read(addr(b));
-            prop_assert!(
+            assert!(
                 v == 0 || all.contains(&v),
-                "address block {b} holds fabricated value {v}"
+                "case {case}: address block {b} holds fabricated value {v}"
             );
         }
     }
+}
 
-    /// Per-core cycle accounting always sums to the core's active cycles.
-    #[test]
-    fn accounting_is_exhaustive(
-        ops in proptest::collection::vec(arb_op(6), 1..50),
-        model in arb_model(),
-        spec in arb_spec(),
-    ) {
-        let programs: Vec<Box<dyn ThreadProgram>> =
-            vec![Box::new(ScriptProgram::new(ops))];
+/// Per-core cycle accounting always sums to the core's active cycles.
+#[test]
+fn accounting_is_exhaustive() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed(0xA11CE).split("accounting").split_index(case);
+        let mut ops = gen_ops(&mut rng, 6, 50);
+        if ops.is_empty() {
+            ops.push(Op::Compute(1));
+        }
+        let model = gen_model(&mut rng);
+        let spec = gen_spec(&mut rng);
+        let programs: Vec<Box<dyn ThreadProgram>> = vec![Box::new(ScriptProgram::new(ops))];
         let (m, s) = run_programs(model, spec, programs);
-        prop_assert!(s.finished);
+        assert!(s.finished, "case {case}: hung");
         let core = m.core(CoreId(0));
         let total: u64 = core
             .accounting()
@@ -147,16 +178,25 @@ proptest! {
             .filter(|(k, _)| k.starts_with("cyc."))
             .map(|(_, v)| v)
             .sum();
-        prop_assert_eq!(total, core.done_at().unwrap().as_u64());
+        assert_eq!(
+            total,
+            core.done_at().unwrap().as_u64(),
+            "case {case}: accounting leak"
+        );
     }
+}
 
-    /// Identical configurations replay identically (full determinism).
-    #[test]
-    fn deterministic_replay(
-        ops in proptest::collection::vec(arb_op(6), 1..40),
-        model in arb_model(),
-        spec in arb_spec(),
-    ) {
+/// Identical configurations replay identically (full determinism).
+#[test]
+fn deterministic_replay() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed(0xA11CE).split("replay").split_index(case);
+        let mut ops = gen_ops(&mut rng, 6, 40);
+        if ops.is_empty() {
+            ops.push(Op::Compute(1));
+        }
+        let model = gen_model(&mut rng);
+        let spec = gen_spec(&mut rng);
         let go = || {
             let programs: Vec<Box<dyn ThreadProgram>> = vec![
                 Box::new(ScriptProgram::new(ops.clone())),
@@ -164,6 +204,6 @@ proptest! {
             ];
             run_programs(model, spec, programs).1
         };
-        prop_assert_eq!(go(), go());
+        assert_eq!(go(), go(), "case {case}: replay diverged");
     }
 }
