@@ -9,3 +9,34 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Overflow regressions: the stats layer must saturate, not wrap — run the
+# workspace tests once in release with debug assertions (which turn silent
+# wrap-around into panics). Separate target dir so the release artifacts
+# above survive for the sweep smoke test.
+RUSTFLAGS="-C debug-assertions=on" CARGO_TARGET_DIR=target/ci-overflow \
+    cargo test -q --release --workspace
+
+# Sweep smoke test: a 4-point grid with one injected failing point
+# (threads = 0 fails at experiment start). The sweep must exit non-zero
+# *after* completing the other three rows — fail-soft, no lost results.
+SMOKE_DIR=target/sweep-smoke
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+cat > "$SMOKE_DIR/grid.toml" <<'EOF'
+workload = "lu"
+scale = 1
+
+[sweep]
+id = "ci-smoke"
+
+[grid]
+threads = [2, 3, 4, 0]
+EOF
+if ./target/release/tenways sweep --config "$SMOKE_DIR/grid.toml" \
+    --out "$SMOKE_DIR" --quiet; then
+    echo "sweep smoke test: expected a non-zero exit for the failing point" >&2
+    exit 1
+fi
+test "$(grep -c '"status": "ok"' "$SMOKE_DIR/ci-smoke.json")" = 3
+test "$(grep -c '"status": "failed"' "$SMOKE_DIR/ci-smoke.json")" = 1

@@ -33,7 +33,11 @@ fn main() {
             ));
         }
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig10_l1_sweep",
+        "L1 capacity sweep (SC + on-demand)",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| {

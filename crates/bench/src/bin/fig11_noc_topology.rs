@@ -42,7 +42,11 @@ fn main() {
             }
         }
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig11_noc_topology",
+        "interconnect ablation: crossbar vs 2-D mesh (TSO)",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| record_row(label, r))

@@ -7,11 +7,35 @@
 //! section — in exchange for starvation freedom. The fairness column
 //! (spread of per-core finish times) quantifies what the ticket buys.
 
-use tenways_bench::{banner, write_results_json, SuiteConfig};
+use tenways_bench::{banner, write_results_json, SuiteConfig, SweepJob, SweepRunner};
 use tenways_cpu::{ConsistencyModel, Machine, MachineSpec};
 use tenways_sim::json::Json;
 use tenways_sim::MachineConfig;
 use tenways_workloads::{lock_bench_programs, LockBenchParams, LockKind};
+
+/// The measurements one lock-bench run contributes to the figure.
+struct LockRow {
+    cycles: u64,
+    finished: bool,
+    retired_ops: u64,
+    throughput: f64,
+    invalidations: u64,
+    fairness: f64,
+}
+
+fn lock_row_json(label: &str, r: &LockRow) -> Json {
+    Json::obj([
+        ("label", Json::from(label)),
+        ("cycles", Json::U64(r.cycles)),
+        ("finished", Json::Bool(r.finished)),
+        ("retired_ops", Json::U64(r.retired_ops)),
+        ("throughput", Json::F64(r.throughput)),
+        ("invalidations", Json::U64(r.invalidations)),
+        ("fairness", Json::F64(r.fairness)),
+    ])
+}
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
 
 fn main() {
     let cfg = SuiteConfig::from_env();
@@ -20,7 +44,70 @@ fn main() {
         "lock ablation: TTAS vs ticket (throughput & traffic)",
         &cfg,
     );
-    let mut json_rows = Vec::new();
+
+    let scale = cfg.scale();
+    let mut jobs: Vec<SweepJob<LockRow>> = Vec::new();
+    for model in ConsistencyModel::all() {
+        for threads in THREAD_COUNTS {
+            for kind in [LockKind::Ttas, LockKind::Ticket] {
+                let label = format!(
+                    "{}/{}t/{}",
+                    model.label(),
+                    threads,
+                    format!("{kind:?}").to_lowercase()
+                );
+                jobs.push(SweepJob::new(label, move || {
+                    let params = LockBenchParams {
+                        threads,
+                        rounds: 20 * scale,
+                        cs_compute: 8,
+                        think_compute: 4,
+                        kind,
+                    };
+                    let (programs, layout) = lock_bench_programs(&params);
+                    let machine_cfg = MachineConfig::builder()
+                        .cores(threads)
+                        .build()
+                        .map_err(|e| e.to_string())?;
+                    let spec = MachineSpec::baseline(model).with_machine(machine_cfg);
+                    let mut m = Machine::new(&spec, programs);
+                    let s = m.run(100_000_000);
+                    if !s.finished {
+                        return Err(format!("{kind:?} hung"));
+                    }
+                    let expect = threads as u64 * params.rounds;
+                    let got = m.mem().read(layout.counter);
+                    if got != expect {
+                        return Err(format!(
+                            "mutual exclusion broken: counter {got}, expected {expect}"
+                        ));
+                    }
+                    let stats = m.merged_stats();
+                    // Fairness: earliest finisher / latest finisher (1.0 =
+                    // all cores finish together; small = some core
+                    // starved).
+                    let done: Vec<u64> = s.core_done_at.iter().map(|d| d.unwrap_or(0)).collect();
+                    let min = *done.iter().min().unwrap_or(&0) as f64;
+                    let max = *done.iter().max().unwrap_or(&1) as f64;
+                    Ok(LockRow {
+                        cycles: s.cycles,
+                        finished: s.finished,
+                        retired_ops: s.retired_ops,
+                        throughput: s.throughput(),
+                        invalidations: stats.get("l1.invalidations") + stats.get("l1.recalls"),
+                        fairness: if max == 0.0 { 1.0 } else { min / max },
+                    })
+                }));
+            }
+        }
+    }
+
+    let results = SweepRunner::new().run(jobs).require_all_with(
+        "fig12_lock_ablation",
+        "lock ablation: TTAS vs ticket (throughput & traffic)",
+        &cfg,
+        lock_row_json,
+    );
 
     println!(
         "{:>8}{:>8}{:>12}{:>12}{:>12}{:>12}{:>13}{:>13}",
@@ -33,74 +120,25 @@ fn main() {
         "ttas fair",
         "ticket fair"
     );
-    for model in ConsistencyModel::all() {
-        for threads in [2usize, 4, 8] {
-            let mut cycles = [0u64; 2];
-            let mut invs = [0u64; 2];
-            let mut fairness = [0.0f64; 2];
-            for (i, kind) in [LockKind::Ttas, LockKind::Ticket].into_iter().enumerate() {
-                let params = LockBenchParams {
-                    threads,
-                    rounds: 20 * cfg.scale(),
-                    cs_compute: 8,
-                    think_compute: 4,
-                    kind,
-                };
-                let (programs, layout) = lock_bench_programs(&params);
-                let machine_cfg = MachineConfig::builder()
-                    .cores(threads)
-                    .build()
-                    .expect("valid");
-                let spec = MachineSpec::baseline(model).with_machine(machine_cfg);
-                let mut m = Machine::new(&spec, programs);
-                let s = m.run(100_000_000);
-                assert!(s.finished, "{kind:?} hung");
-                let expect = threads as u64 * params.rounds;
-                assert_eq!(
-                    m.mem().read(layout.counter),
-                    expect,
-                    "mutual exclusion broken"
-                );
-                let stats = m.merged_stats();
-                cycles[i] = s.cycles;
-                invs[i] = stats.get("l1.invalidations") + stats.get("l1.recalls");
-                // Fairness: earliest finisher / latest finisher (1.0 = all
-                // cores finish together; small = some core starved).
-                let done: Vec<u64> = s.core_done_at.iter().map(|d| d.unwrap_or(0)).collect();
-                let min = *done.iter().min().unwrap_or(&0) as f64;
-                let max = *done.iter().max().unwrap_or(&1) as f64;
-                fairness[i] = if max == 0.0 { 1.0 } else { min / max };
-                json_rows.push(Json::obj([
-                    (
-                        "label",
-                        Json::from(format!(
-                            "{}/{}t/{}",
-                            model.label(),
-                            threads,
-                            format!("{kind:?}").to_lowercase()
-                        )),
-                    ),
-                    ("cycles", Json::U64(s.cycles)),
-                    ("finished", Json::Bool(s.finished)),
-                    ("retired_ops", Json::U64(s.retired_ops)),
-                    ("throughput", Json::F64(s.throughput())),
-                    ("invalidations", Json::U64(invs[i])),
-                    ("fairness", Json::F64(fairness[i])),
-                ]));
-            }
+    for (mi, model) in ConsistencyModel::all().into_iter().enumerate() {
+        for (ti, threads) in THREAD_COUNTS.into_iter().enumerate() {
+            let base = (mi * THREAD_COUNTS.len() + ti) * 2;
+            let (ttas, ticket) = (&results[base].1, &results[base + 1].1);
             println!(
                 "{:>8}{:>8}{:>12}{:>12}{:>12}{:>12}{:>13.3}{:>13.3}",
                 model.label(),
                 threads,
-                cycles[0],
-                cycles[1],
-                invs[0],
-                invs[1],
-                fairness[0],
-                fairness[1],
+                ttas.cycles,
+                ticket.cycles,
+                ttas.invalidations,
+                ticket.invalidations,
+                ttas.fairness,
+                ticket.fairness,
             );
         }
     }
+
+    let json_rows = results.iter().map(|(l, r)| lock_row_json(l, r)).collect();
     write_results_json(
         "fig12_lock_ablation",
         "lock ablation: TTAS vs ticket (throughput & traffic)",

@@ -29,7 +29,11 @@ fn main() {
             ));
         }
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig13_prefetch",
+        "next-line prefetcher ablation (TSO)",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| {

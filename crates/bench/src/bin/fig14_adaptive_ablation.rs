@@ -6,7 +6,6 @@
 
 use tenways_bench::{banner, record_row, run_parallel, write_results_json, SuiteConfig};
 use tenways_cpu::{ConsistencyModel, SpecConfig};
-use tenways_sim::json::Json;
 use tenways_waste::Experiment;
 use tenways_workloads::{ContendedParams, WorkloadKind};
 
@@ -17,7 +16,6 @@ fn main() {
         "ablation: epoch cap + adaptive backoff (SC + on-demand)",
         &cfg,
     );
-    let mut json_rows: Vec<Json> = Vec::new();
 
     let variants: Vec<(&str, SpecConfig)> = vec![
         ("baseline", SpecConfig::disabled()),
@@ -34,79 +32,63 @@ fn main() {
         ("full", SpecConfig::on_demand()),
     ];
 
+    // All three parts run as one fail-soft batch (labels carry the part
+    // prefix), so a failure in any part still leaves every completed row
+    // in the results JSON.
+    let mut jobs = Vec::new();
     // Part A: the hostile kernel (ocean's write-shared stencil).
-    println!("ocean (write-shared stencil, the hostile case):");
-    let jobs: Vec<_> = variants
-        .iter()
-        .map(|(name, spec)| {
-            (
-                name.to_string(),
-                Experiment::new(WorkloadKind::OceanLike)
-                    .params(cfg.params())
-                    .model(ConsistencyModel::Sc)
-                    .spec(*spec),
-            )
-        })
-        .collect();
-    let results = run_parallel(jobs);
-    json_rows.extend(
-        results
-            .iter()
-            .map(|(l, r)| record_row(&format!("ocean/{l}"), r)),
-    );
-    print_rows(&results);
-
+    for (name, spec) in &variants {
+        jobs.push((
+            format!("ocean/{name}"),
+            Experiment::new(WorkloadKind::OceanLike)
+                .params(cfg.params())
+                .model(ConsistencyModel::Sc)
+                .spec(*spec),
+        ));
+    }
     // Part B: the friendly kernel (dss, no sharing): the mechanisms must
     // not cost anything where speculation wins cleanly.
-    println!("\ndss (no sharing, the friendly case):");
-    let jobs: Vec<_> = variants
-        .iter()
-        .map(|(name, spec)| {
-            (
-                name.to_string(),
-                Experiment::new(WorkloadKind::DssLike)
-                    .params(cfg.params())
-                    .model(ConsistencyModel::Sc)
-                    .spec(*spec),
-            )
-        })
-        .collect();
-    let results = run_parallel(jobs);
-    json_rows.extend(
-        results
-            .iter()
-            .map(|(l, r)| record_row(&format!("dss/{l}"), r)),
-    );
-    print_rows(&results);
-
-    // Part C: the contended sweep at a hostile p.
-    println!("\ncontended p=0.2 (TSO):");
-    let jobs: Vec<_> = variants
-        .iter()
-        .map(|(name, spec)| {
-            (
-                name.to_string(),
-                Experiment::contended(ContendedParams {
-                    threads: cfg.threads(),
-                    ops_per_thread: 200 * cfg.scale(),
-                    conflict_p: 0.2,
-                    hot_blocks: 4,
-                    fence_period: 8,
-                    seed: cfg.seed(),
-                })
-                .model(ConsistencyModel::Tso)
+    for (name, spec) in &variants {
+        jobs.push((
+            format!("dss/{name}"),
+            Experiment::new(WorkloadKind::DssLike)
+                .params(cfg.params())
+                .model(ConsistencyModel::Sc)
                 .spec(*spec),
-            )
-        })
-        .collect();
-    let results = run_parallel(jobs);
-    json_rows.extend(
-        results
-            .iter()
-            .map(|(l, r)| record_row(&format!("contended/{l}"), r)),
-    );
-    print_rows(&results);
+        ));
+    }
+    // Part C: the contended sweep at a hostile p.
+    for (name, spec) in &variants {
+        jobs.push((
+            format!("contended/{name}"),
+            Experiment::contended(ContendedParams {
+                threads: cfg.threads(),
+                ops_per_thread: 200 * cfg.scale(),
+                conflict_p: 0.2,
+                hot_blocks: 4,
+                fence_period: 8,
+                seed: cfg.seed(),
+            })
+            .model(ConsistencyModel::Tso)
+            .spec(*spec),
+        ));
+    }
 
+    let results = run_parallel(jobs).require_all(
+        "fig14_adaptive_ablation",
+        "ablation: epoch cap + adaptive backoff (SC + on-demand)",
+        &cfg,
+    );
+    let n = variants.len();
+
+    println!("ocean (write-shared stencil, the hostile case):");
+    print_rows(&results[..n]);
+    println!("\ndss (no sharing, the friendly case):");
+    print_rows(&results[n..2 * n]);
+    println!("\ncontended p=0.2 (TSO):");
+    print_rows(&results[2 * n..]);
+
+    let json_rows = results.iter().map(|(l, r)| record_row(l, r)).collect();
     write_results_json(
         "fig14_adaptive_ablation",
         "ablation: epoch cap + adaptive backoff (SC + on-demand)",
@@ -126,6 +108,7 @@ fn print_rows(results: &[(String, tenways_waste::RunRecord)]) {
     );
     let base = results[0].1.summary.cycles as f64;
     for (name, r) in results {
+        let name = name.rsplit('/').next().unwrap_or(name);
         println!(
             "  {:<10}{:>12}{:>10}{:>12}{:>14}{:>16.3}",
             name,

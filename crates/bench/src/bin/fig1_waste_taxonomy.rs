@@ -22,7 +22,11 @@ fn main() {
             )
         })
         .collect();
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig1_waste_taxonomy",
+        "waste taxonomy (baseline TSO)",
+        &cfg,
+    );
     let rows = results
         .iter()
         .map(|(label, r)| {

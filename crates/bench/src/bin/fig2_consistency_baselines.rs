@@ -24,7 +24,11 @@ fn main() {
             ));
         }
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig2_consistency_baselines",
+        "baseline SC / TSO / RMO runtime",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| record_row(label, r))

@@ -38,7 +38,11 @@ fn main() {
             ));
         }
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig3_invisifence_speedup",
+        "fence speculation vs baselines",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| record_row(label, r))

@@ -32,7 +32,11 @@ fn main() {
             ));
         }
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig4_modes",
+        "on-demand vs continuous speculation (TSO)",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| {

@@ -27,7 +27,11 @@ fn main() {
             )
         })
         .collect();
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig5_spec_depth",
+        "speculation depth & SB occupancy (SC + on-demand)",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| {

@@ -46,7 +46,11 @@ fn main() {
             ));
         }
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig6_storage",
+        "speculation storage scaling + per-store cap ablation",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| record_row(label, r))

@@ -33,7 +33,11 @@ fn main() {
         jobs.push((format!("base p={p}"), mk(p, SpecConfig::disabled())));
         jobs.push((format!("spec p={p}"), mk(p, SpecConfig::on_demand())));
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig7_conflict_sweep",
+        "conflict-probability sweep (contended kernel, TSO)",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| record_row(label, r))

@@ -36,7 +36,11 @@ fn main() {
             }
         }
     }
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "fig8_scaling",
+        "core-count scaling: SC vs SC+IF vs RMO",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| record_row(label, r))

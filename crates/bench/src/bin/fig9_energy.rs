@@ -31,7 +31,8 @@ fn main() {
                 .spec(SpecConfig::on_demand()),
         ));
     }
-    let mut results = run_parallel(jobs);
+    let mut results =
+        run_parallel(jobs).require_all("fig9_energy", "energy breakdown, ops/uJ and EDP", &cfg);
     for (label, r) in &mut results {
         r.label = label.clone();
     }

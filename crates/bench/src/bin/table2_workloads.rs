@@ -18,7 +18,11 @@ fn main() {
             )
         })
         .collect();
-    let results = run_parallel(jobs);
+    let results = run_parallel(jobs).require_all(
+        "table2_workloads",
+        "workload characterization (baseline TSO)",
+        &cfg,
+    );
     let json_rows = results
         .iter()
         .map(|(label, r)| record_row(label, r))

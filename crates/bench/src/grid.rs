@@ -1,0 +1,627 @@
+//! Grid sweeps: expand one TOML file into many [`SimConfig`] points, run
+//! them on the [`SweepRunner`](crate::SweepRunner), and checkpoint
+//! completed rows so an interrupted sweep resumes instead of restarting.
+//!
+//! # Grid file format
+//!
+//! A grid file is an ordinary [`SimConfig`] TOML document plus two extra
+//! sections:
+//!
+//! ```toml
+//! # Base configuration: any SimConfig key, same as `tenways --config`.
+//! workload = "oltp"
+//! scale = 4
+//!
+//! [sweep]              # optional sweep metadata
+//! id = "oltp-scaling"  # default: the file stem
+//! title = "OLTP scaling sweep"
+//!
+//! [grid]               # the cross product of these axes is the sweep
+//! threads = [2, 4, 8, 16]
+//! model = ["sc", "tso"]
+//! "machine.dram_latency" = [100, 200]
+//! ```
+//!
+//! Every `[grid]` key names a `SimConfig` field (dotted keys reach into
+//! sections); each point overlays one value per axis onto the base config.
+//! Axes expand in document order, first axis outermost. A file with no
+//! `[grid]` section is a single-point sweep of the base config.
+//!
+//! # Checkpoint / resume
+//!
+//! While running, completed rows are periodically written to
+//! `<out>/<id>.partial.json`. If that file exists when the sweep starts
+//! (same id, same point count, same labels), its `ok` rows are reused and
+//! only the remaining points run — so a sweep killed mid-run resumes
+//! instead of restarting, and the final document is byte-identical to an
+//! uninterrupted run. The checkpoint is removed once every row is `ok`.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use tenways_sim::json::{Json, ToJson};
+use tenways_waste::{Experiment, SimConfig};
+
+use crate::sweep::{JobOutcome, SweepError, SweepJob, SweepOptions, SweepRunner};
+use crate::{record_row, BENCH_ROWS_SCHEMA_VERSION};
+
+/// A parsed sweep specification: base config plus grid axes.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Sweep identifier; names the output files.
+    pub id: String,
+    /// Human title for the results document.
+    pub title: Option<String>,
+    /// The base configuration every point starts from.
+    pub base: SimConfig,
+    /// Grid axes in document order: `(key, values)`.
+    pub grid: Vec<(String, Vec<Json>)>,
+}
+
+/// One expanded grid point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Position in the expansion (stable across runs).
+    pub index: usize,
+    /// `key=value` pairs joined with `,`, or `"base"` for a gridless file.
+    pub label: String,
+    /// The axis assignments this point overlays onto the base.
+    pub overlay: Vec<(String, Json)>,
+    /// The fully resolved configuration.
+    pub config: SimConfig,
+}
+
+impl SweepSpec {
+    /// Parses a grid document from TOML text. `fallback_id` is used when
+    /// the file has no `[sweep] id`.
+    pub fn from_toml_str(text: &str, fallback_id: &str) -> Result<SweepSpec, String> {
+        let doc = tenways_sim::toml::parse_toml(text).map_err(|e| e.to_string())?;
+        SweepSpec::from_json(&doc, fallback_id)
+    }
+
+    /// Builds a spec from an already-parsed document tree.
+    pub fn from_json(doc: &Json, fallback_id: &str) -> Result<SweepSpec, String> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| format!("grid file must be a table, got {}", doc.type_name()))?;
+        let mut id = fallback_id.to_string();
+        let mut title = None;
+        let mut grid = Vec::new();
+        let mut base_pairs = Vec::new();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "sweep" => {
+                    for (k, v) in value.as_object().ok_or("`[sweep]` must be a table")?.iter() {
+                        match k.as_str() {
+                            "id" => {
+                                id = v.as_str().ok_or("`sweep.id` must be a string")?.to_string()
+                            }
+                            "title" => {
+                                title = Some(
+                                    v.as_str()
+                                        .ok_or("`sweep.title` must be a string")?
+                                        .to_string(),
+                                )
+                            }
+                            other => return Err(format!("unknown `[sweep]` key `{other}`")),
+                        }
+                    }
+                }
+                "grid" => {
+                    for (axis, values) in value.as_object().ok_or("`[grid]` must be a table")? {
+                        let values = match values {
+                            Json::Arr(items) => items.clone(),
+                            // A scalar axis pins one value (a 1-wide axis).
+                            other => vec![other.clone()],
+                        };
+                        if values
+                            .iter()
+                            .any(|v| matches!(v, Json::Arr(_) | Json::Obj(_)))
+                        {
+                            return Err(format!("grid axis `{axis}` must hold scalars"));
+                        }
+                        grid.push((axis.clone(), values));
+                    }
+                }
+                _ => base_pairs.push((key.clone(), value.clone())),
+            }
+        }
+        let mut base = SimConfig::default();
+        base.apply_json(&Json::Obj(base_pairs))?;
+        if id.is_empty() {
+            return Err("sweep id must not be empty".to_string());
+        }
+        Ok(SweepSpec {
+            id,
+            title,
+            base,
+            grid,
+        })
+    }
+
+    /// Loads a grid file; `.json` parses as JSON, everything else as TOML.
+    /// The default sweep id is the file stem.
+    pub fn load(path: &Path) -> Result<SweepSpec, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("sweep");
+        if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+        {
+            let doc = Json::parse(&text).map_err(|e| e.to_string())?;
+            SweepSpec::from_json(&doc, stem)
+        } else {
+            SweepSpec::from_toml_str(&text, stem)
+        }
+    }
+
+    /// The document title used for the results file.
+    pub fn resolved_title(&self) -> String {
+        self.title
+            .clone()
+            .unwrap_or_else(|| format!("parameter sweep `{}`", self.id))
+    }
+
+    /// Expands the grid's cross product into configured points, first axis
+    /// outermost. A mistyped or unknown axis value is an error here — a
+    /// broken grid should stop the sweep before any cycles are spent.
+    pub fn points(&self) -> Result<Vec<SweepPoint>, String> {
+        let mut overlays: Vec<Vec<(String, Json)>> = vec![Vec::new()];
+        for (key, values) in &self.grid {
+            let mut next = Vec::with_capacity(overlays.len() * values.len());
+            for overlay in &overlays {
+                for value in values {
+                    let mut o = overlay.clone();
+                    o.push((key.clone(), value.clone()));
+                    next.push(o);
+                }
+            }
+            overlays = next;
+        }
+        overlays
+            .into_iter()
+            .enumerate()
+            .map(|(index, overlay)| {
+                let mut config = self.base.clone();
+                for (key, value) in &overlay {
+                    config
+                        .apply_json(&nested_overlay(key, value.clone()))
+                        .map_err(|e| format!("grid axis `{key}`: {e}"))?;
+                }
+                Ok(SweepPoint {
+                    index,
+                    label: point_label(&overlay),
+                    overlay,
+                    config,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Wraps `value` into nested objects along a dotted `path`
+/// (`"machine.dram_latency"` → `{"machine":{"dram_latency":value}}`).
+fn nested_overlay(path: &str, value: Json) -> Json {
+    let mut doc = value;
+    for part in path.rsplit('.') {
+        doc = Json::obj([(part, doc)]);
+    }
+    doc
+}
+
+fn scalar_text(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn point_label(overlay: &[(String, Json)]) -> String {
+    if overlay.is_empty() {
+        return "base".to_string();
+    }
+    overlay
+        .iter()
+        .map(|(k, v)| format!("{k}={}", scalar_text(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// How [`run_sweep`] executes and persists a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepParams {
+    /// Runner options (workers, retries, budget, cancellation).
+    pub options: SweepOptions,
+    /// Directory for the final and checkpoint documents.
+    pub out_dir: PathBuf,
+    /// Write the checkpoint after every this-many completed rows
+    /// (0 disables checkpointing).
+    pub checkpoint_every: usize,
+    /// Reuse `ok` rows from an existing checkpoint instead of rerunning.
+    pub resume: bool,
+    /// Emit per-row progress lines on stderr.
+    pub verbose: bool,
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        SweepParams {
+            options: SweepOptions::default(),
+            out_dir: crate::results_dir(),
+            checkpoint_every: 1,
+            resume: true,
+            verbose: false,
+        }
+    }
+}
+
+/// What a finished [`run_sweep`] produced.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Where the final document was written.
+    pub path: PathBuf,
+    /// The final document.
+    pub doc: Json,
+    /// Rows that completed (including reused checkpoint rows).
+    pub ok: usize,
+    /// Rows that ran and failed.
+    pub failed: usize,
+    /// Rows skipped by cancellation or a job cap.
+    pub skipped: usize,
+    /// How many `ok` rows came from the checkpoint instead of running.
+    pub reused: usize,
+}
+
+impl SweepReport {
+    /// Whether every row completed.
+    pub fn all_ok(&self) -> bool {
+        self.failed == 0 && self.skipped == 0
+    }
+}
+
+/// Version of the checkpoint document layout.
+const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// Runs a sweep fail-soft: every point gets a row with status
+/// `ok`/`failed`/`skipped`, completed rows are checkpointed to
+/// `<out>/<id>.partial.json` as the sweep progresses, and the final
+/// `bench_rows.v1`-compatible document lands in `<out>/<id>.json`.
+///
+/// Returns `Err` only for infrastructure problems (unwritable output
+/// directory, malformed grid); per-job failures are reported in the rows.
+pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, String> {
+    let points = spec.points()?;
+    std::fs::create_dir_all(&params.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", params.out_dir.display()))?;
+    let final_path = params.out_dir.join(format!("{}.json", spec.id));
+    let partial_path = params.out_dir.join(format!("{}.partial.json", spec.id));
+
+    // Reuse checkpointed rows where the checkpoint matches this sweep.
+    let mut rows: Vec<Option<Json>> = vec![None; points.len()];
+    let mut reused = 0usize;
+    if params.resume && partial_path.exists() {
+        match load_checkpoint(&partial_path, spec, &points) {
+            Ok(restored) => {
+                for (i, row) in restored {
+                    if rows[i].is_none() {
+                        rows[i] = Some(row);
+                        reused += 1;
+                    }
+                }
+                if params.verbose && reused > 0 {
+                    eprintln!(
+                        "[sweep {}] resuming: {} of {} rows restored from {}",
+                        spec.id,
+                        reused,
+                        points.len(),
+                        partial_path.display()
+                    );
+                }
+            }
+            Err(reason) => eprintln!(
+                "[sweep {}] ignoring checkpoint {}: {reason}",
+                spec.id,
+                partial_path.display()
+            ),
+        }
+    }
+
+    // Dispatch the points that still need to run.
+    let todo: Vec<usize> = (0..points.len()).filter(|&i| rows[i].is_none()).collect();
+    let jobs: Vec<SweepJob<tenways_waste::RunRecord>> = todo
+        .iter()
+        .map(|&i| {
+            let config = points[i].config.clone();
+            SweepJob::new(points[i].label.clone(), move || {
+                Experiment::from_config(&config)
+                    .map_err(|e| e.to_string())?
+                    .run()
+                    .map_err(|e| e.to_string())
+            })
+        })
+        .collect();
+
+    let total = points.len();
+    let state = Mutex::new((rows, 0usize)); // (rows, completions since checkpoint)
+    let runner = SweepRunner::with_options(params.options.clone());
+    let batch = runner.run_observed(jobs, |j, outcome: &JobOutcome<tenways_waste::RunRecord>| {
+        let i = todo[j];
+        if params.verbose {
+            match &outcome.result {
+                Ok(r) => eprintln!(
+                    "[sweep {}] {} {} ({} cycles)",
+                    spec.id,
+                    outcome.status().as_str(),
+                    points[i].label,
+                    r.summary.cycles
+                ),
+                Err(e) => eprintln!(
+                    "[sweep {}] {} {}: {e}",
+                    spec.id,
+                    outcome.status().as_str(),
+                    points[i].label
+                ),
+            }
+        }
+        if let Ok(record) = &outcome.result {
+            let row = ok_row(&points[i], record, outcome.attempts);
+            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+            st.0[i] = Some(row);
+            st.1 += 1;
+            if params.checkpoint_every > 0 && st.1 >= params.checkpoint_every {
+                st.1 = 0;
+                if let Err(e) = write_checkpoint(&partial_path, spec, total, &st.0) {
+                    eprintln!("[sweep {}] checkpoint write failed: {e}", spec.id);
+                }
+            }
+        }
+    });
+
+    // Assemble the final rows in point order.
+    let (mut rows, _) = state.into_inner().unwrap_or_else(|e| e.into_inner());
+    for (j, outcome) in batch.outcomes.iter().enumerate() {
+        let i = todo[j];
+        if rows[i].is_none() {
+            rows[i] = Some(err_row(&points[i], outcome));
+        }
+    }
+    let rows: Vec<Json> = rows
+        .into_iter()
+        .map(|r| r.expect("every point has a row"))
+        .collect();
+
+    let (mut ok, mut failed, mut skipped) = (0usize, 0usize, 0usize);
+    for row in &rows {
+        match row.get("status").and_then(Json::as_str) {
+            Some("ok") => ok += 1,
+            Some("failed") => failed += 1,
+            _ => skipped += 1,
+        }
+    }
+
+    let doc = Json::obj([
+        ("schema_version", Json::U64(BENCH_ROWS_SCHEMA_VERSION)),
+        ("id", Json::from(spec.id.clone())),
+        ("title", Json::from(spec.resolved_title())),
+        ("config", spec.base.to_json()),
+        (
+            "grid",
+            Json::obj(
+                spec.grid
+                    .iter()
+                    .map(|(k, vs)| (k.clone(), Json::Arr(vs.clone()))),
+            ),
+        ),
+        (
+            "summary",
+            Json::obj([
+                ("total", Json::from(total)),
+                ("ok", Json::from(ok)),
+                ("failed", Json::from(failed)),
+                ("skipped", Json::from(skipped)),
+            ]),
+        ),
+        ("rows", Json::Arr(rows)),
+    ]);
+    let mut text = doc.pretty();
+    text.push('\n');
+    std::fs::write(&final_path, text)
+        .map_err(|e| format!("cannot write {}: {e}", final_path.display()))?;
+
+    // A fully-ok sweep needs no checkpoint; otherwise keep it so a later
+    // run can reuse the completed rows while retrying the rest.
+    if failed == 0 && skipped == 0 {
+        let _ = std::fs::remove_file(&partial_path);
+    }
+
+    Ok(SweepReport {
+        path: final_path,
+        doc,
+        ok,
+        failed,
+        skipped,
+        reused,
+    })
+}
+
+/// The row for a completed point: the standard headline metrics plus the
+/// point's axis assignments and its status. This exact JSON is what the
+/// checkpoint stores, so resumed and fresh rows render identically.
+fn ok_row(point: &SweepPoint, record: &tenways_waste::RunRecord, attempts: u32) -> Json {
+    let mut pairs = match record_row(&point.label, record) {
+        Json::Obj(pairs) => pairs,
+        other => vec![("row".to_string(), other)],
+    };
+    if !point.overlay.is_empty() {
+        pairs.push(("point".to_string(), Json::Obj(point.overlay.to_vec())));
+    }
+    pairs.push(("status".to_string(), Json::from("ok")));
+    if attempts > 1 {
+        pairs.push(("attempts".to_string(), Json::U64(u64::from(attempts))));
+    }
+    Json::Obj(pairs)
+}
+
+/// The row for a failed or skipped point.
+fn err_row(point: &SweepPoint, outcome: &JobOutcome<tenways_waste::RunRecord>) -> Json {
+    let mut pairs = vec![("label".to_string(), Json::from(point.label.clone()))];
+    if !point.overlay.is_empty() {
+        pairs.push(("point".to_string(), Json::Obj(point.overlay.to_vec())));
+    }
+    pairs.push(("status".to_string(), Json::from(outcome.status().as_str())));
+    if let Err(e) = &outcome.result {
+        if !matches!(e, SweepError::Cancelled) {
+            pairs.push(("error".to_string(), Json::from(e.to_string())));
+        }
+    }
+    if outcome.attempts > 1 {
+        pairs.push((
+            "attempts".to_string(),
+            Json::U64(u64::from(outcome.attempts)),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// Atomically writes the checkpoint document (write-then-rename, so a
+/// sweep killed mid-write never leaves a truncated checkpoint).
+fn write_checkpoint(
+    path: &Path,
+    spec: &SweepSpec,
+    total: usize,
+    rows: &[Option<Json>],
+) -> Result<(), String> {
+    let completed: Vec<Json> = rows
+        .iter()
+        .enumerate()
+        .filter_map(|(i, row)| {
+            row.as_ref()
+                .map(|row| Json::obj([("index", Json::from(i)), ("row", row.clone())]))
+        })
+        .collect();
+    let doc = Json::obj([
+        ("schema_version", Json::U64(CHECKPOINT_SCHEMA_VERSION)),
+        ("kind", Json::from("sweep_checkpoint")),
+        ("id", Json::from(spec.id.clone())),
+        ("total", Json::from(total)),
+        ("completed", Json::Arr(completed)),
+    ]);
+    let tmp = path.with_extension("json.tmp");
+    let mut text = doc.pretty();
+    text.push('\n');
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+}
+
+/// Loads and validates a checkpoint against this sweep's points. Returns
+/// `(index, row)` pairs for rows that can be reused.
+fn load_checkpoint(
+    path: &Path,
+    spec: &SweepSpec,
+    points: &[SweepPoint],
+) -> Result<Vec<(usize, Json)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read checkpoint: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("malformed checkpoint: {e}"))?;
+    if doc.get("kind").and_then(Json::as_str) != Some("sweep_checkpoint") {
+        return Err("not a sweep checkpoint".to_string());
+    }
+    if doc.get("id").and_then(Json::as_str) != Some(spec.id.as_str()) {
+        return Err("checkpoint belongs to a different sweep id".to_string());
+    }
+    if doc.get("total").and_then(Json::as_u64) != Some(points.len() as u64) {
+        return Err("grid size changed since the checkpoint was written".to_string());
+    }
+    let completed = doc
+        .get("completed")
+        .and_then(Json::as_array)
+        .ok_or("checkpoint has no completed rows")?;
+    let mut restored = Vec::with_capacity(completed.len());
+    for entry in completed {
+        let index = entry
+            .get("index")
+            .and_then(Json::as_u64)
+            .ok_or("checkpoint row missing index")? as usize;
+        let row = entry.get("row").ok_or("checkpoint row missing body")?;
+        let point = points
+            .get(index)
+            .ok_or("checkpoint row index out of range")?;
+        if row.get("label").and_then(Json::as_str) != Some(point.label.as_str()) {
+            return Err(format!(
+                "checkpoint row {index} labelled `{}` but the grid expands to `{}`",
+                row.get("label").and_then(Json::as_str).unwrap_or("?"),
+                point.label
+            ));
+        }
+        if row.get("status").and_then(Json::as_str) == Some("ok") {
+            restored.push((index, row.clone()));
+        }
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRID: &str = "workload = \"lu\"\nscale = 1\nseed = 3\n\n[sweep]\nid = \"demo\"\n\n[grid]\nthreads = [2, 3]\nmodel = [\"sc\", \"rmo\"]\n";
+
+    #[test]
+    fn grid_expands_cross_product_in_document_order() {
+        let spec = SweepSpec::from_toml_str(GRID, "fallback").unwrap();
+        assert_eq!(spec.id, "demo");
+        let points = spec.points().unwrap();
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "threads=2,model=sc",
+                "threads=2,model=rmo",
+                "threads=3,model=sc",
+                "threads=3,model=rmo",
+            ]
+        );
+        assert_eq!(points[2].config.threads, 3);
+        assert_eq!(points[2].config.workload, "lu");
+    }
+
+    #[test]
+    fn gridless_file_is_a_single_point() {
+        let spec = SweepSpec::from_toml_str("workload = \"lu\"\n", "solo").unwrap();
+        assert_eq!(spec.id, "solo");
+        let points = spec.points().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].label, "base");
+    }
+
+    #[test]
+    fn empty_axis_yields_an_empty_sweep() {
+        let spec = SweepSpec::from_toml_str("[grid]\nthreads = []\n", "empty").unwrap();
+        assert!(spec.points().unwrap().is_empty());
+    }
+
+    #[test]
+    fn dotted_axes_reach_into_sections() {
+        let spec = SweepSpec::from_toml_str("[grid]\n\"machine.dram_latency\" = [100, 250]\n", "d")
+            .unwrap();
+        let points = spec.points().unwrap();
+        assert_eq!(points[1].config.machine.dram_latency, 250);
+        assert_eq!(points[1].label, "machine.dram_latency=250");
+    }
+
+    #[test]
+    fn bad_axis_types_fail_the_whole_sweep() {
+        let spec = SweepSpec::from_toml_str("[grid]\nthreads = [\"many\"]\n", "bad").unwrap();
+        assert!(spec.points().unwrap_err().contains("threads"));
+        let spec = SweepSpec::from_toml_str("[grid]\nnosuchfield = [1]\n", "bad").unwrap();
+        assert!(spec.points().unwrap_err().contains("nosuchfield"));
+    }
+
+    #[test]
+    fn scalar_axis_pins_one_value() {
+        let spec = SweepSpec::from_toml_str("[grid]\nthreads = 4\nseed = [1, 2]\n", "p").unwrap();
+        let points = spec.points().unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.config.threads == 4));
+    }
+}

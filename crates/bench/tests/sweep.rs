@@ -1,0 +1,157 @@
+//! End-to-end tests for the grid sweep layer: failure containment,
+//! degenerate grids, oversubscription, and checkpoint/resume determinism.
+
+use std::path::PathBuf;
+
+use tenways_bench::{run_sweep, SweepOptions, SweepParams, SweepSpec};
+use tenways_sim::json::Json;
+
+/// A fresh directory under the cargo-managed tmp dir for one test.
+fn out_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quiet_params(dir: PathBuf) -> SweepParams {
+    SweepParams {
+        out_dir: dir,
+        verbose: false,
+        ..SweepParams::default()
+    }
+}
+
+const TINY_GRID: &str = "workload = \"lu\"\nscale = 1\nseed = 3\n\n[sweep]\nid = \"tiny\"\n\n[grid]\nthreads = [2, 3]\nseed = [1, 2, 3, 4]\nmodel = [\"sc\", \"tso\"]\n";
+
+#[test]
+fn gridless_spec_runs_the_base_config_once() {
+    let spec =
+        SweepSpec::from_toml_str("workload = \"lu\"\nscale = 1\nthreads = 2\n", "solo").unwrap();
+    let report = run_sweep(&spec, &quiet_params(out_dir("solo"))).unwrap();
+    assert_eq!((report.ok, report.failed, report.skipped), (1, 0, 0));
+    let rows = report.doc.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get("label").and_then(Json::as_str), Some("base"));
+}
+
+#[test]
+fn empty_axis_writes_an_empty_document() {
+    let spec =
+        SweepSpec::from_toml_str("workload = \"lu\"\n\n[grid]\nthreads = []\n", "none").unwrap();
+    let report = run_sweep(&spec, &quiet_params(out_dir("none"))).unwrap();
+    assert_eq!((report.ok, report.failed, report.skipped), (0, 0, 0));
+    assert!(report.all_ok(), "an empty sweep has nothing to fail");
+    let rows = report.doc.get("rows").and_then(Json::as_array).unwrap();
+    assert!(rows.is_empty());
+    assert!(report.path.exists());
+}
+
+#[test]
+fn grid_larger_than_parallelism_completes_every_row() {
+    // 16 points against 2 workers: more jobs than workers by construction,
+    // and on most hosts more than available_parallelism would grant each.
+    let spec = SweepSpec::from_toml_str(TINY_GRID, "x").unwrap();
+    let points = spec.points().unwrap();
+    assert_eq!(points.len(), 16);
+    let params = SweepParams {
+        options: SweepOptions {
+            workers: Some(2),
+            ..SweepOptions::default()
+        },
+        ..quiet_params(out_dir("oversub"))
+    };
+    let report = run_sweep(&spec, &params).unwrap();
+    assert_eq!((report.ok, report.failed, report.skipped), (16, 0, 0));
+    let rows = report.doc.get("rows").and_then(Json::as_array).unwrap();
+    for (row, point) in rows.iter().zip(&points) {
+        assert_eq!(
+            row.get("label").and_then(Json::as_str),
+            Some(point.label.as_str()),
+            "rows stay in grid expansion order"
+        );
+        assert_eq!(row.get("status").and_then(Json::as_str), Some("ok"));
+    }
+}
+
+#[test]
+fn a_failing_point_costs_only_its_own_row() {
+    // threads = 0 passes config typing but fails when the experiment
+    // starts — the injected per-row failure.
+    let grid = "workload = \"lu\"\nscale = 1\n\n[sweep]\nid = \"failsoft\"\n\n[grid]\nthreads = [2, 3, 4, 0]\n";
+    let spec = SweepSpec::from_toml_str(grid, "x").unwrap();
+    let dir = out_dir("failsoft");
+    let report = run_sweep(&spec, &quiet_params(dir.clone())).unwrap();
+    assert_eq!((report.ok, report.failed, report.skipped), (3, 1, 0));
+    let rows = report.doc.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 4, "failed points still get a row");
+    let failed = &rows[3];
+    assert_eq!(failed.get("status").and_then(Json::as_str), Some("failed"));
+    assert!(failed.get("error").and_then(Json::as_str).is_some());
+    assert!(failed.get("cycles").is_none(), "no fabricated metrics");
+    for row in &rows[..3] {
+        assert_eq!(row.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(row.get("cycles").and_then(Json::as_u64).is_some());
+    }
+    // The checkpoint survives a partial sweep so a rerun can resume.
+    assert!(dir.join("failsoft.partial.json").exists());
+}
+
+#[test]
+fn resume_from_checkpoint_reproduces_the_uninterrupted_run_byte_for_byte() {
+    let spec = SweepSpec::from_toml_str(TINY_GRID, "x").unwrap();
+
+    // Reference: one uninterrupted run.
+    let full_dir = out_dir("resume_full");
+    run_sweep(&spec, &quiet_params(full_dir.clone())).unwrap();
+    let reference = std::fs::read(full_dir.join("tiny.json")).unwrap();
+
+    // Interrupted: a single worker allowed only 5 fresh starts, then a
+    // resume that picks up the other 11 from the checkpoint.
+    let cut_dir = out_dir("resume_cut");
+    let interrupted = SweepParams {
+        options: SweepOptions {
+            workers: Some(1),
+            max_jobs: Some(5),
+            ..SweepOptions::default()
+        },
+        ..quiet_params(cut_dir.clone())
+    };
+    let report = run_sweep(&spec, &interrupted).unwrap();
+    assert_eq!((report.ok, report.failed, report.skipped), (5, 0, 11));
+    assert!(cut_dir.join("tiny.partial.json").exists());
+
+    let report = run_sweep(&spec, &quiet_params(cut_dir.clone())).unwrap();
+    assert_eq!((report.ok, report.failed, report.skipped), (16, 0, 0));
+    assert_eq!(report.reused, 5, "checkpointed rows must not rerun");
+    let resumed = std::fs::read(cut_dir.join("tiny.json")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "resumed sweep must be byte-identical to the uninterrupted run"
+    );
+    assert!(
+        !cut_dir.join("tiny.partial.json").exists(),
+        "a fully-ok sweep removes its checkpoint"
+    );
+}
+
+#[test]
+fn fresh_run_ignores_a_stale_checkpoint() {
+    let spec = SweepSpec::from_toml_str(TINY_GRID, "x").unwrap();
+    let dir = out_dir("fresh");
+    let interrupted = SweepParams {
+        options: SweepOptions {
+            workers: Some(1),
+            max_jobs: Some(3),
+            ..SweepOptions::default()
+        },
+        ..quiet_params(dir.clone())
+    };
+    run_sweep(&spec, &interrupted).unwrap();
+    let no_resume = SweepParams {
+        resume: false,
+        ..quiet_params(dir.clone())
+    };
+    let report = run_sweep(&spec, &no_resume).unwrap();
+    assert_eq!(report.reused, 0, "--fresh reruns every point");
+    assert_eq!(report.ok, 16);
+}

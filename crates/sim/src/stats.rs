@@ -5,11 +5,25 @@
 //! counters that can be merged across components and rendered as a report
 //! row. Counters are plain `u64`s — no atomics; the simulator is
 //! single-threaded per run and sweeps parallelize across *runs*.
+//!
+//! Two kinds of entry live in a [`StatSet`]:
+//!
+//! * **counters** — written with [`StatSet::bump`]/[`StatSet::bump_by`];
+//!   [`StatSet::merge`] *sums* them across components.
+//! * **gauges** — absolute values sampled at end of run, written with
+//!   [`StatSet::set`]; [`StatSet::merge`] *overwrites* them (the incoming
+//!   value wins), so merging component sets into a run record never
+//!   double-counts a sampled value.
+//!
+//! All accumulation saturates at [`u64::MAX`] rather than wrapping (or
+//! panicking under debug assertions) on long-horizon runs.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A single monotonically increasing event counter.
+///
+/// Accumulation saturates at [`u64::MAX`].
 ///
 /// # Example
 ///
@@ -30,14 +44,14 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds one.
+    /// Adds one (saturating).
     pub fn incr(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n` (saturating).
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current value.
@@ -58,7 +72,15 @@ impl From<u64> for Counter {
     }
 }
 
-/// An ordered collection of named counters.
+/// One named entry: its value plus whether it is a gauge (see the
+/// [module docs](self) for the counter/gauge distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Stat {
+    value: u64,
+    gauge: bool,
+}
+
+/// An ordered collection of named counters and gauges.
 ///
 /// Keys are `&'static str` event names; ordering is lexicographic so report
 /// rows are stable across runs.
@@ -81,7 +103,7 @@ impl From<u64> for Counter {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatSet {
-    counters: BTreeMap<&'static str, u64>,
+    entries: BTreeMap<&'static str, Stat>,
 }
 
 impl StatSet {
@@ -92,44 +114,76 @@ impl StatSet {
 
     /// Adds one to `name`, creating it at zero first if absent.
     pub fn bump(&mut self, name: &'static str) {
-        *self.counters.entry(name).or_insert(0) += 1;
+        self.bump_by(name, 1);
     }
 
-    /// Adds `n` to `name`.
+    /// Adds `n` to `name` (saturating at [`u64::MAX`]).
     pub fn bump_by(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+        let e = self.entries.entry(name).or_insert(Stat {
+            value: 0,
+            gauge: false,
+        });
+        e.value = e.value.saturating_add(n);
     }
 
     /// Sets `name` to an absolute value (for gauges sampled at end of run).
+    /// The key is marked as a gauge: [`StatSet::merge`] overwrites it
+    /// instead of summing.
     pub fn set(&mut self, name: &'static str, v: u64) {
-        self.counters.insert(name, v);
+        self.entries.insert(
+            name,
+            Stat {
+                value: v,
+                gauge: true,
+            },
+        );
     }
 
     /// Reads a counter; absent counters read as zero.
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.entries.get(name).map(|e| e.value).unwrap_or(0)
     }
 
-    /// Adds every counter of `other` into `self`.
+    /// Whether `name` holds a gauge (last written via [`StatSet::set`]).
+    pub fn is_gauge(&self, name: &str) -> bool {
+        self.entries.get(name).map(|e| e.gauge).unwrap_or(false)
+    }
+
+    /// Folds every entry of `other` into `self`: counters are summed
+    /// (saturating), gauges overwrite — the incoming absolute value wins,
+    /// so a gauge sampled by a component is never double-counted when
+    /// component sets are merged into a run record.
     pub fn merge(&mut self, other: &StatSet) {
-        for (name, v) in &other.counters {
-            *self.counters.entry(name).or_insert(0) += v;
+        for (name, s) in &other.entries {
+            match self.entries.entry(name) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(*s);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    let e = o.get_mut();
+                    if s.gauge {
+                        *e = *s;
+                    } else {
+                        e.value = e.value.saturating_add(s.value);
+                    }
+                }
+            }
         }
     }
 
     /// Iterates `(name, value)` in stable (lexicographic) order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        self.entries.iter().map(|(k, e)| (*k, e.value))
     }
 
     /// Number of distinct counters.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.entries.len()
     }
 
     /// Whether no counter has been touched.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.entries.is_empty()
     }
 
     /// Ratio of two counters, or `None` if the denominator is zero.
@@ -141,10 +195,10 @@ impl StatSet {
 
 impl fmt::Display for StatSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.counters.is_empty() {
+        if self.entries.is_empty() {
             return write!(f, "(no stats)");
         }
-        for (i, (k, v)) in self.counters.iter().enumerate() {
+        for (i, (k, v)) in self.iter().enumerate() {
             if i > 0 {
                 writeln!(f)?;
             }
@@ -191,6 +245,15 @@ mod tests {
     }
 
     #[test]
+    fn counter_saturates_at_max() {
+        let mut c = Counter::from(u64::MAX - 1);
+        c.add(7);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX, "incr at the ceiling must not wrap");
+    }
+
+    #[test]
     fn statset_bump_get_merge() {
         let mut s = StatSet::new();
         s.bump("a");
@@ -205,6 +268,18 @@ mod tests {
         assert_eq!(s.get("c"), 1);
         assert_eq!(s.get("nope"), 0);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn statset_bump_saturates_at_max() {
+        let mut s = StatSet::new();
+        s.bump_by("big", u64::MAX);
+        s.bump("big");
+        s.bump_by("big", u64::MAX);
+        assert_eq!(s.get("big"), u64::MAX, "bump_by must saturate, not wrap");
+        let t: StatSet = [("big", u64::MAX)].into_iter().collect();
+        s.merge(&t);
+        assert_eq!(s.get("big"), u64::MAX, "merge must saturate, not wrap");
     }
 
     #[test]
@@ -227,6 +302,41 @@ mod tests {
         s.bump_by("g", 7);
         s.set("g", 2);
         assert_eq!(s.get("g"), 2);
+        assert!(s.is_gauge("g"));
+        assert!(!s.is_gauge("absent"));
+    }
+
+    #[test]
+    fn merge_overwrites_gauges_instead_of_summing() {
+        // A gauge written with `set` is an absolute sample: merging two
+        // sets that both carry it must not double-count.
+        let mut run = StatSet::new();
+        run.set("sb.occupancy_max", 5);
+        run.bump_by("l1.hits", 10);
+        let mut component = StatSet::new();
+        component.set("sb.occupancy_max", 7);
+        component.bump_by("l1.hits", 3);
+        run.merge(&component);
+        assert_eq!(
+            run.get("sb.occupancy_max"),
+            7,
+            "gauge must overwrite on merge, not sum to 12"
+        );
+        assert!(run.is_gauge("sb.occupancy_max"));
+        assert_eq!(run.get("l1.hits"), 13, "counters still sum");
+    }
+
+    #[test]
+    fn merge_after_set_into_fresh_set_keeps_gauge_kind() {
+        let mut component = StatSet::new();
+        component.set("gauge", 4);
+        let mut run = StatSet::new();
+        run.merge(&component);
+        assert_eq!(run.get("gauge"), 4);
+        assert!(run.is_gauge("gauge"), "gauge kind survives the merge");
+        // A second merge of the same component still yields the sample.
+        run.merge(&component);
+        assert_eq!(run.get("gauge"), 4);
     }
 
     #[test]

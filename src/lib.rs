@@ -23,6 +23,8 @@
 //!   microbenchmark.
 //! * [`waste`] — the taxonomy, energy accounting, and the
 //!   [`Experiment`](waste::Experiment) runner.
+//! * [`bench`] — the fail-soft parallel [`SweepRunner`](bench::SweepRunner)
+//!   and the grid-sweep layer behind `tenways sweep`.
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tenways_bench as bench;
 pub use tenways_coherence as coherence;
 pub use tenways_core as spec;
 pub use tenways_cpu as cpu;

@@ -1,8 +1,10 @@
-//! The `tenways` command-line driver: run one experiment from the shell.
+//! The `tenways` command-line driver: run one experiment from the shell,
+//! or a whole grid of them with the `sweep` subcommand.
 //!
 //! ```text
 //! tenways --workload oltp --model sc --spec on-demand --threads 8 --scale 8
 //! tenways --config sweep.toml --json results/run.json --trace trace.json
+//! tenways sweep --config grid.toml
 //! tenways --list
 //! ```
 //!
@@ -17,9 +19,12 @@ use tenways::sim::json::ToJson;
 use tenways::sim::trace::chrome_trace;
 use tenways::waste::report;
 
+mod sweep_cli;
+
 fn usage() -> ! {
     eprintln!(
         "usage: tenways [options]
+       tenways sweep --config <grid.toml> [options]   (see tenways sweep --help)
   --config <path>     load a SimConfig file first (.json is JSON, else TOML)
   --workload <name>   one of: {} | contended (default oltp)
   --model <m>         sc | tso | rmo (default tso)
@@ -62,6 +67,11 @@ const TRACE_CAPACITY: usize = 1 << 20;
 
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+
+    // Subcommand dispatch: `tenways sweep ...` has its own flag set.
+    if argv.first().map(String::as_str) == Some("sweep") {
+        sweep_cli::main(&argv[1..]);
+    }
 
     // Pass 1: the config file establishes the base layer.
     let mut cfg = SimConfig::default();
