@@ -40,3 +40,14 @@ if ./target/release/tenways sweep --config "$SMOKE_DIR/grid.toml" \
 fi
 test "$(grep -c '"status": "ok"' "$SMOKE_DIR/ci-smoke.json")" = 3
 test "$(grep -c '"status": "failed"' "$SMOKE_DIR/ci-smoke.json")" = 1
+
+# Throughput bench smoke run: times fast-forward vs naive stepping on every
+# configuration and exits non-zero if any pair of run records is not
+# byte-identical — the whole-binary fast-forward regression gate. Run from
+# a scratch dir so the committed full-scale BENCH_sim_throughput.json (and
+# results/) are not overwritten with smoke-scale numbers.
+BENCH_DIR=target/ci-results
+rm -rf "$BENCH_DIR"
+mkdir -p "$BENCH_DIR"
+(cd "$BENCH_DIR" && TENWAYS_RESULTS_DIR=. "$OLDPWD/target/release/sim_throughput")
+test -f "$BENCH_DIR/BENCH_sim_throughput.json"

@@ -1,0 +1,188 @@
+//! Simulator throughput — host-side cost of simulation, and the wall-clock
+//! win from the event-horizon fast-forward run loop.
+//!
+//! Each configuration runs twice over the identical workload: once with
+//! naive per-cycle stepping (the reference loop) and once with
+//! fast-forward (the default). The binary *fails* (exit 1) if the two run
+//! records are not byte-identical, so a smoke run doubles as the
+//! fast-forward regression gate in CI. Rows report simulated cycles per
+//! wall second and retired ops per wall second for both modes, plus the
+//! speedup; results land in `results/sim_throughput.json` and are
+//! mirrored to `BENCH_sim_throughput.json` at the current directory.
+
+use std::time::Instant;
+
+use tenways_bench::{banner, write_results_json, SuiteConfig};
+use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_sim::json::{Json, ToJson};
+use tenways_sim::MachineConfig;
+use tenways_waste::{Experiment, RunRecord};
+use tenways_workloads::{WorkloadKind, WorkloadParams};
+
+const ID: &str = "sim_throughput";
+const TITLE: &str = "simulator throughput: fast-forward vs naive stepping";
+
+struct Timed {
+    record: RunRecord,
+    wall_s: f64,
+}
+
+/// Runs the experiment `REPEATS` times and keeps the best wall time (the
+/// runs are deterministic, so repeats only shave scheduler noise off
+/// sub-100ms measurements).
+const REPEATS: usize = 3;
+
+fn timed_run(exp: &Experiment, fast_forward: bool) -> Timed {
+    let exp = exp.clone().fast_forward(fast_forward);
+    let mut best: Option<Timed> = None;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let record = exp.run().unwrap_or_else(|e| panic!("run failed: {e}"));
+        let wall_s = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|b| wall_s < b.wall_s) {
+            best = Some(Timed { record, wall_s });
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn mode_row(label: &str, mode: &str, t: &Timed, speedup: Option<f64>) -> Json {
+    let cycles = t.record.summary.cycles;
+    let ops = t.record.summary.retired_ops;
+    let per_sec = |n: u64| {
+        if t.wall_s > 0.0 {
+            n as f64 / t.wall_s
+        } else {
+            0.0
+        }
+    };
+    let mut fields = vec![
+        ("label", Json::from(label)),
+        ("mode", Json::from(mode)),
+        ("cycles", Json::U64(cycles)),
+        ("finished", Json::Bool(t.record.summary.finished)),
+        ("retired_ops", Json::U64(ops)),
+        ("wall_s", Json::F64(t.wall_s)),
+        ("sim_cycles_per_sec", Json::F64(per_sec(cycles))),
+        ("retired_ops_per_sec", Json::F64(per_sec(ops))),
+    ];
+    if let Some(s) = speedup {
+        fields.push(("speedup_vs_naive", Json::F64(s)));
+    }
+    Json::obj(fields)
+}
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner(ID, TITLE, &cfg);
+
+    let params = WorkloadParams {
+        threads: cfg.threads(),
+        scale: cfg.scale(),
+        seed: cfg.seed(),
+    };
+    let hi_dram = MachineConfig::builder()
+        .cores(cfg.threads())
+        .dram(4, 400, 48)
+        .build()
+        .expect("hi-dram machine config");
+    // Far-memory latencies (CXL/disaggregated, ~microseconds) at low
+    // concurrency: quiescent gaps dominate the timeline, the regime
+    // fast-forward exists for. Thread count is pinned so the row stays
+    // latency-bound whatever TENWAYS_THREADS says.
+    let remote_mem = MachineConfig::builder()
+        .cores(2)
+        .dram(4, 4000, 48)
+        .build()
+        .expect("remote-memory machine config");
+
+    // A compute-leaning kernel, lock-heavy commercial kernels, and three
+    // memory-latency-bound scans (default, slow, and far-memory DRAM) —
+    // the last rows are where fast-forward must pay off.
+    let configs: Vec<(String, Experiment)> = vec![
+        (
+            "lu/tso".into(),
+            Experiment::new(WorkloadKind::LuLike).params(params),
+        ),
+        (
+            "ocean/tso".into(),
+            Experiment::new(WorkloadKind::OceanLike).params(params),
+        ),
+        (
+            "oltp/sc".into(),
+            Experiment::new(WorkloadKind::OltpLike)
+                .params(params)
+                .model(ConsistencyModel::Sc),
+        ),
+        (
+            "apache/sc+if".into(),
+            Experiment::new(WorkloadKind::ApacheLike)
+                .params(params)
+                .model(ConsistencyModel::Sc)
+                .spec(SpecConfig::on_demand()),
+        ),
+        (
+            "dss/tso".into(),
+            Experiment::new(WorkloadKind::DssLike).params(params),
+        ),
+        (
+            "dss/tso/dram400".into(),
+            Experiment::new(WorkloadKind::DssLike)
+                .params(params)
+                .machine(hi_dram),
+        ),
+        (
+            "dss/tso/2t/remote4000".into(),
+            Experiment::new(WorkloadKind::DssLike)
+                .params(WorkloadParams {
+                    threads: 2,
+                    scale: cfg.scale(),
+                    seed: cfg.seed(),
+                })
+                .machine(remote_mem),
+        ),
+    ];
+
+    println!(
+        "{:<18}{:>12}{:>12}{:>14}{:>14}{:>10}",
+        "config", "cycles", "naive s", "naive cyc/s", "ff cyc/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut mismatches = 0usize;
+    for (label, exp) in &configs {
+        // Timing runs are serial on purpose: parallel siblings would steal
+        // host cores and corrupt the wall-clock numbers.
+        let naive = timed_run(exp, false);
+        let fast = timed_run(exp, true);
+        if fast.record.to_json().to_string() != naive.record.to_json().to_string() {
+            eprintln!("[{ID}] FAST-FORWARD MISMATCH on {label}: run records differ");
+            mismatches += 1;
+        }
+        let speedup = if fast.wall_s > 0.0 {
+            naive.wall_s / fast.wall_s
+        } else {
+            0.0
+        };
+        println!(
+            "{:<18}{:>12}{:>12.3}{:>14.3e}{:>14.3e}{:>9.1}x",
+            label,
+            naive.record.summary.cycles,
+            naive.wall_s,
+            naive.record.summary.cycles as f64 / naive.wall_s.max(1e-9),
+            fast.record.summary.cycles as f64 / fast.wall_s.max(1e-9),
+            speedup
+        );
+        rows.push(mode_row(label, "naive", &naive, None));
+        rows.push(mode_row(label, "fast_forward", &fast, Some(speedup)));
+    }
+
+    let path = write_results_json(ID, TITLE, &cfg, rows);
+    let text = std::fs::read_to_string(&path).expect("re-read results JSON");
+    std::fs::write("BENCH_sim_throughput.json", text).expect("write BENCH_sim_throughput.json");
+    println!("[results] wrote BENCH_sim_throughput.json");
+
+    if mismatches > 0 {
+        eprintln!("[{ID}] {mismatches} configuration(s) diverged under fast-forward");
+        std::process::exit(1);
+    }
+}

@@ -118,9 +118,14 @@ impl DirectoryBank {
 
     /// Advances the bank one cycle: accept arrivals, process matured
     /// messages, fire scheduled sends (possibly unblocking deferred work).
-    pub fn tick(&mut self, now: Cycle, fabric: &mut Fabric<Msg>) {
+    ///
+    /// Returns `true` if the bank did anything (accepted, processed or sent
+    /// a message) this cycle.
+    pub fn tick(&mut self, now: Cycle, fabric: &mut Fabric<Msg>) -> bool {
+        let mut progress = false;
         let arrivals: Vec<_> = fabric.take_inbox(self.node).collect();
         for env in arrivals {
+            progress = true;
             let core = CoreId(env.src.0);
             self.pending
                 .push_back((now.after(self.latency), core, env.payload));
@@ -133,6 +138,7 @@ impl DirectoryBank {
                 break;
             }
             let (_, core, msg) = self.pending.pop_front().expect("peeked");
+            progress = true;
             self.dispatch(now, core, msg);
         }
 
@@ -142,6 +148,7 @@ impl DirectoryBank {
         while i < self.sends.len() {
             if self.sends[i].at <= now {
                 let s = self.sends.remove(i);
+                progress = true;
                 fabric.send(now, self.node, s.dst, s.msg);
                 if s.completes_txn {
                     let block = s.msg.block();
@@ -155,6 +162,29 @@ impl DirectoryBank {
         for block in fired_blocks {
             self.pump_deferred(now, block);
         }
+        progress
+    }
+
+    /// Earliest future cycle at which this bank will act on its own: the
+    /// next pending-message maturity or scheduled-send time. Work the bank
+    /// is waiting on from elsewhere (acks, deferred requests behind a busy
+    /// block) surfaces through the fabric's horizon instead. `None` when
+    /// nothing is queued.
+    ///
+    /// An idle bank tick (no arrivals, nothing matured, nothing fired)
+    /// mutates no state at all, so skipped cycles need no replay here.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        // FIFO arrival order + constant latency keep `pending` sorted.
+        if let Some(&(at, _, _)) = self.pending.front() {
+            let at = at.max(now.after(1));
+            horizon = Some(at);
+        }
+        for s in &self.sends {
+            let at = s.at.max(now.after(1));
+            horizon = Some(horizon.map_or(at, |h| h.min(at)));
+        }
+        horizon
     }
 
     /// Processes queued requests for `block` until one makes it busy again

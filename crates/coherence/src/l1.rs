@@ -190,6 +190,15 @@ pub struct L1Controller {
     violations: Vec<SpecViolation>,
     /// Blocks that may carry speculation marks (superset; bits are truth).
     spec_marked: Vec<BlockAddr>,
+    /// Stat keys bumped by *failed* `request` calls this cycle. A blocked
+    /// core repeats the identical failed request every cycle of a quiescent
+    /// gap, so fast-forward replays these keys once per skipped cycle.
+    /// Cleared at the top of every [`tick`](Self::tick).
+    idle_fx: Vec<&'static str>,
+    /// A failed `request` this cycle had a one-time side effect (cleared a
+    /// prefetched bit), so the cycle is not a uniform replica and must not
+    /// seed a fast-forward jump.
+    fx_once: bool,
     stats: StatSet,
 }
 
@@ -214,6 +223,8 @@ impl L1Controller {
             completions: Vec::new(),
             violations: Vec::new(),
             spec_marked: Vec::new(),
+            idle_fx: Vec::new(),
+            fx_once: false,
             stats: StatSet::new(),
         }
     }
@@ -243,15 +254,36 @@ impl L1Controller {
         block: BlockAddr,
         fabric: &mut Fabric<Msg>,
     ) -> Result<(), RequestError> {
-        self.stats.bump(match kind {
+        // Track the stat bumps of this attempt; a successful request is
+        // progress (never replayed), so its record is discarded.
+        let fx_mark = self.idle_fx.len();
+        let r = self.request_inner(now, req, kind, block, fabric);
+        if r.is_ok() {
+            self.idle_fx.truncate(fx_mark);
+        }
+        r
+    }
+
+    fn request_inner(
+        &mut self,
+        now: Cycle,
+        req: ReqId,
+        kind: AccessKind,
+        block: BlockAddr,
+        fabric: &mut Fabric<Msg>,
+    ) -> Result<(), RequestError> {
+        let kind_key = match kind {
             AccessKind::Read => "l1.read_reqs",
             AccessKind::Write => "l1.write_reqs",
-        });
+        };
+        self.stats.bump(kind_key);
+        self.idle_fx.push(kind_key);
 
         if let Some(line) = self.cache.get(block) {
             if line.prefetched {
                 line.prefetched = false;
                 self.stats.bump("l1.prefetch_useful");
+                self.fx_once = true;
             }
             match kind {
                 AccessKind::Read => {
@@ -273,10 +305,12 @@ impl L1Controller {
                     // S line: upgrade. Falls through to the miss path below;
                     // the line stays readable while the GetM is in flight.
                     self.stats.bump("l1.upgrades");
+                    self.idle_fx.push("l1.upgrades");
                 }
             }
         } else {
             self.stats.bump("l1.misses");
+            self.idle_fx.push("l1.misses");
         }
 
         let primary = self
@@ -403,12 +437,20 @@ impl L1Controller {
 
     /// Advances the controller: matures hit completions, retries displaced
     /// writes, and processes protocol messages delivered by the fabric.
-    pub fn tick(&mut self, now: Cycle, fabric: &mut Fabric<Msg>) {
+    ///
+    /// Returns `true` if anything moved (a hit matured, a retry was
+    /// accepted, or a protocol message was processed) this cycle.
+    pub fn tick(&mut self, now: Cycle, fabric: &mut Fabric<Msg>) -> bool {
+        self.idle_fx.clear();
+        self.fx_once = false;
+        let mut progress = false;
+
         while let Some(&(at, req)) = self.hit_q.front() {
             if at > now {
                 break;
             }
             self.hit_q.pop_front();
+            progress = true;
             self.completions.push(Completion {
                 req,
                 at,
@@ -422,12 +464,43 @@ impl L1Controller {
             };
             if self.request(now, req, kind, block, fabric).is_err() {
                 self.retry_q.push_back((req, kind, block));
+            } else {
+                progress = true;
             }
         }
 
         let msgs: Vec<Msg> = fabric.take_inbox(self.node).map(|e| e.payload).collect();
         for msg in msgs {
+            progress = true;
             self.handle_msg(now, msg, fabric);
+        }
+        progress
+    }
+
+    /// Earliest future cycle at which this controller will act on its own:
+    /// the next maturing hit, or "immediately" while finished completions /
+    /// violations await pickup by the core. Misses, writebacks and queued
+    /// retries are unblocked by fabric deliveries, which surface through
+    /// the fabric's horizon. `None` when none of those are pending.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.completions.is_empty() || !self.violations.is_empty() {
+            return Some(now.after(1));
+        }
+        self.hit_q.front().map(|&(at, _)| at.max(now.after(1)))
+    }
+
+    /// Whether a failed request this cycle had a one-time side effect,
+    /// making the cycle unsafe to use as a fast-forward template.
+    pub fn took_one_time_fx(&self) -> bool {
+        self.fx_once
+    }
+
+    /// Replays the stat bumps of this cycle's failed requests over `gap`
+    /// skipped quiescent cycles (the blocked core and the retry queue
+    /// would have repeated them identically every cycle).
+    pub fn skip_idle(&mut self, gap: u64) {
+        for &key in &self.idle_fx {
+            self.stats.bump_by(key, gap);
         }
     }
 

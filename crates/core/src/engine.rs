@@ -293,6 +293,87 @@ impl SpecEngine {
         }
     }
 
+    /// How many more *refused* [`request_speculation`] calls stand between
+    /// the current state and one that would be granted, when that count is
+    /// finite: only the adaptive-suppression counter ticks down one refusal
+    /// at a time. Cap and backoff refusals repeat indefinitely until an
+    /// external event (commit, rollback, backoff clear) changes the state,
+    /// and return `None`.
+    ///
+    /// Fast-forward uses this as the engine's event horizon: a core whose
+    /// only per-cycle action is a suppressed speculation request will be
+    /// granted after exactly `refusal_horizon()` more refusals.
+    ///
+    /// [`request_speculation`]: Self::request_speculation
+    pub fn refusal_horizon(&self) -> Option<u64> {
+        match self.state {
+            // `suppressed_stalls` may already be 0 here (the observed
+            // refusal spent the last suppression); the next request is then
+            // granted immediately — horizon zero, nothing to skip.
+            State::Idle if self.config.mode != SpecMode::Disabled && !self.backoff => {
+                Some(self.suppressed_stalls)
+            }
+            _ => None,
+        }
+    }
+
+    /// Replays `n` identical refused [`request_speculation`] calls in one
+    /// shot — exactly the per-call effects (refusal stats, adaptive
+    /// countdown) the live path would have applied over `n` quiescent
+    /// cycles. The engine state must still be the one that produced the
+    /// original refusal.
+    ///
+    /// [`request_speculation`]: Self::request_speculation
+    pub fn skip_idle_refusals(&mut self, n: u64) {
+        if n == 0 || self.config.mode == SpecMode::Disabled {
+            return;
+        }
+        match &self.state {
+            State::Active {
+                spec_stores,
+                spec_ops,
+                ..
+            } => {
+                if self
+                    .config
+                    .max_spec_stores
+                    .is_some_and(|cap| *spec_stores >= cap)
+                {
+                    self.stats.bump_by("spec.cap_refusals", n);
+                } else if *spec_ops >= self.config.max_epoch_ops {
+                    self.stats.bump_by("spec.epoch_cap_refusals", n);
+                } else {
+                    debug_assert!(false, "replaying refusals the engine would grant");
+                }
+            }
+            State::Idle => {
+                if self.backoff {
+                    self.stats.bump_by("spec.backoff_refusals", n);
+                } else if self.suppressed_stalls > 0 {
+                    debug_assert!(
+                        n <= self.suppressed_stalls,
+                        "replay must stop at the suppression horizon"
+                    );
+                    self.suppressed_stalls -= n.min(self.suppressed_stalls);
+                    self.stats.bump_by("spec.adaptive_refusals", n);
+                } else {
+                    debug_assert!(false, "replaying refusals the engine would grant");
+                }
+            }
+        }
+    }
+
+    /// Replays `n` identical *granted* epoch extensions — the per-call
+    /// bump a blocked-but-speculating op repeats every quiescent cycle.
+    /// (The merged drain condition is already in place from the observed
+    /// cycle; re-merging it is a no-op for timing and commit behavior.)
+    pub fn skip_idle_extensions(&mut self, n: u64) {
+        if n > 0 {
+            debug_assert!(self.speculating(), "extensions need an open epoch");
+            self.stats.bump_by("spec.epoch_extensions", n);
+        }
+    }
+
     /// Records a speculative operation retiring under the open epoch.
     pub fn note_spec_op(&mut self) {
         if let State::Active { spec_ops, .. } = &mut self.state {

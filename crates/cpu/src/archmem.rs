@@ -8,15 +8,45 @@
 //! is flushed on commit and discarded on rollback; coherence-conflict
 //! detection guarantees at most one speculative writer survives per block.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use tenways_sim::Addr;
 
+/// Words per [`ArchMem`] page: 512 × 8 B = 4 KiB of payload.
+const PAGE_WORDS: u64 = 512;
+const PAGE_SHIFT: u32 = PAGE_WORDS.trailing_zeros();
+const SLOT_MASK: u64 = PAGE_WORDS - 1;
+
+/// One 4 KiB memory page plus a written-word bitmap. The bitmap keeps
+/// [`ArchMem::footprint_words`] exact (a write of zero still counts as a
+/// written word, just as it created a map entry in the old
+/// `BTreeMap`-backed design).
+#[derive(Debug, Clone)]
+struct Page {
+    data: [u64; PAGE_WORDS as usize],
+    written: [u64; (PAGE_WORDS / 64) as usize],
+}
+
+impl Page {
+    fn zeroed() -> Box<Self> {
+        Box::new(Page {
+            data: [0; PAGE_WORDS as usize],
+            written: [0; (PAGE_WORDS / 64) as usize],
+        })
+    }
+}
+
 /// The shared, flat architectural memory (word-granular; unwritten
 /// locations read as zero).
+///
+/// Storage is a page table over flat 4 KiB pages rather than a per-word
+/// tree: reads and writes are two array indexes after one hash lookup,
+/// which keeps the functional layer off the simulator's hot-path profile.
+/// Reads of unmapped pages return 0 without allocating.
 #[derive(Debug, Clone, Default)]
 pub struct ArchMem {
-    words: BTreeMap<u64, u64>,
+    pages: HashMap<u64, Box<Page>>,
+    footprint: usize,
 }
 
 impl ArchMem {
@@ -27,17 +57,30 @@ impl ArchMem {
 
     /// Reads the word at `addr` (0 if never written).
     pub fn read(&self, addr: Addr) -> u64 {
-        self.words.get(&addr.0).copied().unwrap_or(0)
+        match self.pages.get(&(addr.0 >> PAGE_SHIFT)) {
+            Some(page) => page.data[(addr.0 & SLOT_MASK) as usize],
+            None => 0,
+        }
     }
 
     /// Writes the word at `addr`.
     pub fn write(&mut self, addr: Addr, value: u64) {
-        self.words.insert(addr.0, value);
+        let page = self
+            .pages
+            .entry(addr.0 >> PAGE_SHIFT)
+            .or_insert_with(Page::zeroed);
+        let slot = (addr.0 & SLOT_MASK) as usize;
+        let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+        if page.written[word] & bit == 0 {
+            page.written[word] |= bit;
+            self.footprint += 1;
+        }
+        page.data[slot] = value;
     }
 
     /// Number of distinct words ever written.
     pub fn footprint_words(&self) -> usize {
-        self.words.len()
+        self.footprint
     }
 }
 
@@ -127,6 +170,31 @@ mod tests {
         o.clear();
         o.flush_into(&mut m);
         assert_eq!(m.read(Addr(0)), 0);
+    }
+
+    #[test]
+    fn archmem_write_of_zero_counts_in_footprint() {
+        let mut m = ArchMem::new();
+        m.write(Addr(40), 0);
+        m.write(Addr(40), 0);
+        assert_eq!(m.read(Addr(40)), 0);
+        assert_eq!(m.footprint_words(), 1, "zero writes still occupy a word");
+    }
+
+    #[test]
+    fn archmem_crosses_page_boundaries() {
+        let mut m = ArchMem::new();
+        // Neighbouring slots in one page, the last slot of the first page,
+        // and slots in far-apart pages must not alias.
+        let probes = [0u64, 1, 511, 512, 513, 1 << 20, (1 << 20) + 511, u64::MAX];
+        for (i, &a) in probes.iter().enumerate() {
+            m.write(Addr(a), i as u64 + 100);
+        }
+        for (i, &a) in probes.iter().enumerate() {
+            assert_eq!(m.read(Addr(a)), i as u64 + 100, "addr {a:#x}");
+        }
+        assert_eq!(m.footprint_words(), probes.len());
+        assert_eq!(m.read(Addr(514)), 0, "untouched slot on a mapped page");
     }
 
     #[test]

@@ -131,6 +131,18 @@ pub struct Core {
     clear_backoff_on: Option<u64>,
 
     block: TickBlock,
+    /// Any non-stat state changed this cycle (op moved, flag flipped,
+    /// message consumed). A cycle with no progress anywhere in the machine
+    /// is a template for fast-forward replay.
+    tick_progress: bool,
+    /// Refused `request_speculation` calls this cycle (0 or 1: a refusal
+    /// aborts the issue attempt, which ends the fetch loop).
+    tick_refusals: u32,
+    /// Granted epoch-*extension* calls this cycle whose op then failed to
+    /// issue; replayed per skipped cycle.
+    tick_ext_grants: u32,
+    /// The store-buffer drain attempt failed on MSHRs this cycle.
+    tick_sb_drain_stall: bool,
     /// Speculatively retired ops awaiting epoch commit (discarded on
     /// rollback so `retired_ops` only counts architecturally committed
     /// work).
@@ -184,6 +196,10 @@ impl Core {
             overlay: SpecOverlay::new(),
             clear_backoff_on: None,
             block: TickBlock::None,
+            tick_progress: false,
+            tick_refusals: 0,
+            tick_ext_grants: 0,
+            tick_sb_drain_stall: false,
             spec_retired_pending: 0,
             overflow_abort: false,
             acct: StatSet::new(),
@@ -325,23 +341,36 @@ impl Core {
 
     /// Advances the core one cycle against its L1 and the shared
     /// architectural memory. Call after the L1's own tick.
+    ///
+    /// Returns `true` if any non-stat state changed (an op completed,
+    /// retired, issued, or a flag flipped). A `false` cycle is a pure
+    /// waiting cycle whose side effects repeat identically until the next
+    /// event — the contract fast-forward relies on.
     pub fn tick(
         &mut self,
         now: Cycle,
         l1: &mut L1Controller,
         fabric: &mut Fabric<CoherenceMsg>,
         mem: &mut ArchMem,
-    ) {
+    ) -> bool {
         if self.done_at.is_some() {
-            return;
+            return false;
         }
         self.block = TickBlock::None;
+        self.tick_progress = false;
+        self.tick_refusals = 0;
+        self.tick_ext_grants = 0;
+        self.tick_sb_drain_stall = false;
 
         self.process_completions(now, l1, fabric, mem);
         self.process_violations(now, l1, fabric);
         self.try_commit(now, l1, mem);
         let retired = self.retire(now, mem);
+        if retired > 0 {
+            self.tick_progress = true;
+        }
         if std::mem::take(&mut self.overflow_abort) && self.engine.on_violation(now) {
+            self.tick_progress = true;
             self.acct.bump("core.spec_cap_aborts");
             self.rollback(now, l1, fabric);
         }
@@ -351,6 +380,60 @@ impl Core {
         self.finish_check(now, l1, mem);
         self.account(now, retired);
         self.sb_occ_hist.record(self.sb.len() as u64);
+        self.tick_progress
+    }
+
+    /// Earliest future cycle at which this core can make progress on its
+    /// own: the next scheduled ROB completion (compute latency, forwarded
+    /// hit) or the end of the engine's adaptive-suppression countdown.
+    /// Ops waiting on the memory system surface through the L1 / fabric /
+    /// directory horizons instead. `None` once the thread is done (or when
+    /// the core is blocked purely on external events).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.done_at.is_some() {
+            return None;
+        }
+        let mut horizon: Option<Cycle> = None;
+        for s in &self.rob {
+            if let Some(d) = s.done {
+                if d > now {
+                    horizon = Some(horizon.map_or(d, |h: Cycle| h.min(d)));
+                }
+            }
+        }
+        if self.tick_refusals > 0 {
+            // A blocked op re-requests speculation every cycle; the
+            // suppression counter grants it after `k` more refusals.
+            if let Some(k) = self.engine.refusal_horizon() {
+                let at = now.after(k.saturating_add(1));
+                horizon = Some(horizon.map_or(at, |h| h.min(at)));
+            }
+        }
+        horizon
+    }
+
+    /// Replays this cycle's waiting-side-effects over `gap` skipped
+    /// quiescent cycles: accounting buckets, head-blocked attribution,
+    /// store-buffer occupancy samples, engine refusals/extensions, and the
+    /// store-drain stall counter. Must only be called right after a tick
+    /// that reported no progress.
+    pub fn skip_idle(&mut self, now: Cycle, gap: u64) {
+        if self.done_at.is_some() || gap == 0 {
+            return;
+        }
+        self.account_n(now, 0, gap);
+        self.sb_occ_hist.record_n(self.sb.len() as u64, gap);
+        if self.tick_refusals > 0 {
+            debug_assert_eq!(self.tick_refusals, 1, "one refusal ends the issue attempt");
+            self.engine.skip_idle_refusals(gap);
+        }
+        if self.tick_ext_grants > 0 {
+            self.engine
+                .skip_idle_extensions(u64::from(self.tick_ext_grants).saturating_mul(gap));
+        }
+        if self.tick_sb_drain_stall {
+            self.acct.bump_by("core.sb_drain_mshr_stalls", gap);
+        }
     }
 
     fn process_completions(
@@ -361,6 +444,9 @@ impl Core {
         mem: &mut ArchMem,
     ) {
         let completions = l1.take_completions();
+        if !completions.is_empty() {
+            self.tick_progress = true;
+        }
         for c in completions {
             let rid = c.req.0;
             if self.doomed.remove(&rid) {
@@ -439,6 +525,7 @@ impl Core {
         if violations.is_empty() {
             return;
         }
+        self.tick_progress = true;
         if self.engine.on_violation(now) {
             self.rollback(now, l1, fabric);
         }
@@ -470,6 +557,7 @@ impl Core {
             self.engine.try_commit(now, &mut check)
         };
         if committed {
+            self.tick_progress = true;
             self.retired_ops += std::mem::take(&mut self.spec_retired_pending);
             l1.commit_spec();
             self.overlay.flush_into(mem);
@@ -572,9 +660,11 @@ impl Core {
                         let seq = self.next_seq;
                         self.next_seq += 1;
                         self.staged = Some((seq, op));
+                        self.tick_progress = true;
                     }
                     None => {
                         self.fetch_done = true;
+                        self.tick_progress = true;
                         break;
                     }
                 }
@@ -582,6 +672,7 @@ impl Core {
             if !self.try_issue_staged(now, l1, fabric) {
                 break;
             }
+            self.tick_progress = true;
         }
     }
 
@@ -783,14 +874,26 @@ impl Core {
             return false;
         };
         if !self.engine.request_speculation(now, seq, first) {
+            self.tick_refusals += 1;
             return false;
+        }
+        if was_speculating {
+            self.tick_ext_grants += 1;
+        } else {
+            // A new epoch opened: engine state changed, so this cycle can
+            // never be skipped.
+            self.tick_progress = true;
         }
         for &c in rest {
             if !self.engine.request_speculation(now, seq, c) {
                 // Cap refusal mid-way: stay conservative and stall. The
                 // already-added condition is harmless (it only delays
                 // commit).
+                self.tick_refusals += 1;
                 return false;
+            }
+            if was_speculating {
+                self.tick_ext_grants += 1;
             }
         }
         if !was_speculating {
@@ -845,15 +948,18 @@ impl Core {
                 head.req = Some(req);
                 let seq = head.seq;
                 self.inflight_sb.insert(req.0, seq);
+                self.tick_progress = true;
             }
             Err(RequestError::MshrFull) => {
                 // Retry next cycle.
+                self.tick_sb_drain_stall = true;
                 self.acct.bump("core.sb_drain_mshr_stalls");
             }
         }
     }
 
     fn rollback(&mut self, now: Cycle, l1: &mut L1Controller, fabric: &mut Fabric<CoherenceMsg>) {
+        self.tick_progress = true;
         let cp = self
             .checkpoint
             .take()
@@ -934,6 +1040,7 @@ impl Core {
         }
         self.retired_ops += std::mem::take(&mut self.spec_retired_pending);
         self.done_at = Some(now);
+        self.tick_progress = true;
     }
 
     /// Charges a popped slot's accumulated head-blocked cycles to its
@@ -995,26 +1102,34 @@ impl Core {
     }
 
     fn account(&mut self, now: Cycle, retired: usize) {
+        self.account_n(now, retired, 1);
+    }
+
+    /// Cycle accounting, charged `n` times. `n == 1` is the normal per-tick
+    /// path; fast-forward replays a quiescent cycle's attribution over the
+    /// whole skipped gap with `n == gap` (the block/ROB/SB state it reads
+    /// is provably constant across the gap).
+    fn account_n(&mut self, now: Cycle, retired: usize, n: u64) {
         let stall = match self.block {
             TickBlock::Stall(kind, _) if retired == 0 => Some(kind),
             _ => None,
         };
         self.trace_stall(now, stall);
         if retired > 0 {
-            self.acct.bump(account::BUSY);
+            self.acct.bump_by(account::BUSY, n);
             return;
         }
         let fallback = match self.block {
             TickBlock::Stall(kind, tag) => {
-                self.acct.bump(account::stall_bucket(kind, tag));
+                self.acct.bump_by(account::stall_bucket(kind, tag), n);
                 return;
             }
             TickBlock::SpecCap => {
-                self.acct.bump(account::SPEC_CAP);
+                self.acct.bump_by(account::SPEC_CAP, n);
                 return;
             }
             TickBlock::SameAddrDep => {
-                self.acct.bump(account::SAME_ADDR_DEP);
+                self.acct.bump_by(account::SAME_ADDR_DEP, n);
                 return;
             }
             // Capacity hazards (full ROB / MSHRs) are symptoms of waiting
@@ -1028,29 +1143,29 @@ impl Core {
         // bottleneck.
         if let Some(head) = self.rob.front_mut() {
             match head.op {
-                Op::Compute(_) => self.acct.bump(account::COMPUTE),
+                Op::Compute(_) => self.acct.bump_by(account::COMPUTE, n),
                 Op::Load { .. } | Op::Rmw { .. } | Op::Store { .. } => {
-                    head.waited += 1;
+                    head.waited += n;
                 }
-                Op::Fence(_) => self.acct.bump(account::OTHER),
+                Op::Fence(_) => self.acct.bump_by(account::OTHER, n),
             }
             return;
         }
         if let Some(bucket) = fallback {
-            self.acct.bump(bucket);
+            self.acct.bump_by(bucket, n);
             return;
         }
         if !self.sb.is_empty() {
             // Only the store buffer is busy (post-program drain).
             let tag = self.sb.front().map(|e| e.tag).unwrap_or(MemTag::Data);
             self.acct
-                .bump(account::stall_bucket(StallKind::SbFull, tag));
+                .bump_by(account::stall_bucket(StallKind::SbFull, tag), n);
             return;
         }
         if self.done_at.is_some() || self.fetch_done {
-            self.acct.bump(account::IDLE_DONE);
+            self.acct.bump_by(account::IDLE_DONE, n);
         } else {
-            self.acct.bump(account::OTHER);
+            self.acct.bump_by(account::OTHER, n);
         }
     }
 

@@ -112,6 +112,9 @@ pub struct Machine {
     l1s: Vec<L1Controller>,
     cores: Vec<Core>,
     mem: ArchMem,
+    /// Jump over quiescent gaps in [`Machine::run`] (bit-for-bit identical
+    /// results; disable to force naive per-cycle stepping).
+    fast_forward: bool,
 }
 
 impl Machine {
@@ -147,7 +150,15 @@ impl Machine {
             l1s,
             cores,
             mem: ArchMem::new(),
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables event-horizon fast-forward in [`Machine::run`].
+    /// On by default; both settings produce identical results — naive
+    /// stepping exists for regression comparison and benchmarking.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
     }
 
     /// The machine description.
@@ -158,6 +169,11 @@ impl Machine {
     /// Attaches an event tracer to every instrumented component (cores,
     /// directory banks, fabric). Clones of the handle share one buffer.
     pub fn set_tracer(&mut self, tracer: Tracer) {
+        if tracer.is_enabled() {
+            // Tracing wants a span for every cycle, including quiescent
+            // ones; fall back to naive stepping so none are skipped.
+            self.fast_forward = false;
+        }
         for core in &mut self.cores {
             core.set_tracer(tracer.clone());
         }
@@ -199,23 +215,107 @@ impl Machine {
 
     /// Advances the whole machine one cycle.
     pub fn step(&mut self) {
-        let now = self.clock.advance();
-        self.fabric.tick(now);
-        for dir in &mut self.dirs {
-            dir.tick(now, &mut self.fabric);
-        }
-        for i in 0..self.cores.len() {
-            self.l1s[i].tick(now, &mut self.fabric);
-            self.cores[i].tick(now, &mut self.l1s[i], &mut self.fabric, &mut self.mem);
-        }
+        self.step_tracked();
     }
 
-    /// Runs until every thread finishes or `limit` cycles elapse.
+    /// Advances one cycle and reports whether any component made progress
+    /// (changed non-stat state). A `false` return means this cycle was pure
+    /// waiting: every component's side effects were stat-only and will
+    /// repeat identically each cycle until the next scheduled event.
+    fn step_tracked(&mut self) -> bool {
+        let now = self.clock.advance();
+        let mut progress = self.fabric.tick(now);
+        for dir in &mut self.dirs {
+            progress |= dir.tick(now, &mut self.fabric);
+        }
+        for i in 0..self.cores.len() {
+            progress |= self.l1s[i].tick(now, &mut self.fabric);
+            progress |= self.cores[i].tick(now, &mut self.l1s[i], &mut self.fabric, &mut self.mem);
+            // Core-driven requests land in the L1 after its own tick; a
+            // failed request can still consume one-shot state (e.g. clear
+            // a prefetched bit), which makes this cycle non-repeatable.
+            progress |= self.l1s[i].took_one_time_fx();
+        }
+        progress
+    }
+
+    /// Earliest future cycle at which any component has scheduled work: the
+    /// machine-wide event horizon. `None` means no component will act on
+    /// its own (all threads done, or a hard deadlock).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        let mut fold = |e: Option<Cycle>| {
+            if let Some(at) = e {
+                horizon = Some(horizon.map_or(at, |h| h.min(at)));
+            }
+        };
+        fold(self.fabric.next_event(now));
+        for dir in &self.dirs {
+            fold(dir.next_event(now));
+        }
+        for l1 in &self.l1s {
+            fold(l1.next_event(now));
+        }
+        for core in &self.cores {
+            fold(core.next_event(now));
+        }
+        horizon
+    }
+
+    /// Runs until every thread finishes or `limit` cycles elapse, jumping
+    /// the clock across quiescent gaps when fast-forward is enabled
+    /// (default). Results are bit-for-bit identical to [`Machine::run_naive`].
     pub fn run(&mut self, limit: u64) -> RunSummary {
+        if !self.fast_forward {
+            return self.run_naive(limit);
+        }
+        let start = self.clock.now();
+        let end = start.after(limit);
+        while !self.all_done() && self.clock.now() < end {
+            let progress = self.step_tracked();
+            let now = self.clock.now();
+            if progress || now >= end || self.all_done() {
+                continue;
+            }
+            // Quiescent cycle: naive stepping would repeat it verbatim up
+            // to the cycle before the next event (or the run limit).
+            // Replay its stat-only side effects across the gap and jump.
+            let target = match self.next_event(now) {
+                Some(h) => {
+                    debug_assert!(h > now, "horizon must be in the future");
+                    Cycle::new(h.as_u64() - 1).min(end)
+                }
+                // Nothing scheduled but threads unfinished: deadlocked
+                // until the limit cuts the run off.
+                None => end,
+            };
+            let gap = target - now;
+            if gap == 0 {
+                continue;
+            }
+            self.fabric.skip_idle(target, gap);
+            for l1 in &mut self.l1s {
+                l1.skip_idle(gap);
+            }
+            for core in &mut self.cores {
+                core.skip_idle(now, gap);
+            }
+            self.clock.advance_by(gap);
+        }
+        self.finish(start)
+    }
+
+    /// Runs with plain one-cycle-at-a-time stepping, never fast-forwarding.
+    /// Reference loop for regression tests and benchmark baselines.
+    pub fn run_naive(&mut self, limit: u64) -> RunSummary {
         let start = self.clock.now();
         while !self.all_done() && self.clock.now() - start < limit {
             self.step();
         }
+        self.finish(start)
+    }
+
+    fn finish(&mut self, start: Cycle) -> RunSummary {
         for c in &mut self.cores {
             c.flush_accounting();
         }

@@ -39,7 +39,7 @@
 use std::collections::VecDeque;
 
 use tenways_sim::trace::{TraceCategory, Tracer, NOC_TID};
-use tenways_sim::{Cycle, NodeId, StatSet};
+use tenways_sim::{Cycle, NodeId, StatId, StatSet};
 
 /// Physical organization of the interconnect: determines per-message
 /// latency as a function of the (source, destination) pair.
@@ -136,9 +136,39 @@ pub struct Fabric<P> {
     flight: Vec<VecDeque<InFlight<P>>>,
     /// Delivered messages awaiting pickup by the destination component.
     inbox: Vec<VecDeque<Envelope<P>>>,
+    /// Total messages across all `inject_q`s, so an idle tick can skip the
+    /// per-source injection scan entirely.
+    pending_inject: usize,
+    /// Total messages across all `flight` queues, so an idle tick can skip
+    /// the per-destination delivery scan entirely.
+    in_flight: usize,
     last_tick: Cycle,
     stats: StatSet,
+    ids: FabricStatIds,
     tracer: Tracer,
+}
+
+/// Cached [`StatId`] handles for the per-message hot path; bumping through
+/// these is a slot index instead of a string-keyed map lookup.
+#[derive(Debug, Clone, Copy)]
+struct FabricStatIds {
+    sent: StatId,
+    delivered: StatId,
+    total_delay: StatId,
+    inject_queue: StatId,
+    accept_queue: StatId,
+}
+
+impl FabricStatIds {
+    fn intern(stats: &mut StatSet) -> Self {
+        FabricStatIds {
+            sent: stats.id("noc.sent"),
+            delivered: stats.id("noc.delivered"),
+            total_delay: stats.id("noc.total_delay_cycles"),
+            inject_queue: stats.id("noc.inject_queue_cycles"),
+            accept_queue: stats.id("noc.accept_queue_cycles"),
+        }
+    }
 }
 
 impl<P> Fabric<P> {
@@ -168,6 +198,8 @@ impl<P> Fabric<P> {
             inject_bw > 0 && accept_bw > 0,
             "bandwidths must be non-zero"
         );
+        let mut stats = StatSet::new();
+        let ids = FabricStatIds::intern(&mut stats);
         Fabric {
             topology,
             inject_bw,
@@ -175,8 +207,11 @@ impl<P> Fabric<P> {
             inject_q: (0..nodes).map(|_| VecDeque::new()).collect(),
             flight: (0..nodes).map(|_| VecDeque::new()).collect(),
             inbox: (0..nodes).map(|_| VecDeque::new()).collect(),
+            pending_inject: 0,
+            in_flight: 0,
             last_tick: Cycle::ZERO,
-            stats: StatSet::new(),
+            stats,
+            ids,
             tracer: Tracer::disabled(),
         }
     }
@@ -230,92 +265,133 @@ impl<P> Fabric<P> {
     /// Panics if `src` or `dst` is out of range.
     pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, payload: P) {
         assert!(dst.index() < self.inbox.len(), "dst {dst} out of range");
-        self.stats.bump("noc.sent");
+        self.stats.bump_id(self.ids.sent);
         self.inject_q[src.index()].push_back((now, dst, payload));
+        self.pending_inject += 1;
     }
 
     /// Advances the fabric to `now`: injects up to `inject_bw` messages per
     /// source, then delivers due messages (up to `accept_bw` per destination)
     /// into inboxes.
     ///
-    /// Must be called once per cycle with a nondecreasing `now`.
-    pub fn tick(&mut self, now: Cycle) {
+    /// Must be called once per cycle with a nondecreasing `now`. Returns
+    /// `true` if any message moved (was injected or delivered) this cycle.
+    pub fn tick(&mut self, now: Cycle) -> bool {
         debug_assert!(now >= self.last_tick, "fabric ticked backwards");
         self.last_tick = now;
+        let mut moved = false;
 
-        // Injection stage.
-        for src in 0..self.inject_q.len() {
-            for _ in 0..self.inject_bw {
-                let Some((sent, dst, payload)) = self.inject_q[src].pop_front() else {
-                    break;
-                };
-                let inject_wait = now - sent;
-                if inject_wait > 1 {
-                    // A message sent at cycle t naturally injects at t+1;
-                    // anything beyond that is contention.
-                    self.stats
-                        .bump_by("noc.inject_queue_cycles", inject_wait - 1);
-                    self.tracer.span(
-                        now,
-                        inject_wait - 1,
-                        NOC_TID,
-                        TraceCategory::Noc,
-                        "noc.inject_queue",
-                        src as u64,
-                    );
-                }
-                let deliver_at = now.after(self.topology.latency(NodeId(src as u16), dst));
-                // Insert keeping the queue sorted by deliver time (stable:
-                // equal times keep injection order, which preserves the
-                // per-pair FIFO guarantee — same-pair messages have equal
-                // latency and monotone injection times).
-                let q = &mut self.flight[dst.index()];
-                let pos = q.partition_point(|f| f.deliver_at <= deliver_at);
-                q.insert(
-                    pos,
-                    InFlight {
-                        deliver_at,
-                        env: Envelope {
-                            src: NodeId(src as u16),
-                            dst,
-                            sent,
-                            delivered: Cycle::NEVER,
-                            payload,
+        // Injection stage — skipped outright when nothing is queued.
+        if self.pending_inject > 0 {
+            for src in 0..self.inject_q.len() {
+                for _ in 0..self.inject_bw {
+                    let Some((sent, dst, payload)) = self.inject_q[src].pop_front() else {
+                        break;
+                    };
+                    self.pending_inject -= 1;
+                    moved = true;
+                    let inject_wait = now - sent;
+                    if inject_wait > 1 {
+                        // A message sent at cycle t naturally injects at t+1;
+                        // anything beyond that is contention.
+                        self.stats.add_id(self.ids.inject_queue, inject_wait - 1);
+                        self.tracer.span(
+                            now,
+                            inject_wait - 1,
+                            NOC_TID,
+                            TraceCategory::Noc,
+                            "noc.inject_queue",
+                            src as u64,
+                        );
+                    }
+                    let deliver_at = now.after(self.topology.latency(NodeId(src as u16), dst));
+                    // Insert keeping the queue sorted by deliver time (stable:
+                    // equal times keep injection order, which preserves the
+                    // per-pair FIFO guarantee — same-pair messages have equal
+                    // latency and monotone injection times).
+                    let q = &mut self.flight[dst.index()];
+                    let pos = q.partition_point(|f| f.deliver_at <= deliver_at);
+                    q.insert(
+                        pos,
+                        InFlight {
+                            deliver_at,
+                            env: Envelope {
+                                src: NodeId(src as u16),
+                                dst,
+                                sent,
+                                delivered: Cycle::NEVER,
+                                payload,
+                            },
                         },
-                    },
-                );
+                    );
+                    self.in_flight += 1;
+                }
             }
         }
 
-        // Delivery stage.
-        for dst in 0..self.flight.len() {
-            let mut accepted = 0;
-            while accepted < self.accept_bw {
-                match self.flight[dst].front() {
-                    Some(head) if head.deliver_at <= now => {}
-                    _ => break,
+        // Delivery stage — skipped outright when nothing is in flight.
+        if self.in_flight > 0 {
+            for dst in 0..self.flight.len() {
+                let mut accepted = 0;
+                while accepted < self.accept_bw {
+                    match self.flight[dst].front() {
+                        Some(head) if head.deliver_at <= now => {}
+                        _ => break,
+                    }
+                    let head = self.flight[dst].pop_front().expect("peeked above");
+                    self.in_flight -= 1;
+                    moved = true;
+                    let accept_wait = now - head.deliver_at;
+                    if accept_wait > 0 {
+                        self.stats.add_id(self.ids.accept_queue, accept_wait);
+                        self.tracer.span(
+                            now,
+                            accept_wait,
+                            NOC_TID,
+                            TraceCategory::Noc,
+                            "noc.accept_queue",
+                            dst as u64,
+                        );
+                    }
+                    let mut env = head.env;
+                    env.delivered = now;
+                    self.stats.bump_id(self.ids.delivered);
+                    self.stats.add_id(self.ids.total_delay, env.delay());
+                    self.inbox[dst].push_back(env);
+                    accepted += 1;
                 }
-                let head = self.flight[dst].pop_front().expect("peeked above");
-                let accept_wait = now - head.deliver_at;
-                if accept_wait > 0 {
-                    self.stats.bump_by("noc.accept_queue_cycles", accept_wait);
-                    self.tracer.span(
-                        now,
-                        accept_wait,
-                        NOC_TID,
-                        TraceCategory::Noc,
-                        "noc.accept_queue",
-                        dst as u64,
-                    );
-                }
-                let mut env = head.env;
-                env.delivered = now;
-                self.stats.bump("noc.delivered");
-                self.stats.bump_by("noc.total_delay_cycles", env.delay());
-                self.inbox[dst].push_back(env);
-                accepted += 1;
             }
         }
+        moved
+    }
+
+    /// Earliest future cycle at which this fabric can make progress, or
+    /// `None` if it is drained (nothing queued, in flight, or awaiting
+    /// pickup). Messages waiting for injection or pickup mean the very next
+    /// cycle may act, so they report `now + 1`.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.pending_inject > 0 || self.inbox.iter().any(|q| !q.is_empty()) {
+            return Some(now.after(1));
+        }
+        let mut horizon: Option<Cycle> = None;
+        if self.in_flight > 0 {
+            for q in &self.flight {
+                if let Some(head) = q.front() {
+                    let at = head.deliver_at.max(now.after(1));
+                    horizon = Some(horizon.map_or(at, |h| h.min(at)));
+                }
+            }
+        }
+        horizon
+    }
+
+    /// Accounts for `gap` skipped quiescent cycles ending at `now`.
+    ///
+    /// A fabric tick that moves no message mutates nothing except the
+    /// monotonicity watermark, so the bulk replay is just that watermark.
+    pub fn skip_idle(&mut self, now: Cycle, _gap: u64) {
+        debug_assert!(now >= self.last_tick, "fabric skipped backwards");
+        self.last_tick = now;
     }
 
     /// Drains all delivered messages waiting at `node`, in delivery order.
@@ -330,9 +406,7 @@ impl<P> Fabric<P> {
 
     /// True if no message is queued, in flight, or awaiting pickup anywhere.
     pub fn is_quiescent(&self) -> bool {
-        self.inject_q.iter().all(VecDeque::is_empty)
-            && self.flight.iter().all(VecDeque::is_empty)
-            && self.inbox.iter().all(VecDeque::is_empty)
+        self.pending_inject == 0 && self.in_flight == 0 && self.inbox.iter().all(VecDeque::is_empty)
     }
 
     /// Fabric-wide statistics (sent/delivered counts, queueing delays).
@@ -458,6 +532,32 @@ mod tests {
         drain_all(&mut f, 5, 50);
         assert_eq!(f.stats().get("noc.sent"), 5);
         assert_eq!(f.stats().get("noc.delivered"), 5);
+    }
+
+    #[test]
+    fn next_event_tracks_message_lifecycle() {
+        let mut f = fabric(6, 1, 1);
+        assert_eq!(
+            f.next_event(Cycle::ZERO),
+            None,
+            "empty fabric has no events"
+        );
+        f.send(Cycle::ZERO, NodeId(0), NodeId(1), 7);
+        // Queued for injection: next cycle may act.
+        assert_eq!(f.next_event(Cycle::ZERO), Some(Cycle::new(1)));
+        assert!(f.tick(Cycle::new(1)), "injection counts as progress");
+        // In flight, due at 1 + 6 = 7.
+        assert_eq!(f.next_event(Cycle::new(1)), Some(Cycle::new(7)));
+        for cy in 2..7 {
+            assert!(!f.tick(Cycle::new(cy)), "nothing moves before delivery");
+        }
+        f.skip_idle(Cycle::new(6), 0);
+        assert!(f.tick(Cycle::new(7)), "delivery counts as progress");
+        // Delivered but unclaimed: still reports an immediate event.
+        assert_eq!(f.next_event(Cycle::new(7)), Some(Cycle::new(8)));
+        let _ = f.take_inbox(NodeId(1)).count();
+        assert_eq!(f.next_event(Cycle::new(7)), None);
+        assert!(f.is_quiescent());
     }
 
     #[test]

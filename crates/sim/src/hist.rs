@@ -55,14 +55,24 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples in one shot — equivalent to calling
+    /// [`Histogram::record`] `n` times. Used by the fast-forward path to
+    /// replay per-cycle samples over a skipped quiescent gap.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = (value / self.bucket_width) as usize;
         if idx < self.counts.len() {
-            self.counts[idx] += 1;
+            self.counts[idx] += n;
         } else {
-            self.overflow += 1;
+            self.overflow += n;
         }
-        self.total += 1;
-        self.sum += u128::from(value);
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
         self.max = self.max.max(value);
     }
 
@@ -250,6 +260,19 @@ mod tests {
         let mut h = Histogram::new(2, 1);
         h.record(1000);
         assert_eq!(h.percentile(50.0), 1000);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new(4, 10);
+        let mut loopy = Histogram::new(4, 10);
+        for (v, n) in [(3, 5), (17, 2), (100, 3), (0, 1), (9, 0)] {
+            bulk.record_n(v, n);
+            for _ in 0..n {
+                loopy.record(v);
+            }
+        }
+        assert_eq!(bulk, loopy);
     }
 
     #[test]

@@ -80,10 +80,21 @@ struct Stat {
     gauge: bool,
 }
 
+/// A cached handle to one counter inside a specific [`StatSet`].
+///
+/// Obtained from [`StatSet::id`] and used with [`StatSet::bump_id`] /
+/// [`StatSet::add_id`] to make hot per-event bumps a plain array index
+/// instead of a string-keyed map lookup. A handle is only meaningful for
+/// the set that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatId(u32);
+
 /// An ordered collection of named counters and gauges.
 ///
 /// Keys are `&'static str` event names; ordering is lexicographic so report
-/// rows are stable across runs.
+/// rows are stable across runs. Values live in a flat slot vector; a name →
+/// slot map provides the ordered view and lets hot paths cache a [`StatId`]
+/// once and bump the slot directly thereafter.
 ///
 /// # Example
 ///
@@ -101,15 +112,50 @@ struct Stat {
 /// assert_eq!(a.get("l1.miss"), 2);
 /// assert_eq!(a.get("unknown"), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct StatSet {
-    entries: BTreeMap<&'static str, Stat>,
+    slots: Vec<Stat>,
+    index: BTreeMap<&'static str, u32>,
 }
 
 impl StatSet {
     /// Creates an empty set.
     pub fn new() -> Self {
         StatSet::default()
+    }
+
+    fn slot(&mut self, name: &'static str) -> usize {
+        match self.index.get(name) {
+            Some(&i) => i as usize,
+            None => {
+                let i = self.slots.len();
+                self.slots.push(Stat {
+                    value: 0,
+                    gauge: false,
+                });
+                self.index.insert(name, i as u32);
+                i
+            }
+        }
+    }
+
+    /// Interns `name` (creating it at zero if absent) and returns a handle
+    /// for slot-indexed bumps on the per-event hot path.
+    pub fn id(&mut self, name: &'static str) -> StatId {
+        StatId(self.slot(name) as u32)
+    }
+
+    /// Adds one to the counter behind `id` (saturating).
+    #[inline]
+    pub fn bump_id(&mut self, id: StatId) {
+        self.add_id(id, 1);
+    }
+
+    /// Adds `n` to the counter behind `id` (saturating).
+    #[inline]
+    pub fn add_id(&mut self, id: StatId, n: u64) {
+        let e = &mut self.slots[id.0 as usize];
+        e.value = e.value.saturating_add(n);
     }
 
     /// Adds one to `name`, creating it at zero first if absent.
@@ -119,10 +165,8 @@ impl StatSet {
 
     /// Adds `n` to `name` (saturating at [`u64::MAX`]).
     pub fn bump_by(&mut self, name: &'static str, n: u64) {
-        let e = self.entries.entry(name).or_insert(Stat {
-            value: 0,
-            gauge: false,
-        });
+        let i = self.slot(name);
+        let e = &mut self.slots[i];
         e.value = e.value.saturating_add(n);
     }
 
@@ -130,23 +174,27 @@ impl StatSet {
     /// The key is marked as a gauge: [`StatSet::merge`] overwrites it
     /// instead of summing.
     pub fn set(&mut self, name: &'static str, v: u64) {
-        self.entries.insert(
-            name,
-            Stat {
-                value: v,
-                gauge: true,
-            },
-        );
+        let i = self.slot(name);
+        self.slots[i] = Stat {
+            value: v,
+            gauge: true,
+        };
     }
 
     /// Reads a counter; absent counters read as zero.
     pub fn get(&self, name: &str) -> u64 {
-        self.entries.get(name).map(|e| e.value).unwrap_or(0)
+        self.index
+            .get(name)
+            .map(|&i| self.slots[i as usize].value)
+            .unwrap_or(0)
     }
 
     /// Whether `name` holds a gauge (last written via [`StatSet::set`]).
     pub fn is_gauge(&self, name: &str) -> bool {
-        self.entries.get(name).map(|e| e.gauge).unwrap_or(false)
+        self.index
+            .get(name)
+            .map(|&i| self.slots[i as usize].gauge)
+            .unwrap_or(false)
     }
 
     /// Folds every entry of `other` into `self`: counters are summed
@@ -154,36 +202,33 @@ impl StatSet {
     /// so a gauge sampled by a component is never double-counted when
     /// component sets are merged into a run record.
     pub fn merge(&mut self, other: &StatSet) {
-        for (name, s) in &other.entries {
-            match self.entries.entry(name) {
-                std::collections::btree_map::Entry::Vacant(v) => {
-                    v.insert(*s);
-                }
-                std::collections::btree_map::Entry::Occupied(mut o) => {
-                    let e = o.get_mut();
-                    if s.gauge {
-                        *e = *s;
-                    } else {
-                        e.value = e.value.saturating_add(s.value);
-                    }
-                }
+        for (name, &j) in &other.index {
+            let s = other.slots[j as usize];
+            let i = self.slot(name);
+            let e = &mut self.slots[i];
+            if s.gauge {
+                *e = s;
+            } else {
+                e.value = e.value.saturating_add(s.value);
             }
         }
     }
 
     /// Iterates `(name, value)` in stable (lexicographic) order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.entries.iter().map(|(k, e)| (*k, e.value))
+        self.index
+            .iter()
+            .map(|(k, &i)| (*k, self.slots[i as usize].value))
     }
 
     /// Number of distinct counters.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether no counter has been touched.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Ratio of two counters, or `None` if the denominator is zero.
@@ -193,9 +238,25 @@ impl StatSet {
     }
 }
 
+impl PartialEq for StatSet {
+    /// Equality over logical content (name → value/kind), independent of
+    /// the order in which counters were first touched.
+    fn eq(&self, other: &Self) -> bool {
+        self.index.len() == other.index.len()
+            && self.index.iter().all(|(k, &i)| {
+                other
+                    .index
+                    .get(k)
+                    .is_some_and(|&j| self.slots[i as usize] == other.slots[j as usize])
+            })
+    }
+}
+
+impl Eq for StatSet {}
+
 impl fmt::Display for StatSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.entries.is_empty() {
+        if self.index.is_empty() {
             return write!(f, "(no stats)");
         }
         for (i, (k, v)) in self.iter().enumerate() {
@@ -337,6 +398,35 @@ mod tests {
         // A second merge of the same component still yields the sample.
         run.merge(&component);
         assert_eq!(run.get("gauge"), 4);
+    }
+
+    #[test]
+    fn cached_ids_alias_named_counters() {
+        let mut s = StatSet::new();
+        let hit = s.id("l1.hit");
+        s.bump("l1.hit");
+        s.bump_id(hit);
+        s.add_id(hit, 3);
+        assert_eq!(s.get("l1.hit"), 5);
+        // Interning alone leaves the counter at zero but visible.
+        let miss = s.id("l1.miss");
+        assert_eq!(s.get("l1.miss"), 0);
+        assert_eq!(s.len(), 2);
+        s.add_id(miss, u64::MAX);
+        s.bump_id(miss);
+        assert_eq!(s.get("l1.miss"), u64::MAX, "id bumps must saturate");
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a: StatSet = [("x", 1), ("y", 2)].into_iter().collect();
+        let b: StatSet = [("y", 2), ("x", 1)].into_iter().collect();
+        assert_eq!(a, b);
+        let c: StatSet = [("x", 1)].into_iter().collect();
+        assert_ne!(a, c);
+        let mut d = c.clone();
+        d.set("y", 2); // gauge, not counter
+        assert_ne!(a, d);
     }
 
     #[test]

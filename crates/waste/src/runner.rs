@@ -60,6 +60,7 @@ pub struct Experiment {
     protocol: ProtocolConfig,
     energy: EnergyModel,
     cycle_limit: u64,
+    fast_forward: bool,
 }
 
 impl Experiment {
@@ -75,6 +76,7 @@ impl Experiment {
             protocol: ProtocolConfig::default(),
             energy: EnergyModel::default(),
             cycle_limit: 50_000_000,
+            fast_forward: true,
         }
     }
 
@@ -168,6 +170,15 @@ impl Experiment {
         self
     }
 
+    /// Enables or disables event-horizon fast-forward (on by default).
+    /// Both settings produce byte-identical run records; naive stepping
+    /// exists as the reference for regression tests and benchmark
+    /// baselines. Not part of [`SimConfig`] — it cannot change results.
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
+    }
+
     /// Runs the experiment.
     ///
     /// # Errors
@@ -227,6 +238,7 @@ impl Experiment {
             protocol: self.protocol,
         };
         let mut machine = Machine::new(&ms, programs);
+        machine.set_fast_forward(self.fast_forward);
         machine.set_tracer(tracer);
         let summary = machine.run(self.cycle_limit);
         let stats = machine.merged_stats();

@@ -1,0 +1,89 @@
+//! Fast-forward regression matrix: the event-horizon run loop must be
+//! **byte-for-byte** identical to naive per-cycle stepping — same
+//! `RunRecord` JSON (stats, waste taxonomy, energy, summary) for every
+//! workload under every consistency model, with speculation on and off.
+
+use tenways_core::SpecConfig;
+use tenways_cpu::ConsistencyModel;
+use tenways_sim::json::ToJson;
+use tenways_waste::Experiment;
+use tenways_workloads::{ContendedParams, WorkloadKind, WorkloadParams};
+
+fn assert_ff_matches_naive(label: &str, exp: Experiment) {
+    let fast = exp.clone().fast_forward(true).run().unwrap();
+    let naive = exp.fast_forward(false).run().unwrap();
+    assert_eq!(
+        fast.to_json().to_string(),
+        naive.to_json().to_string(),
+        "fast-forward diverged from naive stepping on {label}"
+    );
+}
+
+#[test]
+fn ff_is_byte_identical_across_workloads_models_and_spec_modes() {
+    let models = [
+        ConsistencyModel::Sc,
+        ConsistencyModel::Tso,
+        ConsistencyModel::Rmo,
+    ];
+    let specs = [
+        ("spec-off", SpecConfig::disabled()),
+        ("spec-on", SpecConfig::on_demand()),
+    ];
+    for kind in WorkloadKind::all() {
+        for model in models {
+            for (spec_label, spec) in specs {
+                let label = format!("{}/{:?}/{}", kind.name(), model, spec_label);
+                let exp = Experiment::new(kind)
+                    .params(WorkloadParams {
+                        threads: 2,
+                        scale: 1,
+                        seed: 7,
+                    })
+                    .model(model)
+                    .spec(spec);
+                assert_ff_matches_naive(&label, exp);
+            }
+        }
+    }
+}
+
+#[test]
+fn ff_is_byte_identical_on_contended_microbenchmark() {
+    // The contended kernel leans on locks, fences, and rollbacks — the
+    // paths where skipped-cycle replay is most delicate.
+    for spec in [SpecConfig::disabled(), SpecConfig::continuous()] {
+        let exp = Experiment::contended(ContendedParams {
+            threads: 4,
+            ops_per_thread: 300,
+            conflict_p: 0.3,
+            hot_blocks: 4,
+            fence_period: 8,
+            seed: 11,
+        })
+        .model(ConsistencyModel::Sc)
+        .spec(spec);
+        assert_ff_matches_naive("contended/Sc", exp);
+    }
+}
+
+#[test]
+fn ff_is_byte_identical_under_high_dram_latency() {
+    // Long quiescent gaps (the case fast-forward exists for): slow DRAM,
+    // memory-bound scan workload.
+    let machine = tenways_sim::MachineConfig::builder()
+        .cores(2)
+        .dram(4, 400, 48)
+        .build()
+        .unwrap();
+    let exp = Experiment::new(WorkloadKind::DssLike)
+        .params(WorkloadParams {
+            threads: 2,
+            scale: 2,
+            seed: 3,
+        })
+        .machine(machine)
+        .model(ConsistencyModel::Tso)
+        .spec(SpecConfig::on_demand());
+    assert_ff_matches_naive("dss/hi-dram", exp);
+}
