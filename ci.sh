@@ -40,14 +40,26 @@ if ./target/release/tenways sweep --config "$SMOKE_DIR/grid.toml" \
 fi
 test "$(grep -c '"status": "ok"' "$SMOKE_DIR/ci-smoke.json")" = 3
 test "$(grep -c '"status": "failed"' "$SMOKE_DIR/ci-smoke.json")" = 1
+# Completed sweep rows must carry host-side timing.
+test "$(grep -c '"sim_ms":' "$SMOKE_DIR/ci-smoke.json")" = 3
+test "$(grep -c '"sim_cycles_per_sec":' "$SMOKE_DIR/ci-smoke.json")" = 3
 
-# Throughput bench smoke run: times fast-forward vs naive stepping on every
-# configuration and exits non-zero if any pair of run records is not
-# byte-identical — the whole-binary fast-forward regression gate. Run from
-# a scratch dir so the committed full-scale BENCH_sim_throughput.json (and
-# results/) are not overwritten with smoke-scale numbers.
+# Throughput bench smoke run: times naive stepping, machine-gap
+# fast-forward, and the component-wake scheduler on every configuration
+# (including the mixed 1-busy/15-idle machine) and exits non-zero if any
+# run record diverges from naive — the whole-binary scheduler regression
+# gate. Run from a scratch dir so the committed full-scale
+# BENCH_sim_throughput.json (and results/) are not overwritten with
+# smoke-scale numbers.
 BENCH_DIR=target/ci-results
 rm -rf "$BENCH_DIR"
 mkdir -p "$BENCH_DIR"
 (cd "$BENCH_DIR" && TENWAYS_RESULTS_DIR=. "$OLDPWD/target/release/sim_throughput")
 test -f "$BENCH_DIR/BENCH_sim_throughput.json"
+# Every scheduler mode must appear, and the mixed active/idle machine —
+# the wake scheduler's headline configuration — must be in the rows.
+grep -q '"mode": "naive"' "$BENCH_DIR/BENCH_sim_throughput.json"
+grep -q '"mode": "machine_gap"' "$BENCH_DIR/BENCH_sim_throughput.json"
+grep -q '"mode": "component_wake"' "$BENCH_DIR/BENCH_sim_throughput.json"
+grep -q '"label": "mixed/1busy15idle/remote4000"' "$BENCH_DIR/BENCH_sim_throughput.json"
+grep -q '"speedup_vs_machine_gap"' "$BENCH_DIR/BENCH_sim_throughput.json"

@@ -1,54 +1,139 @@
 //! Simulator throughput — host-side cost of simulation, and the wall-clock
-//! win from the event-horizon fast-forward run loop.
+//! win from each accelerated run loop.
 //!
-//! Each configuration runs twice over the identical workload: once with
-//! naive per-cycle stepping (the reference loop) and once with
-//! fast-forward (the default). The binary *fails* (exit 1) if the two run
-//! records are not byte-identical, so a smoke run doubles as the
-//! fast-forward regression gate in CI. Rows report simulated cycles per
-//! wall second and retired ops per wall second for both modes, plus the
-//! speedup; results land in `results/sim_throughput.json` and are
+//! Each configuration runs three times over the identical workload: naive
+//! per-cycle stepping (the reference loop), machine-wide quiescent-gap
+//! fast-forward (PR 3), and the component-granular wake scheduler (the
+//! default). The binary *fails* (exit 1) if any mode's run record is not
+//! byte-identical to naive, so a smoke run doubles as the scheduler
+//! regression gate in CI. Rows report simulated cycles per wall second and
+//! retired ops per wall second for every mode, plus speedups over naive
+//! (and, for the wake scheduler, over machine-gap — the number that
+//! isolates what per-component wakeup buys on mixed active/idle
+//! machines); results land in `results/sim_throughput.json` and are
 //! mirrored to `BENCH_sim_throughput.json` at the current directory.
 
 use std::time::Instant;
 
 use tenways_bench::{banner, write_results_json, SuiteConfig};
-use tenways_cpu::{ConsistencyModel, SpecConfig};
+use tenways_cpu::{
+    ConsistencyModel, Machine, MachineSpec, Op, ScriptProgram, SpecConfig, ThreadProgram,
+};
 use tenways_sim::json::{Json, ToJson};
-use tenways_sim::MachineConfig;
-use tenways_waste::{Experiment, RunRecord};
+use tenways_sim::{Addr, MachineConfig};
+use tenways_waste::{Experiment, SchedMode};
 use tenways_workloads::{WorkloadKind, WorkloadParams};
 
 const ID: &str = "sim_throughput";
-const TITLE: &str = "simulator throughput: fast-forward vs naive stepping";
+const TITLE: &str = "simulator throughput: wake scheduling vs fast-forward vs naive";
+
+const MODES: [(&str, SchedMode); 3] = [
+    ("naive", SchedMode::Naive),
+    ("machine_gap", SchedMode::MachineGap),
+    ("component_wake", SchedMode::ComponentWake),
+];
 
 struct Timed {
-    record: RunRecord,
+    cycles: u64,
+    retired_ops: u64,
+    finished: bool,
     wall_s: f64,
+    /// Full run state, stringified — equality across modes is the gate.
+    fingerprint: String,
 }
 
-/// Runs the experiment `REPEATS` times and keeps the best wall time (the
+/// Runs the workload `REPEATS` times and keeps the best wall time (the
 /// runs are deterministic, so repeats only shave scheduler noise off
 /// sub-100ms measurements).
 const REPEATS: usize = 3;
 
-fn timed_run(exp: &Experiment, fast_forward: bool) -> Timed {
-    let exp = exp.clone().fast_forward(fast_forward);
+fn best_of<F: FnMut() -> Timed>(mut run: F) -> Timed {
     let mut best: Option<Timed> = None;
     for _ in 0..REPEATS {
-        let t0 = Instant::now();
-        let record = exp.run().unwrap_or_else(|e| panic!("run failed: {e}"));
-        let wall_s = t0.elapsed().as_secs_f64();
-        if best.as_ref().is_none_or(|b| wall_s < b.wall_s) {
-            best = Some(Timed { record, wall_s });
+        let t = run();
+        if best.as_ref().is_none_or(|b| t.wall_s < b.wall_s) {
+            best = Some(t);
         }
     }
     best.expect("at least one repeat")
 }
 
-fn mode_row(label: &str, mode: &str, t: &Timed, speedup: Option<f64>) -> Json {
-    let cycles = t.record.summary.cycles;
-    let ops = t.record.summary.retired_ops;
+fn timed_exp(exp: &Experiment, sched: SchedMode) -> Timed {
+    let exp = exp.clone().sched(sched);
+    best_of(|| {
+        let t0 = Instant::now();
+        let record = exp.run().unwrap_or_else(|e| panic!("run failed: {e}"));
+        let wall_s = t0.elapsed().as_secs_f64();
+        Timed {
+            cycles: record.summary.cycles,
+            retired_ops: record.summary.retired_ops,
+            finished: record.summary.finished,
+            wall_s,
+            fingerprint: record.to_json().to_string(),
+        }
+    })
+}
+
+/// The wake scheduler's headline machine: one core computes the whole run
+/// while the rest fetch a few cold lines from far memory and then sit
+/// finished. Machine-gap fast-forward can never skip a cycle here (core 0
+/// always makes progress), so the whole machine is re-ticked every cycle;
+/// per-component wakeup parks the 15 done complexes and the drained NoC
+/// and pays O(1 complex) per cycle instead of O(16).
+///
+/// Built on [`Machine`] directly because the workload suite has no kernel
+/// with this shape: its spinners *poll* (busy), they do not park.
+fn mixed_machine(busy_ops: u64, idle_cores: usize) -> Machine {
+    let cores = idle_cores + 1;
+    let cfg = MachineConfig::builder()
+        .cores(cores)
+        .dram(4, 4000, 48)
+        .build()
+        .expect("mixed machine config");
+    let ms = MachineSpec::baseline(ConsistencyModel::Tso).with_machine(cfg);
+    let mut programs: Vec<Box<dyn ThreadProgram>> = Vec::with_capacity(cores);
+    // Core 0: pure compute, no memory traffic — busy every single cycle.
+    let busy: Vec<Op> = (0..busy_ops).map(|_| Op::Compute(2)).collect();
+    programs.push(Box::new(ScriptProgram::new(busy)));
+    // Cores 1..: eight strided cold loads each against 4000-cycle DRAM,
+    // then done for the rest of the run.
+    for c in 1..cores as u64 {
+        let ops: Vec<Op> = (0..8u64)
+            .map(|i| Op::load(Addr(0x100_0000 * c + 0x400 * i)))
+            .collect();
+        programs.push(Box::new(ScriptProgram::new(ops)));
+    }
+    Machine::new(&ms, programs)
+}
+
+fn timed_mixed(busy_ops: u64, idle_cores: usize, sched: SchedMode) -> Timed {
+    best_of(|| {
+        let mut m = mixed_machine(busy_ops, idle_cores);
+        m.set_sched(sched);
+        let t0 = Instant::now();
+        let summary = m.run(10_000_000);
+        let wall_s = t0.elapsed().as_secs_f64();
+        Timed {
+            cycles: summary.cycles,
+            retired_ops: summary.retired_ops,
+            finished: summary.finished,
+            wall_s,
+            fingerprint: format!(
+                "{summary:?}\n{:?}\n{:?}",
+                m.merged_stats(),
+                m.sb_occupancy()
+            ),
+        }
+    })
+}
+
+fn mode_row(
+    label: &str,
+    mode: &str,
+    t: &Timed,
+    naive: Option<&Timed>,
+    gap: Option<&Timed>,
+) -> Json {
     let per_sec = |n: u64| {
         if t.wall_s > 0.0 {
             n as f64 / t.wall_s
@@ -56,18 +141,23 @@ fn mode_row(label: &str, mode: &str, t: &Timed, speedup: Option<f64>) -> Json {
             0.0
         }
     };
+    let speedup =
+        |base: Option<&Timed>| base.filter(|_| t.wall_s > 0.0).map(|b| b.wall_s / t.wall_s);
     let mut fields = vec![
         ("label", Json::from(label)),
         ("mode", Json::from(mode)),
-        ("cycles", Json::U64(cycles)),
-        ("finished", Json::Bool(t.record.summary.finished)),
-        ("retired_ops", Json::U64(ops)),
+        ("cycles", Json::U64(t.cycles)),
+        ("finished", Json::Bool(t.finished)),
+        ("retired_ops", Json::U64(t.retired_ops)),
         ("wall_s", Json::F64(t.wall_s)),
-        ("sim_cycles_per_sec", Json::F64(per_sec(cycles))),
-        ("retired_ops_per_sec", Json::F64(per_sec(ops))),
+        ("sim_cycles_per_sec", Json::F64(per_sec(t.cycles))),
+        ("retired_ops_per_sec", Json::F64(per_sec(t.retired_ops))),
     ];
-    if let Some(s) = speedup {
+    if let Some(s) = speedup(naive) {
         fields.push(("speedup_vs_naive", Json::F64(s)));
+    }
+    if let Some(s) = speedup(gap) {
+        fields.push(("speedup_vs_machine_gap", Json::F64(s)));
     }
     Json::obj(fields)
 }
@@ -75,6 +165,7 @@ fn mode_row(label: &str, mode: &str, t: &Timed, speedup: Option<f64>) -> Json {
 fn main() {
     let cfg = SuiteConfig::from_env();
     banner(ID, TITLE, &cfg);
+    let fast_smoke = std::env::var("TENWAYS_FAST").is_ok();
 
     let params = WorkloadParams {
         threads: cfg.threads(),
@@ -142,39 +233,63 @@ fn main() {
                 .machine(remote_mem),
         ),
     ];
+    // The mixed active/idle headline row: 1 busy core + 15 idle/waiting.
+    let mixed_label = "mixed/1busy15idle/remote4000";
+    // Long busy phase so the steady state (1 busy, 15 parked) dominates
+    // the ~4000-cycle startup where the idle cores' misses are in flight.
+    let mixed_busy_ops: u64 = if fast_smoke { 4_000 } else { 150_000 };
+    const MIXED_IDLE_CORES: usize = 15;
 
     println!(
-        "{:<18}{:>12}{:>12}{:>14}{:>14}{:>10}",
-        "config", "cycles", "naive s", "naive cyc/s", "ff cyc/s", "speedup"
+        "{:<30}{:>12}{:>11}{:>9}{:>9}{:>10}",
+        "config", "cycles", "naive s", "gap", "wake", "wake/gap"
     );
     let mut rows = Vec::new();
     let mut mismatches = 0usize;
-    for (label, exp) in &configs {
+    let mut bench = |label: &str, run: &mut dyn FnMut(SchedMode) -> Timed| {
         // Timing runs are serial on purpose: parallel siblings would steal
         // host cores and corrupt the wall-clock numbers.
-        let naive = timed_run(exp, false);
-        let fast = timed_run(exp, true);
-        if fast.record.to_json().to_string() != naive.record.to_json().to_string() {
-            eprintln!("[{ID}] FAST-FORWARD MISMATCH on {label}: run records differ");
-            mismatches += 1;
+        let naive = run(SchedMode::Naive);
+        let gap = run(SchedMode::MachineGap);
+        let wake = run(SchedMode::ComponentWake);
+        for (mode_label, t) in MODES.iter().map(|(n, _)| *n).zip([&naive, &gap, &wake]) {
+            if t.fingerprint != naive.fingerprint {
+                eprintln!("[{ID}] SCHEDULER MISMATCH on {label}/{mode_label}: run records differ");
+                mismatches += 1;
+            }
         }
-        let speedup = if fast.wall_s > 0.0 {
-            naive.wall_s / fast.wall_s
-        } else {
-            0.0
+        let x = |a: &Timed, b: &Timed| {
+            if b.wall_s > 0.0 {
+                a.wall_s / b.wall_s
+            } else {
+                0.0
+            }
         };
         println!(
-            "{:<18}{:>12}{:>12.3}{:>14.3e}{:>14.3e}{:>9.1}x",
+            "{:<30}{:>12}{:>11.3}{:>8.1}x{:>8.1}x{:>9.1}x",
             label,
-            naive.record.summary.cycles,
+            naive.cycles,
             naive.wall_s,
-            naive.record.summary.cycles as f64 / naive.wall_s.max(1e-9),
-            fast.record.summary.cycles as f64 / fast.wall_s.max(1e-9),
-            speedup
+            x(&naive, &gap),
+            x(&naive, &wake),
+            x(&gap, &wake),
         );
-        rows.push(mode_row(label, "naive", &naive, None));
-        rows.push(mode_row(label, "fast_forward", &fast, Some(speedup)));
+        rows.push(mode_row(label, "naive", &naive, None, None));
+        rows.push(mode_row(label, "machine_gap", &gap, Some(&naive), None));
+        rows.push(mode_row(
+            label,
+            "component_wake",
+            &wake,
+            Some(&naive),
+            Some(&gap),
+        ));
+    };
+    for (label, exp) in &configs {
+        bench(label, &mut |sched| timed_exp(exp, sched));
     }
+    bench(mixed_label, &mut |sched| {
+        timed_mixed(mixed_busy_ops, MIXED_IDLE_CORES, sched)
+    });
 
     let path = write_results_json(ID, TITLE, &cfg, rows);
     let text = std::fs::read_to_string(&path).expect("re-read results JSON");
@@ -182,7 +297,7 @@ fn main() {
     println!("[results] wrote BENCH_sim_throughput.json");
 
     if mismatches > 0 {
-        eprintln!("[{ID}] {mismatches} configuration(s) diverged under fast-forward");
+        eprintln!("[{ID}] {mismatches} run(s) diverged across schedulers");
         std::process::exit(1);
     }
 }

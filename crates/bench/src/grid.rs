@@ -327,17 +327,21 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
         }
     }
 
-    // Dispatch the points that still need to run.
+    // Dispatch the points that still need to run. Each job carries its own
+    // wall time (milliseconds) alongside the record so rows can report
+    // simulation throughput; timing inside the closure excludes queueing.
     let todo: Vec<usize> = (0..points.len()).filter(|&i| rows[i].is_none()).collect();
-    let jobs: Vec<SweepJob<tenways_waste::RunRecord>> = todo
+    let jobs: Vec<SweepJob<(tenways_waste::RunRecord, f64)>> = todo
         .iter()
         .map(|&i| {
             let config = points[i].config.clone();
             SweepJob::new(points[i].label.clone(), move || {
-                Experiment::from_config(&config)
+                let t0 = std::time::Instant::now();
+                let record = Experiment::from_config(&config)
                     .map_err(|e| e.to_string())?
                     .run()
-                    .map_err(|e| e.to_string())
+                    .map_err(|e| e.to_string())?;
+                Ok((record, t0.elapsed().as_secs_f64() * 1e3))
             })
         })
         .collect();
@@ -345,38 +349,41 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
     let total = points.len();
     let state = Mutex::new((rows, 0usize)); // (rows, completions since checkpoint)
     let runner = SweepRunner::with_options(params.options.clone());
-    let batch = runner.run_observed(jobs, |j, outcome: &JobOutcome<tenways_waste::RunRecord>| {
-        let i = todo[j];
-        if params.verbose {
-            match &outcome.result {
-                Ok(r) => eprintln!(
-                    "[sweep {}] {} {} ({} cycles)",
-                    spec.id,
-                    outcome.status().as_str(),
-                    points[i].label,
-                    r.summary.cycles
-                ),
-                Err(e) => eprintln!(
-                    "[sweep {}] {} {}: {e}",
-                    spec.id,
-                    outcome.status().as_str(),
-                    points[i].label
-                ),
-            }
-        }
-        if let Ok(record) = &outcome.result {
-            let row = ok_row(&points[i], record, outcome.attempts);
-            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
-            st.0[i] = Some(row);
-            st.1 += 1;
-            if params.checkpoint_every > 0 && st.1 >= params.checkpoint_every {
-                st.1 = 0;
-                if let Err(e) = write_checkpoint(&partial_path, spec, total, &st.0) {
-                    eprintln!("[sweep {}] checkpoint write failed: {e}", spec.id);
+    let batch = runner.run_observed(
+        jobs,
+        |j, outcome: &JobOutcome<(tenways_waste::RunRecord, f64)>| {
+            let i = todo[j];
+            if params.verbose {
+                match &outcome.result {
+                    Ok((r, sim_ms)) => eprintln!(
+                        "[sweep {}] {} {} ({} cycles, {sim_ms:.1} ms)",
+                        spec.id,
+                        outcome.status().as_str(),
+                        points[i].label,
+                        r.summary.cycles
+                    ),
+                    Err(e) => eprintln!(
+                        "[sweep {}] {} {}: {e}",
+                        spec.id,
+                        outcome.status().as_str(),
+                        points[i].label
+                    ),
                 }
             }
-        }
-    });
+            if let Ok((record, sim_ms)) = &outcome.result {
+                let row = ok_row(&points[i], record, *sim_ms, outcome.attempts);
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                st.0[i] = Some(row);
+                st.1 += 1;
+                if params.checkpoint_every > 0 && st.1 >= params.checkpoint_every {
+                    st.1 = 0;
+                    if let Err(e) = write_checkpoint(&partial_path, spec, total, &st.0) {
+                        eprintln!("[sweep {}] checkpoint write failed: {e}", spec.id);
+                    }
+                }
+            }
+        },
+    );
 
     // Assemble the final rows in point order.
     let (mut rows, _) = state.into_inner().unwrap_or_else(|e| e.into_inner());
@@ -445,14 +452,29 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
     })
 }
 
-/// The row for a completed point: the standard headline metrics plus the
-/// point's axis assignments and its status. This exact JSON is what the
-/// checkpoint stores, so resumed and fresh rows render identically.
-fn ok_row(point: &SweepPoint, record: &tenways_waste::RunRecord, attempts: u32) -> Json {
+/// The row for a completed point: the standard headline metrics, the
+/// host-side cost of producing them (`sim_ms` wall milliseconds and the
+/// implied simulated cycles per wall second), the point's axis
+/// assignments, and its status. This exact JSON is what the checkpoint
+/// stores, so resumed and fresh rows render identically — a resumed row
+/// keeps the wall time of the run that actually produced it.
+fn ok_row(
+    point: &SweepPoint,
+    record: &tenways_waste::RunRecord,
+    sim_ms: f64,
+    attempts: u32,
+) -> Json {
     let mut pairs = match record_row(&point.label, record) {
         Json::Obj(pairs) => pairs,
         other => vec![("row".to_string(), other)],
     };
+    pairs.push(("sim_ms".to_string(), Json::F64(sim_ms)));
+    let cycles_per_sec = if sim_ms > 0.0 {
+        record.summary.cycles as f64 / (sim_ms / 1e3)
+    } else {
+        0.0
+    };
+    pairs.push(("sim_cycles_per_sec".to_string(), Json::F64(cycles_per_sec)));
     if !point.overlay.is_empty() {
         pairs.push(("point".to_string(), Json::Obj(point.overlay.to_vec())));
     }
@@ -464,7 +486,7 @@ fn ok_row(point: &SweepPoint, record: &tenways_waste::RunRecord, attempts: u32) 
 }
 
 /// The row for a failed or skipped point.
-fn err_row(point: &SweepPoint, outcome: &JobOutcome<tenways_waste::RunRecord>) -> Json {
+fn err_row(point: &SweepPoint, outcome: &JobOutcome<(tenways_waste::RunRecord, f64)>) -> Json {
     let mut pairs = vec![("label".to_string(), Json::from(point.label.clone()))];
     if !point.overlay.is_empty() {
         pairs.push(("point".to_string(), Json::Obj(point.overlay.to_vec())));

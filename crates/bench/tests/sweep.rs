@@ -70,6 +70,16 @@ fn grid_larger_than_parallelism_completes_every_row() {
             "rows stay in grid expansion order"
         );
         assert_eq!(row.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(
+            row.get("sim_ms").and_then(Json::as_f64).is_some(),
+            "completed rows report their host wall time"
+        );
+        assert!(
+            row.get("sim_cycles_per_sec")
+                .and_then(Json::as_f64)
+                .is_some(),
+            "completed rows report simulation throughput"
+        );
     }
 }
 
@@ -94,6 +104,29 @@ fn a_failing_point_costs_only_its_own_row() {
     }
     // The checkpoint survives a partial sweep so a rerun can resume.
     assert!(dir.join("failsoft.partial.json").exists());
+}
+
+/// Renders a sweep document with its per-row host timing fields zeroed.
+/// `sim_ms` / `sim_cycles_per_sec` measure wall-clock on *this* host during
+/// *this* run, so they legitimately differ between two runs of the same
+/// sweep; everything else must not.
+fn masked_timing(bytes: &[u8]) -> String {
+    let text = std::str::from_utf8(bytes).expect("sweep doc is UTF-8");
+    let mut doc = Json::parse(text).expect("sweep doc parses");
+    if let Json::Obj(pairs) = &mut doc {
+        if let Some((_, Json::Arr(rows))) = pairs.iter_mut().find(|(k, _)| k == "rows") {
+            for row in rows {
+                if let Json::Obj(fields) = row {
+                    for (key, value) in fields.iter_mut() {
+                        if key == "sim_ms" || key == "sim_cycles_per_sec" {
+                            *value = Json::F64(0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    doc.pretty()
 }
 
 #[test]
@@ -125,8 +158,10 @@ fn resume_from_checkpoint_reproduces_the_uninterrupted_run_byte_for_byte() {
     assert_eq!(report.reused, 5, "checkpointed rows must not rerun");
     let resumed = std::fs::read(cut_dir.join("tiny.json")).unwrap();
     assert_eq!(
-        resumed, reference,
-        "resumed sweep must be byte-identical to the uninterrupted run"
+        masked_timing(&resumed),
+        masked_timing(&reference),
+        "resumed sweep must be byte-identical to the uninterrupted run \
+         (modulo host wall-clock fields)"
     );
     assert!(
         !cut_dir.join("tiny.partial.json").exists(),

@@ -495,10 +495,13 @@ impl L1Controller {
         self.fx_once
     }
 
-    /// Replays the stat bumps of this cycle's failed requests over `gap`
-    /// skipped quiescent cycles (the blocked core and the retry queue
-    /// would have repeated them identically every cycle).
-    pub fn skip_idle(&mut self, gap: u64) {
+    /// Replays the stat bumps of the failed requests observed in the tick
+    /// at `now` over `gap` skipped quiescent cycles, `now+1 ..= now+gap`
+    /// (the blocked core and the retry queue would have repeated them
+    /// identically every cycle). Same `skip_idle(now, gap)` contract as
+    /// the fabric and the core; see DESIGN.md §2.
+    pub fn skip_idle(&mut self, now: Cycle, gap: u64) {
+        let _ = now; // the controller keeps no watermark; `now` documents the gap start
         for &key in &self.idle_fx {
             self.stats.bump_by(key, gap);
         }

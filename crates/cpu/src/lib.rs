@@ -45,10 +45,11 @@ pub mod consistency;
 mod core;
 pub mod machine;
 pub mod op;
+pub mod wake;
 
 pub use crate::core::Core;
 pub use archmem::{ArchMem, SpecOverlay};
 pub use consistency::ConsistencyModel;
-pub use machine::{Machine, MachineSpec, RunSummary};
+pub use machine::{Machine, MachineSpec, RunSummary, SchedMode};
 pub use op::{FenceKind, MemTag, Op, RmwOp, ScriptProgram, ThreadProgram};
 pub use tenways_core::{DrainCond, SpecConfig, SpecEngine, SpecMode};

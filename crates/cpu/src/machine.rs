@@ -11,8 +11,25 @@ use crate::archmem::ArchMem;
 use crate::consistency::ConsistencyModel;
 use crate::core::Core;
 use crate::op::ThreadProgram;
+use crate::wake::{WakeWheel, NEVER};
 
 type CoherenceMsg = tenways_coherence::Msg;
+
+/// How [`Machine::run`] advances time. Every mode produces bit-for-bit
+/// identical results; they differ only in host wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Tick every component every cycle. The reference loop.
+    Naive,
+    /// Tick every component every cycle, but jump the clock across
+    /// machine-wide quiescent gaps (the PR 3 event-horizon fast-forward).
+    MachineGap,
+    /// Component-granular wake scheduling: each cycle, tick only the
+    /// components whose wake time is due; idle components sleep and have
+    /// their stat-only cycle effects replayed lazily on wake. The default.
+    #[default]
+    ComponentWake,
+}
 
 /// Everything that defines a run besides the workload itself.
 #[derive(Debug, Clone)]
@@ -112,9 +129,10 @@ pub struct Machine {
     l1s: Vec<L1Controller>,
     cores: Vec<Core>,
     mem: ArchMem,
-    /// Jump over quiescent gaps in [`Machine::run`] (bit-for-bit identical
-    /// results; disable to force naive per-cycle stepping).
-    fast_forward: bool,
+    /// Run-loop scheduling strategy (bit-for-bit identical results across
+    /// all modes; non-default modes exist for regression comparison and
+    /// benchmarking).
+    sched: SchedMode,
 }
 
 impl Machine {
@@ -150,15 +168,24 @@ impl Machine {
             l1s,
             cores,
             mem: ArchMem::new(),
-            fast_forward: true,
+            sched: SchedMode::default(),
         }
     }
 
-    /// Enables or disables event-horizon fast-forward in [`Machine::run`].
-    /// On by default; both settings produce identical results — naive
-    /// stepping exists for regression comparison and benchmarking.
+    /// Selects the run-loop scheduling strategy (default:
+    /// [`SchedMode::ComponentWake`]). All modes produce identical results.
+    pub fn set_sched(&mut self, sched: SchedMode) {
+        self.sched = sched;
+    }
+
+    /// Compatibility switch: `true` selects the default wake scheduler,
+    /// `false` forces naive per-cycle stepping (the regression reference).
     pub fn set_fast_forward(&mut self, enabled: bool) {
-        self.fast_forward = enabled;
+        self.sched = if enabled {
+            SchedMode::ComponentWake
+        } else {
+            SchedMode::Naive
+        };
     }
 
     /// The machine description.
@@ -172,7 +199,7 @@ impl Machine {
         if tracer.is_enabled() {
             // Tracing wants a span for every cycle, including quiescent
             // ones; fall back to naive stepping so none are skipped.
-            self.fast_forward = false;
+            self.sched = SchedMode::Naive;
         }
         for core in &mut self.cores {
             core.set_tracer(tracer.clone());
@@ -262,13 +289,20 @@ impl Machine {
         horizon
     }
 
-    /// Runs until every thread finishes or `limit` cycles elapse, jumping
-    /// the clock across quiescent gaps when fast-forward is enabled
-    /// (default). Results are bit-for-bit identical to [`Machine::run_naive`].
+    /// Runs until every thread finishes or `limit` cycles elapse, using
+    /// the configured [`SchedMode`] (component-granular wake scheduling by
+    /// default). Results are bit-for-bit identical to [`Machine::run_naive`].
     pub fn run(&mut self, limit: u64) -> RunSummary {
-        if !self.fast_forward {
-            return self.run_naive(limit);
+        match self.sched {
+            SchedMode::Naive => self.run_naive(limit),
+            SchedMode::MachineGap => self.run_machine_gap(limit),
+            SchedMode::ComponentWake => self.run_wake(limit),
         }
+    }
+
+    /// The PR 3 loop: every component ticks every cycle, but machine-wide
+    /// quiescent gaps are replayed in bulk and jumped over.
+    fn run_machine_gap(&mut self, limit: u64) -> RunSummary {
         let start = self.clock.now();
         let end = start.after(limit);
         while !self.all_done() && self.clock.now() < end {
@@ -293,14 +327,169 @@ impl Machine {
             if gap == 0 {
                 continue;
             }
-            self.fabric.skip_idle(target, gap);
+            self.fabric.skip_idle(now, gap);
             for l1 in &mut self.l1s {
-                l1.skip_idle(gap);
+                l1.skip_idle(now, gap);
             }
             for core in &mut self.cores {
                 core.skip_idle(now, gap);
             }
             self.clock.advance_by(gap);
+        }
+        self.finish(start)
+    }
+
+    /// Component index of the fabric in the wake wheel.
+    const FABRIC_COMP: u32 = 0;
+
+    /// Maps a fabric endpoint to its wake-wheel component: directory banks
+    /// follow the fabric, core complexes (L1 + core, fused because they
+    /// exchange state within a cycle) follow the banks.
+    fn comp_of_node(&self, node: tenways_sim::NodeId) -> u32 {
+        let cores = self.cores.len();
+        if node.index() < cores {
+            (1 + self.dirs.len() + node.index()) as u32
+        } else {
+            (1 + (node.index() - cores)) as u32
+        }
+    }
+
+    /// The component-granular wake scheduler: each cycle with any due
+    /// work, tick exactly the due components (in the canonical fabric →
+    /// directory banks → core complexes order) and put each back to sleep
+    /// until its own next event. Components woken after a gap first replay
+    /// the stat-only effects of the no-progress ticks they slept through
+    /// (`skip_idle`), so results stay bit-for-bit identical to
+    /// [`Machine::run_naive`].
+    fn run_wake(&mut self, limit: u64) -> RunSummary {
+        let start = self.clock.now();
+        let end = start.after(limit);
+        let n_dirs = self.dirs.len();
+        let n_comps = 1 + n_dirs + self.cores.len();
+        // Every component ticks the first cycle; idleness is only ever
+        // proven by a real tick that reports no progress.
+        let mut wheel = WakeWheel::new(n_comps, start.as_u64() + 1);
+        // Cycle of each component's most recent real tick: the replay
+        // basis for the gap behind a wake.
+        let mut last_tick: Vec<Cycle> = vec![start; n_comps];
+        let mut due: Vec<u32> = Vec::with_capacity(n_comps);
+        let mut woken: Vec<tenways_sim::NodeId> = Vec::new();
+
+        while !self.all_done() && self.clock.now() < end {
+            let t = match wheel.next_due() {
+                Some(at) if at <= end.as_u64() => Cycle::new(at),
+                // Nothing due before the limit (deadlock, or events past
+                // the cut-off): idle out the rest of the run.
+                _ => {
+                    let now = self.clock.now();
+                    self.clock.advance_by(end - now);
+                    break;
+                }
+            };
+            let now = self.clock.now();
+            debug_assert!(t > now, "due cycle must be in the future");
+            self.clock.advance_by(t - now);
+            wheel.take_due(t.as_u64(), &mut due);
+
+            // The fabric ticks first (component 0 sorts first). Its
+            // deliveries this cycle wake the owning components *this*
+            // cycle — in naive stepping they would drain their inboxes in
+            // the same cycle the fabric filled them.
+            if due.first() == Some(&Self::FABRIC_COMP) {
+                let gap = t.as_u64() - 1 - last_tick[0].as_u64();
+                if gap > 0 {
+                    self.fabric.skip_idle(last_tick[0], gap);
+                }
+                woken.clear();
+                let progress = self.fabric.tick_observed(t, &mut woken);
+                last_tick[0] = t;
+                let mut grew = false;
+                for &dst in &woken {
+                    let comp = self.comp_of_node(dst);
+                    if wheel.wake_of(comp) != t.as_u64() {
+                        due.push(comp);
+                        grew = true;
+                    }
+                }
+                if grew {
+                    due[1..].sort_unstable();
+                    due.dedup();
+                }
+                // The fabric's own wake is refreshed at the end of the
+                // cycle, after every component has had a chance to send.
+                let _ = progress;
+            }
+
+            for &comp in &due {
+                let comp = comp as usize;
+                if comp == Self::FABRIC_COMP as usize {
+                    continue;
+                }
+                let basis = last_tick[comp];
+                let gap = t.as_u64() - 1 - basis.as_u64();
+                last_tick[comp] = t;
+                if comp <= n_dirs {
+                    // Directory bank: an idle bank tick mutates nothing
+                    // (see `DirectoryBank::next_event`), so slept cycles
+                    // need no replay.
+                    let dir = &mut self.dirs[comp - 1];
+                    let progress = dir.tick(t, &mut self.fabric);
+                    let at = if progress {
+                        t.as_u64() + 1
+                    } else {
+                        dir.next_event(t).map_or(NEVER, Cycle::as_u64)
+                    };
+                    wheel.set(comp as u32, at);
+                } else {
+                    // Core complex: L1 then core, exactly the per-cycle
+                    // order of `step_tracked`.
+                    let c = comp - 1 - n_dirs;
+                    if gap > 0 {
+                        self.l1s[c].skip_idle(basis, gap);
+                        self.cores[c].skip_idle(basis, gap);
+                    }
+                    let mut progress = self.l1s[c].tick(t, &mut self.fabric);
+                    progress |=
+                        self.cores[c].tick(t, &mut self.l1s[c], &mut self.fabric, &mut self.mem);
+                    progress |= self.l1s[c].took_one_time_fx();
+                    let at = if progress {
+                        t.as_u64() + 1
+                    } else {
+                        let l1 = self.l1s[c].next_event(t).map_or(NEVER, Cycle::as_u64);
+                        let core = self.cores[c].next_event(t).map_or(NEVER, Cycle::as_u64);
+                        l1.min(core)
+                    };
+                    wheel.set(comp as u32, at);
+                }
+            }
+
+            // Any component may have handed the fabric a message this
+            // cycle (`pending_inject > 0` ⇒ `next_event` = t+1), so the
+            // fabric's wake is recomputed unconditionally — O(1) with the
+            // cached delivery minimum.
+            let at = self.fabric.next_event(t).map_or(NEVER, Cycle::as_u64);
+            wheel.set(Self::FABRIC_COMP, at);
+        }
+
+        // Cycles between each component's last real tick and the end of
+        // the run were slept through; replay their stat-only effects so
+        // totals match naive stepping, which ticks everything up to the
+        // final cycle.
+        let fin = self.clock.now();
+        if fin > start {
+            let gap = fin.as_u64() - last_tick[0].as_u64();
+            if gap > 0 {
+                self.fabric.skip_idle(last_tick[0], gap);
+            }
+            for c in 0..self.cores.len() {
+                let comp = 1 + n_dirs + c;
+                let basis = last_tick[comp];
+                let gap = fin.as_u64() - basis.as_u64();
+                if gap > 0 {
+                    self.l1s[c].skip_idle(basis, gap);
+                    self.cores[c].skip_idle(basis, gap);
+                }
+            }
         }
         self.finish(start)
     }

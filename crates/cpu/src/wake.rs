@@ -1,0 +1,259 @@
+//! Deterministic wake-time tracking for the component-granular scheduler:
+//! a bucketed timing wheel with a binary-heap overflow.
+//!
+//! [`WakeWheel`] maps a small, fixed population of components (fabric,
+//! directory banks, core complexes) to the next cycle each is due to tick.
+//! Near-term wakes (within [`SLOTS`] cycles of the wheel's base) land in a
+//! circular slot array; far wakes (long DRAM round-trips, adaptive-backoff
+//! countdowns) go to a min-heap so an empty window is skipped in O(log n)
+//! instead of cycle-by-cycle.
+//!
+//! Determinism contract:
+//!
+//! * **Authoritative array.** `wake[comp]` is the single source of truth;
+//!   slot and heap entries are hints, validated lazily (`entry.cycle ==
+//!   wake[comp]`) and discarded when stale. Rescheduling never searches.
+//! * **Tie-break by component index.** [`take_due`](WakeWheel::take_due)
+//!   returns every component due at `t` sorted by its fixed index, so
+//!   simultaneous wakes always tick in the machine's canonical order
+//!   (fabric → directory banks → core complexes) and runs stay
+//!   bit-for-bit reproducible.
+//! * **Monotonicity.** Wake times are only ever set at or after the
+//!   wheel's base (the last drained cycle); the debug build asserts it.
+
+/// Slots in the near-term window. Covers L1 hit latencies, NoC hops and
+/// directory latencies without touching the heap; anything longer (DRAM)
+/// overflows. Must be a power of two so the modulo is a mask.
+const SLOTS: usize = 64;
+
+/// Sentinel wake time for a parked component (no self-scheduled work).
+pub const NEVER: u64 = u64::MAX;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A bucketed timing wheel over a fixed set of component indices.
+#[derive(Debug)]
+pub struct WakeWheel {
+    /// Authoritative next-wake cycle per component (`NEVER` = parked).
+    wake: Vec<u64>,
+    /// Near-term buckets: entries `(cycle, comp)` with `cycle` in
+    /// `[base, base + SLOTS)` live in `slots[cycle % SLOTS]`.
+    slots: Vec<Vec<(u64, u32)>>,
+    /// Far wakes, min-ordered by `(cycle, comp)`.
+    overflow: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Earliest cycle representable in the slot window; advanced by
+    /// [`take_due`](Self::take_due).
+    base: u64,
+}
+
+impl WakeWheel {
+    /// A wheel for `comps` components, all initially due at `first` (the
+    /// first simulated cycle: every component ticks once before any can
+    /// prove itself idle).
+    pub fn new(comps: usize, first: u64) -> Self {
+        let mut wheel = WakeWheel {
+            wake: vec![NEVER; comps],
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            base: first,
+        };
+        for comp in 0..comps as u32 {
+            wheel.set(comp, first);
+        }
+        wheel
+    }
+
+    /// The authoritative wake time of `comp` (`NEVER` when parked).
+    pub fn wake_of(&self, comp: u32) -> u64 {
+        self.wake[comp as usize]
+    }
+
+    /// Schedules (or reschedules) `comp` to wake at `at`. A previous
+    /// pending entry is not searched for — it goes stale and is discarded
+    /// when encountered.
+    pub fn set(&mut self, comp: u32, at: u64) {
+        debug_assert!(at >= self.base, "wake {at} before wheel base {}", self.base);
+        self.wake[comp as usize] = at;
+        if at == NEVER {
+            return;
+        }
+        if at - self.base < SLOTS as u64 {
+            self.slots[(at % SLOTS as u64) as usize].push((at, comp));
+        } else {
+            self.overflow.push(Reverse((at, comp)));
+        }
+    }
+
+    /// Parks `comp`: no self-scheduled wake until [`set`](Self::set) again.
+    pub fn park(&mut self, comp: u32) {
+        self.wake[comp as usize] = NEVER;
+    }
+
+    /// Earliest cycle at which any component is due, or `None` when every
+    /// component is parked. Ring-scans the window outward from `base` and
+    /// stops at the first hit; stale entries are dropped as they surface.
+    pub fn next_due(&mut self) -> Option<u64> {
+        // Purge stale overflow tops so the heap min is a real wake.
+        while let Some(&Reverse((cy, comp))) = self.overflow.peek() {
+            if self.wake[comp as usize] == cy {
+                break;
+            }
+            self.overflow.pop();
+        }
+        let heap_best = self.overflow.peek().map_or(NEVER, |&Reverse((cy, _))| cy);
+        // A valid slot entry always satisfies `cy in [base, base+SLOTS)`
+        // (pushes honour the window and `base` only grows), and slot
+        // `cy % SLOTS` holds exactly one in-window cycle — so the slot at
+        // ring offset `k` can only hold valid entries for `base + k`, and
+        // the first non-empty slot in ring order is the window minimum.
+        // In the common dense case (everything due next cycle) this probes
+        // one or two slots instead of all of them.
+        let wake = &self.wake;
+        for k in 0..SLOTS as u64 {
+            let cy = self.base + k;
+            if cy >= heap_best {
+                break;
+            }
+            let slot = &mut self.slots[(cy % SLOTS as u64) as usize];
+            if slot.is_empty() {
+                continue;
+            }
+            slot.retain(|&(c, comp)| c == cy && wake[comp as usize] == c);
+            if !slot.is_empty() {
+                return Some(cy);
+            }
+        }
+        (heap_best != NEVER).then_some(heap_best)
+    }
+
+    /// Collects every component due exactly at `t` into `out`, sorted by
+    /// component index (the deterministic tie-break) and deduplicated,
+    /// then advances the window base to `t`. Components stay scheduled in
+    /// `wake` until the caller re-[`set`](Self::set)s or
+    /// [`park`](Self::park)s them after ticking.
+    ///
+    /// `t` must be the value returned by [`next_due`](Self::next_due) (no
+    /// due component may be skipped past).
+    pub fn take_due(&mut self, t: u64, out: &mut Vec<u32>) {
+        debug_assert!(t >= self.base, "due cycle {t} before base {}", self.base);
+        out.clear();
+        let wake = &self.wake;
+        let slot = &mut self.slots[(t % SLOTS as u64) as usize];
+        slot.retain(|&(cy, comp)| {
+            if cy == t && wake[comp as usize] == t {
+                out.push(comp);
+            }
+            cy != t && wake[comp as usize] == cy
+        });
+        while let Some(&Reverse((cy, comp))) = self.overflow.peek() {
+            if cy > t {
+                break;
+            }
+            self.overflow.pop();
+            if self.wake[comp as usize] == cy {
+                debug_assert_eq!(cy, t, "overflow wake {cy} skipped past {t}");
+                out.push(comp);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        self.base = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut WakeWheel) -> Vec<(u64, Vec<u32>)> {
+        let mut out = Vec::new();
+        let mut due = Vec::new();
+        while let Some(t) = wheel.next_due() {
+            wheel.take_due(t, &mut due);
+            for &c in &due {
+                wheel.park(c);
+            }
+            out.push((t, due.clone()));
+        }
+        out
+    }
+
+    #[test]
+    fn all_components_start_due_at_first_cycle() {
+        let mut w = WakeWheel::new(3, 1);
+        assert_eq!(w.next_due(), Some(1));
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        assert_eq!(due, vec![0, 1, 2], "ascending component order");
+    }
+
+    #[test]
+    fn near_and_far_wakes_interleave_in_time_order() {
+        let mut w = WakeWheel::new(4, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        w.set(0, 5); // in-window
+        w.set(1, 5_000); // overflow (DRAM-scale)
+        w.set(2, 7); // in-window
+        w.park(3);
+        assert_eq!(
+            drain(&mut w),
+            vec![(5, vec![0]), (7, vec![2]), (5_000, vec![1])]
+        );
+    }
+
+    #[test]
+    fn reschedule_makes_old_entries_stale() {
+        let mut w = WakeWheel::new(2, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        w.set(0, 10);
+        w.set(0, 400); // pushed out: the slot entry at 10 is now stale
+        w.set(1, 4_000);
+        w.set(1, 12); // pulled in: the overflow entry at 4000 is now stale
+        assert_eq!(drain(&mut w), vec![(12, vec![1]), (400, vec![0])]);
+    }
+
+    #[test]
+    fn simultaneous_wakes_tie_break_by_component_index() {
+        let mut w = WakeWheel::new(5, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        // Schedule out of index order, mixing window and overflow (the
+        // overflow entry collapses into the same cycle via reschedule).
+        w.set(3, 9);
+        w.set(1, 9);
+        w.set(4, 9_999);
+        w.set(4, 9);
+        w.set(0, 9);
+        w.park(2);
+        w.set(0, 9); // duplicate entry for one comp must dedup
+        assert_eq!(drain(&mut w), vec![(9, vec![0, 1, 3, 4])]);
+    }
+
+    #[test]
+    fn window_advances_across_many_wraps() {
+        let mut w = WakeWheel::new(1, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        let mut at = 1;
+        for step in [1, SLOTS as u64 - 1, SLOTS as u64, 3 * SLOTS as u64 + 7, 1] {
+            at += step;
+            w.set(0, at);
+            assert_eq!(w.next_due(), Some(at));
+            w.take_due(at, &mut due);
+            assert_eq!(due, vec![0]);
+        }
+    }
+
+    #[test]
+    fn parked_wheel_reports_no_due_cycle() {
+        let mut w = WakeWheel::new(2, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        w.park(0);
+        w.park(1);
+        assert_eq!(w.next_due(), None);
+    }
+}

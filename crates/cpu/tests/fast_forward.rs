@@ -1,8 +1,11 @@
 //! Machine-level fast-forward invariants: run-limit semantics must be
 //! exact even when the limit lands in the middle of a skipped quiescent
-//! gap, and `run` / `run_naive` must agree on summaries and stats.
+//! gap, and every [`SchedMode`] must agree with `run_naive` on summaries
+//! and stats.
 
-use tenways_cpu::{ConsistencyModel, Machine, MachineSpec, Op, ScriptProgram, ThreadProgram};
+use tenways_cpu::{
+    ConsistencyModel, Machine, MachineSpec, Op, SchedMode, ScriptProgram, ThreadProgram,
+};
 use tenways_sim::{Addr, MachineConfig};
 
 /// Two cores doing cold strided loads against slow DRAM: almost every
@@ -31,10 +34,14 @@ fn machine() -> Machine {
     Machine::new(&ms, programs)
 }
 
+/// The two accelerated schedulers (machine-gap fast-forward and
+/// component-granular wake scheduling) against the naive reference.
+const FAST_MODES: [SchedMode; 2] = [SchedMode::MachineGap, SchedMode::ComponentWake];
+
 #[test]
 fn limit_is_exact_even_mid_quiescent_gap() {
     // Find the natural run length first, then sweep every cut-off point
-    // (each of which may land inside a fast-forwarded gap).
+    // (each of which may land inside a skipped gap or a slept stretch).
     let full = machine().run(1_000_000);
     assert!(full.finished, "workload must finish unconstrained");
     let len = full.cycles;
@@ -45,34 +52,48 @@ fn limit_is_exact_even_mid_quiescent_gap() {
     // limits land at every phase within skipped gaps.
     let limits = (0..=200u64).chain((200..=len + 2).step_by(7));
     for limit in limits {
-        let mut ff = machine();
         let mut naive = machine();
-        let a = ff.run(limit);
         let b = naive.run_naive(limit);
-        assert!(a.cycles <= limit, "overshot limit {limit}: {}", a.cycles);
-        assert_eq!(a, b, "summaries diverged at limit {limit}");
-        assert_eq!(
-            ff.merged_stats(),
-            naive.merged_stats(),
-            "stats diverged at limit {limit}"
-        );
+        for mode in FAST_MODES {
+            let mut ff = machine();
+            ff.set_sched(mode);
+            let a = ff.run(limit);
+            assert!(
+                a.cycles <= limit,
+                "{mode:?} overshot limit {limit}: {}",
+                a.cycles
+            );
+            assert_eq!(a, b, "{mode:?} summary diverged at limit {limit}");
+            assert_eq!(
+                ff.merged_stats(),
+                naive.merged_stats(),
+                "{mode:?} stats diverged at limit {limit}"
+            );
+        }
     }
 }
 
 #[test]
-fn run_and_run_naive_agree_end_to_end() {
-    let mut ff = machine();
+fn every_sched_mode_agrees_with_naive_end_to_end() {
     let mut naive = machine();
-    let a = ff.run(1_000_000);
     let b = naive.run_naive(1_000_000);
-    assert_eq!(a, b);
-    assert_eq!(ff.merged_stats(), naive.merged_stats());
-    assert_eq!(
-        ff.sb_occupancy(),
-        naive.sb_occupancy(),
-        "store-buffer occupancy histograms diverged"
-    );
-    for addr in [0x2_0000u64, 0x2_0400, 0x4_0000] {
-        assert_eq!(ff.mem().read(Addr(addr)), naive.mem().read(Addr(addr)));
+    for mode in FAST_MODES {
+        let mut ff = machine();
+        ff.set_sched(mode);
+        let a = ff.run(1_000_000);
+        assert_eq!(a, b, "{mode:?} summary diverged");
+        assert_eq!(ff.merged_stats(), naive.merged_stats(), "{mode:?} stats");
+        assert_eq!(
+            ff.sb_occupancy(),
+            naive.sb_occupancy(),
+            "{mode:?}: store-buffer occupancy histograms diverged"
+        );
+        for addr in [0x2_0000u64, 0x2_0400, 0x4_0000] {
+            assert_eq!(
+                ff.mem().read(Addr(addr)),
+                naive.mem().read(Addr(addr)),
+                "{mode:?} memory image diverged at {addr:#x}"
+            );
+        }
     }
 }

@@ -36,7 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use tenways_sim::trace::{TraceCategory, Tracer, NOC_TID};
 use tenways_sim::{Cycle, NodeId, StatId, StatSet};
@@ -142,6 +142,19 @@ pub struct Fabric<P> {
     /// Total messages across all `flight` queues, so an idle tick can skip
     /// the per-destination delivery scan entirely.
     in_flight: usize,
+    /// Total messages across all `inbox` queues, so quiescence checks and
+    /// `next_event` never scan the per-node inboxes.
+    inbox_count: usize,
+    /// Destinations with a non-empty flight queue, kept sorted so the
+    /// delivery stage visits only active endpoints in deterministic
+    /// (ascending) index order.
+    active_dsts: BTreeSet<u32>,
+    /// Reusable buffer for iterating `active_dsts` while mutating it.
+    scratch_dsts: Vec<u32>,
+    /// Cached minimum `deliver_at` across every flight-queue head
+    /// (`Cycle::NEVER` when nothing is in flight): min-updated on insert,
+    /// recomputed over the active heads after each delivery stage.
+    earliest_deliver: Cycle,
     last_tick: Cycle,
     stats: StatSet,
     ids: FabricStatIds,
@@ -209,6 +222,10 @@ impl<P> Fabric<P> {
             inbox: (0..nodes).map(|_| VecDeque::new()).collect(),
             pending_inject: 0,
             in_flight: 0,
+            inbox_count: 0,
+            active_dsts: BTreeSet::new(),
+            scratch_dsts: Vec::new(),
+            earliest_deliver: Cycle::NEVER,
             last_tick: Cycle::ZERO,
             stats,
             ids,
@@ -277,6 +294,18 @@ impl<P> Fabric<P> {
     /// Must be called once per cycle with a nondecreasing `now`. Returns
     /// `true` if any message moved (was injected or delivered) this cycle.
     pub fn tick(&mut self, now: Cycle) -> bool {
+        self.tick_inner(now, None)
+    }
+
+    /// Like [`tick`](Self::tick), but also appends each destination that
+    /// received at least one delivery this cycle to `woken` (ascending
+    /// node order, no duplicates). The wake scheduler uses this to rouse
+    /// exactly the endpoints whose inboxes just became non-empty.
+    pub fn tick_observed(&mut self, now: Cycle, woken: &mut Vec<NodeId>) -> bool {
+        self.tick_inner(now, Some(woken))
+    }
+
+    fn tick_inner(&mut self, now: Cycle, mut woken: Option<&mut Vec<NodeId>>) -> bool {
         debug_assert!(now >= self.last_tick, "fabric ticked backwards");
         self.last_tick = now;
         let mut moved = false;
@@ -309,6 +338,8 @@ impl<P> Fabric<P> {
                     // equal times keep injection order, which preserves the
                     // per-pair FIFO guarantee — same-pair messages have equal
                     // latency and monotone injection times).
+                    self.active_dsts.insert(dst.index() as u32);
+                    self.earliest_deliver = self.earliest_deliver.min(deliver_at);
                     let q = &mut self.flight[dst.index()];
                     let pos = q.partition_point(|f| f.deliver_at <= deliver_at);
                     q.insert(
@@ -329,9 +360,15 @@ impl<P> Fabric<P> {
             }
         }
 
-        // Delivery stage — skipped outright when nothing is in flight.
-        if self.in_flight > 0 {
-            for dst in 0..self.flight.len() {
+        // Delivery stage — visits only destinations with flight traffic,
+        // skipped outright when nothing is due yet.
+        if self.in_flight > 0 && self.earliest_deliver <= now {
+            let mut scratch = std::mem::take(&mut self.scratch_dsts);
+            scratch.clear();
+            scratch.extend(self.active_dsts.iter().copied());
+            let mut earliest = Cycle::NEVER;
+            for &dst32 in &scratch {
+                let dst = dst32 as usize;
                 let mut accepted = 0;
                 while accepted < self.accept_bw {
                     match self.flight[dst].front() {
@@ -358,9 +395,23 @@ impl<P> Fabric<P> {
                     self.stats.bump_id(self.ids.delivered);
                     self.stats.add_id(self.ids.total_delay, env.delay());
                     self.inbox[dst].push_back(env);
+                    self.inbox_count += 1;
                     accepted += 1;
                 }
+                if accepted > 0 {
+                    if let Some(w) = woken.as_deref_mut() {
+                        w.push(NodeId(dst as u16));
+                    }
+                }
+                match self.flight[dst].front() {
+                    Some(head) => earliest = earliest.min(head.deliver_at),
+                    None => {
+                        self.active_dsts.remove(&dst32);
+                    }
+                }
             }
+            self.earliest_deliver = earliest;
+            self.scratch_dsts = scratch;
         }
         moved
     }
@@ -368,34 +419,33 @@ impl<P> Fabric<P> {
     /// Earliest future cycle at which this fabric can make progress, or
     /// `None` if it is drained (nothing queued, in flight, or awaiting
     /// pickup). Messages waiting for injection or pickup mean the very next
-    /// cycle may act, so they report `now + 1`.
+    /// cycle may act, so they report `now + 1`. O(1): counters plus the
+    /// incrementally-maintained earliest in-flight `deliver_at`.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        if self.pending_inject > 0 || self.inbox.iter().any(|q| !q.is_empty()) {
+        if self.pending_inject > 0 || self.inbox_count > 0 {
             return Some(now.after(1));
         }
-        let mut horizon: Option<Cycle> = None;
         if self.in_flight > 0 {
-            for q in &self.flight {
-                if let Some(head) = q.front() {
-                    let at = head.deliver_at.max(now.after(1));
-                    horizon = Some(horizon.map_or(at, |h| h.min(at)));
-                }
-            }
+            return Some(self.earliest_deliver.max(now.after(1)));
         }
-        horizon
+        None
     }
 
-    /// Accounts for `gap` skipped quiescent cycles ending at `now`.
+    /// Replays `gap` skipped quiescent cycles following a tick at `now`
+    /// (the unified `skip_idle(now, gap)` contract: `now` is the cycle of
+    /// the last observed no-progress tick, the replay covers
+    /// `now+1 ..= now+gap`).
     ///
     /// A fabric tick that moves no message mutates nothing except the
     /// monotonicity watermark, so the bulk replay is just that watermark.
-    pub fn skip_idle(&mut self, now: Cycle, _gap: u64) {
+    pub fn skip_idle(&mut self, now: Cycle, gap: u64) {
         debug_assert!(now >= self.last_tick, "fabric skipped backwards");
-        self.last_tick = now;
+        self.last_tick = now.after(gap);
     }
 
     /// Drains all delivered messages waiting at `node`, in delivery order.
     pub fn take_inbox(&mut self, node: NodeId) -> impl Iterator<Item = Envelope<P>> + '_ {
+        self.inbox_count -= self.inbox[node.index()].len();
         self.inbox[node.index()].drain(..)
     }
 
@@ -406,7 +456,7 @@ impl<P> Fabric<P> {
 
     /// True if no message is queued, in flight, or awaiting pickup anywhere.
     pub fn is_quiescent(&self) -> bool {
-        self.pending_inject == 0 && self.in_flight == 0 && self.inbox.iter().all(VecDeque::is_empty)
+        self.pending_inject == 0 && self.in_flight == 0 && self.inbox_count == 0
     }
 
     /// Fabric-wide statistics (sent/delivered counts, queueing delays).
@@ -548,16 +598,71 @@ mod tests {
         assert!(f.tick(Cycle::new(1)), "injection counts as progress");
         // In flight, due at 1 + 6 = 7.
         assert_eq!(f.next_event(Cycle::new(1)), Some(Cycle::new(7)));
-        for cy in 2..7 {
-            assert!(!f.tick(Cycle::new(cy)), "nothing moves before delivery");
-        }
-        f.skip_idle(Cycle::new(6), 0);
+        assert!(!f.tick(Cycle::new(2)), "nothing moves before delivery");
+        // Skip the quiescent cycles 3..=6 in bulk (unified contract:
+        // `skip_idle(now, gap)` replays `now+1 ..= now+gap`).
+        f.skip_idle(Cycle::new(2), 4);
         assert!(f.tick(Cycle::new(7)), "delivery counts as progress");
         // Delivered but unclaimed: still reports an immediate event.
         assert_eq!(f.next_event(Cycle::new(7)), Some(Cycle::new(8)));
         let _ = f.take_inbox(NodeId(1)).count();
         assert_eq!(f.next_event(Cycle::new(7)), None);
         assert!(f.is_quiescent());
+    }
+
+    /// The incrementally-maintained earliest-`deliver_at` minimum must
+    /// track inserts (min-updates), pops (recompute over remaining
+    /// heads), and skipped gaps — `next_event` never rescans the flight
+    /// queues, so any drift here would desynchronize the wake scheduler.
+    #[test]
+    fn incremental_min_tracks_insert_pop_and_skip() {
+        let mut f = fabric(1, 4, 4);
+        // Two messages to different destinations, staggered deadlines.
+        f.send(Cycle::ZERO, NodeId(0), NodeId(2), 20);
+        f.tick(Cycle::new(1)); // injected, due at 2
+        assert_eq!(f.inbox_len(NodeId(2)), 0, "injected this cycle, not due");
+        assert_eq!(f.next_event(Cycle::new(1)), Some(Cycle::new(2)));
+        // Insert a second flight with a *later* source while the first is
+        // still pending: the cached min must stay at the earlier deadline.
+        f.send(Cycle::new(1), NodeId(1), NodeId(3), 30);
+        f.skip_idle(Cycle::new(1), 0);
+        f.tick(Cycle::new(2)); // delivers to 2, injects the second
+        assert_eq!(f.inbox_len(NodeId(2)), 1);
+        let _ = f.take_inbox(NodeId(2)).count();
+        // Only the second message remains in flight, due at 3.
+        assert_eq!(f.next_event(Cycle::new(2)), Some(Cycle::new(3)));
+        f.tick(Cycle::new(3));
+        assert_eq!(f.inbox_len(NodeId(3)), 1);
+        // Pickup pending: still an immediate event; drained: none.
+        assert_eq!(f.next_event(Cycle::new(3)), Some(Cycle::new(4)));
+        let _ = f.take_inbox(NodeId(3)).count();
+        assert_eq!(f.next_event(Cycle::new(3)), None);
+        assert!(f.is_quiescent());
+        // Skip a long idle stretch, then reuse the fabric: the min must
+        // rebuild from scratch after having been fully drained.
+        f.skip_idle(Cycle::new(3), 97);
+        f.send(Cycle::new(100), NodeId(2), NodeId(0), 40);
+        f.tick(Cycle::new(101));
+        assert_eq!(f.next_event(Cycle::new(101)), Some(Cycle::new(102)));
+        f.tick(Cycle::new(102));
+        assert_eq!(f.take_inbox(NodeId(0)).next().unwrap().payload, 40);
+    }
+
+    /// `tick_observed` reports exactly the destinations whose inboxes
+    /// received a delivery, in ascending node order.
+    #[test]
+    fn tick_observed_reports_delivered_destinations() {
+        let mut f = fabric(2, 4, 4);
+        f.send(Cycle::ZERO, NodeId(0), NodeId(3), 1);
+        f.send(Cycle::ZERO, NodeId(1), NodeId(2), 2);
+        f.send(Cycle::ZERO, NodeId(2), NodeId(3), 3);
+        let mut woken = Vec::new();
+        assert!(f.tick_observed(Cycle::new(1), &mut woken), "injection");
+        assert!(woken.is_empty(), "nothing delivered yet");
+        f.tick_observed(Cycle::new(2), &mut woken);
+        assert!(woken.is_empty());
+        f.tick_observed(Cycle::new(3), &mut woken);
+        assert_eq!(woken, vec![NodeId(2), NodeId(3)], "ascending, deduped");
     }
 
     #[test]

@@ -54,3 +54,4 @@ pub use config::{ConfigLoadError, SimConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use runner::{Experiment, ExperimentError, RunRecord, RUN_RECORD_SCHEMA_VERSION};
 pub use taxonomy::{WasteBreakdown, WasteCategory};
+pub use tenways_cpu::SchedMode;

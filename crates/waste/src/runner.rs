@@ -2,7 +2,7 @@
 //! [`RunRecord`] carries everything the report layer needs.
 
 use tenways_coherence::ProtocolConfig;
-use tenways_cpu::{ConsistencyModel, Machine, MachineSpec, RunSummary, SpecConfig};
+use tenways_cpu::{ConsistencyModel, Machine, MachineSpec, RunSummary, SchedMode, SpecConfig};
 use tenways_sim::config::ConfigError;
 use tenways_sim::json::{Json, ToJson};
 use tenways_sim::trace::{TraceEvent, Tracer};
@@ -60,7 +60,7 @@ pub struct Experiment {
     protocol: ProtocolConfig,
     energy: EnergyModel,
     cycle_limit: u64,
-    fast_forward: bool,
+    sched: SchedMode,
 }
 
 impl Experiment {
@@ -76,7 +76,7 @@ impl Experiment {
             protocol: ProtocolConfig::default(),
             energy: EnergyModel::default(),
             cycle_limit: 50_000_000,
-            fast_forward: true,
+            sched: SchedMode::default(),
         }
     }
 
@@ -170,12 +170,25 @@ impl Experiment {
         self
     }
 
-    /// Enables or disables event-horizon fast-forward (on by default).
-    /// Both settings produce byte-identical run records; naive stepping
-    /// exists as the reference for regression tests and benchmark
-    /// baselines. Not part of [`SimConfig`] — it cannot change results.
+    /// Selects the run-loop scheduling strategy (component-granular wake
+    /// scheduling by default). Every [`SchedMode`] produces byte-identical
+    /// run records; the slower modes exist as references for regression
+    /// tests and benchmark baselines. Not part of [`SimConfig`] — it
+    /// cannot change results.
+    pub fn sched(mut self, sched: SchedMode) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Compatibility switch over [`sched`](Self::sched): `true` selects
+    /// the default wake scheduler, `false` forces naive per-cycle
+    /// stepping.
     pub fn fast_forward(mut self, enabled: bool) -> Self {
-        self.fast_forward = enabled;
+        self.sched = if enabled {
+            SchedMode::ComponentWake
+        } else {
+            SchedMode::Naive
+        };
         self
     }
 
@@ -238,7 +251,7 @@ impl Experiment {
             protocol: self.protocol,
         };
         let mut machine = Machine::new(&ms, programs);
-        machine.set_fast_forward(self.fast_forward);
+        machine.set_sched(self.sched);
         machine.set_tracer(tracer);
         let summary = machine.run(self.cycle_limit);
         let stats = machine.merged_stats();

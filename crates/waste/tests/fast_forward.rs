@@ -1,4 +1,5 @@
-//! Fast-forward regression matrix: the event-horizon run loop must be
+//! Scheduler regression matrix: both accelerated run loops (machine-gap
+//! fast-forward and component-granular wake scheduling) must be
 //! **byte-for-byte** identical to naive per-cycle stepping — same
 //! `RunRecord` JSON (stats, waste taxonomy, energy, summary) for every
 //! workload under every consistency model, with speculation on and off.
@@ -6,17 +7,25 @@
 use tenways_core::SpecConfig;
 use tenways_cpu::ConsistencyModel;
 use tenways_sim::json::ToJson;
-use tenways_waste::Experiment;
+use tenways_waste::{Experiment, SchedMode};
 use tenways_workloads::{ContendedParams, WorkloadKind, WorkloadParams};
 
 fn assert_ff_matches_naive(label: &str, exp: Experiment) {
-    let fast = exp.clone().fast_forward(true).run().unwrap();
-    let naive = exp.fast_forward(false).run().unwrap();
-    assert_eq!(
-        fast.to_json().to_string(),
-        naive.to_json().to_string(),
-        "fast-forward diverged from naive stepping on {label}"
-    );
+    let naive = exp
+        .clone()
+        .sched(SchedMode::Naive)
+        .run()
+        .unwrap()
+        .to_json()
+        .to_string();
+    for mode in [SchedMode::MachineGap, SchedMode::ComponentWake] {
+        let fast = exp.clone().sched(mode).run().unwrap();
+        assert_eq!(
+            fast.to_json().to_string(),
+            naive,
+            "{mode:?} diverged from naive stepping on {label}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,108 @@
+//! Property test: randomly drawn small configurations must produce
+//! byte-identical `RunRecord` JSON under all three run-loop schedulers
+//! (naive stepping, machine-gap fast-forward, component-granular wake
+//! scheduling).
+//!
+//! The point of drawing configurations from a [`DetRng`] instead of
+//! enumerating a fixed matrix is coverage of the *interactions*: odd
+//! thread counts against mesh topologies, long DRAM latencies under
+//! continuous speculation, tiny cycle limits that cut runs mid-gap. The
+//! stream is seeded, so a failure reproduces exactly; bump `CASES` locally
+//! to fuzz harder.
+
+use tenways_core::SpecConfig;
+use tenways_cpu::ConsistencyModel;
+use tenways_sim::json::ToJson;
+use tenways_sim::{DetRng, MachineConfig};
+use tenways_waste::{Experiment, SchedMode};
+use tenways_workloads::{ContendedParams, WorkloadKind, WorkloadParams};
+
+const CASES: usize = 14;
+
+/// Draws one experiment from the RNG stream. Sizes are deliberately small
+/// (threads ≤ 4, scale ≤ 2) so the three full runs per case stay cheap.
+fn draw(rng: &mut DetRng, case: usize) -> (String, Experiment) {
+    let threads = rng.range(1, 5) as usize;
+    let scale = rng.range(1, 3);
+    let seed = rng.next_u64();
+    let model = *rng
+        .choose(&[
+            ConsistencyModel::Sc,
+            ConsistencyModel::Tso,
+            ConsistencyModel::Rmo,
+        ])
+        .unwrap();
+    let spec = *rng
+        .choose(&[
+            SpecConfig::disabled(),
+            SpecConfig::on_demand(),
+            SpecConfig::continuous(),
+        ])
+        .unwrap();
+    let dram_latency = *rng.choose(&[60, 400, 2500]).unwrap();
+    let noc_latency = rng.range(1, 9);
+    let machine = MachineConfig::builder()
+        .cores(threads)
+        .dram(4, dram_latency, 24)
+        .noc(noc_latency, 1, 1)
+        .mesh(rng.chance(0.3))
+        .build()
+        .expect("drawn machine config is valid");
+    // Small limits on some cases force the cut-off to land mid-gap.
+    let cycle_limit = if rng.chance(0.25) {
+        rng.range(500, 5_000)
+    } else {
+        2_000_000
+    };
+    let exp = if rng.chance(0.3) {
+        Experiment::contended(ContendedParams {
+            threads,
+            ops_per_thread: 60 * scale,
+            conflict_p: rng.unit_f64(),
+            hot_blocks: 4,
+            fence_period: rng.range(4, 12),
+            seed,
+        })
+    } else {
+        let kind = *rng.choose(&WorkloadKind::all()).unwrap();
+        Experiment::new(kind).params(WorkloadParams {
+            threads,
+            scale,
+            seed,
+        })
+    };
+    let exp = exp
+        .machine(machine)
+        .model(model)
+        .spec(spec)
+        .cycle_limit(cycle_limit);
+    let label = format!(
+        "case {case}: t={threads} scale={scale} model={model:?} dram={dram_latency} noc={noc_latency} limit={cycle_limit}"
+    );
+    (label, exp)
+}
+
+#[test]
+fn random_configs_are_byte_identical_across_all_schedulers() {
+    let mut rng = DetRng::seed(0x7e57_0dd5);
+    for case in 0..CASES {
+        let (label, exp) = draw(&mut rng, case);
+        let naive = exp
+            .clone()
+            .sched(SchedMode::Naive)
+            .run()
+            .unwrap_or_else(|e| panic!("{label}: naive run failed: {e}"))
+            .to_json()
+            .to_string();
+        for mode in [SchedMode::MachineGap, SchedMode::ComponentWake] {
+            let fast = exp
+                .clone()
+                .sched(mode)
+                .run()
+                .unwrap_or_else(|e| panic!("{label}: {mode:?} run failed: {e}"))
+                .to_json()
+                .to_string();
+            assert_eq!(fast, naive, "{label}: {mode:?} diverged from naive");
+        }
+    }
+}
