@@ -63,3 +63,21 @@ grep -q '"mode": "machine_gap"' "$BENCH_DIR/BENCH_sim_throughput.json"
 grep -q '"mode": "component_wake"' "$BENCH_DIR/BENCH_sim_throughput.json"
 grep -q '"label": "mixed/1busy15idle/remote4000"' "$BENCH_DIR/BENCH_sim_throughput.json"
 grep -q '"speedup_vs_machine_gap"' "$BENCH_DIR/BENCH_sim_throughput.json"
+
+# Litmus conformance gate: the full corpus across every consistency model
+# and speculation mode must come back clean — exit is non-zero on any
+# observed forbidden state or any speculation-on vs speculation-off
+# observable-state divergence. 16 points keeps this at smoke scale; the
+# staggered-start probe points that anchor the state sets are always in
+# the grid.
+LITMUS_DIR=target/ci-litmus
+rm -rf "$LITMUS_DIR"
+mkdir -p "$LITMUS_DIR"
+./target/release/tenways litmus --corpus --points 16 --out "$LITMUS_DIR" --quiet
+test "$(grep -c '"status": "ok"' "$LITMUS_DIR/litmus.json")" = 36
+test "$(grep -c '"status": "failed"' "$LITMUS_DIR/litmus.json")" = 0
+# The report must carry replayable repro context and the transparency
+# fields even on a clean run.
+grep -q '"schema_version": 1' "$LITMUS_DIR/litmus.json"
+grep -q '"spec_divergences": \[\]' "$LITMUS_DIR/litmus.json"
+grep -q '"forbidden_violations": \[\]' "$LITMUS_DIR/litmus.json"

@@ -256,4 +256,88 @@ mod tests {
         w.park(1);
         assert_eq!(w.next_due(), None);
     }
+
+    #[test]
+    fn window_boundary_splits_slot_and_overflow_paths() {
+        // `base + SLOTS - 1` is the last representable slot cycle;
+        // `base + SLOTS` must take the heap path — and both must fire at
+        // the right cycle in the right order.
+        let mut w = WakeWheel::new(2, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        let base = 1;
+        w.set(0, base + SLOTS as u64); // first cycle past the window: heap
+        w.set(1, base + SLOTS as u64 - 1); // last in-window cycle: slot
+        assert_eq!(
+            drain(&mut w),
+            vec![
+                (base + SLOTS as u64 - 1, vec![1]),
+                (base + SLOTS as u64, vec![0]),
+            ]
+        );
+    }
+
+    #[test]
+    fn stale_slot_entry_is_skipped_not_served() {
+        // Lazy deletion in the ring: a rescheduled component's old slot
+        // entry surfaces during next_due's scan and must be dropped, not
+        // reported as a due cycle.
+        let mut w = WakeWheel::new(1, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        w.set(0, 10);
+        w.set(0, 5); // pulled in: entry at 10 is now stale
+        assert_eq!(w.next_due(), Some(5));
+        w.take_due(5, &mut due);
+        assert_eq!(due, vec![0]);
+        // The stale entry at 10 is still physically in its slot; the next
+        // real wake is later, so the scan must purge it rather than wake
+        // the component early.
+        w.set(0, 12);
+        assert_eq!(w.next_due(), Some(12));
+        w.take_due(12, &mut due);
+        assert_eq!(due, vec![0]);
+    }
+
+    #[test]
+    fn stale_overflow_top_is_purged_not_served() {
+        // Lazy deletion in the heap: a far wake pulled into the window
+        // leaves its heap entry behind; once the component is parked the
+        // stale heap top must not resurrect a due cycle.
+        let mut w = WakeWheel::new(1, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        w.set(0, 5_000); // heap
+        w.set(0, 5); // pulled in: heap entry now stale
+        assert_eq!(w.next_due(), Some(5));
+        w.take_due(5, &mut due);
+        assert_eq!(due, vec![0]);
+        w.park(0);
+        assert_eq!(w.next_due(), None, "stale heap top must be purged");
+    }
+
+    #[test]
+    fn take_due_merges_overflow_and_window_sources_in_index_order() {
+        // Two components land on the same cycle via different structures:
+        // comp 1 was scheduled while the cycle was far away (heap), comp 4
+        // after the base advanced near it (slot). take_due must merge both
+        // sources and still report ascending component order, with the
+        // slot-sourced higher index not jumping the queue.
+        let mut w = WakeWheel::new(5, 1);
+        let mut due = Vec::new();
+        w.take_due(1, &mut due);
+        w.set(1, 200); // 200 - 1 >= SLOTS: heap
+        w.set(0, 150); // heap; used to advance the base
+        w.park(2);
+        w.park(3);
+        w.park(4);
+        assert_eq!(w.next_due(), Some(150));
+        w.take_due(150, &mut due);
+        assert_eq!(due, vec![0]);
+        w.park(0);
+        w.set(4, 200); // 200 - 150 < SLOTS: slot
+        assert_eq!(w.next_due(), Some(200));
+        w.take_due(200, &mut due);
+        assert_eq!(due, vec![1, 4], "heap comp 1 before slot comp 4");
+    }
 }

@@ -1,0 +1,226 @@
+//! Compiles a parsed [`LitmusTest`] into runnable [`ThreadProgram`]s.
+//!
+//! Each named location gets its own cache line (so tests race on
+//! coherence, not on false sharing), each register becomes a shared
+//! `Rc<Cell<u64>>` written when the consumed value flows back through
+//! [`ThreadProgram::next_op`], and every thread can be given a `Compute`
+//! prefix to skew its start time.
+//!
+//! Register cells survive speculation rollback: the compiled program's
+//! snapshot shares the cells, and rollback re-executes the consuming
+//! operations, overwriting any value a squashed path wrote — the
+//! committed path's write always lands last.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tenways_cpu::{MemTag, Op, ThreadProgram};
+use tenways_sim::Addr;
+
+use crate::parse::{LitmusOp, LitmusTest};
+
+/// Base byte address of litmus location 0.
+const LOC_BASE: u64 = 0x4_0000;
+/// Byte stride between litmus locations (one 64-byte cache line).
+const LOC_STRIDE: u64 = 0x40;
+
+/// The byte address backing location index `idx`.
+pub fn loc_addr(idx: usize) -> Addr {
+    Addr(LOC_BASE + idx as u64 * LOC_STRIDE)
+}
+
+/// Sentinel register cells start from; a finished run overwrites every
+/// cell, so seeing it in a final state means the run did not finish.
+pub const UNWRITTEN: u64 = u64::MAX;
+
+/// A litmus test compiled against a particular per-thread skew vector.
+pub struct CompiledTest {
+    /// One program per thread, in [`LitmusTest::threads`] order.
+    pub programs: Vec<Box<dyn ThreadProgram>>,
+    /// One output cell per register, in [`LitmusTest::registers`] order.
+    /// Read after the machine finishes.
+    pub registers: Vec<Rc<Cell<u64>>>,
+}
+
+/// Compiles `test` into per-thread programs.
+///
+/// `skews[i]` prepends `Compute(skews[i])` to thread `i` (0 means no
+/// prefix); missing entries default to 0. All register-producing loads
+/// and RMWs are marked `consume`, which is the only channel through
+/// which architectural values reach the program.
+pub fn compile(test: &LitmusTest, skews: &[u64]) -> CompiledTest {
+    let registers: Vec<Rc<Cell<u64>>> = test
+        .registers
+        .iter()
+        .map(|_| Rc::new(Cell::new(UNWRITTEN)))
+        .collect();
+    let programs = test
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(tid, thread)| {
+            let mut ops: Vec<(Op, Option<usize>)> = Vec::with_capacity(thread.ops.len() + 1);
+            let skew = skews.get(tid).copied().unwrap_or(0);
+            if skew > 0 {
+                ops.push((Op::Compute(skew), None));
+            }
+            for &lop in &thread.ops {
+                ops.push(match lop {
+                    LitmusOp::Store { loc, value } => (Op::store(loc_addr(loc), value), None),
+                    LitmusOp::Load { reg, loc } => (
+                        Op::Load {
+                            addr: loc_addr(loc),
+                            tag: MemTag::Data,
+                            consume: true,
+                        },
+                        Some(reg),
+                    ),
+                    LitmusOp::Fence(kind) => (Op::Fence(kind), None),
+                    LitmusOp::Rmw { reg, loc, rmw } => (
+                        Op::Rmw {
+                            addr: loc_addr(loc),
+                            rmw,
+                            tag: MemTag::Data,
+                            consume: true,
+                        },
+                        Some(reg),
+                    ),
+                    LitmusOp::Compute(cycles) => (Op::Compute(cycles), None),
+                });
+            }
+            Box::new(LitmusProgram {
+                name: format!("{}/{}", test.name, thread.name),
+                ops: ops.into(),
+                pos: 0,
+                pending: None,
+                outs: registers.clone(),
+            }) as Box<dyn ThreadProgram>
+        })
+        .collect();
+    CompiledTest {
+        programs,
+        registers,
+    }
+}
+
+/// A compiled litmus thread: plays its op list in order, routing each
+/// consumed value into the register cell recorded alongside the op.
+#[derive(Debug, Clone)]
+struct LitmusProgram {
+    name: String,
+    /// `(op, register slot)` pairs; the slot receives the consumed value.
+    ops: Rc<[(Op, Option<usize>)]>,
+    pos: usize,
+    /// Register slot of the in-flight consume op, if any.
+    pending: Option<usize>,
+    /// Shared with [`CompiledTest::registers`] (global register order).
+    outs: Vec<Rc<Cell<u64>>>,
+}
+
+impl ThreadProgram for LitmusProgram {
+    fn next_op(&mut self, last_value: Option<u64>) -> Option<Op> {
+        if let Some(v) = last_value {
+            if let Some(slot) = self.pending.take() {
+                self.outs[slot].set(v);
+            }
+        }
+        let &(op, slot) = self.ops.get(self.pos)?;
+        self.pos += 1;
+        self.pending = slot;
+        Some(op)
+    }
+
+    fn snapshot(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenways_cpu::FenceKind;
+
+    fn sb() -> LitmusTest {
+        LitmusTest::parse(
+            "test SB\nthread P0\nstore x 1\nr0 = load y\nthread P1\nstore y 1\nr1 = load x\nforbidden sc : r0=0 & r1=0\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn locations_land_on_distinct_lines() {
+        assert_eq!(loc_addr(0).0 & 0x3f, 0);
+        assert_ne!(loc_addr(0).0 >> 6, loc_addr(1).0 >> 6);
+    }
+
+    #[test]
+    fn compiled_ops_replay_in_order_with_skew_prefix() {
+        let test = sb();
+        let compiled = compile(&test, &[5, 0]);
+        let mut p0 = compiled.programs.into_iter().next().unwrap();
+        assert_eq!(p0.next_op(None), Some(Op::Compute(5)));
+        assert_eq!(p0.next_op(None), Some(Op::store(loc_addr(0), 1)));
+        assert_eq!(
+            p0.next_op(None),
+            Some(Op::Load {
+                addr: loc_addr(1),
+                tag: MemTag::Data,
+                consume: true,
+            })
+        );
+        // Final call delivers the consumed value and ends the thread.
+        assert_eq!(p0.next_op(Some(9)), None);
+        assert_eq!(compiled.registers[0].get(), 9);
+        assert_eq!(
+            compiled.registers[1].get(),
+            UNWRITTEN,
+            "other thread's register untouched"
+        );
+    }
+
+    #[test]
+    fn zero_skew_emits_no_prefix() {
+        let test = sb();
+        let compiled = compile(&test, &[]);
+        let mut p0 = compiled.programs.into_iter().next().unwrap();
+        assert_eq!(p0.next_op(None), Some(Op::store(loc_addr(0), 1)));
+    }
+
+    #[test]
+    fn snapshot_rollback_reexecutes_and_overwrites() {
+        let test = sb();
+        let compiled = compile(&test, &[]);
+        let mut p = compiled.programs.into_iter().next().unwrap();
+        p.next_op(None); // store
+        let snap = p.snapshot();
+        p.next_op(None); // load (speculative path)
+        assert_eq!(p.next_op(Some(7)), None);
+        assert_eq!(compiled.registers[0].get(), 7);
+        // Roll back to the snapshot and re-execute: the committed value
+        // overwrites the squashed one.
+        let mut p = snap;
+        p.next_op(None); // load again
+        assert_eq!(p.next_op(Some(1)), None);
+        assert_eq!(compiled.registers[0].get(), 1);
+    }
+
+    #[test]
+    fn rmw_and_fence_compile() {
+        let test = LitmusTest::parse(
+            "test T\nthread P0\na = faa x 1\nfence acquire\nforbidden sc : a=9\n",
+        )
+        .unwrap();
+        let compiled = compile(&test, &[]);
+        let mut p = compiled.programs.into_iter().next().unwrap();
+        assert!(matches!(
+            p.next_op(None),
+            Some(Op::Rmw { consume: true, .. })
+        ));
+        assert_eq!(p.next_op(Some(4)), Some(Op::Fence(FenceKind::Acquire)));
+        assert_eq!(compiled.registers[0].get(), 4);
+    }
+}

@@ -1,0 +1,306 @@
+//! The curated in-tree litmus corpus: the classic weak-memory shapes,
+//! with `forbidden`/`allowed` predicates derived from the axiomatic
+//! models (program order `po`, coherence `co`, reads-from `rf`,
+//! from-reads `fr`; an execution is allowed iff the union of the edges
+//! the model enforces is acyclic).
+//!
+//! Conventions: locations start at 0 unless `init`-ed; registers record
+//! loaded (or RMW'd-over) values; a predicate on a location name
+//! constrains final memory. `allowed` rules are report-only — a grid that
+//! never samples the relaxation is not unsound — while any `forbidden`
+//! observation is a conformance failure.
+//!
+//! One simulator-specific note: consumed loads serialize each thread's
+//! own loads (the value must return before the next op is fetched), so
+//! load–load reordering shapes (LB, IRIW without fences) cannot exhibit
+//! their relaxed outcome here under any model. Their `allowed` rules are
+//! retained for the report; their `forbidden` rules are still checked
+//! for real.
+
+use crate::parse::LitmusTest;
+
+/// Store buffering (Dekker). The hallmark TSO relaxation: each thread's
+/// load may bypass its own buffered store, so both loads can read 0.
+/// Cycle under SC: `a1 →po a2 →fr b1 →po b2 →fr a1` — SC enforces both
+/// W→R `po` edges; TSO/RMO do not.
+pub const SB: &str = "\
+test SB
+thread P0
+store x 1
+r0 = load y
+thread P1
+store y 1
+r1 = load x
+forbidden sc : r0=0 & r1=0
+allowed tso rmo : r0=0 & r1=0
+";
+
+/// SB with full fences: the fence orders W→R under every model, so the
+/// relaxed outcome is forbidden everywhere — the shape fence-speculation
+/// must preserve while speculating past the fence.
+pub const SB_FENCES: &str = "\
+test SB+fences
+thread P0
+store x 1
+fence full
+r0 = load y
+thread P1
+store y 1
+fence full
+r1 = load x
+forbidden sc tso rmo : r0=0 & r1=0
+";
+
+/// SB with the stores replaced by atomic swaps. Under TSO, atomics drain
+/// the store buffer (they are fencing), restoring SC for this shape; RMO
+/// atomics do not fence, so the relaxation survives.
+pub const SB_RMWS: &str = "\
+test SB+rmws
+thread P0
+r0 = swap x 1
+r1 = load y
+thread P1
+r2 = swap y 1
+r3 = load x
+forbidden sc tso : r1=0 & r3=0
+allowed rmo : r1=0 & r3=0
+";
+
+/// Message passing. Forbidden when W→W and R→R hold (SC, TSO: the FIFO
+/// store buffer keeps `x` before `y`); RMO may reorder either side.
+pub const MP: &str = "\
+test MP
+thread P0
+store x 1
+store y 1
+thread P1
+r0 = load y
+r1 = load x
+forbidden sc tso : r0=1 & r1=0
+allowed rmo : r0=1 & r1=0
+";
+
+/// MP with release/acquire fences — the portable publication idiom; safe
+/// under every model.
+pub const MP_FENCES: &str = "\
+test MP+fences
+thread P0
+store x 1
+fence release
+store y 1
+thread P1
+r0 = load y
+fence acquire
+r1 = load x
+forbidden sc tso rmo : r0=1 & r1=0
+";
+
+/// Load buffering: both loads read the other thread's po-later store.
+/// Cycle: `rf` + two R→W `po` edges — enforced by SC and TSO (neither
+/// reorders R→W), relaxable under RMO.
+pub const LB: &str = "\
+test LB
+thread P0
+r0 = load x
+store y 1
+thread P1
+r1 = load y
+store x 1
+forbidden sc tso : r0=1 & r1=1
+allowed rmo : r0=1 & r1=1
+";
+
+/// Independent reads of independent writes: the two readers disagree on
+/// the order of the two writes. Forbidden under multi-copy-atomic models
+/// (SC, TSO); RMO's read side may reorder.
+pub const IRIW: &str = "\
+test IRIW
+thread P0
+store x 1
+thread P1
+store y 1
+thread P2
+r0 = load x
+r1 = load y
+thread P3
+r2 = load y
+r3 = load x
+forbidden sc tso : r0=1 & r1=0 & r2=1 & r3=0
+allowed rmo : r0=1 & r1=0 & r2=1 & r3=0
+";
+
+/// IRIW with full fences between the reader loads: the readers must then
+/// agree on a single write order under every model (the directory's
+/// per-line serialization provides it).
+pub const IRIW_FENCES: &str = "\
+test IRIW+fences
+thread P0
+store x 1
+thread P1
+store y 1
+thread P2
+r0 = load x
+fence full
+r1 = load y
+thread P3
+r2 = load y
+fence full
+r3 = load x
+forbidden sc tso rmo : r0=1 & r1=0 & r2=1 & r3=0
+";
+
+/// Test R: store–store against store–load. `y=2 & r0=0` requires the
+/// cycle `a1 →po a2 →co b1 →po b2 →fr a1`; SC enforces every edge, but
+/// `b1 →po b2` is W→R — exactly the edge TSO relaxes.
+pub const R: &str = "\
+test R
+thread P0
+store x 1
+store y 1
+thread P1
+store y 2
+r0 = load x
+forbidden sc : y=2 & r0=0
+allowed tso rmo : y=2 & r0=0
+";
+
+/// Test S: `r0=1 & x=2` needs `a1 →po a2 →rf b1 →po b2 →co a1` — a W→W
+/// edge and an R→W edge, both enforced by SC *and* TSO (TSO relaxes only
+/// W→R), so S separates TSO from RMO where SB cannot.
+pub const S: &str = "\
+test S
+thread P0
+store x 2
+store y 1
+thread P1
+r0 = load y
+store x 1
+forbidden sc tso : r0=1 & x=2
+allowed rmo : r0=1 & x=2
+";
+
+/// 2+2W: both locations end at 2, i.e. each thread's *first* store lost
+/// the coherence race at one location and won at the other — a pure
+/// W→W/`co` cycle, forbidden wherever stores stay in program order.
+pub const TWO_PLUS_TWO_W: &str = "\
+test 2+2W
+thread P0
+store x 2
+store y 1
+thread P1
+store y 2
+store x 1
+forbidden sc tso : x=2 & y=2
+allowed rmo : x=2 & y=2
+";
+
+/// Coherent read–read: a single location's writes are totally ordered
+/// under *every* model, so one thread may never read new-then-old.
+pub const CORR: &str = "\
+test CoRR
+thread P0
+store x 1
+thread P1
+r0 = load x
+r1 = load x
+forbidden sc tso rmo : r0=1 & r1=0
+";
+
+/// The corpus sources, in report order.
+pub const CORPUS: [&str; 12] = [
+    SB,
+    SB_FENCES,
+    SB_RMWS,
+    MP,
+    MP_FENCES,
+    LB,
+    IRIW,
+    IRIW_FENCES,
+    R,
+    S,
+    TWO_PLUS_TWO_W,
+    CORR,
+];
+
+/// Parses the whole corpus.
+///
+/// # Panics
+///
+/// Panics if an in-tree source fails to parse — that is a build bug, and
+/// a unit test catches it before any caller can.
+pub fn corpus() -> Vec<LitmusTest> {
+    CORPUS
+        .iter()
+        .map(|src| LitmusTest::parse(src).expect("in-tree corpus test must parse"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::PredicateKind;
+    use tenways_cpu::ConsistencyModel;
+
+    #[test]
+    fn corpus_parses_and_names_are_unique() {
+        let tests = corpus();
+        assert_eq!(tests.len(), 12);
+        let mut names: Vec<&str> = tests.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "corpus names must be unique");
+    }
+
+    #[test]
+    fn every_test_constrains_every_model() {
+        // Each corpus test must carry at least one predicate per model, so
+        // no `(test, model)` verdict is vacuous.
+        for test in corpus() {
+            for model in ConsistencyModel::all() {
+                assert!(
+                    test.predicates.iter().any(|p| p.models.contains(&model)),
+                    "{} has no predicate for {model}",
+                    test.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_and_allowed_partition_the_models() {
+        // Where a test has both rule kinds for the same atom set, no model
+        // may appear on both sides.
+        for test in corpus() {
+            for f in test
+                .predicates
+                .iter()
+                .filter(|p| p.kind == PredicateKind::Forbidden)
+            {
+                for a in test
+                    .predicates
+                    .iter()
+                    .filter(|p| p.kind == PredicateKind::Allowed && p.text == f.text)
+                {
+                    for m in &f.models {
+                        assert!(
+                            !a.models.contains(m),
+                            "{}: {m} is both forbidden and allowed for `{}`",
+                            test.name,
+                            f.text
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_match_the_shapes() {
+        let tests = corpus();
+        let by_name = |n: &str| tests.iter().find(|t| t.name == n).unwrap();
+        assert_eq!(by_name("SB").threads.len(), 2);
+        assert_eq!(by_name("IRIW").threads.len(), 4);
+        assert_eq!(by_name("IRIW+fences").threads.len(), 4);
+        assert_eq!(by_name("CoRR").threads.len(), 2);
+    }
+}

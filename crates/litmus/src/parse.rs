@@ -1,0 +1,633 @@
+//! The `.litmus` text format: AST ([`LitmusTest`]) and parser
+//! ([`LitmusTest::parse`]).
+//!
+//! The format is line-oriented. `#` starts a comment, blank lines are
+//! ignored, and a test reads top to bottom as: a `test <name>` header,
+//! optional `init` lines, one or more `thread` sections, then the
+//! final-state predicates.
+//!
+//! ```text
+//! test SB                     # header, mandatory first line
+//! init x 0                    # optional; locations default to 0
+//!
+//! thread P0
+//! store x 1
+//! r0 = load y
+//!
+//! thread P1
+//! store y 1
+//! r1 = load x
+//!
+//! forbidden sc : r0=0 & r1=0
+//! allowed tso rmo : r0=0 & r1=0
+//! ```
+//!
+//! Per-thread operations:
+//!
+//! | syntax | meaning |
+//! |--------|---------|
+//! | `store <loc> <v>` | plain store |
+//! | `<reg> = load <loc>` | load into a register (recorded in the final state) |
+//! | `fence` / `fence full` / `fence acquire` / `fence release` | memory fence |
+//! | `<reg> = faa <loc> <n>` | atomic fetch-add, register gets the old value |
+//! | `<reg> = swap <loc> <v>` | atomic exchange, register gets the old value |
+//! | `<reg> = cas <loc> <expected> <desired>` | compare-and-swap, register gets the old value |
+//! | `compute <n>` | `n` cycles of local computation (explicit skew) |
+//!
+//! Locations are declared implicitly by first use in an `init` line or an
+//! operation; each gets its own cache line. Registers are declared by
+//! assignment and must be unique across the whole test (they name columns
+//! of the final state). Predicates are conjunctions of `name=value` atoms
+//! over registers and locations (a location atom constrains the *final
+//! memory value*), attached to one or more consistency models.
+
+use tenways_cpu::ConsistencyModel;
+use tenways_cpu::FenceKind;
+use tenways_cpu::RmwOp;
+
+/// A parse failure, locating the offending line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The ways a `.litmus` document can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The first non-blank line was not `test <name>`.
+    MissingHeader,
+    /// An operation line used an unknown opcode.
+    UnknownOpcode(String),
+    /// An operation line matched an opcode but not its shape.
+    MalformedOp(String),
+    /// An operation appeared before any `thread` section.
+    OpOutsideThread,
+    /// A number failed to parse as an unsigned integer.
+    BadInteger(String),
+    /// A predicate named something that is neither a register nor a
+    /// location.
+    UnknownName(String),
+    /// A predicate line was not `<kind> <models> : a=v & b=v ...`.
+    MalformedPredicate(String),
+    /// A predicate named a consistency model that does not exist.
+    UnknownModel(String),
+    /// A register was assigned in two different operations.
+    DuplicateRegister(String),
+    /// A thread name was reused.
+    DuplicateThread(String),
+    /// The test declared no threads.
+    NoThreads,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "litmus parse error at line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::MissingHeader => write!(f, "expected `test <name>` header"),
+            ParseErrorKind::UnknownOpcode(op) => write!(f, "unknown opcode `{op}`"),
+            ParseErrorKind::MalformedOp(line) => write!(f, "malformed operation `{line}`"),
+            ParseErrorKind::OpOutsideThread => {
+                write!(f, "operation before the first `thread` section")
+            }
+            ParseErrorKind::BadInteger(tok) => write!(f, "`{tok}` is not an unsigned integer"),
+            ParseErrorKind::UnknownName(name) => {
+                write!(f, "unknown location or register `{name}` in predicate")
+            }
+            ParseErrorKind::MalformedPredicate(text) => {
+                write!(
+                    f,
+                    "malformed predicate `{text}` (expected `name=value & ...`)"
+                )
+            }
+            ParseErrorKind::UnknownModel(m) => {
+                write!(f, "unknown model `{m}` (expected sc, tso or rmo)")
+            }
+            ParseErrorKind::DuplicateRegister(r) => {
+                write!(f, "register `{r}` is assigned more than once")
+            }
+            ParseErrorKind::DuplicateThread(t) => write!(f, "duplicate thread `{t}`"),
+            ParseErrorKind::NoThreads => write!(f, "test has no `thread` sections"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One operation of a litmus thread, over location/register *indices*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitmusOp {
+    /// Plain store of `value` to location `loc`.
+    Store {
+        /// Index into [`LitmusTest::locations`].
+        loc: usize,
+        /// Value stored.
+        value: u64,
+    },
+    /// Load location `loc` into register `reg`.
+    Load {
+        /// Index into [`LitmusTest::registers`].
+        reg: usize,
+        /// Index into [`LitmusTest::locations`].
+        loc: usize,
+    },
+    /// A memory fence.
+    Fence(FenceKind),
+    /// Atomic read-modify-write; `reg` receives the old value.
+    Rmw {
+        /// Index into [`LitmusTest::registers`].
+        reg: usize,
+        /// Index into [`LitmusTest::locations`].
+        loc: usize,
+        /// The atomic function.
+        rmw: RmwOp,
+    },
+    /// Local computation for `cycles` (explicit timing skew).
+    Compute(u64),
+}
+
+/// One thread of a litmus test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitmusThread {
+    /// Thread name (`P0`, `writer`, ...).
+    pub name: String,
+    /// Program-order operation list.
+    pub ops: Vec<LitmusOp>,
+}
+
+/// A register declaration (by assignment) within a test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterDef {
+    /// Register name, unique across the test.
+    pub name: String,
+    /// Index of the owning thread.
+    pub thread: usize,
+}
+
+/// Something a final-state predicate can constrain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observable {
+    /// A register's final value (index into [`LitmusTest::registers`]).
+    Reg(usize),
+    /// A location's final memory value (index into
+    /// [`LitmusTest::locations`]).
+    Loc(usize),
+}
+
+/// Whether a predicate marks states the model must forbid or may allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateKind {
+    /// Observing a matching state under a listed model is a conformance
+    /// failure.
+    Forbidden,
+    /// A matching state is legal under the listed models; observing one is
+    /// reported (it shows the relaxation is actually exercised) but never
+    /// fails the test.
+    Allowed,
+}
+
+impl PredicateKind {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredicateKind::Forbidden => "forbidden",
+            PredicateKind::Allowed => "allowed",
+        }
+    }
+}
+
+/// One `forbidden`/`allowed` rule: a conjunction of `observable = value`
+/// atoms, attached to one or more consistency models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateRule {
+    /// Forbidden or allowed.
+    pub kind: PredicateKind,
+    /// The models the rule applies to.
+    pub models: Vec<ConsistencyModel>,
+    /// The conjunction: every atom must hold for the rule to match.
+    pub atoms: Vec<(Observable, u64)>,
+    /// The original predicate text (for reports).
+    pub text: String,
+}
+
+/// A parsed litmus test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LitmusTest {
+    /// Test name from the header.
+    pub name: String,
+    /// Declared locations, in first-use order.
+    pub locations: Vec<String>,
+    /// Non-zero initial values as `(location index, value)` pairs.
+    pub init: Vec<(usize, u64)>,
+    /// The threads, in declaration order.
+    pub threads: Vec<LitmusThread>,
+    /// All registers, in (thread, program-order) declaration order. The
+    /// final state is this list's values followed by every location's
+    /// final memory value.
+    pub registers: Vec<RegisterDef>,
+    /// The final-state rules.
+    pub predicates: Vec<PredicateRule>,
+}
+
+impl LitmusTest {
+    /// Parses one `.litmus` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ParseError`] encountered, with its 1-based line
+    /// number.
+    pub fn parse(text: &str) -> Result<LitmusTest, ParseError> {
+        Parser::default().parse(text)
+    }
+
+    /// The observable column names: every register, then every location
+    /// (a location column is the final memory value).
+    pub fn observables(&self) -> Vec<String> {
+        self.registers
+            .iter()
+            .map(|r| r.name.clone())
+            .chain(self.locations.iter().cloned())
+            .collect()
+    }
+
+    /// Renders a final state (as produced by the exploration engine) using
+    /// the observable names: `"r0=0 r1=1 x=1 y=1"`.
+    pub fn render_state(&self, state: &[u64]) -> String {
+        self.observables()
+            .iter()
+            .zip(state)
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Whether `state` satisfies every atom of `rule`.
+    pub fn matches(&self, rule: &PredicateRule, state: &[u64]) -> bool {
+        rule.atoms.iter().all(|&(obs, want)| {
+            let idx = match obs {
+                Observable::Reg(r) => r,
+                Observable::Loc(l) => self.registers.len() + l,
+            };
+            state.get(idx) == Some(&want)
+        })
+    }
+}
+
+#[derive(Default)]
+struct Parser {
+    test: Option<LitmusTest>,
+}
+
+impl Parser {
+    fn parse(mut self, text: &str) -> Result<LitmusTest, ParseError> {
+        let mut current_thread: Option<usize> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |kind| ParseError {
+                line: line_no,
+                kind,
+            };
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let Some(test) = self.test.as_mut() else {
+                // The first meaningful line must be the header.
+                if tokens.len() == 2 && tokens[0] == "test" {
+                    self.test = Some(LitmusTest {
+                        name: tokens[1].to_string(),
+                        locations: Vec::new(),
+                        init: Vec::new(),
+                        threads: Vec::new(),
+                        registers: Vec::new(),
+                        predicates: Vec::new(),
+                    });
+                    continue;
+                }
+                return Err(err(ParseErrorKind::MissingHeader));
+            };
+            match tokens[0] {
+                "init" => {
+                    let [_, loc, value] = tokens[..] else {
+                        return Err(err(ParseErrorKind::MalformedOp(line.to_string())));
+                    };
+                    let loc = intern(&mut test.locations, loc);
+                    let value = parse_u64(value, line_no)?;
+                    test.init.retain(|&(l, _)| l != loc);
+                    test.init.push((loc, value));
+                }
+                "thread" => {
+                    let [_, name] = tokens[..] else {
+                        return Err(err(ParseErrorKind::MalformedOp(line.to_string())));
+                    };
+                    if test.threads.iter().any(|t| t.name == name) {
+                        return Err(err(ParseErrorKind::DuplicateThread(name.to_string())));
+                    }
+                    test.threads.push(LitmusThread {
+                        name: name.to_string(),
+                        ops: Vec::new(),
+                    });
+                    current_thread = Some(test.threads.len() - 1);
+                }
+                "forbidden" | "allowed" => {
+                    let rule = parse_predicate(test, line, line_no)?;
+                    test.predicates.push(rule);
+                    current_thread = None;
+                }
+                _ => {
+                    let Some(tid) = current_thread else {
+                        return Err(err(ParseErrorKind::OpOutsideThread));
+                    };
+                    let op = parse_op(test, tid, &tokens, line, line_no)?;
+                    test.threads[tid].ops.push(op);
+                }
+            }
+        }
+        let test = self.test.ok_or(ParseError {
+            line: 1,
+            kind: ParseErrorKind::MissingHeader,
+        })?;
+        if test.threads.is_empty() {
+            return Err(ParseError {
+                line: 1,
+                kind: ParseErrorKind::NoThreads,
+            });
+        }
+        Ok(test)
+    }
+}
+
+/// Returns the index of `name` in `pool`, appending it if new.
+fn intern(pool: &mut Vec<String>, name: &str) -> usize {
+    match pool.iter().position(|n| n == name) {
+        Some(i) => i,
+        None => {
+            pool.push(name.to_string());
+            pool.len() - 1
+        }
+    }
+}
+
+fn parse_u64(token: &str, line: usize) -> Result<u64, ParseError> {
+    token.parse().map_err(|_| ParseError {
+        line,
+        kind: ParseErrorKind::BadInteger(token.to_string()),
+    })
+}
+
+/// Declares a register, rejecting duplicates (they name final-state
+/// columns, so reuse would be ambiguous).
+fn declare_register(
+    test: &mut LitmusTest,
+    thread: usize,
+    name: &str,
+    line: usize,
+) -> Result<usize, ParseError> {
+    if test.registers.iter().any(|r| r.name == name) {
+        return Err(ParseError {
+            line,
+            kind: ParseErrorKind::DuplicateRegister(name.to_string()),
+        });
+    }
+    test.registers.push(RegisterDef {
+        name: name.to_string(),
+        thread,
+    });
+    Ok(test.registers.len() - 1)
+}
+
+fn parse_op(
+    test: &mut LitmusTest,
+    thread: usize,
+    tokens: &[&str],
+    line_text: &str,
+    line: usize,
+) -> Result<LitmusOp, ParseError> {
+    let err = |kind| ParseError { line, kind };
+    let malformed = || err(ParseErrorKind::MalformedOp(line_text.to_string()));
+    // Register-assigning form: `<reg> = <opcode> <operands...>`.
+    if tokens.get(1) == Some(&"=") {
+        if tokens.len() < 3 {
+            return Err(malformed());
+        }
+        let reg_name = tokens[0];
+        let opcode = tokens[2];
+        let rest = &tokens[3..];
+        let op = match (opcode, rest) {
+            ("load", [loc]) => {
+                let loc = intern(&mut test.locations, loc);
+                let reg = declare_register(test, thread, reg_name, line)?;
+                LitmusOp::Load { reg, loc }
+            }
+            ("faa", [loc, n]) => {
+                let loc = intern(&mut test.locations, loc);
+                let n = parse_u64(n, line)?;
+                let reg = declare_register(test, thread, reg_name, line)?;
+                LitmusOp::Rmw {
+                    reg,
+                    loc,
+                    rmw: RmwOp::FetchAdd(n),
+                }
+            }
+            ("swap", [loc, v]) => {
+                let loc = intern(&mut test.locations, loc);
+                let v = parse_u64(v, line)?;
+                let reg = declare_register(test, thread, reg_name, line)?;
+                LitmusOp::Rmw {
+                    reg,
+                    loc,
+                    rmw: RmwOp::Swap(v),
+                }
+            }
+            ("cas", [loc, expected, desired]) => {
+                let loc = intern(&mut test.locations, loc);
+                let expected = parse_u64(expected, line)?;
+                let desired = parse_u64(desired, line)?;
+                let reg = declare_register(test, thread, reg_name, line)?;
+                LitmusOp::Rmw {
+                    reg,
+                    loc,
+                    rmw: RmwOp::Cas { expected, desired },
+                }
+            }
+            ("load" | "faa" | "swap" | "cas", _) => return Err(malformed()),
+            _ => return Err(err(ParseErrorKind::UnknownOpcode(opcode.to_string()))),
+        };
+        return Ok(op);
+    }
+    match (tokens[0], &tokens[1..]) {
+        ("store", [loc, value]) => {
+            let loc = intern(&mut test.locations, loc);
+            let value = parse_u64(value, line)?;
+            Ok(LitmusOp::Store { loc, value })
+        }
+        ("fence", []) | ("fence", ["full"]) => Ok(LitmusOp::Fence(FenceKind::Full)),
+        ("fence", ["acquire"]) => Ok(LitmusOp::Fence(FenceKind::Acquire)),
+        ("fence", ["release"]) => Ok(LitmusOp::Fence(FenceKind::Release)),
+        ("compute", [n]) => Ok(LitmusOp::Compute(parse_u64(n, line)?)),
+        ("store" | "fence" | "compute", _) => Err(malformed()),
+        (opcode, _) => Err(err(ParseErrorKind::UnknownOpcode(opcode.to_string()))),
+    }
+}
+
+fn parse_predicate(
+    test: &LitmusTest,
+    line_text: &str,
+    line: usize,
+) -> Result<PredicateRule, ParseError> {
+    let err = |kind| ParseError { line, kind };
+    let Some((head, pred)) = line_text.split_once(':') else {
+        return Err(err(ParseErrorKind::MalformedPredicate(
+            line_text.to_string(),
+        )));
+    };
+    let mut head_tokens = head.split_whitespace();
+    let kind = match head_tokens.next() {
+        Some("forbidden") => PredicateKind::Forbidden,
+        Some("allowed") => PredicateKind::Allowed,
+        _ => unreachable!("dispatched on the first token"),
+    };
+    let mut models = Vec::new();
+    for m in head_tokens {
+        let model = ConsistencyModel::from_label(m)
+            .ok_or_else(|| err(ParseErrorKind::UnknownModel(m.to_string())))?;
+        if !models.contains(&model) {
+            models.push(model);
+        }
+    }
+    if models.is_empty() {
+        return Err(err(ParseErrorKind::MalformedPredicate(
+            line_text.to_string(),
+        )));
+    }
+    let pred = pred.trim();
+    if pred.is_empty() {
+        return Err(err(ParseErrorKind::MalformedPredicate(
+            line_text.to_string(),
+        )));
+    }
+    let mut atoms = Vec::new();
+    for atom in pred.split('&') {
+        let atom = atom.trim();
+        let Some((name, value)) = atom.split_once('=') else {
+            return Err(err(ParseErrorKind::MalformedPredicate(atom.to_string())));
+        };
+        let (name, value) = (name.trim(), value.trim());
+        if name.is_empty() || value.is_empty() {
+            return Err(err(ParseErrorKind::MalformedPredicate(atom.to_string())));
+        }
+        let obs = if let Some(r) = test.registers.iter().position(|r| r.name == name) {
+            Observable::Reg(r)
+        } else if let Some(l) = test.locations.iter().position(|l| l == name) {
+            Observable::Loc(l)
+        } else {
+            return Err(err(ParseErrorKind::UnknownName(name.to_string())));
+        };
+        atoms.push((obs, parse_u64(value, line)?));
+    }
+    Ok(PredicateRule {
+        kind,
+        models,
+        atoms,
+        text: pred.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SB: &str = "\
+test SB
+thread P0
+store x 1
+r0 = load y
+thread P1
+store y 1
+r1 = load x
+forbidden sc : r0=0 & r1=0
+allowed tso rmo : r0=0 & r1=0
+";
+
+    #[test]
+    fn parses_the_sb_shape() {
+        let t = LitmusTest::parse(SB).unwrap();
+        assert_eq!(t.name, "SB");
+        assert_eq!(t.locations, vec!["x", "y"]);
+        assert_eq!(t.threads.len(), 2);
+        assert_eq!(
+            t.threads[0].ops,
+            vec![
+                LitmusOp::Store { loc: 0, value: 1 },
+                LitmusOp::Load { reg: 0, loc: 1 }
+            ]
+        );
+        assert_eq!(t.registers.len(), 2);
+        assert_eq!(t.registers[1].name, "r1");
+        assert_eq!(t.registers[1].thread, 1);
+        assert_eq!(t.predicates.len(), 2);
+        assert_eq!(t.predicates[0].kind, PredicateKind::Forbidden);
+        assert_eq!(t.predicates[0].models, vec![ConsistencyModel::Sc]);
+        assert_eq!(
+            t.predicates[1].models,
+            vec![ConsistencyModel::Tso, ConsistencyModel::Rmo]
+        );
+    }
+
+    #[test]
+    fn state_rendering_and_matching() {
+        let t = LitmusTest::parse(SB).unwrap();
+        // State layout: r0, r1, then final x, y.
+        let state = [0, 0, 1, 1];
+        assert_eq!(t.render_state(&state), "r0=0 r1=0 x=1 y=1");
+        assert!(t.matches(&t.predicates[0], &state));
+        assert!(!t.matches(&t.predicates[0], &[0, 1, 1, 1]));
+    }
+
+    #[test]
+    fn rmw_fence_compute_and_init_forms() {
+        let t = LitmusTest::parse(
+            "test T\ninit x 7\nthread P0\ncompute 3\na = faa x 2\nb = swap y 9\nc = cas z 0 1\nfence\nfence acquire\nfence release\nforbidden sc : a=7\n",
+        )
+        .unwrap();
+        assert_eq!(t.init, vec![(0, 7)]);
+        assert_eq!(t.threads[0].ops.len(), 7);
+        assert_eq!(t.threads[0].ops[0], LitmusOp::Compute(3));
+        assert_eq!(
+            t.threads[0].ops[1],
+            LitmusOp::Rmw {
+                reg: 0,
+                loc: 0,
+                rmw: RmwOp::FetchAdd(2)
+            }
+        );
+        assert_eq!(t.threads[0].ops[4], LitmusOp::Fence(FenceKind::Full));
+        assert_eq!(t.threads[0].ops[5], LitmusOp::Fence(FenceKind::Acquire));
+        assert_eq!(t.threads[0].ops[6], LitmusOp::Fence(FenceKind::Release));
+        assert_eq!(t.locations, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn predicate_on_final_memory() {
+        let t = LitmusTest::parse(
+            "test T\nthread P0\nstore x 1\nstore y 1\nthread P1\nstore y 2\nr0 = load x\nforbidden sc : y=2 & r0=0\n",
+        )
+        .unwrap();
+        let rule = &t.predicates[0];
+        assert_eq!(rule.atoms[0].0, Observable::Loc(1));
+        assert_eq!(rule.atoms[1].0, Observable::Reg(0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let t = LitmusTest::parse(
+            "# leading comment\n\ntest T  # trailing\nthread P0\nstore x 1  # store\n",
+        )
+        .unwrap();
+        assert_eq!(t.name, "T");
+        assert_eq!(t.threads[0].ops.len(), 1);
+    }
+}

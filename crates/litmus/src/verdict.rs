@@ -1,0 +1,406 @@
+//! Verdicts: checks an [`Exploration`] against a test's predicates and
+//! the speculation-transparency oracle.
+//!
+//! Per `(test, model)` the layer checks three things:
+//!
+//! 1. **Forbidden states.** A final state matching a `forbidden` rule for
+//!    the model, observed under *any* speculation mode, is a conformance
+//!    failure carrying a replayable `{test, model, spec, grid point}`
+//!    repro.
+//! 2. **Speculation transparency.** The set of observable final states
+//!    with speculation on (on-demand or continuous) must equal the set
+//!    with speculation off over the same grid. Any state in the symmetric
+//!    difference is a divergence — speculation either leaked a state the
+//!    baseline cannot produce or suppressed one it can.
+//! 3. **Allowed states** are report-only: observing one shows the
+//!    relaxation is actually exercised (useful signal), but a grid that
+//!    happens not to sample it is not unsound, so a miss never fails the
+//!    test.
+//!
+//! Any failed run (hang, panic) also fails the verdict — an exploration
+//! that could not run its grid certifies nothing.
+
+use tenways_core::SpecMode;
+use tenways_cpu::ConsistencyModel;
+use tenways_sim::json::{Json, ToJson};
+
+use crate::explore::{Exploration, FinalState, SPEC_MODES};
+use crate::parse::{LitmusTest, PredicateKind, PredicateRule};
+
+/// A replayable reference to one grid run.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// Test name.
+    pub test: String,
+    /// Consistency model of the run.
+    pub model: ConsistencyModel,
+    /// Speculation mode of the run.
+    pub spec: SpecMode,
+    /// Grid-point index; with [`crate::explore::GridPoint::seed`] this
+    /// pins the exact machine config and skews.
+    pub point: usize,
+    /// The grid's base seed.
+    pub seed: u64,
+}
+
+impl ToJson for Repro {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("test", Json::from(self.test.as_str())),
+            ("model", self.model.to_json()),
+            ("spec", self.spec.to_json()),
+            ("point", Json::from(self.point)),
+            ("seed", Json::from(self.seed)),
+        ])
+    }
+}
+
+/// A forbidden final state that was actually observed.
+#[derive(Debug, Clone)]
+pub struct ForbiddenViolation {
+    /// The matched predicate's text.
+    pub predicate: String,
+    /// The observed state, rendered with observable names.
+    pub state: String,
+    /// How to reproduce the observation.
+    pub repro: Repro,
+}
+
+/// A state present under exactly one of `{speculation off, speculation
+/// on}` — a transparency break.
+#[derive(Debug, Clone)]
+pub struct SpecDivergence {
+    /// The state only one side observed, rendered with observable names.
+    pub state: String,
+    /// `true` if speculation produced a state the baseline never did;
+    /// `false` if speculation suppressed a baseline state.
+    pub leaked: bool,
+    /// A run that observed the state (on whichever side has it).
+    pub repro: Repro,
+}
+
+/// Whether an `allowed` rule's state was actually sampled.
+#[derive(Debug, Clone)]
+pub struct AllowedOutcome {
+    /// The rule's text.
+    pub predicate: String,
+    /// Whether any run observed a matching state.
+    pub hit: bool,
+}
+
+/// The full verdict for one `(test, model)`.
+#[derive(Debug)]
+pub struct TestVerdict {
+    /// Test name.
+    pub test: String,
+    /// The model judged.
+    pub model: ConsistencyModel,
+    /// Grid points per speculation mode.
+    pub points: usize,
+    /// Distinct final states observed with speculation off.
+    pub baseline_states: usize,
+    /// Forbidden-state observations (conformance failures).
+    pub forbidden_violations: Vec<ForbiddenViolation>,
+    /// Speculation-transparency breaks.
+    pub spec_divergences: Vec<SpecDivergence>,
+    /// Allowed-rule sampling report.
+    pub allowed: Vec<AllowedOutcome>,
+    /// Failed runs as `(spec mode, point, error)`.
+    pub run_failures: Vec<(SpecMode, usize, String)>,
+}
+
+impl TestVerdict {
+    /// Whether the model passed: nothing forbidden observed, speculation
+    /// transparent, every run completed.
+    pub fn passed(&self) -> bool {
+        self.forbidden_violations.is_empty()
+            && self.spec_divergences.is_empty()
+            && self.run_failures.is_empty()
+    }
+}
+
+impl ToJson for TestVerdict {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("test", Json::from(self.test.as_str())),
+            ("model", self.model.to_json()),
+            (
+                "status",
+                Json::from(if self.passed() { "ok" } else { "failed" }),
+            ),
+            ("points", Json::from(self.points)),
+            ("baseline_states", Json::from(self.baseline_states)),
+            (
+                "forbidden_violations",
+                Json::arr(self.forbidden_violations.iter().map(|v| {
+                    Json::obj([
+                        ("predicate", Json::from(v.predicate.as_str())),
+                        ("state", Json::from(v.state.as_str())),
+                        ("repro", v.repro.to_json()),
+                    ])
+                })),
+            ),
+            (
+                "spec_divergences",
+                Json::arr(self.spec_divergences.iter().map(|d| {
+                    Json::obj([
+                        ("state", Json::from(d.state.as_str())),
+                        ("leaked", Json::from(d.leaked)),
+                        ("repro", d.repro.to_json()),
+                    ])
+                })),
+            ),
+            (
+                "allowed",
+                Json::arr(self.allowed.iter().map(|a| {
+                    Json::obj([
+                        ("predicate", Json::from(a.predicate.as_str())),
+                        ("hit", Json::from(a.hit)),
+                    ])
+                })),
+            ),
+            (
+                "run_failures",
+                Json::arr(self.run_failures.iter().map(|(spec, point, err)| {
+                    Json::obj([
+                        ("spec", spec.to_json()),
+                        ("point", Json::from(*point)),
+                        ("error", Json::from(err.as_str())),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+fn rules_for(
+    test: &LitmusTest,
+    kind: PredicateKind,
+    model: ConsistencyModel,
+) -> impl Iterator<Item = &PredicateRule> {
+    test.predicates
+        .iter()
+        .filter(move |r| r.kind == kind && r.models.contains(&model))
+}
+
+/// Judges one exploration: one [`TestVerdict`] per model explored.
+pub fn judge(test: &LitmusTest, ex: &Exploration) -> Vec<TestVerdict> {
+    let seed = ex.grid.first().map(|p| p.seed).unwrap_or(0);
+    let models: Vec<ConsistencyModel> = {
+        let mut seen = Vec::new();
+        for cell in &ex.cells {
+            if !seen.contains(&cell.model) {
+                seen.push(cell.model);
+            }
+        }
+        seen
+    };
+    models
+        .into_iter()
+        .map(|model| {
+            let repro = |spec: SpecMode, point: usize| Repro {
+                test: test.name.clone(),
+                model,
+                spec,
+                point,
+                seed,
+            };
+            let mut verdict = TestVerdict {
+                test: test.name.clone(),
+                model,
+                points: ex.grid.len(),
+                baseline_states: 0,
+                forbidden_violations: Vec::new(),
+                spec_divergences: Vec::new(),
+                allowed: Vec::new(),
+                run_failures: Vec::new(),
+            };
+
+            // 1. Forbidden states, under every speculation mode.
+            for spec in SPEC_MODES {
+                let Some(cell) = ex.cell(model, spec) else {
+                    continue;
+                };
+                for rule in rules_for(test, PredicateKind::Forbidden, model) {
+                    for (state, &point) in &cell.states {
+                        if test.matches(rule, state) {
+                            verdict.forbidden_violations.push(ForbiddenViolation {
+                                predicate: rule.text.clone(),
+                                state: test.render_state(state),
+                                repro: repro(spec, point),
+                            });
+                        }
+                    }
+                }
+                for (point, err) in &cell.failures {
+                    verdict.run_failures.push((spec, *point, err.clone()));
+                }
+            }
+
+            // 2. Speculation transparency: set equality against Disabled.
+            if let Some(baseline) = ex.cell(model, SpecMode::Disabled) {
+                verdict.baseline_states = baseline.states.len();
+                for spec in [SpecMode::OnDemand, SpecMode::Continuous] {
+                    let Some(cell) = ex.cell(model, spec) else {
+                        continue;
+                    };
+                    for (state, &point) in &cell.states {
+                        if !baseline.states.contains_key(state) {
+                            verdict.spec_divergences.push(SpecDivergence {
+                                state: test.render_state(state),
+                                leaked: true,
+                                repro: repro(spec, point),
+                            });
+                        }
+                    }
+                    for (state, &point) in &baseline.states {
+                        if !cell.states.contains_key(state) {
+                            verdict.spec_divergences.push(SpecDivergence {
+                                state: test.render_state(state),
+                                leaked: false,
+                                repro: repro(SpecMode::Disabled, point),
+                            });
+                        }
+                    }
+                }
+            }
+
+            // 3. Allowed states: report-only sampling check over all modes.
+            for rule in rules_for(test, PredicateKind::Allowed, model) {
+                let hit = SPEC_MODES.iter().any(|&spec| {
+                    ex.cell(model, spec).is_some_and(|cell| {
+                        cell.states
+                            .keys()
+                            .any(|s: &FinalState| test.matches(rule, s))
+                    })
+                });
+                verdict.allowed.push(AllowedOutcome {
+                    predicate: rule.text.clone(),
+                    hit,
+                });
+            }
+            verdict
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{build_grid, Exploration, ExploreCell};
+    use std::collections::BTreeMap;
+
+    fn sb() -> LitmusTest {
+        LitmusTest::parse(
+            "test SB\nthread P0\nstore x 1\nr0 = load y\nthread P1\nstore y 1\nr1 = load x\nforbidden sc : r0=0 & r1=0\nallowed tso rmo : r0=0 & r1=0\n",
+        )
+        .unwrap()
+    }
+
+    fn exploration(
+        test: &LitmusTest,
+        model: ConsistencyModel,
+        per_spec: [Vec<FinalState>; 3],
+    ) -> Exploration {
+        let grid = build_grid(test, 7, 2);
+        let cells = SPEC_MODES
+            .iter()
+            .zip(per_spec)
+            .map(|(&spec, states)| ExploreCell {
+                model,
+                spec,
+                states: states
+                    .into_iter()
+                    .map(|s| (s, 0))
+                    .collect::<BTreeMap<_, _>>(),
+                failures: Vec::new(),
+            })
+            .collect();
+        Exploration {
+            grid,
+            cells,
+            runs: 6,
+        }
+    }
+
+    #[test]
+    fn forbidden_observation_fails_with_repro() {
+        let t = sb();
+        // State layout: r0, r1, x, y. (0,0,1,1) is forbidden under SC.
+        let bad = vec![0, 0, 1, 1];
+        let ex = exploration(
+            &t,
+            ConsistencyModel::Sc,
+            [vec![bad.clone()], vec![bad.clone()], vec![bad.clone()]],
+        );
+        let verdicts = judge(&t, &ex);
+        assert_eq!(verdicts.len(), 1);
+        let v = &verdicts[0];
+        assert!(!v.passed());
+        assert_eq!(
+            v.forbidden_violations.len(),
+            3,
+            "flagged under each spec mode"
+        );
+        assert_eq!(v.forbidden_violations[0].state, "r0=0 r1=0 x=1 y=1");
+        assert_eq!(v.forbidden_violations[0].repro.test, "SB");
+    }
+
+    #[test]
+    fn spec_divergence_is_detected_both_ways() {
+        let t = sb();
+        let a = vec![1, 0, 1, 1];
+        let b = vec![0, 1, 1, 1];
+        // Baseline sees {a}; on-demand sees {a, b} (leak); continuous sees
+        // {} (suppression).
+        let ex = exploration(
+            &t,
+            ConsistencyModel::Tso,
+            [vec![a.clone()], vec![a.clone(), b.clone()], vec![]],
+        );
+        let v = &judge(&t, &ex)[0];
+        assert!(!v.passed());
+        assert_eq!(v.spec_divergences.len(), 2);
+        assert!(v.spec_divergences.iter().any(|d| d.leaked));
+        assert!(v.spec_divergences.iter().any(|d| !d.leaked));
+        assert!(
+            v.forbidden_violations.is_empty(),
+            "nothing forbidden under TSO"
+        );
+    }
+
+    #[test]
+    fn clean_exploration_passes_and_reports_allowed_hits() {
+        let t = sb();
+        let sc_only = vec![1, 0, 1, 1];
+        let relaxed = vec![0, 0, 1, 1];
+        let states = vec![sc_only.clone(), relaxed.clone()];
+        let ex = exploration(
+            &t,
+            ConsistencyModel::Tso,
+            [states.clone(), states.clone(), states],
+        );
+        let v = &judge(&t, &ex)[0];
+        assert!(v.passed());
+        assert_eq!(v.baseline_states, 2);
+        assert_eq!(v.allowed.len(), 1);
+        assert!(v.allowed[0].hit, "the relaxed SB outcome was sampled");
+        let json = v.to_json().pretty();
+        assert!(json.contains("\"status\": \"ok\""));
+    }
+
+    #[test]
+    fn run_failures_fail_the_verdict() {
+        let t = sb();
+        let ok = vec![1, 1, 1, 1];
+        let mut ex = exploration(
+            &t,
+            ConsistencyModel::Sc,
+            [vec![ok.clone()], vec![ok.clone()], vec![ok]],
+        );
+        ex.cells[1].failures.push((1, "hung".into()));
+        let v = &judge(&t, &ex)[0];
+        assert!(!v.passed());
+        assert_eq!(v.run_failures.len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The corpus conformance gate: every in-tree litmus test, explored
+//! across the full `(model, speculation mode)` matrix on the real
+//! simulator, must produce a clean verdict — no forbidden state observed,
+//! and speculation-on observable-state sets identical to speculation-off.
+//!
+//! This is the tier-1 enforcement of the acceptance criteria; `tenways
+//! litmus --corpus` in ci.sh re-checks the same property through the CLI.
+
+use tenways_cpu::ConsistencyModel;
+use tenways_litmus::{corpus, explore, judge, ExploreOptions, SPEC_MODES};
+
+/// Grid points per cell; trimmed under `TENWAYS_FAST=1` (smoke runs).
+fn points() -> usize {
+    if std::env::var("TENWAYS_FAST").is_ok_and(|v| v == "1") {
+        12
+    } else {
+        24
+    }
+}
+
+fn options() -> ExploreOptions {
+    ExploreOptions {
+        points: points(),
+        ..ExploreOptions::default()
+    }
+}
+
+#[test]
+fn corpus_has_the_twelve_classic_shapes() {
+    let names: Vec<String> = corpus().into_iter().map(|t| t.name).collect();
+    assert_eq!(
+        names,
+        [
+            "SB",
+            "SB+fences",
+            "SB+rmws",
+            "MP",
+            "MP+fences",
+            "LB",
+            "IRIW",
+            "IRIW+fences",
+            "R",
+            "S",
+            "2+2W",
+            "CoRR"
+        ]
+    );
+}
+
+#[test]
+fn full_corpus_passes_under_every_model_and_spec_mode() {
+    let opts = options();
+    let mut failures = Vec::new();
+    for test in corpus() {
+        let ex = explore(&test, &ConsistencyModel::all(), &opts);
+        assert_eq!(
+            ex.cells.len(),
+            ConsistencyModel::all().len() * SPEC_MODES.len()
+        );
+        for verdict in judge(&test, &ex) {
+            if !verdict.passed() {
+                failures.push(format!(
+                    "{}/{}: {} forbidden, {} divergences, {} run failures — {:?} {:?} {:?}",
+                    verdict.test,
+                    verdict.model,
+                    verdict.forbidden_violations.len(),
+                    verdict.spec_divergences.len(),
+                    verdict.run_failures.len(),
+                    verdict.forbidden_violations,
+                    verdict.spec_divergences,
+                    verdict.run_failures,
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "conformance failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn sb_relaxation_is_actually_sampled_under_tso() {
+    // `allowed` rules are report-only in general, but SB's relaxed outcome
+    // is the one relaxation this simulator is known to exhibit (the store
+    // buffer forwards while the store is in flight) — if the grid stops
+    // sampling it, the harness has lost its teeth and this test says so.
+    let test = corpus().remove(0);
+    assert_eq!(test.name, "SB");
+    let ex = explore(&test, &[ConsistencyModel::Tso], &options());
+    let verdicts = judge(&test, &ex);
+    let v = verdicts
+        .iter()
+        .find(|v| v.model == ConsistencyModel::Tso)
+        .unwrap();
+    assert!(
+        v.passed(),
+        "{:?} {:?}",
+        v.forbidden_violations,
+        v.spec_divergences
+    );
+    assert_eq!(v.allowed.len(), 1);
+    assert!(
+        v.allowed[0].hit,
+        "the grid never observed SB's r0=0 & r1=0 under TSO"
+    );
+}

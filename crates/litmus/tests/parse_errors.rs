@@ -1,0 +1,155 @@
+//! Parser error paths, with exact error-message assertions: the messages
+//! are part of the format's user interface (they point at the offending
+//! line), so changing them is a breaking change this suite makes visible.
+
+use tenways_litmus::{LitmusTest, ParseErrorKind};
+
+fn err(src: &str) -> (usize, ParseErrorKind, String) {
+    let e = LitmusTest::parse(src).expect_err("source must not parse");
+    let msg = e.to_string();
+    (e.line, e.kind, msg)
+}
+
+#[test]
+fn bad_opcode_is_located_and_named() {
+    let (line, kind, msg) = err("test T\nthread P0\nstroe x 1\n");
+    assert_eq!(line, 3);
+    assert_eq!(kind, ParseErrorKind::UnknownOpcode("stroe".into()));
+    assert_eq!(msg, "litmus parse error at line 3: unknown opcode `stroe`");
+}
+
+#[test]
+fn bad_register_opcode_is_distinct_from_shape_errors() {
+    let (line, kind, msg) = err("test T\nthread P0\nr0 = lod x\n");
+    assert_eq!(line, 3);
+    assert_eq!(kind, ParseErrorKind::UnknownOpcode("lod".into()));
+    assert_eq!(msg, "litmus parse error at line 3: unknown opcode `lod`");
+}
+
+#[test]
+fn unknown_location_in_predicate() {
+    let (line, kind, msg) = err("test T\nthread P0\nstore x 1\nforbidden sc : z=0\n");
+    assert_eq!(line, 4);
+    assert_eq!(kind, ParseErrorKind::UnknownName("z".into()));
+    assert_eq!(
+        msg,
+        "litmus parse error at line 4: unknown location or register `z` in predicate"
+    );
+}
+
+#[test]
+fn malformed_predicate_without_colon() {
+    let (line, kind, msg) = err("test T\nthread P0\nstore x 1\nforbidden sc x=0\n");
+    assert_eq!(line, 4);
+    assert_eq!(
+        kind,
+        ParseErrorKind::MalformedPredicate("forbidden sc x=0".into())
+    );
+    assert_eq!(
+        msg,
+        "litmus parse error at line 4: malformed predicate `forbidden sc x=0` (expected `name=value & ...`)"
+    );
+}
+
+#[test]
+fn malformed_predicate_atom_without_equals() {
+    let (line, kind, _) = err("test T\nthread P0\nstore x 1\nforbidden sc : x\n");
+    assert_eq!(line, 4);
+    assert_eq!(kind, ParseErrorKind::MalformedPredicate("x".into()));
+}
+
+#[test]
+fn predicate_with_unknown_model() {
+    let (line, kind, msg) = err("test T\nthread P0\nstore x 1\nforbidden arm : x=0\n");
+    assert_eq!(line, 4);
+    assert_eq!(kind, ParseErrorKind::UnknownModel("arm".into()));
+    assert_eq!(
+        msg,
+        "litmus parse error at line 4: unknown model `arm` (expected sc, tso or rmo)"
+    );
+}
+
+#[test]
+fn predicate_with_no_models() {
+    let (line, kind, _) = err("test T\nthread P0\nstore x 1\nforbidden : x=0\n");
+    assert_eq!(line, 4);
+    assert_eq!(
+        kind,
+        ParseErrorKind::MalformedPredicate("forbidden : x=0".into())
+    );
+}
+
+#[test]
+fn missing_header() {
+    let (line, kind, msg) = err("thread P0\nstore x 1\n");
+    assert_eq!(line, 1);
+    assert_eq!(kind, ParseErrorKind::MissingHeader);
+    assert_eq!(
+        msg,
+        "litmus parse error at line 1: expected `test <name>` header"
+    );
+}
+
+#[test]
+fn op_before_any_thread_section() {
+    let (line, kind, msg) = err("test T\nstore x 1\n");
+    assert_eq!(line, 2);
+    assert_eq!(kind, ParseErrorKind::OpOutsideThread);
+    assert_eq!(
+        msg,
+        "litmus parse error at line 2: operation before the first `thread` section"
+    );
+}
+
+#[test]
+fn bad_integer_in_store() {
+    let (line, kind, msg) = err("test T\nthread P0\nstore x one\n");
+    assert_eq!(line, 3);
+    assert_eq!(kind, ParseErrorKind::BadInteger("one".into()));
+    assert_eq!(
+        msg,
+        "litmus parse error at line 3: `one` is not an unsigned integer"
+    );
+}
+
+#[test]
+fn malformed_store_shape() {
+    let (line, kind, _) = err("test T\nthread P0\nstore x\n");
+    assert_eq!(line, 3);
+    assert_eq!(kind, ParseErrorKind::MalformedOp("store x".into()));
+}
+
+#[test]
+fn duplicate_register_assignment() {
+    let (line, kind, msg) = err("test T\nthread P0\nr0 = load x\nr0 = load y\n");
+    assert_eq!(line, 4);
+    assert_eq!(kind, ParseErrorKind::DuplicateRegister("r0".into()));
+    assert_eq!(
+        msg,
+        "litmus parse error at line 4: register `r0` is assigned more than once"
+    );
+}
+
+#[test]
+fn duplicate_thread_name() {
+    let (line, kind, _) = err("test T\nthread P0\nstore x 1\nthread P0\n");
+    assert_eq!(line, 4);
+    assert_eq!(kind, ParseErrorKind::DuplicateThread("P0".into()));
+}
+
+#[test]
+fn empty_test_has_no_threads() {
+    let (line, kind, msg) = err("test T\n");
+    assert_eq!(line, 1);
+    assert_eq!(kind, ParseErrorKind::NoThreads);
+    assert_eq!(
+        msg,
+        "litmus parse error at line 1: test has no `thread` sections"
+    );
+}
+
+#[test]
+fn errors_are_std_error() {
+    let e = LitmusTest::parse("").unwrap_err();
+    let _: &dyn std::error::Error = &e;
+}

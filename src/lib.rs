@@ -25,6 +25,9 @@
 //!   [`Experiment`](waste::Experiment) runner.
 //! * [`bench`] — the fail-soft parallel [`SweepRunner`](bench::SweepRunner)
 //!   and the grid-sweep layer behind `tenways sweep`.
+//! * [`litmus`] — the weak-memory conformance harness behind
+//!   `tenways litmus`: litmus-test parsing, interleaving exploration, and
+//!   forbidden-state / speculation-transparency verdicts.
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@ pub use tenways_bench as bench;
 pub use tenways_coherence as coherence;
 pub use tenways_core as spec;
 pub use tenways_cpu as cpu;
+pub use tenways_litmus as litmus;
 pub use tenways_mem as mem;
 pub use tenways_noc as noc;
 pub use tenways_sim as sim;

@@ -5,6 +5,7 @@
 //! tenways --workload oltp --model sc --spec on-demand --threads 8 --scale 8
 //! tenways --config sweep.toml --json results/run.json --trace trace.json
 //! tenways sweep --config grid.toml
+//! tenways litmus --corpus
 //! tenways --list
 //! ```
 //!
@@ -19,12 +20,16 @@ use tenways::sim::json::ToJson;
 use tenways::sim::trace::chrome_trace;
 use tenways::waste::report;
 
+mod litmus_cli;
 mod sweep_cli;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tenways [options]
-       tenways sweep --config <grid.toml> [options]   (see tenways sweep --help)
+        "usage: tenways [options]                            run one experiment
+       tenways sweep --config <grid.toml> [options]  run a config grid
+                                                     (see tenways sweep --help)
+       tenways litmus [--corpus] [options]           weak-memory conformance
+                                                     (see tenways litmus --help)
   --config <path>     load a SimConfig file first (.json is JSON, else TOML)
   --workload <name>   one of: {} | contended (default oltp)
   --model <m>         sc | tso | rmo (default tso)
@@ -68,9 +73,12 @@ const TRACE_CAPACITY: usize = 1 << 20;
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
 
-    // Subcommand dispatch: `tenways sweep ...` has its own flag set.
-    if argv.first().map(String::as_str) == Some("sweep") {
-        sweep_cli::main(&argv[1..]);
+    // Subcommand dispatch: `tenways sweep ...` and `tenways litmus ...`
+    // have their own flag sets.
+    match argv.first().map(String::as_str) {
+        Some("sweep") => sweep_cli::main(&argv[1..]),
+        Some("litmus") => litmus_cli::main(&argv[1..]),
+        _ => {}
     }
 
     // Pass 1: the config file establishes the base layer.
