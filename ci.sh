@@ -46,11 +46,16 @@ test "$(grep -c '"sim_cycles_per_sec":' "$SMOKE_DIR/ci-smoke.json")" = 3
 
 # Throughput bench smoke run: times naive stepping, machine-gap
 # fast-forward, and the component-wake scheduler on every configuration
-# (including the mixed 1-busy/15-idle machine) and exits non-zero if any
-# run record diverges from naive — the whole-binary scheduler regression
-# gate. Run from a scratch dir so the committed full-scale
-# BENCH_sim_throughput.json (and results/) are not overwritten with
-# smoke-scale numbers.
+# (including the mixed 1-busy/15-idle machine), plus the epoch-parallel
+# scheduler at 1/2/4/8 shard workers on the 256-core big-mesh config, and
+# exits non-zero if any run record diverges or if parallel-epoch at 4
+# workers is slower than component-wake on a host with the hardware
+# threads to run the shards concurrently — the whole-binary scheduler
+# regression gate. (The sequential-vs-parallel equivalence suite proper —
+# crates/waste/tests/sched_equivalence.rs and the litmus conformance test
+# — runs with the workspace tests above.) Run from a scratch dir so the
+# committed full-scale BENCH_sim_throughput.json (and results/) are not
+# overwritten with smoke-scale numbers.
 BENCH_DIR=target/ci-results
 rm -rf "$BENCH_DIR"
 mkdir -p "$BENCH_DIR"
@@ -63,6 +68,16 @@ grep -q '"mode": "machine_gap"' "$BENCH_DIR/BENCH_sim_throughput.json"
 grep -q '"mode": "component_wake"' "$BENCH_DIR/BENCH_sim_throughput.json"
 grep -q '"label": "mixed/1busy15idle/remote4000"' "$BENCH_DIR/BENCH_sim_throughput.json"
 grep -q '"speedup_vs_machine_gap"' "$BENCH_DIR/BENCH_sim_throughput.json"
+# Epoch-parallel rows must be present at >= 2 worker counts on the
+# big-mesh config, and the 4-worker speedup gate must have passed (the
+# binary computes it host-aware; a false value here is a perf regression
+# on a capable host and fails CI).
+grep -q '"mode": "parallel-epoch"' "$BENCH_DIR/BENCH_sim_throughput.json"
+grep -q '"workers": 2' "$BENCH_DIR/BENCH_sim_throughput.json"
+grep -q '"workers": 4' "$BENCH_DIR/BENCH_sim_throughput.json"
+grep -q '"label": "ocean/tso/256c/mesh"' "$BENCH_DIR/BENCH_sim_throughput.json"
+grep -q '"gate_speedup_ok": true' "$BENCH_DIR/BENCH_sim_throughput.json"
+! grep -q '"gate_speedup_ok": false' "$BENCH_DIR/BENCH_sim_throughput.json"
 
 # Litmus conformance gate: the full corpus across every consistency model
 # and speculation mode must come back clean — exit is non-zero on any

@@ -12,6 +12,12 @@
 //! isolates what per-component wakeup buys on mixed active/idle
 //! machines); results land in `results/sim_throughput.json` and are
 //! mirrored to `BENCH_sim_throughput.json` at the current directory.
+//!
+//! A final big-mesh section (256 cores on a 2-D mesh) benchmarks the
+//! epoch-parallel scheduler at 1/2/4/8 shard workers against the wake
+//! scheduler, gating both on record identity and — where the host has the
+//! hardware threads to run the shards concurrently — on
+//! `speedup_vs_component_wake >= 1.0` at 4 workers (`gate_speedup_ok`).
 
 use std::time::Instant;
 
@@ -19,7 +25,7 @@ use tenways_bench::{banner, write_results_json, SuiteConfig};
 use tenways_cpu::{
     ConsistencyModel, Machine, MachineSpec, Op, ScriptProgram, SpecConfig, ThreadProgram,
 };
-use tenways_sim::json::{Json, ToJson};
+use tenways_sim::json::Json;
 use tenways_sim::{Addr, MachineConfig};
 use tenways_waste::{Experiment, SchedMode};
 use tenways_workloads::{WorkloadKind, WorkloadParams};
@@ -69,7 +75,7 @@ fn timed_exp(exp: &Experiment, sched: SchedMode) -> Timed {
             retired_ops: record.summary.retired_ops,
             finished: record.summary.finished,
             wall_s,
-            fingerprint: record.to_json().to_string(),
+            fingerprint: record.fingerprint(),
         }
     })
 }
@@ -290,6 +296,95 @@ fn main() {
     bench(mixed_label, &mut |sched| {
         timed_mixed(mixed_busy_ops, MIXED_IDLE_CORES, sched)
     });
+
+    // ---- Epoch-parallel scaling on a big mesh -------------------------
+    //
+    // 256 cores on a 2-D mesh is the machine the epoch scheduler is for:
+    // enough scheduling units to shard, and a mesh topology whose minimum
+    // hop latency gives a multi-cycle safe lookahead window. The scale is
+    // pinned (not `cfg.scale()`) so the row measures the same ~40k-cycle
+    // run everywhere.
+    let big_mesh_label = "ocean/tso/256c/mesh";
+    let big_mesh = MachineConfig::builder()
+        .cores(256)
+        .mesh(true)
+        .build()
+        .expect("big-mesh machine config");
+    let big_exp = Experiment::new(WorkloadKind::OceanLike)
+        .params(WorkloadParams {
+            threads: 256,
+            scale: 1,
+            seed: cfg.seed(),
+        })
+        .machine(big_mesh);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    const EPOCH_WORKERS: [usize; 4] = [1, 2, 4, 8];
+    const GATE_WORKERS: usize = 4;
+
+    let wake = timed_exp(&big_exp, SchedMode::ComponentWake);
+    rows.push(mode_row(
+        big_mesh_label,
+        "component_wake",
+        &wake,
+        None,
+        None,
+    ));
+    println!(
+        "{:<30}{:>12}{:>11.3}  (component_wake baseline, host_threads={host_threads})",
+        big_mesh_label, wake.cycles, wake.wall_s
+    );
+    for workers in EPOCH_WORKERS {
+        let t = timed_exp(&big_exp, SchedMode::ParallelEpoch { workers });
+        if t.fingerprint != wake.fingerprint {
+            eprintln!(
+                "[{ID}] SCHEDULER MISMATCH on {big_mesh_label}/parallel-epoch w{workers}: \
+                 run records differ"
+            );
+            mismatches += 1;
+        }
+        let speedup = if t.wall_s > 0.0 {
+            wake.wall_s / t.wall_s
+        } else {
+            0.0
+        };
+        println!(
+            "{:<30}{:>12}{:>11.3}  (parallel-epoch w{workers}, {speedup:.2}x vs wake)",
+            big_mesh_label, t.cycles, t.wall_s
+        );
+        let mut fields = vec![
+            ("label", Json::from(big_mesh_label)),
+            ("mode", Json::from("parallel-epoch")),
+            ("workers", Json::from(workers)),
+            ("cycles", Json::U64(t.cycles)),
+            ("finished", Json::Bool(t.finished)),
+            ("retired_ops", Json::U64(t.retired_ops)),
+            ("wall_s", Json::F64(t.wall_s)),
+            ("sim_cycles_per_sec", Json::F64(t.cycles as f64 / t.wall_s)),
+            ("speedup_vs_component_wake", Json::F64(speedup)),
+        ];
+        if workers == GATE_WORKERS {
+            // The speedup gate binds only where it is physically
+            // meaningful: the shard workers need their own hardware
+            // threads to run concurrently. On smaller hosts (CI
+            // containers are often 1-2 vCPUs) the row still proves
+            // record identity, and the gate passes vacuously — the
+            // `gate_host_capable` field records which case this was.
+            let capable = host_threads > GATE_WORKERS;
+            let ok = !capable || speedup >= 1.0;
+            if !ok {
+                eprintln!(
+                    "[{ID}] SPEEDUP GATE FAILED on {big_mesh_label}: parallel-epoch \
+                     w{GATE_WORKERS} is {speedup:.2}x vs component_wake on a \
+                     {host_threads}-thread host"
+                );
+                mismatches += 1;
+            }
+            fields.push(("host_threads", Json::from(host_threads)));
+            fields.push(("gate_host_capable", Json::Bool(capable)));
+            fields.push(("gate_speedup_ok", Json::Bool(ok)));
+        }
+        rows.push(Json::obj(fields));
+    }
 
     let path = write_results_json(ID, TITLE, &cfg, rows);
     let text = std::fs::read_to_string(&path).expect("re-read results JSON");

@@ -30,7 +30,7 @@ use tenways_sim::trace::{TraceCategory, Tracer};
 use tenways_sim::{Addr, BlockGeometry, CoreId, Cycle, Histogram, MachineConfig, StatSet};
 
 use crate::account::{self, StallKind};
-use crate::archmem::{ArchMem, SpecOverlay};
+use crate::archmem::{MemBackend, SpecOverlay};
 use crate::consistency::ConsistencyModel;
 use crate::op::{FenceKind, MemTag, Op, ThreadProgram};
 
@@ -346,12 +346,12 @@ impl Core {
     /// retired, issued, or a flag flipped). A `false` cycle is a pure
     /// waiting cycle whose side effects repeat identically until the next
     /// event — the contract fast-forward relies on.
-    pub fn tick(
+    pub fn tick<M: MemBackend>(
         &mut self,
         now: Cycle,
         l1: &mut L1Controller,
         fabric: &mut Fabric<CoherenceMsg>,
-        mem: &mut ArchMem,
+        mem: &mut M,
     ) -> bool {
         if self.done_at.is_some() {
             return false;
@@ -436,12 +436,12 @@ impl Core {
         }
     }
 
-    fn process_completions(
+    fn process_completions<M: MemBackend>(
         &mut self,
         now: Cycle,
         l1: &mut L1Controller,
         fabric: &mut Fabric<CoherenceMsg>,
-        mem: &mut ArchMem,
+        mem: &mut M,
     ) {
         let completions = l1.take_completions();
         if !completions.is_empty() {
@@ -531,7 +531,7 @@ impl Core {
         }
     }
 
-    fn try_commit(&mut self, now: Cycle, l1: &mut L1Controller, mem: &mut ArchMem) {
+    fn try_commit<M: MemBackend>(&mut self, now: Cycle, l1: &mut L1Controller, mem: &mut M) {
         if !self.engine.speculating() {
             return;
         }
@@ -572,7 +572,7 @@ impl Core {
     }
 
     /// Retires completed ops from the ROB head; returns how many.
-    fn retire(&mut self, now: Cycle, _mem: &mut ArchMem) -> usize {
+    fn retire<M: MemBackend>(&mut self, now: Cycle, _mem: &mut M) -> usize {
         let mut retired = 0;
         while retired < self.width {
             let Some(head) = self.rob.front() else { break };
@@ -1016,7 +1016,7 @@ impl Core {
         );
     }
 
-    fn finish_check(&mut self, now: Cycle, l1: &mut L1Controller, mem: &mut ArchMem) {
+    fn finish_check<M: MemBackend>(&mut self, now: Cycle, l1: &mut L1Controller, mem: &mut M) {
         if self.done_at.is_some() {
             return;
         }
@@ -1171,7 +1171,7 @@ impl Core {
 
     /// Resolves the architectural value of `addr` as seen by this core:
     /// store buffer first, then the speculative overlay, then memory.
-    fn resolve_value(&self, addr: Addr, mem: &ArchMem) -> u64 {
+    fn resolve_value<M: MemBackend>(&self, addr: Addr, mem: &M) -> u64 {
         if let Some(e) = self.sb.iter().rev().find(|e| e.addr == addr) {
             return e.value;
         }

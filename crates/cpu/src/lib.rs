@@ -43,6 +43,7 @@ pub mod account;
 pub mod archmem;
 pub mod consistency;
 mod core;
+mod epoch;
 pub mod machine;
 pub mod op;
 pub mod wake;

@@ -29,6 +29,30 @@ pub enum SchedMode {
     /// their stat-only cycle effects replayed lazily on wake. The default.
     #[default]
     ComponentWake,
+    /// Conservative epoch-parallel scheduling: the scheduling units
+    /// (fabric, directory banks, fused core+L1 complexes) are sharded
+    /// across `workers` threads; each shard free-runs its own wake wheel
+    /// through windows of the minimum NoC latency and exchanges fabric
+    /// messages only at window boundaries (see `crate::epoch`). Falls
+    /// back to [`ComponentWake`] when the machine is too small to shard
+    /// or the minimum latency is zero.
+    ParallelEpoch {
+        /// Worker threads to shard across (clamped to the core count;
+        /// `0` behaves as `1`).
+        workers: usize,
+    },
+}
+
+impl SchedMode {
+    /// Stable label for configs, CLI flags and run records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedMode::Naive => "naive",
+            SchedMode::MachineGap => "machine-gap",
+            SchedMode::ComponentWake => "component-wake",
+            SchedMode::ParallelEpoch { .. } => "parallel-epoch",
+        }
+    }
 }
 
 /// Everything that defines a run besides the workload itself.
@@ -122,16 +146,16 @@ impl RunSummary {
 /// The assembled multicore simulator.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: MachineConfig,
-    clock: Clock,
-    fabric: Fabric<CoherenceMsg>,
-    dirs: Vec<DirectoryBank>,
-    l1s: Vec<L1Controller>,
-    cores: Vec<Core>,
-    mem: ArchMem,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) clock: Clock,
+    pub(crate) fabric: Fabric<CoherenceMsg>,
+    pub(crate) dirs: Vec<DirectoryBank>,
+    pub(crate) l1s: Vec<L1Controller>,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) mem: ArchMem,
     /// Run-loop scheduling strategy (bit-for-bit identical results across
-    /// all modes; non-default modes exist for regression comparison and
-    /// benchmarking).
+    /// all modes; non-default modes exist for regression comparison,
+    /// benchmarking, and multi-worker wall-clock scaling).
     sched: SchedMode,
 }
 
@@ -176,16 +200,6 @@ impl Machine {
     /// [`SchedMode::ComponentWake`]). All modes produce identical results.
     pub fn set_sched(&mut self, sched: SchedMode) {
         self.sched = sched;
-    }
-
-    /// Compatibility switch: `true` selects the default wake scheduler,
-    /// `false` forces naive per-cycle stepping (the regression reference).
-    pub fn set_fast_forward(&mut self, enabled: bool) {
-        self.sched = if enabled {
-            SchedMode::ComponentWake
-        } else {
-            SchedMode::Naive
-        };
     }
 
     /// The machine description.
@@ -297,6 +311,7 @@ impl Machine {
             SchedMode::Naive => self.run_naive(limit),
             SchedMode::MachineGap => self.run_machine_gap(limit),
             SchedMode::ComponentWake => self.run_wake(limit),
+            SchedMode::ParallelEpoch { workers } => crate::epoch::run(self, limit, workers),
         }
     }
 
@@ -361,7 +376,7 @@ impl Machine {
     /// the stat-only effects of the no-progress ticks they slept through
     /// (`skip_idle`), so results stay bit-for-bit identical to
     /// [`Machine::run_naive`].
-    fn run_wake(&mut self, limit: u64) -> RunSummary {
+    pub(crate) fn run_wake(&mut self, limit: u64) -> RunSummary {
         let start = self.clock.now();
         let end = start.after(limit);
         let n_dirs = self.dirs.len();
@@ -504,7 +519,7 @@ impl Machine {
         self.finish(start)
     }
 
-    fn finish(&mut self, start: Cycle) -> RunSummary {
+    pub(crate) fn finish(&mut self, start: Cycle) -> RunSummary {
         for c in &mut self.cores {
             c.flush_accounting();
         }

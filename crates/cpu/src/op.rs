@@ -181,7 +181,11 @@ impl Op {
 /// [`snapshot`](Self::snapshot): the fence-speculation engine checkpoints
 /// the program at each speculation point and restores the snapshot on
 /// rollback, re-executing from there.
-pub trait ThreadProgram: std::fmt::Debug {
+///
+/// Programs are `Send` so the epoch-parallel scheduler can move a core
+/// (and the program it owns) onto a worker thread; they are still driven
+/// by exactly one thread at a time.
+pub trait ThreadProgram: std::fmt::Debug + Send {
     /// Produces the next operation, given the consumed value if the
     /// previous op requested one.
     fn next_op(&mut self, last_value: Option<u64>) -> Option<Op>;

@@ -34,9 +34,17 @@ fn machine() -> Machine {
     Machine::new(&ms, programs)
 }
 
-/// The two accelerated schedulers (machine-gap fast-forward and
-/// component-granular wake scheduling) against the naive reference.
-const FAST_MODES: [SchedMode; 2] = [SchedMode::MachineGap, SchedMode::ComponentWake];
+/// The accelerated schedulers (machine-gap fast-forward, component-
+/// granular wake scheduling, and epoch-parallel at several worker
+/// counts — including counts above the core count, which clamp) against
+/// the naive reference.
+const FAST_MODES: [SchedMode; 5] = [
+    SchedMode::MachineGap,
+    SchedMode::ComponentWake,
+    SchedMode::ParallelEpoch { workers: 1 },
+    SchedMode::ParallelEpoch { workers: 2 },
+    SchedMode::ParallelEpoch { workers: 4 },
+];
 
 #[test]
 fn limit_is_exact_even_mid_quiescent_gap() {

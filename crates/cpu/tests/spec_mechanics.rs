@@ -33,7 +33,7 @@ fn machine(
 struct CountingProgram {
     ops: Vec<Op>,
     pos: usize,
-    emitted: std::rc::Rc<std::cell::Cell<u64>>,
+    emitted: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ThreadProgram for CountingProgram {
@@ -41,7 +41,8 @@ impl ThreadProgram for CountingProgram {
         let op = self.ops.get(self.pos).copied();
         if op.is_some() {
             self.pos += 1;
-            self.emitted.set(self.emitted.get() + 1);
+            self.emitted
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         op
     }
@@ -54,7 +55,7 @@ impl ThreadProgram for CountingProgram {
 #[test]
 fn rollback_reexecutes_ops_from_the_checkpoint() {
     // Core 0 speculates past a fence while core 1 invalidates its marks.
-    let emitted = std::rc::Rc::new(std::cell::Cell::new(0));
+    let emitted = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let shared = Addr(0x500);
     let mut ops = vec![Op::store(Addr(0x100), 1), Op::Fence(FenceKind::Full)];
     for i in 0..10 {
@@ -82,9 +83,9 @@ fn rollback_reexecutes_ops_from_the_checkpoint() {
     if stats.get("spec.rollbacks") > 0 {
         // Program was asked for more ops than it has: re-execution happened.
         assert!(
-            emitted.get() > ops.len() as u64,
+            emitted.load(std::sync::atomic::Ordering::Relaxed) > ops.len() as u64,
             "rollback must re-drive the program: emitted {} of {}",
-            emitted.get(),
+            emitted.load(std::sync::atomic::Ordering::Relaxed),
             ops.len()
         );
     }
@@ -191,7 +192,7 @@ fn load_waits_for_older_same_address_rmw() {
     struct RmwThenRead {
         addr: Addr,
         phase: u8,
-        observed: std::rc::Rc<std::cell::Cell<u64>>,
+        observed: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
     impl ThreadProgram for RmwThenRead {
         fn next_op(&mut self, last: Option<u64>) -> Option<Op> {
@@ -214,7 +215,10 @@ fn load_waits_for_older_same_address_rmw() {
                     })
                 }
                 2 => {
-                    self.observed.set(last.expect("consumed value"));
+                    self.observed.store(
+                        last.expect("consumed value"),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
                     None
                 }
                 _ => None,
@@ -226,7 +230,7 @@ fn load_waits_for_older_same_address_rmw() {
     }
     for model in ConsistencyModel::all() {
         for spec in [SpecConfig::disabled(), SpecConfig::on_demand()] {
-            let observed = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
+            let observed = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(u64::MAX));
             let p = RmwThenRead {
                 addr: Addr(0x2040),
                 phase: 0,
@@ -235,7 +239,11 @@ fn load_waits_for_older_same_address_rmw() {
             let mut m = machine(model, spec, vec![boxed(p)]);
             let s = m.run(100_000);
             assert!(s.finished);
-            assert_eq!(observed.get(), 5, "under {model} {spec:?}");
+            assert_eq!(
+                observed.load(std::sync::atomic::Ordering::Relaxed),
+                5,
+                "under {model} {spec:?}"
+            );
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Each named location gets its own cache line (so tests race on
 //! coherence, not on false sharing), each register becomes a shared
-//! `Rc<Cell<u64>>` written when the consumed value flows back through
+//! `Arc<AtomicU64>` written when the consumed value flows back through
 //! [`ThreadProgram::next_op`], and every thread can be given a `Compute`
 //! prefix to skew its start time.
 //!
@@ -11,8 +11,8 @@
 //! operations, overwriting any value a squashed path wrote — the
 //! committed path's write always lands last.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use tenways_cpu::{MemTag, Op, ThreadProgram};
 use tenways_sim::Addr;
@@ -39,7 +39,7 @@ pub struct CompiledTest {
     pub programs: Vec<Box<dyn ThreadProgram>>,
     /// One output cell per register, in [`LitmusTest::registers`] order.
     /// Read after the machine finishes.
-    pub registers: Vec<Rc<Cell<u64>>>,
+    pub registers: Vec<Arc<AtomicU64>>,
 }
 
 /// Compiles `test` into per-thread programs.
@@ -49,10 +49,10 @@ pub struct CompiledTest {
 /// and RMWs are marked `consume`, which is the only channel through
 /// which architectural values reach the program.
 pub fn compile(test: &LitmusTest, skews: &[u64]) -> CompiledTest {
-    let registers: Vec<Rc<Cell<u64>>> = test
+    let registers: Vec<Arc<AtomicU64>> = test
         .registers
         .iter()
-        .map(|_| Rc::new(Cell::new(UNWRITTEN)))
+        .map(|_| Arc::new(AtomicU64::new(UNWRITTEN)))
         .collect();
     let programs = test
         .threads
@@ -109,19 +109,19 @@ pub fn compile(test: &LitmusTest, skews: &[u64]) -> CompiledTest {
 struct LitmusProgram {
     name: String,
     /// `(op, register slot)` pairs; the slot receives the consumed value.
-    ops: Rc<[(Op, Option<usize>)]>,
+    ops: Arc<[(Op, Option<usize>)]>,
     pos: usize,
     /// Register slot of the in-flight consume op, if any.
     pending: Option<usize>,
     /// Shared with [`CompiledTest::registers`] (global register order).
-    outs: Vec<Rc<Cell<u64>>>,
+    outs: Vec<Arc<AtomicU64>>,
 }
 
 impl ThreadProgram for LitmusProgram {
     fn next_op(&mut self, last_value: Option<u64>) -> Option<Op> {
         if let Some(v) = last_value {
             if let Some(slot) = self.pending.take() {
-                self.outs[slot].set(v);
+                self.outs[slot].store(v, Ordering::Relaxed);
             }
         }
         let &(op, slot) = self.ops.get(self.pos)?;
@@ -174,9 +174,9 @@ mod tests {
         );
         // Final call delivers the consumed value and ends the thread.
         assert_eq!(p0.next_op(Some(9)), None);
-        assert_eq!(compiled.registers[0].get(), 9);
+        assert_eq!(compiled.registers[0].load(Ordering::Relaxed), 9);
         assert_eq!(
-            compiled.registers[1].get(),
+            compiled.registers[1].load(Ordering::Relaxed),
             UNWRITTEN,
             "other thread's register untouched"
         );
@@ -199,13 +199,13 @@ mod tests {
         let snap = p.snapshot();
         p.next_op(None); // load (speculative path)
         assert_eq!(p.next_op(Some(7)), None);
-        assert_eq!(compiled.registers[0].get(), 7);
+        assert_eq!(compiled.registers[0].load(Ordering::Relaxed), 7);
         // Roll back to the snapshot and re-execute: the committed value
         // overwrites the squashed one.
         let mut p = snap;
         p.next_op(None); // load again
         assert_eq!(p.next_op(Some(1)), None);
-        assert_eq!(compiled.registers[0].get(), 1);
+        assert_eq!(compiled.registers[0].load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -221,6 +221,6 @@ mod tests {
             Some(Op::Rmw { consume: true, .. })
         ));
         assert_eq!(p.next_op(Some(4)), Some(Op::Fence(FenceKind::Acquire)));
-        assert_eq!(compiled.registers[0].get(), 4);
+        assert_eq!(compiled.registers[0].load(Ordering::Relaxed), 4);
     }
 }

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use tenways_bench::{SweepJob, SweepOptions, SweepRunner};
 use tenways_core::{SpecConfig, SpecMode};
-use tenways_cpu::{ConsistencyModel, Machine, MachineSpec};
+use tenways_cpu::{ConsistencyModel, Machine, MachineSpec, SchedMode};
 use tenways_sim::json::{Json, ToJson};
 use tenways_sim::{DetRng, MachineConfig};
 
@@ -66,10 +66,17 @@ pub struct ExploreOptions {
     pub points: usize,
     /// Base seed for the grid.
     pub seed: u64,
-    /// Worker threads for the sweep (`None` = available parallelism).
+    /// *Across-run* worker threads for the sweep: how many grid points
+    /// run concurrently (`None` = available parallelism). Distinct from
+    /// `sched`, which may shard each individual run.
     pub workers: Option<usize>,
     /// Per-run cycle limit; a run that does not finish is a failure.
     pub cycle_limit: u64,
+    /// Run-loop scheduler for each individual run. Litmus verdicts are
+    /// scheduler-independent (every [`SchedMode`] is byte-identical);
+    /// non-default modes exist for conformance gating of the schedulers
+    /// themselves.
+    pub sched: SchedMode,
 }
 
 impl Default for ExploreOptions {
@@ -79,6 +86,7 @@ impl Default for ExploreOptions {
             seed: 7,
             workers: None,
             cycle_limit: 1_000_000,
+            sched: SchedMode::default(),
         }
     }
 }
@@ -200,12 +208,14 @@ pub fn run_point(
     model: ConsistencyModel,
     spec: SpecMode,
     cycle_limit: u64,
+    sched: SchedMode,
 ) -> Result<FinalState, String> {
     let compiled = compile(test, &point.skews);
     let ms = MachineSpec::baseline(model)
         .with_machine(point.machine.clone())
         .with_spec(spec_config(spec));
     let mut machine = Machine::new(&ms, compiled.programs);
+    machine.set_sched(sched);
     for &(loc, value) in &test.init {
         machine.poke(loc_addr(loc), value);
     }
@@ -219,7 +229,11 @@ pub fn run_point(
             spec.label(),
         ));
     }
-    let mut state: FinalState = compiled.registers.iter().map(|c| c.get()).collect();
+    let mut state: FinalState = compiled
+        .registers
+        .iter()
+        .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        .collect();
     for loc in 0..test.locations.len() {
         state.push(machine.mem().read(loc_addr(loc)));
     }
@@ -252,6 +266,7 @@ pub fn explore(
                 let test = Arc::clone(&shared);
                 let point = point.clone();
                 let limit = opts.cycle_limit;
+                let sched = opts.sched;
                 let label = format!(
                     "{}/{}/{}/p{}",
                     test.name,
@@ -261,7 +276,7 @@ pub fn explore(
                 );
                 coords.push((cell, point.index));
                 jobs.push(SweepJob::new(label, move || {
-                    run_point(&test, &point, model, spec, limit)
+                    run_point(&test, &point, model, spec, limit, sched)
                 }));
             }
         }
@@ -342,6 +357,7 @@ mod tests {
                 ConsistencyModel::Sc,
                 SpecMode::Disabled,
                 1_000_000,
+                SchedMode::default(),
             )
             .unwrap();
             let b = run_point(
@@ -350,6 +366,7 @@ mod tests {
                 ConsistencyModel::Sc,
                 SpecMode::Disabled,
                 1_000_000,
+                SchedMode::ParallelEpoch { workers: 2 },
             )
             .unwrap();
             assert_eq!(a, b, "point {} must replay deterministically", point.index);

@@ -6,7 +6,7 @@
 //! This is the tier-1 enforcement of the acceptance criteria; `tenways
 //! litmus --corpus` in ci.sh re-checks the same property through the CLI.
 
-use tenways_cpu::ConsistencyModel;
+use tenways_cpu::{ConsistencyModel, SchedMode};
 use tenways_litmus::{corpus, explore, judge, ExploreOptions, SPEC_MODES};
 
 /// Grid points per cell; trimmed under `TENWAYS_FAST=1` (smoke runs).
@@ -78,6 +78,51 @@ fn full_corpus_passes_under_every_model_and_spec_mode() {
         "conformance failures:\n{}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn full_corpus_is_clean_and_unchanged_under_parallel_epoch() {
+    // The epoch-parallel scheduler must not perturb weak-memory behavior:
+    // per test and model, the observable state *sets* (and the verdicts
+    // derived from them) must match the sequential exploration exactly.
+    let seq_opts = options();
+    let par_opts = ExploreOptions {
+        sched: SchedMode::ParallelEpoch { workers: 2 },
+        ..options()
+    };
+    for test in corpus() {
+        let seq = explore(&test, &ConsistencyModel::all(), &seq_opts);
+        let par = explore(&test, &ConsistencyModel::all(), &par_opts);
+        for (s, p) in seq.cells.iter().zip(&par.cells) {
+            assert!(
+                p.failures.is_empty(),
+                "{}/{}/{}: runs failed under parallel-epoch: {:?}",
+                test.name,
+                p.model,
+                p.spec.label(),
+                p.failures
+            );
+            assert_eq!(
+                s.states,
+                p.states,
+                "{}/{}/{}: state set diverged under parallel-epoch",
+                test.name,
+                s.model,
+                s.spec.label()
+            );
+        }
+        for verdict in judge(&test, &par) {
+            assert!(
+                verdict.passed(),
+                "{}/{} failed under parallel-epoch: {:?} {:?} {:?}",
+                verdict.test,
+                verdict.model,
+                verdict.forbidden_violations,
+                verdict.spec_divergences,
+                verdict.run_failures
+            );
+        }
+    }
 }
 
 #[test]

@@ -90,6 +90,20 @@ impl Topology {
             .max()
             .unwrap_or(0)
     }
+
+    /// Smallest latency across any *distinct* pair of `nodes` endpoints:
+    /// the conservative lookahead window for epoch-parallel scheduling. A
+    /// message injected at cycle `t` cannot be delivered before
+    /// `t + min_latency`, so shards that interact only through the fabric
+    /// can free-run `min_latency` cycles between boundary exchanges.
+    pub fn min_latency(&self, nodes: usize) -> u64 {
+        (0..nodes as u16)
+            .flat_map(|a| (0..nodes as u16).map(move |b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| self.latency(NodeId(a), NodeId(b)))
+            .min()
+            .unwrap_or(0)
+    }
 }
 
 /// A message travelling through the fabric, carrying its timing provenance.
@@ -118,6 +132,22 @@ impl<P> Envelope<P> {
 struct InFlight<P> {
     deliver_at: Cycle,
     env: Envelope<P>,
+}
+
+/// A flight-queue insert captured while the fabric is in staging mode
+/// (see [`Fabric::set_staging`]): the envelope plus the two keys that
+/// order it against inserts staged by other shards. Sorting a merged
+/// batch by `(inject_at, src)` — keeping the staged (per-source FIFO)
+/// order for ties — reproduces the order a sequential injection scan
+/// would have inserted them in.
+#[derive(Debug)]
+pub struct Staged<P> {
+    /// Cycle the injection stage picked the message up.
+    pub inject_at: Cycle,
+    /// Cycle the message becomes due for delivery.
+    pub deliver_at: Cycle,
+    /// The message itself (`delivered` still unset).
+    pub env: Envelope<P>,
 }
 
 /// A latency/bandwidth-modeled crossbar connecting `nodes` endpoints.
@@ -155,6 +185,11 @@ pub struct Fabric<P> {
     /// (`Cycle::NEVER` when nothing is in flight): min-updated on insert,
     /// recomputed over the active heads after each delivery stage.
     earliest_deliver: Cycle,
+    /// When set, the injection stage records would-be flight inserts into
+    /// `staged` instead of the flight queues (epoch-parallel mode).
+    staging: bool,
+    /// Inserts captured while staging, in injection order.
+    staged: Vec<Staged<P>>,
     last_tick: Cycle,
     stats: StatSet,
     ids: FabricStatIds,
@@ -226,6 +261,8 @@ impl<P> Fabric<P> {
             active_dsts: BTreeSet::new(),
             scratch_dsts: Vec::new(),
             earliest_deliver: Cycle::NEVER,
+            staging: false,
+            staged: Vec::new(),
             last_tick: Cycle::ZERO,
             stats,
             ids,
@@ -334,6 +371,27 @@ impl<P> Fabric<P> {
                         );
                     }
                     let deliver_at = now.after(self.topology.latency(NodeId(src as u16), dst));
+                    let env = Envelope {
+                        src: NodeId(src as u16),
+                        dst,
+                        sent,
+                        delivered: Cycle::NEVER,
+                        payload,
+                    };
+                    if self.staging {
+                        // Epoch-parallel mode: defer the insert to the
+                        // epoch boundary so shards can merge their
+                        // inserts in canonical order. The delivery cannot
+                        // be due inside the current epoch (`deliver_at >=
+                        // now + min_latency`), so deferring is invisible
+                        // to this shard's own delivery stage.
+                        self.staged.push(Staged {
+                            inject_at: now,
+                            deliver_at,
+                            env,
+                        });
+                        continue;
+                    }
                     // Insert keeping the queue sorted by deliver time (stable:
                     // equal times keep injection order, which preserves the
                     // per-pair FIFO guarantee — same-pair messages have equal
@@ -342,19 +400,7 @@ impl<P> Fabric<P> {
                     self.earliest_deliver = self.earliest_deliver.min(deliver_at);
                     let q = &mut self.flight[dst.index()];
                     let pos = q.partition_point(|f| f.deliver_at <= deliver_at);
-                    q.insert(
-                        pos,
-                        InFlight {
-                            deliver_at,
-                            env: Envelope {
-                                src: NodeId(src as u16),
-                                dst,
-                                sent,
-                                delivered: Cycle::NEVER,
-                                payload,
-                            },
-                        },
-                    );
+                    q.insert(pos, InFlight { deliver_at, env });
                     self.in_flight += 1;
                 }
             }
@@ -441,6 +487,131 @@ impl<P> Fabric<P> {
     pub fn skip_idle(&mut self, now: Cycle, gap: u64) {
         debug_assert!(now >= self.last_tick, "fabric skipped backwards");
         self.last_tick = now.after(gap);
+    }
+
+    /// Switches deferred-insert (staging) mode on or off. While staging,
+    /// the injection stage records would-be flight inserts into a side
+    /// buffer (drained by [`take_staged`](Self::take_staged)) instead of
+    /// the flight queues; bandwidth throttling, queueing statistics and
+    /// delivery of already-inserted messages behave as usual.
+    pub fn set_staging(&mut self, staging: bool) {
+        self.staging = staging;
+    }
+
+    /// Drains the inserts captured while staging, in injection order
+    /// (ascending inject cycle; within a cycle, ascending source node).
+    pub fn take_staged(&mut self) -> Vec<Staged<P>> {
+        std::mem::take(&mut self.staged)
+    }
+
+    /// Applies staged flight-queue inserts — typically captured by other
+    /// shards' views — to this fabric. The caller supplies the batch in
+    /// canonical sequential order (sorted by `(inject_at, src)`, ties in
+    /// staged order), so the flight queues end up identical to a
+    /// sequential run's. Refreshes the cached delivery minimum, so a
+    /// later [`next_event`](Self::next_event) sees the absorbed messages:
+    /// without that refresh a shard could sleep straight past a
+    /// cross-shard delivery (the stale-min hazard).
+    pub fn absorb_staged(&mut self, batch: impl IntoIterator<Item = Staged<P>>) {
+        for st in batch {
+            let dst = st.env.dst;
+            self.active_dsts.insert(dst.index() as u32);
+            self.earliest_deliver = self.earliest_deliver.min(st.deliver_at);
+            let q = &mut self.flight[dst.index()];
+            let pos = q.partition_point(|f| f.deliver_at <= st.deliver_at);
+            q.insert(
+                pos,
+                InFlight {
+                    deliver_at: st.deliver_at,
+                    env: st.env,
+                },
+            );
+            self.in_flight += 1;
+        }
+    }
+
+    /// Splits the fabric into `shards` per-shard views for the
+    /// epoch-parallel scheduler. Every view spans all nodes — component
+    /// code needs no re-indexing and can inject toward any destination —
+    /// but only the queues of the nodes `owner` assigns to a view carry
+    /// state, and its counters and cached delivery minimum cover exactly
+    /// those. View 0 inherits the accumulated statistics; the others
+    /// start fresh sets, merged back by key in
+    /// [`recompose`](Self::recompose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `owner` maps a node out of range.
+    pub fn split(mut self, shards: usize, owner: impl Fn(NodeId) -> usize) -> Vec<Fabric<P>> {
+        assert!(shards > 0, "need at least one shard");
+        debug_assert!(self.staged.is_empty(), "split with staged inserts pending");
+        let nodes = self.nodes();
+        let mut views: Vec<Fabric<P>> = (0..shards)
+            .map(|_| {
+                let mut v =
+                    Fabric::with_topology(nodes, self.topology, self.inject_bw, self.accept_bw);
+                v.last_tick = self.last_tick;
+                v.tracer = self.tracer.clone();
+                v
+            })
+            .collect();
+        for n in 0..nodes {
+            let s = owner(NodeId(n as u16));
+            assert!(s < shards, "owner({n}) = {s} out of range");
+            let v = &mut views[s];
+            v.pending_inject += self.inject_q[n].len();
+            v.inject_q[n] = std::mem::take(&mut self.inject_q[n]);
+            v.in_flight += self.flight[n].len();
+            v.flight[n] = std::mem::take(&mut self.flight[n]);
+            v.inbox_count += self.inbox[n].len();
+            v.inbox[n] = std::mem::take(&mut self.inbox[n]);
+            if let Some(head) = v.flight[n].front() {
+                v.active_dsts.insert(n as u32);
+                v.earliest_deliver = v.earliest_deliver.min(head.deliver_at);
+            }
+        }
+        // View 0 inherits the accumulated statistics. The cached stat ids
+        // stay valid: every fabric interns the same keys first, in the
+        // same order, so the slot indices agree across sets.
+        views[0].stats = self.stats;
+        views
+    }
+
+    /// Reassembles one fabric from per-shard views produced by
+    /// [`split`](Self::split). Node queues are disjoint by construction
+    /// (each node's state lives only in its owner's view); statistics are
+    /// merged by key.
+    pub fn recompose(views: Vec<Fabric<P>>) -> Fabric<P> {
+        let mut views = views.into_iter();
+        let mut out = views.next().expect("recompose needs at least one view");
+        out.staging = false;
+        debug_assert!(out.staged.is_empty(), "recompose with staged inserts");
+        for mut v in views {
+            debug_assert!(v.staged.is_empty(), "recompose with staged inserts");
+            for n in 0..out.nodes() {
+                if !v.inject_q[n].is_empty() {
+                    debug_assert!(out.inject_q[n].is_empty(), "overlapping views");
+                    out.pending_inject += v.inject_q[n].len();
+                    out.inject_q[n] = std::mem::take(&mut v.inject_q[n]);
+                }
+                if !v.flight[n].is_empty() {
+                    debug_assert!(out.flight[n].is_empty(), "overlapping views");
+                    out.in_flight += v.flight[n].len();
+                    out.flight[n] = std::mem::take(&mut v.flight[n]);
+                    out.active_dsts.insert(n as u32);
+                    let head = out.flight[n].front().expect("non-empty");
+                    out.earliest_deliver = out.earliest_deliver.min(head.deliver_at);
+                }
+                if !v.inbox[n].is_empty() {
+                    debug_assert!(out.inbox[n].is_empty(), "overlapping views");
+                    out.inbox_count += v.inbox[n].len();
+                    out.inbox[n] = std::mem::take(&mut v.inbox[n]);
+                }
+            }
+            out.last_tick = out.last_tick.max(v.last_tick);
+            out.stats.merge(&v.stats);
+        }
+        out
     }
 
     /// Drains all delivered messages waiting at `node`, in delivery order.
@@ -792,6 +963,32 @@ mod mesh_tests {
     }
 
     #[test]
+    fn min_latency_is_adjacent_pair() {
+        let t = Topology::Mesh {
+            width: 3,
+            hop_latency: 2,
+            router_latency: 1,
+        };
+        assert_eq!(t.min_latency(9), 3, "one hop plus router");
+        let column = Topology::Mesh {
+            width: 1,
+            hop_latency: 5,
+            router_latency: 0,
+        };
+        assert_eq!(
+            column.min_latency(4),
+            5,
+            "vertical neighbors on a 1-wide grid"
+        );
+        assert_eq!(Topology::Crossbar { latency: 6 }.min_latency(4), 6);
+        assert_eq!(
+            Topology::Crossbar { latency: 6 }.min_latency(1),
+            0,
+            "no pair"
+        );
+    }
+
+    #[test]
     fn for_machine_honors_mesh_flag() {
         let cfg = tenways_sim::MachineConfig::builder()
             .mesh(true)
@@ -805,5 +1002,151 @@ mod mesh_tests {
             .unwrap();
         let f: Fabric<u8> = Fabric::for_machine(&cfg);
         assert!(matches!(f.topology(), Topology::Crossbar { .. }));
+    }
+}
+
+#[cfg(test)]
+mod epoch_tests {
+    use super::*;
+
+    fn fabric(latency: u64) -> Fabric<u32> {
+        Fabric::new(4, latency, 1, 1)
+    }
+
+    /// Drains every inbox after a tick, as `(cycle, dst, payload)`.
+    fn deliveries(f: &mut Fabric<u32>, cy: u64) -> Vec<(u64, u16, u32)> {
+        f.tick(Cycle::new(cy));
+        let mut out = Vec::new();
+        for n in 0..f.nodes() {
+            for env in f.take_inbox(NodeId(n as u16)) {
+                out.push((cy, n as u16, env.payload));
+            }
+        }
+        out
+    }
+
+    /// Staging then absorbing the captured inserts reproduces the exact
+    /// delivery schedule of a never-staged run, including cross-source
+    /// ties into one destination.
+    #[test]
+    fn stage_and_absorb_matches_sequential() {
+        let run = |staged: bool| {
+            let mut f = fabric(2);
+            f.send(Cycle::ZERO, NodeId(0), NodeId(3), 100);
+            f.send(Cycle::ZERO, NodeId(1), NodeId(3), 200);
+            f.send(Cycle::ZERO, NodeId(2), NodeId(1), 300);
+            let mut got = Vec::new();
+            for cy in 1..=10 {
+                if staged {
+                    f.set_staging(true);
+                    got.extend(deliveries(&mut f, cy));
+                    f.set_staging(false);
+                    let mut batch = f.take_staged();
+                    batch.sort_by_key(|s| (s.inject_at, s.env.src.index()));
+                    f.absorb_staged(batch);
+                } else {
+                    got.extend(deliveries(&mut f, cy));
+                }
+            }
+            got
+        };
+        let sequential = run(false);
+        assert_eq!(sequential.len(), 3);
+        assert_eq!(run(true), sequential);
+    }
+
+    /// Regression for the sharded stale-min hazard: a view with nothing
+    /// in flight reports no next event; once a cross-shard insert is
+    /// absorbed, `next_event` must surface its delivery cycle. If
+    /// `absorb_staged` forgot to refresh `earliest_deliver` /
+    /// `in_flight` / `active_dsts`, the owning shard would sleep
+    /// straight past the delivery.
+    #[test]
+    fn absorb_refreshes_next_event_min() {
+        // Shard A owns node 0 (the sender), shard B owns node 3.
+        let mut a = fabric(6);
+        let mut b = fabric(6);
+        a.set_staging(true);
+        a.send(Cycle::new(3), NodeId(0), NodeId(3), 7);
+        a.tick(Cycle::new(4)); // injects: due at 4 + 6 = 10
+        assert_eq!(a.next_event(Cycle::new(4)), None, "staged, not in flight");
+        assert_eq!(b.next_event(Cycle::new(4)), None, "idle view would sleep");
+        let staged = a.take_staged();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].inject_at, Cycle::new(4));
+        assert_eq!(staged[0].deliver_at, Cycle::new(10));
+        b.absorb_staged(staged);
+        assert_eq!(
+            b.next_event(Cycle::new(4)),
+            Some(Cycle::new(10)),
+            "absorbed delivery must wake the owner"
+        );
+        b.skip_idle(Cycle::new(4), 5);
+        assert!(b.tick(Cycle::new(10)), "delivery happens on time");
+        assert_eq!(b.take_inbox(NodeId(3)).next().unwrap().payload, 7);
+        assert!(b.is_quiescent());
+        // Absorbing an *earlier* delivery than a local pending one must
+        // pull the cached minimum down, not leave it stale.
+        let mut c = fabric(6);
+        c.send(Cycle::new(10), NodeId(1), NodeId(2), 1);
+        c.tick(Cycle::new(11)); // due at 17
+        assert_eq!(c.next_event(Cycle::new(11)), Some(Cycle::new(17)));
+        let mut d = fabric(2);
+        d.set_staging(true);
+        d.send(Cycle::new(11), NodeId(0), NodeId(2), 2);
+        d.tick(Cycle::new(12)); // due at 14
+        c.absorb_staged(d.take_staged());
+        assert_eq!(c.next_event(Cycle::new(12)), Some(Cycle::new(14)));
+    }
+
+    /// Split distributes queues by node owner and recompose restores a
+    /// fabric whose later behavior and statistics match a never-split
+    /// run.
+    #[test]
+    fn split_recompose_round_trips() {
+        let build = || {
+            let mut f = fabric(3);
+            // One of each queue kind: delivered-awaiting-pickup at node
+            // 1, in flight toward node 2, pending injection at node 3.
+            f.send(Cycle::ZERO, NodeId(0), NodeId(1), 10);
+            for cy in 1..=4 {
+                f.tick(Cycle::new(cy));
+            }
+            f.send(Cycle::new(4), NodeId(0), NodeId(2), 20);
+            f.tick(Cycle::new(5));
+            f.send(Cycle::new(5), NodeId(3), NodeId(0), 30);
+            f
+        };
+        let mut whole = build();
+        let views = build().split(2, |n| n.index() % 2);
+        assert_eq!(views.len(), 2);
+        assert_eq!(
+            views[0].next_event(Cycle::new(5)),
+            Some(Cycle::new(8)),
+            "even view holds exactly node 2's flight entry"
+        );
+        assert_eq!(
+            views[1].next_event(Cycle::new(5)),
+            Some(Cycle::new(6)),
+            "odd view holds node 3's backlog and node 1's inbox"
+        );
+        let mut merged = Fabric::recompose(views);
+        assert_eq!(
+            merged.stats().get("noc.sent"),
+            whole.stats().get("noc.sent")
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for cy in 6..=12 {
+            a.extend(deliveries(&mut whole, cy));
+            b.extend(deliveries(&mut merged, cy));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3, "inbox backlog, flight and injected all arrive");
+        assert!(whole.is_quiescent() && merged.is_quiescent());
+        assert_eq!(
+            merged.stats().get("noc.delivered"),
+            whole.stats().get("noc.delivered")
+        );
     }
 }

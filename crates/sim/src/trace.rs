@@ -28,8 +28,7 @@
 
 use crate::cycle::Cycle;
 use crate::json::Json;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// What subsystem an event belongs to; becomes the Chrome `cat` field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,17 +147,20 @@ impl TraceBuffer {
 
 /// A cheap, cloneable handle to an optional [`TraceBuffer`].
 ///
-/// `Tracer::default()` is disabled — every record call is a single branch.
-/// Handles are `Rc`-shared within one simulated machine (simulations are
-/// single-threaded; cross-run parallelism clones `Experiment`s, not
-/// tracers).
+/// `Tracer::default()` is disabled — every record call is a single branch,
+/// so the sharing container below is never touched on the hot path.
+/// Handles are `Arc`-shared within one simulated machine; the lock only
+/// matters to the epoch-parallel scheduler, which must be able to move
+/// components (each holding a tracer clone) onto worker threads. Enabled
+/// tracing forces the naive single-threaded scheduler anyway, so the
+/// mutex is never contended.
 #[derive(Debug, Clone, Default)]
-pub struct Tracer(Option<Rc<RefCell<TraceBuffer>>>);
+pub struct Tracer(Option<Arc<Mutex<TraceBuffer>>>);
 
 impl Tracer {
     /// A tracer recording into a fresh buffer of `capacity` events.
     pub fn enabled(capacity: usize) -> Self {
-        Tracer(Some(Rc::new(RefCell::new(TraceBuffer::new(capacity)))))
+        Tracer(Some(Arc::new(Mutex::new(TraceBuffer::new(capacity)))))
     }
 
     /// A disabled tracer; all record calls are no-ops.
@@ -184,7 +186,7 @@ impl Tracer {
     ) {
         if let Some(buf) = &self.0 {
             let start = now.as_u64().saturating_sub(dur);
-            buf.borrow_mut().push(TraceEvent {
+            buf.lock().expect("tracer lock").push(TraceEvent {
                 cycle: start,
                 dur,
                 tid,
@@ -198,7 +200,7 @@ impl Tracer {
     /// Records an instant event at `now`.
     pub fn instant(&self, now: Cycle, tid: u32, cat: TraceCategory, name: &'static str, arg: u64) {
         if let Some(buf) = &self.0 {
-            buf.borrow_mut().push(TraceEvent {
+            buf.lock().expect("tracer lock").push(TraceEvent {
                 cycle: now.as_u64(),
                 dur: 0,
                 tid,
@@ -212,14 +214,16 @@ impl Tracer {
     /// Takes all recorded events (oldest first). Empty for disabled tracers.
     pub fn drain(&self) -> Vec<TraceEvent> {
         match &self.0 {
-            Some(buf) => buf.borrow_mut().drain(),
+            Some(buf) => buf.lock().expect("tracer lock").drain(),
             None => Vec::new(),
         }
     }
 
     /// Events overwritten due to the ring capacity.
     pub fn dropped(&self) -> u64 {
-        self.0.as_ref().map_or(0, |buf| buf.borrow().dropped())
+        self.0
+            .as_ref()
+            .map_or(0, |buf| buf.lock().expect("tracer lock").dropped())
     }
 }
 

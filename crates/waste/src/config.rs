@@ -36,13 +36,230 @@
 
 use tenways_coherence::ProtocolConfig;
 use tenways_core::SpecConfig;
-use tenways_cpu::ConsistencyModel;
+use tenways_cpu::{ConsistencyModel, SchedMode};
 use tenways_sim::json::{Json, JsonError, ToJson};
 use tenways_sim::toml::parse_toml;
 use tenways_sim::MachineConfig;
 use tenways_workloads::WorkloadParams;
 
 use crate::energy::EnergyModel;
+
+/// The run-loop scheduler a [`SchedConfig`] selects. Every choice
+/// produces byte-identical results; they differ only in wall-clock
+/// speed (see [`SchedMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedModeChoice {
+    /// Reference per-cycle stepping.
+    Naive,
+    /// Whole-machine quiescent-gap fast-forward.
+    MachineGap,
+    /// Component-granular wake scheduling (the default).
+    #[default]
+    ComponentWake,
+    /// Epoch-parallel scheduling across worker threads.
+    ParallelEpoch,
+}
+
+impl SchedModeChoice {
+    /// The config-file / CLI label (matches [`SchedMode::label`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedModeChoice::Naive => "naive",
+            SchedModeChoice::MachineGap => "machine-gap",
+            SchedModeChoice::ComponentWake => "component-wake",
+            SchedModeChoice::ParallelEpoch => "parallel-epoch",
+        }
+    }
+
+    /// Parses a config-file / CLI label.
+    pub fn from_label(label: &str) -> Option<SchedModeChoice> {
+        match label {
+            "naive" => Some(SchedModeChoice::Naive),
+            "machine-gap" => Some(SchedModeChoice::MachineGap),
+            "component-wake" => Some(SchedModeChoice::ComponentWake),
+            "parallel-epoch" => Some(SchedModeChoice::ParallelEpoch),
+            _ => None,
+        }
+    }
+}
+
+/// The `[sched]` config section: which run-loop scheduler to use, and —
+/// for `parallel-epoch` only — how many *intra-run* worker threads shard
+/// the machine. This is distinct from the sweep/litmus `--workers` flag,
+/// which fans independent runs out *across* processes or threads; see
+/// [`SchedConfig::check_host_budget`] for the combination rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedConfig {
+    /// Scheduler selection (`mode = "..."`).
+    pub mode: SchedModeChoice,
+    /// Intra-run shard workers (`workers = N`); only meaningful for
+    /// `parallel-epoch`, defaults to the host's available parallelism.
+    pub workers: Option<usize>,
+}
+
+/// A [`SchedConfig`] that cannot be turned into a [`SchedMode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedConfigError {
+    /// `workers` was set for a mode that runs single-threaded.
+    WorkersWithoutParallelMode {
+        /// The configured (sequential) mode's label.
+        mode: &'static str,
+    },
+    /// `workers = 0` is meaningless for a sharded run.
+    ZeroWorkers,
+    /// Across-run parallelism times intra-run workers exceeds the host.
+    Oversubscribed {
+        /// Total threads the combination would pin.
+        requested: usize,
+        /// Hardware threads actually available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for SchedConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedConfigError::WorkersWithoutParallelMode { mode } => write!(
+                f,
+                "sched.workers only applies to mode `parallel-epoch` (mode is `{mode}`); \
+                 use the sweep-level --workers for across-run parallelism"
+            ),
+            SchedConfigError::ZeroWorkers => write!(f, "sched.workers must be at least 1"),
+            SchedConfigError::Oversubscribed {
+                requested,
+                available,
+            } => write!(
+                f,
+                "oversubscribed: --workers x --sched-workers pins {requested} threads \
+                 but the host has {available}; lower one of them"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedConfigError {}
+
+/// Fallback intra-run worker count when `workers` is unset.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get())
+}
+
+impl SchedConfig {
+    /// Validates the section and produces the [`SchedMode`] to run with.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedConfigError::WorkersWithoutParallelMode`] when `workers` is
+    /// set for a sequential mode, [`SchedConfigError::ZeroWorkers`] for
+    /// `workers = 0`.
+    pub fn resolve(&self) -> Result<SchedMode, SchedConfigError> {
+        if self.workers == Some(0) {
+            return Err(SchedConfigError::ZeroWorkers);
+        }
+        if self.workers.is_some() && self.mode != SchedModeChoice::ParallelEpoch {
+            return Err(SchedConfigError::WorkersWithoutParallelMode {
+                mode: self.mode.label(),
+            });
+        }
+        Ok(match self.mode {
+            SchedModeChoice::Naive => SchedMode::Naive,
+            SchedModeChoice::MachineGap => SchedMode::MachineGap,
+            SchedModeChoice::ComponentWake => SchedMode::ComponentWake,
+            SchedModeChoice::ParallelEpoch => SchedMode::ParallelEpoch {
+                workers: self.workers.unwrap_or_else(host_parallelism),
+            },
+        })
+    }
+
+    /// Threads one run pins under this section (1 for sequential modes).
+    pub fn intra_workers(&self) -> usize {
+        match self.mode {
+            SchedModeChoice::ParallelEpoch => self.workers.unwrap_or_else(host_parallelism),
+            _ => 1,
+        }
+    }
+
+    /// Rejects the combination of *across-run* parallelism (the sweep and
+    /// litmus `--workers` flag: how many independent runs execute
+    /// concurrently) with this section's *intra-run* workers when it would
+    /// pin more threads than the host offers.
+    ///
+    /// The check only binds when this section actually shards runs
+    /// (`intra_workers() > 1`): plain across-run oversubscription of
+    /// sequential runs is long-supported (merely slow), but multiplying
+    /// it by intra-run shard teams is never what the user meant.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedConfigError::Oversubscribed`] when `intra_workers() > 1`
+    /// and `across * intra_workers() > host`.
+    pub fn check_host_budget(&self, across: usize, host: usize) -> Result<(), SchedConfigError> {
+        let intra = self.intra_workers();
+        if intra <= 1 {
+            return Ok(());
+        }
+        let requested = across.saturating_mul(intra);
+        if requested > host {
+            return Err(SchedConfigError::Oversubscribed {
+                requested,
+                available: host,
+            });
+        }
+        Ok(())
+    }
+
+    /// Overlays a JSON value: either the section object
+    /// (`{"mode": "...", "workers": N}`) or the CLI shorthand string
+    /// (`"parallel-epoch"` / `"parallel-epoch:4"`).
+    pub fn apply_json(&mut self, value: &Json) -> Result<(), String> {
+        if let Some(text) = value.as_str() {
+            let (label, workers) = match text.split_once(':') {
+                Some((label, n)) => {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("bad sched worker count `{n}`"))?;
+                    (label, Some(n))
+                }
+                None => (text, None),
+            };
+            self.mode = SchedModeChoice::from_label(label)
+                .ok_or_else(|| format!("unknown sched mode `{label}`"))?;
+            self.workers = workers;
+            return Ok(());
+        }
+        let pairs = value.as_object().ok_or_else(|| {
+            format!(
+                "sched must be an object or string, got {}",
+                value.type_name()
+            )
+        })?;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "mode" => {
+                    let label = value.as_str().ok_or("sched.mode must be a string")?;
+                    self.mode = SchedModeChoice::from_label(label)
+                        .ok_or_else(|| format!("unknown sched mode `{label}`"))?;
+                }
+                "workers" => {
+                    self.workers =
+                        Some(value.as_u64().ok_or("sched.workers must be an integer")? as usize)
+                }
+                other => return Err(format!("unknown sched field `{other}`")),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for SchedConfig {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![("mode", Json::from(self.mode.label().to_string()))];
+        if let Some(w) = self.workers {
+            pairs.push(("workers", Json::from(w)));
+        }
+        Json::obj(pairs)
+    }
+}
 
 /// Complete, serializable description of one simulation run.
 ///
@@ -74,6 +291,9 @@ pub struct SimConfig {
     pub protocol: ProtocolConfig,
     /// Energy constants.
     pub energy: EnergyModel,
+    /// Run-loop scheduler selection. Cannot change results — every mode
+    /// is byte-identical — only wall-clock speed.
+    pub sched: SchedConfig,
     /// Runs are cut off (not failed) at this many cycles.
     pub cycle_limit: u64,
 }
@@ -91,6 +311,7 @@ impl Default for SimConfig {
             machine: MachineConfig::default(),
             protocol: ProtocolConfig::default(),
             energy: EnergyModel::default(),
+            sched: SchedConfig::default(),
             cycle_limit: 50_000_000,
         }
     }
@@ -160,7 +381,7 @@ impl SimConfig {
     /// Overlays fields from a (possibly partial) JSON object onto `self`.
     /// Unknown keys and mistyped values are errors; absent keys keep their
     /// current value. Section values (`machine`, `spec`, `protocol`,
-    /// `energy`) are themselves overlaid field-by-field.
+    /// `energy`, `sched`) are themselves overlaid field-by-field.
     pub fn apply_json(&mut self, doc: &Json) -> Result<(), String> {
         let pairs = doc
             .as_object()
@@ -188,6 +409,7 @@ impl SimConfig {
                 "machine" => self.machine.apply_json(value)?,
                 "protocol" => self.protocol.apply_json(value)?,
                 "energy" => self.energy.apply_json(value)?,
+                "sched" => self.sched.apply_json(value)?,
                 "cycle_limit" => {
                     self.cycle_limit = value.as_u64().ok_or("cycle_limit must be an integer")?
                 }
@@ -220,6 +442,7 @@ impl ToJson for SimConfig {
             ("machine", self.machine.to_json()),
             ("protocol", self.protocol.to_json()),
             ("energy", self.energy.to_json()),
+            ("sched", self.sched.to_json()),
             ("cycle_limit", Json::from(self.cycle_limit)),
         ])
     }
@@ -295,5 +518,71 @@ mod tests {
     fn spec_accepts_cli_shorthand_string() {
         let cfg = SimConfig::from_json_str(r#"{"spec":"per-store:9"}"#).unwrap();
         assert_eq!(cfg.spec, SpecConfig::per_store(9));
+    }
+
+    #[test]
+    fn sched_section_parses_from_toml_and_shorthand() {
+        let cfg =
+            SimConfig::from_toml_str("[sched]\nmode = \"parallel-epoch\"\nworkers = 4\n").unwrap();
+        assert_eq!(cfg.sched.mode, SchedModeChoice::ParallelEpoch);
+        assert_eq!(cfg.sched.workers, Some(4));
+        assert_eq!(
+            cfg.sched.resolve(),
+            Ok(SchedMode::ParallelEpoch { workers: 4 })
+        );
+
+        let cfg = SimConfig::from_json_str(r#"{"sched":"machine-gap"}"#).unwrap();
+        assert_eq!(cfg.sched.resolve(), Ok(SchedMode::MachineGap));
+        let cfg = SimConfig::from_json_str(r#"{"sched":"parallel-epoch:2"}"#).unwrap();
+        assert_eq!(
+            cfg.sched.resolve(),
+            Ok(SchedMode::ParallelEpoch { workers: 2 })
+        );
+        let back = SimConfig::from_json_str(&cfg.to_json().to_string()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn sched_validation_errors_are_typed() {
+        let cfg = SchedConfig {
+            mode: SchedModeChoice::ComponentWake,
+            workers: Some(4),
+        };
+        assert_eq!(
+            cfg.resolve(),
+            Err(SchedConfigError::WorkersWithoutParallelMode {
+                mode: "component-wake"
+            })
+        );
+        let cfg = SchedConfig {
+            mode: SchedModeChoice::ParallelEpoch,
+            workers: Some(0),
+        };
+        assert_eq!(cfg.resolve(), Err(SchedConfigError::ZeroWorkers));
+        assert!(SimConfig::from_toml_str("[sched]\nmode = \"warp-drive\"\n").is_err());
+        assert!(SimConfig::from_json_str(r#"{"sched":{"wrkers":2}}"#).is_err());
+    }
+
+    #[test]
+    fn host_budget_combines_across_and_intra_workers() {
+        let cfg = SchedConfig {
+            mode: SchedModeChoice::ParallelEpoch,
+            workers: Some(4),
+        };
+        assert_eq!(cfg.intra_workers(), 4);
+        assert_eq!(cfg.check_host_budget(2, 8), Ok(()));
+        assert_eq!(
+            cfg.check_host_budget(3, 8),
+            Err(SchedConfigError::Oversubscribed {
+                requested: 12,
+                available: 8
+            })
+        );
+        // Sequential modes never trip the budget: across-run
+        // oversubscription alone is supported (merely slow).
+        let seq = SchedConfig::default();
+        assert_eq!(seq.intra_workers(), 1);
+        assert_eq!(seq.check_host_budget(8, 8), Ok(()));
+        assert_eq!(seq.check_host_budget(64, 1), Ok(()));
     }
 }

@@ -9,7 +9,7 @@ use tenways_sim::trace::{TraceEvent, Tracer};
 use tenways_sim::{Histogram, MachineConfig, StatSet};
 use tenways_workloads::{contended_programs, ContendedParams, WorkloadKind, WorkloadParams};
 
-use crate::config::SimConfig;
+use crate::config::{SchedConfigError, SimConfig};
 use crate::energy::{EnergyModel, EnergyReport};
 use crate::taxonomy::WasteBreakdown;
 
@@ -26,6 +26,8 @@ pub enum ExperimentError {
     /// The machine description is invalid (after the runner overrode its
     /// core count with the thread count).
     InvalidMachine(ConfigError),
+    /// The `[sched]` section is inconsistent (see [`SchedConfigError`]).
+    Sched(SchedConfigError),
     /// Any other configuration problem.
     Config(String),
 }
@@ -35,6 +37,7 @@ impl std::fmt::Display for ExperimentError {
         match self {
             ExperimentError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
             ExperimentError::InvalidMachine(e) => write!(f, "invalid machine: {e}"),
+            ExperimentError::Sched(e) => write!(f, "invalid sched config: {e}"),
             ExperimentError::Config(e) => write!(f, "invalid experiment: {e}"),
         }
     }
@@ -98,8 +101,11 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// [`ExperimentError::UnknownWorkload`] if the name matches nothing.
+    /// [`ExperimentError::UnknownWorkload`] if the name matches nothing,
+    /// [`ExperimentError::Sched`] if the `[sched]` section is
+    /// inconsistent (e.g. `workers` set for a sequential mode).
     pub fn from_config(cfg: &SimConfig) -> Result<Experiment, ExperimentError> {
+        let sched = cfg.sched.resolve().map_err(ExperimentError::Sched)?;
         let base = if cfg.workload == "contended" {
             Experiment::contended(ContendedParams {
                 threads: cfg.threads,
@@ -122,6 +128,7 @@ impl Experiment {
             .spec(cfg.spec)
             .protocol(cfg.protocol)
             .energy(cfg.energy)
+            .sched(sched)
             .cycle_limit(cfg.cycle_limit))
     }
 
@@ -171,24 +178,14 @@ impl Experiment {
     }
 
     /// Selects the run-loop scheduling strategy (component-granular wake
-    /// scheduling by default). Every [`SchedMode`] produces byte-identical
-    /// run records; the slower modes exist as references for regression
-    /// tests and benchmark baselines. Not part of [`SimConfig`] — it
-    /// cannot change results.
+    /// scheduling by default; `[sched]` in [`SimConfig`] feeds this).
+    /// Every [`SchedMode`] produces byte-identical results — including
+    /// [`SchedMode::ParallelEpoch`] at any worker count — so it cannot
+    /// change what a run measures, only how fast the host simulates it.
+    /// The record's [`RunRecord::fingerprint`] strips the mode label for
+    /// cross-scheduler equivalence checks.
     pub fn sched(mut self, sched: SchedMode) -> Self {
         self.sched = sched;
-        self
-    }
-
-    /// Compatibility switch over [`sched`](Self::sched): `true` selects
-    /// the default wake scheduler, `false` forces naive per-cycle
-    /// stepping.
-    pub fn fast_forward(mut self, enabled: bool) -> Self {
-        self.sched = if enabled {
-            SchedMode::ComponentWake
-        } else {
-            SchedMode::Naive
-        };
         self
     }
 
@@ -270,6 +267,7 @@ impl Experiment {
             },
             model: self.model,
             spec: self.spec,
+            sched: self.sched.label(),
             summary,
             stats,
             breakdown,
@@ -289,6 +287,10 @@ pub struct RunRecord {
     pub model: ConsistencyModel,
     /// Speculation configuration used.
     pub spec: SpecConfig,
+    /// Run-loop scheduler label ([`SchedMode::label`]). Provenance only:
+    /// excluded from [`fingerprint`](Self::fingerprint), because every
+    /// scheduler produces identical results.
+    pub sched: &'static str,
     /// Timing summary.
     pub summary: RunSummary,
     /// Merged raw statistics.
@@ -307,22 +309,41 @@ impl ToJson for RunRecord {
     /// The versioned results-schema layout (`schema_version` is
     /// [`RUN_RECORD_SCHEMA_VERSION`]).
     fn to_json(&self) -> Json {
-        Json::obj([
+        Json::obj(self.fields(true))
+    }
+}
+
+impl RunRecord {
+    fn fields(&self, with_sched: bool) -> Vec<(&'static str, Json)> {
+        let mut pairs = vec![
             ("schema_version", Json::U64(RUN_RECORD_SCHEMA_VERSION)),
             ("label", Json::from(self.label.clone())),
             ("model", self.model.to_json()),
             ("spec", self.spec.to_json()),
+        ];
+        if with_sched {
+            pairs.push(("sched", Json::from(self.sched.to_string())));
+        }
+        pairs.extend([
             ("summary", self.summary.to_json()),
             ("breakdown", self.breakdown.to_json()),
             ("energy", self.energy.to_json()),
             ("sb_occupancy", self.sb_occupancy.to_json()),
             ("spec_depth", self.spec_depth.to_json()),
             ("stats", self.stats.to_json()),
-        ])
+        ]);
+        pairs
     }
-}
 
-impl RunRecord {
+    /// The serialized record minus scheduler provenance: two runs of the
+    /// same experiment must produce *equal fingerprints* under any
+    /// [`SchedMode`] and worker count. The equivalence suite and the CI
+    /// gate compare these, so a scheduler change that perturbs results
+    /// (rather than just its own label) still fails byte comparison.
+    pub fn fingerprint(&self) -> String {
+        Json::obj(self.fields(false)).to_string()
+    }
+
     /// Runtime normalized to `baseline` (1.0 = same speed; >1 = slower).
     pub fn runtime_vs(&self, baseline: &RunRecord) -> f64 {
         if baseline.summary.cycles == 0 {

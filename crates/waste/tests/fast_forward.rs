@@ -1,12 +1,13 @@
-//! Scheduler regression matrix: both accelerated run loops (machine-gap
-//! fast-forward and component-granular wake scheduling) must be
-//! **byte-for-byte** identical to naive per-cycle stepping — same
-//! `RunRecord` JSON (stats, waste taxonomy, energy, summary) for every
-//! workload under every consistency model, with speculation on and off.
+//! Scheduler regression matrix: every accelerated run loop (machine-gap
+//! fast-forward, component-granular wake scheduling, and epoch-parallel
+//! sharding) must be **byte-for-byte** identical to naive per-cycle
+//! stepping — same `RunRecord` fingerprint (stats, waste taxonomy,
+//! energy, summary; everything except the scheduler's own provenance
+//! label) for every workload under every consistency model, with
+//! speculation on and off.
 
 use tenways_core::SpecConfig;
 use tenways_cpu::ConsistencyModel;
-use tenways_sim::json::ToJson;
 use tenways_waste::{Experiment, SchedMode};
 use tenways_workloads::{ContendedParams, WorkloadKind, WorkloadParams};
 
@@ -16,12 +17,15 @@ fn assert_ff_matches_naive(label: &str, exp: Experiment) {
         .sched(SchedMode::Naive)
         .run()
         .unwrap()
-        .to_json()
-        .to_string();
-    for mode in [SchedMode::MachineGap, SchedMode::ComponentWake] {
+        .fingerprint();
+    for mode in [
+        SchedMode::MachineGap,
+        SchedMode::ComponentWake,
+        SchedMode::ParallelEpoch { workers: 2 },
+    ] {
         let fast = exp.clone().sched(mode).run().unwrap();
         assert_eq!(
-            fast.to_json().to_string(),
+            fast.fingerprint(),
             naive,
             "{mode:?} diverged from naive stepping on {label}"
         );

@@ -1,7 +1,8 @@
 //! Property test: randomly drawn small configurations must produce
-//! byte-identical `RunRecord` JSON under all three run-loop schedulers
+//! byte-identical `RunRecord` fingerprints under all run-loop schedulers
 //! (naive stepping, machine-gap fast-forward, component-granular wake
-//! scheduling).
+//! scheduling, and epoch-parallel sharding at several worker counts —
+//! one, a few, and one per core).
 //!
 //! The point of drawing configurations from a [`DetRng`] instead of
 //! enumerating a fixed matrix is coverage of the *interactions*: odd
@@ -12,7 +13,6 @@
 
 use tenways_core::SpecConfig;
 use tenways_cpu::ConsistencyModel;
-use tenways_sim::json::ToJson;
 use tenways_sim::{DetRng, MachineConfig};
 use tenways_waste::{Experiment, SchedMode};
 use tenways_workloads::{ContendedParams, WorkloadKind, WorkloadParams};
@@ -21,7 +21,7 @@ const CASES: usize = 14;
 
 /// Draws one experiment from the RNG stream. Sizes are deliberately small
 /// (threads ≤ 4, scale ≤ 2) so the three full runs per case stay cheap.
-fn draw(rng: &mut DetRng, case: usize) -> (String, Experiment) {
+fn draw(rng: &mut DetRng, case: usize) -> (String, Experiment, usize) {
     let threads = rng.range(1, 5) as usize;
     let scale = rng.range(1, 3);
     let seed = rng.next_u64();
@@ -79,29 +79,37 @@ fn draw(rng: &mut DetRng, case: usize) -> (String, Experiment) {
     let label = format!(
         "case {case}: t={threads} scale={scale} model={model:?} dram={dram_latency} noc={noc_latency} limit={cycle_limit}"
     );
-    (label, exp)
+    (label, exp, threads)
 }
 
 #[test]
 fn random_configs_are_byte_identical_across_all_schedulers() {
     let mut rng = DetRng::seed(0x7e57_0dd5);
     for case in 0..CASES {
-        let (label, exp) = draw(&mut rng, case);
+        let (label, exp, threads) = draw(&mut rng, case);
         let naive = exp
             .clone()
             .sched(SchedMode::Naive)
             .run()
             .unwrap_or_else(|e| panic!("{label}: naive run failed: {e}"))
-            .to_json()
-            .to_string();
-        for mode in [SchedMode::MachineGap, SchedMode::ComponentWake] {
+            .fingerprint();
+        // Worker counts: degenerate (1 falls back to sequential wake),
+        // small, larger-than-most-machines, and exactly one per core.
+        let modes = [
+            SchedMode::MachineGap,
+            SchedMode::ComponentWake,
+            SchedMode::ParallelEpoch { workers: 1 },
+            SchedMode::ParallelEpoch { workers: 2 },
+            SchedMode::ParallelEpoch { workers: 4 },
+            SchedMode::ParallelEpoch { workers: threads },
+        ];
+        for mode in modes {
             let fast = exp
                 .clone()
                 .sched(mode)
                 .run()
                 .unwrap_or_else(|e| panic!("{label}: {mode:?} run failed: {e}"))
-                .to_json()
-                .to_string();
+                .fingerprint();
             assert_eq!(fast, naive, "{label}: {mode:?} diverged from naive");
         }
     }

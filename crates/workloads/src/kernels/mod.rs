@@ -127,7 +127,7 @@ pub(crate) enum KernelStep {
 }
 
 /// Kernel logic: the workload-specific state machine.
-pub(crate) trait KernelLogic: std::fmt::Debug {
+pub(crate) trait KernelLogic: std::fmt::Debug + Send {
     fn step(&mut self, last: Option<u64>) -> KernelStep;
     fn clone_box(&self) -> Box<dyn KernelLogic>;
     fn label(&self) -> &'static str;

@@ -14,6 +14,7 @@ use tenways::bench::{results_dir, BENCH_ROWS_SCHEMA_VERSION};
 use tenways::cpu::ConsistencyModel;
 use tenways::litmus::{corpus, explore, judge, ExploreOptions, LitmusTest};
 use tenways::sim::json::{Json, ToJson};
+use tenways::waste::{SchedConfig, SchedModeChoice};
 
 fn usage() -> ! {
     eprintln!(
@@ -26,9 +27,18 @@ fn usage() -> ! {
   --models <list>     comma-separated subset of sc,tso,rmo (default all)
   --points <n>        grid points per (model, spec mode) cell (default 32)
   --seed <n>          grid base seed (default 7)
-  --workers <n>       sweep worker threads (default: host parallelism)
+  --workers <n>       across-run worker threads: how many grid points run
+                      concurrently (default: host parallelism, divided by
+                      --sched-workers when sharding)
   --cycle-limit <n>   per-run cycle limit; a run that exceeds it fails
                       (default 1000000)
+  --sched <mode>      per-run scheduler: naive | machine-gap |
+                      component-wake | parallel-epoch (default
+                      component-wake; verdicts are identical in all modes)
+  --sched-workers <n> intra-run shard threads for --sched parallel-epoch
+                      (default: host parallelism). When sharding (n > 1),
+                      an explicit --workers x --sched-workers may not
+                      exceed the host's hardware threads
   --json <path|->     also write the report JSON to a path (- for stdout)
   --out <dir>         results directory for litmus.json (default
                       $TENWAYS_RESULTS_DIR or results/)
@@ -54,6 +64,7 @@ pub fn main(argv: &[String]) -> ! {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut models: Vec<ConsistencyModel> = ConsistencyModel::all().to_vec();
     let mut opts = ExploreOptions::default();
+    let mut sched = SchedConfig::default();
     let mut json: Option<String> = None;
     let mut out: Option<PathBuf> = None;
     let mut quiet = false;
@@ -96,6 +107,12 @@ pub fn main(argv: &[String]) -> ! {
             "--seed" => opts.seed = number(&mut i),
             "--workers" => opts.workers = Some(number(&mut i).max(1) as usize),
             "--cycle-limit" => opts.cycle_limit = number(&mut i).max(1),
+            "--sched" => {
+                let v = value(&mut i);
+                sched.mode = SchedModeChoice::from_label(v)
+                    .unwrap_or_else(|| fail(format!("unknown sched mode `{v}`")));
+            }
+            "--sched-workers" => sched.workers = Some(number(&mut i) as usize),
             "--json" | "-j" => json = Some(value(&mut i).clone()),
             "--out" => out = Some(PathBuf::from(value(&mut i))),
             "--quiet" | "-q" => quiet = true,
@@ -103,6 +120,22 @@ pub fn main(argv: &[String]) -> ! {
             other => fail(format!("unknown argument: {other}")),
         }
         i += 1;
+    }
+
+    // `--workers` fans grid points out across threads; `--sched-workers`
+    // shards each individual run. Both explicit: reject oversubscription.
+    // `--workers` left automatic: divide the host budget by the shard
+    // width so the combination fits.
+    opts.sched = sched.resolve().unwrap_or_else(|e| fail(e));
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match opts.workers {
+        Some(across) => sched
+            .check_host_budget(across, host)
+            .unwrap_or_else(|e| fail(e)),
+        None if sched.intra_workers() > 1 => {
+            opts.workers = Some((host / sched.intra_workers()).max(1));
+        }
+        None => {}
     }
 
     let mut tests: Vec<LitmusTest> = Vec::new();

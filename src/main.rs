@@ -41,6 +41,12 @@ fn usage() -> ! {
   --mesh              use a 2-D mesh interconnect instead of the crossbar
   --msi               use MSI instead of MESI coherence
   --prefetch          enable the next-line L1 prefetcher
+  --sched <mode>      run-loop scheduler: naive | machine-gap |
+                      component-wake | parallel-epoch (default
+                      component-wake; results are identical in all modes)
+  --sched-workers <n> intra-run shard threads for --sched parallel-epoch
+                      (default: host parallelism); distinct from the
+                      sweep/litmus --workers across-run parallelism
   --json <path|->     write the run record as JSON (- for stdout)
   --trace <path>      record an event trace (Chrome trace_event JSON)
   --breakdown         print the ten-ways cycle breakdown
@@ -126,6 +132,14 @@ fn parse_args() -> Args {
             "--scale" => args.cfg.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => args.cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--conflict" => args.cfg.conflict = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--sched" => {
+                let v = value(&mut i);
+                args.cfg.sched.mode = SchedModeChoice::from_label(&v)
+                    .unwrap_or_else(|| fail(format!("unknown sched mode: {v}")));
+            }
+            "--sched-workers" => {
+                args.cfg.sched.workers = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--mesh" => args.cfg.machine.noc_mesh = true,
             "--msi" => args.cfg.protocol.grant_exclusive = false,
             "--prefetch" => args.cfg.protocol.prefetch_next_line = true,

@@ -21,7 +21,14 @@ fn usage() -> ! {
   --id <name>            sweep id (default: [sweep] id, else the file stem)
   --out <dir>            output directory (default $TENWAYS_RESULTS_DIR
                          or results/)
-  --workers <n>          worker threads (default: host parallelism)
+  --workers <n>          across-run worker threads: how many grid points
+                         run concurrently (default: host parallelism,
+                         divided by the widest point's sched.workers).
+                         Intra-run sharding is configured separately via
+                         [sched] in the grid file; when a point shards
+                         (sched.workers > 1), an explicit --workers that
+                         oversubscribes the host (workers x sched.workers
+                         > hardware threads) is rejected
   --retries <n>          extra attempts per failed job (default 0)
   --backoff-ms <n>       base retry backoff, doubled per attempt (default 50)
   --job-timeout-ms <n>   per-job wall budget; over-budget rows fail

@@ -6,8 +6,8 @@
 //! (compute skews) — a forbidden outcome must never appear, an allowed
 //! outcome should appear for at least one timing.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use tenways::prelude::*;
 
@@ -17,7 +17,7 @@ struct StoreThenLoad {
     skew: u64,
     store_addr: Addr,
     load_addr: Addr,
-    out: Rc<Cell<u64>>,
+    out: Arc<AtomicU64>,
     phase: u8,
 }
 
@@ -41,7 +41,8 @@ impl ThreadProgram for StoreThenLoad {
                 })
             }
             3 => {
-                self.out.set(last.expect("loaded value"));
+                self.out
+                    .store(last.expect("loaded value"), Ordering::Relaxed);
                 None
             }
             _ => None,
@@ -57,8 +58,8 @@ impl ThreadProgram for StoreThenLoad {
 fn run_sb(model: ConsistencyModel, spec: SpecConfig, skew0: u64, skew1: u64) -> (u64, u64) {
     let x = Addr(0x1_0000);
     let y = Addr(0x1_0040);
-    let r0 = Rc::new(Cell::new(u64::MAX));
-    let r1 = Rc::new(Cell::new(u64::MAX));
+    let r0 = Arc::new(AtomicU64::new(u64::MAX));
+    let r1 = Arc::new(AtomicU64::new(u64::MAX));
     let programs: Vec<Box<dyn ThreadProgram>> = vec![
         Box::new(StoreThenLoad {
             skew: skew0,
@@ -82,7 +83,7 @@ fn run_sb(model: ConsistencyModel, spec: SpecConfig, skew0: u64, skew1: u64) -> 
     let mut m = Machine::new(&ms, programs);
     let s = m.run(1_000_000);
     assert!(s.finished, "litmus hung under {model}");
-    (r0.get(), r1.get())
+    (r0.load(Ordering::Relaxed), r1.load(Ordering::Relaxed))
 }
 
 /// Timing variations to expose races.
@@ -171,9 +172,9 @@ fn full_fences_restore_sc_for_store_buffering() {
     let run = |model, spec: SpecConfig, a: u64, b: u64| {
         let x = Addr(0x1_0000);
         let y = Addr(0x1_0040);
-        let r0 = Rc::new(Cell::new(u64::MAX));
-        let r1 = Rc::new(Cell::new(u64::MAX));
-        let mk = |store, load, out: &Rc<Cell<u64>>, skew| -> Box<dyn ThreadProgram> {
+        let r0 = Arc::new(AtomicU64::new(u64::MAX));
+        let r1 = Arc::new(AtomicU64::new(u64::MAX));
+        let mk = |store, load, out: &Arc<AtomicU64>, skew| -> Box<dyn ThreadProgram> {
             Box::new(StoreFenceLoad {
                 inner: StoreThenLoad {
                     skew,
@@ -192,7 +193,7 @@ fn full_fences_restore_sc_for_store_buffering() {
             .with_spec(spec);
         let mut m = Machine::new(&ms, programs);
         assert!(m.run(1_000_000).finished);
-        (r0.get(), r1.get())
+        (r0.load(Ordering::Relaxed), r1.load(Ordering::Relaxed))
     };
     for model in ConsistencyModel::all() {
         for spec in [SpecConfig::disabled(), SpecConfig::on_demand()] {
@@ -236,7 +237,7 @@ fn message_passing_with_release_acquire_is_safe_everywhere() {
     struct Reader {
         flag: Addr,
         data: Addr,
-        out: Rc<Cell<u64>>,
+        out: Arc<AtomicU64>,
         phase: u8,
     }
     impl ThreadProgram for Reader {
@@ -271,7 +272,7 @@ fn message_passing_with_release_acquire_is_safe_everywhere() {
                     })
                 }
                 3 => {
-                    self.out.set(last.expect("data"));
+                    self.out.store(last.expect("data"), Ordering::Relaxed);
                     None
                 }
                 _ => None,
@@ -286,7 +287,7 @@ fn message_passing_with_release_acquire_is_safe_everywhere() {
             for skew in [1u64, 20, 100] {
                 let flag = Addr(0x3_0000);
                 let data = Addr(0x3_0040);
-                let out = Rc::new(Cell::new(u64::MAX));
+                let out = Arc::new(AtomicU64::new(u64::MAX));
                 let writer: Box<dyn ThreadProgram> = Box::new(ScriptProgram::new(vec![
                     Op::Compute(skew),
                     Op::store(data, 42),
@@ -310,7 +311,7 @@ fn message_passing_with_release_acquire_is_safe_everywhere() {
                 let mut m = Machine::new(&ms, vec![writer, reader]);
                 assert!(m.run(1_000_000).finished, "hung under {model} {spec:?}");
                 assert_eq!(
-                    out.get(),
+                    out.load(Ordering::Relaxed),
                     42,
                     "stale data under {model} {spec:?} skew {skew}"
                 );
