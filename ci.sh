@@ -79,6 +79,41 @@ grep -q '"label": "ocean/tso/256c/mesh"' "$BENCH_DIR/BENCH_sim_throughput.json"
 grep -q '"gate_speedup_ok": true' "$BENCH_DIR/BENCH_sim_throughput.json"
 ! grep -q '"gate_speedup_ok": false' "$BENCH_DIR/BENCH_sim_throughput.json"
 
+# Lock-ablation figure gate: fig12 sweeps every LockKind (ttas, ticket,
+# mcs, clh) across the model/thread grid under the Schweizer-calibrated
+# atomics config, and each job checks mutual exclusion on the protected
+# counter — a broken lock exits non-zero. The bench_rows.v1 output must
+# contain a row per lock algorithm with the waste split attached.
+(cd "$BENCH_DIR" && TENWAYS_RESULTS_DIR=. "$OLDPWD/target/release/fig12_lock_ablation")
+for lock in ttas ticket mcs clh; do
+    grep -q "\"label\": \"RMO/8t/$lock\"" "$BENCH_DIR/fig12_lock_ablation.json"
+done
+grep -q '"fence_frac"' "$BENCH_DIR/fig12_lock_ablation.json"
+
+# Atomics-priced sweep smoke test: a tiny grid over a queue-lock workload
+# with the `[atomics]` section set to the Schweizer calibration. Both rows
+# must complete, and the run records must carry the atomics provenance
+# (rmw_cross_socket = 90 is the calibration's far-atomic cost).
+ATOMICS_DIR=target/atomics-smoke
+rm -rf "$ATOMICS_DIR"
+mkdir -p "$ATOMICS_DIR"
+cat > "$ATOMICS_DIR/grid.toml" <<'EOF'
+workload = "mcs"
+scale = 1
+model = "rmo"
+atomics = "schweizer"
+
+[sweep]
+id = "ci-atomics"
+
+[grid]
+threads = [2, 4]
+EOF
+./target/release/tenways sweep --config "$ATOMICS_DIR/grid.toml" \
+    --out "$ATOMICS_DIR" --quiet
+test "$(grep -c '"status": "ok"' "$ATOMICS_DIR/ci-atomics.json")" = 2
+grep -q '"rmw_cross_socket": 90' "$ATOMICS_DIR/ci-atomics.json"
+
 # Litmus conformance gate: the full corpus across every consistency model
 # and speculation mode must come back clean — exit is non-zero on any
 # observed forbidden state or any speculation-on vs speculation-off

@@ -1,16 +1,23 @@
-//! Figure 12 (extension) — lock-algorithm ablation: TTAS vs ticket lock.
+//! Figure 12 (extension) — lock-algorithm ablation: TTAS vs ticket vs the
+//! queue locks (MCS, CLH), under the Schweizer-calibrated atomics cost
+//! model.
 //!
 //! Expected shape: the *unfair* TTAS lock wins raw throughput because a
 //! releasing core can immediately re-acquire from its still-resident
 //! M-state line (lock capture), while the ticket lock forces a FIFO
 //! cross-core handoff — paying a coherence round trip per critical
-//! section — in exchange for starvation freedom. The fairness column
-//! (spread of per-core finish times) quantifies what the ticket buys.
+//! section — in exchange for starvation freedom. The queue locks pay an
+//! RMW on the tail per acquire but spin *locally* on a private node, so
+//! their invalidation traffic stays flat as threads grow. The waste
+//! columns split the price three ways: spin cycles burnt on lock words,
+//! coherence cycles prying data lines loose, and fence cycles from the
+//! priced full-fence drains.
 
 use tenways_bench::{banner, write_results_json, SuiteConfig, SweepJob, SweepRunner};
 use tenways_cpu::{ConsistencyModel, Machine, MachineSpec};
 use tenways_sim::json::Json;
-use tenways_sim::MachineConfig;
+use tenways_sim::{AtomicsConfig, MachineConfig};
+use tenways_waste::{WasteBreakdown, WasteCategory};
 use tenways_workloads::{lock_bench_programs, LockBenchParams, LockKind};
 
 /// The measurements one lock-bench run contributes to the figure.
@@ -21,6 +28,12 @@ struct LockRow {
     throughput: f64,
     invalidations: u64,
     fairness: f64,
+    /// Fraction of cycles burnt on lock words (spins and their misses).
+    spin_frac: f64,
+    /// Fraction of cycles waiting on data coherence transfers.
+    coherence_frac: f64,
+    /// Fraction of cycles in fence stalls (ordering + priced execution).
+    fence_frac: f64,
 }
 
 fn lock_row_json(label: &str, r: &LockRow) -> Json {
@@ -32,6 +45,9 @@ fn lock_row_json(label: &str, r: &LockRow) -> Json {
         ("throughput", Json::F64(r.throughput)),
         ("invalidations", Json::U64(r.invalidations)),
         ("fairness", Json::F64(r.fairness)),
+        ("spin_frac", Json::F64(r.spin_frac)),
+        ("coherence_frac", Json::F64(r.coherence_frac)),
+        ("fence_frac", Json::F64(r.fence_frac)),
     ])
 }
 
@@ -41,7 +57,7 @@ fn main() {
     let cfg = SuiteConfig::from_env();
     banner(
         "Figure 12",
-        "lock ablation: TTAS vs ticket (throughput & traffic)",
+        "lock ablation: TTAS vs ticket vs MCS vs CLH (priced atomics)",
         &cfg,
     );
 
@@ -49,13 +65,8 @@ fn main() {
     let mut jobs: Vec<SweepJob<LockRow>> = Vec::new();
     for model in ConsistencyModel::all() {
         for threads in THREAD_COUNTS {
-            for kind in [LockKind::Ttas, LockKind::Ticket] {
-                let label = format!(
-                    "{}/{}t/{}",
-                    model.label(),
-                    threads,
-                    format!("{kind:?}").to_lowercase()
-                );
+            for kind in LockKind::all() {
+                let label = format!("{}/{}t/{}", model.label(), threads, kind.name());
                 jobs.push(SweepJob::new(label, move || {
                     let params = LockBenchParams {
                         threads,
@@ -69,7 +80,9 @@ fn main() {
                         .cores(threads)
                         .build()
                         .map_err(|e| e.to_string())?;
-                    let spec = MachineSpec::baseline(model).with_machine(machine_cfg);
+                    let spec = MachineSpec::baseline(model)
+                        .with_machine(machine_cfg)
+                        .with_atomics(AtomicsConfig::schweizer());
                     let mut m = Machine::new(&spec, programs);
                     let s = m.run(100_000_000);
                     if !s.finished {
@@ -83,6 +96,7 @@ fn main() {
                         ));
                     }
                     let stats = m.merged_stats();
+                    let breakdown = WasteBreakdown::from_stats(&stats);
                     // Fairness: earliest finisher / latest finisher (1.0 =
                     // all cores finish together; small = some core
                     // starved).
@@ -96,6 +110,9 @@ fn main() {
                         throughput: s.throughput(),
                         invalidations: stats.get("l1.invalidations") + stats.get("l1.recalls"),
                         fairness: if max == 0.0 { 1.0 } else { min / max },
+                        spin_frac: breakdown.fraction(WasteCategory::LockSpin),
+                        coherence_frac: breakdown.fraction(WasteCategory::CoherenceMiss),
+                        fence_frac: breakdown.fraction(WasteCategory::FenceStall),
                     })
                 }));
             }
@@ -104,50 +121,47 @@ fn main() {
 
     let results = SweepRunner::new().run(jobs).require_all_with(
         "fig12_lock_ablation",
-        "lock ablation: TTAS vs ticket (throughput & traffic)",
+        "lock ablation: TTAS vs ticket vs MCS vs CLH (priced atomics)",
         &cfg,
         lock_row_json,
     );
 
     println!(
-        "{:>8}{:>8}{:>12}{:>12}{:>12}{:>12}{:>13}{:>13}",
-        "model",
-        "threads",
-        "ttas cyc",
-        "ticket cyc",
-        "ttas inv",
-        "ticket inv",
-        "ttas fair",
-        "ticket fair"
+        "{:>8}{:>8}{:>8}{:>12}{:>10}{:>10}{:>8}{:>8}{:>8}",
+        "model", "threads", "lock", "cycles", "invals", "fair", "spin%", "coh%", "fence%"
     );
-    for (mi, model) in ConsistencyModel::all().into_iter().enumerate() {
-        for (ti, threads) in THREAD_COUNTS.into_iter().enumerate() {
-            let base = (mi * THREAD_COUNTS.len() + ti) * 2;
-            let (ttas, ticket) = (&results[base].1, &results[base + 1].1);
-            println!(
-                "{:>8}{:>8}{:>12}{:>12}{:>12}{:>12}{:>13.3}{:>13.3}",
-                model.label(),
-                threads,
-                ttas.cycles,
-                ticket.cycles,
-                ttas.invalidations,
-                ticket.invalidations,
-                ttas.fairness,
-                ticket.fairness,
-            );
-        }
+    for (label, r) in &results {
+        let mut parts = label.split('/');
+        let (model, threads, kind) = (
+            parts.next().unwrap_or("?"),
+            parts.next().unwrap_or("?"),
+            parts.next().unwrap_or("?"),
+        );
+        println!(
+            "{:>8}{:>8}{:>8}{:>12}{:>10}{:>10.3}{:>8.1}{:>8.1}{:>8.1}",
+            model,
+            threads,
+            kind,
+            r.cycles,
+            r.invalidations,
+            r.fairness,
+            100.0 * r.spin_frac,
+            100.0 * r.coherence_frac,
+            100.0 * r.fence_frac,
+        );
     }
 
     let json_rows = results.iter().map(|(l, r)| lock_row_json(l, r)).collect();
     write_results_json(
         "fig12_lock_ablation",
-        "lock ablation: TTAS vs ticket (throughput & traffic)",
+        "lock ablation: TTAS vs ticket vs MCS vs CLH (priced atomics)",
         &cfg,
         json_rows,
     );
     println!(
         "\n(TTAS wins throughput via lock capture — the releaser re-acquires its \
               own M-state line; ticket pays a cross-core handoff per CS but keeps \
-              every thread progressing: watch the fairness column)"
+              every thread progressing; the queue locks trade a priced tail RMW \
+              for local spinning — watch invalidations stay flat with threads)"
     );
 }

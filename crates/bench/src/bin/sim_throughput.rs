@@ -26,7 +26,7 @@ use tenways_cpu::{
     ConsistencyModel, Machine, MachineSpec, Op, ScriptProgram, SpecConfig, ThreadProgram,
 };
 use tenways_sim::json::Json;
-use tenways_sim::{Addr, MachineConfig};
+use tenways_sim::{Addr, AtomicsConfig, MachineConfig};
 use tenways_waste::{Experiment, SchedMode};
 use tenways_workloads::{WorkloadKind, WorkloadParams};
 
@@ -221,6 +221,17 @@ fn main() {
         (
             "dss/tso".into(),
             Experiment::new(WorkloadKind::DssLike).params(params),
+        ),
+        // A contended queue lock under priced atomics: every core fights
+        // over one MCS tail word, so the run is all short spin phases and
+        // cross-core handoffs — the sync-heavy shape whose scheduler cost
+        // profile none of the scan rows exercise.
+        (
+            "mcs/rmo/schweizer".into(),
+            Experiment::new(WorkloadKind::McsLock)
+                .params(params)
+                .model(ConsistencyModel::Rmo)
+                .atomics(AtomicsConfig::schweizer()),
         ),
         (
             "dss/tso/dram400".into(),

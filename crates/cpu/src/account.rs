@@ -26,6 +26,10 @@ pub const SPEC_CAP: &str = "cyc.stall.spec_cap";
 /// Bucket: a load or atomic waiting on an older in-flight same-address
 /// operation from this core (a true data dependence, never speculated).
 pub const SAME_ADDR_DEP: &str = "cyc.stall.same_addr";
+/// Bucket: an honored fence counting down its configured execution
+/// latency at the ROB head (the [`tenways_sim::AtomicsConfig`] fence
+/// cost; zero-latency fences never land here).
+pub const FENCE_EXEC: &str = "cyc.stall.fence_exec";
 /// Bucket: unclassified (should stay near zero; a sanity check).
 pub const OTHER: &str = "cyc.other";
 
@@ -100,6 +104,7 @@ mod tests {
             MSHR_FULL,
             SPEC_CAP,
             SAME_ADDR_DEP,
+            FENCE_EXEC,
             OTHER,
             MEM_UNRESOLVED,
         ];

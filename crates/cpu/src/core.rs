@@ -27,7 +27,9 @@ use tenways_coherence::{AccessKind, FillClass, L1Controller, ReqId, RequestError
 use tenways_core::{DrainCond, SpecConfig, SpecEngine};
 use tenways_noc::Fabric;
 use tenways_sim::trace::{TraceCategory, Tracer};
-use tenways_sim::{Addr, BlockGeometry, CoreId, Cycle, Histogram, MachineConfig, StatSet};
+use tenways_sim::{
+    Addr, AtomicsConfig, BlockGeometry, CoreId, Cycle, Histogram, MachineConfig, StatSet,
+};
 
 use crate::account::{self, StallKind};
 use crate::archmem::{MemBackend, SpecOverlay};
@@ -108,6 +110,7 @@ pub struct Core {
     rob_cap: usize,
     sb_cap: usize,
     hit_latency: u64,
+    atomics: AtomicsConfig,
     geometry: BlockGeometry,
 
     program: Box<dyn ThreadProgram>,
@@ -169,6 +172,7 @@ impl Core {
         cfg: &MachineConfig,
         model: ConsistencyModel,
         spec: SpecConfig,
+        atomics: AtomicsConfig,
         program: Box<dyn ThreadProgram>,
     ) -> Self {
         Core {
@@ -178,6 +182,7 @@ impl Core {
             rob_cap: cfg.rob_entries,
             sb_cap: cfg.sb_entries,
             hit_latency: cfg.l1_hit_latency,
+            atomics,
             geometry: cfg.block_geometry(),
             program,
             fetch_done: false,
@@ -318,14 +323,21 @@ impl Core {
     }
 
     /// Whether an atomic at `seq` must wait for an older in-flight
-    /// same-address ROB entry (its global read must observe them).
+    /// same-address ROB entry (its global read must observe them), or for
+    /// a buffered same-address store to drain. The store-buffer half is
+    /// per-location coherence, not ordering: an RMW that issued over a
+    /// buffered store to the same word would write memory first and then
+    /// be silently overwritten when the older store drains. Real machines
+    /// never allow this (x86 drains the buffer before locked ops; LL/SC
+    /// fails when the reservation is lost), so the gate applies under
+    /// every consistency model.
     fn rmw_same_addr_blocked(&self, now: Cycle, seq: u64, addr: Addr) -> bool {
         self.rob.iter().any(|s| {
             s.seq < seq
                 && s.op.addr() == Some(addr)
                 && matches!(s.op, Op::Store { .. } | Op::Rmw { .. })
                 && !s.complete(now)
-        })
+        }) || self.sb.iter().any(|e| e.addr == addr)
     }
 
     /// The youngest incomplete Rmw older than `seq`, if any (TSO load rule).
@@ -471,8 +483,18 @@ impl Core {
                     }
                     _ => 0,
                 };
+                // An RMW pays the configured atomic penalty on top of its
+                // fill, tiered by where the line came from (Schweizer-style
+                // near/far costs). The functional write above still lands
+                // at fill time — global serialization order is unchanged;
+                // only this core's pipeline sees the extra latency.
+                let extra = if matches!(op, Op::Rmw { .. }) {
+                    self.rmw_penalty(c.class)
+                } else {
+                    0
+                };
                 let slot = &mut self.rob[idx];
-                slot.done = Some(now);
+                slot.done = Some(now.after(extra));
                 slot.value = Some(value);
                 slot.class = Some(c.class);
                 if spec {
@@ -708,7 +730,12 @@ impl Core {
                 }
                 let conds = self.fence_conditions(kind, seq);
                 if conds.iter().all(|c| self.cond_holds(now, c)) {
-                    self.push_slot(seq, op, Some(now), speculating, None);
+                    // An honored fence pays its configured execution
+                    // latency (serialization cost over and above waiting
+                    // for the drain conditions). Speculated-past fences
+                    // stay free: speculation exists to elide fence cost.
+                    let done = Some(now.after(self.fence_latency(kind)));
+                    self.push_slot(seq, op, done, speculating, None);
                     return true;
                 }
                 if self.request_spec(now, seq, op, &conds) {
@@ -863,6 +890,24 @@ impl Core {
             // Acquire and (simplified) Release both wait on older loads;
             // stores are already ordered by the in-order store buffer.
             FenceKind::Acquire | FenceKind::Release => vec![DrainCond::NoLoadsBefore(seq)],
+        }
+    }
+
+    /// Extra completion cycles for an RMW whose fill was serviced by
+    /// `class` — the [`AtomicsConfig`] near/far cost tiers.
+    fn rmw_penalty(&self, class: FillClass) -> u64 {
+        match class {
+            FillClass::L1Hit => self.atomics.rmw_l1,
+            FillClass::L2Hit | FillClass::Coherence => self.atomics.rmw_same_socket,
+            FillClass::DramCold | FillClass::DramCapacity => self.atomics.rmw_cross_socket,
+        }
+    }
+
+    /// Execution latency of an honored fence of `kind`.
+    fn fence_latency(&self, kind: FenceKind) -> u64 {
+        match kind {
+            FenceKind::Full => self.atomics.fence_full,
+            FenceKind::Acquire | FenceKind::Release => self.atomics.fence_oneway,
         }
     }
 
@@ -1147,6 +1192,11 @@ impl Core {
                 Op::Load { .. } | Op::Rmw { .. } | Op::Store { .. } => {
                     head.waited += n;
                 }
+                // A fence still counting down its execution latency is a
+                // fence stall; a fence blocked for any other reason (e.g.
+                // ROB-head bookkeeping on the retire edge) keeps the
+                // legacy attribution so zero-latency runs are unchanged.
+                Op::Fence(_) if !head.complete(now) => self.acct.bump_by(account::FENCE_EXEC, n),
                 Op::Fence(_) => self.acct.bump_by(account::OTHER, n),
             }
             return;

@@ -5,7 +5,7 @@ use tenways_coherence::{DirectoryBank, L1Controller, ProtocolConfig};
 use tenways_core::SpecConfig;
 use tenways_noc::Fabric;
 use tenways_sim::trace::Tracer;
-use tenways_sim::{Clock, CoreId, Cycle, Histogram, MachineConfig, StatSet};
+use tenways_sim::{AtomicsConfig, Clock, CoreId, Cycle, Histogram, MachineConfig, StatSet};
 
 use crate::archmem::ArchMem;
 use crate::consistency::ConsistencyModel;
@@ -66,6 +66,8 @@ pub struct MachineSpec {
     pub spec: SpecConfig,
     /// Coherence protocol options.
     pub protocol: ProtocolConfig,
+    /// Atomic RMW / fence cost model (default: all-zero, i.e. off).
+    pub atomics: AtomicsConfig,
 }
 
 impl MachineSpec {
@@ -76,6 +78,7 @@ impl MachineSpec {
             model,
             spec: SpecConfig::disabled(),
             protocol: ProtocolConfig::default(),
+            atomics: AtomicsConfig::default(),
         }
     }
 
@@ -94,6 +97,12 @@ impl MachineSpec {
     /// Replaces the protocol options.
     pub fn with_protocol(mut self, protocol: ProtocolConfig) -> Self {
         self.protocol = protocol;
+        self
+    }
+
+    /// Replaces the atomics cost model.
+    pub fn with_atomics(mut self, atomics: AtomicsConfig) -> Self {
+        self.atomics = atomics;
         self
     }
 }
@@ -182,7 +191,16 @@ impl Machine {
         let cores = programs
             .into_iter()
             .enumerate()
-            .map(|(i, p)| Core::new(CoreId(i as u16), &cfg, spec.model, spec.spec, p))
+            .map(|(i, p)| {
+                Core::new(
+                    CoreId(i as u16),
+                    &cfg,
+                    spec.model,
+                    spec.spec,
+                    spec.atomics,
+                    p,
+                )
+            })
             .collect();
         Machine {
             fabric: Fabric::for_machine(&cfg),

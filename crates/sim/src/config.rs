@@ -267,6 +267,192 @@ impl Default for MachineConfig {
     }
 }
 
+/// Errors produced when validating an [`AtomicsConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomicsError {
+    /// RMW latencies must not shrink with distance: an atomic serviced
+    /// from farther away cannot be cheaper than a closer one.
+    NotMonotonic {
+        /// The nearer tier.
+        near: &'static str,
+        /// The farther (but configured cheaper) tier.
+        far: &'static str,
+    },
+    /// A latency exceeds [`AtomicsConfig::MAX_LATENCY`] (almost certainly
+    /// a units mistake: these are cycles, not nanoseconds × 1000).
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for AtomicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AtomicsError::NotMonotonic { near, far } => {
+                write!(f, "atomics.{far} must be >= atomics.{near}")
+            }
+            AtomicsError::TooLarge(field) => write!(
+                f,
+                "atomics.{field} exceeds {} cycles",
+                AtomicsConfig::MAX_LATENCY
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AtomicsError {}
+
+/// Cost model for atomic read-modify-writes and fences, calibrated against
+/// the measured same-socket / cross-socket atomics latencies of Schweizer,
+/// Besta and Hoefler, *Evaluating the Cost of Atomic Operations on Modern
+/// Architectures* (PACT 2015).
+///
+/// Each field is an *extra* completion latency in cycles, added on top of
+/// the coherence fill the operation already paid. The default is all-zero
+/// — atomics complete at fill time, byte-identical to the legacy
+/// behavior — so the cost model is strictly opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicsConfig {
+    /// Extra cycles for an RMW whose line was already in the local L1
+    /// (lock-prefixed ALU + local serialization).
+    pub rmw_l1: u64,
+    /// Extra cycles for an RMW serviced same-socket (another L1 or the
+    /// shared directory/L2 level).
+    pub rmw_same_socket: u64,
+    /// Extra cycles for an RMW serviced cross-socket / from memory.
+    pub rmw_cross_socket: u64,
+    /// Execution latency of an honored full fence (store-buffer drain
+    /// serialization, MFENCE-style).
+    pub fence_full: u64,
+    /// Execution latency of an honored acquire or release fence.
+    pub fence_oneway: u64,
+}
+
+impl Default for AtomicsConfig {
+    fn default() -> Self {
+        AtomicsConfig::off()
+    }
+}
+
+impl AtomicsConfig {
+    /// Upper bound accepted for any latency field.
+    pub const MAX_LATENCY: u64 = 1_000_000;
+
+    /// The zero cost model: atomics and fences complete at fill/issue
+    /// time, exactly as before the model existed.
+    pub fn off() -> Self {
+        AtomicsConfig {
+            rmw_l1: 0,
+            rmw_same_socket: 0,
+            rmw_cross_socket: 0,
+            fence_full: 0,
+            fence_oneway: 0,
+        }
+    }
+
+    /// Haswell-era calibration from Schweizer et al.: an atomic on an
+    /// L1-resident line costs ~15 cycles over a plain hit, a same-socket
+    /// cache-to-cache atomic ~40, a cross-socket / in-memory atomic ~90,
+    /// and MFENCE ~33 cycles; acquire/release fences are plain-op cheap
+    /// on x86 and modeled free.
+    pub fn schweizer() -> Self {
+        AtomicsConfig {
+            rmw_l1: 15,
+            rmw_same_socket: 40,
+            rmw_cross_socket: 90,
+            fence_full: 33,
+            fence_oneway: 0,
+        }
+    }
+
+    /// Whether every latency is zero (the legacy fast path).
+    pub fn is_free(&self) -> bool {
+        *self == AtomicsConfig::off()
+    }
+
+    /// Checks the cost-model invariants: latencies bounded and
+    /// monotonically non-decreasing with distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AtomicsError`] naming the first offending field pair.
+    pub fn validate(&self) -> Result<(), AtomicsError> {
+        for (v, name) in [
+            (self.rmw_l1, "rmw_l1"),
+            (self.rmw_same_socket, "rmw_same_socket"),
+            (self.rmw_cross_socket, "rmw_cross_socket"),
+            (self.fence_full, "fence_full"),
+            (self.fence_oneway, "fence_oneway"),
+        ] {
+            if v > Self::MAX_LATENCY {
+                return Err(AtomicsError::TooLarge(name));
+            }
+        }
+        if self.rmw_same_socket < self.rmw_l1 {
+            return Err(AtomicsError::NotMonotonic {
+                near: "rmw_l1",
+                far: "rmw_same_socket",
+            });
+        }
+        if self.rmw_cross_socket < self.rmw_same_socket {
+            return Err(AtomicsError::NotMonotonic {
+                near: "rmw_same_socket",
+                far: "rmw_cross_socket",
+            });
+        }
+        Ok(())
+    }
+
+    /// Overlays fields from a JSON object — or a preset name: the string
+    /// `"off"` or `"schweizer"` replaces the whole config. Unknown keys
+    /// and mistyped values are errors; absent keys keep their value.
+    /// Invariants are *not* re-checked here — call [`Self::validate`]
+    /// after the last overlay.
+    pub fn apply_json(&mut self, doc: &Json) -> Result<(), String> {
+        if let Some(name) = doc.as_str() {
+            *self = match name {
+                "off" => AtomicsConfig::off(),
+                "schweizer" => AtomicsConfig::schweizer(),
+                other => {
+                    return Err(format!(
+                        "unknown atomics preset `{other}` (expected `off` or `schweizer`)"
+                    ))
+                }
+            };
+            return Ok(());
+        }
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| format!("atomics section must be an object, got {}", doc.type_name()))?;
+        for (key, value) in pairs {
+            let uint = || {
+                value
+                    .as_u64()
+                    .ok_or_else(|| format!("atomics.{key} must be an integer"))
+            };
+            match key.as_str() {
+                "rmw_l1" => self.rmw_l1 = uint()?,
+                "rmw_same_socket" => self.rmw_same_socket = uint()?,
+                "rmw_cross_socket" => self.rmw_cross_socket = uint()?,
+                "fence_full" => self.fence_full = uint()?,
+                "fence_oneway" => self.fence_oneway = uint()?,
+                other => return Err(format!("unknown atomics field `{other}`")),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for AtomicsConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rmw_l1", Json::from(self.rmw_l1)),
+            ("rmw_same_socket", Json::from(self.rmw_same_socket)),
+            ("rmw_cross_socket", Json::from(self.rmw_cross_socket)),
+            ("fence_full", Json::from(self.fence_full)),
+            ("fence_oneway", Json::from(self.fence_oneway)),
+        ])
+    }
+}
+
 /// Mapping from logical components to interconnect [`NodeId`]s.
 ///
 /// Cores occupy nodes `0..cores`; directory banks follow.
@@ -527,6 +713,69 @@ mod tests {
         assert_eq!(decoded, cfg);
         assert!(decoded
             .apply_json(&crate::json::Json::obj([("bogus", 1u64.into())]))
+            .is_err());
+    }
+
+    #[test]
+    fn atomics_default_is_free_and_valid() {
+        let a = AtomicsConfig::default();
+        assert!(a.is_free());
+        assert_eq!(a.validate(), Ok(()));
+        assert!(!AtomicsConfig::schweizer().is_free());
+        assert_eq!(AtomicsConfig::schweizer().validate(), Ok(()));
+    }
+
+    #[test]
+    fn atomics_monotonicity_enforced() {
+        let a = AtomicsConfig {
+            rmw_l1: 50,
+            rmw_same_socket: 10,
+            ..AtomicsConfig::off()
+        };
+        assert_eq!(
+            a.validate(),
+            Err(AtomicsError::NotMonotonic {
+                near: "rmw_l1",
+                far: "rmw_same_socket",
+            })
+        );
+        let b = AtomicsConfig {
+            rmw_same_socket: 40,
+            rmw_cross_socket: 20,
+            ..AtomicsConfig::off()
+        };
+        assert_eq!(
+            b.validate(),
+            Err(AtomicsError::NotMonotonic {
+                near: "rmw_same_socket",
+                far: "rmw_cross_socket",
+            })
+        );
+        let c = AtomicsConfig {
+            fence_full: AtomicsConfig::MAX_LATENCY + 1,
+            ..AtomicsConfig::off()
+        };
+        assert_eq!(c.validate(), Err(AtomicsError::TooLarge("fence_full")));
+    }
+
+    #[test]
+    fn atomics_json_round_trip_and_presets() {
+        let a = AtomicsConfig::schweizer();
+        let mut decoded = AtomicsConfig::off();
+        decoded.apply_json(&a.to_json()).unwrap();
+        assert_eq!(decoded, a);
+
+        let mut preset = AtomicsConfig::off();
+        preset.apply_json(&Json::from("schweizer")).unwrap();
+        assert_eq!(preset, AtomicsConfig::schweizer());
+        preset.apply_json(&Json::from("off")).unwrap();
+        assert!(preset.is_free());
+        assert!(preset.apply_json(&Json::from("fast")).is_err());
+        assert!(preset
+            .apply_json(&Json::obj([("bogus", 1u64.into())]))
+            .is_err());
+        assert!(preset
+            .apply_json(&Json::obj([("rmw_l1", Json::from("x"))]))
             .is_err());
     }
 }

@@ -45,7 +45,7 @@ pub mod trace;
 
 mod cycle;
 
-pub use config::MachineConfig;
+pub use config::{AtomicsConfig, AtomicsError, MachineConfig};
 pub use cycle::{Clock, Cycle};
 pub use hist::Histogram;
 pub use ids::{Addr, BlockAddr, BlockGeometry, CoreId, NodeId};

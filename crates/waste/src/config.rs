@@ -39,7 +39,7 @@ use tenways_core::SpecConfig;
 use tenways_cpu::{ConsistencyModel, SchedMode};
 use tenways_sim::json::{Json, JsonError, ToJson};
 use tenways_sim::toml::parse_toml;
-use tenways_sim::MachineConfig;
+use tenways_sim::{AtomicsConfig, MachineConfig};
 use tenways_workloads::WorkloadParams;
 
 use crate::energy::EnergyModel;
@@ -289,6 +289,10 @@ pub struct SimConfig {
     pub machine: MachineConfig,
     /// Coherence protocol options.
     pub protocol: ProtocolConfig,
+    /// Atomic RMW / fence cost model (all-zero by default, i.e. the
+    /// legacy free-atomics behavior; `"schweizer"` selects the measured
+    /// calibration).
+    pub atomics: AtomicsConfig,
     /// Energy constants.
     pub energy: EnergyModel,
     /// Run-loop scheduler selection. Cannot change results — every mode
@@ -310,6 +314,7 @@ impl Default for SimConfig {
             spec: SpecConfig::disabled(),
             machine: MachineConfig::default(),
             protocol: ProtocolConfig::default(),
+            atomics: AtomicsConfig::default(),
             energy: EnergyModel::default(),
             sched: SchedConfig::default(),
             cycle_limit: 50_000_000,
@@ -408,6 +413,10 @@ impl SimConfig {
                 "spec" => self.spec.apply_json(value)?,
                 "machine" => self.machine.apply_json(value)?,
                 "protocol" => self.protocol.apply_json(value)?,
+                "atomics" => {
+                    self.atomics.apply_json(value)?;
+                    self.atomics.validate().map_err(|e| e.to_string())?;
+                }
                 "energy" => self.energy.apply_json(value)?,
                 "sched" => self.sched.apply_json(value)?,
                 "cycle_limit" => {
@@ -441,6 +450,7 @@ impl ToJson for SimConfig {
             ("spec", self.spec.to_json()),
             ("machine", self.machine.to_json()),
             ("protocol", self.protocol.to_json()),
+            ("atomics", self.atomics.to_json()),
             ("energy", self.energy.to_json()),
             ("sched", self.sched.to_json()),
             ("cycle_limit", Json::from(self.cycle_limit)),
@@ -561,6 +571,40 @@ mod tests {
         assert_eq!(cfg.resolve(), Err(SchedConfigError::ZeroWorkers));
         assert!(SimConfig::from_toml_str("[sched]\nmode = \"warp-drive\"\n").is_err());
         assert!(SimConfig::from_json_str(r#"{"sched":{"wrkers":2}}"#).is_err());
+    }
+
+    #[test]
+    fn atomics_section_parses_from_toml_and_shorthand() {
+        let cfg = SimConfig::from_toml_str(
+            "[atomics]\nrmw_l1 = 15\nrmw_same_socket = 40\nrmw_cross_socket = 90\nfence_full = 33\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.atomics,
+            AtomicsConfig {
+                fence_oneway: 0,
+                ..AtomicsConfig::schweizer()
+            }
+        );
+
+        let cfg = SimConfig::from_json_str(r#"{"atomics":"schweizer"}"#).unwrap();
+        assert_eq!(cfg.atomics, AtomicsConfig::schweizer());
+        assert!(!cfg.atomics.is_free());
+        let back = SimConfig::from_json_str(&cfg.to_json().to_string()).unwrap();
+        assert_eq!(back, cfg);
+
+        let cfg = SimConfig::from_json_str(r#"{"atomics":"off"}"#).unwrap();
+        assert!(cfg.atomics.is_free());
+    }
+
+    #[test]
+    fn atomics_section_is_validated_at_decode() {
+        // Non-monotonic: nearer tier dearer than the farther one.
+        let err =
+            SimConfig::from_toml_str("[atomics]\nrmw_l1 = 50\nrmw_same_socket = 40\n").unwrap_err();
+        assert!(matches!(err, ConfigLoadError::Invalid(_)), "{err:?}");
+        assert!(SimConfig::from_json_str(r#"{"atomics":"haswell"}"#).is_err());
+        assert!(SimConfig::from_json_str(r#"{"atomics":{"rmw_l9":3}}"#).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use tenways_cpu::{ConsistencyModel, Machine, MachineSpec, RunSummary, SchedMode,
 use tenways_sim::config::ConfigError;
 use tenways_sim::json::{Json, ToJson};
 use tenways_sim::trace::{TraceEvent, Tracer};
-use tenways_sim::{Histogram, MachineConfig, StatSet};
+use tenways_sim::{AtomicsConfig, AtomicsError, Histogram, MachineConfig, StatSet};
 use tenways_workloads::{contended_programs, ContendedParams, WorkloadKind, WorkloadParams};
 
 use crate::config::{SchedConfigError, SimConfig};
@@ -28,6 +28,8 @@ pub enum ExperimentError {
     InvalidMachine(ConfigError),
     /// The `[sched]` section is inconsistent (see [`SchedConfigError`]).
     Sched(SchedConfigError),
+    /// The atomics cost model is inconsistent (see [`AtomicsError`]).
+    Atomics(AtomicsError),
     /// Any other configuration problem.
     Config(String),
 }
@@ -38,6 +40,7 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
             ExperimentError::InvalidMachine(e) => write!(f, "invalid machine: {e}"),
             ExperimentError::Sched(e) => write!(f, "invalid sched config: {e}"),
+            ExperimentError::Atomics(e) => write!(f, "invalid atomics config: {e}"),
             ExperimentError::Config(e) => write!(f, "invalid experiment: {e}"),
         }
     }
@@ -61,6 +64,7 @@ pub struct Experiment {
     model: ConsistencyModel,
     spec: SpecConfig,
     protocol: ProtocolConfig,
+    atomics: AtomicsConfig,
     energy: EnergyModel,
     cycle_limit: u64,
     sched: SchedMode,
@@ -77,6 +81,7 @@ impl Experiment {
             model: ConsistencyModel::Tso,
             spec: SpecConfig::disabled(),
             protocol: ProtocolConfig::default(),
+            atomics: AtomicsConfig::default(),
             energy: EnergyModel::default(),
             cycle_limit: 50_000_000,
             sched: SchedMode::default(),
@@ -127,6 +132,7 @@ impl Experiment {
             .model(cfg.model)
             .spec(cfg.spec)
             .protocol(cfg.protocol)
+            .atomics(cfg.atomics)
             .energy(cfg.energy)
             .sched(sched)
             .cycle_limit(cfg.cycle_limit))
@@ -162,6 +168,12 @@ impl Experiment {
     /// Sets coherence protocol options (MSI/MESI).
     pub fn protocol(mut self, protocol: ProtocolConfig) -> Self {
         self.protocol = protocol;
+        self
+    }
+
+    /// Sets the atomic RMW / fence cost model (validated at run time).
+    pub fn atomics(mut self, atomics: AtomicsConfig) -> Self {
+        self.atomics = atomics;
         self
     }
 
@@ -217,6 +229,7 @@ impl Experiment {
     }
 
     fn run_with_tracer(&self, tracer: Tracer) -> Result<RunRecord, ExperimentError> {
+        self.atomics.validate().map_err(ExperimentError::Atomics)?;
         let threads = match &self.input {
             Input::Kind(_) => self.params.threads,
             Input::Contended(p) => p.threads,
@@ -246,6 +259,7 @@ impl Experiment {
             model: self.model,
             spec: self.spec,
             protocol: self.protocol,
+            atomics: self.atomics,
         };
         let mut machine = Machine::new(&ms, programs);
         machine.set_sched(self.sched);
@@ -267,6 +281,7 @@ impl Experiment {
             },
             model: self.model,
             spec: self.spec,
+            atomics: self.atomics,
             sched: self.sched.label(),
             summary,
             stats,
@@ -287,6 +302,8 @@ pub struct RunRecord {
     pub model: ConsistencyModel,
     /// Speculation configuration used.
     pub spec: SpecConfig,
+    /// Atomics cost model used.
+    pub atomics: AtomicsConfig,
     /// Run-loop scheduler label ([`SchedMode::label`]). Provenance only:
     /// excluded from [`fingerprint`](Self::fingerprint), because every
     /// scheduler produces identical results.
@@ -320,6 +337,7 @@ impl RunRecord {
             ("label", Json::from(self.label.clone())),
             ("model", self.model.to_json()),
             ("spec", self.spec.to_json()),
+            ("atomics", self.atomics.to_json()),
         ];
         if with_sched {
             pairs.push(("sched", Json::from(self.sched.to_string())));
@@ -479,6 +497,85 @@ mod tests {
             via_config.to_json().to_string(),
             via_builder.to_json().to_string()
         );
+    }
+
+    #[test]
+    fn atomics_cost_model_slows_sync_heavy_runs() {
+        // CLH: a full publication fence plus a tail swap per acquire, so
+        // both the fence and the RMW price must be visible.
+        let base = Experiment::new(WorkloadKind::ClhLock).params(WorkloadParams {
+            threads: 2,
+            scale: 2,
+            seed: 3,
+        });
+        let free = base.clone().run().unwrap();
+        let priced = base
+            .clone()
+            .atomics(AtomicsConfig::schweizer())
+            .run()
+            .unwrap();
+        assert!(free.summary.finished && priced.summary.finished);
+        // Contended handoff order can shift either way, so the strict
+        // slowdown claim is made uncontended, where every priced cycle
+        // adds directly to the critical path.
+        let solo = base.clone().params(WorkloadParams {
+            threads: 1,
+            scale: 2,
+            seed: 3,
+        });
+        let solo_free = solo.clone().run().unwrap();
+        let solo_priced = solo.atomics(AtomicsConfig::schweizer()).run().unwrap();
+        assert!(
+            solo_priced.summary.cycles > solo_free.summary.cycles,
+            "charging atomics must lengthen an uncontended lock run ({} vs {})",
+            solo_priced.summary.cycles,
+            solo_free.summary.cycles
+        );
+        // The fence execution latency lands in the fence-stall category
+        // (asserted uncontended: under contention the handoff reshuffle
+        // can trade ordering-stall cycles against execution cycles).
+        assert!(
+            solo_priced
+                .breakdown
+                .get(crate::taxonomy::WasteCategory::FenceStall)
+                > solo_free
+                    .breakdown
+                    .get(crate::taxonomy::WasteCategory::FenceStall),
+            "priced fences must show up as fence waste"
+        );
+        for r in [&free, &solo_free] {
+            assert_eq!(r.stats.get("cyc.stall.fence_exec"), 0);
+        }
+        for r in [&priced, &solo_priced] {
+            assert!(r.stats.get("cyc.stall.fence_exec") > 0);
+        }
+        // Provenance: the record carries the cost model, and it changes
+        // the fingerprint.
+        assert_eq!(
+            priced.to_json().get("atomics").and_then(|a| a
+                .get("rmw_cross_socket")
+                .and_then(tenways_sim::json::Json::as_u64)),
+            Some(90)
+        );
+        assert_ne!(free.fingerprint(), priced.fingerprint());
+    }
+
+    #[test]
+    fn invalid_atomics_is_a_typed_error() {
+        let err = Experiment::new(WorkloadKind::OltpLike)
+            .params(WorkloadParams {
+                threads: 2,
+                scale: 1,
+                seed: 0,
+            })
+            .atomics(AtomicsConfig {
+                rmw_l1: 80,
+                rmw_same_socket: 40,
+                ..AtomicsConfig::off()
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::Atomics(_)), "{err:?}");
     }
 
     #[test]

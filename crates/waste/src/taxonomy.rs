@@ -82,6 +82,10 @@ fn classify(bucket: &str) -> Option<WasteCategory> {
         "busy" | "compute" => WasteCategory::Useful,
         "idle_done" | "other" | "stall.rob_full" | "stall.mshr_full" | "stall.spec_cap"
         | "stall.same_addr" | "mem.unresolved" => WasteCategory::Structural,
+        // An honored fence burning its configured execution latency (the
+        // `[atomics]` fence cost) is fence waste, same as fence-ordering
+        // stalls.
+        "stall.fence_exec" => WasteCategory::FenceStall,
         _ if b.starts_with("stall.sc.") => WasteCategory::ScOrdering,
         _ if b.starts_with("stall.fence.") => WasteCategory::FenceStall,
         _ if b.starts_with("stall.atomic.") => WasteCategory::AtomicStall,
@@ -219,6 +223,7 @@ mod tests {
             ("cyc.compute", WasteCategory::Useful),
             ("cyc.stall.sc.data", WasteCategory::ScOrdering),
             ("cyc.stall.fence.data", WasteCategory::FenceStall),
+            ("cyc.stall.fence_exec", WasteCategory::FenceStall),
             ("cyc.stall.atomic.data", WasteCategory::AtomicStall),
             ("cyc.stall.sb_full.data", WasteCategory::StoreBuffer),
             ("cyc.mem.data.cold", WasteCategory::ColdMiss),

@@ -82,6 +82,52 @@ fn draw(rng: &mut DetRng, case: usize) -> (String, Experiment, usize) {
     (label, exp, threads)
 }
 
+/// Every modern-sync workload (queue locks, RCU, hazard pointers, flat
+/// combining, work stealing) must fingerprint identically under all four
+/// run-loop schedulers — their long spin phases and RMW-heavy handoffs
+/// are exactly the shapes that punish a scheduler that wakes a component
+/// one cycle late. Priced atomics are part of the sweep: the cost model
+/// shifts completion times, which must shift them identically everywhere.
+#[test]
+fn modern_sync_workloads_are_byte_identical_across_all_schedulers() {
+    for kind in WorkloadKind::modern_sync() {
+        for atomics in [
+            tenways_sim::AtomicsConfig::off(),
+            tenways_sim::AtomicsConfig::schweizer(),
+        ] {
+            let exp = Experiment::new(kind)
+                .params(WorkloadParams {
+                    threads: 3,
+                    scale: 1,
+                    seed: 0xfeed,
+                })
+                .model(ConsistencyModel::Rmo)
+                .atomics(atomics)
+                .cycle_limit(2_000_000);
+            let label = format!("{} (atomics free: {})", kind.name(), atomics.is_free());
+            let naive = exp
+                .clone()
+                .sched(SchedMode::Naive)
+                .run()
+                .unwrap_or_else(|e| panic!("{label}: naive run failed: {e}"))
+                .fingerprint();
+            for mode in [
+                SchedMode::MachineGap,
+                SchedMode::ComponentWake,
+                SchedMode::ParallelEpoch { workers: 2 },
+            ] {
+                let fast = exp
+                    .clone()
+                    .sched(mode)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: {mode:?} run failed: {e}"))
+                    .fingerprint();
+                assert_eq!(fast, naive, "{label}: {mode:?} diverged from naive");
+            }
+        }
+    }
+}
+
 #[test]
 fn random_configs_are_byte_identical_across_all_schedulers() {
     let mut rng = DetRng::seed(0x7e57_0dd5);

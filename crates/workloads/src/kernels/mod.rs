@@ -2,6 +2,7 @@
 //! machinery shared by all kernels.
 
 mod commercial;
+mod modern;
 mod scientific;
 
 use tenways_cpu::{Op, ThreadProgram};
@@ -30,7 +31,8 @@ impl Default for WorkloadParams {
     }
 }
 
-/// The eight synthetic kernels of the evaluation suite.
+/// The synthetic kernels of the evaluation suite: the paper's eight
+/// (scientific + commercial halves) plus the modern-sync extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Tree walks with per-node locks (barnes-like).
@@ -49,11 +51,23 @@ pub enum WorkloadKind {
     OltpLike,
     /// Large low-sharing scans (DSS-like).
     DssLike,
+    /// MCS queue-lock fight (local-spin handoff).
+    McsLock,
+    /// CLH queue-lock fight (predecessor-spin handoff).
+    ClhLock,
+    /// RCU readers + grace-period-waiting updaters.
+    RcuLike,
+    /// Hazard-pointer readers + a retiring writer.
+    HazardLike,
+    /// Flat combining over a shared counter.
+    FlatCombLike,
+    /// Chase-Lev work-stealing deque: one owner, thieving workers.
+    WsDequeLike,
 }
 
 impl WorkloadKind {
     /// Every kernel, in canonical report order.
-    pub fn all() -> [WorkloadKind; 8] {
+    pub fn all() -> [WorkloadKind; 14] {
         [
             WorkloadKind::BarnesLike,
             WorkloadKind::OceanLike,
@@ -63,10 +77,16 @@ impl WorkloadKind {
             WorkloadKind::ZeusLike,
             WorkloadKind::OltpLike,
             WorkloadKind::DssLike,
+            WorkloadKind::McsLock,
+            WorkloadKind::ClhLock,
+            WorkloadKind::RcuLike,
+            WorkloadKind::HazardLike,
+            WorkloadKind::FlatCombLike,
+            WorkloadKind::WsDequeLike,
         ]
     }
 
-    /// The scientific (barrier/stencil) half of the suite.
+    /// The scientific (barrier/stencil) half of the paper suite.
     pub fn scientific() -> [WorkloadKind; 4] {
         [
             WorkloadKind::BarnesLike,
@@ -76,13 +96,26 @@ impl WorkloadKind {
         ]
     }
 
-    /// The commercial (server) half of the suite.
+    /// The commercial (server) half of the paper suite.
     pub fn commercial() -> [WorkloadKind; 4] {
         [
             WorkloadKind::ApacheLike,
             WorkloadKind::ZeusLike,
             WorkloadKind::OltpLike,
             WorkloadKind::DssLike,
+        ]
+    }
+
+    /// The modern-sync extension: queue locks, RCU, hazard pointers,
+    /// flat combining, work stealing.
+    pub fn modern_sync() -> [WorkloadKind; 6] {
+        [
+            WorkloadKind::McsLock,
+            WorkloadKind::ClhLock,
+            WorkloadKind::RcuLike,
+            WorkloadKind::HazardLike,
+            WorkloadKind::FlatCombLike,
+            WorkloadKind::WsDequeLike,
         ]
     }
 
@@ -97,11 +130,18 @@ impl WorkloadKind {
             WorkloadKind::ZeusLike => "zeus",
             WorkloadKind::OltpLike => "oltp",
             WorkloadKind::DssLike => "dss",
+            WorkloadKind::McsLock => "mcs",
+            WorkloadKind::ClhLock => "clh",
+            WorkloadKind::RcuLike => "rcu",
+            WorkloadKind::HazardLike => "hazard",
+            WorkloadKind::FlatCombLike => "flatcomb",
+            WorkloadKind::WsDequeLike => "wsdeque",
         }
     }
 
     /// Builds one program per thread.
     pub fn build(self, params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+        use crate::lockbench::LockKind;
         match self {
             WorkloadKind::BarnesLike => scientific::barnes(params),
             WorkloadKind::OceanLike => scientific::ocean(params),
@@ -111,6 +151,12 @@ impl WorkloadKind {
             WorkloadKind::ZeusLike => commercial::server(params, commercial::ServerMix::Zeus),
             WorkloadKind::OltpLike => commercial::oltp(params),
             WorkloadKind::DssLike => commercial::dss(params),
+            WorkloadKind::McsLock => modern::queue_lock(params, LockKind::Mcs),
+            WorkloadKind::ClhLock => modern::queue_lock(params, LockKind::Clh),
+            WorkloadKind::RcuLike => modern::rcu(params),
+            WorkloadKind::HazardLike => modern::hazard(params),
+            WorkloadKind::FlatCombLike => modern::flat_combining(params),
+            WorkloadKind::WsDequeLike => modern::ws_deque(params),
         }
     }
 }
@@ -157,7 +203,13 @@ impl ThreadProgram for KernelProgram {
             if let Some(frag) = &mut self.sub {
                 match frag.next(last.take()) {
                     FragStep::Emit(op) => return Some(op),
-                    FragStep::Done => self.sub = None,
+                    FragStep::Done => {
+                        // A finished fragment may hand a value back to the
+                        // kernel (e.g. a pinned pointer or a took-a-task
+                        // flag); it arrives as the kernel's `last`.
+                        last = frag.result();
+                        self.sub = None;
+                    }
                 }
             }
             match self.kernel.step(last.take()) {
@@ -214,15 +266,16 @@ mod tests {
     }
 
     #[test]
-    fn halves_partition_the_suite() {
-        let mut both: Vec<_> = WorkloadKind::scientific()
+    fn groups_partition_the_suite() {
+        let mut grouped: Vec<_> = WorkloadKind::scientific()
             .into_iter()
             .chain(WorkloadKind::commercial())
+            .chain(WorkloadKind::modern_sync())
             .collect();
-        both.sort_by_key(|w| w.name());
+        grouped.sort_by_key(|w| w.name());
         let mut all: Vec<_> = WorkloadKind::all().into();
         all.sort_by_key(|w| w.name());
-        assert_eq!(both, all);
+        assert_eq!(grouped, all);
     }
 
     #[test]

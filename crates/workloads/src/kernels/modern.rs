@@ -1,0 +1,990 @@
+//! The modern-sync extension of the suite: queue locks, RCU, hazard
+//! pointers, flat combining and a Chase-Lev work-stealing deque.
+//!
+//! Each kernel composes the [`SyncFrag`] fragments from
+//! [`crate::sync`] into a closed workload with a checkable end-of-run
+//! invariant (exact counters, never-poisoned reads, every task executed
+//! exactly once), so the lock ablation and the waste taxonomy can sweep
+//! them like any other workload.
+
+use tenways_cpu::{FenceKind, MemTag, Op, RmwOp, ThreadProgram};
+use tenways_sim::Addr;
+
+use crate::kernels::{impl_kernel_logic, KernelProgram, KernelStep, WorkloadParams};
+use crate::layout::{AddressSpace, Region, WORD};
+use crate::lockbench::{lock_bench_programs, LockBenchParams, LockKind};
+use crate::sync::{DequeAddrs, SyncFrag};
+
+/// Per-thread slot arrays use one cache line per thread.
+const STRIDE: u64 = 64;
+
+/// The queue-lock workloads reuse the lock benchmark with an MCS or CLH
+/// lock under moderate contention.
+pub(crate) fn queue_lock(params: &WorkloadParams, kind: LockKind) -> Vec<Box<dyn ThreadProgram>> {
+    let lp = LockBenchParams {
+        threads: params.threads,
+        rounds: 4 * params.scale.max(1),
+        cs_compute: 6,
+        think_compute: 6,
+        kind,
+    };
+    lock_bench_programs(&lp).0
+}
+
+// ---------------------------------------------------------------------------
+// RCU: even threads read through a published pointer, odd threads update
+// it and wait out a grace period before poisoning the old node.
+// ---------------------------------------------------------------------------
+
+/// Shared addresses of an RCU run (for result inspection).
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(not(test), allow(dead_code))] // read by the in-crate invariant tests
+pub(crate) struct RcuLayout {
+    /// Global grace-period generation; ends at `writers * writes`.
+    pub gen: Addr,
+    /// Two words per thread: good derefs, poisoned derefs (must be 0).
+    pub results: Region,
+    /// Updates each writer performs.
+    pub writes: u64,
+    /// Number of writer threads.
+    pub writers: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RcuReader {
+    me: u64,
+    gen: Addr,
+    slots: Addr,
+    ptr: Addr,
+    results: Region,
+    rounds_left: u64,
+    good: u64,
+    bad: u64,
+    phase: u8,
+}
+
+impl RcuReader {
+    fn online(&self) -> Addr {
+        self.slots.offset(self.me * STRIDE)
+    }
+
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                KernelStep::Op(Op::Store {
+                    addr: self.online(),
+                    value: 1,
+                    tag: MemTag::Barrier,
+                })
+            }
+            1 => {
+                if self.rounds_left == 0 {
+                    self.phase = 6;
+                    return KernelStep::Op(Op::Store {
+                        addr: self.online(),
+                        value: 0,
+                        tag: MemTag::Barrier,
+                    });
+                }
+                self.rounds_left -= 1;
+                self.phase = 2;
+                KernelStep::Op(Op::Load {
+                    addr: self.ptr,
+                    tag: MemTag::Data,
+                    consume: true,
+                })
+            }
+            2 => {
+                let p = last.expect("pointer consumed");
+                if p == 0 {
+                    // Nothing published yet: not a violation, skip.
+                    self.phase = 4;
+                    self.step(None)
+                } else {
+                    self.phase = 3;
+                    KernelStep::Op(Op::Load {
+                        addr: Addr(p),
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
+                }
+            }
+            3 => {
+                // A zero value is the poison a writer plants on reclaim:
+                // observing it means the grace period failed.
+                if last.expect("node value consumed") == 0 {
+                    self.bad += 1;
+                } else {
+                    self.good += 1;
+                }
+                self.phase = 4;
+                self.step(None)
+            }
+            4 => {
+                // Quiescent state between rounds: note the generation...
+                self.phase = 5;
+                KernelStep::Op(Op::Load {
+                    addr: self.gen,
+                    tag: MemTag::Barrier,
+                    consume: true,
+                })
+            }
+            5 => {
+                // ...and report it.
+                self.phase = 1;
+                KernelStep::Op(Op::Store {
+                    addr: self.online().offset(WORD),
+                    value: last.expect("generation consumed"),
+                    tag: MemTag::Barrier,
+                })
+            }
+            6 => {
+                self.phase = 7;
+                KernelStep::Op(Op::store(self.results.word(2 * self.me), self.good))
+            }
+            7 => {
+                self.phase = 8;
+                KernelStep::Op(Op::store(self.results.word(2 * self.me + 1), self.bad))
+            }
+            _ => KernelStep::Done,
+        }
+    }
+}
+
+impl_kernel_logic!(RcuReader, "rcu");
+
+#[derive(Debug, Clone)]
+struct RcuWriter {
+    me: u64,
+    threads: u64,
+    gen: Addr,
+    slots: Addr,
+    ptr: Addr,
+    nodes: Addr,
+    rounds_left: u64,
+    next_node: u64,
+    victim: u64,
+    phase: u8,
+}
+
+impl RcuWriter {
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.rounds_left == 0 {
+                    return KernelStep::Done;
+                }
+                self.rounds_left -= 1;
+                self.phase = 1;
+                KernelStep::Op(Op::store(
+                    self.nodes.offset(self.next_node * STRIDE),
+                    self.next_node + 1,
+                ))
+            }
+            1 => {
+                // Publication fence: the node's payload must be globally
+                // visible before the swap (which bypasses the store
+                // buffer) can hand its address to readers.
+                self.phase = 2;
+                KernelStep::Op(Op::Fence(FenceKind::Full))
+            }
+            2 => {
+                let node = self.nodes.offset(self.next_node * STRIDE);
+                self.next_node += 1;
+                self.phase = 3;
+                KernelStep::Op(Op::Rmw {
+                    addr: self.ptr,
+                    rmw: RmwOp::Swap(node.0),
+                    tag: MemTag::Data,
+                    consume: true,
+                })
+            }
+            3 => {
+                self.victim = last.expect("old pointer consumed");
+                self.phase = 4;
+                KernelStep::Sync(SyncFrag::rcu_sync(
+                    self.gen,
+                    self.slots,
+                    STRIDE,
+                    self.threads,
+                    self.me,
+                ))
+            }
+            4 => {
+                self.phase = 0;
+                if self.victim == 0 {
+                    // First publication had no predecessor to reclaim.
+                    self.step(None)
+                } else {
+                    // Grace period over: no reader can hold the victim.
+                    KernelStep::Op(Op::store(Addr(self.victim), 0))
+                }
+            }
+            _ => KernelStep::Done,
+        }
+    }
+}
+
+impl_kernel_logic!(RcuWriter, "rcu");
+
+pub(crate) fn rcu_with_layout(params: &WorkloadParams) -> (Vec<Box<dyn ThreadProgram>>, RcuLayout) {
+    let threads = params.threads.max(1) as u64;
+    let reads = 4 * params.scale.max(1);
+    let writes = 2 * params.scale.max(1);
+    let writers = threads / 2;
+
+    let mut space = AddressSpace::new();
+    let gen = space.alloc_line();
+    let ptr = space.alloc_line();
+    let slots = space.alloc_words(threads * (STRIDE / WORD)).base();
+    let nodes = space
+        .alloc_words((writers * writes).max(1) * (STRIDE / WORD))
+        .base();
+    let results = space.alloc_words(2 * threads);
+
+    let mut writer_index = 0;
+    let programs = (0..threads)
+        .map(|me| {
+            if me % 2 == 1 {
+                let base = writer_index * writes;
+                writer_index += 1;
+                KernelProgram::boxed(Box::new(RcuWriter {
+                    me,
+                    threads,
+                    gen,
+                    slots,
+                    ptr,
+                    nodes,
+                    rounds_left: writes,
+                    next_node: base,
+                    victim: 0,
+                    phase: 0,
+                }))
+            } else {
+                KernelProgram::boxed(Box::new(RcuReader {
+                    me,
+                    gen,
+                    slots,
+                    ptr,
+                    results,
+                    rounds_left: reads,
+                    good: 0,
+                    bad: 0,
+                    phase: 0,
+                }))
+            }
+        })
+        .collect();
+    (
+        programs,
+        RcuLayout {
+            gen,
+            results,
+            writes,
+            writers,
+        },
+    )
+}
+
+pub(crate) fn rcu(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    rcu_with_layout(params).0
+}
+
+// ---------------------------------------------------------------------------
+// Hazard pointers: thread 0 retires nodes, the rest read under protection.
+// ---------------------------------------------------------------------------
+
+/// Shared addresses of a hazard-pointer run (for result inspection).
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(not(test), allow(dead_code))] // read by the in-crate invariant tests
+pub(crate) struct HazardLayout {
+    /// Two words per thread: good derefs, poisoned derefs (must be 0).
+    pub results: Region,
+}
+
+#[derive(Debug, Clone)]
+struct HazardReader {
+    me: u64,
+    ptr: Addr,
+    slot: Addr,
+    results: Region,
+    rounds_left: u64,
+    good: u64,
+    bad: u64,
+    phase: u8,
+}
+
+impl HazardReader {
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.rounds_left == 0 {
+                    self.phase = 3;
+                    return KernelStep::Op(Op::store(self.results.word(2 * self.me), self.good));
+                }
+                self.rounds_left -= 1;
+                self.phase = 1;
+                KernelStep::Sync(SyncFrag::hazard_protect(self.ptr, self.slot))
+            }
+            1 => {
+                let p = last.expect("protected pointer from fragment");
+                if p == 0 {
+                    // Nothing published yet.
+                    self.phase = 0;
+                    self.step(None)
+                } else {
+                    self.phase = 2;
+                    KernelStep::Op(Op::Load {
+                        addr: Addr(p),
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
+                }
+            }
+            2 => {
+                // Zero = the retirer poisoned a node we still protect: a
+                // safe-memory-reclamation violation.
+                if last.expect("node value consumed") == 0 {
+                    self.bad += 1;
+                } else {
+                    self.good += 1;
+                }
+                self.phase = 0;
+                KernelStep::Op(Op::Store {
+                    addr: self.slot,
+                    value: 0,
+                    tag: MemTag::Lock,
+                })
+            }
+            3 => {
+                self.phase = 4;
+                KernelStep::Op(Op::store(self.results.word(2 * self.me + 1), self.bad))
+            }
+            _ => KernelStep::Done,
+        }
+    }
+}
+
+impl_kernel_logic!(HazardReader, "hazard");
+
+#[derive(Debug, Clone)]
+struct HazardRetirer {
+    threads: u64,
+    ptr: Addr,
+    hazards: Addr,
+    nodes: Addr,
+    rounds_left: u64,
+    next_node: u64,
+    victim: u64,
+    scan: u64,
+    phase: u8,
+}
+
+impl HazardRetirer {
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.rounds_left == 0 {
+                    return KernelStep::Done;
+                }
+                self.rounds_left -= 1;
+                self.phase = 1;
+                KernelStep::Op(Op::store(
+                    self.nodes.offset(self.next_node * STRIDE),
+                    self.next_node + 1,
+                ))
+            }
+            1 => {
+                // Publication fence before the SB-bypassing swap.
+                self.phase = 2;
+                KernelStep::Op(Op::Fence(FenceKind::Full))
+            }
+            2 => {
+                let node = self.nodes.offset(self.next_node * STRIDE);
+                self.next_node += 1;
+                self.phase = 3;
+                KernelStep::Op(Op::Rmw {
+                    addr: self.ptr,
+                    rmw: RmwOp::Swap(node.0),
+                    tag: MemTag::Data,
+                    consume: true,
+                })
+            }
+            3 => {
+                self.victim = last.expect("old pointer consumed");
+                self.phase = 4;
+                if self.victim == 0 {
+                    self.phase = 0;
+                    return self.step(None);
+                }
+                self.scan = 1;
+                self.step(None)
+            }
+            4 => {
+                if self.scan >= self.threads {
+                    // No hazard covers the victim: reclaim (poison) it.
+                    self.phase = 0;
+                    KernelStep::Op(Op::store(Addr(self.victim), 0))
+                } else {
+                    self.phase = 5;
+                    KernelStep::Op(Op::Load {
+                        addr: self.hazards.offset(self.scan * STRIDE),
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            }
+            5 => {
+                if last.expect("hazard slot consumed") == self.victim {
+                    // Still protected: wait for the reader to move on.
+                    KernelStep::Op(Op::Load {
+                        addr: self.hazards.offset(self.scan * STRIDE),
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                } else {
+                    self.scan += 1;
+                    self.phase = 4;
+                    self.step(None)
+                }
+            }
+            _ => KernelStep::Done,
+        }
+    }
+}
+
+impl_kernel_logic!(HazardRetirer, "hazard");
+
+pub(crate) fn hazard_with_layout(
+    params: &WorkloadParams,
+) -> (Vec<Box<dyn ThreadProgram>>, HazardLayout) {
+    let threads = params.threads.max(1) as u64;
+    let reads = 4 * params.scale.max(1);
+    let retires = 2 * params.scale.max(1);
+
+    let mut space = AddressSpace::new();
+    let ptr = space.alloc_line();
+    let hazards = space.alloc_words(threads * (STRIDE / WORD)).base();
+    let nodes = space.alloc_words(retires * (STRIDE / WORD)).base();
+    let results = space.alloc_words(2 * threads);
+
+    let programs = (0..threads)
+        .map(|me| {
+            if me == 0 {
+                KernelProgram::boxed(Box::new(HazardRetirer {
+                    threads,
+                    ptr,
+                    hazards,
+                    nodes,
+                    rounds_left: retires,
+                    next_node: 0,
+                    victim: 0,
+                    scan: 0,
+                    phase: 0,
+                }))
+            } else {
+                KernelProgram::boxed(Box::new(HazardReader {
+                    me,
+                    ptr,
+                    slot: hazards.offset(me * STRIDE),
+                    results,
+                    rounds_left: reads,
+                    good: 0,
+                    bad: 0,
+                    phase: 0,
+                }))
+            }
+        })
+        .collect();
+    (programs, HazardLayout { results })
+}
+
+pub(crate) fn hazard(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    hazard_with_layout(params).0
+}
+
+// ---------------------------------------------------------------------------
+// Flat combining: publish a request, then either wait for a combiner or
+// take the combiner lock and apply everyone's pending requests.
+// ---------------------------------------------------------------------------
+
+/// Shared addresses of a flat-combining run (for result inspection).
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(not(test), allow(dead_code))] // read by the in-crate invariant tests
+pub(crate) struct FlatCombLayout {
+    /// The combined counter; must end at `threads * rounds`.
+    pub counter: Addr,
+    /// Rounds per thread.
+    pub rounds: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FcThread {
+    me: u64,
+    threads: u64,
+    fclock: Addr,
+    slots: Addr,
+    counter: Addr,
+    rounds_left: u64,
+    scan: u64,
+    delta: u64,
+    phase: u8,
+}
+
+impl FcThread {
+    fn slot(&self, i: u64) -> Addr {
+        self.slots.offset(i * STRIDE)
+    }
+
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.rounds_left == 0 {
+                    return KernelStep::Done;
+                }
+                self.rounds_left -= 1;
+                self.phase = 1;
+                KernelStep::Op(Op::store(self.slot(self.me), 1))
+            }
+            1 => {
+                self.phase = 2;
+                KernelStep::Op(Op::Fence(FenceKind::Release))
+            }
+            2 => {
+                self.phase = 3;
+                KernelStep::Op(Op::Load {
+                    addr: self.slot(self.me),
+                    tag: MemTag::Data,
+                    consume: true,
+                })
+            }
+            3 => {
+                if last.expect("own slot consumed") == 0 {
+                    // A combiner applied our request.
+                    self.phase = 0;
+                    KernelStep::Op(Op::Fence(FenceKind::Acquire))
+                } else {
+                    self.phase = 4;
+                    KernelStep::Op(Op::Load {
+                        addr: self.fclock,
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            }
+            4 => {
+                if last.expect("combiner lock consumed") != 0 {
+                    // Someone is combining: go back to watching our slot.
+                    self.phase = 2;
+                    self.step(None)
+                } else {
+                    // Lock looks free: try to become the combiner. No
+                    // fence is needed before the CAS even though our own
+                    // `fclock = 0` release from a previous combining pass
+                    // may still sit in the store buffer — the core's RMW
+                    // issue rule waits for buffered same-address stores to
+                    // drain (per-location coherence), so the CAS always
+                    // races against the globally visible lock word.
+                    self.phase = 5;
+                    KernelStep::Op(Op::Rmw {
+                        addr: self.fclock,
+                        rmw: RmwOp::Cas {
+                            expected: 0,
+                            desired: 1,
+                        },
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            }
+            5 => {
+                if last.expect("cas result consumed") != 0 {
+                    self.phase = 2;
+                    self.step(None)
+                } else {
+                    // We are the combiner.
+                    self.scan = 0;
+                    self.phase = 6;
+                    KernelStep::Op(Op::Fence(FenceKind::Acquire))
+                }
+            }
+            6 => {
+                if self.scan >= self.threads {
+                    self.phase = 9;
+                    KernelStep::Op(Op::Fence(FenceKind::Release))
+                } else {
+                    self.phase = 7;
+                    KernelStep::Op(Op::Load {
+                        addr: self.slot(self.scan),
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
+                }
+            }
+            7 => {
+                self.delta = last.expect("peer slot consumed");
+                if self.delta == 0 {
+                    self.scan += 1;
+                    self.phase = 6;
+                    self.step(None)
+                } else {
+                    self.phase = 8;
+                    KernelStep::Op(Op::Load {
+                        addr: self.counter,
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
+                }
+            }
+            8 => {
+                // Apply, then clear the slot (FIFO store order makes the
+                // clear visible only after the counter update).
+                let c = last.expect("counter consumed");
+                self.phase = 10;
+                KernelStep::Op(Op::store(self.counter, c.wrapping_add(self.delta)))
+            }
+            10 => {
+                let slot = self.slot(self.scan);
+                self.scan += 1;
+                self.phase = 6;
+                KernelStep::Op(Op::store(slot, 0))
+            }
+            9 => {
+                // Release the combiner lock; our own request was combined
+                // during the pass (the scan covers our slot too).
+                self.phase = 2;
+                KernelStep::Op(Op::Store {
+                    addr: self.fclock,
+                    value: 0,
+                    tag: MemTag::Lock,
+                })
+            }
+            _ => KernelStep::Done,
+        }
+    }
+}
+
+impl_kernel_logic!(FcThread, "flatcomb");
+
+pub(crate) fn flat_combining_with_layout(
+    params: &WorkloadParams,
+) -> (Vec<Box<dyn ThreadProgram>>, FlatCombLayout) {
+    let threads = params.threads.max(1) as u64;
+    let rounds = 4 * params.scale.max(1);
+
+    let mut space = AddressSpace::new();
+    let fclock = space.alloc_line();
+    let counter = space.alloc_line();
+    let slots = space.alloc_words(threads * (STRIDE / WORD)).base();
+
+    let programs = (0..threads)
+        .map(|me| {
+            KernelProgram::boxed(Box::new(FcThread {
+                me,
+                threads,
+                fclock,
+                slots,
+                counter,
+                rounds_left: rounds,
+                scan: 0,
+                delta: 0,
+                phase: 0,
+            }))
+        })
+        .collect();
+    (programs, FlatCombLayout { counter, rounds })
+}
+
+pub(crate) fn flat_combining(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    flat_combining_with_layout(params).0
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing: thread 0 owns a Chase-Lev deque and pushes every task;
+// the other threads steal from the far end until all tasks have run.
+// ---------------------------------------------------------------------------
+
+/// Shared addresses of a work-stealing run (for result inspection).
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(not(test), allow(dead_code))] // read by the in-crate invariant tests
+pub(crate) struct WsDequeLayout {
+    /// One word per task; each must end at exactly 1.
+    pub claimed: Region,
+    /// Total tasks executed; must end at `total`.
+    pub executed: Addr,
+    /// Number of tasks.
+    pub total: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DequeOwner {
+    deque: DequeAddrs,
+    claimed: Addr,
+    executed: Addr,
+    total: u64,
+    pushed: u64,
+    phase: u8,
+}
+
+impl DequeOwner {
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                if self.pushed < self.total {
+                    let task = self.pushed;
+                    self.pushed += 1;
+                    KernelStep::Sync(SyncFrag::deque_push(self.deque, task))
+                } else {
+                    self.phase = 1;
+                    self.step(None)
+                }
+            }
+            1 => {
+                self.phase = 2;
+                KernelStep::Sync(SyncFrag::deque_take(
+                    self.deque,
+                    self.claimed,
+                    self.executed,
+                ))
+            }
+            2 => {
+                if last == Some(1) {
+                    self.phase = 1;
+                    self.step(None)
+                } else {
+                    // Own deque drained; wait for thieves to finish what
+                    // they stole.
+                    self.phase = 3;
+                    self.step(None)
+                }
+            }
+            3 => {
+                self.phase = 4;
+                KernelStep::Op(Op::Load {
+                    addr: self.executed,
+                    tag: MemTag::Barrier,
+                    consume: true,
+                })
+            }
+            4 => {
+                if last == Some(self.total) {
+                    KernelStep::Done
+                } else {
+                    self.phase = 3;
+                    self.step(None)
+                }
+            }
+            _ => KernelStep::Done,
+        }
+    }
+}
+
+impl_kernel_logic!(DequeOwner, "wsdeque");
+
+#[derive(Debug, Clone)]
+struct DequeThief {
+    deque: DequeAddrs,
+    claimed: Addr,
+    executed: Addr,
+    total: u64,
+    phase: u8,
+}
+
+impl DequeThief {
+    fn step(&mut self, last: Option<u64>) -> KernelStep {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                KernelStep::Sync(SyncFrag::deque_steal(
+                    self.deque,
+                    self.claimed,
+                    self.executed,
+                ))
+            }
+            1 => {
+                if last == Some(1) {
+                    self.phase = 0;
+                    self.step(None)
+                } else {
+                    // Empty or lost a race: check for global completion.
+                    self.phase = 2;
+                    self.step(None)
+                }
+            }
+            2 => {
+                self.phase = 3;
+                KernelStep::Op(Op::Load {
+                    addr: self.executed,
+                    tag: MemTag::Barrier,
+                    consume: true,
+                })
+            }
+            3 => {
+                if last == Some(self.total) {
+                    KernelStep::Done
+                } else {
+                    self.phase = 0;
+                    self.step(None)
+                }
+            }
+            _ => KernelStep::Done,
+        }
+    }
+}
+
+impl_kernel_logic!(DequeThief, "wsdeque");
+
+pub(crate) fn ws_deque_with_layout(
+    params: &WorkloadParams,
+) -> (Vec<Box<dyn ThreadProgram>>, WsDequeLayout) {
+    let threads = params.threads.max(1) as u64;
+    let total = 8 * params.scale.max(1);
+    let cap = total.next_power_of_two();
+
+    let mut space = AddressSpace::new();
+    let deque = DequeAddrs {
+        top: space.alloc_line(),
+        bottom: space.alloc_line(),
+        buf: space.alloc_words(cap).base(),
+        mask: cap - 1,
+    };
+    let claimed = space.alloc_words(total);
+    let executed = space.alloc_line();
+
+    let programs = (0..threads)
+        .map(|me| {
+            if me == 0 {
+                KernelProgram::boxed(Box::new(DequeOwner {
+                    deque,
+                    claimed: claimed.base(),
+                    executed,
+                    total,
+                    pushed: 0,
+                    phase: 0,
+                }))
+            } else {
+                KernelProgram::boxed(Box::new(DequeThief {
+                    deque,
+                    claimed: claimed.base(),
+                    executed,
+                    total,
+                    phase: 0,
+                }))
+            }
+        })
+        .collect();
+    (
+        programs,
+        WsDequeLayout {
+            claimed,
+            executed,
+            total,
+        },
+    )
+}
+
+pub(crate) fn ws_deque(params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    ws_deque_with_layout(params).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenways_cpu::{ConsistencyModel, Machine, MachineSpec};
+    use tenways_sim::MachineConfig;
+
+    fn machine(model: ConsistencyModel, programs: Vec<Box<dyn ThreadProgram>>) -> Machine {
+        let cores = programs.len();
+        let cfg = MachineConfig::builder().cores(cores).build().unwrap();
+        let spec = MachineSpec::baseline(model).with_machine(cfg);
+        Machine::new(&spec, programs)
+    }
+
+    const PARAMS: WorkloadParams = WorkloadParams {
+        threads: 4,
+        scale: 2,
+        seed: 7,
+    };
+
+    #[test]
+    fn rcu_readers_never_see_reclaimed_nodes() {
+        for model in ConsistencyModel::all() {
+            let (programs, layout) = rcu_with_layout(&PARAMS);
+            let mut m = machine(model, programs);
+            let s = m.run(10_000_000);
+            assert!(s.finished, "rcu under {model} hung");
+            for me in (0..PARAMS.threads as u64).step_by(2) {
+                let bad = m.mem().read(layout.results.word(2 * me + 1));
+                assert_eq!(bad, 0, "reader {me} saw poison under {model}");
+            }
+            assert_eq!(
+                m.mem().read(layout.gen),
+                layout.writers * layout.writes,
+                "one grace period per update under {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn hazard_readers_never_see_reclaimed_nodes() {
+        for model in ConsistencyModel::all() {
+            let (programs, layout) = hazard_with_layout(&PARAMS);
+            let mut m = machine(model, programs);
+            let s = m.run(10_000_000);
+            assert!(s.finished, "hazard under {model} hung");
+            for me in 1..PARAMS.threads as u64 {
+                let bad = m.mem().read(layout.results.word(2 * me + 1));
+                assert_eq!(bad, 0, "reader {me} saw poison under {model}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_combining_counter_is_exact() {
+        for model in ConsistencyModel::all() {
+            let (programs, layout) = flat_combining_with_layout(&PARAMS);
+            let mut m = machine(model, programs);
+            let s = m.run(10_000_000);
+            assert!(s.finished, "flatcomb under {model} hung");
+            assert_eq!(
+                m.mem().read(layout.counter),
+                PARAMS.threads as u64 * layout.rounds,
+                "lost increments under {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_deque_task_runs_exactly_once() {
+        for model in ConsistencyModel::all() {
+            let (programs, layout) = ws_deque_with_layout(&PARAMS);
+            let mut m = machine(model, programs);
+            let s = m.run(10_000_000);
+            assert!(s.finished, "wsdeque under {model} hung");
+            assert_eq!(m.mem().read(layout.executed), layout.total);
+            for task in 0..layout.total {
+                assert_eq!(
+                    m.mem().read(layout.claimed.word(task)),
+                    1,
+                    "task {task} under {model}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_modern_workloads_terminate() {
+        let params = WorkloadParams {
+            threads: 1,
+            scale: 1,
+            seed: 1,
+        };
+        for kind in crate::kernels::WorkloadKind::modern_sync() {
+            let programs = kind.build(&params);
+            let mut m = machine(ConsistencyModel::Rmo, programs);
+            let s = m.run(5_000_000);
+            assert!(s.finished, "{} hung single-threaded", kind.name());
+        }
+    }
+}

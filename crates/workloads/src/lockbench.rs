@@ -16,14 +16,30 @@ pub enum LockKind {
     Ttas,
     /// FIFO ticket lock.
     Ticket,
+    /// MCS queue lock: local spinning on a per-thread node.
+    Mcs,
+    /// CLH queue lock: spinning on the predecessor's node.
+    Clh,
 }
 
 impl LockKind {
+    /// Every lock design, in canonical report order.
+    pub fn all() -> [LockKind; 4] {
+        [
+            LockKind::Ttas,
+            LockKind::Ticket,
+            LockKind::Mcs,
+            LockKind::Clh,
+        ]
+    }
+
     /// Stable report name.
     pub fn name(self) -> &'static str {
         match self {
             LockKind::Ttas => "ttas",
             LockKind::Ticket => "ticket",
+            LockKind::Mcs => "mcs",
+            LockKind::Clh => "clh",
         }
     }
 }
@@ -58,16 +74,29 @@ impl Default for LockBenchParams {
 
 #[derive(Debug, Clone, Copy)]
 struct LockAddrs {
-    /// TTAS word / ticket `next_ticket`.
+    /// TTAS word / ticket `next_ticket` / MCS & CLH tail.
     a: Addr,
-    /// Ticket `now_serving` (unused by TTAS).
+    /// Ticket `now_serving` (unused by the others).
     b: Addr,
+}
+
+/// Per-thread queue-lock state (none for the centralized locks).
+#[derive(Debug, Clone, Copy)]
+enum QNodes {
+    /// TTAS / ticket: no per-thread node.
+    None,
+    /// MCS: one two-word node (successor link, locked flag).
+    Mcs { node: Addr },
+    /// CLH: two nodes used in alternation, since a released node may
+    /// still be observed by the successor while the releaser re-enters.
+    Clh { nodes: [Addr; 2], parity: bool },
 }
 
 #[derive(Debug, Clone)]
 struct LockFighter {
     kind: LockKind,
     lock: LockAddrs,
+    qnodes: QNodes,
     counter: Addr,
     rounds_left: u64,
     cs_compute: u64,
@@ -79,17 +108,28 @@ struct LockFighter {
 }
 
 impl LockFighter {
-    fn acquire(&self) -> SyncFrag {
-        match self.kind {
-            LockKind::Ttas => SyncFrag::acquire(self.lock.a),
-            LockKind::Ticket => SyncFrag::ticket_acquire(self.lock.a, self.lock.b),
+    fn acquire(&mut self) -> SyncFrag {
+        match (self.kind, &mut self.qnodes) {
+            (LockKind::Ttas, _) => SyncFrag::acquire(self.lock.a),
+            (LockKind::Ticket, _) => SyncFrag::ticket_acquire(self.lock.a, self.lock.b),
+            (LockKind::Mcs, QNodes::Mcs { node }) => SyncFrag::mcs_acquire(self.lock.a, *node),
+            (LockKind::Clh, QNodes::Clh { nodes, parity }) => {
+                *parity = !*parity;
+                SyncFrag::clh_acquire(self.lock.a, nodes[*parity as usize])
+            }
+            (kind, nodes) => unreachable!("{kind:?} with {nodes:?}"),
         }
     }
 
     fn release(&self) -> SyncFrag {
-        match self.kind {
-            LockKind::Ttas => SyncFrag::release(self.lock.a),
-            LockKind::Ticket => SyncFrag::ticket_release(self.lock.b),
+        match (self.kind, &self.qnodes) {
+            (LockKind::Ttas, _) => SyncFrag::release(self.lock.a),
+            (LockKind::Ticket, _) => SyncFrag::ticket_release(self.lock.b),
+            (LockKind::Mcs, QNodes::Mcs { node }) => SyncFrag::mcs_release(self.lock.a, *node),
+            (LockKind::Clh, QNodes::Clh { nodes, parity }) => {
+                SyncFrag::release(nodes[*parity as usize])
+            }
+            (kind, nodes) => unreachable!("{kind:?} with {nodes:?}"),
         }
     }
 
@@ -153,9 +193,20 @@ pub fn lock_bench_programs(
     let counter = space.alloc_line();
     let programs = (0..params.threads)
         .map(|_| {
+            let qnodes = match params.kind {
+                LockKind::Ttas | LockKind::Ticket => QNodes::None,
+                LockKind::Mcs => QNodes::Mcs {
+                    node: space.alloc_words(2).base(),
+                },
+                LockKind::Clh => QNodes::Clh {
+                    nodes: [space.alloc_line(), space.alloc_line()],
+                    parity: false,
+                },
+            };
             KernelProgram::boxed(Box::new(LockFighter {
                 kind: params.kind,
                 lock,
+                qnodes,
                 counter,
                 rounds_left: params.rounds,
                 cs_compute: params.cs_compute,
@@ -203,6 +254,47 @@ mod tests {
         for model in ConsistencyModel::all() {
             let (counter, _) = run(LockKind::Ticket, model);
             assert_eq!(counter, 40, "lost increments under {model}");
+        }
+    }
+
+    #[test]
+    fn mcs_counter_is_exact_under_all_models() {
+        for model in ConsistencyModel::all() {
+            let (counter, _) = run(LockKind::Mcs, model);
+            assert_eq!(counter, 40, "lost increments under {model}");
+        }
+    }
+
+    #[test]
+    fn clh_counter_is_exact_under_all_models() {
+        for model in ConsistencyModel::all() {
+            let (counter, _) = run(LockKind::Clh, model);
+            assert_eq!(counter, 40, "lost increments under {model}");
+        }
+    }
+
+    #[test]
+    fn queue_locks_hold_up_with_zero_think_time() {
+        // Maximal contention: handoff follows handoff with no gaps, the
+        // regime where a stale queue node or a missed publication fence
+        // would deadlock or lose increments.
+        for kind in [LockKind::Mcs, LockKind::Clh] {
+            for model in ConsistencyModel::all() {
+                let params = LockBenchParams {
+                    threads: 4,
+                    rounds: 10,
+                    think_compute: 0,
+                    kind,
+                    ..Default::default()
+                };
+                let (programs, layout) = lock_bench_programs(&params);
+                let cfg = MachineConfig::builder().cores(4).build().unwrap();
+                let spec = MachineSpec::baseline(model).with_machine(cfg);
+                let mut m = Machine::new(&spec, programs);
+                let s = m.run(10_000_000);
+                assert!(s.finished, "{kind:?} under {model} hung");
+                assert_eq!(m.mem().read(layout.counter), 40, "{kind:?}/{model}");
+            }
         }
     }
 }

@@ -12,9 +12,33 @@
 //! * **Sense-reversing barrier** — read the generation, fetch-add the
 //!   arrival counter; the last arriver resets the counter and bumps the
 //!   generation, everyone else spins on the generation word.
+//! * **Ticket lock** — FIFO-fair: fetch-add a ticket, spin on `now_serving`.
+//! * **MCS queue lock** — swap a per-thread queue node into the tail, link
+//!   behind the predecessor, spin on the *local* node flag; release hands
+//!   off by storing into the successor's node.
+//! * **CLH queue lock** — swap into the tail and spin on the
+//!   *predecessor's* node; release is a plain store to one's own node.
+//! * **RCU grace period** — bump the global generation, then wait until
+//!   every online reader has passed a quiescent state at or after it.
+//! * **Hazard-pointer protect** — read, publish the hazard, fence,
+//!   re-validate; the result is the safely protected pointer.
+//! * **Work-stealing deque** — Chase-Lev push/take/steal over `top` /
+//!   `bottom` words, with take/steal racing through CAS on `top`.
+//!
+//! Queue-node words, tickets and generations are carried in explicit
+//! phase/field state — no in-band sentinel values (a lesson learned:
+//! earlier revisions encoded "store consumed" as `Addr(u64::MAX)` and
+//! offset tickets by one, which silently broke at the numeric boundary).
 
 use tenways_cpu::{FenceKind, MemTag, Op, RmwOp};
 use tenways_sim::Addr;
+
+use crate::layout::WORD;
+
+/// A tagged store (the [`Op::store`] convenience is Data-tagged only).
+fn store(addr: Addr, value: u64, tag: MemTag) -> Op {
+    Op::Store { addr, value, tag }
+}
 
 /// What a fragment produced this step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +62,23 @@ pub enum SyncFrag {
     TicketAcquire(TicketAcquireState),
     /// Releasing a ticket lock.
     TicketRelease(TicketReleaseState),
+    /// Acquiring an MCS queue lock.
+    McsAcquire(McsAcquireState),
+    /// Releasing an MCS queue lock.
+    McsRelease(McsReleaseState),
+    /// Acquiring a CLH queue lock (release reuses [`SyncFrag::release`]
+    /// on the node the acquire spun into).
+    ClhAcquire(ClhAcquireState),
+    /// An RCU-style `synchronize_rcu()`: grace-period wait.
+    RcuSync(RcuSyncState),
+    /// Hazard-pointer protect: publish, fence, re-validate.
+    HazardProtect(HazardProtectState),
+    /// Chase-Lev deque: owner push.
+    DequePush(DequePushState),
+    /// Chase-Lev deque: owner take (LIFO end).
+    DequeTake(DequeTakeState),
+    /// Chase-Lev deque: thief steal (FIFO end).
+    DequeSteal(DequeStealState),
 }
 
 impl SyncFrag {
@@ -54,6 +95,7 @@ impl SyncFrag {
         SyncFrag::Release(ReleaseState {
             lock,
             fenced: false,
+            stored: false,
         })
     }
 
@@ -89,6 +131,112 @@ impl SyncFrag {
         })
     }
 
+    /// Starts acquiring an MCS lock whose tail word is `tail`, queueing
+    /// this thread's two-word `node` (word 0: successor link, word 1:
+    /// locked flag).
+    pub fn mcs_acquire(tail: Addr, node: Addr) -> Self {
+        SyncFrag::McsAcquire(McsAcquireState {
+            tail,
+            node,
+            phase: McsAcquirePhase::InitNext,
+        })
+    }
+
+    /// Starts releasing an MCS lock previously acquired through `node`.
+    pub fn mcs_release(tail: Addr, node: Addr) -> Self {
+        SyncFrag::McsRelease(McsReleaseState {
+            tail,
+            node,
+            phase: McsReleasePhase::FenceRel,
+        })
+    }
+
+    /// Starts acquiring a CLH lock whose tail word is `tail`, publishing
+    /// this thread's one-word `node`. Release the lock by running
+    /// [`SyncFrag::release`] on the same node.
+    pub fn clh_acquire(tail: Addr, node: Addr) -> Self {
+        SyncFrag::ClhAcquire(ClhAcquireState {
+            tail,
+            node,
+            pred: 0,
+            phase: ClhAcquirePhase::InitLocked,
+        })
+    }
+
+    /// Starts an RCU grace-period wait. `slots` is the base of a
+    /// per-thread reader-slot array with `stride` bytes per thread (word
+    /// 0: online flag, word 1: last quiescent generation); `me` is this
+    /// thread's own slot index, which the scan skips.
+    pub fn rcu_sync(gen: Addr, slots: Addr, stride: u64, threads: u64, me: u64) -> Self {
+        SyncFrag::RcuSync(RcuSyncState {
+            gen,
+            slots,
+            stride,
+            threads,
+            me,
+            target: 0,
+            idx: 0,
+            phase: RcuSyncPhase::Fence,
+        })
+    }
+
+    /// Starts a hazard-pointer protect of whatever `ptr` points at,
+    /// publishing the hazard in `slot`. The fragment's [`result`] is the
+    /// safely pinned pointer value.
+    ///
+    /// [`result`]: SyncFrag::result
+    pub fn hazard_protect(ptr: Addr, slot: Addr) -> Self {
+        SyncFrag::HazardProtect(HazardProtectState {
+            ptr,
+            slot,
+            candidate: 0,
+            phase: HazardPhase::ReadPtr,
+        })
+    }
+
+    /// Starts an owner-side push of `task` onto a Chase-Lev deque.
+    pub fn deque_push(deque: DequeAddrs, task: u64) -> Self {
+        SyncFrag::DequePush(DequePushState {
+            deque,
+            task,
+            bottom: 0,
+            phase: DequePushPhase::ReadBottom,
+        })
+    }
+
+    /// Starts an owner-side take from the LIFO end of a Chase-Lev deque.
+    /// On success the claimed task is executed in place: its `claimed`
+    /// word and the global `executed` counter are bumped. [`result`] is 1
+    /// if a task was taken, 0 if the deque was empty.
+    ///
+    /// [`result`]: SyncFrag::result
+    pub fn deque_take(deque: DequeAddrs, claimed: Addr, executed: Addr) -> Self {
+        SyncFrag::DequeTake(DequeTakeState {
+            deque,
+            claimed,
+            executed,
+            b: 0,
+            t: 0,
+            task: 0,
+            took: false,
+            phase: DequeTakePhase::ReadBottom,
+        })
+    }
+
+    /// Starts a thief-side steal from the FIFO end of a Chase-Lev deque.
+    /// Same execution/result convention as [`SyncFrag::deque_take`].
+    pub fn deque_steal(deque: DequeAddrs, claimed: Addr, executed: Addr) -> Self {
+        SyncFrag::DequeSteal(DequeStealState {
+            deque,
+            claimed,
+            executed,
+            t: 0,
+            task: 0,
+            took: false,
+            phase: DequeStealPhase::ReadTop,
+        })
+    }
+
     /// Advances the fragment. `last` must be the consumed value if the
     /// previously emitted op was consume-marked, else `None`.
     pub fn next(&mut self, last: Option<u64>) -> FragStep {
@@ -98,6 +246,27 @@ impl SyncFrag {
             SyncFrag::Barrier(s) => s.next(last),
             SyncFrag::TicketAcquire(s) => s.next(last),
             SyncFrag::TicketRelease(s) => s.next(),
+            SyncFrag::McsAcquire(s) => s.next(last),
+            SyncFrag::McsRelease(s) => s.next(last),
+            SyncFrag::ClhAcquire(s) => s.next(last),
+            SyncFrag::RcuSync(s) => s.next(last),
+            SyncFrag::HazardProtect(s) => s.next(last),
+            SyncFrag::DequePush(s) => s.next(last),
+            SyncFrag::DequeTake(s) => s.next(last),
+            SyncFrag::DequeSteal(s) => s.next(last),
+        }
+    }
+
+    /// The value a finished fragment hands back to its kernel: the pinned
+    /// pointer for [`SyncFrag::hazard_protect`], 1/0 took-a-task for the
+    /// deque take/steal fragments, `None` for everything else. Only
+    /// meaningful after [`SyncFrag::next`] returned [`FragStep::Done`].
+    pub fn result(&self) -> Option<u64> {
+        match self {
+            SyncFrag::HazardProtect(s) => Some(s.candidate),
+            SyncFrag::DequeTake(s) => Some(s.took as u64),
+            SyncFrag::DequeSteal(s) => Some(s.took as u64),
+            _ => None,
         }
     }
 }
@@ -106,7 +275,9 @@ impl SyncFrag {
 enum TicketPhase {
     /// Fetch-add the ticket counter.
     Draw,
-    /// Awaiting my ticket number, then spin on now_serving.
+    /// The drawn ticket arrives; record it and start spinning.
+    TakeTicket,
+    /// Spinning on now_serving with my recorded ticket.
     Spin,
     /// Acquired: acquire fence, then done.
     Fence,
@@ -114,6 +285,12 @@ enum TicketPhase {
 
 /// Ticket-lock acquisition: FIFO-fair, one atomic per acquisition, spins
 /// on a read-shared word.
+///
+/// The drawn ticket is held verbatim in `my_ticket` once the
+/// `TakeTicket` phase consumes it — every ticket value, including 0 and
+/// `u64::MAX`, is valid, and the spin test is exact equality (an earlier
+/// revision offset tickets by one to reserve 0 as "not yet drawn", which
+/// livelocked on ticket `u64::MAX` and overflowed on `serving + 1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TicketAcquireState {
     next_ticket: Addr,
@@ -126,7 +303,7 @@ impl TicketAcquireState {
     fn next(&mut self, last: Option<u64>) -> FragStep {
         match self.phase {
             TicketPhase::Draw => {
-                self.phase = TicketPhase::Spin;
+                self.phase = TicketPhase::TakeTicket;
                 FragStep::Emit(Op::Rmw {
                     addr: self.next_ticket,
                     rmw: RmwOp::FetchAdd(1),
@@ -134,27 +311,25 @@ impl TicketAcquireState {
                     consume: true,
                 })
             }
+            TicketPhase::TakeTicket => {
+                self.my_ticket = last.expect("drawn ticket consumed");
+                self.phase = TicketPhase::Spin;
+                FragStep::Emit(Op::Load {
+                    addr: self.now_serving,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
             TicketPhase::Spin => {
-                match last {
-                    Some(v) if self.my_ticket == 0 && v != u64::MAX => {
-                        // First spin entry: `v` is my drawn ticket. Encode
-                        // "drawn" by offsetting tickets by 1 internally.
-                        self.my_ticket = v + 1;
-                        FragStep::Emit(Op::Load {
-                            addr: self.now_serving,
-                            tag: MemTag::Lock,
-                            consume: true,
-                        })
-                    }
-                    Some(serving) if serving + 1 == self.my_ticket => {
-                        self.phase = TicketPhase::Fence;
-                        FragStep::Emit(Op::Fence(FenceKind::Acquire))
-                    }
-                    _ => FragStep::Emit(Op::Load {
+                if last.expect("now_serving consumed") == self.my_ticket {
+                    self.phase = TicketPhase::Fence;
+                    FragStep::Emit(Op::Fence(FenceKind::Acquire))
+                } else {
+                    FragStep::Emit(Op::Load {
                         addr: self.now_serving,
                         tag: MemTag::Lock,
                         consume: true,
-                    }),
+                    })
                 }
             }
             TicketPhase::Fence => FragStep::Done,
@@ -249,10 +424,16 @@ impl AcquireState {
 }
 
 /// Lock release state.
+///
+/// Progress is tracked by explicit flags; the lock address stays intact
+/// for the fragment's whole life (an earlier revision overwrote it with
+/// `Addr(u64::MAX)` as a "consumed" marker, which made a lock legitimately
+/// placed at that address release twice and never finish).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReleaseState {
     lock: Addr,
     fenced: bool,
+    stored: bool,
 }
 
 impl ReleaseState {
@@ -260,11 +441,10 @@ impl ReleaseState {
         if !self.fenced {
             self.fenced = true;
             FragStep::Emit(Op::Fence(FenceKind::Release))
-        } else if self.lock.0 != u64::MAX {
-            let lock = self.lock;
-            self.lock = Addr(u64::MAX); // consumed
+        } else if !self.stored {
+            self.stored = true;
             FragStep::Emit(Op::Store {
-                addr: lock,
+                addr: self.lock,
                 value: 0,
                 tag: MemTag::Lock,
             })
@@ -318,7 +498,10 @@ impl BarrierState {
             }
             BarrierPhase::LastResetCounter => {
                 let arrivals_before_me = last.expect("counter value consumed");
-                if arrivals_before_me + 1 == self.parties {
+                // Wrapping add: the barrier must keep working even when
+                // the arrival counter sits at the numeric boundary (the
+                // non-wrapping `+ 1` here used to abort in debug builds).
+                if arrivals_before_me.wrapping_add(1) == self.parties {
                     // Last arriver: reset the counter, then bump the
                     // generation to wake everyone.
                     self.phase = BarrierPhase::LastFence;
@@ -367,6 +550,763 @@ impl BarrierState {
                 }
             }
             BarrierPhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum McsAcquirePhase {
+    InitNext,
+    InitLocked,
+    PubFence,
+    SwapTail,
+    Link,
+    Spin,
+    Finished,
+}
+
+/// MCS queue-lock acquisition.
+///
+/// The node is two words on the thread's own cache line: word 0 is the
+/// successor link (0 = none; queue-node addresses are never 0 because the
+/// address space starts above the null page), word 1 the locked flag the
+/// thread spins on locally. A release fence publishes the node-init
+/// stores before the tail swap: the swap executes against memory directly
+/// (it does not queue behind the store buffer), so without the fence a
+/// successor could learn this node's address from the swapped tail and
+/// link into it — and the releaser could hand off through that link —
+/// all before the init stores drain, letting a stale `next = 0` or
+/// `locked = 1` land on top of them (the `lock_litmus` interleaving
+/// suite exhibits exactly this under store-order relaxation). The fence
+/// is one-way (no store-buffer drain in-simulator, zero cost under the
+/// Schweizer calibration) but makes the emitted stream a portable MCS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McsAcquireState {
+    tail: Addr,
+    node: Addr,
+    phase: McsAcquirePhase,
+}
+
+impl McsAcquireState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            McsAcquirePhase::InitNext => {
+                self.phase = McsAcquirePhase::InitLocked;
+                FragStep::Emit(store(self.node, 0, MemTag::Lock))
+            }
+            McsAcquirePhase::InitLocked => {
+                self.phase = McsAcquirePhase::PubFence;
+                FragStep::Emit(store(self.node.offset(WORD), 1, MemTag::Lock))
+            }
+            McsAcquirePhase::PubFence => {
+                self.phase = McsAcquirePhase::SwapTail;
+                FragStep::Emit(Op::Fence(FenceKind::Release))
+            }
+            McsAcquirePhase::SwapTail => {
+                self.phase = McsAcquirePhase::Link;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.tail,
+                    rmw: RmwOp::Swap(self.node.0),
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            McsAcquirePhase::Link => {
+                let pred = last.expect("old tail consumed");
+                if pred == 0 {
+                    // Queue was empty: the lock is ours immediately.
+                    self.phase = McsAcquirePhase::Finished;
+                    FragStep::Emit(Op::Fence(FenceKind::Acquire))
+                } else {
+                    self.phase = McsAcquirePhase::Spin;
+                    FragStep::Emit(store(Addr(pred), self.node.0, MemTag::Lock))
+                }
+            }
+            McsAcquirePhase::Spin => match last {
+                Some(0) => {
+                    self.phase = McsAcquirePhase::Finished;
+                    FragStep::Emit(Op::Fence(FenceKind::Acquire))
+                }
+                // First spin entry (after the link store) or still locked.
+                _ => FragStep::Emit(Op::Load {
+                    addr: self.node.offset(WORD),
+                    tag: MemTag::Lock,
+                    consume: true,
+                }),
+            },
+            McsAcquirePhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum McsReleasePhase {
+    FenceRel,
+    ReadNext,
+    CheckNext,
+    CheckCas,
+    SpinNext,
+    Finished,
+}
+
+/// MCS queue-lock release: hand off to the linked successor, or CAS the
+/// tail back to empty; if the CAS loses, a successor is mid-link — wait
+/// for the link to appear, then hand off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McsReleaseState {
+    tail: Addr,
+    node: Addr,
+    phase: McsReleasePhase,
+}
+
+impl McsReleaseState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            McsReleasePhase::FenceRel => {
+                self.phase = McsReleasePhase::ReadNext;
+                FragStep::Emit(Op::Fence(FenceKind::Release))
+            }
+            McsReleasePhase::ReadNext => {
+                self.phase = McsReleasePhase::CheckNext;
+                FragStep::Emit(Op::Load {
+                    addr: self.node,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            McsReleasePhase::CheckNext => {
+                let succ = last.expect("successor link consumed");
+                if succ != 0 {
+                    self.phase = McsReleasePhase::Finished;
+                    FragStep::Emit(store(Addr(succ).offset(WORD), 0, MemTag::Lock))
+                } else {
+                    self.phase = McsReleasePhase::CheckCas;
+                    FragStep::Emit(Op::Rmw {
+                        addr: self.tail,
+                        rmw: RmwOp::Cas {
+                            expected: self.node.0,
+                            desired: 0,
+                        },
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            }
+            McsReleasePhase::CheckCas => {
+                if last == Some(self.node.0) {
+                    // CAS won: the queue is empty again.
+                    self.phase = McsReleasePhase::Finished;
+                    FragStep::Done
+                } else {
+                    // A successor swapped the tail but has not linked in
+                    // yet; its link store is coming.
+                    self.phase = McsReleasePhase::SpinNext;
+                    FragStep::Emit(Op::Load {
+                        addr: self.node,
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            }
+            McsReleasePhase::SpinNext => {
+                let succ = last.expect("successor link consumed");
+                if succ != 0 {
+                    self.phase = McsReleasePhase::Finished;
+                    FragStep::Emit(store(Addr(succ).offset(WORD), 0, MemTag::Lock))
+                } else {
+                    FragStep::Emit(Op::Load {
+                        addr: self.node,
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            }
+            McsReleasePhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClhAcquirePhase {
+    InitLocked,
+    PubFence,
+    SwapTail,
+    ExaminePred,
+    Spin,
+    Finished,
+}
+
+/// CLH queue-lock acquisition: swap one's own node into the tail and spin
+/// on the *predecessor's* node until it reads 0.
+///
+/// Unlike MCS, CLH *does* need a full publication fence between the
+/// `node = 1` init store and the tail swap: the swap bypasses the store
+/// buffer, so without the fence a successor could swap the tail, read
+/// this node before the init store drains, see the stale 0 and enter the
+/// critical section while the lock is held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClhAcquireState {
+    tail: Addr,
+    node: Addr,
+    pred: u64,
+    phase: ClhAcquirePhase,
+}
+
+impl ClhAcquireState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            ClhAcquirePhase::InitLocked => {
+                self.phase = ClhAcquirePhase::PubFence;
+                FragStep::Emit(store(self.node, 1, MemTag::Lock))
+            }
+            ClhAcquirePhase::PubFence => {
+                self.phase = ClhAcquirePhase::SwapTail;
+                FragStep::Emit(Op::Fence(FenceKind::Full))
+            }
+            ClhAcquirePhase::SwapTail => {
+                self.phase = ClhAcquirePhase::ExaminePred;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.tail,
+                    rmw: RmwOp::Swap(self.node.0),
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            ClhAcquirePhase::ExaminePred => {
+                self.pred = last.expect("old tail consumed");
+                if self.pred == 0 {
+                    // No predecessor: the lock is free.
+                    self.phase = ClhAcquirePhase::Finished;
+                    FragStep::Emit(Op::Fence(FenceKind::Acquire))
+                } else {
+                    self.phase = ClhAcquirePhase::Spin;
+                    FragStep::Emit(Op::Load {
+                        addr: Addr(self.pred),
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            }
+            ClhAcquirePhase::Spin => {
+                if last.expect("predecessor node consumed") == 0 {
+                    self.phase = ClhAcquirePhase::Finished;
+                    FragStep::Emit(Op::Fence(FenceKind::Acquire))
+                } else {
+                    FragStep::Emit(Op::Load {
+                        addr: Addr(self.pred),
+                        tag: MemTag::Lock,
+                        consume: true,
+                    })
+                }
+            }
+            ClhAcquirePhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RcuSyncPhase {
+    Fence,
+    BumpGen,
+    TakeTarget,
+    ExamineOnline,
+    ExamineQuies,
+    Finished,
+}
+
+/// RCU-style grace-period wait (QSBR flavor): fence, bump the global
+/// generation, then scan every *other* thread's reader slot until it is
+/// either offline or has recorded a quiescent generation at or past the
+/// bump. Generation comparisons are wrapping, so the scheme survives the
+/// counter rolling over `u64::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RcuSyncState {
+    gen: Addr,
+    slots: Addr,
+    stride: u64,
+    threads: u64,
+    me: u64,
+    target: u64,
+    idx: u64,
+    phase: RcuSyncPhase,
+}
+
+impl RcuSyncState {
+    fn online(&self, i: u64) -> Addr {
+        self.slots.offset(i * self.stride)
+    }
+
+    fn quies(&self, i: u64) -> Addr {
+        self.slots.offset(i * self.stride + WORD)
+    }
+
+    /// Moves the scan to the next reader (skipping our own slot), or
+    /// finishes when every reader has been cleared.
+    fn next_reader(&mut self) -> FragStep {
+        while self.idx < self.threads {
+            if self.idx == self.me {
+                self.idx += 1;
+                continue;
+            }
+            self.phase = RcuSyncPhase::ExamineOnline;
+            return FragStep::Emit(Op::Load {
+                addr: self.online(self.idx),
+                tag: MemTag::Barrier,
+                consume: true,
+            });
+        }
+        self.phase = RcuSyncPhase::Finished;
+        FragStep::Done
+    }
+
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            RcuSyncPhase::Fence => {
+                // Updater stores must be globally visible before readers
+                // can observe the new generation.
+                self.phase = RcuSyncPhase::BumpGen;
+                FragStep::Emit(Op::Fence(FenceKind::Full))
+            }
+            RcuSyncPhase::BumpGen => {
+                self.phase = RcuSyncPhase::TakeTarget;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.gen,
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Barrier,
+                    consume: true,
+                })
+            }
+            RcuSyncPhase::TakeTarget => {
+                self.target = last.expect("old generation consumed").wrapping_add(1);
+                self.idx = 0;
+                self.next_reader()
+            }
+            RcuSyncPhase::ExamineOnline => {
+                if last.expect("online flag consumed") == 0 {
+                    self.idx += 1;
+                    self.next_reader()
+                } else {
+                    self.phase = RcuSyncPhase::ExamineQuies;
+                    FragStep::Emit(Op::Load {
+                        addr: self.quies(self.idx),
+                        tag: MemTag::Barrier,
+                        consume: true,
+                    })
+                }
+            }
+            RcuSyncPhase::ExamineQuies => {
+                let quies = last.expect("quiescent generation consumed");
+                if (quies.wrapping_sub(self.target) as i64) >= 0 {
+                    self.idx += 1;
+                    self.next_reader()
+                } else {
+                    // Not there yet: the reader may also have gone
+                    // offline since we looked — re-check the flag.
+                    self.phase = RcuSyncPhase::ExamineOnline;
+                    FragStep::Emit(Op::Load {
+                        addr: self.online(self.idx),
+                        tag: MemTag::Barrier,
+                        consume: true,
+                    })
+                }
+            }
+            RcuSyncPhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HazardPhase {
+    ReadPtr,
+    Publish,
+    Fence,
+    Validate,
+    Check,
+    Finished,
+}
+
+/// Hazard-pointer protect: read the shared pointer, publish it in this
+/// thread's hazard slot, full-fence (the store-load ordering SMR needs),
+/// then re-read the pointer; a mismatch means the object may already be
+/// retired, so re-publish and try again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HazardProtectState {
+    ptr: Addr,
+    slot: Addr,
+    candidate: u64,
+    phase: HazardPhase,
+}
+
+impl HazardProtectState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            HazardPhase::ReadPtr => {
+                self.phase = HazardPhase::Publish;
+                FragStep::Emit(Op::Load {
+                    addr: self.ptr,
+                    tag: MemTag::Data,
+                    consume: true,
+                })
+            }
+            HazardPhase::Publish => {
+                self.candidate = last.expect("pointer value consumed");
+                self.phase = HazardPhase::Fence;
+                FragStep::Emit(store(self.slot, self.candidate, MemTag::Lock))
+            }
+            HazardPhase::Fence => {
+                self.phase = HazardPhase::Validate;
+                FragStep::Emit(Op::Fence(FenceKind::Full))
+            }
+            HazardPhase::Validate => {
+                self.phase = HazardPhase::Check;
+                FragStep::Emit(Op::Load {
+                    addr: self.ptr,
+                    tag: MemTag::Data,
+                    consume: true,
+                })
+            }
+            HazardPhase::Check => {
+                let now = last.expect("pointer value consumed");
+                if now == self.candidate {
+                    self.phase = HazardPhase::Finished;
+                    FragStep::Done
+                } else {
+                    self.candidate = now;
+                    self.phase = HazardPhase::Fence;
+                    FragStep::Emit(store(self.slot, self.candidate, MemTag::Lock))
+                }
+            }
+            HazardPhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+/// The shared words of one Chase-Lev work-stealing deque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeAddrs {
+    /// Thieves' end index (only ever incremented, via CAS).
+    pub top: Addr,
+    /// Owner's end index (owner-only plain stores).
+    pub bottom: Addr,
+    /// Base of the circular task buffer.
+    pub buf: Addr,
+    /// Buffer capacity minus one; capacity must be a power of two.
+    pub mask: u64,
+}
+
+impl DequeAddrs {
+    /// The buffer word holding index `i`.
+    pub fn slot(&self, i: u64) -> Addr {
+        self.buf.offset((i & self.mask) * WORD)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DequePushPhase {
+    ReadBottom,
+    StoreTask,
+    PubFence,
+    Publish,
+    Finished,
+}
+
+/// Owner-side Chase-Lev push: write the task into `buf[bottom]`, release
+/// fence, publish `bottom + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequePushState {
+    deque: DequeAddrs,
+    task: u64,
+    bottom: u64,
+    phase: DequePushPhase,
+}
+
+impl DequePushState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            DequePushPhase::ReadBottom => {
+                self.phase = DequePushPhase::StoreTask;
+                FragStep::Emit(Op::Load {
+                    addr: self.deque.bottom,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            DequePushPhase::StoreTask => {
+                self.bottom = last.expect("bottom consumed");
+                self.phase = DequePushPhase::PubFence;
+                FragStep::Emit(store(self.deque.slot(self.bottom), self.task, MemTag::Data))
+            }
+            DequePushPhase::PubFence => {
+                self.phase = DequePushPhase::Publish;
+                FragStep::Emit(Op::Fence(FenceKind::Release))
+            }
+            DequePushPhase::Publish => {
+                self.phase = DequePushPhase::Finished;
+                FragStep::Emit(store(
+                    self.deque.bottom,
+                    self.bottom.wrapping_add(1),
+                    MemTag::Lock,
+                ))
+            }
+            DequePushPhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DequeTakePhase {
+    ReadBottom,
+    Shrink,
+    Fence,
+    ReadTop,
+    Compare,
+    TakeEasy,
+    TakeRace,
+    RaceResult,
+    BumpClaimed,
+    BumpExecuted,
+    Finished,
+}
+
+/// Owner-side Chase-Lev take: tentatively shrink `bottom`, full-fence
+/// (the store must be visible before `top` is read — the classic
+/// Chase-Lev store-load fence), then either take locally, race a thief
+/// with CAS on `top` for the last element, or restore `bottom` on empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeTakeState {
+    deque: DequeAddrs,
+    claimed: Addr,
+    executed: Addr,
+    b: u64,
+    t: u64,
+    task: u64,
+    took: bool,
+    phase: DequeTakePhase,
+}
+
+impl DequeTakeState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            DequeTakePhase::ReadBottom => {
+                self.phase = DequeTakePhase::Shrink;
+                FragStep::Emit(Op::Load {
+                    addr: self.deque.bottom,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            DequeTakePhase::Shrink => {
+                self.b = last.expect("bottom consumed").wrapping_sub(1);
+                self.phase = DequeTakePhase::Fence;
+                FragStep::Emit(store(self.deque.bottom, self.b, MemTag::Lock))
+            }
+            DequeTakePhase::Fence => {
+                self.phase = DequeTakePhase::ReadTop;
+                FragStep::Emit(Op::Fence(FenceKind::Full))
+            }
+            DequeTakePhase::ReadTop => {
+                self.phase = DequeTakePhase::Compare;
+                FragStep::Emit(Op::Load {
+                    addr: self.deque.top,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            DequeTakePhase::Compare => {
+                self.t = last.expect("top consumed");
+                let len = self.b.wrapping_sub(self.t) as i64;
+                if len > 0 {
+                    // More than one element: take without racing.
+                    self.phase = DequeTakePhase::TakeEasy;
+                    FragStep::Emit(Op::Load {
+                        addr: self.deque.slot(self.b),
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
+                } else if len == 0 {
+                    // Last element: race thieves via CAS on top.
+                    self.phase = DequeTakePhase::TakeRace;
+                    FragStep::Emit(Op::Load {
+                        addr: self.deque.slot(self.b),
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
+                } else {
+                    // Empty: restore bottom and give up.
+                    self.took = false;
+                    self.phase = DequeTakePhase::Finished;
+                    FragStep::Emit(store(
+                        self.deque.bottom,
+                        self.b.wrapping_add(1),
+                        MemTag::Lock,
+                    ))
+                }
+            }
+            DequeTakePhase::TakeEasy => {
+                self.task = last.expect("task consumed");
+                self.took = true;
+                self.phase = DequeTakePhase::BumpExecuted;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.claimed.offset(self.task * WORD),
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Data,
+                    consume: false,
+                })
+            }
+            DequeTakePhase::TakeRace => {
+                self.task = last.expect("task consumed");
+                self.phase = DequeTakePhase::RaceResult;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.deque.top,
+                    rmw: RmwOp::Cas {
+                        expected: self.t,
+                        desired: self.t.wrapping_add(1),
+                    },
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            DequeTakePhase::RaceResult => {
+                self.took = last == Some(self.t);
+                // Win or lose, the deque is now empty: restore bottom.
+                self.phase = if self.took {
+                    DequeTakePhase::BumpClaimed
+                } else {
+                    DequeTakePhase::Finished
+                };
+                FragStep::Emit(store(
+                    self.deque.bottom,
+                    self.b.wrapping_add(1),
+                    MemTag::Lock,
+                ))
+            }
+            DequeTakePhase::BumpClaimed => {
+                self.phase = DequeTakePhase::BumpExecuted;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.claimed.offset(self.task * WORD),
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Data,
+                    consume: false,
+                })
+            }
+            DequeTakePhase::BumpExecuted => {
+                self.phase = DequeTakePhase::Finished;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.executed,
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Barrier,
+                    consume: false,
+                })
+            }
+            DequeTakePhase::Finished => FragStep::Done,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DequeStealPhase {
+    ReadTop,
+    AcqFence,
+    ReadBottom,
+    Compare,
+    Cas,
+    CasResult,
+    BumpExecuted,
+    Finished,
+}
+
+/// Thief-side Chase-Lev steal: read `top`, acquire-fence, read `bottom`;
+/// if non-empty, read the task then CAS `top` forward to claim it. A lost
+/// CAS means another thief (or the owner's last-element take) won.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeStealState {
+    deque: DequeAddrs,
+    claimed: Addr,
+    executed: Addr,
+    t: u64,
+    task: u64,
+    took: bool,
+    phase: DequeStealPhase,
+}
+
+impl DequeStealState {
+    fn next(&mut self, last: Option<u64>) -> FragStep {
+        match self.phase {
+            DequeStealPhase::ReadTop => {
+                self.phase = DequeStealPhase::AcqFence;
+                FragStep::Emit(Op::Load {
+                    addr: self.deque.top,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            DequeStealPhase::AcqFence => {
+                self.t = last.expect("top consumed");
+                self.phase = DequeStealPhase::ReadBottom;
+                FragStep::Emit(Op::Fence(FenceKind::Acquire))
+            }
+            DequeStealPhase::ReadBottom => {
+                self.phase = DequeStealPhase::Compare;
+                FragStep::Emit(Op::Load {
+                    addr: self.deque.bottom,
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            DequeStealPhase::Compare => {
+                let b = last.expect("bottom consumed");
+                if (b.wrapping_sub(self.t) as i64) <= 0 {
+                    self.took = false;
+                    self.phase = DequeStealPhase::Finished;
+                    FragStep::Done
+                } else {
+                    self.phase = DequeStealPhase::Cas;
+                    FragStep::Emit(Op::Load {
+                        addr: self.deque.slot(self.t),
+                        tag: MemTag::Data,
+                        consume: true,
+                    })
+                }
+            }
+            DequeStealPhase::Cas => {
+                self.task = last.expect("task consumed");
+                self.phase = DequeStealPhase::CasResult;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.deque.top,
+                    rmw: RmwOp::Cas {
+                        expected: self.t,
+                        desired: self.t.wrapping_add(1),
+                    },
+                    tag: MemTag::Lock,
+                    consume: true,
+                })
+            }
+            DequeStealPhase::CasResult => {
+                if last == Some(self.t) {
+                    self.took = true;
+                    self.phase = DequeStealPhase::BumpExecuted;
+                    FragStep::Emit(Op::Rmw {
+                        addr: self.claimed.offset(self.task * WORD),
+                        rmw: RmwOp::FetchAdd(1),
+                        tag: MemTag::Data,
+                        consume: false,
+                    })
+                } else {
+                    self.took = false;
+                    self.phase = DequeStealPhase::Finished;
+                    FragStep::Done
+                }
+            }
+            DequeStealPhase::BumpExecuted => {
+                self.phase = DequeStealPhase::Finished;
+                FragStep::Emit(Op::Rmw {
+                    addr: self.executed,
+                    rmw: RmwOp::FetchAdd(1),
+                    tag: MemTag::Barrier,
+                    consume: false,
+                })
+            }
+            DequeStealPhase::Finished => FragStep::Done,
         }
     }
 }
@@ -674,5 +1614,452 @@ mod ticket_tests {
             }
         }
         assert!(b_done, "B must acquire after release");
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    //! Regression tests for the sentinel encodings removed from the lock
+    //! fragments: every ticket/generation value must work, including 0
+    //! and `u64::MAX`, and addresses are never overloaded as progress
+    //! markers.
+
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn apply(mem: &mut BTreeMap<u64, u64>, op: Op) -> Option<u64> {
+        match op {
+            Op::Load { addr, consume, .. } => {
+                consume.then(|| mem.get(&addr.0).copied().unwrap_or(0))
+            }
+            Op::Rmw {
+                addr, rmw, consume, ..
+            } => {
+                let old = mem.get(&addr.0).copied().unwrap_or(0);
+                mem.insert(addr.0, rmw.apply(old));
+                consume.then_some(old)
+            }
+            Op::Store { addr, value, .. } => {
+                mem.insert(addr.0, value);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn run(frag: &mut SyncFrag, mem: &mut BTreeMap<u64, u64>) -> Vec<Op> {
+        let mut ops = Vec::new();
+        let mut last = None;
+        for _ in 0..200 {
+            match frag.next(last) {
+                FragStep::Done => return ops,
+                FragStep::Emit(op) => {
+                    last = apply(mem, op);
+                    ops.push(op);
+                }
+            }
+        }
+        panic!("fragment did not finish: {frag:?}");
+    }
+
+    #[test]
+    fn ticket_with_max_value_ticket_acquires() {
+        // The counter sits at u64::MAX: the drawn ticket IS u64::MAX and
+        // now_serving equals it. The old offset-by-one encoding treated
+        // this ticket as "not yet drawn" forever and livelocked.
+        let mut mem = BTreeMap::new();
+        mem.insert(0x40, u64::MAX); // next_ticket
+        mem.insert(0x80, u64::MAX); // now_serving
+        let mut f = SyncFrag::ticket_acquire(Addr(0x40), Addr(0x80));
+        let ops = run(&mut f, &mut mem);
+        assert_eq!(ops.len(), 3, "draw, one spin read, fence: {ops:?}");
+        assert_eq!(mem.get(&0x40), Some(&0), "ticket counter wrapped");
+
+        // Release wraps now_serving to 0; the next ticket (0) gets in.
+        let mut r = SyncFrag::ticket_release(Addr(0x80));
+        run(&mut r, &mut mem);
+        assert_eq!(mem.get(&0x80), Some(&0));
+        let mut g = SyncFrag::ticket_acquire(Addr(0x40), Addr(0x80));
+        let ops = run(&mut g, &mut mem);
+        assert_eq!(ops.len(), 3, "wrapped successor acquires: {ops:?}");
+    }
+
+    #[test]
+    fn ticket_zero_serving_does_not_admit_ticket_one() {
+        // Drawn ticket 1, serving 0: must spin. (The old `serving + 1 ==
+        // my_ticket` comparison happened to work here but overflowed at
+        // serving == u64::MAX; the exact-equality form has no edge.)
+        let mut mem = BTreeMap::new();
+        mem.insert(0x40, 1); // next_ticket: ticket 1 will be drawn
+        let mut f = SyncFrag::ticket_acquire(Addr(0x40), Addr(0x80));
+        let mut last = None;
+        let mut done = false;
+        for _ in 0..10 {
+            match f.next(last) {
+                FragStep::Done => done = true,
+                FragStep::Emit(op) => last = apply(&mut mem, op),
+            }
+        }
+        assert!(!done, "ticket 1 must wait while serving == 0");
+    }
+
+    #[test]
+    fn release_works_at_the_sentinel_address() {
+        // A lock legitimately placed at Addr(u64::MAX): the old code
+        // used that address as its own "store already issued" marker and
+        // finished without ever storing.
+        let mut mem = BTreeMap::new();
+        mem.insert(u64::MAX, 1);
+        let mut f = SyncFrag::release(Addr(u64::MAX));
+        let ops = run(&mut f, &mut mem);
+        assert_eq!(ops.len(), 2, "fence then store: {ops:?}");
+        assert_eq!(mem.get(&u64::MAX), Some(&0), "lock actually released");
+    }
+
+    #[test]
+    fn barrier_generation_wraps_at_max() {
+        let mut mem = BTreeMap::new();
+        // Generation at the boundary; A arrives first and spins with
+        // my_gen == u64::MAX.
+        mem.insert(0xc0, u64::MAX);
+        let mut a = SyncFrag::barrier(Addr(0x80), Addr(0xc0), 2);
+        let mut la = None;
+        for _ in 0..3 {
+            if let FragStep::Emit(op) = a.next(la) {
+                la = apply(&mut mem, op);
+            }
+        }
+        // B is last: resets the counter and bumps the generation, which
+        // wraps to 0.
+        let mut b = SyncFrag::barrier(Addr(0x80), Addr(0xc0), 2);
+        run(&mut b, &mut mem);
+        assert_eq!(mem.get(&0xc0), Some(&0), "generation wrapped");
+        // A observes 0 != u64::MAX and is released.
+        let mut done = false;
+        for _ in 0..5 {
+            match a.next(la) {
+                FragStep::Done => {
+                    done = true;
+                    break;
+                }
+                FragStep::Emit(op) => la = apply(&mut mem, op),
+            }
+        }
+        assert!(done, "spinner must be released across the wrap");
+    }
+
+    #[test]
+    fn barrier_survives_counter_at_max() {
+        // Arrival counter seeded at u64::MAX: the old non-wrapping
+        // `arrivals + 1` aborted in debug builds.
+        let mut mem = BTreeMap::new();
+        mem.insert(0x80, u64::MAX);
+        let mut f = SyncFrag::barrier(Addr(0x80), Addr(0xc0), 2);
+        let mut last = None;
+        for _ in 0..6 {
+            if let FragStep::Emit(op) = f.next(last) {
+                last = apply(&mut mem, op);
+            }
+        }
+        // Not the last arriver (MAX + 1 wraps to 0 != 2): must be
+        // spinning on the generation, not finished and not panicked.
+        assert!(
+            matches!(f, SyncFrag::Barrier(_)),
+            "still waiting at the barrier"
+        );
+    }
+}
+
+#[cfg(test)]
+mod modern_tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn apply(mem: &mut BTreeMap<u64, u64>, op: Op) -> Option<u64> {
+        match op {
+            Op::Load { addr, consume, .. } => {
+                consume.then(|| mem.get(&addr.0).copied().unwrap_or(0))
+            }
+            Op::Rmw {
+                addr, rmw, consume, ..
+            } => {
+                let old = mem.get(&addr.0).copied().unwrap_or(0);
+                mem.insert(addr.0, rmw.apply(old));
+                consume.then_some(old)
+            }
+            Op::Store { addr, value, .. } => {
+                mem.insert(addr.0, value);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn run(frag: &mut SyncFrag, mem: &mut BTreeMap<u64, u64>) -> Vec<Op> {
+        let mut ops = Vec::new();
+        let mut last = None;
+        for _ in 0..200 {
+            match frag.next(last) {
+                FragStep::Done => return ops,
+                FragStep::Emit(op) => {
+                    last = apply(mem, op);
+                    ops.push(op);
+                }
+            }
+        }
+        panic!("fragment did not finish: {frag:?}");
+    }
+
+    /// Drives `frag` up to `budget` steps; returns true if it finished.
+    fn drive(
+        frag: &mut SyncFrag,
+        last: &mut Option<u64>,
+        mem: &mut BTreeMap<u64, u64>,
+        budget: usize,
+    ) -> bool {
+        for _ in 0..budget {
+            match frag.next(*last) {
+                FragStep::Done => return true,
+                FragStep::Emit(op) => *last = apply(mem, op),
+            }
+        }
+        false
+    }
+
+    const TAIL: u64 = 0x1000;
+    const NODE_A: u64 = 0x2000;
+    const NODE_B: u64 = 0x2040;
+
+    #[test]
+    fn mcs_uncontended_acquire_then_release_empties_queue() {
+        let mut mem = BTreeMap::new();
+        let mut a = SyncFrag::mcs_acquire(Addr(TAIL), Addr(NODE_A));
+        let ops = run(&mut a, &mut mem);
+        // init next, init locked, publication fence, swap, acquire fence.
+        assert_eq!(ops.len(), 5, "{ops:?}");
+        assert_eq!(mem.get(&TAIL), Some(&NODE_A), "queued as tail");
+        let mut r = SyncFrag::mcs_release(Addr(TAIL), Addr(NODE_A));
+        run(&mut r, &mut mem);
+        assert_eq!(mem.get(&TAIL), Some(&0), "queue empty after release");
+    }
+
+    #[test]
+    fn mcs_handoff_wakes_the_linked_successor() {
+        let mut mem = BTreeMap::new();
+        // A takes the lock.
+        let mut a = SyncFrag::mcs_acquire(Addr(TAIL), Addr(NODE_A));
+        run(&mut a, &mut mem);
+        // B queues behind A and spins on its own node.
+        let mut b = SyncFrag::mcs_acquire(Addr(TAIL), Addr(NODE_B));
+        let mut lb = None;
+        assert!(!drive(&mut b, &mut lb, &mut mem, 20), "B must spin");
+        assert_eq!(mem.get(&NODE_A), Some(&NODE_B), "B linked behind A");
+        // A releases: sees the successor link and clears B's flag.
+        let mut r = SyncFrag::mcs_release(Addr(TAIL), Addr(NODE_A));
+        run(&mut r, &mut mem);
+        assert_eq!(mem.get(&(NODE_B + WORD)), Some(&0), "handoff store");
+        // B's spin now observes 0 and finishes.
+        assert!(drive(&mut b, &mut lb, &mut mem, 20), "B must acquire");
+        // B releases with nobody waiting: CAS empties the tail.
+        let mut rb = SyncFrag::mcs_release(Addr(TAIL), Addr(NODE_B));
+        run(&mut rb, &mut mem);
+        assert_eq!(mem.get(&TAIL), Some(&0));
+    }
+
+    #[test]
+    fn mcs_release_waits_out_a_mid_link_successor() {
+        let mut mem = BTreeMap::new();
+        let mut a = SyncFrag::mcs_acquire(Addr(TAIL), Addr(NODE_A));
+        run(&mut a, &mut mem);
+        // B swaps the tail but has NOT stored the link yet: step B through
+        // init/init/fence/swap only.
+        let mut b = SyncFrag::mcs_acquire(Addr(TAIL), Addr(NODE_B));
+        let mut lb = None;
+        for _ in 0..4 {
+            if let FragStep::Emit(op) = b.next(lb) {
+                lb = apply(&mut mem, op);
+            }
+        }
+        assert_eq!(mem.get(&TAIL), Some(&NODE_B), "B swapped in");
+        assert_eq!(mem.get(&NODE_A).copied().unwrap_or(0), 0, "not linked yet");
+        // A's release: next == 0, CAS fails (tail is B), so it must wait
+        // for the link.
+        let mut r = SyncFrag::mcs_release(Addr(TAIL), Addr(NODE_A));
+        let mut lr = None;
+        assert!(!drive(&mut r, &mut lr, &mut mem, 10), "release must wait");
+        // B finishes its link store (and starts spinning).
+        assert!(!drive(&mut b, &mut lb, &mut mem, 5), "B spins");
+        // Now the release observes the link and hands off.
+        assert!(drive(&mut r, &mut lr, &mut mem, 10), "release completes");
+        assert!(drive(&mut b, &mut lb, &mut mem, 10), "B acquires");
+    }
+
+    #[test]
+    fn clh_handoff_through_predecessor_node() {
+        let mut mem = BTreeMap::new();
+        let mut a = SyncFrag::clh_acquire(Addr(TAIL), Addr(NODE_A));
+        let ops = run(&mut a, &mut mem);
+        // init store, full publication fence, swap, acquire fence.
+        assert_eq!(ops.len(), 4, "{ops:?}");
+        assert_eq!(ops[1], Op::Fence(FenceKind::Full), "publication fence");
+        // B queues and spins on A's node.
+        let mut b = SyncFrag::clh_acquire(Addr(TAIL), Addr(NODE_B));
+        let mut lb = None;
+        assert!(!drive(&mut b, &mut lb, &mut mem, 20), "B must spin");
+        assert_eq!(mem.get(&TAIL), Some(&NODE_B), "B is the tail");
+        // A releases its own node; B sees 0 and enters.
+        let mut r = SyncFrag::release(Addr(NODE_A));
+        run(&mut r, &mut mem);
+        assert!(drive(&mut b, &mut lb, &mut mem, 20), "B must acquire");
+    }
+
+    #[test]
+    fn rcu_sync_waits_for_online_readers_and_skips_offline() {
+        let slots = 0x3000u64;
+        let stride = 64u64;
+        let gen = 0x800u64;
+        let mut mem = BTreeMap::new();
+        mem.insert(gen, 5);
+        // Thread 1: online, last quiesced at gen 5 (stale).
+        mem.insert(slots + stride, 1);
+        mem.insert(slots + stride + WORD, 5);
+        // Thread 2: offline.
+        let mut f = SyncFrag::rcu_sync(Addr(gen), Addr(slots), stride, 3, 0);
+        let mut last = None;
+        assert!(!drive(&mut f, &mut last, &mut mem, 10), "must wait on t1");
+        assert_eq!(mem.get(&gen), Some(&6), "generation bumped");
+        // t1 passes a quiescent state at the new generation.
+        mem.insert(slots + stride + WORD, 6);
+        assert!(drive(&mut f, &mut last, &mut mem, 10), "grace period ends");
+    }
+
+    #[test]
+    fn rcu_sync_generation_comparison_wraps() {
+        let slots = 0x3000u64;
+        let stride = 64u64;
+        let gen = 0x800u64;
+        let mut mem = BTreeMap::new();
+        mem.insert(gen, u64::MAX); // bump wraps the target to 0
+        mem.insert(slots + stride, 1); // t1 online...
+        mem.insert(slots + stride + WORD, u64::MAX); // ...quiesced before
+        let mut f = SyncFrag::rcu_sync(Addr(gen), Addr(slots), stride, 2, 0);
+        let mut last = None;
+        assert!(!drive(&mut f, &mut last, &mut mem, 10), "MAX is before 0");
+        // Reader reaches the wrapped generation.
+        mem.insert(slots + stride + WORD, 0);
+        assert!(drive(&mut f, &mut last, &mut mem, 10), "wrapped compare");
+    }
+
+    #[test]
+    fn hazard_protect_pins_stable_pointer() {
+        let mut mem = BTreeMap::new();
+        mem.insert(0x100, 0x4242);
+        let mut f = SyncFrag::hazard_protect(Addr(0x100), Addr(0x200));
+        let ops = run(&mut f, &mut mem);
+        // read, publish, fence, validate.
+        assert_eq!(ops.len(), 4, "{ops:?}");
+        assert_eq!(ops[2], Op::Fence(FenceKind::Full), "SMR store-load fence");
+        assert_eq!(f.result(), Some(0x4242));
+        assert_eq!(mem.get(&0x200), Some(&0x4242), "hazard published");
+    }
+
+    #[test]
+    fn hazard_protect_retries_on_pointer_change() {
+        let mut mem = BTreeMap::new();
+        mem.insert(0x100, 1);
+        let mut f = SyncFrag::hazard_protect(Addr(0x100), Addr(0x200));
+        let mut last = None;
+        // read + publish + fence.
+        for _ in 0..3 {
+            if let FragStep::Emit(op) = f.next(last) {
+                last = apply(&mut mem, op);
+            }
+        }
+        // The pointer moves under us before validation.
+        mem.insert(0x100, 2);
+        let ops = run(&mut f, &mut mem);
+        // validate (mismatch), re-publish, fence, re-validate (match).
+        assert_eq!(ops.len(), 4, "{ops:?}");
+        assert_eq!(f.result(), Some(2), "pinned the fresh pointer");
+        assert_eq!(mem.get(&0x200), Some(&2));
+    }
+
+    fn deque() -> (DequeAddrs, Addr, Addr) {
+        (
+            DequeAddrs {
+                top: Addr(0x100),
+                bottom: Addr(0x108),
+                buf: Addr(0x200),
+                mask: 7,
+            },
+            Addr(0x300), // claimed base
+            Addr(0x400), // executed counter
+        )
+    }
+
+    #[test]
+    fn deque_lifo_take_fifo_steal() {
+        let (d, claimed, executed) = deque();
+        let mut mem = BTreeMap::new();
+        for task in [10u64, 11, 12] {
+            run(&mut SyncFrag::deque_push(d, task), &mut mem);
+        }
+        assert_eq!(mem.get(&0x108), Some(&3), "bottom advanced");
+
+        // Owner takes from the LIFO end: task 12.
+        let mut t = SyncFrag::deque_take(d, claimed, executed);
+        run(&mut t, &mut mem);
+        assert_eq!(t.result(), Some(1));
+        assert_eq!(mem.get(&(0x300 + 12 * WORD)), Some(&1), "task 12 ran");
+
+        // Thief steals from the FIFO end: task 10.
+        let mut s = SyncFrag::deque_steal(d, claimed, executed);
+        run(&mut s, &mut mem);
+        assert_eq!(s.result(), Some(1));
+        assert_eq!(mem.get(&(0x300 + 10 * WORD)), Some(&1), "task 10 ran");
+
+        // Owner takes the last element (the CAS race path) then hits empty.
+        let mut t2 = SyncFrag::deque_take(d, claimed, executed);
+        run(&mut t2, &mut mem);
+        assert_eq!(t2.result(), Some(1));
+        let mut t3 = SyncFrag::deque_take(d, claimed, executed);
+        run(&mut t3, &mut mem);
+        assert_eq!(t3.result(), Some(0), "deque drained");
+        let mut s2 = SyncFrag::deque_steal(d, claimed, executed);
+        run(&mut s2, &mut mem);
+        assert_eq!(s2.result(), Some(0), "steal sees empty");
+
+        assert_eq!(mem.get(&0x400), Some(&3), "each task executed once");
+        for task in [10u64, 11, 12] {
+            assert_eq!(mem.get(&(0x300 + task * WORD)), Some(&1), "task {task}");
+        }
+    }
+
+    #[test]
+    fn racing_thieves_claim_distinct_tasks() {
+        let (d, claimed, executed) = deque();
+        let mut mem = BTreeMap::new();
+        for task in [20u64, 21] {
+            run(&mut SyncFrag::deque_push(d, task), &mut mem);
+        }
+        // Two thieves step in lockstep up to their CAS on top.
+        let mut s1 = SyncFrag::deque_steal(d, claimed, executed);
+        let mut s2 = SyncFrag::deque_steal(d, claimed, executed);
+        let (mut l1, mut l2) = (None, None);
+        for _ in 0..4 {
+            if let FragStep::Emit(op) = s1.next(l1) {
+                l1 = apply(&mut mem, op);
+            }
+            if let FragStep::Emit(op) = s2.next(l2) {
+                l2 = apply(&mut mem, op);
+            }
+        }
+        // s1's CAS won (applied first); s2's CAS saw top == 1 and lost.
+        assert!(drive(&mut s1, &mut l1, &mut mem, 10));
+        assert!(drive(&mut s2, &mut l2, &mut mem, 10));
+        assert_eq!(s1.result(), Some(1), "winner");
+        assert_eq!(s2.result(), Some(0), "loser retries at the workload level");
+        assert_eq!(mem.get(&(0x300 + 20 * WORD)), Some(&1), "exactly one claim");
+        assert_eq!(mem.get(&0x400), Some(&1), "one execution");
     }
 }

@@ -1,0 +1,400 @@
+//! Litmus-style interleaving checks for the lock fragments: each lock's
+//! *emitted op stream* must keep a counter increment mutually exclusive
+//! under a weak reference memory model — and must demonstrably lose it
+//! when its fences are stripped, proving the fences are load-bearing
+//! rather than decorative.
+//!
+//! # The reference model
+//!
+//! The cycle-accurate simulator drains its store buffer in FIFO order, so
+//! its RMO is store-order-preserving and every lock here happens to be
+//! safe even unfenced. This harness instead checks the fragments as
+//! *portable* algorithms against an abstract RMO that relaxes exactly the
+//! axis real weak machines relax — store order:
+//!
+//! * Each thread executes its ops in program order; stores go into a
+//!   per-thread buffer and become globally visible at a later,
+//!   nondeterministically chosen drain step. Any buffered store may drain
+//!   first, except that same-address stores stay ordered (per-location
+//!   coherence) and no store passes a release marker.
+//! * Loads read the youngest same-address buffered store, else memory.
+//! * `Fence(Release)` drops a marker into the buffer: earlier stores must
+//!   drain before anything after the marker. `Fence(Full)` blocks until
+//!   the buffer is empty. `Fence(Acquire)` is a no-op here (loads already
+//!   execute in program order).
+//! * An RMW reads and writes memory atomically, but may not execute while
+//!   the thread's own buffer holds a same-address store (the core's
+//!   per-location coherence rule for atomics — an RMW issued over a
+//!   buffered same-address store would be silently overwritten when the
+//!   store drains) or any release marker (its store side must not pass a
+//!   release).
+//!
+//! Exploration is exhaustive over this nondeterminism (memoized on full
+//! machine state, so spin loops terminate), with two threads each running
+//! one `acquire; counter += 1; release` round. With the emitted fences,
+//! every reachable stuck state must be a clean terminal with counter
+//! exactly 2; with fences stripped, some terminal execution must lose an
+//! increment.
+
+use std::collections::{BTreeMap, HashSet};
+
+use tenways_cpu::op::{FenceKind, MemTag, Op};
+use tenways_sim::Addr;
+use tenways_workloads::sync::{FragStep, SyncFrag};
+
+const LOCK_A: u64 = 0x100;
+const LOCK_B: u64 = 0x140;
+const COUNTER: u64 = 0x180;
+const NODE: [u64; 2] = [0x200, 0x240];
+const THREADS: usize = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lock {
+    Ttas,
+    Ticket,
+    Mcs,
+    Clh,
+}
+
+impl Lock {
+    fn all() -> [Lock; 4] {
+        [Lock::Ttas, Lock::Ticket, Lock::Mcs, Lock::Clh]
+    }
+
+    fn acquire(self, t: usize) -> SyncFrag {
+        match self {
+            Lock::Ttas => SyncFrag::acquire(Addr(LOCK_A)),
+            Lock::Ticket => SyncFrag::ticket_acquire(Addr(LOCK_A), Addr(LOCK_B)),
+            Lock::Mcs => SyncFrag::mcs_acquire(Addr(LOCK_A), Addr(NODE[t])),
+            Lock::Clh => SyncFrag::clh_acquire(Addr(LOCK_A), Addr(NODE[t])),
+        }
+    }
+
+    fn release(self, t: usize) -> SyncFrag {
+        match self {
+            Lock::Ttas => SyncFrag::release(Addr(LOCK_A)),
+            Lock::Ticket => SyncFrag::ticket_release(Addr(LOCK_B)),
+            Lock::Mcs => SyncFrag::mcs_release(Addr(LOCK_A), Addr(NODE[t])),
+            Lock::Clh => SyncFrag::release(Addr(NODE[t])),
+        }
+    }
+}
+
+/// One store-buffer slot: a pending store or a release-ordering marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sb {
+    St(u64, u64),
+    Rel,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Acquire,
+    CsLoad,
+    CsStore,
+    Release,
+    Done,
+}
+
+/// A thread: its live fragment + critical-section driver, the staged
+/// (next-to-execute) op, and its store buffer.
+#[derive(Debug, Clone)]
+struct Thread {
+    lock: Lock,
+    id: usize,
+    frag: Option<SyncFrag>,
+    phase: Phase,
+    staged: Option<Op>,
+    sb: Vec<Sb>,
+}
+
+impl Thread {
+    fn new(lock: Lock, id: usize, strip: bool) -> Thread {
+        let mut t = Thread {
+            lock,
+            id,
+            frag: Some(lock.acquire(id)),
+            phase: Phase::Acquire,
+            staged: None,
+            sb: Vec::new(),
+        };
+        t.stage(None, strip);
+        t
+    }
+
+    /// Produces the next op in program order, feeding `last` to a
+    /// fragment whose previous op was consume-marked.
+    fn next_raw(&mut self, mut last: Option<u64>) -> Option<Op> {
+        loop {
+            match self.phase {
+                Phase::Acquire | Phase::Release => {
+                    let frag = self.frag.as_mut().expect("fragment live");
+                    match frag.next(last.take()) {
+                        FragStep::Emit(op) => return Some(op),
+                        FragStep::Done => {
+                            self.frag = None;
+                            self.phase = match self.phase {
+                                Phase::Acquire => Phase::CsLoad,
+                                _ => Phase::Done,
+                            };
+                        }
+                    }
+                }
+                Phase::CsLoad => {
+                    self.phase = Phase::CsStore;
+                    return Some(Op::Load {
+                        addr: Addr(COUNTER),
+                        tag: MemTag::Data,
+                        consume: true,
+                    });
+                }
+                Phase::CsStore => {
+                    let seen = last.take().expect("counter value consumed");
+                    self.phase = Phase::Release;
+                    self.frag = Some(self.lock.release(self.id));
+                    return Some(Op::Store {
+                        addr: Addr(COUNTER),
+                        value: seen + 1,
+                        tag: MemTag::Data,
+                    });
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+
+    /// Stages the next op; with `strip`, fences are dropped from the
+    /// stream (they never consume, so the fragment protocol is intact).
+    fn stage(&mut self, mut last: Option<u64>, strip: bool) {
+        loop {
+            match self.next_raw(last.take()) {
+                Some(Op::Fence(_)) if strip => continue,
+                op => {
+                    self.staged = op;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Store-buffer indices eligible to drain: stores with no older
+    /// same-address store and no release marker before them.
+    fn drainable(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, item) in self.sb.iter().enumerate() {
+            match item {
+                Sb::Rel => break,
+                Sb::St(a, _) => {
+                    let shadowed = self.sb[..i]
+                        .iter()
+                        .any(|e| matches!(e, Sb::St(b, _) if b == a));
+                    if !shadowed {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Pops leading release markers (all their predecessors have drained).
+    fn normalize(&mut self) {
+        while matches!(self.sb.first(), Some(Sb::Rel)) {
+            self.sb.remove(0);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    mem: BTreeMap<u64, u64>,
+    threads: Vec<Thread>,
+}
+
+impl State {
+    fn initial(lock: Lock, strip: bool) -> State {
+        State {
+            mem: BTreeMap::new(),
+            threads: (0..THREADS).map(|t| Thread::new(lock, t, strip)).collect(),
+        }
+    }
+
+    fn read(&self, t: usize, addr: u64) -> u64 {
+        self.threads[t]
+            .sb
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Sb::St(a, v) if *a == addr => Some(*v),
+                _ => None,
+            })
+            .unwrap_or_else(|| self.mem.get(&addr).copied().unwrap_or(0))
+    }
+
+    /// Canonical key for the visited set (all fields derive Debug
+    /// deterministically; `mem` is ordered).
+    fn key(&self) -> String {
+        format!("{:?}|{:?}", self.mem, self.threads)
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.phase, Phase::Done) && t.staged.is_none() && t.sb.is_empty())
+    }
+
+    /// All successor states under the model's nondeterminism.
+    fn successors(&self, strip: bool) -> Vec<State> {
+        let mut out = Vec::new();
+        for i in 0..self.threads.len() {
+            // Execute the staged op, if its execution rule allows.
+            if let Some(op) = self.threads[i].staged {
+                match op {
+                    Op::Load { addr, .. } => {
+                        let v = self.read(i, addr.0);
+                        let mut s = self.clone();
+                        s.threads[i].stage(op.consumes().then_some(v), strip);
+                        out.push(s);
+                    }
+                    Op::Store { addr, value, .. } => {
+                        let mut s = self.clone();
+                        s.threads[i].sb.push(Sb::St(addr.0, value));
+                        s.threads[i].stage(None, strip);
+                        out.push(s);
+                    }
+                    Op::Fence(FenceKind::Full) => {
+                        if self.threads[i].sb.is_empty() {
+                            let mut s = self.clone();
+                            s.threads[i].stage(None, strip);
+                            out.push(s);
+                        }
+                    }
+                    Op::Fence(FenceKind::Release) => {
+                        let mut s = self.clone();
+                        s.threads[i].sb.push(Sb::Rel);
+                        // A marker with nothing buffered before it orders
+                        // nothing: pop it immediately so it cannot wedge
+                        // later stores.
+                        s.threads[i].normalize();
+                        s.threads[i].stage(None, strip);
+                        out.push(s);
+                    }
+                    Op::Fence(FenceKind::Acquire) => {
+                        let mut s = self.clone();
+                        s.threads[i].stage(None, strip);
+                        out.push(s);
+                    }
+                    Op::Rmw { addr, rmw, .. } => {
+                        let blocked = self.threads[i].sb.iter().any(|e| {
+                            matches!(e, Sb::Rel) || matches!(e, Sb::St(a, _) if *a == addr.0)
+                        });
+                        if !blocked {
+                            let mut s = self.clone();
+                            let old = s.mem.get(&addr.0).copied().unwrap_or(0);
+                            s.mem.insert(addr.0, rmw.apply(old));
+                            s.threads[i].stage(op.consumes().then_some(old), strip);
+                            out.push(s);
+                        }
+                    }
+                    Op::Compute(_) => {
+                        let mut s = self.clone();
+                        s.threads[i].stage(None, strip);
+                        out.push(s);
+                    }
+                }
+            }
+            // Drain any eligible buffered store.
+            for j in self.threads[i].drainable() {
+                let mut s = self.clone();
+                let Sb::St(a, v) = s.threads[i].sb.remove(j) else {
+                    unreachable!("drainable returns stores");
+                };
+                s.mem.insert(a, v);
+                s.threads[i].normalize();
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+/// Exhaustive exploration result over one lock × strip setting.
+struct Outcome {
+    /// Final counter values over all terminal executions.
+    terminals: HashSet<u64>,
+    /// Reachable states with no successors that are not clean terminals
+    /// (deadlocks: a thread wedged mid-protocol).
+    stuck: Vec<String>,
+    states: usize,
+}
+
+fn explore(lock: Lock, strip: bool) -> Outcome {
+    let mut visited: HashSet<String> = HashSet::new();
+    let mut stack = vec![State::initial(lock, strip)];
+    let mut out = Outcome {
+        terminals: HashSet::new(),
+        stuck: Vec::new(),
+        states: 0,
+    };
+    while let Some(s) = stack.pop() {
+        if !visited.insert(s.key()) {
+            continue;
+        }
+        out.states += 1;
+        assert!(
+            out.states < 2_000_000,
+            "{lock:?} strip={strip}: state space blew up"
+        );
+        let succs = s.successors(strip);
+        if succs.is_empty() {
+            if s.is_terminal() {
+                out.terminals
+                    .insert(s.mem.get(&COUNTER).copied().unwrap_or(0));
+            } else {
+                out.stuck.push(s.key());
+            }
+            continue;
+        }
+        stack.extend(succs);
+    }
+    out
+}
+
+/// With the fences the fragments actually emit, every interleaving the
+/// relaxed model can produce keeps the increments mutually exclusive:
+/// all executions terminate cleanly with counter exactly `THREADS`.
+#[test]
+fn every_lock_is_mutually_exclusive_with_emitted_fences() {
+    for lock in Lock::all() {
+        let out = explore(lock, false);
+        assert!(
+            out.stuck.is_empty(),
+            "{lock:?}: {} deadlocked state(s), first: {}",
+            out.stuck.len(),
+            out.stuck[0]
+        );
+        assert_eq!(
+            out.terminals,
+            HashSet::from([THREADS as u64]),
+            "{lock:?}: some interleaving lost an increment ({} states)",
+            out.states
+        );
+    }
+}
+
+/// With fences stripped from the same streams, store-order relaxation
+/// breaks every lock: some terminal interleaving loses an increment.
+/// This is the proof that the fences above are load-bearing.
+#[test]
+fn every_lock_loses_mutual_exclusion_with_fences_stripped() {
+    for lock in Lock::all() {
+        let out = explore(lock, true);
+        assert!(
+            out.terminals.iter().any(|&c| c < THREADS as u64),
+            "{lock:?}: no fence-free interleaving lost an increment \
+             (terminals {:?} over {} states) — the fences are decorative",
+            out.terminals,
+            out.states
+        );
+    }
+}

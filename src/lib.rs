@@ -74,7 +74,7 @@ pub mod prelude {
         ConsistencyModel, FenceKind, Machine, MachineSpec, MemTag, Op, RmwOp, ScriptProgram,
         ThreadProgram,
     };
-    pub use tenways_sim::{Addr, CoreId, Cycle, MachineConfig};
+    pub use tenways_sim::{Addr, AtomicsConfig, CoreId, Cycle, MachineConfig};
     pub use tenways_waste::{
         ConfigLoadError, EnergyModel, Experiment, ExperimentError, RunRecord, SchedConfig,
         SchedConfigError, SchedMode, SchedModeChoice, SimConfig, WasteBreakdown, WasteCategory,

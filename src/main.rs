@@ -41,6 +41,8 @@ fn usage() -> ! {
   --mesh              use a 2-D mesh interconnect instead of the crossbar
   --msi               use MSI instead of MESI coherence
   --prefetch          enable the next-line L1 prefetcher
+  --atomics <preset>  RMW/fence latency model: off | schweizer (default
+                      off; schweizer = Haswell-calibrated near/far costs)
   --sched <mode>      run-loop scheduler: naive | machine-gap |
                       component-wake | parallel-epoch (default
                       component-wake; results are identical in all modes)
@@ -139,6 +141,14 @@ fn parse_args() -> Args {
             }
             "--sched-workers" => {
                 args.cfg.sched.workers = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--atomics" => {
+                let v = value(&mut i);
+                args.cfg.atomics = match v.as_str() {
+                    "off" => AtomicsConfig::off(),
+                    "schweizer" => AtomicsConfig::schweizer(),
+                    other => fail(format!("unknown atomics preset: {other} (off | schweizer)")),
+                };
             }
             "--mesh" => args.cfg.machine.noc_mesh = true,
             "--msi" => args.cfg.protocol.grant_exclusive = false,
