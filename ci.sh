@@ -131,3 +131,49 @@ test "$(grep -c '"status": "failed"' "$LITMUS_DIR/litmus.json")" = 0
 grep -q '"schema_version": 1' "$LITMUS_DIR/litmus.json"
 grep -q '"spec_divergences": \[\]' "$LITMUS_DIR/litmus.json"
 grep -q '"forbidden_violations": \[\]' "$LITMUS_DIR/litmus.json"
+
+# Serve smoke gate: start the service on an ephemeral loopback port
+# (--max-requests 3 makes it exit on its own), POST the same config
+# twice, and read the counters. The first response must be a miss
+# (cached: false), the second a hit (cached: true) — served from the
+# content-addressed cache without re-simulating — and /stats must read
+# exactly 1 hit, 1 miss, 1 simulation. The serve client is built into
+# the binary, so the gate needs no external HTTP tooling.
+SERVE_DIR=target/serve-smoke
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+cat > "$SERVE_DIR/job.toml" <<'EOF'
+workload = "lu"
+threads = 2
+scale = 1
+EOF
+./target/release/tenways serve --addr 127.0.0.1:0 \
+    --port-file "$SERVE_DIR/port" --cache-dir "$SERVE_DIR/cache" \
+    --max-requests 3 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    test -f "$SERVE_DIR/port" && break
+    sleep 0.1
+done
+SERVE_ADDR=$(cat "$SERVE_DIR/port")
+./target/release/tenways serve --addr "$SERVE_ADDR" \
+    --post "$SERVE_DIR/job.toml" > "$SERVE_DIR/first.json"
+grep -q '"cached": false' "$SERVE_DIR/first.json"
+./target/release/tenways serve --addr "$SERVE_ADDR" \
+    --post "$SERVE_DIR/job.toml" > "$SERVE_DIR/second.json"
+grep -q '"cached": true' "$SERVE_DIR/second.json"
+./target/release/tenways serve --addr "$SERVE_ADDR" --stats \
+    > "$SERVE_DIR/stats.json"
+grep -q '"hits": 1' "$SERVE_DIR/stats.json"
+grep -q '"misses": 1' "$SERVE_DIR/stats.json"
+grep -q '"sim_runs": 1' "$SERVE_DIR/stats.json"
+wait "$SERVE_PID"
+# Both answers carry the same key and the same record bytes.
+test "$(grep '"key"' "$SERVE_DIR/first.json")" = "$(grep '"key"' "$SERVE_DIR/second.json")"
+
+# Serve bench gate: cold miss vs warm hit on the committed-scale path.
+# The binary itself enforces the two hard gates — zero simulations on
+# the hit row, and a >= 100x hit speedup — and exits non-zero otherwise.
+(cd "$BENCH_DIR" && TENWAYS_RESULTS_DIR=. "$OLDPWD/target/release/serve_bench")
+grep -q '"gate_zero_sim_runs": true' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"gate_speedup_ok": true' "$BENCH_DIR/BENCH_serve.json"

@@ -1,0 +1,133 @@
+//! Serve-path benchmark — what the content-addressed result cache buys.
+//!
+//! Submits one configuration to a [`SimService`] cold (a miss that runs
+//! the full simulation) and then hot in a loop (pure cache hits), and
+//! reports both latencies plus the speedup. Two properties are *gated*,
+//! not just reported (exit 1 on violation):
+//!
+//! * the hit row must show **zero simulations** (`sim_runs` stays at the
+//!   cold run's 1) — a hit that simulates is a correctness bug, not a
+//!   slow path;
+//! * the warm hit must be at least [`MIN_SPEEDUP`]× faster than the cold
+//!   miss — the entire point of content-addressed serving.
+//!
+//! Results land in `results/serve_bench.json` and are mirrored to
+//! `BENCH_serve.json` at the current directory.
+
+use std::time::Instant;
+
+use tenways_bench::{
+    banner, write_results_json, write_text_atomic, ServeOptions, SimService, SuiteConfig,
+};
+use tenways_sim::json::Json;
+
+const ID: &str = "serve_bench";
+const TITLE: &str = "serve: content-addressed cache, cold miss vs warm hit";
+
+/// The gate: a warm hit (hash + memory lookup) must beat a cold miss
+/// (full simulation) by at least this factor. Conservative — measured
+/// ratios are orders of magnitude larger.
+const MIN_SPEEDUP: f64 = 100.0;
+
+/// Warm-hit iterations; single hits are too fast to time individually.
+const HIT_ITERS: u32 = 200;
+
+fn main() {
+    let cfg = SuiteConfig::from_env();
+    banner(ID, TITLE, &cfg);
+
+    let dir = std::env::temp_dir().join(format!("tenways-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = SimService::new(ServeOptions {
+        workers: 1,
+        cache_dir: dir.clone(),
+        ..ServeOptions::default()
+    })
+    .expect("open bench cache");
+
+    // Cold: the cache is empty, so this submit runs the simulation.
+    let start = Instant::now();
+    let cold = service.submit(&cfg.sim).expect("cold run");
+    let cold_s = start.elapsed().as_secs_f64();
+    assert!(!cold.cached, "first submit must be a miss");
+    let sim_runs_after_cold = service.sim_runs();
+
+    // Warm: every further submit is a hit; average over many iterations.
+    let start = Instant::now();
+    for _ in 0..HIT_ITERS {
+        let warm = service.submit(&cfg.sim).expect("warm run");
+        assert!(warm.cached, "repeat submit must be a hit");
+        assert_eq!(
+            warm.record.to_string(),
+            cold.record.to_string(),
+            "hit must serve the original record byte-identically"
+        );
+    }
+    let warm_s = start.elapsed().as_secs_f64() / f64::from(HIT_ITERS);
+
+    let hit_sim_runs = service.sim_runs() - sim_runs_after_cold;
+    let speedup = if warm_s > 0.0 {
+        cold_s / warm_s
+    } else {
+        f64::INFINITY
+    };
+    let sim_cycles = cold
+        .record
+        .get("summary")
+        .and_then(|s| s.get("cycles"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+
+    println!(
+        "cold miss : {:>10.3} ms  ({} simulated cycles)",
+        cold_s * 1e3,
+        sim_cycles
+    );
+    println!(
+        "warm hit  : {:>10.6} ms  (avg of {HIT_ITERS}; {} simulations)",
+        warm_s * 1e3,
+        hit_sim_runs
+    );
+    println!("speedup   : {speedup:>10.0}x  (gate: >= {MIN_SPEEDUP}x)");
+
+    let gate_zero_sims = hit_sim_runs == 0;
+    let gate_speedup = speedup >= MIN_SPEEDUP;
+    let rows = vec![
+        Json::obj([
+            ("label", Json::from("cold_miss")),
+            ("cached", Json::Bool(false)),
+            ("wall_s", Json::from(cold_s)),
+            ("sim_runs", Json::U64(sim_runs_after_cold)),
+            ("simulated_cycles", Json::U64(sim_cycles)),
+            ("key", Json::from(cold.key.clone())),
+        ]),
+        Json::obj([
+            ("label", Json::from("warm_hit")),
+            ("cached", Json::Bool(true)),
+            ("wall_s", Json::from(warm_s)),
+            ("hit_iters", Json::from(HIT_ITERS as u64)),
+            // The load-bearing row: a hit performs zero simulation work.
+            ("sim_runs", Json::U64(hit_sim_runs)),
+            ("simulated_cycles", Json::U64(0)),
+            ("speedup_vs_cold", Json::from(speedup)),
+            ("gate_zero_sim_runs", Json::Bool(gate_zero_sims)),
+            ("gate_speedup_ok", Json::Bool(gate_speedup)),
+        ]),
+    ];
+
+    let path = write_results_json(ID, TITLE, &cfg, rows);
+    let text = std::fs::read_to_string(&path).expect("re-read results JSON");
+    write_text_atomic(std::path::Path::new("BENCH_serve.json"), &text)
+        .expect("write BENCH_serve.json");
+    println!("[results] wrote BENCH_serve.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !gate_zero_sims {
+        eprintln!("[{ID}] GATE FAILED: warm hits ran {hit_sim_runs} simulation(s)");
+        std::process::exit(1);
+    }
+    if !gate_speedup {
+        eprintln!("[{ID}] GATE FAILED: speedup {speedup:.1}x < {MIN_SPEEDUP}x");
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use tenways_bench::{banner, write_results_json, SuiteConfig};
+use tenways_bench::{banner, write_results_json, write_text_atomic, SuiteConfig};
 use tenways_cpu::{
     ConsistencyModel, Machine, MachineSpec, Op, ScriptProgram, SpecConfig, ThreadProgram,
 };
@@ -399,7 +399,8 @@ fn main() {
 
     let path = write_results_json(ID, TITLE, &cfg, rows);
     let text = std::fs::read_to_string(&path).expect("re-read results JSON");
-    std::fs::write("BENCH_sim_throughput.json", text).expect("write BENCH_sim_throughput.json");
+    write_text_atomic(std::path::Path::new("BENCH_sim_throughput.json"), &text)
+        .expect("write BENCH_sim_throughput.json");
     println!("[results] wrote BENCH_sim_throughput.json");
 
     if mismatches > 0 {

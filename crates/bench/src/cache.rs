@@ -1,0 +1,399 @@
+//! The content-addressed result cache behind `tenways serve`:
+//! [`ResultCache`].
+//!
+//! Every simulation in this workspace is deterministic, so a completed
+//! `run_record.v1` document is fully identified by the canonical hash of
+//! its configuration ([`SimConfig::cache_key`](tenways_waste::SimConfig::cache_key)).
+//! This module stores those records in two tiers:
+//!
+//! * an **in-memory LRU** of the hottest entries (bounded by
+//!   `mem_capacity`; a disk hit is promoted into it), and
+//! * a **disk store** under the cache directory — one
+//!   `<key>.entry.json` file per record plus an `index.json` listing the
+//!   known keys, both written atomically via the temp-file + rename
+//!   pattern ([`crate::write_json_atomic`]), so a crash mid-write can
+//!   never corrupt an entry or the index.
+//!
+//! Robustness contract: a truncated, garbage, wrong-schema, or
+//! wrong-key entry file is treated as a **miss** — the caller recomputes
+//! and the fresh `put` overwrites the bad bytes. The cache never crashes
+//! on, and never serves, a corrupt entry. A missing or corrupt index is
+//! rebuilt by scanning the directory for entry files.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use tenways_sim::json::Json;
+
+/// Version of the on-disk cache entry / index layout; bumped on any
+/// breaking change. Entries with a different version are misses.
+pub const CACHE_ENTRY_SCHEMA_VERSION: u64 = 1;
+
+/// Counters the cache keeps about its own behaviour (monotonic since
+/// open; the serve layer aggregates these into `/stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the in-memory tier.
+    pub mem_hits: u64,
+    /// Lookups answered from the disk tier (and promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Disk entries rejected as corrupt (counted within `misses`).
+    pub corrupt_entries: u64,
+    /// In-memory entries evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+/// A two-tier (memory LRU + atomic disk store) map from canonical config
+/// hashes to `run_record.v1` JSON trees. See the [module docs](self).
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    mem_capacity: usize,
+    mem: HashMap<String, Json>,
+    /// LRU order: front = least recently used, back = most recent.
+    order: Vec<String>,
+    index: Vec<String>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory and loads the index.
+    /// A corrupt or missing index is rebuilt by scanning for entry files —
+    /// never an error.
+    ///
+    /// `mem_capacity` bounds the in-memory tier (0 disables it; every hit
+    /// then reads disk). The disk tier is unbounded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, mem_capacity: usize) -> Result<ResultCache, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        let mut cache = ResultCache {
+            dir,
+            mem_capacity,
+            mem: HashMap::new(),
+            order: Vec::new(),
+            index: Vec::new(),
+            stats: CacheStats::default(),
+        };
+        cache.index = cache.load_index().unwrap_or_else(|| cache.scan_entries());
+        Ok(cache)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Entries currently held in the memory tier.
+    pub fn len_mem(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Entries the disk index knows about.
+    pub fn len_disk(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The cache's behaviour counters since open.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, checking memory first, then disk. A disk hit is
+    /// promoted into the memory LRU. Any disk problem — unreadable file,
+    /// garbage bytes, wrong schema version, entry recorded under a
+    /// different key — is a miss, never an error.
+    pub fn get(&mut self, key: &str) -> Option<Json> {
+        if let Some(record) = self.mem.get(key).cloned() {
+            self.touch(key);
+            self.stats.mem_hits += 1;
+            return Some(record);
+        }
+        match self.load_entry(key) {
+            Some(record) => {
+                self.stats.disk_hits += 1;
+                self.insert_mem(key.to_string(), record.clone());
+                Some(record)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `record` under `key` in both tiers. The entry file and the
+    /// index are each written atomically; an existing (possibly corrupt)
+    /// entry under the same key is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the disk write fails; the memory tier is
+    /// updated regardless, so the current process still benefits.
+    pub fn put(&mut self, key: &str, record: Json) -> Result<(), String> {
+        let entry = Json::obj([
+            ("schema_version", Json::U64(CACHE_ENTRY_SCHEMA_VERSION)),
+            ("kind", Json::from("cache_entry")),
+            ("key", Json::from(key)),
+            ("record", record.clone()),
+        ]);
+        self.insert_mem(key.to_string(), record);
+        crate::write_json_atomic(&self.entry_path(key), &entry)?;
+        if !self.index.iter().any(|k| k == key) {
+            self.index.push(key.to_string());
+            self.write_index()?;
+        }
+        Ok(())
+    }
+
+    /// Marks `key` most-recently-used in the LRU order.
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    /// Inserts into the memory tier, evicting the least recently used
+    /// entry when the capacity bound is hit.
+    fn insert_mem(&mut self, key: String, record: Json) {
+        if self.mem_capacity == 0 {
+            return;
+        }
+        if self.mem.insert(key.clone(), record).is_some() {
+            self.touch(&key);
+            return;
+        }
+        self.order.push(key);
+        while self.mem.len() > self.mem_capacity {
+            let oldest = self.order.remove(0);
+            self.mem.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        // Keys are hex digests, but sanitize anyway so a hostile key can
+        // never traverse out of the cache directory.
+        let safe: String = key
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        self.dir.join(format!("{safe}.entry.json"))
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.dir.join("index.json")
+    }
+
+    /// Reads and validates one entry file; `None` on any defect.
+    fn load_entry(&mut self, key: &str) -> Option<Json> {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => return None, // absent (or unreadable) = plain miss
+        };
+        let defect = |cache: &mut ResultCache| {
+            cache.stats.corrupt_entries += 1;
+            None
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            return defect(self);
+        };
+        if doc.get("schema_version").and_then(Json::as_u64) != Some(CACHE_ENTRY_SCHEMA_VERSION)
+            || doc.get("kind").and_then(Json::as_str) != Some("cache_entry")
+            || doc.get("key").and_then(Json::as_str) != Some(key)
+        {
+            return defect(self);
+        }
+        match doc.get("record") {
+            Some(record @ Json::Obj(_)) => Some(record.clone()),
+            _ => defect(self),
+        }
+    }
+
+    /// Loads the index file; `None` when absent or corrupt (the caller
+    /// falls back to a directory scan).
+    fn load_index(&self) -> Option<Vec<String>> {
+        let text = std::fs::read_to_string(self.index_path()).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("kind").and_then(Json::as_str) != Some("cache_index")
+            || doc.get("schema_version").and_then(Json::as_u64) != Some(CACHE_ENTRY_SCHEMA_VERSION)
+        {
+            return None;
+        }
+        let entries = doc.get("entries").and_then(Json::as_array)?;
+        entries
+            .iter()
+            .map(|e| e.as_str().map(str::to_string))
+            .collect()
+    }
+
+    /// Rebuilds the key list by scanning the directory for entry files.
+    fn scan_entries(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut keys: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter_map(|name| name.strip_suffix(".entry.json").map(str::to_string))
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    fn write_index(&self) -> Result<(), String> {
+        let doc = Json::obj([
+            ("schema_version", Json::U64(CACHE_ENTRY_SCHEMA_VERSION)),
+            ("kind", Json::from("cache_index")),
+            (
+                "entries",
+                Json::Arr(self.index.iter().map(|k| Json::from(k.clone())).collect()),
+            ),
+        ]);
+        crate::write_json_atomic(&self.index_path(), &doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(n: u64) -> Json {
+        Json::obj([("schema_version", Json::U64(1)), ("cycles", Json::U64(n))])
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tenways-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_then_get_round_trips_both_tiers() {
+        let dir = tmp_dir("roundtrip");
+        let mut cache = ResultCache::open(&dir, 4).unwrap();
+        assert_eq!(cache.get("k1"), None);
+        cache.put("k1", record(7)).unwrap();
+        assert_eq!(cache.get("k1"), Some(record(7)));
+        assert_eq!(cache.stats().mem_hits, 1);
+
+        // A fresh instance over the same directory hits disk.
+        let mut fresh = ResultCache::open(&dir, 4).unwrap();
+        assert_eq!(fresh.len_disk(), 1);
+        assert_eq!(fresh.len_mem(), 0);
+        assert_eq!(fresh.get("k1"), Some(record(7)));
+        assert_eq!(fresh.stats().disk_hits, 1);
+        // ...and the disk hit was promoted into memory.
+        assert_eq!(fresh.len_mem(), 1);
+        assert_eq!(fresh.get("k1"), Some(record(7)));
+        assert_eq!(fresh.stats().mem_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let dir = tmp_dir("lru");
+        let mut cache = ResultCache::open(&dir, 2).unwrap();
+        cache.put("a", record(1)).unwrap();
+        cache.put("b", record(2)).unwrap();
+        // Touch `a` so `b` is the LRU entry when `c` arrives.
+        assert!(cache.get("a").is_some());
+        cache.put("c", record(3)).unwrap();
+        assert_eq!(cache.len_mem(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.mem.contains_key("a"), "recently-used entry survives");
+        assert!(cache.mem.contains_key("c"));
+        assert!(!cache.mem.contains_key("b"), "LRU entry is evicted");
+        // The evicted entry is still served — from disk — and re-promoted.
+        assert_eq!(cache.get("b"), Some(record(2)));
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_memory_tier() {
+        let dir = tmp_dir("mem0");
+        let mut cache = ResultCache::open(&dir, 0).unwrap();
+        cache.put("k", record(1)).unwrap();
+        assert_eq!(cache.len_mem(), 0);
+        assert_eq!(cache.get("k"), Some(record(1)));
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses_and_recoverable() {
+        let dir = tmp_dir("corrupt");
+        let mut cache = ResultCache::open(&dir, 4).unwrap();
+        cache.put("k", record(9)).unwrap();
+        let path = cache.entry_path("k");
+
+        for (tag, bytes) in [
+            ("truncated", &b"{\"schema_version\": 1, \"kind\": \"cac"[..]),
+            ("garbage", &b"\x00\xffnot json at all"[..]),
+            (
+                "wrong-schema",
+                br#"{"schema_version":99,"kind":"cache_entry","key":"k","record":{}}"#,
+            ),
+            (
+                "wrong-key",
+                br#"{"schema_version":1,"kind":"cache_entry","key":"other","record":{}}"#,
+            ),
+            (
+                "wrong-kind",
+                br#"{"schema_version":1,"kind":"index","key":"k","record":{}}"#,
+            ),
+            (
+                "non-object-record",
+                br#"{"schema_version":1,"kind":"cache_entry","key":"k","record":3}"#,
+            ),
+        ] {
+            std::fs::write(&path, bytes).unwrap();
+            let mut fresh = ResultCache::open(&dir, 4).unwrap();
+            assert_eq!(fresh.get("k"), None, "{tag} entry must be a miss");
+            // Recompute-and-overwrite: a put replaces the bad bytes and the
+            // key serves again.
+            fresh.put("k", record(10)).unwrap();
+            let mut reread = ResultCache::open(&dir, 4).unwrap();
+            assert_eq!(reread.get("k"), Some(record(10)), "{tag} recovery");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_missing_index_is_rebuilt_by_scan() {
+        let dir = tmp_dir("index");
+        let mut cache = ResultCache::open(&dir, 4).unwrap();
+        cache.put("aaa", record(1)).unwrap();
+        cache.put("bbb", record(2)).unwrap();
+        let index_path = cache.index_path();
+
+        std::fs::write(&index_path, b"garbage").unwrap();
+        let rebuilt = ResultCache::open(&dir, 4).unwrap();
+        assert_eq!(rebuilt.len_disk(), 2);
+
+        std::fs::remove_file(&index_path).unwrap();
+        let mut rebuilt = ResultCache::open(&dir, 4).unwrap();
+        assert_eq!(rebuilt.len_disk(), 2);
+        assert_eq!(rebuilt.get("aaa"), Some(record(1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_keys_stay_inside_the_cache_dir() {
+        let dir = tmp_dir("hostile");
+        let cache = ResultCache::open(&dir, 4).unwrap();
+        let path = cache.entry_path("../../etc/passwd");
+        assert!(path.starts_with(&dir), "{}", path.display());
+        assert!(!path.to_string_lossy().contains(".."));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -458,10 +458,7 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
         ),
         ("rows", Json::Arr(rows)),
     ]);
-    let mut text = doc.pretty();
-    text.push('\n');
-    std::fs::write(&final_path, text)
-        .map_err(|e| format!("cannot write {}: {e}", final_path.display()))?;
+    crate::write_json_atomic(&final_path, &doc)?;
 
     // A fully-ok sweep needs no checkpoint; otherwise keep it so a later
     // run can reuse the completed rows while retrying the rest.
@@ -556,11 +553,7 @@ fn write_checkpoint(
         ("total", Json::from(total)),
         ("completed", Json::Arr(completed)),
     ]);
-    let tmp = path.with_extension("json.tmp");
-    let mut text = doc.pretty();
-    text.push('\n');
-    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+    crate::write_json_atomic(path, &doc)
 }
 
 /// Loads and validates a checkpoint against this sweep's points. Returns

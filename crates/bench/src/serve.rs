@@ -1,0 +1,846 @@
+//! Simulation-as-a-service: the engine behind `tenways serve`.
+//!
+//! The paper catalogs ways to waste a parallel computer; the most complete
+//! waste this repo could commit is re-running a deterministic simulation
+//! whose answer it already produced. This module turns determinism into
+//! serving capacity:
+//!
+//! * [`SimService`] — accepts [`SimConfig`] jobs, answers repeats from the
+//!   two-tier content-addressed [`ResultCache`] (keyed on
+//!   [`SimConfig::cache_key`]), and dispatches misses onto a persistent
+//!   worker pool whose jobs run under the [`SweepRunner`]'s fail-soft
+//!   containment (`catch_unwind`, retries, per-job wall budget).
+//!   Concurrent requests for the same key are **single-flighted**: one
+//!   simulation runs, every waiter shares its result.
+//! * a minimal HTTP/1.1 layer over [`std::net::TcpListener`] (the build
+//!   environment is offline, so no server crate): [`serve_http`] is the
+//!   accept loop, [`http_call`] the matching client used by the CLI,
+//!   tests, and CI.
+//!
+//! Endpoints (all responses JSON, `Connection: close`):
+//!
+//! | method & path  | body            | response                              |
+//! |----------------|-----------------|---------------------------------------|
+//! | `POST /run`    | `SimConfig` JSON (or TOML with a `toml` content type) | `{schema_version, key, cached, record}` |
+//! | `GET /stats`   | —               | hit/miss counters and cache sizes     |
+//! | `GET /healthz` | —               | `{"ok": true}`                        |
+//!
+//! A hit serves the byte-identical `run_record.v1` document of the
+//! original run without simulating anything; with `workers = 0` the
+//! service is cache-only and a miss is refused with HTTP 503 (this is how
+//! the tests prove hits never simulate).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use tenways_sim::json::{Json, ToJson};
+use tenways_waste::{Experiment, SimConfig};
+
+use crate::cache::ResultCache;
+use crate::sweep::{SweepJob, SweepOptions, SweepRunner};
+
+/// Version of the `POST /run` response document layout; bumped on any
+/// breaking change. Mirrored in `results/schema/serve_response.v1.json`.
+pub const SERVE_RESPONSE_SCHEMA_VERSION: u64 = 1;
+
+/// Largest request (headers + body) the server will read, in bytes.
+const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// Per-connection socket timeout: a stalled peer cannot pin a handler
+/// thread forever. Generous because a miss legitimately blocks for the
+/// whole simulation.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Tuning for a [`SimService`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads simulating cache misses. `0` makes the service
+    /// **cache-only**: every miss is refused ([`ServeError::CacheOnly`]),
+    /// which is also how tests prove a hit never simulates.
+    pub workers: usize,
+    /// In-memory LRU capacity (entries); disk is unbounded.
+    pub mem_capacity: usize,
+    /// Directory of the disk tier (entry files + index).
+    pub cache_dir: PathBuf,
+    /// Extra attempts per failed simulation (SweepRunner retry policy).
+    pub retries: u32,
+    /// Per-job wall budget in milliseconds (cooperative, like sweeps).
+    pub job_budget_ms: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            mem_capacity: 128,
+            cache_dir: crate::results_dir().join("cache"),
+            retries: 0,
+            job_budget_ms: None,
+        }
+    }
+}
+
+/// Why a submitted job produced no record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service is cache-only (`workers = 0`) and the key missed.
+    CacheOnly {
+        /// The canonical key that missed.
+        key: String,
+    },
+    /// The simulation ran and failed (message from the sweep containment:
+    /// experiment error, panic, or timeout).
+    Sim(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::CacheOnly { key } => write!(
+                f,
+                "result {key} is not cached and the worker pool is disabled (workers = 0)"
+            ),
+            ServeError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successfully answered job.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Canonical content-address of the request's configuration.
+    pub key: String,
+    /// Whether the record was served from the cache (`true`) or freshly
+    /// simulated by this request (`false` — also the value joiners of an
+    /// in-flight simulation see, since their request did trigger a wait).
+    pub cached: bool,
+    /// The `run_record.v1` document, byte-identical to the original run.
+    pub record: Json,
+}
+
+impl Answer {
+    /// The `POST /run` response document.
+    pub fn to_response_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::U64(SERVE_RESPONSE_SCHEMA_VERSION)),
+            ("key", Json::from(self.key.clone())),
+            ("cached", Json::Bool(self.cached)),
+            ("record", self.record.clone()),
+        ])
+    }
+}
+
+/// Service-level counters (monotonic since start).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    joined: AtomicU64,
+    sim_runs: AtomicU64,
+    sim_failures: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+/// One in-flight simulation that waiters rendezvous on.
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<Option<Result<Json, String>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Result<Json, String> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*slot {
+                Some(result) => return result.clone(),
+                None => slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+
+    fn fill(&self, result: Result<Json, String>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// A persistent pool of worker threads draining submitted closures.
+/// Dropping the pool closes the queue and joins every worker.
+#[derive(Debug)]
+struct WorkerPool {
+    tx: Option<mpsc::Sender<Box<dyn FnOnce() + Send>>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let (tx, rx) = mpsc::channel::<Box<dyn FnOnce() + Send>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let task = {
+                        let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    match task {
+                        Ok(task) => task(),
+                        Err(_) => break, // queue closed: pool is shutting down
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            threads,
+        }
+    }
+
+    fn submit(&self, task: Box<dyn FnOnce() + Send>) -> Result<(), String> {
+        self.tx
+            .as_ref()
+            .expect("pool queue alive until drop")
+            .send(task)
+            .map_err(|_| "worker pool is shut down".to_string())
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx = None; // close the queue; workers drain and exit
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The simulation service: content-addressed cache in front of a
+/// persistent, fail-soft worker pool. See the [module docs](self).
+#[derive(Debug)]
+pub struct SimService {
+    cache: Arc<Mutex<ResultCache>>,
+    inflight: Arc<Mutex<HashMap<String, Arc<Flight>>>>,
+    counters: Arc<Counters>,
+    runner: Arc<SweepRunner>,
+    pool: Option<WorkerPool>,
+    workers: usize,
+}
+
+impl SimService {
+    /// Opens the cache and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cache directory cannot be created.
+    pub fn new(options: ServeOptions) -> Result<SimService, String> {
+        let cache = ResultCache::open(&options.cache_dir, options.mem_capacity)?;
+        let runner = SweepRunner::with_options(SweepOptions {
+            retries: options.retries,
+            job_budget_ms: options.job_budget_ms,
+            ..SweepOptions::default()
+        });
+        Ok(SimService {
+            cache: Arc::new(Mutex::new(cache)),
+            inflight: Arc::new(Mutex::new(HashMap::new())),
+            counters: Arc::new(Counters::default()),
+            runner: Arc::new(runner),
+            pool: (options.workers > 0).then(|| WorkerPool::new(options.workers)),
+            workers: options.workers,
+        })
+    }
+
+    /// Answers one job: cache hit, join of an identical in-flight
+    /// simulation, or a fresh simulation on the worker pool. Blocks until
+    /// the record is available.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::CacheOnly`] on a miss with `workers = 0`,
+    /// [`ServeError::Sim`] when the simulation itself fails.
+    pub fn submit(&self, cfg: &SimConfig) -> Result<Answer, ServeError> {
+        let key = cfg.cache_key();
+        if let Some(record) = self.lookup(&key) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Answer {
+                key,
+                cached: true,
+                record,
+            });
+        }
+        let Some(pool) = &self.pool else {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::CacheOnly { key });
+        };
+
+        // Single-flight: the first requester of a key launches the
+        // simulation; identical concurrent requests wait on the same
+        // Flight and share the one result.
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    inflight.insert(key.clone(), Arc::clone(&flight));
+                    (Arc::clone(&flight), true)
+                }
+            }
+        };
+        if leader {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            let task = self.simulation_task(key.clone(), cfg.clone(), Arc::clone(&flight));
+            if let Err(e) = pool.submit(task) {
+                // Unblock any joiners that raced in before the failure.
+                self.remove_inflight(&key);
+                flight.fill(Err(e.clone()));
+                return Err(ServeError::Sim(e));
+            }
+        } else {
+            self.counters.joined.fetch_add(1, Ordering::Relaxed);
+        }
+        match flight.wait() {
+            Ok(record) => Ok(Answer {
+                key,
+                cached: false,
+                record,
+            }),
+            Err(e) => Err(ServeError::Sim(e)),
+        }
+    }
+
+    /// The closure a cache miss enqueues: simulate under the runner's
+    /// containment, publish to the cache, then release the flight. The
+    /// cache `put` happens *before* the in-flight entry is removed, so a
+    /// late requester either joins the flight or hits the cache — never
+    /// re-simulates.
+    fn simulation_task(
+        &self,
+        key: String,
+        cfg: SimConfig,
+        flight: Arc<Flight>,
+    ) -> Box<dyn FnOnce() + Send> {
+        let cache = Arc::clone(&self.cache);
+        let counters = Arc::clone(&self.counters);
+        let runner = Arc::clone(&self.runner);
+        let inflight = Arc::clone(&self.inflight);
+        Box::new(move || {
+            let job = SweepJob::new(key.clone(), move || {
+                let record = Experiment::from_config(&cfg)
+                    .map_err(|e| e.to_string())?
+                    .run()
+                    .map_err(|e| e.to_string())?;
+                Ok(record.to_json())
+            });
+            counters.sim_runs.fetch_add(1, Ordering::Relaxed);
+            let outcome = runner.run_one(&job);
+            let result = match outcome.result {
+                Ok(record) => {
+                    let put = {
+                        let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+                        cache.put(&key, record.clone())
+                    };
+                    if let Err(e) = put {
+                        // The record is still correct and still served;
+                        // only persistence degraded.
+                        eprintln!("[serve] cache write for {key} failed: {e}");
+                    }
+                    Ok(record)
+                }
+                Err(e) => {
+                    counters.sim_failures.fetch_add(1, Ordering::Relaxed);
+                    Err(e.to_string())
+                }
+            };
+            {
+                let mut map = inflight.lock().unwrap_or_else(|e| e.into_inner());
+                map.remove(&key);
+            }
+            flight.fill(result);
+        })
+    }
+
+    fn lookup(&self, key: &str) -> Option<Json> {
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.get(key)
+    }
+
+    fn remove_inflight(&self, key: &str) {
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        map.remove(key);
+    }
+
+    /// Counts one handled HTTP request (the CLI's `/stats` reports it).
+    fn count_request(&self) {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one malformed request.
+    fn count_bad_request(&self) {
+        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Simulations started since the service came up. A pure-hit workload
+    /// keeps this at zero — the bench and the CI gate assert on it.
+    pub fn sim_runs(&self) -> u64 {
+        self.counters.sim_runs.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /stats` document.
+    pub fn stats_json(&self) -> Json {
+        let c = &self.counters;
+        let (cache_stats, mem_entries, disk_entries) = {
+            let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            (cache.stats(), cache.len_mem(), cache.len_disk())
+        };
+        Json::obj([
+            ("schema_version", Json::U64(SERVE_RESPONSE_SCHEMA_VERSION)),
+            ("requests", Json::U64(c.requests.load(Ordering::Relaxed))),
+            ("hits", Json::U64(c.hits.load(Ordering::Relaxed))),
+            ("misses", Json::U64(c.misses.load(Ordering::Relaxed))),
+            ("joined", Json::U64(c.joined.load(Ordering::Relaxed))),
+            ("sim_runs", Json::U64(c.sim_runs.load(Ordering::Relaxed))),
+            (
+                "sim_failures",
+                Json::U64(c.sim_failures.load(Ordering::Relaxed)),
+            ),
+            (
+                "bad_requests",
+                Json::U64(c.bad_requests.load(Ordering::Relaxed)),
+            ),
+            ("workers", Json::from(self.workers)),
+            (
+                "cache",
+                Json::obj([
+                    ("mem_entries", Json::from(mem_entries)),
+                    ("disk_entries", Json::from(disk_entries)),
+                    ("mem_hits", Json::U64(cache_stats.mem_hits)),
+                    ("disk_hits", Json::U64(cache_stats.disk_hits)),
+                    ("corrupt_entries", Json::U64(cache_stats.corrupt_entries)),
+                    ("evictions", Json::U64(cache_stats.evictions)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+struct HttpRequest {
+    method: String,
+    path: String,
+    content_type: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request from the stream (size-bounded).
+fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err("request too large".to_string());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head =
+        std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-utf8 header".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or("").to_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(format!("malformed request line `{request_line}`"));
+    }
+    let mut content_length = 0usize;
+    let mut content_type = String::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| format!("bad content-length `{value}`"))?;
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = value.to_ascii_lowercase();
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Err("request body too large".to_string());
+    }
+    let body_start = header_end + 4;
+    let mut body = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| "non-utf8 body".to_string())?;
+    Ok(HttpRequest {
+        method,
+        path,
+        content_type,
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one JSON response and closes the stream.
+fn write_response(stream: &mut TcpStream, status: u16, doc: &Json) {
+    let mut body = doc.pretty();
+    body.push('\n');
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_doc(message: &str) -> Json {
+    Json::obj([("error", Json::from(message))])
+}
+
+/// Handles one connection: parse, route, respond.
+fn handle_connection(service: &SimService, stream: &mut TcpStream, verbose: bool) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    service.count_request();
+    let request = match read_request(stream) {
+        Ok(request) => request,
+        Err(e) => {
+            service.count_bad_request();
+            write_response(stream, 400, &error_doc(&e));
+            return;
+        }
+    };
+    let (status, doc) = route(service, &request);
+    if verbose {
+        eprintln!("[serve] {} {} -> {status}", request.method, request.path);
+    }
+    write_response(stream, status, &doc);
+}
+
+/// Routes a parsed request to the service.
+fn route(service: &SimService, request: &HttpRequest) -> (u16, Json) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/run") => {
+            let parsed = if request.content_type.contains("toml") {
+                SimConfig::from_toml_str(&request.body)
+            } else {
+                SimConfig::from_json_str(&request.body)
+            };
+            let cfg = match parsed {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    service.count_bad_request();
+                    return (400, error_doc(&e.to_string()));
+                }
+            };
+            match service.submit(&cfg) {
+                Ok(answer) => (200, answer.to_response_json()),
+                Err(e @ ServeError::CacheOnly { .. }) => (503, error_doc(&e.to_string())),
+                Err(e @ ServeError::Sim(_)) => (500, error_doc(&e.to_string())),
+            }
+        }
+        ("GET", "/stats") => (200, service.stats_json()),
+        ("GET", "/healthz") => (200, Json::obj([("ok", Json::Bool(true))])),
+        (method, path) => {
+            service.count_bad_request();
+            (
+                404,
+                error_doc(&format!("no such endpoint: {method} {path}")),
+            )
+        }
+    }
+}
+
+/// The accept loop: each connection is handled on its own thread (the
+/// worker pool, not the connection count, bounds simulation concurrency).
+/// With `max_requests` set the loop exits cleanly after that many
+/// connections — how tests and the CI gate shut the server down.
+pub fn serve_http(
+    service: Arc<SimService>,
+    listener: TcpListener,
+    max_requests: Option<u64>,
+    verbose: bool,
+) -> Result<(), String> {
+    let mut handled = 0u64;
+    let mut handlers = Vec::new();
+    for stream in listener.incoming() {
+        let mut stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("[serve] accept failed: {e}");
+                continue;
+            }
+        };
+        let service = Arc::clone(&service);
+        handlers.push(std::thread::spawn(move || {
+            handle_connection(&service, &mut stream, verbose);
+        }));
+        handled += 1;
+        if max_requests.is_some_and(|max| handled >= max) {
+            break;
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// Minimal HTTP client for the server above: one request, one JSON
+/// response. Used by `tenways serve --post/--stats`, the tests, and CI.
+///
+/// # Errors
+///
+/// Returns a message on connection failure or a malformed response.
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &str)>, // (content type, payload)
+) -> Result<(u16, Json), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some((content_type, payload)) = body {
+        request.push_str(&format!(
+            "Content-Type: {content_type}\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        ));
+    } else {
+        request.push_str("\r\n");
+    }
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("receive: {e}"))?;
+    let text = String::from_utf8(response).map_err(|_| "non-utf8 response".to_string())?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response: no header terminator".to_string())?;
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line in `{head}`"))?;
+    let doc = Json::parse(payload).map_err(|e| format!("malformed response body: {e}"))?;
+    Ok((status, doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tenways-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            workload: "lu".to_string(),
+            threads: 2,
+            scale: 1,
+            ..SimConfig::default()
+        }
+    }
+
+    fn service(dir: &std::path::Path, workers: usize) -> SimService {
+        SimService::new(ServeOptions {
+            workers,
+            cache_dir: dir.to_path_buf(),
+            ..ServeOptions::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit_serves_identical_bytes_without_resimulating() {
+        let dir = tmp_dir("hit");
+        let svc = service(&dir, 1);
+        let cfg = small_cfg();
+        let cold = svc.submit(&cfg).unwrap();
+        assert!(!cold.cached);
+        assert_eq!(svc.sim_runs(), 1);
+        let warm = svc.submit(&cfg).unwrap();
+        assert!(warm.cached);
+        assert_eq!(svc.sim_runs(), 1, "a hit must not simulate");
+        assert_eq!(
+            warm.record.to_string(),
+            cold.record.to_string(),
+            "hit must be byte-identical to the original record"
+        );
+        assert_eq!(warm.key, cold.key);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_only_service_serves_hits_and_refuses_misses() {
+        let dir = tmp_dir("cache-only");
+        let cfg = small_cfg();
+        let primed = {
+            let svc = service(&dir, 1);
+            svc.submit(&cfg).unwrap()
+        };
+        // Same cache dir, worker pool disabled: the hit must come back
+        // byte-identical with zero simulations; any other config misses
+        // and is refused.
+        let svc = service(&dir, 0);
+        let hit = svc.submit(&cfg).unwrap();
+        assert!(hit.cached);
+        assert_eq!(svc.sim_runs(), 0);
+        assert_eq!(hit.record.to_string(), primed.record.to_string());
+        let other = SimConfig {
+            seed: 99,
+            ..small_cfg()
+        };
+        match svc.submit(&other) {
+            Err(ServeError::CacheOnly { key }) => assert_eq!(key, other.cache_key()),
+            other => panic!("expected CacheOnly, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_single_flight() {
+        let dir = tmp_dir("joined");
+        let svc = Arc::new(service(&dir, 2));
+        let cfg = small_cfg();
+        let answers: Vec<Answer> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let svc = Arc::clone(&svc);
+                    let cfg = cfg.clone();
+                    scope.spawn(move || svc.submit(&cfg).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // However the four requests interleaved, the simulation ran at
+        // most... exactly once per cache fill: every response is identical.
+        assert_eq!(svc.sim_runs(), 1, "identical requests share one run");
+        let first = answers[0].record.to_string();
+        for a in &answers {
+            assert_eq!(a.record.to_string(), first);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_config_reports_sim_error_and_does_not_cache() {
+        let dir = tmp_dir("fail");
+        let svc = service(&dir, 1);
+        let bad = SimConfig {
+            workload: "no-such-kernel".to_string(),
+            ..small_cfg()
+        };
+        match svc.submit(&bad) {
+            Err(ServeError::Sim(msg)) => assert!(msg.contains("unknown workload"), "{msg}"),
+            other => panic!("expected Sim error, got {other:?}"),
+        }
+        // Failures are not cached: a second submit fails again (runs again).
+        assert_eq!(svc.sim_runs(), 1);
+        assert!(svc.submit(&bad).is_err());
+        assert_eq!(svc.sim_runs(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn http_round_trip_over_loopback() {
+        let dir = tmp_dir("http");
+        let svc = Arc::new(service(&dir, 1));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || serve_http(svc, listener, Some(4), false))
+        };
+
+        let body = r#"{"workload":"lu","threads":2,"scale":1}"#;
+        let (status, first) =
+            http_call(&addr, "POST", "/run", Some(("application/json", body))).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+
+        // Same config as TOML: canonicalization makes it the same key.
+        let toml = "workload = \"lu\"\nthreads = 2\nscale = 1\n";
+        let (status, second) =
+            http_call(&addr, "POST", "/run", Some(("application/toml", toml))).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            second.get("key").and_then(Json::as_str),
+            first.get("key").and_then(Json::as_str)
+        );
+        assert_eq!(
+            second.get("record").unwrap().to_string(),
+            first.get("record").unwrap().to_string()
+        );
+
+        let (status, stats) = http_call(&addr, "GET", "/stats", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("sim_runs").and_then(Json::as_u64), Some(1));
+
+        let (status, err) = http_call(
+            &addr,
+            "POST",
+            "/run",
+            Some(("application/json", r#"{"wrkload":"oops"}"#)),
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+        assert!(err.get("error").is_some());
+
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -319,6 +319,22 @@ impl SweepRunner {
         }
     }
 
+    /// Runs one job on the calling thread with the full fail-soft
+    /// containment — `catch_unwind` panic capture, retry with backoff, the
+    /// per-job wall budget, and cancellation. This is what the `tenways
+    /// serve` worker pool uses per cache miss: the pool owns the threads,
+    /// the runner owns the containment policy.
+    pub fn run_one<T>(&self, job: &SweepJob<T>) -> JobOutcome<T> {
+        if self.cancel.is_cancelled() {
+            return JobOutcome {
+                label: job.label.clone(),
+                attempts: 0,
+                result: Err(SweepError::Cancelled),
+            };
+        }
+        self.attempt(job)
+    }
+
     /// Runs one job to completion, honouring retries, backoff and the
     /// per-job budget.
     fn attempt<T>(&self, job: &SweepJob<T>) -> JobOutcome<T> {

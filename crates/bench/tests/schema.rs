@@ -32,6 +32,33 @@ fn run_record_matches_published_schema() {
 }
 
 #[test]
+fn serve_response_matches_published_schema() {
+    let dir = std::env::temp_dir().join(format!("tenways-serve-schema-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = tenways_bench::SimService::new(tenways_bench::ServeOptions {
+        workers: 1,
+        cache_dir: dir.clone(),
+        ..tenways_bench::ServeOptions::default()
+    })
+    .unwrap();
+    let cfg = SimConfig {
+        threads: 2,
+        scale: 1,
+        ..SimConfig::default()
+    };
+    let schema = repo_schema("serve_response.v1.json");
+    let record_schema = repo_schema("run_record.v1.json");
+    for _ in 0..2 {
+        // Both the miss and the hit response must conform, and the
+        // embedded record is itself a valid run_record.v1.
+        let doc = service.submit(&cfg).unwrap().to_response_json();
+        validate_schema(&doc, &schema).unwrap();
+        validate_schema(doc.get("record").unwrap(), &record_schema).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fig_binary_emits_schema_conforming_json() {
     let out_dir: PathBuf =
         std::env::temp_dir().join(format!("tenways-schema-test-{}", std::process::id()));

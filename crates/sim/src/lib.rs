@@ -16,6 +16,8 @@
 //!   distributions with percentile queries.
 //! * [`rng`] — a small, seedable, splittable PRNG ([`DetRng`]) so every run of
 //!   a simulation is bit-for-bit reproducible from a single seed.
+//! * [`hash`] — canonical-form JSON rendering and an in-tree SHA-256, the
+//!   content-address layer under the `tenways serve` result cache.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod hash;
 pub mod hist;
 pub mod ids;
 pub mod json;
@@ -47,6 +50,7 @@ mod cycle;
 
 pub use config::{AtomicsConfig, AtomicsError, MachineConfig};
 pub use cycle::{Clock, Cycle};
+pub use hash::{canonical, canonical_hash, sha256_hex, Sha256};
 pub use hist::Histogram;
 pub use ids::{Addr, BlockAddr, BlockGeometry, CoreId, NodeId};
 pub use json::{validate_schema, Json, ToJson};

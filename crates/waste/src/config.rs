@@ -436,6 +436,35 @@ impl SimConfig {
             seed: self.seed,
         }
     }
+
+    /// The canonical JSON document of this configuration: the full
+    /// serialization (every field explicit, so defaulted and
+    /// explicitly-set-to-default fields render identically) with keys
+    /// sorted recursively, minus the non-semantic `sched` section.
+    ///
+    /// Because loading normalizes every source — TOML vs JSON text, key
+    /// order, CLI flag overlays, partial documents overlaid onto defaults
+    /// — into this one struct, any two semantically equal configs produce
+    /// a byte-identical canonical document. The scheduler is excluded for
+    /// the same reason [`RunRecord::fingerprint`](crate::RunRecord::fingerprint)
+    /// excludes it: every [`SchedMode`] produces byte-identical results,
+    /// so a result computed under any scheduler answers all of them.
+    pub fn canonical_json(&self) -> Json {
+        let doc = self.to_json();
+        let pairs = match doc {
+            Json::Obj(pairs) => pairs.into_iter().filter(|(k, _)| k != "sched").collect(),
+            other => return tenways_sim::hash::canonical(&other),
+        };
+        tenways_sim::hash::canonical(&Json::Obj(pairs))
+    }
+
+    /// The content-address of this configuration: the SHA-256 hex digest
+    /// of [`canonical_json`](Self::canonical_json)'s compact rendering.
+    /// This is the key of the `tenways serve` result cache — equal keys
+    /// mean interchangeable (deterministic, byte-identical) results.
+    pub fn cache_key(&self) -> String {
+        tenways_sim::hash::sha256_hex(self.canonical_json().to_string().as_bytes())
+    }
 }
 
 impl ToJson for SimConfig {

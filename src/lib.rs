@@ -23,8 +23,10 @@
 //!   microbenchmark.
 //! * [`waste`] — the taxonomy, energy accounting, and the
 //!   [`Experiment`](waste::Experiment) runner.
-//! * [`bench`] — the fail-soft parallel [`SweepRunner`](bench::SweepRunner)
-//!   and the grid-sweep layer behind `tenways sweep`.
+//! * [`bench`] — the fail-soft parallel [`SweepRunner`](bench::SweepRunner),
+//!   the grid-sweep layer behind `tenways sweep`, and the
+//!   content-addressed result cache + [`SimService`](bench::SimService)
+//!   behind `tenways serve`.
 //! * [`litmus`] — the weak-memory conformance harness behind
 //!   `tenways litmus`: litmus-test parsing, interleaving exploration, and
 //!   forbidden-state / speculation-transparency verdicts.

@@ -249,15 +249,14 @@ pub fn main(argv: &[String]) -> ! {
     std::fs::create_dir_all(&dir)
         .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dir.display())));
     let path = dir.join("litmus.json");
-    std::fs::write(&path, &text)
-        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", path.display())));
+    tenways::bench::write_text_atomic(&path, &text).unwrap_or_else(|e| fail(e));
 
     if let Some(dest) = &json {
         if dest == "-" {
             print!("{text}");
         } else {
-            std::fs::write(dest, &text)
-                .unwrap_or_else(|e| fail(format!("cannot write {dest}: {e}")));
+            tenways::bench::write_text_atomic(std::path::Path::new(dest), &text)
+                .unwrap_or_else(|e| fail(e));
         }
     }
 

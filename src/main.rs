@@ -6,6 +6,7 @@
 //! tenways --config sweep.toml --json results/run.json --trace trace.json
 //! tenways sweep --config grid.toml
 //! tenways litmus --corpus
+//! tenways serve --addr 127.0.0.1:7417
 //! tenways --list
 //! ```
 //!
@@ -21,6 +22,7 @@ use tenways::sim::trace::chrome_trace;
 use tenways::waste::report;
 
 mod litmus_cli;
+mod serve_cli;
 mod sweep_cli;
 
 fn usage() -> ! {
@@ -30,6 +32,10 @@ fn usage() -> ! {
                                                      (see tenways sweep --help)
        tenways litmus [--corpus] [options]           weak-memory conformance
                                                      (see tenways litmus --help)
+       tenways serve [options]                       simulation service with a
+                                                     content-addressed result
+                                                     cache (see tenways serve
+                                                     --help)
   --config <path>     load a SimConfig file first (.json is JSON, else TOML)
   --workload <name>   one of: {} | contended (default oltp)
   --model <m>         sc | tso | rmo (default tso)
@@ -86,6 +92,7 @@ fn parse_args() -> Args {
     match argv.first().map(String::as_str) {
         Some("sweep") => sweep_cli::main(&argv[1..]),
         Some("litmus") => litmus_cli::main(&argv[1..]),
+        Some("serve") => serve_cli::main(&argv[1..]),
         _ => {}
     }
 
@@ -194,8 +201,8 @@ fn main() {
     if let (Some(path), Some(events)) = (&args.trace, &events) {
         let mut text = chrome_trace(events).to_string();
         text.push('\n');
-        std::fs::write(path, text).unwrap_or_else(|e| {
-            eprintln!("cannot write {}: {e}", path.display());
+        tenways::bench::write_text_atomic(path, &text).unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
         });
         eprintln!("[trace] wrote {} ({} events)", path.display(), events.len());
@@ -209,10 +216,12 @@ fn main() {
                 .write_all(text.as_bytes())
                 .expect("stdout");
         } else {
-            std::fs::write(dest, text).unwrap_or_else(|e| {
-                eprintln!("cannot write {dest}: {e}");
-                std::process::exit(2);
-            });
+            tenways::bench::write_text_atomic(std::path::Path::new(dest), &text).unwrap_or_else(
+                |e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                },
+            );
             eprintln!("[json] wrote {dest}");
         }
     }
