@@ -167,13 +167,92 @@ grep -q '"cached": true' "$SERVE_DIR/second.json"
 grep -q '"hits": 1' "$SERVE_DIR/stats.json"
 grep -q '"misses": 1' "$SERVE_DIR/stats.json"
 grep -q '"sim_runs": 1' "$SERVE_DIR/stats.json"
+# The stats document must expose the admission-queue gauges and the
+# disk-tier cache counters (the one simulated record is on disk).
+grep -q '"queue_depth": 0' "$SERVE_DIR/stats.json"
+grep -q '"queue_capacity": 256' "$SERVE_DIR/stats.json"
+grep -q '"rejected": 0' "$SERVE_DIR/stats.json"
+grep -q '"disk_entries": 1' "$SERVE_DIR/stats.json"
+grep -q '"evicted": 0' "$SERVE_DIR/stats.json"
 wait "$SERVE_PID"
 # Both answers carry the same key and the same record bytes.
 test "$(grep '"key"' "$SERVE_DIR/first.json")" = "$(grep '"key"' "$SERVE_DIR/second.json")"
 
-# Serve bench gate: cold miss vs warm hit on the committed-scale path.
-# The binary itself enforces the two hard gates — zero simulations on
-# the hit row, and a >= 100x hit speedup — and exits non-zero otherwise.
+# Batch dedup smoke: POST /batch with four byte-identical configs must
+# canonicalize them to one key and cost exactly one simulation —
+# /stats reads sim_runs 1, the report reads unique 1 / deduplicated 3.
+BATCH_DIR=target/serve-batch-smoke
+rm -rf "$BATCH_DIR"
+mkdir -p "$BATCH_DIR"
+cat > "$BATCH_DIR/batch.json" <<'EOF'
+[
+  {"workload": "lu", "threads": 2, "scale": 1},
+  {"workload": "lu", "threads": 2, "scale": 1},
+  {"workload": "lu", "threads": 2, "scale": 1},
+  {"workload": "lu", "threads": 2, "scale": 1}
+]
+EOF
+./target/release/tenways serve --addr 127.0.0.1:0 \
+    --port-file "$BATCH_DIR/port" --cache-dir "$BATCH_DIR/cache" \
+    --max-requests 2 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    test -f "$BATCH_DIR/port" && break
+    sleep 0.1
+done
+SERVE_ADDR=$(cat "$BATCH_DIR/port")
+./target/release/tenways serve --addr "$SERVE_ADDR" \
+    --batch "$BATCH_DIR/batch.json" > "$BATCH_DIR/batch_out.json"
+grep -q '"total": 4' "$BATCH_DIR/batch_out.json"
+grep -q '"unique": 1' "$BATCH_DIR/batch_out.json"
+grep -q '"deduplicated": 3' "$BATCH_DIR/batch_out.json"
+# Status counts are per submitted item: all four answer `computed`, but
+# the dedup means they cost one simulation (asserted via /stats below).
+grep -q '"computed": 4' "$BATCH_DIR/batch_out.json"
+./target/release/tenways serve --addr "$SERVE_ADDR" --stats \
+    > "$BATCH_DIR/stats.json"
+grep -q '"sim_runs": 1' "$BATCH_DIR/stats.json"
+wait "$SERVE_PID"
+
+# Queue-rejection probe: with the admission bound at zero no miss can get
+# a slot, so a fresh POST /run must answer 503 + Retry-After with the
+# structured rejection body (client exit 1), and /stats must count it.
+REJECT_DIR=target/serve-reject-smoke
+rm -rf "$REJECT_DIR"
+mkdir -p "$REJECT_DIR"
+./target/release/tenways serve --addr 127.0.0.1:0 \
+    --port-file "$REJECT_DIR/port" --cache-dir "$REJECT_DIR/cache" \
+    --workers 1 --queue-depth 0 --max-requests 2 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    test -f "$REJECT_DIR/port" && break
+    sleep 0.1
+done
+SERVE_ADDR=$(cat "$REJECT_DIR/port")
+if ./target/release/tenways serve --addr "$SERVE_ADDR" \
+    --post "$SERVE_DIR/job.toml" > "$REJECT_DIR/rejected.json"; then
+    echo "queue-rejection probe: expected a non-zero exit on 503" >&2
+    exit 1
+fi
+grep -q '"status": "rejected"' "$REJECT_DIR/rejected.json"
+grep -q '"retry_after_s": 1' "$REJECT_DIR/rejected.json"
+./target/release/tenways serve --addr "$SERVE_ADDR" --stats \
+    > "$REJECT_DIR/stats.json"
+grep -q '"rejected": 1' "$REJECT_DIR/stats.json"
+grep -q '"sim_runs": 0' "$REJECT_DIR/stats.json"
+wait "$SERVE_PID"
+
+# Serve bench gate: cold miss vs warm hit on the committed-scale path,
+# plus the saturation load generator. The binary itself enforces the hard
+# gates — zero simulations on the hit row, a >= 100x hit speedup, no
+# extra simulations or failures under the hot-key burst (scaling is
+# host-aware), every queue-full client answered (no deadlock) with
+# rejections observed, and batch dedup costing one simulation — and
+# exits non-zero otherwise.
 (cd "$BENCH_DIR" && TENWAYS_RESULTS_DIR=. "$OLDPWD/target/release/serve_bench")
 grep -q '"gate_zero_sim_runs": true' "$BENCH_DIR/BENCH_serve.json"
 grep -q '"gate_speedup_ok": true' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"gate_hot_scaling": true' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"gate_no_deadlock": true' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"gate_rejections_seen": true' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"gate_batch_dedup": true' "$BENCH_DIR/BENCH_serve.json"

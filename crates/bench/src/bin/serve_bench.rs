@@ -1,28 +1,44 @@
-//! Serve-path benchmark — what the content-addressed result cache buys.
+//! Serve-path benchmark — cache economics plus saturation behaviour.
 //!
-//! Submits one configuration to a [`SimService`] cold (a miss that runs
-//! the full simulation) and then hot in a loop (pure cache hits), and
-//! reports both latencies plus the speedup. Two properties are *gated*,
-//! not just reported (exit 1 on violation):
+//! Four sections, each with gated properties (exit 1 on violation):
 //!
-//! * the hit row must show **zero simulations** (`sim_runs` stays at the
-//!   cold run's 1) — a hit that simulates is a correctness bug, not a
-//!   slow path;
-//! * the warm hit must be at least [`MIN_SPEEDUP`]× faster than the cold
-//!   miss — the entire point of content-addressed serving.
+//! 1. **Cold vs warm** (in-process): one configuration submitted cold (a
+//!    miss running the full simulation) and then hot in a loop (pure
+//!    cache hits). Gates: the hit rows show **zero simulations**, and the
+//!    warm hit beats the cold miss by at least [`MIN_SPEEDUP`]×.
+//! 2. **Hot-key load generator** (HTTP loopback): N client threads
+//!    hammer `POST /run` with the warm key through a real listener,
+//!    for N ∈ [`HOT_CLIENTS`]. Rows report saturation requests/sec and
+//!    p50/p99 latency. Gate: zero HTTP failures, zero simulations, and —
+//!    on hosts with enough cores to express it — throughput at the
+//!    widest client count above the single-client run. Hosts without the
+//!    cores (CI containers often expose one) pass vacuously and say so
+//!    via `gate_host_capable: false`, the same convention as the
+//!    `sim_throughput` speedup gate.
+//! 3. **Queue-full behaviour** (HTTP loopback): a deliberately tiny
+//!    server (1 worker, queue depth 1) against a barrier-synchronized
+//!    burst of distinct cold keys. Gates: every request is answered
+//!    (rejection is immediate backpressure, never a blocked connection —
+//!    zero deadlocks) and at least one request actually got the 503.
+//! 4. **Batch dedup** (in-process): `submit_batch` with K identical
+//!    configs. Gate: exactly one simulation.
 //!
 //! Results land in `results/serve_bench.json` and are mirrored to
 //! `BENCH_serve.json` at the current directory.
 
+use std::net::TcpListener;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use tenways_bench::{
-    banner, write_results_json, write_text_atomic, ServeOptions, SimService, SuiteConfig,
+    banner, http_request, serve_http, write_results_json, write_text_atomic, ServeOptions,
+    SimService, SuiteConfig,
 };
-use tenways_sim::json::Json;
+use tenways_sim::json::{Json, ToJson};
+use tenways_waste::SimConfig;
 
 const ID: &str = "serve_bench";
-const TITLE: &str = "serve: content-addressed cache, cold miss vs warm hit";
+const TITLE: &str = "serve: cache economics, hot-key saturation, queue backpressure";
 
 /// The gate: a warm hit (hash + memory lookup) must beat a cold miss
 /// (full simulation) by at least this factor. Conservative — measured
@@ -32,27 +48,167 @@ const MIN_SPEEDUP: f64 = 100.0;
 /// Warm-hit iterations; single hits are too fast to time individually.
 const HIT_ITERS: u32 = 200;
 
+/// Client-thread counts for the hot-key load phases.
+const HOT_CLIENTS: [usize; 3] = [1, 2, 4];
+
+/// The scaling gate needs at least this many host cores to be
+/// expressible; below it the gate passes vacuously.
+const HOT_SCALING_MIN_CORES: usize = 4;
+
+/// Queue-full phase: clients × posts-per-client distinct cold keys
+/// against a 1-worker, 1-slot server. Seeds are pinned (never scaled by
+/// `TENWAYS_FAST`) so the rejection window is deterministic; this list
+/// is empirically vetted — simulation runtime at this scale is strongly
+/// seed-sensitive and these all land near 130 ms in release builds.
+const QF_CLIENTS: usize = 4;
+const QF_POSTS_PER_CLIENT: usize = 2;
+const QF_SEEDS: [u64; 8] = [1, 2, 4, 6, 7, 8, 9, 10];
+
+/// A config slow enough (~130 ms simulated in release) to hold the
+/// queue-full server's single worker while the burst arrives.
+fn qf_config(seed: u64) -> SimConfig {
+    SimConfig {
+        workload: "oltp".to_string(),
+        threads: 8,
+        scale: 96,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// What one HTTP load phase measured.
+struct PhaseResult {
+    requests: usize,
+    wall_s: f64,
+    req_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    /// Transport errors or unexpected statuses (0 on a healthy run).
+    failures: usize,
+    /// HTTP statuses seen, as (status, count).
+    statuses: Vec<(u16, usize)>,
+}
+
+/// Drives `clients` threads × `per_client` POSTs of `bodies` (round-robin
+/// per client) against a fresh listener on `service`. Every client
+/// starts at a barrier so the burst actually overlaps. `expect` is the
+/// set of statuses that count as success.
+fn run_phase(
+    service: &Arc<SimService>,
+    bodies: &[String],
+    clients: usize,
+    per_client: usize,
+    expect: &[u16],
+) -> PhaseResult {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let total = clients * per_client;
+    let server = {
+        let service = Arc::clone(service);
+        std::thread::spawn(move || serve_http(service, listener, Some(total as u64), false))
+    };
+
+    let barrier = Arc::new(Barrier::new(clients));
+    let start = Instant::now();
+    let per_thread: Vec<(Vec<f64>, Vec<u16>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut statuses = Vec::with_capacity(per_client);
+                    let mut failures = 0usize;
+                    barrier.wait();
+                    for i in 0..per_client {
+                        let body = &bodies[(c * per_client + i) % bodies.len()];
+                        let t0 = Instant::now();
+                        match http_request(&addr, "POST", "/run", Some(("application/json", body)))
+                        {
+                            Ok(reply) => {
+                                latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                                statuses.push(reply.status);
+                                if !expect.contains(&reply.status) {
+                                    failures += 1;
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("[{ID}] client {c} request failed: {e}");
+                                failures += 1;
+                            }
+                        }
+                    }
+                    (latencies, statuses, failures)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    server.join().unwrap().expect("serve loop");
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    let mut failures = 0usize;
+    let mut status_counts: Vec<(u16, usize)> = Vec::new();
+    for (lats, statuses, fails) in per_thread {
+        latencies.extend(lats);
+        failures += fails;
+        for status in statuses {
+            match status_counts.iter_mut().find(|(s, _)| *s == status) {
+                Some((_, n)) => *n += 1,
+                None => status_counts.push((status, 1)),
+            }
+        }
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    status_counts.sort();
+    PhaseResult {
+        requests: total,
+        wall_s,
+        req_per_sec: if wall_s > 0.0 {
+            total as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        failures,
+        statuses: status_counts,
+    }
+}
+
 fn main() {
     let cfg = SuiteConfig::from_env();
     banner(ID, TITLE, &cfg);
+    let fast = std::env::var("TENWAYS_FAST").is_ok();
+    let hot_per_client = if fast { 40 } else { 120 };
 
     let dir = std::env::temp_dir().join(format!("tenways-serve-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let service = SimService::new(ServeOptions {
-        workers: 1,
-        cache_dir: dir.clone(),
-        ..ServeOptions::default()
-    })
-    .expect("open bench cache");
+    let service = Arc::new(
+        SimService::new(ServeOptions {
+            workers: 1,
+            cache_dir: dir.join("main"),
+            ..ServeOptions::default()
+        })
+        .expect("open bench cache"),
+    );
 
-    // Cold: the cache is empty, so this submit runs the simulation.
+    // ---- Section 1: cold miss vs warm hit (in-process) ----------------
     let start = Instant::now();
     let cold = service.submit(&cfg.sim).expect("cold run");
     let cold_s = start.elapsed().as_secs_f64();
     assert!(!cold.cached, "first submit must be a miss");
     let sim_runs_after_cold = service.sim_runs();
 
-    // Warm: every further submit is a hit; average over many iterations.
     let start = Instant::now();
     for _ in 0..HIT_ITERS {
         let warm = service.submit(&cfg.sim).expect("warm run");
@@ -92,7 +248,7 @@ fn main() {
 
     let gate_zero_sims = hit_sim_runs == 0;
     let gate_speedup = speedup >= MIN_SPEEDUP;
-    let rows = vec![
+    let mut rows = vec![
         Json::obj([
             ("label", Json::from("cold_miss")),
             ("cached", Json::Bool(false)),
@@ -115,6 +271,167 @@ fn main() {
         ]),
     ];
 
+    // ---- Section 2: hot-key load generator over HTTP loopback ---------
+    // The key is warm from section 1: every request is a pure cache hit,
+    // so requests/sec measures the serving stack, not the simulator.
+    let hot_body = cfg.sim.to_json().to_string();
+    let sims_before_loadgen = service.sim_runs();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut hot_rates: Vec<(usize, f64)> = Vec::new();
+    let mut hot_failures = 0usize;
+    for &clients in &HOT_CLIENTS {
+        let phase = run_phase(
+            &service,
+            std::slice::from_ref(&hot_body),
+            clients,
+            hot_per_client,
+            &[200],
+        );
+        println!(
+            "hot-key   : {clients} client(s)  {:>8.0} req/s  p50 {:>7.0} us  p99 {:>7.0} us  ({} requests, {} failures)",
+            phase.req_per_sec, phase.p50_us, phase.p99_us, phase.requests, phase.failures
+        );
+        hot_failures += phase.failures;
+        hot_rates.push((clients, phase.req_per_sec));
+        rows.push(Json::obj([
+            (
+                "label",
+                Json::from(format!("loadgen/hot/clients={clients}")),
+            ),
+            ("clients", Json::from(clients)),
+            ("requests", Json::from(phase.requests)),
+            ("wall_s", Json::from(phase.wall_s)),
+            ("req_per_sec", Json::from(phase.req_per_sec)),
+            ("p50_us", Json::from(phase.p50_us)),
+            ("p99_us", Json::from(phase.p99_us)),
+            ("http_failures", Json::from(phase.failures)),
+        ]));
+    }
+    let loadgen_sim_runs = service.sim_runs() - sims_before_loadgen;
+
+    // Scaling is only expressible with enough host cores: client threads,
+    // handler threads, and the stats path all need somewhere to run.
+    let host_capable = host_cores >= HOT_SCALING_MIN_CORES;
+    let single_rate = hot_rates.first().map_or(0.0, |&(_, r)| r);
+    let widest_rate = hot_rates.last().map_or(0.0, |&(_, r)| r);
+    let gate_hot_scaling =
+        hot_failures == 0 && loadgen_sim_runs == 0 && (!host_capable || widest_rate > single_rate);
+    println!(
+        "hot gate  : failures={hot_failures} extra_sims={loadgen_sim_runs} host_cores={host_cores} capable={host_capable} => {}",
+        if gate_hot_scaling { "ok" } else { "FAIL" }
+    );
+    rows.push(Json::obj([
+        ("label", Json::from("loadgen/hot/scaling")),
+        ("host_cores", Json::from(host_cores)),
+        ("gate_host_capable", Json::Bool(host_capable)),
+        ("single_client_req_per_sec", Json::from(single_rate)),
+        ("widest_req_per_sec", Json::from(widest_rate)),
+        ("http_failures", Json::from(hot_failures)),
+        ("sim_runs", Json::from(loadgen_sim_runs)),
+        ("gate_hot_scaling", Json::Bool(gate_hot_scaling)),
+    ]));
+
+    // ---- Section 3: queue-full burst against a tiny server ------------
+    // 1 worker, queue depth 1, and a barrier-aligned burst of distinct
+    // cold keys: at most one running + one queued at any moment, so the
+    // burst MUST see rejections — and every request must still get an
+    // immediate answer (backpressure, not blocked connections).
+    let qf_service = Arc::new(
+        SimService::new(ServeOptions {
+            workers: 1,
+            queue_depth: 1,
+            cache_dir: dir.join("queue-full"),
+            ..ServeOptions::default()
+        })
+        .expect("open queue-full cache"),
+    );
+    let qf_bodies: Vec<String> = QF_SEEDS
+        .iter()
+        .take(QF_CLIENTS * QF_POSTS_PER_CLIENT)
+        .map(|&seed| qf_config(seed).to_json().to_string())
+        .collect();
+    let qf = run_phase(
+        &qf_service,
+        &qf_bodies,
+        QF_CLIENTS,
+        QF_POSTS_PER_CLIENT,
+        &[200, 503],
+    );
+    let qf_rejected: usize = qf
+        .statuses
+        .iter()
+        .filter(|(s, _)| *s == 503)
+        .map(|(_, n)| n)
+        .sum();
+    let qf_ok: usize = qf
+        .statuses
+        .iter()
+        .filter(|(s, _)| *s == 200)
+        .map(|(_, n)| n)
+        .sum();
+    let answered: usize = qf.statuses.iter().map(|(_, n)| n).sum();
+    let gate_no_deadlock = answered == qf.requests && qf.failures == 0;
+    let gate_rejections_seen = qf_rejected >= 1;
+    println!(
+        "queue-full: {} requests -> {qf_ok} ok, {qf_rejected} rejected (rejected rate {:.0}%), all answered: {}",
+        qf.requests,
+        100.0 * qf_rejected as f64 / qf.requests as f64,
+        gate_no_deadlock
+    );
+    rows.push(Json::obj([
+        ("label", Json::from("loadgen/queue_full")),
+        ("clients", Json::from(QF_CLIENTS)),
+        ("requests", Json::from(qf.requests)),
+        ("wall_s", Json::from(qf.wall_s)),
+        ("ok", Json::from(qf_ok)),
+        ("rejected", Json::from(qf_rejected)),
+        (
+            "rejection_rate",
+            Json::from(qf_rejected as f64 / qf.requests as f64),
+        ),
+        ("p99_us", Json::from(qf.p99_us)),
+        ("server_rejected_counter", Json::U64(qf_service.rejected())),
+        ("gate_no_deadlock", Json::Bool(gate_no_deadlock)),
+        ("gate_rejections_seen", Json::Bool(gate_rejections_seen)),
+    ]));
+
+    // ---- Section 4: batch dedup (in-process) ---------------------------
+    let bd_service = SimService::new(ServeOptions {
+        workers: 2,
+        cache_dir: dir.join("batch"),
+        ..ServeOptions::default()
+    })
+    .expect("open batch cache");
+    let dup = SimConfig {
+        workload: "lu".to_string(),
+        threads: 2,
+        scale: 1,
+        ..SimConfig::default()
+    };
+    let batch: Vec<(String, SimConfig)> =
+        (0..4).map(|i| (format!("dup{i}"), dup.clone())).collect();
+    let report = bd_service.submit_batch(&batch, None);
+    let gate_batch_dedup = bd_service.sim_runs() == 1
+        && report.unique == 1
+        && report
+            .items
+            .iter()
+            .all(|item| item.status.record().is_some());
+    println!(
+        "batch     : {} duplicate configs -> {} unique, {} simulation(s) => {}",
+        report.items.len(),
+        report.unique,
+        bd_service.sim_runs(),
+        if gate_batch_dedup { "ok" } else { "FAIL" }
+    );
+    rows.push(Json::obj([
+        ("label", Json::from("batch_dedup")),
+        ("configs", Json::from(report.items.len())),
+        ("unique", Json::from(report.unique)),
+        ("sim_runs", Json::U64(bd_service.sim_runs())),
+        ("gate_batch_dedup", Json::Bool(gate_batch_dedup)),
+    ]));
+
     let path = write_results_json(ID, TITLE, &cfg, rows);
     let text = std::fs::read_to_string(&path).expect("re-read results JSON");
     write_text_atomic(std::path::Path::new("BENCH_serve.json"), &text)
@@ -122,12 +439,25 @@ fn main() {
     println!("[results] wrote BENCH_serve.json");
     let _ = std::fs::remove_dir_all(&dir);
 
-    if !gate_zero_sims {
-        eprintln!("[{ID}] GATE FAILED: warm hits ran {hit_sim_runs} simulation(s)");
-        std::process::exit(1);
+    let gates = [
+        (gate_zero_sims, "warm hits ran simulations"),
+        (gate_speedup, "warm speedup below the floor"),
+        (gate_hot_scaling, "hot-key load phase failed"),
+        (
+            gate_no_deadlock,
+            "queue-full burst left requests unanswered",
+        ),
+        (gate_rejections_seen, "queue-full burst saw no rejections"),
+        (gate_batch_dedup, "batch dedup ran extra simulations"),
+    ];
+    let mut bad = false;
+    for (ok, what) in gates {
+        if !ok {
+            eprintln!("[{ID}] GATE FAILED: {what}");
+            bad = true;
+        }
     }
-    if !gate_speedup {
-        eprintln!("[{ID}] GATE FAILED: speedup {speedup:.1}x < {MIN_SPEEDUP}x");
+    if bad {
         std::process::exit(1);
     }
 }

@@ -10,18 +10,37 @@
 //!   `mem_capacity`; a disk hit is promoted into it), and
 //! * a **disk store** under the cache directory — one
 //!   `<key>.entry.json` file per record plus an `index.json` listing the
-//!   known keys, both written atomically via the temp-file + rename
-//!   pattern ([`crate::write_json_atomic`]), so a crash mid-write can
-//!   never corrupt an entry or the index.
+//!   known keys with their byte sizes in access order, both written
+//!   atomically via the temp-file + rename pattern
+//!   ([`crate::write_json_atomic`]), so a crash mid-write can never
+//!   corrupt an entry or the index.
+//!
+//! The disk tier is **byte-budgeted**: when `disk_budget` is set, a `put`
+//! that pushes the tier past the budget evicts least-recently-accessed
+//! entries (file + index row, counted in
+//! [`CacheCounters::disk_evictions`]) until the tier fits again. The
+//! entry being written is never evicted by its own `put`, so a single
+//! record larger than the whole budget still serves — the budget is a
+//! steady-state bound, not an admission filter. Access order is
+//! maintained in memory on every disk hit and persisted on `put`, so the
+//! order survives restarts at put-granularity.
 //!
 //! Robustness contract: a truncated, garbage, wrong-schema, or
 //! wrong-key entry file is treated as a **miss** — the caller recomputes
 //! and the fresh `put` overwrites the bad bytes. The cache never crashes
 //! on, and never serves, a corrupt entry. A missing or corrupt index is
-//! rebuilt by scanning the directory for entry files.
+//! rebuilt by scanning the directory for entry files (byte sizes from
+//! file metadata).
+//!
+//! All behaviour counters live in an [`Arc<CacheCounters>`] of atomics
+//! ([`ResultCache::counters`]): the serve layer's `/stats` endpoint reads
+//! them without taking the cache lock, so stats traffic never contends
+//! with the hot request path.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use tenways_sim::json::Json;
 
@@ -29,8 +48,38 @@ use tenways_sim::json::Json;
 /// breaking change. Entries with a different version are misses.
 pub const CACHE_ENTRY_SCHEMA_VERSION: u64 = 1;
 
-/// Counters the cache keeps about its own behaviour (monotonic since
-/// open; the serve layer aggregates these into `/stats`).
+/// Lock-free behaviour counters shared out of the cache via
+/// [`ResultCache::counters`]. Monotonic counts plus a few gauges; all
+/// relaxed atomics — readers want freshness, not ordering.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from the in-memory tier.
+    pub mem_hits: AtomicU64,
+    /// Lookups answered from the disk tier (and promoted to memory).
+    pub disk_hits: AtomicU64,
+    /// Lookups that found nothing usable.
+    pub misses: AtomicU64,
+    /// Disk entries rejected as corrupt (counted within `misses`).
+    pub corrupt_entries: AtomicU64,
+    /// In-memory entries evicted by the LRU bound.
+    pub mem_evictions: AtomicU64,
+    /// Disk entries evicted by the byte budget.
+    pub disk_evictions: AtomicU64,
+    /// Gauge: entries currently in the memory tier.
+    pub mem_entries: AtomicU64,
+    /// Gauge: entries currently in the disk index.
+    pub disk_entries: AtomicU64,
+    /// Gauge: total bytes the disk tier currently holds.
+    pub disk_bytes: AtomicU64,
+}
+
+impl CacheCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the counters, for tests and reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the in-memory tier.
@@ -43,6 +92,17 @@ pub struct CacheStats {
     pub corrupt_entries: u64,
     /// In-memory entries evicted by the LRU bound.
     pub evictions: u64,
+    /// Disk entries evicted by the byte budget.
+    pub disk_evictions: u64,
+    /// Total bytes the disk tier currently holds.
+    pub disk_bytes: u64,
+}
+
+/// One disk-index row: a key plus the byte size of its entry file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexEntry {
+    key: String,
+    bytes: u64,
 }
 
 /// A two-tier (memory LRU + atomic disk store) map from canonical config
@@ -51,43 +111,67 @@ pub struct CacheStats {
 pub struct ResultCache {
     dir: PathBuf,
     mem_capacity: usize,
+    disk_budget: Option<u64>,
     mem: HashMap<String, Json>,
     /// LRU order: front = least recently used, back = most recent.
     order: Vec<String>,
-    index: Vec<String>,
-    stats: CacheStats,
+    /// Disk index in access order: front = least recently accessed.
+    index: Vec<IndexEntry>,
+    counters: Arc<CacheCounters>,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) the cache directory and loads the index.
-    /// A corrupt or missing index is rebuilt by scanning for entry files —
-    /// never an error.
+    /// Opens (creating if needed) the cache directory and loads the index,
+    /// with an **unbounded** disk tier. A corrupt or missing index is
+    /// rebuilt by scanning for entry files — never an error.
     ///
     /// `mem_capacity` bounds the in-memory tier (0 disables it; every hit
-    /// then reads disk). The disk tier is unbounded.
+    /// then reads disk).
     ///
     /// # Errors
     ///
     /// Returns a message when the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>, mem_capacity: usize) -> Result<ResultCache, String> {
+        ResultCache::open_budgeted(dir, mem_capacity, None)
+    }
+
+    /// [`ResultCache::open`] with a disk-tier byte budget. `None` leaves
+    /// the disk tier unbounded; `Some(bytes)` evicts least-recently-used
+    /// entries on `put` until the tier fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the directory cannot be created.
+    pub fn open_budgeted(
+        dir: impl Into<PathBuf>,
+        mem_capacity: usize,
+        disk_budget: Option<u64>,
+    ) -> Result<ResultCache, String> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
         let mut cache = ResultCache {
             dir,
             mem_capacity,
+            disk_budget,
             mem: HashMap::new(),
             order: Vec::new(),
             index: Vec::new(),
-            stats: CacheStats::default(),
+            counters: Arc::new(CacheCounters::default()),
         };
         cache.index = cache.load_index().unwrap_or_else(|| cache.scan_entries());
+        cache.sync_disk_gauges();
         Ok(cache)
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configured disk budget in bytes (`None` = unbounded).
+    pub fn disk_budget(&self) -> Option<u64> {
+        self.disk_budget
     }
 
     /// Entries currently held in the memory tier.
@@ -100,37 +184,72 @@ impl ResultCache {
         self.index.len()
     }
 
-    /// The cache's behaviour counters since open.
+    /// Total bytes the disk tier currently holds (per the index).
+    pub fn disk_bytes(&self) -> u64 {
+        self.index.iter().map(|e| e.bytes).sum()
+    }
+
+    /// The shared atomic counters: clone the `Arc` to read hit/miss/
+    /// eviction counts and tier gauges without holding the cache lock.
+    pub fn counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// A snapshot of the counters (tests and reports).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let c = &self.counters;
+        CacheStats {
+            mem_hits: c.mem_hits.load(Ordering::Relaxed),
+            disk_hits: c.disk_hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            corrupt_entries: c.corrupt_entries.load(Ordering::Relaxed),
+            evictions: c.mem_evictions.load(Ordering::Relaxed),
+            disk_evictions: c.disk_evictions.load(Ordering::Relaxed),
+            disk_bytes: c.disk_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// Looks up `key`, checking memory first, then disk. A disk hit is
-    /// promoted into the memory LRU. Any disk problem — unreadable file,
-    /// garbage bytes, wrong schema version, entry recorded under a
-    /// different key — is a miss, never an error.
+    /// promoted into the memory LRU and refreshes the key's disk access
+    /// order. Any disk problem — unreadable file, garbage bytes, wrong
+    /// schema version, entry recorded under a different key — is a miss,
+    /// never an error.
     pub fn get(&mut self, key: &str) -> Option<Json> {
         if let Some(record) = self.mem.get(key).cloned() {
             self.touch(key);
-            self.stats.mem_hits += 1;
+            CacheCounters::bump(&self.counters.mem_hits);
             return Some(record);
         }
-        match self.load_entry(key) {
+        match self.load_entry(key, true) {
             Some(record) => {
-                self.stats.disk_hits += 1;
+                CacheCounters::bump(&self.counters.disk_hits);
+                self.touch_disk(key);
                 self.insert_mem(key.to_string(), record.clone());
                 Some(record)
             }
             None => {
-                self.stats.misses += 1;
+                CacheCounters::bump(&self.counters.misses);
                 None
             }
         }
     }
 
+    /// Looks up `key` without counting a hit or a miss and without
+    /// promoting or touching anything — the read-only probe behind
+    /// `GET /jobs/<key>`, whose polls must not skew the hit/miss
+    /// counters or the LRU orders.
+    pub fn peek(&mut self, key: &str) -> Option<Json> {
+        if let Some(record) = self.mem.get(key) {
+            return Some(record.clone());
+        }
+        self.load_entry(key, false)
+    }
+
     /// Stores `record` under `key` in both tiers. The entry file and the
     /// index are each written atomically; an existing (possibly corrupt)
-    /// entry under the same key is overwritten.
+    /// entry under the same key is overwritten. When the disk budget is
+    /// exceeded, least-recently-accessed entries (never the one just
+    /// written) are evicted until the tier fits.
     ///
     /// # Errors
     ///
@@ -144,19 +263,61 @@ impl ResultCache {
             ("record", record.clone()),
         ]);
         self.insert_mem(key.to_string(), record);
-        crate::write_json_atomic(&self.entry_path(key), &entry)?;
-        if !self.index.iter().any(|k| k == key) {
-            self.index.push(key.to_string());
-            self.write_index()?;
+        let mut text = entry.pretty();
+        text.push('\n');
+        let bytes = text.len() as u64;
+        crate::write_text_atomic(&self.entry_path(key), &text)?;
+        if let Some(pos) = self.index.iter().position(|e| e.key == key) {
+            self.index.remove(pos);
         }
-        Ok(())
+        self.index.push(IndexEntry {
+            key: key.to_string(),
+            bytes,
+        });
+        self.enforce_disk_budget();
+        self.sync_disk_gauges();
+        self.write_index()
     }
 
-    /// Marks `key` most-recently-used in the LRU order.
+    /// Evicts least-recently-accessed disk entries until the tier fits
+    /// the budget. The most recent entry (the one a `put` just wrote) is
+    /// never evicted, so an oversized single record still serves.
+    fn enforce_disk_budget(&mut self) {
+        let Some(budget) = self.disk_budget else {
+            return;
+        };
+        while self.disk_bytes() > budget && self.index.len() > 1 {
+            let victim = self.index.remove(0);
+            let _ = std::fs::remove_file(self.entry_path(&victim.key));
+            // The memory tier may still hold the record; that is fine —
+            // it is bounded separately and a re-put restores the file.
+            CacheCounters::bump(&self.counters.disk_evictions);
+        }
+    }
+
+    /// Refreshes the gauge counters after an index mutation.
+    fn sync_disk_gauges(&self) {
+        self.counters
+            .disk_entries
+            .store(self.index.len() as u64, Ordering::Relaxed);
+        self.counters
+            .disk_bytes
+            .store(self.disk_bytes(), Ordering::Relaxed);
+    }
+
+    /// Marks `key` most-recently-used in the memory LRU order.
     fn touch(&mut self, key: &str) {
         if let Some(pos) = self.order.iter().position(|k| k == key) {
             let k = self.order.remove(pos);
             self.order.push(k);
+        }
+    }
+
+    /// Marks `key` most-recently-accessed in the disk index order.
+    fn touch_disk(&mut self, key: &str) {
+        if let Some(pos) = self.index.iter().position(|e| e.key == key) {
+            let e = self.index.remove(pos);
+            self.index.push(e);
         }
     }
 
@@ -174,8 +335,11 @@ impl ResultCache {
         while self.mem.len() > self.mem_capacity {
             let oldest = self.order.remove(0);
             self.mem.remove(&oldest);
-            self.stats.evictions += 1;
+            CacheCounters::bump(&self.counters.mem_evictions);
         }
+        self.counters
+            .mem_entries
+            .store(self.mem.len() as u64, Ordering::Relaxed);
     }
 
     fn entry_path(&self, key: &str) -> PathBuf {
@@ -193,14 +357,17 @@ impl ResultCache {
     }
 
     /// Reads and validates one entry file; `None` on any defect.
-    fn load_entry(&mut self, key: &str) -> Option<Json> {
+    /// `count_defects` suppresses the corrupt counter for [`peek`].
+    fn load_entry(&mut self, key: &str, count_defects: bool) -> Option<Json> {
         let path = self.entry_path(key);
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
             Err(_) => return None, // absent (or unreadable) = plain miss
         };
         let defect = |cache: &mut ResultCache| {
-            cache.stats.corrupt_entries += 1;
+            if count_defects {
+                CacheCounters::bump(&cache.counters.corrupt_entries);
+            }
             None
         };
         let Ok(doc) = Json::parse(&text) else {
@@ -219,8 +386,10 @@ impl ResultCache {
     }
 
     /// Loads the index file; `None` when absent or corrupt (the caller
-    /// falls back to a directory scan).
-    fn load_index(&self) -> Option<Vec<String>> {
+    /// falls back to a directory scan). Accepts both the current
+    /// `{key, bytes}` rows and the legacy bare-string rows (byte sizes
+    /// recovered from file metadata).
+    fn load_index(&self) -> Option<Vec<IndexEntry>> {
         let text = std::fs::read_to_string(self.index_path()).ok()?;
         let doc = Json::parse(&text).ok()?;
         if doc.get("kind").and_then(Json::as_str) != Some("cache_index")
@@ -231,21 +400,43 @@ impl ResultCache {
         let entries = doc.get("entries").and_then(Json::as_array)?;
         entries
             .iter()
-            .map(|e| e.as_str().map(str::to_string))
+            .map(|e| match e {
+                Json::Str(key) => Some(IndexEntry {
+                    bytes: self.file_bytes(key),
+                    key: key.clone(),
+                }),
+                Json::Obj(_) => {
+                    let key = e.get("key")?.as_str()?.to_string();
+                    let bytes = match e.get("bytes").and_then(Json::as_u64) {
+                        Some(bytes) => bytes,
+                        None => self.file_bytes(&key),
+                    };
+                    Some(IndexEntry { key, bytes })
+                }
+                _ => None,
+            })
             .collect()
     }
 
+    fn file_bytes(&self, key: &str) -> u64 {
+        std::fs::metadata(self.entry_path(key)).map_or(0, |m| m.len())
+    }
+
     /// Rebuilds the key list by scanning the directory for entry files.
-    fn scan_entries(&self) -> Vec<String> {
+    fn scan_entries(&self) -> Vec<IndexEntry> {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return Vec::new();
         };
-        let mut keys: Vec<String> = entries
+        let mut keys: Vec<IndexEntry> = entries
             .filter_map(|e| e.ok())
-            .filter_map(|e| e.file_name().into_string().ok())
-            .filter_map(|name| name.strip_suffix(".entry.json").map(str::to_string))
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let key = name.strip_suffix(".entry.json")?.to_string();
+                let bytes = e.metadata().map_or(0, |m| m.len());
+                Some(IndexEntry { key, bytes })
+            })
             .collect();
-        keys.sort();
+        keys.sort_by(|a, b| a.key.cmp(&b.key));
         keys
     }
 
@@ -255,7 +446,17 @@ impl ResultCache {
             ("kind", Json::from("cache_index")),
             (
                 "entries",
-                Json::Arr(self.index.iter().map(|k| Json::from(k.clone())).collect()),
+                Json::Arr(
+                    self.index
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("key", Json::from(e.key.clone())),
+                                ("bytes", Json::U64(e.bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ]);
         crate::write_json_atomic(&self.index_path(), &doc)
@@ -265,9 +466,19 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     fn record(n: u64) -> Json {
         Json::obj([("schema_version", Json::U64(1)), ("cycles", Json::U64(n))])
+    }
+
+    /// A record padded to roughly `kb` kilobytes on disk.
+    fn fat_record(n: u64, kb: usize) -> Json {
+        Json::obj([
+            ("schema_version", Json::U64(1)),
+            ("cycles", Json::U64(n)),
+            ("pad", Json::from("x".repeat(kb * 1024))),
+        ])
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -330,6 +541,128 @@ mod tests {
     }
 
     #[test]
+    fn disk_budget_evicts_least_recently_accessed_first() {
+        let dir = tmp_dir("budget");
+        // ~1 KiB records under a 3.5 KiB budget: the fourth put overflows.
+        let budget = 3 * 1024 + 512;
+        let mut cache = ResultCache::open_budgeted(&dir, 0, Some(budget as u64)).unwrap();
+        cache.put("a", fat_record(1, 1)).unwrap();
+        cache.put("b", fat_record(2, 1)).unwrap();
+        cache.put("c", fat_record(3, 1)).unwrap();
+        assert_eq!(cache.stats().disk_evictions, 0);
+        // Touch `a` (disk hit — mem tier is off) so `b` is the victim.
+        assert!(cache.get("a").is_some());
+        cache.put("d", fat_record(4, 1)).unwrap();
+        assert_eq!(cache.stats().disk_evictions, 1);
+        assert!(cache.disk_bytes() <= budget as u64, "tier fits the budget");
+        assert_eq!(cache.get("b"), None, "least-recently-accessed is gone");
+        assert!(cache.get("a").is_some(), "recently-touched entry survives");
+        assert!(cache.get("d").is_some(), "the new entry is never evicted");
+        assert!(
+            !cache.entry_path("b").exists(),
+            "evicted entry file is removed"
+        );
+
+        // The eviction is durable: a reopen sees the same membership.
+        let mut fresh = ResultCache::open_budgeted(&dir, 0, Some(budget as u64)).unwrap();
+        assert_eq!(fresh.len_disk(), 3);
+        assert_eq!(fresh.get("b"), None);
+        assert!(fresh.get("d").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_entry_exceeds_budget_but_still_serves() {
+        let dir = tmp_dir("oversize");
+        let mut cache = ResultCache::open_budgeted(&dir, 0, Some(512)).unwrap();
+        cache.put("big", fat_record(1, 4)).unwrap();
+        // The entry is larger than the whole budget; it must survive its
+        // own put and keep serving.
+        assert!(cache.get("big").is_some());
+        assert_eq!(cache.len_disk(), 1);
+        // The next put evicts it (it is now the LRU entry).
+        cache.put("big2", fat_record(2, 4)).unwrap();
+        assert_eq!(cache.get("big"), None);
+        assert!(cache.get("big2").is_some());
+        assert_eq!(cache.stats().disk_evictions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_eviction_vs_readers_never_tears() {
+        // Readers and writers share the cache under a mutex with a budget
+        // tight enough to evict constantly. Every get must return either
+        // None (a miss — the entry was evicted) or the exact record that
+        // was put for that key: never a torn or mixed-up entry.
+        let dir = tmp_dir("concurrent");
+        let budget = 2 * 1024 + 512; // ~2 fat entries
+        let cache = Arc::new(Mutex::new(
+            ResultCache::open_budgeted(&dir, 1, Some(budget as u64)).unwrap(),
+        ));
+        let keys: Vec<String> = (0..6).map(|i| format!("key{i}")).collect();
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let cache = Arc::clone(&cache);
+                let keys = keys.clone();
+                scope.spawn(move || {
+                    for round in 0..30 {
+                        let i = (t * 7 + round) % keys.len();
+                        let key = &keys[i];
+                        let mut guard = cache.lock().unwrap();
+                        if round % 3 == 0 {
+                            guard.put(key, fat_record(i as u64, 1)).unwrap();
+                        } else if let Some(record) = guard.get(key) {
+                            assert_eq!(
+                                record.get("cycles").and_then(Json::as_u64),
+                                Some(i as u64),
+                                "entry under {key} served someone else's record"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let guard = cache.lock().unwrap();
+        assert!(guard.disk_bytes() <= budget as u64);
+        assert!(guard.stats().disk_evictions > 0, "budget actually evicted");
+        // Defect path under concurrency: corrupt one survivor, then prove
+        // it reads as a miss and counts as corrupt.
+        drop(guard);
+        let survivor = {
+            let guard = cache.lock().unwrap();
+            guard.index.last().unwrap().key.clone()
+        };
+        let path = {
+            let guard = cache.lock().unwrap();
+            guard.entry_path(&survivor)
+        };
+        std::fs::write(&path, b"torn bytes").unwrap();
+        let mut fresh = ResultCache::open_budgeted(&dir, 0, Some(budget as u64)).unwrap();
+        assert_eq!(fresh.get(&survivor), None, "torn entry must be a miss");
+        assert_eq!(fresh.stats().corrupt_entries, 1);
+        assert_eq!(fresh.stats().misses, 1, "defects still count as misses");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peek_reads_without_counting_or_promoting() {
+        let dir = tmp_dir("peek");
+        let mut cache = ResultCache::open(&dir, 4).unwrap();
+        cache.put("k", record(5)).unwrap();
+        let mut fresh = ResultCache::open(&dir, 4).unwrap();
+        assert_eq!(fresh.peek("k"), Some(record(5)));
+        assert_eq!(fresh.peek("absent"), None);
+        let stats = fresh.stats();
+        assert_eq!(
+            (stats.mem_hits, stats.disk_hits, stats.misses),
+            (0, 0, 0),
+            "peek must not touch the hit/miss counters"
+        );
+        assert_eq!(fresh.len_mem(), 0, "peek must not promote");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_entries_are_misses_and_recoverable() {
         let dir = tmp_dir("corrupt");
         let mut cache = ResultCache::open(&dir, 4).unwrap();
@@ -379,11 +712,31 @@ mod tests {
         std::fs::write(&index_path, b"garbage").unwrap();
         let rebuilt = ResultCache::open(&dir, 4).unwrap();
         assert_eq!(rebuilt.len_disk(), 2);
+        assert!(rebuilt.disk_bytes() > 0, "scan recovers byte sizes");
 
         std::fs::remove_file(&index_path).unwrap();
         let mut rebuilt = ResultCache::open(&dir, 4).unwrap();
         assert_eq!(rebuilt.len_disk(), 2);
         assert_eq!(rebuilt.get("aaa"), Some(record(1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_string_index_entries_still_load() {
+        let dir = tmp_dir("legacy-index");
+        let mut cache = ResultCache::open(&dir, 4).unwrap();
+        cache.put("abc", record(3)).unwrap();
+        // Rewrite the index in the PR-8 format: bare string entries.
+        let legacy = Json::obj([
+            ("schema_version", Json::U64(CACHE_ENTRY_SCHEMA_VERSION)),
+            ("kind", Json::from("cache_index")),
+            ("entries", Json::Arr(vec![Json::from("abc")])),
+        ]);
+        crate::write_json_atomic(&cache.index_path(), &legacy).unwrap();
+        let mut fresh = ResultCache::open(&dir, 4).unwrap();
+        assert_eq!(fresh.len_disk(), 1);
+        assert!(fresh.disk_bytes() > 0, "bytes recovered from metadata");
+        assert_eq!(fresh.get("abc"), Some(record(3)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -42,8 +42,10 @@ use std::sync::Mutex;
 use tenways_sim::json::{Json, ToJson};
 use tenways_waste::{Experiment, SimConfig};
 
+use crate::cache::ResultCache;
+use crate::serve::http_call;
 use crate::sweep::{JobOutcome, SweepError, SweepJob, SweepOptions, SweepRunner};
-use crate::{record_row, BENCH_ROWS_SCHEMA_VERSION};
+use crate::{record_row, record_row_json, BENCH_ROWS_SCHEMA_VERSION};
 
 /// A parsed sweep specification: base config plus grid axes.
 #[derive(Debug, Clone)]
@@ -240,6 +242,11 @@ pub struct SweepParams {
     pub checkpoint_every: usize,
     /// Reuse `ok` rows from an existing checkpoint instead of rerunning.
     pub resume: bool,
+    /// Consult (and fill) the content-addressed [`ResultCache`] at this
+    /// directory: points whose key is already cached become rows without
+    /// simulating, and freshly simulated records are stored for the next
+    /// overlapping grid. `None` (the default) leaves caching off.
+    pub cache_dir: Option<PathBuf>,
     /// Emit per-row progress lines on stderr.
     pub verbose: bool,
 }
@@ -251,6 +258,7 @@ impl Default for SweepParams {
             out_dir: crate::results_dir(),
             checkpoint_every: 1,
             resume: true,
+            cache_dir: None,
             verbose: false,
         }
     }
@@ -271,6 +279,10 @@ pub struct SweepReport {
     pub skipped: usize,
     /// How many `ok` rows came from the checkpoint instead of running.
     pub reused: usize,
+    /// How many `ok` rows came from a result cache (local
+    /// [`SweepParams::cache_dir`] hits, or server-side `cached` answers
+    /// in [`run_sweep_server`]) instead of simulating.
+    pub cached: usize,
 }
 
 impl SweepReport {
@@ -324,6 +336,37 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
                 spec.id,
                 partial_path.display()
             ),
+        }
+    }
+
+    // With a result cache configured, points whose content-address is
+    // already stored become rows without simulating — overlapping grids
+    // (or a grid warmed by `tenways serve`) only pay for the new keys.
+    let cache = match &params.cache_dir {
+        Some(dir) => Some(Mutex::new(ResultCache::open(dir, 64)?)),
+        None => None,
+    };
+    let mut cached = 0usize;
+    if let Some(cache) = &cache {
+        let mut store = cache.lock().unwrap_or_else(|e| e.into_inner());
+        for (i, point) in points.iter().enumerate() {
+            if rows[i].is_some() {
+                continue;
+            }
+            if let Some(record) = store.get(&point.config.cache_key()) {
+                rows[i] = Some(cached_row(point, &record, "hit"));
+                cached += 1;
+                if params.verbose {
+                    eprintln!("[sweep {}] cached {}", spec.id, point.label);
+                }
+            }
+        }
+        if cached > 0 && params.verbose {
+            eprintln!(
+                "[sweep {}] {cached} of {} rows served from the result cache",
+                spec.id,
+                points.len()
+            );
         }
     }
 
@@ -398,6 +441,12 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
                 }
             }
             if let Ok((record, sim_ms)) = &outcome.result {
+                if let Some(cache) = &cache {
+                    let mut store = cache.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Err(e) = store.put(&points[i].config.cache_key(), record.to_json()) {
+                        eprintln!("[sweep {}] cache write failed: {e}", spec.id);
+                    }
+                }
                 let row = ok_row(&points[i], record, *sim_ms, outcome.attempts);
                 let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
                 st.0[i] = Some(row);
@@ -425,6 +474,28 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
         .map(|r| r.expect("every point has a row"))
         .collect();
 
+    let (doc, ok, failed, skipped) = sweep_doc(spec, total, rows);
+    crate::write_json_atomic(&final_path, &doc)?;
+
+    // A fully-ok sweep needs no checkpoint; otherwise keep it so a later
+    // run can reuse the completed rows while retrying the rest.
+    if failed == 0 && skipped == 0 {
+        let _ = std::fs::remove_file(&partial_path);
+    }
+
+    Ok(SweepReport {
+        path: final_path,
+        doc,
+        ok,
+        failed,
+        skipped,
+        reused,
+        cached,
+    })
+}
+
+/// Assembles the final `bench_rows.v1` document and tallies row statuses.
+fn sweep_doc(spec: &SweepSpec, total: usize, rows: Vec<Json>) -> (Json, usize, usize, usize) {
     let (mut ok, mut failed, mut skipped) = (0usize, 0usize, 0usize);
     for row in &rows {
         match row.get("status").and_then(Json::as_str) {
@@ -433,7 +504,6 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
             _ => skipped += 1,
         }
     }
-
     let doc = Json::obj([
         ("schema_version", Json::U64(BENCH_ROWS_SCHEMA_VERSION)),
         ("id", Json::from(spec.id.clone())),
@@ -458,22 +528,7 @@ pub fn run_sweep(spec: &SweepSpec, params: &SweepParams) -> Result<SweepReport, 
         ),
         ("rows", Json::Arr(rows)),
     ]);
-    crate::write_json_atomic(&final_path, &doc)?;
-
-    // A fully-ok sweep needs no checkpoint; otherwise keep it so a later
-    // run can reuse the completed rows while retrying the rest.
-    if failed == 0 && skipped == 0 {
-        let _ = std::fs::remove_file(&partial_path);
-    }
-
-    Ok(SweepReport {
-        path: final_path,
-        doc,
-        ok,
-        failed,
-        skipped,
-        reused,
-    })
+    (doc, ok, failed, skipped)
 }
 
 /// The row for a completed point: the standard headline metrics, the
@@ -528,6 +583,232 @@ fn err_row(point: &SweepPoint, outcome: &JobOutcome<(tenways_waste::RunRecord, f
         ));
     }
     Json::Obj(pairs)
+}
+
+/// The row for a point answered from an already-serialized record (a
+/// local cache hit or a server answer) — the standard metrics via
+/// [`record_row_json`], zero host simulation cost, and a provenance
+/// marker (`"cache": "hit"` locally, `"served": "cached"|"computed"`
+/// in server mode).
+fn record_json_row(point: &SweepPoint, record: &Json, origin: (&str, &str)) -> Json {
+    let mut pairs = match record_row_json(&point.label, record) {
+        Json::Obj(pairs) => pairs,
+        other => vec![("row".to_string(), other)],
+    };
+    pairs.push(("sim_ms".to_string(), Json::F64(0.0)));
+    pairs.push(("sim_cycles_per_sec".to_string(), Json::F64(0.0)));
+    pairs.push((origin.0.to_string(), Json::from(origin.1)));
+    if !point.overlay.is_empty() {
+        pairs.push(("point".to_string(), Json::Obj(point.overlay.to_vec())));
+    }
+    pairs.push(("status".to_string(), Json::from("ok")));
+    Json::Obj(pairs)
+}
+
+/// The row for a local [`ResultCache`] hit.
+fn cached_row(point: &SweepPoint, record: &Json, source: &str) -> Json {
+    record_json_row(point, record, ("cache", source))
+}
+
+/// The row for a point a remote server could not answer.
+fn server_err_row(point: &SweepPoint, status: &str, error: &str) -> Json {
+    let mut pairs = vec![("label".to_string(), Json::from(point.label.clone()))];
+    if !point.overlay.is_empty() {
+        pairs.push(("point".to_string(), Json::Obj(point.overlay.to_vec())));
+    }
+    pairs.push(("status".to_string(), Json::from(status)));
+    pairs.push(("error".to_string(), Json::from(error)));
+    Json::Obj(pairs)
+}
+
+/// How often server mode polls `GET /jobs/<key>` for a queued point.
+const JOB_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// How long server mode waits for one queued point before failing its
+/// row (when the sweep options carry no per-job budget).
+const DEFAULT_SERVER_ROW_BUDGET: std::time::Duration = std::time::Duration::from_secs(600);
+
+/// How long server mode backs off before re-submitting points the
+/// server's admission queue rejected, and how many times it retries.
+const REJECTION_BACKOFF: std::time::Duration = std::time::Duration::from_millis(500);
+const REJECTION_ROUNDS: usize = 40;
+
+/// [`run_sweep`] as a thin client of a running `tenways serve` instance:
+/// the grid expands locally, the whole batch goes to `POST /batch` in one
+/// request (the server canonicalizes, deduplicates, and answers warm keys
+/// from its cache), points the server left `queued` are polled via
+/// `GET /jobs/<key>`, and points its admission queue `rejected` are
+/// re-submitted with backoff. The final document is the same
+/// `bench_rows.v1` layout `run_sweep` writes, with each ok row marked
+/// `"served": "cached"` or `"served": "computed"`.
+///
+/// # Errors
+///
+/// Returns a message for infrastructure problems: a malformed grid, an
+/// unreachable server, a non-200 `/batch` answer, or an unwritable
+/// output directory. Per-point failures (including rejection retries
+/// running out) are reported in the rows, like every other sweep.
+pub fn run_sweep_server(
+    spec: &SweepSpec,
+    addr: &str,
+    params: &SweepParams,
+) -> Result<SweepReport, String> {
+    let points = spec.points()?;
+    std::fs::create_dir_all(&params.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", params.out_dir.display()))?;
+    let final_path = params.out_dir.join(format!("{}.json", spec.id));
+
+    let mut rows: Vec<Option<Json>> = vec![None; points.len()];
+    let mut cached = 0usize;
+    let mut queued: Vec<(usize, String)> = Vec::new();
+    let mut todo: Vec<usize> = (0..points.len()).collect();
+    let mut rounds = 0usize;
+    while !todo.is_empty() {
+        let body = Json::obj([(
+            "configs",
+            Json::Arr(
+                todo.iter()
+                    .map(|&i| {
+                        Json::obj([
+                            ("label", Json::from(points[i].label.clone())),
+                            ("config", points[i].config.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+        .to_string();
+        let (status, doc) = http_call(addr, "POST", "/batch", Some(("application/json", &body)))?;
+        if status != 200 {
+            return Err(format!("server {addr} answered {status} to /batch: {doc}"));
+        }
+        let results = doc
+            .get("results")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("server {addr} sent a /batch body without results"))?;
+        if results.len() != todo.len() {
+            return Err(format!(
+                "server {addr} answered {} results for {} configs",
+                results.len(),
+                todo.len()
+            ));
+        }
+        let mut rejected: Vec<usize> = Vec::new();
+        for (slot, item) in results.iter().enumerate() {
+            let i = todo[slot];
+            let key = item.get("key").and_then(Json::as_str).unwrap_or("");
+            let verdict = item.get("status").and_then(Json::as_str).unwrap_or("?");
+            if params.verbose {
+                eprintln!("[sweep {}] server {verdict} {}", spec.id, points[i].label);
+            }
+            match (verdict, item.get("record")) {
+                ("cached", Some(record)) => {
+                    rows[i] = Some(record_json_row(&points[i], record, ("served", "cached")));
+                    cached += 1;
+                }
+                ("computed", Some(record)) => {
+                    rows[i] = Some(record_json_row(&points[i], record, ("served", "computed")));
+                }
+                ("queued", _) => queued.push((i, key.to_string())),
+                ("rejected", _) => rejected.push(i),
+                ("failed", _) => {
+                    let error = item
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("server reported failure");
+                    rows[i] = Some(server_err_row(&points[i], "failed", error));
+                }
+                (other, _) => {
+                    rows[i] = Some(server_err_row(
+                        &points[i],
+                        "failed",
+                        &format!("unrecognized server batch status `{other}`"),
+                    ));
+                }
+            }
+        }
+        if rejected.is_empty() {
+            break;
+        }
+        rounds += 1;
+        if rounds > REJECTION_ROUNDS {
+            for i in rejected {
+                rows[i] = Some(server_err_row(
+                    &points[i],
+                    "failed",
+                    "server admission queue stayed full through every retry",
+                ));
+            }
+            break;
+        }
+        std::thread::sleep(REJECTION_BACKOFF);
+        todo = rejected;
+    }
+
+    // Poll the points the server accepted but had not finished by its
+    // sync timeout.
+    let row_budget = params
+        .options
+        .job_budget_ms
+        .map_or(DEFAULT_SERVER_ROW_BUDGET, std::time::Duration::from_millis);
+    for (i, key) in queued {
+        let deadline = std::time::Instant::now() + row_budget;
+        loop {
+            let (status, doc) = http_call(addr, "GET", &format!("/jobs/{key}"), None)?;
+            match doc.get("status").and_then(Json::as_str) {
+                Some("done") => {
+                    let record = doc
+                        .get("record")
+                        .ok_or_else(|| format!("server {addr} sent done without a record"))?;
+                    rows[i] = Some(record_json_row(&points[i], record, ("served", "computed")));
+                    break;
+                }
+                Some("failed") => {
+                    let error = doc
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("server reported failure");
+                    rows[i] = Some(server_err_row(&points[i], "failed", error));
+                    break;
+                }
+                Some("pending" | "running") => {}
+                other => {
+                    rows[i] = Some(server_err_row(
+                        &points[i],
+                        "failed",
+                        &format!("server answered {status} / {other:?} while polling {key}"),
+                    ));
+                    break;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                rows[i] = Some(server_err_row(
+                    &points[i],
+                    "failed",
+                    &format!("job {key} still unfinished after {}s", row_budget.as_secs()),
+                ));
+                break;
+            }
+            std::thread::sleep(JOB_POLL_INTERVAL);
+        }
+    }
+
+    let total = points.len();
+    let rows: Vec<Json> = rows
+        .into_iter()
+        .map(|r| r.expect("every point has a row"))
+        .collect();
+    let (doc, ok, failed, skipped) = sweep_doc(spec, total, rows);
+    crate::write_json_atomic(&final_path, &doc)?;
+    Ok(SweepReport {
+        path: final_path,
+        doc,
+        ok,
+        failed,
+        skipped,
+        reused: 0,
+        cached,
+    })
 }
 
 /// Atomically writes the checkpoint document (write-then-rename, so a
@@ -665,5 +946,107 @@ mod tests {
         let points = spec.points().unwrap();
         assert_eq!(points.len(), 2);
         assert!(points.iter().all(|p| p.config.threads == 4));
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tenways-grid-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn local_cache_answers_warm_keys_without_resimulating() {
+        let root = tmp_dir("cache");
+        let spec = SweepSpec::from_toml_str(GRID, "demo").unwrap();
+        let params = SweepParams {
+            out_dir: root.join("out"),
+            cache_dir: Some(root.join("cache")),
+            resume: false,
+            checkpoint_every: 0,
+            ..SweepParams::default()
+        };
+        let cold = run_sweep(&spec, &params).unwrap();
+        assert_eq!(cold.ok, 4);
+        assert_eq!(cold.cached, 0, "first run has nothing cached");
+
+        // Same grid, fresh output: every row must come from the cache,
+        // carry the hit marker, and match the simulated metrics.
+        let warm_params = SweepParams {
+            out_dir: root.join("out2"),
+            ..params.clone()
+        };
+        let warm = run_sweep(&spec, &warm_params).unwrap();
+        assert_eq!(warm.ok, 4);
+        assert_eq!(warm.cached, 4, "second run is all cache hits");
+        let cold_rows = cold.doc.get("rows").and_then(Json::as_array).unwrap();
+        let warm_rows = warm.doc.get("rows").and_then(Json::as_array).unwrap();
+        for (c, w) in cold_rows.iter().zip(warm_rows) {
+            assert_eq!(w.get("cache").and_then(Json::as_str), Some("hit"));
+            for metric in ["label", "cycles", "retired_ops", "consistency_cycles"] {
+                assert_eq!(
+                    c.get(metric).map(Json::to_string),
+                    w.get(metric).map(Json::to_string),
+                    "cached row diverges on {metric}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn server_mode_posts_the_grid_and_marks_served_rows() {
+        use crate::serve::{serve_http, ServeOptions, SimService};
+        use std::sync::Arc;
+
+        let root = tmp_dir("server");
+        let svc = Arc::new(
+            SimService::new(ServeOptions {
+                workers: 2,
+                cache_dir: root.join("srv-cache"),
+                ..ServeOptions::default()
+            })
+            .unwrap(),
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || serve_http(svc, listener, Some(2), false))
+        };
+
+        let spec = SweepSpec::from_toml_str(GRID, "demo").unwrap();
+        let params = SweepParams {
+            out_dir: root.join("out"),
+            ..SweepParams::default()
+        };
+        let cold = run_sweep_server(&spec, &addr, &params).unwrap();
+        assert_eq!(cold.ok, 4);
+        assert_eq!(cold.cached, 0);
+        assert_eq!(svc.sim_runs(), 4);
+        let rows = cold.doc.get("rows").and_then(Json::as_array).unwrap();
+        assert!(rows
+            .iter()
+            .all(|r| r.get("served").and_then(Json::as_str) == Some("computed")));
+
+        // Rerunning the same grid is answered entirely from the server's
+        // cache: zero additional simulations, rows marked cached.
+        let warm_params = SweepParams {
+            out_dir: root.join("out2"),
+            ..params
+        };
+        let warm = run_sweep_server(&spec, &addr, &warm_params).unwrap();
+        assert_eq!(warm.ok, 4);
+        assert_eq!(warm.cached, 4);
+        assert_eq!(svc.sim_runs(), 4, "warm grid must not simulate");
+        let warm_rows = warm.doc.get("rows").and_then(Json::as_array).unwrap();
+        for (c, w) in rows.iter().zip(warm_rows) {
+            assert_eq!(w.get("served").and_then(Json::as_str), Some("cached"));
+            assert_eq!(
+                c.get("cycles").map(Json::to_string),
+                w.get("cycles").map(Json::to_string)
+            );
+        }
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -20,6 +20,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: tenways serve [options]                      start the server
        tenways serve --post <cfg> [--addr <a>]      submit one job
+       tenways serve --batch <cfg> [--addr <a>]     submit a config list/grid
+       tenways serve --job <key> [--addr <a>]       poll an async job
        tenways serve --stats [--addr <a>]           print server counters
        tenways serve --health [--addr <a>]          probe liveness
 
@@ -30,8 +32,17 @@ server options:
                         $TENWAYS_RESULTS_DIR/cache or results/cache)
   --workers <n>         simulation worker threads (default: host
                         parallelism; 0 = cache-only, misses get HTTP 503)
-  --mem-capacity <n>    in-memory LRU entries (default 128; disk tier is
-                        unbounded)
+  --mem-capacity <n>    in-memory LRU entries (default 128)
+  --disk-budget-mb <n>  disk-tier byte budget in MiB; on overflow the
+                        least-recently-accessed entries are evicted
+                        (default: unbounded)
+  --queue-depth <n>     admission bound: misses waiting for a worker
+                        beyond this are refused with HTTP 503 +
+                        Retry-After (default 256; joining an in-flight
+                        key never consumes a slot)
+  --sync-timeout-ms <n> a miss still simulating after this long answers
+                        HTTP 202 + key instead of blocking; poll it with
+                        GET /jobs/<key> (default: block until done)
   --retries <n>         extra attempts per failed simulation (default 0)
   --job-budget-ms <n>   per-job wall budget; over-budget jobs fail
   --max-requests <n>    exit cleanly after n connections (for scripts/CI)
@@ -44,12 +55,18 @@ client options:
   --post <path|->       read a SimConfig (TOML, or JSON when the path
                         ends in .json or the text opens with '{{'; `-`
                         reads stdin) and POST it to /run
+  --batch <path|->      read a config list ({{configs: [...]}} or a bare
+                        array) or a sweep grid document and POST it to
+                        /batch — duplicate keys cost one simulation
+  --job <key>           GET /jobs/<key> ({{pending|running|done|failed}})
   --stats               GET /stats
   --health              GET /healthz
 
 POST /run answers {{schema_version, key, cached, record}} where `key` is
 the canonical content-address of the config and `record` the run_record.v1
-document — byte-identical on a hit, freshly simulated on a miss."
+document — byte-identical on a hit, freshly simulated on a miss. A full
+admission queue answers 503 + Retry-After; a miss past --sync-timeout-ms
+answers 202 + key for later polling."
     );
     std::process::exit(2);
 }
@@ -63,6 +80,8 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 enum Mode {
     Server,
     Post(String),
+    Batch(String),
+    Job(String),
     Stats,
     Health,
 }
@@ -92,12 +111,17 @@ pub fn main(argv: &[String]) -> ! {
             "--cache-dir" => options.cache_dir = PathBuf::from(value(&mut i)),
             "--workers" => options.workers = number(&mut i) as usize,
             "--mem-capacity" => options.mem_capacity = number(&mut i) as usize,
+            "--disk-budget-mb" => options.disk_budget = Some(number(&mut i) * 1024 * 1024),
+            "--queue-depth" => options.queue_depth = number(&mut i) as usize,
+            "--sync-timeout-ms" => options.sync_timeout_ms = Some(number(&mut i)),
             "--retries" => options.retries = number(&mut i) as u32,
             "--job-budget-ms" => options.job_budget_ms = Some(number(&mut i)),
             "--max-requests" => max_requests = Some(number(&mut i)),
             "--port-file" => port_file = Some(PathBuf::from(value(&mut i))),
             "--verbose" => verbose = true,
             "--post" => mode = Mode::Post(value(&mut i)),
+            "--batch" => mode = Mode::Batch(value(&mut i)),
+            "--job" => mode = Mode::Job(value(&mut i)),
             "--stats" => mode = Mode::Stats,
             "--health" => mode = Mode::Health,
             "--help" | "-h" => usage(),
@@ -108,7 +132,9 @@ pub fn main(argv: &[String]) -> ! {
 
     match mode {
         Mode::Server => run_server(&addr, options, max_requests, port_file, verbose),
-        Mode::Post(source) => run_post(&addr, &source),
+        Mode::Post(source) => run_client_post(&addr, "/run", &source),
+        Mode::Batch(source) => run_client_post(&addr, "/batch", &source),
+        Mode::Job(key) => run_get(&addr, &format!("/jobs/{key}")),
         Mode::Stats => run_get(&addr, "/stats"),
         Mode::Health => run_get(&addr, "/healthz"),
     }
@@ -145,8 +171,10 @@ fn run_server(
     std::process::exit(0);
 }
 
-/// POSTs one config file to `/run` and prints the response document.
-fn run_post(addr: &str, source: &str) -> ! {
+/// POSTs one document (a config for `/run`, a config list or grid for
+/// `/batch`) and prints the response. Exit 0 covers both immediate
+/// answers (200) and accepted-for-later (202).
+fn run_client_post(addr: &str, path: &str, source: &str) -> ! {
     let text = if source == "-" {
         std::io::read_to_string(std::io::stdin())
             .unwrap_or_else(|e| fail(format!("cannot read stdin: {e}")))
@@ -154,16 +182,18 @@ fn run_post(addr: &str, source: &str) -> ! {
         std::fs::read_to_string(source)
             .unwrap_or_else(|e| fail(format!("cannot read {source}: {e}")))
     };
-    let looks_json = source.ends_with(".json") || text.trim_start().starts_with('{');
+    let trimmed = text.trim_start();
+    let looks_json =
+        source.ends_with(".json") || trimmed.starts_with('{') || trimmed.starts_with('[');
     let content_type = if looks_json {
         "application/json"
     } else {
         "application/toml"
     };
     let (status, doc) =
-        http_call(addr, "POST", "/run", Some((content_type, &text))).unwrap_or_else(|e| fail(e));
+        http_call(addr, "POST", path, Some((content_type, &text))).unwrap_or_else(|e| fail(e));
     println!("{}", doc.pretty());
-    std::process::exit(if status == 200 { 0 } else { 1 });
+    std::process::exit(if status == 200 || status == 202 { 0 } else { 1 });
 }
 
 /// GETs a diagnostic endpoint and prints the response document.

@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use tenways::bench::{run_sweep, SweepOptions, SweepParams, SweepSpec};
+use tenways::bench::{run_sweep, run_sweep_server, SweepOptions, SweepParams, SweepSpec};
 
 fn usage() -> ! {
     eprintln!(
@@ -37,6 +37,19 @@ fn usage() -> ! {
   --checkpoint-every <n> checkpoint after every n completed rows
                          (default 1; 0 disables checkpointing)
   --fresh                ignore an existing checkpoint and start over
+  --cache [<dir>]        consult (and fill) the content-addressed result
+                         cache before simulating: points already cached
+                         become rows without running (marked
+                         \"cache\": \"hit\"). The optional directory
+                         defaults to $TENWAYS_RESULTS_DIR/cache or
+                         results/cache — the same store `tenways serve`
+                         uses, so a warm server warms local sweeps too
+  --server <host:port>   client mode: POST the whole grid to a running
+                         `tenways serve` instance's /batch endpoint (the
+                         server canonicalizes, deduplicates, and answers
+                         warm keys from its cache), poll queued keys via
+                         GET /jobs/<key>, and write the same document
+                         with rows marked \"served\": cached|computed
   --quiet                suppress per-row progress on stderr
 
 Completed rows are checkpointed to <out>/<id>.partial.json; rerunning the
@@ -55,6 +68,7 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 pub fn main(argv: &[String]) -> ! {
     let mut config: Option<PathBuf> = None;
     let mut id: Option<String> = None;
+    let mut server: Option<String> = None;
     let mut params = SweepParams::default();
     let mut options = SweepOptions::default();
     params.verbose = true;
@@ -82,6 +96,19 @@ pub fn main(argv: &[String]) -> ! {
             "--max-jobs" => options.max_jobs = Some(number(&mut i) as usize),
             "--checkpoint-every" => params.checkpoint_every = number(&mut i) as usize,
             "--fresh" => params.resume = false,
+            "--cache" => {
+                // Optional directory operand: consume it only when the
+                // next token is not another flag.
+                let dir = match argv.get(i + 1) {
+                    Some(next) if !next.starts_with('-') => {
+                        i += 1;
+                        PathBuf::from(next)
+                    }
+                    _ => tenways::bench::results_dir().join("cache"),
+                };
+                params.cache_dir = Some(dir);
+            }
+            "--server" => server = Some(value(&mut i).clone()),
             "--quiet" | "-q" => params.verbose = false,
             "--help" | "-h" => usage(),
             other => fail(format!("unknown argument: {other}")),
@@ -99,11 +126,14 @@ pub fn main(argv: &[String]) -> ! {
         spec.id = id;
     }
 
-    let report = run_sweep(&spec, &params).unwrap_or_else(|e| fail(e));
+    let report = match &server {
+        Some(addr) => run_sweep_server(&spec, addr, &params).unwrap_or_else(|e| fail(e)),
+        None => run_sweep(&spec, &params).unwrap_or_else(|e| fail(e)),
+    };
     let total = report.ok + report.failed + report.skipped;
     println!(
-        "[sweep {}] {total} point(s): {} ok ({} reused), {} failed, {} skipped",
-        spec.id, report.ok, report.reused, report.failed, report.skipped
+        "[sweep {}] {total} point(s): {} ok ({} reused, {} cached), {} failed, {} skipped",
+        spec.id, report.ok, report.reused, report.cached, report.failed, report.skipped
     );
     println!("[sweep {}] wrote {}", spec.id, report.path.display());
     std::process::exit(if report.all_ok() { 0 } else { 1 });
