@@ -242,6 +242,111 @@ grep -q '"rejected": 1' "$REJECT_DIR/stats.json"
 grep -q '"sim_runs": 0' "$REJECT_DIR/stats.json"
 wait "$SERVE_PID"
 
+# Router smoke gate: two ephemeral-port backends behind a `tenways route`
+# front. The same config POSTed through the router twice must answer a
+# miss then a hit, and the cluster /stats must show exactly one backend
+# simulated (the rendezvous owner) — content-addressed dedup holds
+# cluster-wide. Then kill a backend: the next POST must still answer 200
+# (connect failure marks the backend down and the forward re-resolves to
+# the survivor), and the health monitor must report backends_up 1.
+ROUTE_DIR=target/route-smoke
+rm -rf "$ROUTE_DIR"
+mkdir -p "$ROUTE_DIR"
+cat > "$ROUTE_DIR/job.toml" <<'EOF'
+workload = "lu"
+threads = 2
+scale = 1
+EOF
+./target/release/tenways serve --addr 127.0.0.1:0 \
+    --port-file "$ROUTE_DIR/b0.port" --cache-dir "$ROUTE_DIR/cache0" \
+    --workers 1 &
+B0_PID=$!
+./target/release/tenways serve --addr 127.0.0.1:0 \
+    --port-file "$ROUTE_DIR/b1.port" --cache-dir "$ROUTE_DIR/cache1" \
+    --workers 1 &
+B1_PID=$!
+for _ in $(seq 1 50); do
+    test -f "$ROUTE_DIR/b0.port" && test -f "$ROUTE_DIR/b1.port" && break
+    sleep 0.1
+done
+B0_ADDR=$(cat "$ROUTE_DIR/b0.port")
+B1_ADDR=$(cat "$ROUTE_DIR/b1.port")
+./target/release/tenways route --backend "$B0_ADDR" --backend "$B1_ADDR" \
+    --addr 127.0.0.1:0 --port-file "$ROUTE_DIR/router.port" \
+    --health-interval-ms 100 --retries 4 --backoff-ms 25 &
+ROUTE_PID=$!
+for _ in $(seq 1 50); do
+    test -f "$ROUTE_DIR/router.port" && break
+    sleep 0.1
+done
+ROUTE_ADDR=$(cat "$ROUTE_DIR/router.port")
+./target/release/tenways serve --addr "$ROUTE_ADDR" \
+    --post "$ROUTE_DIR/job.toml" > "$ROUTE_DIR/first.json"
+grep -q '"cached": false' "$ROUTE_DIR/first.json"
+./target/release/tenways serve --addr "$ROUTE_ADDR" \
+    --post "$ROUTE_DIR/job.toml" > "$ROUTE_DIR/second.json"
+grep -q '"cached": true' "$ROUTE_DIR/second.json"
+test "$(grep '"key"' "$ROUTE_DIR/first.json")" = "$(grep '"key"' "$ROUTE_DIR/second.json")"
+./target/release/tenways serve --addr "$ROUTE_ADDR" --stats \
+    > "$ROUTE_DIR/stats.json"
+grep -q '"schema_version": 1' "$ROUTE_DIR/stats.json"
+grep -q '"backends_up": 2' "$ROUTE_DIR/stats.json"
+# Exactly one backend ran the simulation: one per-backend stats document
+# reads sim_runs 0, and the other — plus the cluster sum — reads 1.
+test "$(grep -c '"sim_runs": 0' "$ROUTE_DIR/stats.json")" = 1
+test "$(grep -c '"sim_runs": 1' "$ROUTE_DIR/stats.json")" = 2
+# Kill-and-reroute: take down backend 0, POST again through the router.
+kill "$B0_PID"
+wait "$B0_PID" || true
+./target/release/tenways serve --addr "$ROUTE_ADDR" \
+    --post "$ROUTE_DIR/job.toml" > "$ROUTE_DIR/after_kill.json"
+test "$(grep '"key"' "$ROUTE_DIR/after_kill.json")" = "$(grep '"key"' "$ROUTE_DIR/first.json")"
+# Give the health monitor a probe interval to notice the corpse, then
+# the census must read one live backend.
+sleep 1
+./target/release/tenways serve --addr "$ROUTE_ADDR" --stats \
+    > "$ROUTE_DIR/stats_after.json"
+grep -q '"backends_up": 1' "$ROUTE_DIR/stats_after.json"
+kill "$ROUTE_PID" "$B1_PID"
+wait "$ROUTE_PID" || true
+wait "$B1_PID" || true
+
+# Warm-start smoke: --warm pre-populates the cache from a sweep spec
+# before the listener binds, so the very first POST is already a hit.
+# Warming is traffic-counter-neutral: /stats reads the simulation it ran
+# (sim_runs 1) but no misses.
+WARM_DIR=target/serve-warm-smoke
+rm -rf "$WARM_DIR"
+mkdir -p "$WARM_DIR"
+cat > "$WARM_DIR/grid.toml" <<'EOF'
+workload = "lu"
+scale = 1
+
+[sweep]
+id = "ci-warm"
+
+[grid]
+threads = [2]
+EOF
+./target/release/tenways serve --addr 127.0.0.1:0 \
+    --port-file "$WARM_DIR/port" --cache-dir "$WARM_DIR/cache" \
+    --warm "$WARM_DIR/grid.toml" --max-requests 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    test -f "$WARM_DIR/port" && break
+    sleep 0.1
+done
+SERVE_ADDR=$(cat "$WARM_DIR/port")
+./target/release/tenways serve --addr "$SERVE_ADDR" \
+    --post "$ROUTE_DIR/job.toml" > "$WARM_DIR/first.json"
+grep -q '"cached": true' "$WARM_DIR/first.json"
+./target/release/tenways serve --addr "$SERVE_ADDR" --stats \
+    > "$WARM_DIR/stats.json"
+grep -q '"hits": 1' "$WARM_DIR/stats.json"
+grep -q '"misses": 0' "$WARM_DIR/stats.json"
+grep -q '"sim_runs": 1' "$WARM_DIR/stats.json"
+wait "$SERVE_PID"
+
 # Serve bench gate: cold miss vs warm hit on the committed-scale path,
 # plus the saturation load generator. The binary itself enforces the hard
 # gates — zero simulations on the hit row, a >= 100x hit speedup, no
@@ -256,3 +361,11 @@ grep -q '"gate_hot_scaling": true' "$BENCH_DIR/BENCH_serve.json"
 grep -q '"gate_no_deadlock": true' "$BENCH_DIR/BENCH_serve.json"
 grep -q '"gate_rejections_seen": true' "$BENCH_DIR/BENCH_serve.json"
 grep -q '"gate_batch_dedup": true' "$BENCH_DIR/BENCH_serve.json"
+# Scale-out gates (router + 2 in-process backends): a batch with three
+# copies of each config costs exactly one simulation per unique key
+# cluster-wide, and killing a backend mid-run loses zero requests. The
+# capacity gate is host-aware (vacuous on boxes without the cores to run
+# two backends concurrently) but must never read false.
+grep -q '"gate_cluster_dedup": true' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"gate_no_lost_requests": true' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"gate_scaleout_capacity": true' "$BENCH_DIR/BENCH_serve.json"

@@ -22,17 +22,30 @@
 //!    zero deadlocks) and at least one request actually got the 503.
 //! 4. **Batch dedup** (in-process): `submit_batch` with K identical
 //!    configs. Gate: exactly one simulation.
+//! 5. **Scale-out** (router + 2 local backends): a `tenways route`
+//!    rendezvous router fronts two single-worker serve nodes. Gates:
+//!    a duplicate-heavy batch costs exactly one simulation per distinct
+//!    key **cluster-wide**; killing a backend mid-burst loses zero
+//!    requests (its keyspace re-routes to the survivor); and — on hosts
+//!    with the cores to express it — a cold batch completes faster on
+//!    the 2-node cluster than on one node (`gate_host_capable: false`
+//!    passes vacuously on small hosts, as in section 2).
+//!
+//! All HTTP load runs over persistent keep-alive connections (one per
+//! client thread), so requests/sec measures the serving stack rather
+//! than TCP handshakes.
 //!
 //! Results land in `results/serve_bench.json` and are mirrored to
 //! `BENCH_serve.json` at the current directory.
 
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tenways_bench::{
-    banner, http_request, serve_http, write_results_json, write_text_atomic, ServeOptions,
-    SimService, SuiteConfig,
+    banner, route_http, serve_http_shutdown, write_results_json, write_text_atomic, HttpClient,
+    Router, RouterOptions, ServeOptions, SimService, SuiteConfig,
 };
 use tenways_sim::json::{Json, ToJson};
 use tenways_waste::SimConfig;
@@ -111,11 +124,16 @@ fn run_phase(
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr").to_string();
     let total = clients * per_client;
+    let shutdown = Arc::new(AtomicBool::new(false));
     let server = {
         let service = Arc::clone(service);
-        std::thread::spawn(move || serve_http(service, listener, Some(total as u64), false))
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || serve_http_shutdown(service, listener, None, false, shutdown))
     };
 
+    // One persistent keep-alive connection per client thread: the
+    // measured path is request/response over a warm socket, the way the
+    // router (and any sane client) talks to the service.
     let barrier = Arc::new(Barrier::new(clients));
     let start = Instant::now();
     let per_thread: Vec<(Vec<f64>, Vec<u16>, usize)> = std::thread::scope(|scope| {
@@ -124,6 +142,7 @@ fn run_phase(
                 let addr = addr.clone();
                 let barrier = Arc::clone(&barrier);
                 scope.spawn(move || {
+                    let mut client = HttpClient::new(addr);
                     let mut latencies = Vec::with_capacity(per_client);
                     let mut statuses = Vec::with_capacity(per_client);
                     let mut failures = 0usize;
@@ -131,8 +150,7 @@ fn run_phase(
                     for i in 0..per_client {
                         let body = &bodies[(c * per_client + i) % bodies.len()];
                         let t0 = Instant::now();
-                        match http_request(&addr, "POST", "/run", Some(("application/json", body)))
-                        {
+                        match client.request("POST", "/run", Some(("application/json", body))) {
                             Ok(reply) => {
                                 latencies.push(t0.elapsed().as_secs_f64() * 1e6);
                                 statuses.push(reply.status);
@@ -153,6 +171,7 @@ fn run_phase(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall_s = start.elapsed().as_secs_f64();
+    shutdown.store(true, Ordering::Relaxed);
     server.join().unwrap().expect("serve loop");
 
     let mut latencies: Vec<f64> = Vec::with_capacity(total);
@@ -182,6 +201,52 @@ fn run_phase(
         p99_us: percentile_us(&latencies, 0.99),
         failures,
         statuses: status_counts,
+    }
+}
+
+/// One in-process serve backend on an ephemeral port (a scale-out node).
+struct Node {
+    service: Arc<SimService>,
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<Result<(), String>>>,
+}
+
+impl Node {
+    fn start(cache_dir: std::path::PathBuf) -> Node {
+        let service = Arc::new(
+            SimService::new(ServeOptions {
+                workers: 1,
+                cache_dir,
+                ..ServeOptions::default()
+            })
+            .expect("open node cache"),
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind node");
+        let addr = listener.local_addr().expect("node addr").to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                serve_http_shutdown(service, listener, None, false, shutdown)
+            })
+        };
+        Node {
+            service,
+            addr,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+
+    /// Kills the node: drains every open socket and frees the port —
+    /// from the router's side this is a crashed backend.
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            thread.join().unwrap().expect("node loop");
+        }
     }
 }
 
@@ -432,6 +497,226 @@ fn main() {
         ("gate_batch_dedup", Json::Bool(gate_batch_dedup)),
     ]));
 
+    // ---- Section 5: scale-out (router + 2 local backends) --------------
+    // A rendezvous router fronts two single-worker serve nodes; the three
+    // gates are the cluster-layer invariants: dedup stays global, a
+    // backend kill loses nothing, and capacity grows out, not up.
+    let mut b0 = Node::start(dir.join("cluster-b0"));
+    let mut b1 = Node::start(dir.join("cluster-b1"));
+    let router = Arc::new(
+        Router::new(RouterOptions {
+            backends: vec![b0.addr.clone(), b1.addr.clone()],
+            health_interval: Duration::from_millis(100),
+            retries: 4,
+            backoff: Duration::from_millis(25),
+        })
+        .expect("router starts"),
+    );
+    let router_listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+    let router_addr = router_listener
+        .local_addr()
+        .expect("router addr")
+        .to_string();
+    let router_shutdown = Arc::new(AtomicBool::new(false));
+    let router_thread = {
+        let router = Arc::clone(&router);
+        let shutdown = Arc::clone(&router_shutdown);
+        std::thread::spawn(move || route_http(router, router_listener, None, false, shutdown))
+    };
+    let mut router_client = HttpClient::new(router_addr.clone());
+
+    // 5a: duplicate-heavy batch through the router — 8 distinct lu keys,
+    // 3 labelled submissions each. Dedup must hold *cluster-wide*: one
+    // simulation per distinct key, however the keys shard.
+    let dup_unique = 8usize;
+    let dup_copies = 3usize;
+    let dup_cfgs: Vec<SimConfig> = (0..dup_unique as u64)
+        .map(|seed| SimConfig {
+            workload: "lu".to_string(),
+            threads: 2,
+            scale: 1,
+            seed,
+            ..SimConfig::default()
+        })
+        .collect();
+    let dup_body = Json::obj([(
+        "configs",
+        Json::Arr(
+            (0..dup_copies)
+                .flat_map(|copy| {
+                    dup_cfgs.iter().enumerate().map(move |(i, c)| {
+                        Json::obj([
+                            ("label", Json::from(format!("dup{i}-{copy}"))),
+                            ("config", c.to_json()),
+                        ])
+                    })
+                })
+                .collect(),
+        ),
+    )])
+    .to_string();
+    let reply = router_client
+        .request("POST", "/batch", Some(("application/json", &dup_body)))
+        .expect("cluster batch");
+    let batch_unique = reply.body.get("unique").and_then(Json::as_u64).unwrap_or(0);
+    let cluster_sims = b0.service.sim_runs() + b1.service.sim_runs();
+    let gate_cluster_dedup = reply.status == 200
+        && batch_unique == dup_unique as u64
+        && cluster_sims == dup_unique as u64;
+    println!(
+        "scale-out : batch of {} ({dup_unique} unique) -> {cluster_sims} simulations cluster-wide (b0 {}, b1 {}) => {}",
+        dup_unique * dup_copies,
+        b0.service.sim_runs(),
+        b1.service.sim_runs(),
+        if gate_cluster_dedup { "ok" } else { "FAIL" }
+    );
+    rows.push(Json::obj([
+        ("label", Json::from("scaleout/cluster_dedup")),
+        ("backends", Json::from(2usize)),
+        ("configs", Json::from(dup_unique * dup_copies)),
+        ("unique", Json::U64(batch_unique)),
+        ("sim_runs_total", Json::U64(cluster_sims)),
+        ("b0_sim_runs", Json::U64(b0.service.sim_runs())),
+        ("b1_sim_runs", Json::U64(b1.service.sim_runs())),
+        ("gate_cluster_dedup", Json::Bool(gate_cluster_dedup)),
+    ]));
+
+    // 5b: capacity scales out — the same cold batch of slow oltp keys on
+    // one node vs the 2-node cluster. Only expressible when the host has
+    // cores for both backends to actually simulate concurrently AND the
+    // rendezvous split gave each backend work; otherwise vacuous (and
+    // reported as such), like every host-dependent gate in this suite.
+    let capacity_cfgs: Vec<SimConfig> = QF_SEEDS.iter().map(|&seed| qf_config(seed)).collect();
+    let capacity_body = Json::obj([(
+        "configs",
+        Json::Arr(
+            capacity_cfgs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    Json::obj([
+                        ("label", Json::from(format!("cap{i}"))),
+                        ("config", c.to_json()),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+    .to_string();
+
+    let mut single = Node::start(dir.join("cluster-single"));
+    let mut single_client = HttpClient::new(single.addr.clone());
+    let t0 = Instant::now();
+    let single_reply = single_client
+        .request("POST", "/batch", Some(("application/json", &capacity_body)))
+        .expect("single-node batch");
+    let single_wall_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let cluster_reply = router_client
+        .request("POST", "/batch", Some(("application/json", &capacity_body)))
+        .expect("cluster batch");
+    let cluster_wall_s = t0.elapsed().as_secs_f64();
+
+    let owned_by_b0 = capacity_cfgs
+        .iter()
+        .filter(|c| router.rank(&c.cache_key())[0] == 0)
+        .count();
+    let split_expressible = owned_by_b0 > 0 && owned_by_b0 < capacity_cfgs.len();
+    let capacity_capable = host_capable && split_expressible;
+    let capacity_speedup = if cluster_wall_s > 0.0 {
+        single_wall_s / cluster_wall_s
+    } else {
+        0.0
+    };
+    let gate_scaleout_capacity = single_reply.status == 200
+        && cluster_reply.status == 200
+        && (!capacity_capable || cluster_wall_s < single_wall_s);
+    println!(
+        "scale-out : cold batch of {}: single {single_wall_s:.3}s vs cluster {cluster_wall_s:.3}s ({capacity_speedup:.2}x, split {owned_by_b0}/{}, capable={capacity_capable}) => {}",
+        capacity_cfgs.len(),
+        capacity_cfgs.len() - owned_by_b0,
+        if gate_scaleout_capacity { "ok" } else { "FAIL" }
+    );
+    rows.push(Json::obj([
+        ("label", Json::from("scaleout/capacity")),
+        ("requests", Json::from(capacity_cfgs.len())),
+        ("single_wall_s", Json::from(single_wall_s)),
+        ("cluster_wall_s", Json::from(cluster_wall_s)),
+        ("cluster_speedup", Json::from(capacity_speedup)),
+        ("b0_keys", Json::from(owned_by_b0)),
+        ("b1_keys", Json::from(capacity_cfgs.len() - owned_by_b0)),
+        ("host_cores", Json::from(host_cores)),
+        ("gate_host_capable", Json::Bool(capacity_capable)),
+        ("gate_scaleout_capacity", Json::Bool(gate_scaleout_capacity)),
+    ]));
+    single.stop();
+
+    // 5c: kill-and-reroute — re-post every capacity key as /run rounds,
+    // killing backend 0 after the first round. The router must answer
+    // every request with 200: backend 0's keyspace re-routes to the
+    // survivor (which re-simulates what it never cached), and nothing is
+    // lost or left hanging.
+    let rounds = 3usize;
+    let mut lost = 0usize;
+    let mut answered = 0usize;
+    for round in 0..rounds {
+        if round == 1 {
+            b0.stop();
+        }
+        for c in &capacity_cfgs {
+            let body = c.to_json().to_string();
+            match router_client.request("POST", "/run", Some(("application/json", &body))) {
+                Ok(reply) if reply.status == 200 => answered += 1,
+                Ok(reply) => {
+                    eprintln!("[{ID}] failover request answered {}", reply.status);
+                    lost += 1;
+                }
+                Err(e) => {
+                    eprintln!("[{ID}] failover request lost: {e}");
+                    lost += 1;
+                }
+            }
+        }
+    }
+    let stats_reply = router_client
+        .request("GET", "/stats", None)
+        .expect("router stats");
+    let backends_up = stats_reply
+        .body
+        .get("cluster")
+        .and_then(|c| c.get("backends_up"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let rerouted = stats_reply
+        .body
+        .get("router")
+        .and_then(|r| r.get("rerouted"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let gate_no_lost_requests = lost == 0 && answered == rounds * capacity_cfgs.len();
+    println!(
+        "scale-out : kill-and-reroute: {answered}/{} answered, {lost} lost, {rerouted} rerouted, backends_up={backends_up} => {}",
+        rounds * capacity_cfgs.len(),
+        if gate_no_lost_requests { "ok" } else { "FAIL" }
+    );
+    rows.push(Json::obj([
+        ("label", Json::from("scaleout/failover")),
+        ("rounds", Json::from(rounds)),
+        ("requests", Json::from(rounds * capacity_cfgs.len())),
+        ("answered", Json::from(answered)),
+        ("lost", Json::from(lost)),
+        ("rerouted", Json::U64(rerouted)),
+        ("backends_up", Json::U64(backends_up)),
+        ("gate_no_lost_requests", Json::Bool(gate_no_lost_requests)),
+    ]));
+
+    drop(router_client);
+    router_shutdown.store(true, Ordering::Relaxed);
+    router_thread.join().unwrap().expect("router loop");
+    drop(router);
+    b1.stop();
+
     let path = write_results_json(ID, TITLE, &cfg, rows);
     let text = std::fs::read_to_string(&path).expect("re-read results JSON");
     write_text_atomic(std::path::Path::new("BENCH_serve.json"), &text)
@@ -449,6 +734,18 @@ fn main() {
         ),
         (gate_rejections_seen, "queue-full burst saw no rejections"),
         (gate_batch_dedup, "batch dedup ran extra simulations"),
+        (
+            gate_cluster_dedup,
+            "cluster-wide dedup ran duplicate simulations",
+        ),
+        (
+            gate_scaleout_capacity,
+            "cluster batch was not faster than one node",
+        ),
+        (
+            gate_no_lost_requests,
+            "requests were lost across the backend kill",
+        ),
     ];
     let mut bad = false;
     for (ok, what) in gates {

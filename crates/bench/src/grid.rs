@@ -628,12 +628,49 @@ const JOB_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis(
 /// row (when the sweep options carry no per-job budget).
 const DEFAULT_SERVER_ROW_BUDGET: std::time::Duration = std::time::Duration::from_secs(600);
 
-/// How long server mode backs off before re-submitting points the
-/// server's admission queue rejected, and how many times it retries.
-const REJECTION_BACKOFF: std::time::Duration = std::time::Duration::from_millis(500);
+/// How many times server mode re-submits points the server's admission
+/// queue rejected, and the envelope of the jittered exponential backoff
+/// between rounds (see [`rejection_backoff`]).
 const REJECTION_ROUNDS: usize = 40;
+const REJECTION_BACKOFF_BASE: std::time::Duration = std::time::Duration::from_millis(250);
+const REJECTION_BACKOFF_CAP: std::time::Duration = std::time::Duration::from_secs(5);
 
-/// [`run_sweep`] as a thin client of a running `tenways serve` instance:
+/// The sleep before rejection-retry round `round` (1-based): exponential
+/// from [`REJECTION_BACKOFF_BASE`] capped at [`REJECTION_BACKOFF_CAP`],
+/// scaled by a deterministic per-client jitter factor in `[0.5, 1.5)`.
+/// The jitter matters more than the curve: a fixed interval would march
+/// every client rejected by the same saturated server (or router) back
+/// in lockstep, re-saturating the queue each round — the thundering
+/// herd this module exists to measure, not to cause. Hashing
+/// `salt ^ round` (splitmix64) decorrelates clients without pulling in
+/// a clock or an RNG dependency.
+fn rejection_backoff(salt: u64, round: usize) -> std::time::Duration {
+    let doublings = u32::try_from(round.saturating_sub(1))
+        .unwrap_or(u32::MAX)
+        .min(16);
+    let base = REJECTION_BACKOFF_BASE
+        .saturating_mul(1u32 << doublings.min(5))
+        .min(REJECTION_BACKOFF_CAP);
+    let mut z = salt ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    base.mul_f64(0.5 + unit)
+}
+
+/// A per-client jitter seed: the process id folded with the server
+/// address, so concurrent sweep clients (and re-runs) spread out.
+fn rejection_salt(addr: &str) -> u64 {
+    addr.bytes().fold(u64::from(std::process::id()), |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(u64::from(b))
+    })
+}
+
+/// [`run_sweep`] as a thin client of a running `tenways serve` instance
+/// (or a `tenways route` router fronting several — the router answers
+/// the identical `/batch`, `/jobs/<key>`, and `/stats` documents, so the
+/// address is interchangeable):
 /// the grid expands locally, the whole batch goes to `POST /batch` in one
 /// request (the server canonicalizes, deduplicates, and answers warm keys
 /// from its cache), points the server left `queued` are polled via
@@ -741,7 +778,7 @@ pub fn run_sweep_server(
             }
             break;
         }
-        std::thread::sleep(REJECTION_BACKOFF);
+        std::thread::sleep(rejection_backoff(rejection_salt(addr), rounds));
         todo = rejected;
     }
 
@@ -1048,5 +1085,26 @@ mod tests {
         }
         server.join().unwrap().unwrap();
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rejection_backoff_is_jittered_within_its_envelope() {
+        // Every round stays inside [0.5, 1.5) of its exponential base,
+        // the base caps, and distinct clients genuinely decorrelate.
+        let base_ms = [250u64, 500, 1000, 2000, 4000, 5000, 5000, 5000];
+        for (round, &base) in (1..=8).zip(&base_ms) {
+            for salt in [rejection_salt("127.0.0.1:7417"), rejection_salt("router:9")] {
+                let ms = rejection_backoff(salt, round).as_millis() as u64;
+                assert!(
+                    ms >= base / 2 && ms < base + base / 2,
+                    "round {round}: {ms}ms outside [{}, {})",
+                    base / 2,
+                    base + base / 2
+                );
+            }
+        }
+        let a: Vec<_> = (1..=8).map(|r| rejection_backoff(1, r)).collect();
+        let b: Vec<_> = (1..=8).map(|r| rejection_backoff(2, r)).collect();
+        assert_ne!(a, b, "two clients must not sleep in lockstep");
     }
 }

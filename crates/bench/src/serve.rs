@@ -34,7 +34,19 @@
 //!   [`CacheCounters`] — stats traffic never takes the cache lock, so
 //!   observing the service cannot slow it down.
 //!
-//! Endpoints (all responses JSON, `Connection: close`):
+//! The HTTP layer speaks persistent HTTP/1.1: a connection carries a
+//! request loop (`Connection: keep-alive`, the 1.1 default) until the
+//! client closes, asks to close, or idles past [`KEEP_ALIVE_IDLE`] — so
+//! a client issuing N requests pays one TCP handshake, not N. The
+//! pooled [`HttpClient`] is the matching client; [`http_request`] stays
+//! one-shot (`Connection: close`) for scripts and CI. The accept loop
+//! ([`serve_http_shutdown`]) also takes a shutdown flag: raising it
+//! stops accepting, lets every in-flight request finish (drain), and
+//! answers the last response on each connection with
+//! `Connection: close` — this is how a router observes a backend going
+//! away without losing a request.
+//!
+//! Endpoints (all responses JSON):
 //!
 //! | method & path     | body            | response                           |
 //! |-------------------|-----------------|------------------------------------|
@@ -50,7 +62,7 @@
 //! the tests prove hits never simulate).
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -76,7 +88,20 @@ const MAX_REQUEST_BYTES: usize = 4 << 20;
 /// Per-connection socket timeout: a stalled peer cannot pin a handler
 /// thread forever. Generous because a miss legitimately blocks for the
 /// whole simulation.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(600);
+pub(crate) const SOCKET_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// How long a keep-alive connection may sit idle between requests
+/// before the server closes it.
+pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(10);
+
+/// Granularity of the blocking-read slices in the request reader: idle
+/// handler threads re-check the shutdown flag this often, which bounds
+/// how long a draining server waits on its parked keep-alive sockets.
+const READ_SLICE: Duration = Duration::from_millis(50);
+
+/// How often the accept loop polls for new connections (and re-checks
+/// the shutdown flag) when nothing is arriving.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
 /// How many recent job failures `GET /jobs/<key>` can still report.
 const FAILURE_MEMORY: usize = 64;
@@ -396,6 +421,8 @@ impl BatchReport {
 /// counters are sharded; the rare-event ones are plain atomics.
 #[derive(Debug, Default)]
 struct Counters {
+    /// Accepted TCP connections (each may carry many keep-alive requests).
+    connections: ShardedCounter,
     requests: ShardedCounter,
     hits: ShardedCounter,
     misses: ShardedCounter,
@@ -898,6 +925,12 @@ impl SimService {
         self.counters.requests.incr();
     }
 
+    /// Counts one accepted connection. With keep-alive, `requests >`
+    /// `connections` is the visible proof that handshakes are reused.
+    fn count_connection(&self) {
+        self.counters.connections.incr();
+    }
+
     /// Counts one malformed request.
     fn count_bad_request(&self) {
         self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -923,6 +956,7 @@ impl SimService {
         let load = |a: &AtomicU64| Json::U64(a.load(Ordering::Relaxed));
         Json::obj([
             ("schema_version", Json::U64(SERVE_RESPONSE_SCHEMA_VERSION)),
+            ("connections", Json::U64(c.connections.sum())),
             ("requests", Json::U64(c.requests.sum())),
             ("hits", Json::U64(c.hits.sum())),
             ("misses", Json::U64(c.misses.sum())),
@@ -958,6 +992,99 @@ impl SimService {
             ),
         ])
     }
+
+    /// Pre-populates the result cache with every point of a grid before
+    /// the service takes traffic (`tenways serve --warm`). Duplicate
+    /// keys collapse first; already-cached keys are skipped. Cold keys
+    /// simulate on up to `workers` scoped threads (at least one — a
+    /// cache-only service can still be warmed, that is the point of it)
+    /// under the usual fail-soft containment. Traffic-counter-neutral
+    /// by design: warming uses `peek`/`put` directly, so the request
+    /// and hit/miss counters still read zero when the listener opens —
+    /// only `sim_runs`/`sim_failures` count, because those simulations
+    /// really ran.
+    pub fn warm(&self, points: &[(String, SimConfig)]) -> WarmReport {
+        let mut unique: Vec<(String, String, &SimConfig)> = Vec::new();
+        for (label, cfg) in points {
+            let key = cfg.cache_key();
+            if !unique.iter().any(|(_, k, _)| *k == key) {
+                unique.push((label.clone(), key, cfg));
+            }
+        }
+        let mut report = WarmReport {
+            unique: unique.len(),
+            ..WarmReport::default()
+        };
+        let cold: Vec<&(String, String, &SimConfig)> = unique
+            .iter()
+            .filter(|(_, key, _)| {
+                let hit = {
+                    let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                    cache.peek(key).is_some()
+                };
+                if hit {
+                    report.skipped += 1;
+                }
+                !hit
+            })
+            .collect();
+        let width = self.workers.max(1).min(cold.len().max(1));
+        let next = AtomicUsize::new(0);
+        let outcomes: Mutex<Vec<(String, Result<(), String>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..width {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((label, key, cfg)) = cold.get(i) else {
+                        break;
+                    };
+                    let job = SweepJob::new(key.clone(), {
+                        let cfg = (*cfg).clone();
+                        move || {
+                            let record = Experiment::from_config(&cfg)
+                                .map_err(|e| e.to_string())?
+                                .run()
+                                .map_err(|e| e.to_string())?;
+                            Ok(record.to_json())
+                        }
+                    });
+                    self.counters.sim_runs.fetch_add(1, Ordering::Relaxed);
+                    let outcome = match self.runner.run_one(&job).result {
+                        Ok(record) => {
+                            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                            cache.put(key, record)
+                        }
+                        Err(e) => {
+                            self.counters.sim_failures.fetch_add(1, Ordering::Relaxed);
+                            Err(e.to_string())
+                        }
+                    };
+                    let mut out = outcomes.lock().unwrap_or_else(|e| e.into_inner());
+                    out.push((label.clone(), outcome));
+                });
+            }
+        });
+        for (label, outcome) in outcomes.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            match outcome {
+                Ok(()) => report.warmed += 1,
+                Err(e) => report.failed.push((label, e)),
+            }
+        }
+        report
+    }
+}
+
+/// What [`SimService::warm`] did, point by point.
+#[derive(Debug, Default, Clone)]
+pub struct WarmReport {
+    /// Distinct keys in the spec (duplicates collapse before warming).
+    pub unique: usize,
+    /// Keys freshly simulated and written to the cache.
+    pub warmed: usize,
+    /// Keys that were already cached.
+    pub skipped: usize,
+    /// `(label, error)` of points that failed to simulate (or persist).
+    pub failed: Vec<(String, String)>,
 }
 
 /// What [`SimService::admit`] produced for a missed key.
@@ -970,17 +1097,55 @@ enum Admitted {
 
 /// A parsed HTTP request.
 #[derive(Debug)]
-struct HttpRequest {
-    method: String,
-    path: String,
-    content_type: String,
-    body: String,
+pub(crate) struct HttpRequest {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) content_type: String,
+    pub(crate) body: String,
+    /// Whether the client allows the connection to carry another request
+    /// (HTTP/1.1 defaults to yes; `Connection: close` or HTTP/1.0
+    /// without `Connection: keep-alive` says no).
+    pub(crate) keep_alive: bool,
 }
 
 /// Reads one HTTP/1.1 request from the stream (size-bounded).
-fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+///
+/// `carry` holds bytes read past the previous request on the same
+/// keep-alive connection; leftovers past this request's body are put
+/// back for the next call. Reads run in [`READ_SLICE`]-long slices so an
+/// idle connection notices `shutdown` promptly. Returns `Ok(None)` when
+/// the connection ends *between* requests — peer close, `idle_limit`
+/// elapsed with no bytes, or shutdown raised — and `Err` when it dies
+/// mid-request.
+pub(crate) fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    idle_limit: Duration,
+    shutdown: Option<&AtomicBool>,
+) -> Result<Option<HttpRequest>, String> {
+    let mut buf: Vec<u8> = std::mem::take(carry);
     let mut chunk = [0u8; 4096];
+    let _ = stream.set_read_timeout(Some(READ_SLICE));
+    let started = Instant::now();
+    let mut read_some = |buf: &mut Vec<u8>, started: Instant| -> Result<bool, String> {
+        // One sliced read: Ok(true) appended bytes, Ok(false) got a
+        // timeout slice (caller decides whether that ends the wait).
+        match stream.read(&mut chunk) {
+            Ok(0) => Err("closed".to_string()),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                Ok(true)
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if started.elapsed() >= SOCKET_TIMEOUT {
+                    Err("timed out mid-request".to_string())
+                } else {
+                    Ok(false)
+                }
+            }
+            Err(e) => Err(format!("read: {e}")),
+        }
+    };
     let header_end = loop {
         if let Some(pos) = find_header_end(&buf) {
             break pos;
@@ -988,11 +1153,27 @@ fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
         if buf.len() > MAX_REQUEST_BYTES {
             return Err("request too large".to_string());
         }
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
-        if n == 0 {
-            return Err("connection closed mid-request".to_string());
+        match read_some(&mut buf, started) {
+            Ok(true) => {}
+            Ok(false) if buf.is_empty() => {
+                // Nothing started yet: this is the idle window where a
+                // close (drain or idle timeout) loses no request.
+                if shutdown.is_some_and(|s| s.load(Ordering::Relaxed))
+                    || started.elapsed() >= idle_limit
+                {
+                    return Ok(None);
+                }
+            }
+            Ok(false) => {}
+            Err(e) if e == "closed" => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err("connection closed mid-request".to_string())
+                };
+            }
+            Err(e) => return Err(e),
         }
-        buf.extend_from_slice(&chunk[..n]);
     };
     let head =
         std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-utf8 header".to_string())?;
@@ -1001,11 +1182,13 @@ fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
     let mut parts = request_line.split_ascii_whitespace();
     let method = parts.next().unwrap_or("").to_uppercase();
     let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1").to_ascii_uppercase();
     if method.is_empty() || path.is_empty() {
         return Err(format!("malformed request line `{request_line}`"));
     }
     let mut content_length = 0usize;
     let mut content_type = String::new();
+    let mut connection = String::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -1017,28 +1200,39 @@ fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
                 .map_err(|_| format!("bad content-length `{value}`"))?;
         } else if name.eq_ignore_ascii_case("content-type") {
             content_type = value.to_ascii_lowercase();
+        } else if name.eq_ignore_ascii_case("connection") {
+            connection = value.to_ascii_lowercase();
         }
     }
+    let keep_alive = if connection.contains("close") {
+        false
+    } else if version == "HTTP/1.0" {
+        connection.contains("keep-alive")
+    } else {
+        true
+    };
     if content_length > MAX_REQUEST_BYTES {
         return Err("request body too large".to_string());
     }
     let body_start = header_end + 4;
-    let mut body = buf[body_start.min(buf.len())..].to_vec();
+    let mut body = buf.split_off(body_start.min(buf.len()));
     while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
-        if n == 0 {
-            return Err("connection closed mid-body".to_string());
+        match read_some(&mut body, started) {
+            Ok(_) => {}
+            Err(e) if e == "closed" => return Err("connection closed mid-body".to_string()),
+            Err(e) => return Err(e),
         }
-        body.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
+    // Bytes past the body belong to the next pipelined request.
+    *carry = body.split_off(content_length.min(body.len()));
     let body = String::from_utf8(body).map_err(|_| "non-utf8 body".to_string())?;
-    Ok(HttpRequest {
+    Ok(Some(HttpRequest {
         method,
         path,
         content_type,
         body,
-    })
+        keep_alive,
+    }))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -1056,18 +1250,21 @@ fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response (plus any extra headers) and closes the
-/// stream.
-fn write_response(
+/// Writes one JSON response (plus any extra headers). The `Connection`
+/// header tells the client whether the server will read another request
+/// from this socket.
+pub(crate) fn write_response(
     stream: &mut TcpStream,
     status: u16,
     extra_headers: &[(&str, String)],
     doc: &Json,
+    keep_alive: bool,
 ) {
     let mut body = doc.pretty();
     body.push('\n');
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         status_reason(status),
         body.len()
     );
@@ -1075,12 +1272,15 @@ fn write_response(
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
+    // One write for head + body: a split write would let Nagle hold the
+    // body back until the head's delayed ACK (~40 ms per response on a
+    // persistent connection).
+    head.push_str(&body);
     let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
 }
 
-fn error_doc(message: &str) -> Json {
+pub(crate) fn error_doc(message: &str) -> Json {
     Json::obj([("error", Json::from(message))])
 }
 
@@ -1097,24 +1297,44 @@ fn rejection_doc(key: &str, queue_depth: usize) -> Json {
     ])
 }
 
-/// Handles one connection: parse, route, respond.
-fn handle_connection(service: &SimService, stream: &mut TcpStream, verbose: bool) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+/// Handles one connection: a keep-alive request loop. Each iteration
+/// parses one request, routes it, and answers; the loop ends when the
+/// client closes or asks to (`Connection: close`), the connection idles
+/// out, a request is malformed, or the server is draining (the request
+/// that already arrived is still answered — drained, not dropped).
+fn handle_connection(
+    service: &SimService,
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+    verbose: bool,
+) {
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    service.count_request();
-    let request = match read_request(stream) {
-        Ok(request) => request,
-        Err(e) => {
-            service.count_bad_request();
-            write_response(stream, 400, &[], &error_doc(&e));
+    let mut carry = Vec::new();
+    // The first request gets the full socket timeout; follow-ups on a
+    // kept-alive socket only get the idle window.
+    let mut idle_limit = SOCKET_TIMEOUT;
+    loop {
+        let request = match read_request(stream, &mut carry, idle_limit, Some(shutdown)) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e) => {
+                service.count_bad_request();
+                write_response(stream, 400, &[], &error_doc(&e), false);
+                return;
+            }
+        };
+        service.count_request();
+        let (status, headers, doc) = route(service, &request);
+        if verbose {
+            eprintln!("[serve] {} {} -> {status}", request.method, request.path);
+        }
+        let keep = request.keep_alive && !shutdown.load(Ordering::Relaxed);
+        write_response(stream, status, &headers, &doc, keep);
+        if !keep {
             return;
         }
-    };
-    let (status, headers, doc) = route(service, &request);
-    if verbose {
-        eprintln!("[serve] {} {} -> {status}", request.method, request.path);
+        idle_limit = KEEP_ALIVE_IDLE;
     }
-    write_response(stream, status, &headers, &doc);
 }
 
 /// Parses a `POST /batch` body into labelled configs. Three accepted
@@ -1122,7 +1342,10 @@ fn handle_connection(service: &SimService, stream: &mut TcpStream, verbose: bool
 /// `SimConfig` object or a `{label, config}` wrapper), a bare JSON array
 /// of the same, or a sweep-grid document (TOML, or JSON with a `grid`/
 /// `sweep` section) expanded through [`SweepSpec`].
-fn parse_batch_body(content_type: &str, body: &str) -> Result<Vec<(String, SimConfig)>, String> {
+pub(crate) fn parse_batch_body(
+    content_type: &str,
+    body: &str,
+) -> Result<Vec<(String, SimConfig)>, String> {
     let doc = if content_type.contains("toml") {
         tenways_sim::toml::parse_toml(body).map_err(|e| e.to_string())?
     } else {
@@ -1244,20 +1467,82 @@ pub fn serve_http(
     max_requests: Option<u64>,
     verbose: bool,
 ) -> Result<(), String> {
+    serve_http_shutdown(
+        service,
+        listener,
+        max_requests,
+        verbose,
+        Arc::new(AtomicBool::new(false)),
+    )
+}
+
+/// [`serve_http`] with a drain switch: raising `shutdown` stops the
+/// accept loop, lets requests already being handled finish, answers the
+/// final response on every kept-alive socket with `Connection: close`,
+/// and returns once all handler threads have exited. No request that
+/// reached the server is dropped — this is the backend half of the
+/// router's kill-and-reroute story.
+pub fn serve_http_shutdown(
+    service: Arc<SimService>,
+    listener: TcpListener,
+    max_requests: Option<u64>,
+    verbose: bool,
+    shutdown: Arc<AtomicBool>,
+) -> Result<(), String> {
+    accept_loop(
+        listener,
+        max_requests,
+        &Arc::clone(&shutdown),
+        |mut stream| {
+            service.count_connection();
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                handle_connection(&service, &mut stream, &shutdown, verbose);
+            })
+        },
+    )
+}
+
+/// The shared accept loop behind [`serve_http_shutdown`] and the
+/// router's `route_http`: poll-accept (so the shutdown flag is noticed
+/// without another connection), spawn one handler thread per accepted
+/// socket, and join every handler before returning. `max_requests`
+/// counts accepted *connections* — with keep-alive one connection may
+/// carry many requests.
+pub(crate) fn accept_loop(
+    listener: TcpListener,
+    max_requests: Option<u64>,
+    shutdown: &AtomicBool,
+    mut spawn_handler: impl FnMut(TcpStream) -> std::thread::JoinHandle<()>,
+) -> Result<(), String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener: {e}"))?;
     let mut handled = 0u64;
     let mut handlers = Vec::new();
-    for stream in listener.incoming() {
-        let mut stream = match stream {
-            Ok(stream) => stream,
+    while !shutdown.load(Ordering::Relaxed) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
             Err(e) => {
                 eprintln!("[serve] accept failed: {e}");
                 continue;
             }
         };
-        let service = Arc::clone(&service);
-        handlers.push(std::thread::spawn(move || {
-            handle_connection(&service, &mut stream, verbose);
-        }));
+        // The listener is nonblocking only so this loop can poll the
+        // shutdown flag; accepted sockets block (with timeouts) as usual.
+        if let Err(e) = stream.set_nonblocking(false) {
+            eprintln!("[serve] accept failed: {e}");
+            continue;
+        }
+        // Persistent connections make Nagle vs delayed-ACK stalls real;
+        // responses are single writes, so nothing is left to coalesce.
+        let _ = stream.set_nodelay(true);
+        handlers.push(spawn_handler(stream));
         handled += 1;
         if max_requests.is_some_and(|max| handled >= max) {
             break;
@@ -1327,6 +1612,17 @@ pub fn http_request(
     let (head, payload) = text
         .split_once("\r\n\r\n")
         .ok_or_else(|| "malformed response: no header terminator".to_string())?;
+    let (status, headers) = parse_reply_head(head)?;
+    let body = Json::parse(payload).map_err(|e| format!("malformed response body: {e}"))?;
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Parses an HTTP response head into (status, lowercased headers).
+fn parse_reply_head(head: &str) -> Result<(u16, Vec<(String, String)>), String> {
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
     let status: u16 = status_line
@@ -1340,12 +1636,7 @@ pub fn http_request(
             Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
         })
         .collect();
-    let body = Json::parse(payload).map_err(|e| format!("malformed response body: {e}"))?;
-    Ok(HttpReply {
-        status,
-        headers,
-        body,
-    })
+    Ok((status, headers))
 }
 
 /// [`http_request`] without the headers — the historical client shape
@@ -1362,6 +1653,158 @@ pub fn http_call(
 ) -> Result<(u16, Json), String> {
     let reply = http_request(addr, method, path, body)?;
     Ok((reply.status, reply.body))
+}
+
+/// Whether the server's response allows another request on the socket.
+pub(crate) fn reply_keeps_alive(reply: &HttpReply) -> bool {
+    !matches!(reply.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+}
+
+/// Sends one keep-alive request on an already-connected stream and
+/// reads the `Content-Length`-delimited reply (the stream stays usable
+/// for the next request when [`reply_keeps_alive`] says so).
+pub(crate) fn send_on_stream(
+    stream: &mut TcpStream,
+    host: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &str)>, // (content type, payload)
+) -> Result<HttpReply, String> {
+    let mut request =
+        format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: keep-alive\r\n");
+    if let Some((content_type, payload)) = body {
+        request.push_str(&format!(
+            "Content-Type: {content_type}\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        ));
+    } else {
+        request.push_str("\r\n");
+    }
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    read_reply(stream)
+}
+
+/// Reads one HTTP response off the stream, bounded by `Content-Length`
+/// (which this repo's server always sends) instead of waiting for EOF —
+/// the difference that makes connection reuse possible.
+fn read_reply(stream: &mut TcpStream) -> Result<HttpReply, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head =
+        std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-utf8 response".to_string())?;
+    let (status, headers) = parse_reply_head(head)?;
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| "response missing content-length".to_string())?;
+    let mut payload = buf.split_off((header_end + 4).min(buf.len()));
+    while payload.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response".to_string());
+        }
+        payload.extend_from_slice(&chunk[..n]);
+    }
+    payload.truncate(content_length);
+    let text = String::from_utf8(payload).map_err(|_| "non-utf8 response".to_string())?;
+    let body = Json::parse(&text).map_err(|e| format!("malformed response body: {e}"))?;
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// A pooled keep-alive HTTP client: one client owns (at most) one
+/// persistent connection and reuses it across requests, reconnecting
+/// transparently when the server has since closed it. Not `Sync` — give
+/// each client thread its own. The one-shot [`http_request`] remains
+/// for fire-and-forget callers (CLI one-liners, CI probes).
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    conn: Option<TcpStream>,
+}
+
+impl HttpClient {
+    /// A client for `host:port` (connects lazily on first request).
+    pub fn new(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether a pooled connection is currently held open.
+    pub fn connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Sends one request. A failure on a *reused* connection gets one
+    /// retry on a fresh connection — the server may have idle-closed the
+    /// pooled socket since the last request, which is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection failure or a malformed response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, &str)>, // (content type, payload)
+    ) -> Result<HttpReply, String> {
+        let pooled = self.conn.is_some();
+        match self.send(method, path, body) {
+            Err(_) if pooled => self.send(method, path, body),
+            outcome => outcome,
+        }
+    }
+
+    fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, &str)>,
+    ) -> Result<HttpReply, String> {
+        let mut stream = match self.conn.take() {
+            Some(stream) => stream,
+            None => {
+                let stream = TcpStream::connect(&self.addr)
+                    .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+                let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+                let _ = stream.set_nodelay(true);
+                stream
+            }
+        };
+        let reply = send_on_stream(&mut stream, &self.addr, method, path, body)?;
+        if reply_keeps_alive(&reply) {
+            self.conn = Some(stream);
+        }
+        Ok(reply)
+    }
 }
 
 #[cfg(test)]
@@ -1885,6 +2328,121 @@ mod tests {
         filler.join().unwrap();
 
         server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_alive_connection_carries_many_requests() {
+        let dir = tmp_dir("keep-alive");
+        let svc = Arc::new(service(&dir, 1));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // max_requests counts *connections*: the server retires after
+        // one socket, so every request below must share it.
+        let server = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || serve_http(svc, listener, Some(1), false))
+        };
+
+        let mut client = HttpClient::new(addr);
+        let body = small_cfg().to_json().to_string();
+        let first = client
+            .request("POST", "/run", Some(("application/json", &body)))
+            .unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.header("connection"), Some("keep-alive"));
+        let second = client
+            .request("POST", "/run", Some(("application/json", &body)))
+            .unwrap();
+        assert_eq!(second.status, 200);
+        assert_eq!(
+            second.body.get("cached").and_then(Json::as_bool),
+            Some(true)
+        );
+        let stats = client.request("GET", "/stats", None).unwrap();
+        assert_eq!(
+            stats.body.get("connections").and_then(Json::as_u64),
+            Some(1),
+            "three requests, one TCP connection"
+        );
+        assert_eq!(stats.body.get("requests").and_then(Json::as_u64), Some(3));
+
+        drop(client); // EOF ends the handler's request loop
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_drains_parked_keep_alive_sockets_promptly() {
+        let dir = tmp_dir("drain");
+        let svc = Arc::new(service(&dir, 1));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = {
+            let svc = Arc::clone(&svc);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve_http_shutdown(svc, listener, None, false, shutdown))
+        };
+
+        // Park a keep-alive connection idle on the server, then drain:
+        // the handler must notice the flag long before the 10 s idle
+        // window and the accept loop must join it.
+        let mut client = HttpClient::new(addr);
+        let body = small_cfg().to_json().to_string();
+        let reply = client
+            .request("POST", "/run", Some(("application/json", &body)))
+            .unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(client.connected(), "client pooled the connection");
+
+        let begun = Instant::now();
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+        assert!(
+            begun.elapsed() < Duration::from_secs(2),
+            "drain took {:?} with a parked keep-alive socket",
+            begun.elapsed()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_prepopulates_cache_and_stays_counter_neutral() {
+        let dir = tmp_dir("warm");
+        let svc = service(&dir, 2);
+        let points = vec![
+            ("a".to_string(), small_cfg()),
+            (
+                "b".to_string(),
+                SimConfig {
+                    seed: 11,
+                    ..small_cfg()
+                },
+            ),
+            ("a-again".to_string(), small_cfg()), // duplicate key
+        ];
+        let report = svc.warm(&points);
+        assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+        assert_eq!(report.unique, 2);
+        assert_eq!(report.warmed, 2);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(svc.sim_runs(), 2);
+
+        // Counter-neutral: the listener-facing stats still read zero.
+        let stats = svc.stats_json();
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(0));
+        assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(0));
+        assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(0));
+
+        // Warming again skips everything; a real submit is a pure hit.
+        let again = svc.warm(&points);
+        assert_eq!(again.warmed, 0);
+        assert_eq!(again.skipped, 2);
+        assert_eq!(svc.sim_runs(), 2);
+        let answer = svc.submit(&small_cfg()).unwrap();
+        assert!(answer.cached, "warmed key must be served from cache");
+        assert_eq!(svc.sim_runs(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

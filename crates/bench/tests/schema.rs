@@ -151,6 +151,81 @@ fn job_response_matches_published_schema() {
 }
 
 #[test]
+fn cluster_stats_match_published_schema() {
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // Two live in-process backends behind a Router: the aggregated
+    // /stats document is the serve_cluster_stats.v1 contract.
+    let mut backends = Vec::new();
+    for i in 0..2 {
+        let dir =
+            std::env::temp_dir().join(format!("tenways-cluster-schema-{i}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(
+            tenways_bench::SimService::new(tenways_bench::ServeOptions {
+                workers: 1,
+                cache_dir: dir.clone(),
+                ..tenways_bench::ServeOptions::default()
+            })
+            .unwrap(),
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                tenways_bench::serve_http_shutdown(service, listener, None, false, shutdown)
+            })
+        };
+        backends.push((addr, shutdown, Some(thread), dir));
+    }
+    let router = tenways_bench::Router::new(tenways_bench::RouterOptions {
+        backends: backends.iter().map(|(addr, ..)| addr.clone()).collect(),
+        ..tenways_bench::RouterOptions::default()
+    })
+    .unwrap();
+
+    let doc = router.cluster_stats_json();
+    validate_schema(
+        &doc,
+        &repo_schema(tenways_bench::SERVE_CLUSTER_STATS_SCHEMA),
+    )
+    .unwrap();
+    assert_eq!(
+        doc.get("cluster")
+            .and_then(|c| c.get("backends_up"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+
+    // A down backend embeds `stats: null` and the document still
+    // validates (the schema must not demand live stats).
+    backends[0].1.store(true, Ordering::Relaxed);
+    if let Some(thread) = backends[0].2.take() {
+        thread.join().unwrap().unwrap();
+    }
+    let doc = router.cluster_stats_json();
+    validate_schema(
+        &doc,
+        &repo_schema(tenways_bench::SERVE_CLUSTER_STATS_SCHEMA),
+    )
+    .unwrap();
+
+    drop(router);
+    for (_, shutdown, thread, dir) in backends {
+        shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = thread {
+            thread.join().unwrap().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn fig_binary_emits_schema_conforming_json() {
     let out_dir: PathBuf =
         std::env::temp_dir().join(format!("tenways-schema-test-{}", std::process::id()));

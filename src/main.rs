@@ -22,6 +22,7 @@ use tenways::sim::trace::chrome_trace;
 use tenways::waste::report;
 
 mod litmus_cli;
+mod route_cli;
 mod serve_cli;
 mod sweep_cli;
 
@@ -36,6 +37,9 @@ fn usage() -> ! {
                                                      content-addressed result
                                                      cache (see tenways serve
                                                      --help)
+       tenways route --backend <a> [...]             shard-by-key router over N
+                                                     serve backends (see
+                                                     tenways route --help)
   --config <path>     load a SimConfig file first (.json is JSON, else TOML)
   --workload <name>   one of: {} | contended (default oltp)
   --model <m>         sc | tso | rmo (default tso)
@@ -93,6 +97,7 @@ fn parse_args() -> Args {
         Some("sweep") => sweep_cli::main(&argv[1..]),
         Some("litmus") => litmus_cli::main(&argv[1..]),
         Some("serve") => serve_cli::main(&argv[1..]),
+        Some("route") => route_cli::main(&argv[1..]),
         _ => {}
     }
 

@@ -49,7 +49,10 @@ fn usage() -> ! {
                          server canonicalizes, deduplicates, and answers
                          warm keys from its cache), poll queued keys via
                          GET /jobs/<key>, and write the same document
-                         with rows marked \"served\": cached|computed
+                         with rows marked \"served\": cached|computed;
+                         a `tenways route` router address works here
+                         unchanged (same protocol, sharded backends),
+                         and rejected keys retry with jittered backoff
   --quiet                suppress per-row progress on stderr
 
 Completed rows are checkpointed to <out>/<id>.partial.json; rerunning the
